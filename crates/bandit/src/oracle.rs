@@ -1,0 +1,307 @@
+//! The alternative-environment divergence Φ (Eq 2) and the optimal
+//! deployment proportions α* (Eq 3).
+//!
+//! For Gaussian rewards the inner infimum of Eq (2) has a closed form
+//! (derived in Appendix A.2.3 of the paper): writing the aggregate precision
+//! an allocation `α` buys for arm `j` as
+//!
+//! ```text
+//! w_j(α) = Σ_i α_i / σ²_{ij}
+//! ```
+//!
+//! the cheapest alternative environment swaps the best arm `k*` with some
+//! challenger `k`, giving
+//!
+//! ```text
+//! Φ(ν, α) = ½ · min_{k ≠ k*}  w_{k*} w_k Δ_k² / (w_{k*} + w_k),
+//! Δ_k = ν_{k*} − ν_k.
+//! ```
+//!
+//! `Φ` is concave in `α` (a minimum of concave functions of the affine
+//! `w_j(α)`), so `α*` is found by exponentiated-gradient ascent on the
+//! probability simplex using a supergradient of the active minimum.
+
+use crate::env::SideInfo;
+
+/// Index of the best arm of `nu` (lowest index on ties).
+pub fn best_arm(nu: &[f64]) -> usize {
+    nu.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .expect("non-empty mean vector")
+}
+
+/// True if `nu` has a unique maximizer.
+pub fn has_unique_best(nu: &[f64]) -> bool {
+    let b = best_arm(nu);
+    nu.iter().enumerate().all(|(i, &v)| i == b || v < nu[b])
+}
+
+/// Aggregate precisions `w_j = Σ_i alloc_i / σ²_{ij}`. `alloc` may be a
+/// simplex point (for Φ(ν, α)) or raw deployment counts (for the
+/// information level Z_t = Φ(ν̂, T(t)) — Φ is 1-homogeneous in the
+/// allocation, so both uses share this code).
+fn precisions(alloc: &[f64], sigma: &SideInfo) -> Vec<f64> {
+    let k = sigma.k();
+    (0..k)
+        .map(|j| (0..k).map(|i| alloc[i] / sigma.var(i, j)).sum())
+        .collect()
+}
+
+/// Φ(ν, alloc) for an arbitrary non-negative allocation (see Eq 2).
+/// Returns 0 when `nu` has no unique best arm (no information can separate
+/// exact ties).
+pub fn phi(nu: &[f64], alloc: &[f64], sigma: &SideInfo) -> f64 {
+    assert_eq!(nu.len(), sigma.k(), "nu dimension mismatch");
+    assert_eq!(alloc.len(), sigma.k(), "allocation dimension mismatch");
+    if !has_unique_best(nu) {
+        return 0.0;
+    }
+    let star = best_arm(nu);
+    let w = precisions(alloc, sigma);
+    let mut min = f64::INFINITY;
+    for k in 0..nu.len() {
+        if k == star {
+            continue;
+        }
+        let delta = nu[star] - nu[k];
+        let denom = w[star] + w[k];
+        let val = if denom == 0.0 { 0.0 } else { 0.5 * w[star] * w[k] * delta * delta / denom };
+        min = min.min(val);
+    }
+    if min.is_finite() {
+        min
+    } else {
+        // Single-arm problem: nothing to distinguish; infinite information.
+        f64::INFINITY
+    }
+}
+
+/// The optimal deployment distribution α*(ν, Σ) of Eq (3), computed by
+/// exponentiated-gradient ascent (`iters` steps). Returns the uniform
+/// distribution when `nu` has no unique best arm.
+pub fn optimal_alpha(nu: &[f64], sigma: &SideInfo, iters: usize) -> Vec<f64> {
+    let k = sigma.k();
+    assert_eq!(nu.len(), k, "nu dimension mismatch");
+    let uniform = vec![1.0 / k as f64; k];
+    if k == 1 || !has_unique_best(nu) {
+        return uniform;
+    }
+    let star = best_arm(nu);
+    let mut alpha = uniform.clone();
+
+    for step in 0..iters.max(1) {
+        let w = precisions(&alpha, sigma);
+        // Identify the (near-)active challengers of the min.
+        let mut vals = Vec::with_capacity(k - 1);
+        let mut fmin = f64::INFINITY;
+        for c in 0..k {
+            if c == star {
+                continue;
+            }
+            let delta = nu[star] - nu[c];
+            let v = 0.5 * w[star] * w[c] * delta * delta / (w[star] + w[c]);
+            vals.push((c, v));
+            fmin = fmin.min(v);
+        }
+        let tol = fmin * 1e-6 + 1e-18;
+        // Supergradient: average the gradients of active challengers.
+        let mut grad = vec![0.0; k];
+        let mut active = 0usize;
+        for &(c, v) in &vals {
+            if v <= fmin + tol {
+                active += 1;
+                let delta = nu[star] - nu[c];
+                let denom = w[star] + w[c];
+                let ga = (w[c] / denom) * (w[c] / denom); // ∂/∂w_star
+                let gb = (w[star] / denom) * (w[star] / denom); // ∂/∂w_c
+                for i in 0..k {
+                    grad[i] += 0.5
+                        * delta
+                        * delta
+                        * (ga / sigma.var(i, star) + gb / sigma.var(i, c));
+                }
+            }
+        }
+        if active > 0 {
+            grad.iter_mut().for_each(|g| *g /= active as f64);
+        }
+        // Exponentiated-gradient step with decaying rate; normalize the
+        // gradient so the rate is scale-free.
+        let gmax = grad.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        if gmax <= 0.0 {
+            break; // Φ locally flat in α (e.g. uniform Σ): any α is optimal.
+        }
+        let eta = 2.0 / (1.0 + step as f64).sqrt();
+        let mut sum = 0.0;
+        for (a, g) in alpha.iter_mut().zip(&grad) {
+            *a *= (eta * g / gmax).exp();
+            sum += *a;
+        }
+        alpha.iter_mut().for_each(|a| *a /= sum);
+    }
+    alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_zero_on_ties() {
+        let sigma = SideInfo::uniform(3, 1.0);
+        assert_eq!(phi(&[0.5, 0.5, 0.1], &[1.0, 1.0, 1.0], &sigma), 0.0);
+        assert!(!has_unique_best(&[0.5, 0.5, 0.1]));
+    }
+
+    #[test]
+    fn phi_closed_form_two_arms() {
+        // K=2, uniform σ²=1, α=(0.5,0.5): w = (1,1); Δ=0.2.
+        // Φ = ½·(1·1·0.04)/2 = 0.01.
+        let sigma = SideInfo::uniform(2, 1.0);
+        let v = phi(&[0.7, 0.5], &[0.5, 0.5], &sigma);
+        assert!((v - 0.01).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn phi_scales_linearly_in_counts() {
+        let sigma = SideInfo::two_level(3, 0.2, 0.7);
+        let nu = [0.6, 0.5, 0.3];
+        let a = phi(&nu, &[1.0, 2.0, 3.0], &sigma);
+        let b = phi(&nu, &[2.0, 4.0, 6.0], &sigma);
+        assert!((b - 2.0 * a).abs() < 1e-9, "Φ must be 1-homogeneous");
+    }
+
+    #[test]
+    fn phi_picks_hardest_challenger() {
+        // The challenger with the smallest gap dominates the min.
+        let sigma = SideInfo::uniform(3, 1.0);
+        let alloc = [1.0, 1.0, 1.0];
+        let close = phi(&[0.6, 0.59, 0.0], &alloc, &sigma);
+        let far = phi(&[0.6, 0.3, 0.0], &alloc, &sigma);
+        assert!(close < far);
+    }
+
+    #[test]
+    fn phi_single_arm_is_infinite() {
+        let sigma = SideInfo::uniform(1, 1.0);
+        assert!(phi(&[0.5], &[1.0], &sigma).is_infinite());
+    }
+
+    #[test]
+    fn optimal_alpha_is_simplex_point() {
+        let sigma = SideInfo::two_level(4, 0.1, 0.5);
+        let a = optimal_alpha(&[0.6, 0.5, 0.4, 0.3], &sigma, 300);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|&x| x >= 0.0));
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_alpha_uniform_on_ties() {
+        let sigma = SideInfo::uniform(3, 1.0);
+        let a = optimal_alpha(&[0.5, 0.5, 0.2], &sigma, 100);
+        assert!(a.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn optimal_alpha_improves_phi_over_uniform() {
+        // Strongly asymmetric side info: deploying arm 0 is very noisy for
+        // everyone; the optimizer should shift mass away from it.
+        let sigma = SideInfo::new(vec![
+            vec![4.0, 4.0, 4.0],
+            vec![0.04, 0.04, 0.04],
+            vec![0.04, 0.04, 0.04],
+        ]);
+        let nu = [0.6, 0.5, 0.4];
+        let k = 3;
+        let uniform = vec![1.0 / k as f64; k];
+        let a = optimal_alpha(&nu, &sigma, 500);
+        let phi_u = phi(&nu, &uniform, &sigma);
+        let phi_a = phi(&nu, &a, &sigma);
+        assert!(phi_a >= phi_u - 1e-12, "optimized {phi_a} < uniform {phi_u}");
+        assert!(a[0] < 0.2, "noisy arm should be under-deployed, got {:?}", a);
+    }
+
+    #[test]
+    fn optimal_alpha_symmetric_two_arms_balanced() {
+        // Symmetric two-arm problem with diagonal-dominant Σ: deploying
+        // either arm is equally informative, so α* ≈ (½, ½).
+        let sigma = SideInfo::two_level(2, 0.1, 0.4);
+        let a = optimal_alpha(&[0.6, 0.4], &sigma, 800);
+        assert!((a[0] - 0.5).abs() < 0.05, "{a:?}");
+    }
+
+    #[test]
+    fn uniform_sigma_makes_phi_allocation_free() {
+        // With uniform Σ every allocation yields identical w, hence equal Φ —
+        // the "side information ⇒ K-free learning" intuition in its extreme.
+        let sigma = SideInfo::uniform(5, 0.3);
+        let nu = [0.5, 0.45, 0.4, 0.35, 0.3];
+        let a1 = phi(&nu, &[1.0, 0.0, 0.0, 0.0, 0.0], &sigma);
+        let a2 = phi(&nu, &[0.2, 0.2, 0.2, 0.2, 0.2], &sigma);
+        assert!((a1 - a2).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For two arms the optimizer must match a fine grid search over the
+        /// 1-D simplex within tolerance, for arbitrary positive variance
+        /// matrices.
+        #[test]
+        fn two_arm_alpha_matches_grid_search(
+            s11 in 0.01f64..1.0, s12 in 0.01f64..1.0,
+            s21 in 0.01f64..1.0, s22 in 0.01f64..1.0,
+            gap in 0.05f64..0.5,
+        ) {
+            let sigma = SideInfo::new(vec![vec![s11, s12], vec![s21, s22]]);
+            let nu = [0.5 + gap, 0.5];
+            let a = optimal_alpha(&nu, &sigma, 600);
+            let phi_opt = phi(&nu, &a, &sigma);
+            // Fine grid search.
+            let mut best = 0.0f64;
+            for i in 0..=1000 {
+                let a0 = i as f64 / 1000.0;
+                let v = phi(&nu, &[a0, 1.0 - a0], &sigma);
+                best = best.max(v);
+            }
+            prop_assert!(
+                phi_opt >= best * 0.99 - 1e-12,
+                "optimizer {} vs grid best {}", phi_opt, best
+            );
+        }
+
+        /// Φ is non-negative and finite for K ≥ 2 with positive allocations.
+        #[test]
+        fn phi_nonnegative(nu in proptest::collection::vec(0.0f64..1.0, 2..6)) {
+            let k = nu.len();
+            let sigma = SideInfo::two_level(k, 0.2, 0.5);
+            let alloc = vec![1.0; k];
+            let v = phi(&nu, &alloc, &sigma);
+            prop_assert!(v >= 0.0);
+            prop_assert!(v.is_finite());
+        }
+
+        /// α* always lies on the simplex and never decreases Φ versus the
+        /// uniform allocation (up to optimizer tolerance).
+        #[test]
+        fn alpha_star_at_least_uniform(mut nu in proptest::collection::vec(0.0f64..1.0, 2..5)) {
+            // Ensure a unique best arm so the optimizer has a target.
+            nu[0] += 1.0;
+            let k = nu.len();
+            let sigma = SideInfo::two_level(k, 0.15, 0.45);
+            let a = optimal_alpha(&nu, &sigma, 400);
+            prop_assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            let uniform = vec![1.0 / k as f64; k];
+            let pu = phi(&nu, &uniform, &sigma);
+            let pa = phi(&nu, &a, &sigma);
+            prop_assert!(pa >= pu * 0.95 - 1e-9, "optimized {} < uniform {}", pa, pu);
+        }
+    }
+}

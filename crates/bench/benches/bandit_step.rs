@@ -1,0 +1,44 @@
+//! Criterion benchmark of the bandit's per-round cost: the α* optimization
+//! plus the stopping test — what the prototype runs "at the beginning of
+//! each round … in parallel with the cache processing" (§5).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use darwin_bandit::{oracle, GaussianEnv, SideInfo, TasConfig, TrackAndStopSideInfo};
+
+fn bench_alpha_star(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alpha_star");
+    for &k in &[4usize, 8, 16, 36] {
+        let sigma = SideInfo::two_level(k, 0.05, 0.1);
+        let nu: Vec<f64> = (0..k).map(|i| 0.6 - 0.01 * i as f64).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(oracle::optimal_alpha(&nu, &sigma, 150)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_round(c: &mut Criterion) {
+    let k = 10;
+    let sigma = SideInfo::two_level(k, 0.05, 0.1);
+    let mu: Vec<f64> = (0..k).map(|i| 0.6 - 0.02 * i as f64).collect();
+    c.bench_function("bandit_full_round_k10", |b| {
+        b.iter(|| {
+            let mut env = GaussianEnv::new(mu.clone(), sigma.clone(), 1);
+            let cfg = TasConfig { max_rounds: 30, stability_rounds: None, ..TasConfig::default() };
+            let mut tas = TrackAndStopSideInfo::new(sigma.clone(), 0.05, cfg);
+            // A fixed number of rounds: selection + observation + stop test.
+            for _ in 0..20 {
+                if tas.finished() {
+                    break;
+                }
+                let arm = tas.next_arm();
+                let y = env.pull(arm);
+                tas.observe(arm, &y);
+            }
+            black_box(tas.recommend())
+        })
+    });
+}
+
+criterion_group!(benches, bench_alpha_star, bench_full_round);
+criterion_main!(benches);

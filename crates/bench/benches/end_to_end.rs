@@ -1,0 +1,71 @@
+//! Criterion benchmark of the end-to-end online loop: a full Darwin epoch
+//! (warm-up → identification → deployment) against a static expert on the
+//! same trace — the aggregate per-request overhead Darwin adds (§6.4 finds
+//! it negligible and amortized).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use darwin::prelude::*;
+use darwin_nn::TrainConfig;
+use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
+use std::sync::Arc;
+
+fn bench_online_epoch(c: &mut Criterion) {
+    let hoc = 8 * 1024 * 1024;
+    let corpus: Vec<_> = (0..4)
+        .map(|i| {
+            TraceGenerator::new(
+                MixSpec::two_class(
+                    TrafficClass::image(),
+                    TrafficClass::download(),
+                    i as f64 / 3.0,
+                ),
+                20 + i as u64,
+            )
+            .generate(30_000)
+        })
+        .collect();
+    let offline = OfflineConfig {
+        grid: darwin::ExpertGrid::new(vec![
+            Expert::new(1, 20),
+            Expert::new(1, 500),
+            Expert::new(5, 20),
+            Expert::new(5, 500),
+        ]),
+        hoc_bytes: hoc,
+        nn_train: TrainConfig { epochs: 50, ..TrainConfig::default() },
+        n_clusters: 2,
+        feature_prefix_requests: 1_000,
+        ..OfflineConfig::default()
+    };
+    let model = Arc::new(OfflineTrainer::new(offline).train(&corpus));
+    let trace = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.4),
+        99,
+    )
+    .generate(50_000);
+    let online = OnlineConfig {
+        epoch_requests: 50_000,
+        warmup_requests: 1_000,
+        round_requests: 500,
+        ..OnlineConfig::default()
+    };
+    let cache = CacheConfig {
+        hoc_bytes: hoc,
+        dc_bytes: 512 * 1024 * 1024,
+        ..CacheConfig::paper_default()
+    };
+
+    let mut g = c.benchmark_group("end_to_end");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+    g.bench_function("darwin_epoch", |b| {
+        b.iter(|| black_box(darwin::run_darwin(&model, &online, &trace, &cache)).metrics)
+    });
+    g.bench_function("static_expert", |b| {
+        b.iter(|| black_box(darwin::run_static(Expert::new(2, 100), &trace, &cache)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_online_epoch);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmark of the streaming feature extractor — the online
+//! warm-up phase's per-request cost (§6.4 reports the feature-collection
+//! stage as "lightweight").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use darwin_features::FeatureExtractor;
+use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
+
+fn bench_extract(c: &mut Criterion) {
+    let trace = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+        7,
+    )
+    .generate(100_000);
+
+    let mut g = c.benchmark_group("feature_extraction");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+    g.bench_function("paper_default_15_features", |b| {
+        b.iter(|| {
+            let mut fx = FeatureExtractor::paper_default();
+            for r in &trace {
+                fx.observe(r);
+            }
+            black_box(fx.features())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extract);
+criterion_main!(benches);

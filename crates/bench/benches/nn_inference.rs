@@ -1,0 +1,48 @@
+//! Criterion benchmark of cross-expert predictor inference — the cost of
+//! generating one fictitious sample, and of a whole round's worth (K−1
+//! predictions). §6.4's memory/CPU discussion hinges on these being cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use darwin_nn::{Mlp, OutputActivation, TrainConfig};
+
+fn bench_inference(c: &mut Criterion) {
+    // Paper-shaped predictor: 22 inputs (15 features + 7 size buckets),
+    // small hidden layer, 2 conditional-probability outputs.
+    let net = Mlp::new(22, 8, 2, OutputActivation::Sigmoid, 3);
+    let x: Vec<f64> = (0..22).map(|i| (i as f64 / 22.0) - 0.5).collect();
+
+    let mut g = c.benchmark_group("predictor");
+    g.bench_function("single_forward", |b| b.iter(|| black_box(net.forward(black_box(&x)))));
+    g.throughput(Throughput::Elements(35));
+    g.bench_function("round_of_35_predictions", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..35 {
+                acc += net.forward(black_box(&x))[0];
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data: Vec<(Vec<f64>, Vec<f64>)> = (0..50)
+        .map(|i| {
+            let x: Vec<f64> = (0..22).map(|j| ((i * j) % 13) as f64 / 13.0).collect();
+            (x, vec![(i % 2) as f64, ((i / 2) % 2) as f64])
+        })
+        .collect();
+    c.bench_function("train_one_predictor_50x100", |b| {
+        b.iter(|| {
+            let mut net = Mlp::new(22, 8, 2, OutputActivation::Sigmoid, 5);
+            black_box(net.train(
+                &data,
+                &TrainConfig { epochs: 100, ..TrainConfig::default() },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,311 @@
+//! `darwin-cli` — operate the Darwin pipeline on trace files.
+//!
+//! ```text
+//! darwin-cli generate --class image --requests 100000 --seed 1 --out t.csv
+//! darwin-cli generate --mix 0.3 --requests 100000 --out mix.csv
+//! darwin-cli stats    --trace t.csv
+//! darwin-cli hrc      --trace t.csv
+//! darwin-cli simulate --trace t.csv --hoc-mb 16 --f 2 --s-kb 100
+//! darwin-cli train    --traces a.csv,b.csv,c.csv --hoc-mb 16 --out model.json
+//! darwin-cli run      --model model.json --trace t.csv --hoc-mb 16
+//! ```
+//!
+//! Traces use the CSV interchange format of `darwin_trace::io`
+//! (`timestamp_us,object_id,size_bytes`, `#` comments allowed).
+
+use darwin::prelude::*;
+use darwin_cache::EvictionKind;
+use darwin_features::{synthesize, FootprintDescriptor};
+use darwin_trace::{
+    concat_traces, read_trace_file, write_trace_file, MixSpec, SizeModel, Trace, TraceGenerator,
+    TraceStats, TrafficClass,
+};
+use std::collections::HashMap;
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: darwin-cli <generate|concat|synth|stats|hrc|simulate|train|run> [flags]\n\
+         \n\
+         generate --requests N [--class image|download|web] [--mix IMAGE_SHARE]\n\
+         \x20        [--seed S] --out FILE\n\
+         concat   --traces F1,F2,... --out FILE\n\
+         synth    --from FILE --requests N [--seed S] [--median-kb KB]\n\
+         \x20        [--sigma S] [--rate RPS] --out FILE\n\
+         stats    --trace FILE\n\
+         hrc      --trace FILE\n\
+         simulate --trace FILE [--hoc-mb MB] [--dc-mb MB] [--f F] [--s-kb KB]\n\
+         \x20        [--eviction lru|fifo|lfu|s4lru]\n\
+         train    --traces F1,F2,... [--hoc-mb MB] [--objective ohr|bmr|combined]\n\
+         \x20        [--theta PCT] [--clusters K] --out MODEL.json\n\
+         run      --model MODEL.json --trace FILE [--hoc-mb MB] [--dc-mb MB]\n\
+         \x20        [--epoch N] [--warmup N] [--round N]"
+    );
+    exit(2);
+}
+
+/// Parses `--key value` flags into a map; duplicate keys keep the last value.
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--").unwrap_or_else(|| {
+            eprintln!("expected a --flag, got {:?}", args[i]);
+            usage()
+        });
+        let value = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("flag --{key} needs a value");
+            usage()
+        });
+        flags.insert(key.to_string(), value);
+        i += 2;
+    }
+    flags
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("could not parse --{key} {v:?}");
+            usage()
+        }),
+        None => default,
+    }
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("missing required flag --{key}");
+        usage()
+    })
+}
+
+fn load_trace(path: &str) -> Trace {
+    read_trace_file(path).unwrap_or_else(|e| {
+        eprintln!("failed to read trace {path}: {e}");
+        exit(1);
+    })
+}
+
+fn cache_config(flags: &HashMap<String, String>) -> CacheConfig {
+    let hoc_mb: u64 = flag(flags, "hoc-mb", 16);
+    let dc_mb: u64 = flag(flags, "dc-mb", hoc_mb * 100);
+    CacheConfig {
+        hoc_bytes: hoc_mb * 1024 * 1024,
+        dc_bytes: dc_mb * 1024 * 1024,
+        ..CacheConfig::paper_default()
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) {
+    let n: usize = flag(flags, "requests", 100_000);
+    let seed: u64 = flag(flags, "seed", 1);
+    let out = required(flags, "out");
+    let spec = if let Some(mix) = flags.get("mix") {
+        let share: f64 = mix.parse().unwrap_or_else(|_| usage());
+        if !(0.0..=1.0).contains(&share) {
+            eprintln!("--mix must be in [0, 1] (the Image-class traffic share), got {share}");
+            exit(2);
+        }
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), share)
+    } else {
+        match flags.get("class").map(String::as_str).unwrap_or("image") {
+            "image" => MixSpec::single(TrafficClass::image()),
+            "download" => MixSpec::single(TrafficClass::download()),
+            "web" => MixSpec::single(TrafficClass::web()),
+            other => {
+                eprintln!("unknown class {other:?}");
+                usage()
+            }
+        }
+    };
+    let trace = TraceGenerator::new(spec, seed).generate(n);
+    write_trace_file(&trace, out).unwrap_or_else(|e| {
+        eprintln!("failed to write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {} requests to {out}", trace.len());
+}
+
+fn cmd_concat(flags: &HashMap<String, String>) {
+    let paths: Vec<&str> = required(flags, "traces").split(',').collect();
+    let out = required(flags, "out");
+    let traces: Vec<Trace> = paths.iter().map(|p| load_trace(p)).collect();
+    let joined = concat_traces(&traces);
+    write_trace_file(&joined, out).unwrap_or_else(|e| {
+        eprintln!("failed to write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {} requests ({} parts) to {out}", joined.len(), paths.len());
+}
+
+/// Tragen-style synthesis: measure the input trace's footprint descriptor
+/// and emit a new trace with the same reuse-distance distribution (and
+/// therefore the same LRU hit-rate curve at every cache size).
+fn cmd_synth(flags: &HashMap<String, String>) {
+    let source = load_trace(required(flags, "from"));
+    let out = required(flags, "out");
+    let n: usize = flag(flags, "requests", source.len());
+    let seed: u64 = flag(flags, "seed", 1);
+    let median_kb: f64 = flag(flags, "median-kb", 64.0);
+    let sigma: f64 = flag(flags, "sigma", 1.3);
+    let rate: f64 = flag(flags, "rate", 265.9);
+    if source.is_empty() {
+        eprintln!("source trace is empty");
+        exit(1);
+    }
+    let fd = FootprintDescriptor::compute(&source);
+    let sizes = SizeModel::from_median(median_kb * 1024.0, sigma, 128, 1 << 31);
+    let synth = synthesize(&fd, &sizes, rate, n, seed);
+    write_trace_file(&synth, out).unwrap_or_else(|e| {
+        eprintln!("failed to write {out}: {e}");
+        exit(1);
+    });
+    let fd2 = FootprintDescriptor::compute(&synth);
+    println!(
+        "wrote {} synthesized requests to {out} (predicted 16MB-LRU OHR: source {:.4}, synth {:.4})",
+        synth.len(),
+        fd.predicted_ohr(16 << 20),
+        fd2.predicted_ohr(16 << 20),
+    );
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) {
+    let trace = load_trace(required(flags, "trace"));
+    let s = TraceStats::compute(&trace);
+    println!("requests:                {}", s.requests);
+    println!("unique objects:          {}", s.unique_objects);
+    println!("total bytes:             {}", s.total_bytes);
+    println!("mean request size:       {:.0} B", s.mean_size);
+    println!("one-hit-wonder objects:  {:.1} %", s.one_hit_wonder_fraction * 100.0);
+    println!("requests < 20 KB:        {:.1} %", s.frac_requests_below_20k * 100.0);
+    println!("requests < 50 KB:        {:.1} %", s.frac_requests_below_50k * 100.0);
+    println!("mean requests/object:    {:.2}", s.mean_requests_per_object);
+}
+
+fn cmd_hrc(flags: &HashMap<String, String>) {
+    let trace = load_trace(required(flags, "trace"));
+    let fd = FootprintDescriptor::compute(&trace);
+    println!("{:>14} {:>8} {:>8}", "cache_bytes", "ohr", "bhr");
+    for (c, ohr) in fd.hit_rate_curve() {
+        println!("{c:>14} {ohr:>8.4} {:>8.4}", fd.predicted_bhr(c));
+    }
+    println!("unique bytes (working set): {}", fd.unique_bytes());
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) {
+    let trace = load_trace(required(flags, "trace"));
+    let f: u32 = flag(flags, "f", 2);
+    let s_kb: u64 = flag(flags, "s-kb", 100);
+    let mut cache = cache_config(flags);
+    cache.hoc_eviction = match flags.get("eviction").map(String::as_str).unwrap_or("lru") {
+        "lru" => EvictionKind::Lru,
+        "fifo" => EvictionKind::Fifo,
+        "lfu" => EvictionKind::Lfu,
+        "s4lru" => EvictionKind::SegmentedLru { segments: 4 },
+        other => {
+            eprintln!("unknown eviction {other:?}");
+            usage()
+        }
+    };
+    let m = darwin::run_static(Expert::new(f, s_kb), &trace, &cache);
+    println!("expert:            f{f}s{s_kb}");
+    println!("hoc ohr:           {:.4}", m.hoc_ohr());
+    println!("total ohr:         {:.4}", m.total_ohr());
+    println!("hoc bmr:           {:.4}", m.hoc_bmr());
+    println!("dc writes:         {} ({} bytes)", m.dc_writes, m.dc_write_bytes);
+    println!("hoc evictions:     {}", m.hoc_evictions);
+}
+
+fn cmd_train(flags: &HashMap<String, String>) {
+    let paths: Vec<&str> = required(flags, "traces").split(',').collect();
+    let out = required(flags, "out");
+    let traces: Vec<Trace> = paths.iter().map(|p| load_trace(p)).collect();
+    let objective = match flags.get("objective").map(String::as_str).unwrap_or("ohr") {
+        "ohr" => Objective::HocOhr,
+        "bmr" => Objective::HocBmr,
+        "combined" => Objective::combined_default(),
+        other => {
+            eprintln!("unknown objective {other:?}");
+            usage()
+        }
+    };
+    let hoc_mb: u64 = flag(flags, "hoc-mb", 16);
+    let shortest = traces.iter().map(|t| t.len()).min().unwrap_or(0);
+    let cfg = OfflineConfig {
+        objective,
+        hoc_bytes: hoc_mb * 1024 * 1024,
+        theta_percent: flag(flags, "theta", 1.0),
+        n_clusters: flag(flags, "clusters", 0usize),
+        // Train the lookup on warm-up-sized prefixes (3 % of the shortest
+        // trace, matching the default online configuration's proportions).
+        feature_prefix_requests: (shortest * 3 / 100).max(1_000),
+        ..OfflineConfig::default()
+    };
+    eprintln!(
+        "training on {} traces x {} experts (HOC {hoc_mb} MB, objective {}) ...",
+        traces.len(),
+        cfg.grid.len(),
+        objective.label()
+    );
+    let model = OfflineTrainer::new(cfg).train(&traces);
+    model.save_to_file(out).unwrap_or_else(|e| {
+        eprintln!("failed to write model {out}: {e}");
+        exit(1);
+    });
+    println!(
+        "model: {} clusters, sets {:?}, ~{} KiB -> {out}",
+        model.num_clusters(),
+        (0..model.num_clusters()).map(|c| model.expert_set(c).len()).collect::<Vec<_>>(),
+        model.memory_footprint_bytes() / 1024,
+    );
+}
+
+fn cmd_run(flags: &HashMap<String, String>) {
+    let model = DarwinModel::load_from_file(required(flags, "model")).unwrap_or_else(|e| {
+        eprintln!("failed to load model: {e}");
+        exit(1);
+    });
+    let trace = load_trace(required(flags, "trace"));
+    let cache = cache_config(flags);
+    let epoch: usize = flag(flags, "epoch", trace.len().max(2));
+    let online = OnlineConfig {
+        epoch_requests: epoch,
+        warmup_requests: flag(flags, "warmup", (epoch * 3 / 100).max(1)),
+        round_requests: flag(flags, "round", (epoch / 100).max(50)),
+        ..OnlineConfig::default()
+    };
+    let model = Arc::new(model);
+    let report = darwin::run_darwin(&model, &online, &trace, &cache);
+    println!("hoc ohr:     {:.4}", report.metrics.hoc_ohr());
+    println!("hoc bmr:     {:.4}", report.metrics.hoc_bmr());
+    println!("switches:    {}", report.switches.len());
+    for (i, ep) in report.epochs.iter().enumerate() {
+        println!(
+            "epoch {:>2}: cluster {} set {} rounds {} -> {}",
+            i + 1,
+            ep.cluster,
+            ep.set_size,
+            ep.identify_rounds,
+            model.grid().get(ep.chosen_expert).label()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "concat" => cmd_concat(&flags),
+        "synth" => cmd_synth(&flags),
+        "stats" => cmd_stats(&flags),
+        "hrc" => cmd_hrc(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "train" => cmd_train(&flags),
+        "run" => cmd_run(&flags),
+        _ => usage(),
+    }
+}

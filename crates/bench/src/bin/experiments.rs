@@ -1,0 +1,133 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <what> [--scale N] [--out DIR]
+//!
+//! what: all | fig2 | fig4a | fig4b | fig4c | fig5a | fig5b | fig5c | fig5d
+//!     | fig6 | fig7a | fig7b | table2 | fig8 | fig9 | fig10 | fig11
+//!     | ablations | timeline | hindsight
+//! ```
+//!
+//! `--scale 1` (default) is the laptop configuration; larger factors move
+//! toward the paper's trace lengths and cache sizes proportionally.
+//! `--cache` persists the expensive expert evaluations under the output
+//! directory and reuses them on later invocations at the same scale.
+
+use darwin::offline::OfflineTrainer;
+use darwin_bench::experiments::{ablations, fig2, fig4, fig5, fig6, fig7, fig8_11, hindsight, table2, timeline};
+use darwin_bench::{Scale, SharedContext};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight> [--scale N] [--out DIR] [--cache]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let what = args[0].clone();
+    let mut scale_factor = 1usize;
+    let mut out = PathBuf::from("results");
+    let mut use_cache = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale_factor = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--cache" => {
+                use_cache = true;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let scale = Scale::new(scale_factor);
+
+    // Validate the experiment name before building anything expensive.
+    const KNOWN: &[&str] = &[
+        "all", "fig2", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c", "fig5d", "fig6",
+        "fig7a", "fig7b", "table2", "fig8", "fig9", "fig10", "fig11", "ablations", "timeline",
+        "hindsight",
+    ];
+    if !KNOWN.contains(&what.as_str()) {
+        eprintln!("unknown experiment {what:?}");
+        usage();
+    }
+
+    // fig2 needs no shared context.
+    if what == "fig2" {
+        fig2::run(&scale, &out);
+        return;
+    }
+
+    // Experiments needing the all-pairs predictor model.
+    let needs_all_pairs = matches!(what.as_str(), "all" | "fig5c" | "fig10");
+    eprintln!("[experiments] building shared context at scale {scale_factor} ...");
+    let t0 = std::time::Instant::now();
+    let ctx = SharedContext::build_with_cache(
+        scale,
+        false,
+        use_cache.then(|| out.as_path()),
+    );
+    eprintln!("[experiments] context ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let all_pairs_model = if needs_all_pairs {
+        eprintln!("[experiments] training all-pairs predictor model (Fig 5c / Fig 10) ...");
+        let mut cfg = ctx.offline_cfg.clone();
+        cfg.train_all_pairs = true;
+        Some(OfflineTrainer::new(cfg).train_from_evaluations(&ctx.train_evals))
+    } else {
+        None
+    };
+
+    let run_one = |name: &str| match name {
+        "fig2" => fig2::run(&scale, &out),
+        "fig4a" => fig4::run_a(&ctx, &out),
+        "fig4b" => fig4::run_b(&ctx, &out),
+        "fig4c" => fig4::run_c(&ctx, &out),
+        "fig5a" => fig5::run_a(&ctx, &out),
+        "fig5b" => fig5::run_b(&ctx, &out),
+        "fig5c" => fig5::run_c(&ctx, all_pairs_model.as_ref().expect("all-pairs model"), &out),
+        "fig5d" => fig5::run_d(&ctx, &out),
+        "fig6" => fig6::run(&ctx, &out),
+        "fig7a" => fig7::run_a(&ctx, &out),
+        "fig7b" => fig7::run_b(&ctx, &out),
+        "table2" => table2::run(&ctx, &out),
+        "fig8" => fig8_11::run_fig8(&ctx, &out),
+        "fig9" => fig8_11::run_fig9(&ctx, &out),
+        "fig10" => {
+            fig8_11::run_fig10(&ctx, all_pairs_model.as_ref().expect("all-pairs model"), &out)
+        }
+        "fig11" => fig8_11::run_fig11(&ctx, &out),
+        "ablations" => ablations::run(&ctx, &out),
+        "timeline" => timeline::run(&ctx, &out),
+        "hindsight" => hindsight::run(&ctx, &out),
+        _ => usage(),
+    };
+
+    if what == "all" {
+        for name in [
+            "fig2", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c", "fig5d", "fig6",
+            "fig7a", "fig7b", "table2", "fig8", "fig9", "fig10", "fig11", "ablations",
+            "timeline", "hindsight",
+        ] {
+            let t = std::time::Instant::now();
+            eprintln!("\n[experiments] ===== {name} =====");
+            run_one(name);
+            eprintln!("[experiments] {name} done in {:.1}s", t.elapsed().as_secs_f64());
+        }
+    } else {
+        run_one(&what);
+    }
+}

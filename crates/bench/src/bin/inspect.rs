@@ -1,0 +1,76 @@
+//! Diagnostic tool: for each online test trace, print the cluster Darwin
+//! mapped it to, the candidate expert set, the bandit's choice, and how that
+//! compares with the hindsight-best static expert.
+//!
+//! ```text
+//! inspect [--scale N] [--trace IDX]
+//! ```
+
+use darwin_bench::{runs, Scale, SharedContext};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale_factor = 1usize;
+    let mut only: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale_factor = args[i].parse().expect("scale");
+            }
+            "--trace" => {
+                i += 1;
+                only = Some(args[i].parse().expect("trace idx"));
+            }
+            other => panic!("unknown arg {other}"),
+        }
+        i += 1;
+    }
+    let scale = Scale::new(scale_factor);
+    let ctx = SharedContext::build(scale, false);
+    let cache = scale.cache_config();
+
+    // Show the offline cluster sets first.
+    println!("clusters: {}", ctx.model.num_clusters());
+    for c in 0..ctx.model.num_clusters() {
+        let labels: Vec<String> = ctx
+            .model
+            .expert_set(c)
+            .iter()
+            .map(|&e| runs::expert_label(ctx.model.grid(), e))
+            .collect();
+        println!("  cluster {c}: {}", labels.join(" "));
+    }
+
+    for (ti, trace) in ctx.corpus.online_test.iter().enumerate() {
+        if let Some(o) = only {
+            if o != ti {
+                continue;
+            }
+        }
+        let report = darwin::run_darwin(&ctx.model, &scale.online_config(), trace, &cache);
+        let ev = &ctx.online_evals[ti];
+        let (best, best_ohr) = runs::hindsight_best(ev);
+        println!(
+            "\ntrace mix{ti}: darwin_ohr={:.4} hindsight={} ({:.4}) switches={}",
+            report.metrics.hoc_ohr(),
+            runs::expert_label(ctx.model.grid(), best),
+            best_ohr,
+            report.switches.len(),
+        );
+        for ep in &report.epochs {
+            let chosen_label = runs::expert_label(ctx.model.grid(), ep.chosen_expert);
+            let chosen_static_ohr = ev.hit_rates[ep.chosen_expert];
+            println!(
+                "  epoch: cluster={} set={} rounds={} chosen={} (static ohr {:.4})",
+                ep.cluster, ep.set_size, ep.identify_rounds, chosen_label, chosen_static_ohr
+            );
+        }
+        // What the cluster set contained (via a fresh lookup on the full
+        // trace features — may differ from the warm-up lookup).
+        let full_features = darwin_features::FeatureExtractor::extract(trace);
+        let c_full = ctx.model.lookup_cluster(&full_features);
+        println!("  full-trace feature cluster: {c_full}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Corpus construction and the shared experiment context.
+//!
+//! Mirrors §6 "CDN Traces": synthetic Image/Download mixes at a sweep of
+//! ratios; several seeds per ratio form the offline training set, held-out
+//! seeds form the offline test set, and longer single traces per ratio form
+//! the online test set. An "ensemble" subset groups online traces by their
+//! best static expert and picks one per group (the Fig 4 methodology).
+
+use crate::scale::Scale;
+use darwin::offline::{EvaluatedTrace, OfflineConfig, OfflineTrainer};
+use darwin::{DarwinModel, ExpertGrid};
+use darwin_nn::TrainConfig;
+use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// On-disk form of the cached evaluations.
+#[derive(Serialize, Deserialize)]
+struct CachedEvals {
+    grid_len: usize,
+    train: Vec<EvaluatedTrace>,
+    test: Vec<EvaluatedTrace>,
+    online: Vec<EvaluatedTrace>,
+}
+
+/// The standard experiment corpus.
+pub struct Corpus {
+    /// Mix ratios (share of Image traffic) used in the sweep.
+    pub ratios: Vec<f64>,
+    /// Offline training traces (several seeds per ratio).
+    pub offline_train: Vec<Trace>,
+    /// Offline held-out traces (one per ratio).
+    pub offline_test: Vec<Trace>,
+    /// Online test traces (one longer trace per ratio).
+    pub online_test: Vec<Trace>,
+}
+
+impl Corpus {
+    /// Builds the corpus at the given scale: `n_ratios` mixes from 100:0 to
+    /// 0:100, `train_seeds` offline traces per mix.
+    pub fn build(scale: &Scale, n_ratios: usize, train_seeds: usize) -> Self {
+        assert!(n_ratios >= 2, "need at least the two pure mixes");
+        let ratios: Vec<f64> =
+            (0..n_ratios).map(|i| 1.0 - i as f64 / (n_ratios - 1) as f64).collect();
+        let mix = |share: f64| {
+            MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), share)
+        };
+
+        let mut offline_train = Vec::new();
+        let mut offline_test = Vec::new();
+        let mut online_test = Vec::new();
+        for (ri, &share) in ratios.iter().enumerate() {
+            for s in 0..train_seeds {
+                let seed = (ri * 1000 + s) as u64 + 1;
+                offline_train.push(
+                    TraceGenerator::new(mix(share), seed).generate(scale.offline_trace_len()),
+                );
+            }
+            offline_test.push(
+                TraceGenerator::new(mix(share), (ri * 1000 + 900) as u64)
+                    .generate(scale.offline_trace_len()),
+            );
+            online_test.push(
+                TraceGenerator::new(mix(share), (ri * 1000 + 500) as u64)
+                    .generate(scale.online_trace_len()),
+            );
+        }
+        Self { ratios, offline_train, offline_test, online_test }
+    }
+}
+
+/// Heavyweight shared state built once and reused across experiments in an
+/// `experiments all` run: the corpus, the offline evaluations, and a trained
+/// model.
+pub struct SharedContext {
+    /// The scale everything was built at.
+    pub scale: Scale,
+    /// The corpus.
+    pub corpus: Corpus,
+    /// Offline configuration the evaluations/model used.
+    pub offline_cfg: OfflineConfig,
+    /// Evaluations of the offline training traces.
+    pub train_evals: Vec<EvaluatedTrace>,
+    /// Evaluations of the offline held-out traces.
+    pub test_evals: Vec<EvaluatedTrace>,
+    /// Evaluations of the online test traces (for hindsight-best grouping).
+    pub online_evals: Vec<EvaluatedTrace>,
+    /// The trained Darwin model.
+    pub model: Arc<DarwinModel>,
+}
+
+impl SharedContext {
+    /// Offline configuration used by the standard experiments.
+    pub fn offline_config(scale: &Scale, train_all_pairs: bool) -> OfflineConfig {
+        OfflineConfig {
+            grid: ExpertGrid::paper_grid(),
+            hoc_bytes: scale.hoc_bytes(),
+            theta_percent: 1.0,
+            n_clusters: 0,
+            train_all_pairs,
+            nn_train: TrainConfig { epochs: 250, ..TrainConfig::default() },
+            // Train the feature pipeline on exactly the warm-up-sized view
+            // the online lookup will have.
+            feature_prefix_requests: scale.online_config().warmup_requests,
+            ..OfflineConfig::default()
+        }
+    }
+
+    /// Builds the full context (the expensive step of `experiments all`).
+    pub fn build(scale: Scale, train_all_pairs: bool) -> Self {
+        Self::build_with_cache(scale, train_all_pairs, None)
+    }
+
+    /// Like [`SharedContext::build`], optionally reusing cached evaluations
+    /// from `cache_dir` (the corpus itself regenerates deterministically, so
+    /// only the expensive expert evaluations are persisted). The cache is
+    /// keyed by scale factor and crate version and ignored on any mismatch.
+    pub fn build_with_cache(
+        scale: Scale,
+        train_all_pairs: bool,
+        cache_dir: Option<&std::path::Path>,
+    ) -> Self {
+        let corpus = Corpus::build(&scale, 11, 2);
+        let offline_cfg = Self::offline_config(&scale, train_all_pairs);
+        let trainer = OfflineTrainer::new(offline_cfg.clone());
+
+        let cache_path = cache_dir.map(|d| {
+            d.join(format!(
+                "ctx-cache-v{}-scale{}.json",
+                env!("CARGO_PKG_VERSION"),
+                scale.factor()
+            ))
+        });
+        let cached: Option<CachedEvals> = cache_path
+            .as_ref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .filter(|c: &CachedEvals| {
+                c.grid_len == offline_cfg.grid.len()
+                    && c.train.len() == corpus.offline_train.len()
+                    && c.test.len() == corpus.offline_test.len()
+                    && c.online.len() == corpus.online_test.len()
+            });
+
+        let (train_evals, test_evals, online_evals) = match cached {
+            Some(c) => {
+                eprintln!("[context] reusing cached evaluations");
+                (c.train, c.test, c.online)
+            }
+            None => {
+                eprintln!(
+                    "[context] evaluating {} offline train traces x {} experts ...",
+                    corpus.offline_train.len(),
+                    offline_cfg.grid.len()
+                );
+                let train = trainer.evaluate_corpus(&corpus.offline_train);
+                eprintln!(
+                    "[context] evaluating {} offline test traces ...",
+                    corpus.offline_test.len()
+                );
+                let test = trainer.evaluate_corpus(&corpus.offline_test);
+                eprintln!(
+                    "[context] evaluating {} online test traces ...",
+                    corpus.online_test.len()
+                );
+                let online = trainer.evaluate_corpus(&corpus.online_test);
+                if let Some(p) = &cache_path {
+                    let payload = CachedEvals {
+                        grid_len: offline_cfg.grid.len(),
+                        train: train.clone(),
+                        test: test.clone(),
+                        online: online.clone(),
+                    };
+                    let _ = std::fs::create_dir_all(p.parent().unwrap_or(std::path::Path::new(".")));
+                    if let Ok(json) = serde_json::to_string(&payload) {
+                        let _ = std::fs::write(p, json);
+                    }
+                }
+                (train, test, online)
+            }
+        };
+
+        eprintln!("[context] training model (clusters + predictors) ...");
+        let model = Arc::new(trainer.train_from_evaluations(&train_evals));
+        Self { scale, corpus, offline_cfg, train_evals, test_evals, online_evals, model }
+    }
+
+    /// The Fig 4 "ensemble set": group online traces by their hindsight-best
+    /// static expert and pick the first of each group.
+    pub fn ensemble_indices(&self) -> Vec<usize> {
+        let mut seen_best = Vec::new();
+        let mut picks = Vec::new();
+        for (i, ev) in self.online_evals.iter().enumerate() {
+            let best = ev.best_expert();
+            if !seen_best.contains(&best) {
+                seen_best.push(best);
+                picks.push(i);
+            }
+        }
+        picks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shapes() {
+        let scale = Scale::new(1);
+        let c = Corpus::build(&scale, 3, 2);
+        assert_eq!(c.ratios.len(), 3);
+        assert_eq!(c.offline_train.len(), 6);
+        assert_eq!(c.offline_test.len(), 3);
+        assert_eq!(c.online_test.len(), 3);
+        assert_eq!(c.online_test[0].len(), scale.online_trace_len());
+        // Sweep endpoints are the pure classes.
+        assert!((c.ratios[0] - 1.0).abs() < 1e-12);
+        assert!(c.ratios[2].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Figure 5: effectiveness of Darwin's components.
+//!
+//! * 5a — feature convergence: relative error of prefix features vs
+//!   full-trace features ("within a 10 % error margin using only the first
+//!   3M requests" of 10 M, i.e. a 30 % prefix; with warm-up at 3 % of the
+//!   100 M online traces).
+//! * 5b — CDF of the number of experts remaining per cluster set for
+//!   θ ∈ {1, 2, 5} ("82 % reduction … with θ = 1; even with θ = 5, a 35 %
+//!   reduction").
+//! * 5c — cross-expert order-prediction accuracy CDF over all ordered pairs
+//!   ("even with the strictest 1 % proximality, more than 90 % of the
+//!   predictors reach > 80 % order prediction accuracy").
+//! * 5d — bandit rounds until best-expert identification ("from the 12th
+//!   round onwards ≥ 80 % of traces achieve stability; worst case 21").
+
+use crate::corpus::SharedContext;
+use crate::report::{f4, Report};
+use crate::runs;
+use darwin::offline::{EvaluatedTrace, OfflineTrainer};
+use darwin::DarwinModel;
+use darwin_cache::Objective;
+use darwin_features::{max_relative_error, FeatureExtractor};
+use std::path::Path;
+
+/// Fig 5a: feature convergence over offline-length traces.
+pub fn run_a(ctx: &SharedContext, out: &Path) {
+    let mut rep = Report::new(
+        "fig5a",
+        "Fig 5a: max feature relative error (%) vs prefix fraction",
+        &["prefix_pct", "mean_err_pct", "max_err_pct", "traces_within_10pct"],
+        out,
+    );
+    let fractions = [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    let traces = &ctx.corpus.offline_train;
+    for &frac in &fractions {
+        let mut errs = Vec::new();
+        for t in traces {
+            let full = FeatureExtractor::extract(t);
+            let prefix_len = (t.len() as f64 * frac) as usize;
+            let prefix = FeatureExtractor::extract(&t.slice(0, prefix_len));
+            errs.push(max_relative_error(&prefix, &full));
+        }
+        let s = runs::Stats::of(&errs);
+        let within = errs.iter().filter(|&&e| e <= 10.0).count();
+        rep.row(&[
+            format!("{:.0}", frac * 100.0),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.max),
+            format!("{}/{}", within, errs.len()),
+        ]);
+    }
+    rep.finish().expect("write fig5a");
+}
+
+/// Fig 5b: expert-set sizes after clustering, for θ ∈ {1, 2, 5}.
+pub fn run_b(ctx: &SharedContext, out: &Path) {
+    let trainer = OfflineTrainer::new(ctx.offline_cfg.clone());
+    let n_experts = ctx.offline_cfg.grid.len() as f64;
+    let mut rep = Report::new(
+        "fig5b",
+        "Fig 5b: experts remaining per cluster set (CDF source) and reduction",
+        &["theta_pct", "min_set", "median_set", "mean_set", "max_set", "avg_reduction_pct"],
+        out,
+    );
+    for theta in [1.0, 2.0, 5.0] {
+        let (assignment, sets) =
+            trainer.cluster_expert_sets(&ctx.train_evals, theta, Objective::HocOhr);
+        // Weight sets by how many traces map to them (what a trace sees).
+        let sizes: Vec<f64> = assignment.iter().map(|&c| sets[c].len() as f64).collect();
+        let s = runs::Stats::of(&sizes);
+        let reduction = 100.0 * (1.0 - s.mean / n_experts);
+        rep.row(&[
+            format!("{theta}"),
+            format!("{:.0}", s.min),
+            format!("{:.0}", s.median),
+            format!("{:.1}", s.mean),
+            format!("{:.0}", s.max),
+            format!("{:.1}", reduction),
+        ]);
+    }
+    rep.finish().expect("write fig5b");
+}
+
+/// Order-prediction accuracy of predictor (i, j) over held-out evaluations,
+/// at proximality `k_pct` (in OHR percentage points).
+pub fn order_accuracy(
+    model: &DarwinModel,
+    i: usize,
+    j: usize,
+    evals: &[EvaluatedTrace],
+    k_pct: f64,
+) -> f64 {
+    let mut ok = 0usize;
+    for ev in evals {
+        let true_i = ev.hit_rates[i];
+        let true_j = ev.hit_rates[j];
+        if (true_i - true_j).abs() < k_pct / 100.0 {
+            ok += 1; // proximal: counted as correct per the paper
+            continue;
+        }
+        let pred_j = model.predict_hit_rate(i, j, true_i, &ev.extended);
+        if (pred_j > true_i) == (true_j > true_i) {
+            ok += 1;
+        }
+    }
+    ok as f64 / evals.len().max(1) as f64
+}
+
+/// Fig 5c: order-prediction accuracy CDF over all ordered pairs. Requires a
+/// model trained with `train_all_pairs` (the harness builds one when the
+/// shared context doesn't have it).
+pub fn run_c(ctx: &SharedContext, all_pairs_model: &DarwinModel, out: &Path) {
+    let n = ctx.offline_cfg.grid.len();
+    let mut rep = Report::new(
+        "fig5c",
+        "Fig 5c: cross-expert order-prediction accuracy",
+        &["proximality_pct", "mean_acc", "p10_acc", "frac_predictors_above_80pct"],
+        out,
+    );
+    for k in [1.0, 2.0, 5.0] {
+        let mut accs = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    accs.push(order_accuracy(all_pairs_model, i, j, &ctx.test_evals, k));
+                }
+            }
+        }
+        accs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        let p10 = accs[accs.len() / 10];
+        let above80 = accs.iter().filter(|&&a| a > 0.8).count() as f64 / accs.len() as f64;
+        rep.row(&[format!("{k}"), f4(mean), f4(p10), f4(above80)]);
+    }
+    rep.finish().expect("write fig5c");
+}
+
+/// Fig 5d: bandit rounds until identification, over the online test traces.
+pub fn run_d(ctx: &SharedContext, out: &Path) {
+    let cache = ctx.scale.cache_config();
+    let mut rounds = Vec::new();
+    let mut set_sizes = Vec::new();
+    for trace in &ctx.corpus.online_test {
+        let report =
+            darwin::run_darwin(&ctx.model, &ctx.scale.online_config(), trace, &cache);
+        if let Some(ep) = report.epochs.first() {
+            rounds.push(ep.identify_rounds as f64);
+            set_sizes.push(ep.set_size as f64);
+        }
+    }
+    let mut rep = Report::new(
+        "fig5d",
+        "Fig 5d: bandit rounds until best-expert identification",
+        &["quantity", "value"],
+        out,
+    );
+    let r = runs::Stats::of(&rounds);
+    let s = runs::Stats::of(&set_sizes);
+    let mut sorted = rounds.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p80 = sorted[(((sorted.len() - 1) as f64) * 0.8).round() as usize];
+    rep.row(&["traces".into(), format!("{}", rounds.len())]);
+    rep.row(&["mean candidate set size".into(), format!("{:.1}", s.mean)]);
+    rep.row(&["min rounds".into(), format!("{:.0}", r.min)]);
+    rep.row(&["median rounds".into(), format!("{:.0}", r.median)]);
+    rep.row(&["80th pct rounds (paper: ~12)".into(), format!("{p80:.0}")]);
+    rep.row(&["max rounds (paper: 21)".into(), format!("{:.0}", r.max)]);
+    rep.finish().expect("write fig5d");
+}

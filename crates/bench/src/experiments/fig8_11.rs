@@ -1,0 +1,182 @@
+//! Appendix figures 8–11.
+//!
+//! * Fig 8 — feature convergence over the *online*-length traces (the paper
+//!   confirms the 3 %-of-trace warm-up also suffices at 100 M scale).
+//! * Fig 9a — average expert reduction (%) vs cluster threshold θ;
+//!   9b — average fraction of a cluster set's experts that are within θ% of
+//!   a member trace's best.
+//! * Fig 10 — out-of-distribution predictor order accuracy: test mixes with
+//!   class parameters the training corpus never saw.
+//! * Fig 11 — expert reduction when experts use three knobs
+//!   (frequency, size, recency; 36 experts, 90 % reduction at θ = 1).
+
+use crate::corpus::SharedContext;
+use crate::experiments::fig5::order_accuracy;
+use crate::report::{f4, Report};
+use crate::runs;
+use darwin::offline::OfflineTrainer;
+use darwin::{DarwinModel, ExpertGrid};
+use darwin_cache::Objective;
+use darwin_features::{max_relative_error, FeatureExtractor};
+use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
+use std::path::Path;
+
+/// Fig 8: convergence on long traces.
+pub fn run_fig8(ctx: &SharedContext, out: &Path) {
+    let mut rep = Report::new(
+        "fig8",
+        "Fig 8: feature convergence on online-length traces",
+        &["prefix_pct", "mean_err_pct", "max_err_pct"],
+        out,
+    );
+    for frac in [0.01, 0.03, 0.1, 0.3, 0.6] {
+        let mut errs = Vec::new();
+        for t in &ctx.corpus.online_test {
+            let full = FeatureExtractor::extract(t);
+            let prefix = FeatureExtractor::extract(&t.slice(0, (t.len() as f64 * frac) as usize));
+            errs.push(max_relative_error(&prefix, &full));
+        }
+        let s = runs::Stats::of(&errs);
+        rep.row(&[
+            format!("{:.0}", frac * 100.0),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.max),
+        ]);
+    }
+    rep.finish().expect("write fig8");
+}
+
+/// Fig 9: expert reduction and within-θ fraction vs θ.
+pub fn run_fig9(ctx: &SharedContext, out: &Path) {
+    let trainer = OfflineTrainer::new(ctx.offline_cfg.clone());
+    let n_experts = ctx.offline_cfg.grid.len() as f64;
+    let mut rep = Report::new(
+        "fig9",
+        "Fig 9: expert reduction vs theta",
+        &["theta_pct", "avg_reduction_pct", "avg_within_theta_fraction"],
+        out,
+    );
+    for theta in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        let (assignment, sets) =
+            trainer.cluster_expert_sets(&ctx.train_evals, theta, Objective::HocOhr);
+        let sizes: Vec<f64> = assignment.iter().map(|&c| sets[c].len() as f64).collect();
+        let s = runs::Stats::of(&sizes);
+        let reduction = 100.0 * (1.0 - s.mean / n_experts);
+        // 9b: for each trace, the fraction of its cluster set's experts that
+        // are within θ% of the trace's own best reward.
+        let mut fracs = Vec::new();
+        for (ev, &c) in ctx.train_evals.iter().zip(&assignment) {
+            let rewards = ev.rewards_under(Objective::HocOhr);
+            let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let floor = best - theta / 100.0 * best.abs();
+            let within =
+                sets[c].iter().filter(|&&e| rewards[e] >= floor).count() as f64;
+            fracs.push(within / sets[c].len().max(1) as f64);
+        }
+        let f = runs::Stats::of(&fracs);
+        rep.row(&[format!("{theta}"), format!("{reduction:.1}"), f4(f.mean)]);
+    }
+    rep.finish().expect("write fig9");
+}
+
+/// Fig 10: out-of-distribution predictor accuracy. OOD traces perturb the
+/// class models (different Zipf skew, different size medians) and add a Web
+/// class the corpus never contained.
+pub fn run_fig10(ctx: &SharedContext, all_pairs_model: &DarwinModel, out: &Path) {
+    let trainer = OfflineTrainer::new(ctx.offline_cfg.clone());
+    let len = ctx.scale.offline_trace_len();
+
+    // Perturbed classes.
+    let mut image = TrafficClass::image();
+    image.zipf_alpha = 0.9;
+    image.sizes.mu = (12.0f64 * 1024.0).ln();
+    let mut download = TrafficClass::download();
+    download.zipf_alpha = 0.95;
+    download.sizes.mu = (400.0f64 * 1024.0).ln();
+    let web = TrafficClass::web();
+
+    // Mild OOD (the paper's setting): the same two classes at mix ratios
+    // the 11-point training sweep never contained.
+    let mild_traces: Vec<_> = [0.15, 0.37, 0.62, 0.85]
+        .iter()
+        .enumerate()
+        .map(|(i, &share)| {
+            let spec = MixSpec::two_class(
+                TrafficClass::image(),
+                TrafficClass::download(),
+                share,
+            );
+            TraceGenerator::new(spec, 7700 + i as u64).generate(len)
+        })
+        .collect();
+    let mild_evals = trainer.evaluate_corpus(&mild_traces);
+
+    // Hard OOD: perturbed class parameters and an entirely new Web class.
+    let ood_traces: Vec<_> = (0..6)
+        .map(|i| {
+            let spec = match i % 3 {
+                0 => MixSpec::two_class(image.clone(), download.clone(), 0.3 + 0.1 * i as f64),
+                1 => MixSpec::two_class(image.clone(), web.clone(), 0.5),
+                _ => MixSpec::new(
+                    vec![image.clone(), download.clone(), web.clone()],
+                    vec![0.4, 0.3, 0.3],
+                ),
+            };
+            TraceGenerator::new(spec, 7000 + i as u64).generate(len)
+        })
+        .collect();
+    let ood_evals = trainer.evaluate_corpus(&ood_traces);
+
+    let n = ctx.offline_cfg.grid.len();
+    let mut rep = Report::new(
+        "fig10",
+        "Fig 10: in-distribution vs out-of-distribution order accuracy (k=1%)",
+        &["test_set", "mean_acc", "frac_above_80pct"],
+        out,
+    );
+    for (label, evals) in [
+        ("in-dist", &ctx.test_evals),
+        ("ood-mild-unseen-ratios", &mild_evals),
+        ("ood-hard-new-classes", &ood_evals),
+    ] {
+        let mut accs = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    accs.push(order_accuracy(all_pairs_model, i, j, evals, 1.0));
+                }
+            }
+        }
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        let above = accs.iter().filter(|&&a| a > 0.8).count() as f64 / accs.len() as f64;
+        rep.row(&[label.to_string(), f4(mean), f4(above)]);
+    }
+    rep.finish().expect("write fig10");
+}
+
+/// Fig 11: three-knob (f, s, recency) expert reduction.
+pub fn run_fig11(ctx: &SharedContext, out: &Path) {
+    let mut cfg = ctx.offline_cfg.clone();
+    cfg.grid = ExpertGrid::three_knob_grid();
+    let trainer = OfflineTrainer::new(cfg.clone());
+    eprintln!("[fig11] evaluating 3-knob grid on offline corpus ...");
+    let evals = trainer.evaluate_corpus(&ctx.corpus.offline_train);
+    let n_experts = cfg.grid.len() as f64;
+    let mut rep = Report::new(
+        "fig11",
+        "Fig 11: expert reduction with 3 knobs (f, s, recency)",
+        &["theta_pct", "avg_set_size", "avg_reduction_pct"],
+        out,
+    );
+    for theta in [1.0, 2.0, 5.0] {
+        let (assignment, sets) = trainer.cluster_expert_sets(&evals, theta, Objective::HocOhr);
+        let sizes: Vec<f64> = assignment.iter().map(|&c| sets[c].len() as f64).collect();
+        let s = runs::Stats::of(&sizes);
+        rep.row(&[
+            format!("{theta}"),
+            format!("{:.1}", s.mean),
+            format!("{:.1}", 100.0 * (1.0 - s.mean / n_experts)),
+        ]);
+    }
+    rep.finish().expect("write fig11");
+}

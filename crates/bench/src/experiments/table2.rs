@@ -1,0 +1,57 @@
+//! Table 2: average improvement rate of Darwin relative to every baseline —
+//! all 36 static experts, Percentile, HillClimbing (Δs = 10, 20 KB),
+//! DirectMapping and AdaptSize — over the full online test set.
+
+use crate::corpus::SharedContext;
+use crate::report::Report;
+use crate::runs::{self, tuning_sample, BaselineSuite};
+use std::path::Path;
+
+/// Runs Table 2.
+pub fn run(ctx: &SharedContext, out: &Path) {
+    let cache = ctx.scale.cache_config();
+    let suite = BaselineSuite::build(
+        &ctx.scale,
+        ctx.model.grid(),
+        &ctx.train_evals,
+        &tuning_sample(&ctx.corpus.offline_train),
+        &cache,
+    );
+
+    // Darwin OHR on every online test trace.
+    let mut darwin_ohr = Vec::new();
+    for trace in &ctx.corpus.online_test {
+        darwin_ohr.push(runs::darwin_metrics(&ctx.model, &ctx.scale, trace, &cache).hoc_ohr());
+    }
+
+    // Accumulate improvements per baseline over all traces.
+    let n_experts = ctx.model.grid().len();
+    let mut labels: Vec<String> =
+        (0..n_experts).map(|e| runs::expert_label(ctx.model.grid(), e)).collect();
+    labels.extend(
+        ["Percentile", "HC-10", "HC-20", "AdaptSize", "Direct"].map(String::from),
+    );
+    let mut sums = vec![0.0; labels.len()];
+
+    for (ti, trace) in ctx.corpus.online_test.iter().enumerate() {
+        let d = darwin_ohr[ti];
+        for (e, &ohr) in ctx.online_evals[ti].hit_rates.iter().enumerate() {
+            sums[e] += runs::improvement_pct(d, ohr);
+        }
+        for (bi, (_, m)) in suite.run_all(trace, &cache).into_iter().enumerate() {
+            sums[n_experts + bi] += runs::improvement_pct(d, m.hoc_ohr());
+        }
+    }
+
+    let n = ctx.corpus.online_test.len() as f64;
+    let mut rep = Report::new(
+        "table2",
+        "Table 2: average OHR improvement rate of Darwin vs baselines (%)",
+        &["baseline", "avg_improvement_pct"],
+        out,
+    );
+    for (label, sum) in labels.into_iter().zip(&sums) {
+        rep.row(&[label, format!("{:.2}", sum / n)]);
+    }
+    rep.finish().expect("write table2");
+}

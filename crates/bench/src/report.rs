@@ -1,0 +1,123 @@
+//! Experiment output: aligned console tables plus CSVs under `results/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A tabular experiment report.
+pub struct Report {
+    name: String,
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    out_dir: PathBuf,
+}
+
+impl Report {
+    /// Report `name` (file stem) with a human-readable `title`.
+    pub fn new(name: &str, title: &str, header: &[&str], out_dir: &Path) -> Self {
+        Self {
+            name: name.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            out_dir: out_dir.to_path_buf(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: row from display-able values.
+    pub fn rowd<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells);
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the report has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Prints the aligned table to stdout and writes `<out>/<name>.csv`.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        // Column widths.
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.header));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+
+        fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Formats a float with 4 decimal places (hit rates, rewards).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float as a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_writes_csv() {
+        let dir = std::env::temp_dir().join("darwin-report-test");
+        let mut r = Report::new("t1", "Test", &["a", "b"], &dir);
+        r.row(&["1".into(), "2".into()]);
+        r.rowd(&[3.5, 4.5]);
+        assert_eq!(r.len(), 2);
+        let path = r.finish().unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert_eq!(s, "a,b\n1,2\n3.5,4.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let dir = std::env::temp_dir();
+        let mut r = Report::new("t2", "Test", &["a", "b"], &dir);
+        r.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f4(0.123456), "0.1235");
+        assert_eq!(pct(0.1234), "12.34");
+    }
+}

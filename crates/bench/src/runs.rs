@@ -1,0 +1,147 @@
+//! Shared runners: Darwin and every baseline on one trace, returning the
+//! headline metrics. Used by Fig 4, Fig 6 and Table 2.
+
+use crate::scale::Scale;
+use darwin::offline::EvaluatedTrace;
+use darwin::{run_darwin, DarwinModel, Expert, ExpertGrid};
+use darwin_baselines::{AdaptSize, DirectMapping, HillClimbing, Percentile};
+use darwin_cache::{CacheConfig, CacheMetrics, ThresholdPolicy};
+use darwin_nn::TrainConfig;
+use darwin_trace::Trace;
+use std::sync::Arc;
+
+/// All adaptive baselines, pre-configured at a scale.
+pub struct BaselineSuite {
+    percentile: Percentile,
+    hc10: HillClimbing,
+    hc20: HillClimbing,
+    adaptsize: AdaptSize,
+    direct: DirectMapping,
+}
+
+impl BaselineSuite {
+    /// Builds the suite; DirectMapping trains on the provided offline
+    /// evaluations (the same data Darwin trained on), and Percentile tunes
+    /// its percentile pair on `tuning_traces` (the paper tunes them "to be
+    /// the best-performing ones for this window size").
+    pub fn build(
+        scale: &Scale,
+        grid: &ExpertGrid,
+        train_evals: &[EvaluatedTrace],
+        tuning_traces: &[Trace],
+        cache: &CacheConfig,
+    ) -> Self {
+        let online = scale.online_config();
+        let start = ThresholdPolicy::new(4, 100 * 1024);
+        let percentile = if tuning_traces.is_empty() {
+            Percentile::new(grid.clone(), scale.percentile_window())
+        } else {
+            Percentile::tuned(grid.clone(), scale.percentile_window(), tuning_traces, cache)
+        };
+        Self {
+            percentile,
+            hc10: HillClimbing::new(start, 10 * 1024, scale.hillclimb_window()),
+            hc20: HillClimbing::new(start, 20 * 1024, scale.hillclimb_window()),
+            adaptsize: AdaptSize::new(scale.adaptsize_window(), 42),
+            direct: DirectMapping::train(
+                grid.clone(),
+                train_evals,
+                online.epoch_requests,
+                online.warmup_requests,
+                &TrainConfig { epochs: 400, ..TrainConfig::default() },
+                7,
+            ),
+        }
+    }
+
+    /// Runs every adaptive baseline on `trace`, returning `(label, metrics)`
+    /// pairs.
+    pub fn run_all(&self, trace: &Trace, cache: &CacheConfig) -> Vec<(String, CacheMetrics)> {
+        vec![
+            ("Percentile".into(), self.percentile.run(trace, cache)),
+            ("HC-10".into(), self.hc10.run(trace, cache)),
+            ("HC-20".into(), self.hc20.run(trace, cache)),
+            ("AdaptSize".into(), self.adaptsize.run(trace, cache)),
+            ("Direct".into(), self.direct.run(trace, cache)),
+        ]
+    }
+}
+
+/// Runs Darwin on `trace` and returns its metrics.
+pub fn darwin_metrics(
+    model: &Arc<DarwinModel>,
+    scale: &Scale,
+    trace: &Trace,
+    cache: &CacheConfig,
+) -> CacheMetrics {
+    run_darwin(model, &scale.online_config(), trace, cache).metrics
+}
+
+/// Percentage improvement of `ours` over `theirs` (guarding tiny bases).
+pub fn improvement_pct(ours: f64, theirs: f64) -> f64 {
+    if theirs.abs() < 1e-9 {
+        return 0.0;
+    }
+    (ours - theirs) / theirs.abs() * 100.0
+}
+
+/// Summary statistics of a sample.
+pub struct Stats {
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Computes stats; panics on empty input.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "stats of empty sample");
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self {
+            min: v[0],
+            median: v[v.len() / 2],
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            max: v[v.len() - 1],
+        }
+    }
+}
+
+/// The best static expert's value for a trace (hindsight optimum).
+pub fn hindsight_best(ev: &EvaluatedTrace) -> (usize, f64) {
+    let best = ev.best_expert();
+    (best, ev.rewards[best])
+}
+
+/// Label helper: `f2s10`-style names for grid experts.
+pub fn expert_label(grid: &ExpertGrid, idx: usize) -> String {
+    grid.get(idx).label()
+}
+
+/// A handful of representative static experts for prototype-style runs.
+pub fn representative_static(grid: &ExpertGrid) -> Vec<Expert> {
+    let mut picks = Vec::new();
+    for e in grid.experts() {
+        if (e.f() == 2 || e.f() == 5) && matches!(e.s_bytes() / 1024, 20 | 100 | 1000) {
+            picks.push(*e);
+        }
+    }
+    picks
+}
+
+/// A small tuning sample spanning the corpus's mix ratios (strided, ≤ 4
+/// traces) — used to tune the Percentile baseline without biasing it toward
+/// one end of the sweep.
+pub fn tuning_sample(traces: &[Trace]) -> Vec<Trace> {
+    if traces.is_empty() {
+        return Vec::new();
+    }
+    let stride = (traces.len() / 4).max(1);
+    traces.iter().step_by(stride).take(4).cloned().collect()
+}
+

@@ -1,0 +1,103 @@
+//! Integration tests driving the `darwin-cli` binary end to end through its
+//! public command-line surface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_darwin-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("darwin-cli-test-{name}"))
+}
+
+#[test]
+fn generate_stats_simulate_train_run_pipeline() {
+    let t1 = tmp("t1.csv");
+    let t2 = tmp("t2.csv");
+    let model = tmp("model.json");
+
+    // generate two small traces
+    for (path, extra) in [(&t1, ["--mix", "0.5"]), (&t2, ["--class", "download"])] {
+        let out = cli()
+            .args(["generate", "--requests", "20000", "--seed", "3", "--out"])
+            .arg(path)
+            .args(extra)
+            .output()
+            .expect("run generate");
+        assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    }
+
+    // stats
+    let out = cli().args(["stats", "--trace"]).arg(&t1).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("requests:"), "{text}");
+    assert!(text.contains("20000"), "{text}");
+
+    // hrc
+    let out = cli().args(["hrc", "--trace"]).arg(&t1).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cache_bytes"));
+
+    // simulate
+    let out = cli()
+        .args(["simulate", "--hoc-mb", "4", "--f", "2", "--s-kb", "100", "--trace"])
+        .arg(&t1)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hoc ohr:"));
+
+    // train on both traces
+    let traces_arg = format!("{},{}", t1.display(), t2.display());
+    let out = cli()
+        .args(["train", "--traces", &traces_arg, "--hoc-mb", "4", "--out"])
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    // run the model on a trace
+    let out = cli()
+        .args(["run", "--hoc-mb", "4", "--model"])
+        .arg(&model)
+        .args(["--trace"])
+        .arg(&t2)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hoc ohr:"), "{text}");
+    assert!(text.contains("epoch"), "{text}");
+
+    for p in [t1, t2, model] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let out = cli().args(["stats"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace"));
+}
+
+#[test]
+fn malformed_trace_file_is_reported() {
+    let bad = tmp("bad.csv");
+    std::fs::write(&bad, "definitely,not\nvalid").unwrap();
+    let out = cli().args(["stats", "--trace"]).arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to read trace"));
+    let _ = std::fs::remove_file(bad);
+}

@@ -1,0 +1,180 @@
+//! Cache performance accounting.
+//!
+//! Tracks every counter needed by the paper's metrics (§2.2 "CDN Caching
+//! Objectives"):
+//!
+//! * **OHR** — object hit rate, overall and per-level;
+//! * **BMR** — byte miss ratio (bytes served on misses / total bytes);
+//! * **disk writes** — bytes and operations written to the disk cache, the
+//!   resource-related metric (SSD endurance / CAPEX) of §2.2 and §6.3.
+//!
+//! Counters are plain sums, so a *window* of activity is `later.diff(earlier)`
+//! of two snapshots — this is how online algorithms (Darwin's bandit rounds,
+//! HillClimbing's epochs, Percentile's windows) extract per-round rewards.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotone cache counters. All byte quantities are in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheMetrics {
+    /// Requests processed.
+    pub requests: u64,
+    /// Requests served from the HOC.
+    pub hoc_hits: u64,
+    /// Requests served from the DC (HOC miss, DC hit).
+    pub dc_hits: u64,
+    /// Requests served from the origin (full miss).
+    pub origin_fetches: u64,
+    /// Total bytes requested.
+    pub bytes_total: u64,
+    /// Bytes served from the HOC.
+    pub bytes_hoc_hit: u64,
+    /// Bytes served from the DC.
+    pub bytes_dc_hit: u64,
+    /// Bytes served from the origin.
+    pub bytes_origin: u64,
+    /// Bytes written into the DC (admissions).
+    pub dc_write_bytes: u64,
+    /// DC write operations (object admissions).
+    pub dc_writes: u64,
+    /// Bytes written into the HOC (promotions).
+    pub hoc_write_bytes: u64,
+    /// HOC promotions.
+    pub hoc_writes: u64,
+    /// Objects evicted from the HOC.
+    pub hoc_evictions: u64,
+    /// Objects evicted from the DC.
+    pub dc_evictions: u64,
+}
+
+impl CacheMetrics {
+    /// HOC object hit rate: HOC hits / requests. The paper's headline metric
+    /// ("we present Darwin in the context of admission policies that maximize
+    /// the HOC hit rate").
+    pub fn hoc_ohr(&self) -> f64 {
+        ratio(self.hoc_hits, self.requests)
+    }
+
+    /// Overall object hit rate: (HOC hits + DC hits) / requests.
+    pub fn total_ohr(&self) -> f64 {
+        ratio(self.hoc_hits + self.dc_hits, self.requests)
+    }
+
+    /// HOC byte miss ratio: bytes *not* served from the HOC / total bytes.
+    /// §6.3 minimizes this "to reduce the bytes written to the DC or to the
+    /// origin server".
+    pub fn hoc_bmr(&self) -> f64 {
+        ratio(self.bytes_total - self.bytes_hoc_hit, self.bytes_total)
+    }
+
+    /// Server byte miss ratio: origin bytes / total bytes (midgress measure).
+    pub fn total_bmr(&self) -> f64 {
+        ratio(self.bytes_origin, self.bytes_total)
+    }
+
+    /// Disk (DC) write bytes per request.
+    pub fn disk_write_bytes_per_request(&self) -> f64 {
+        ratio(self.dc_write_bytes, self.requests)
+    }
+
+    /// HOC-missed bytes per request — the paper's §6.3 approximation of disk
+    /// writes ("we approximate the disk write bytes to be the bytes missed in
+    /// HOC").
+    pub fn hoc_miss_bytes_per_request(&self) -> f64 {
+        ratio(self.bytes_total - self.bytes_hoc_hit, self.requests)
+    }
+
+    /// Counter-wise difference `self − earlier`; the activity of the window
+    /// between the two snapshots.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is not actually an earlier
+    /// snapshot of the same counter stream.
+    pub fn diff(&self, earlier: &CacheMetrics) -> CacheMetrics {
+        debug_assert!(self.requests >= earlier.requests, "snapshots out of order");
+        CacheMetrics {
+            requests: self.requests - earlier.requests,
+            hoc_hits: self.hoc_hits - earlier.hoc_hits,
+            dc_hits: self.dc_hits - earlier.dc_hits,
+            origin_fetches: self.origin_fetches - earlier.origin_fetches,
+            bytes_total: self.bytes_total - earlier.bytes_total,
+            bytes_hoc_hit: self.bytes_hoc_hit - earlier.bytes_hoc_hit,
+            bytes_dc_hit: self.bytes_dc_hit - earlier.bytes_dc_hit,
+            bytes_origin: self.bytes_origin - earlier.bytes_origin,
+            dc_write_bytes: self.dc_write_bytes - earlier.dc_write_bytes,
+            dc_writes: self.dc_writes - earlier.dc_writes,
+            hoc_write_bytes: self.hoc_write_bytes - earlier.hoc_write_bytes,
+            hoc_writes: self.hoc_writes - earlier.hoc_writes,
+            hoc_evictions: self.hoc_evictions - earlier.hoc_evictions,
+            dc_evictions: self.dc_evictions - earlier.dc_evictions,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CacheMetrics {
+        CacheMetrics {
+            requests: 100,
+            hoc_hits: 40,
+            dc_hits: 30,
+            origin_fetches: 30,
+            bytes_total: 1000,
+            bytes_hoc_hit: 300,
+            bytes_dc_hit: 350,
+            bytes_origin: 350,
+            dc_write_bytes: 500,
+            dc_writes: 20,
+            hoc_write_bytes: 200,
+            hoc_writes: 10,
+            hoc_evictions: 5,
+            dc_evictions: 2,
+        }
+    }
+
+    #[test]
+    fn rates_computed_correctly() {
+        let m = sample();
+        assert!((m.hoc_ohr() - 0.4).abs() < 1e-12);
+        assert!((m.total_ohr() - 0.7).abs() < 1e-12);
+        assert!((m.hoc_bmr() - 0.7).abs() < 1e-12);
+        assert!((m.total_bmr() - 0.35).abs() < 1e-12);
+        assert!((m.disk_write_bytes_per_request() - 5.0).abs() < 1e-12);
+        assert!((m.hoc_miss_bytes_per_request() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_rates() {
+        let m = CacheMetrics::default();
+        assert_eq!(m.hoc_ohr(), 0.0);
+        assert_eq!(m.hoc_bmr(), 0.0);
+        assert_eq!(m.total_bmr(), 0.0);
+    }
+
+    #[test]
+    fn diff_isolates_window() {
+        let early = CacheMetrics { requests: 10, hoc_hits: 5, bytes_total: 50, ..Default::default() };
+        let late = CacheMetrics { requests: 30, hoc_hits: 20, bytes_total: 90, ..Default::default() };
+        let w = late.diff(&early);
+        assert_eq!(w.requests, 20);
+        assert_eq!(w.hoc_hits, 15);
+        assert_eq!(w.bytes_total, 40);
+        assert!((w.hoc_ohr() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_of_self_is_zero() {
+        let m = sample();
+        assert_eq!(m.diff(&m), CacheMetrics::default());
+    }
+}

@@ -1,0 +1,156 @@
+//! Caching objectives.
+//!
+//! One of Darwin's central claims (R3, §3.2.1) is objective flexibility: the
+//! same framework optimizes hardware-independent metrics (OHR), cost metrics
+//! (BMR) and hardware-dependent resource metrics (disk writes) by swapping
+//! the *reward* used offline (to rank experts per cluster) and online (as the
+//! bandit's payoff). [`Objective`] is that swap point: it maps a metrics
+//! window to a scalar reward where **larger is always better**.
+
+use crate::metrics::CacheMetrics;
+use serde::{Deserialize, Serialize};
+
+/// A scalarized caching objective (larger reward = better).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Maximize HOC object hit rate (the paper's primary setting, §4).
+    HocOhr,
+    /// Maximize overall (HOC + DC) object hit rate.
+    TotalOhr,
+    /// Minimize HOC byte miss ratio (reward = 1 − BMR_HOC); §6.3, Fig 6a.
+    HocBmr,
+    /// Maximize `OHR − weight · DiskWrite/#Requests` where disk-write bytes
+    /// are approximated by HOC-missed bytes and normalized per MiB, as in
+    /// §6.3 / Fig 6b. `weight` trades hit rate against SSD wear; the paper's
+    /// experiments use an unspecified linear combination, so the weight is a
+    /// parameter here.
+    OhrMinusDiskWrites {
+        /// Reward deducted per MiB of HOC-missed bytes per request.
+        weight_per_mib: f64,
+    },
+}
+
+impl Objective {
+    /// The paper's default combined objective (Fig 6b) with a weight that
+    /// puts the disk-write term on the same scale as OHR for the evaluation
+    /// traces (mean object size in the hundreds of KB ⇒ missed MiB/request
+    /// is O(0.1)).
+    pub fn combined_default() -> Self {
+        Objective::OhrMinusDiskWrites { weight_per_mib: 1.0 }
+    }
+
+    /// Scalar reward of a metrics window under this objective.
+    pub fn reward(&self, window: &CacheMetrics) -> f64 {
+        match *self {
+            Objective::HocOhr => window.hoc_ohr(),
+            Objective::TotalOhr => window.total_ohr(),
+            Objective::HocBmr => 1.0 - window.hoc_bmr(),
+            Objective::OhrMinusDiskWrites { weight_per_mib } => {
+                let missed_mib_per_req =
+                    window.hoc_miss_bytes_per_request() / (1024.0 * 1024.0);
+                window.hoc_ohr() - weight_per_mib * missed_mib_per_req
+            }
+        }
+    }
+
+    /// The headline *metric* value for reporting (what the paper's figures
+    /// plot): OHR for hit-rate objectives, BMR (smaller better) for the BMR
+    /// objective, the combined scalar for the combined objective.
+    pub fn report_value(&self, window: &CacheMetrics) -> f64 {
+        match *self {
+            Objective::HocBmr => window.hoc_bmr(),
+            _ => self.reward(window),
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Objective::HocOhr => "hoc-ohr",
+            Objective::TotalOhr => "total-ohr",
+            Objective::HocBmr => "hoc-bmr",
+            Objective::OhrMinusDiskWrites { .. } => "ohr-minus-diskwrites",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> CacheMetrics {
+        CacheMetrics {
+            requests: 100,
+            hoc_hits: 60,
+            dc_hits: 20,
+            bytes_total: 200 * 1024 * 1024,
+            bytes_hoc_hit: 120 * 1024 * 1024,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ohr_objective_is_hoc_ohr() {
+        assert!((Objective::HocOhr.reward(&window()) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bmr_objective_rewards_low_bmr() {
+        let w = window(); // BMR = 80/200 = 0.4
+        assert!((Objective::HocBmr.reward(&w) - 0.6).abs() < 1e-12);
+        assert!((Objective::HocBmr.report_value(&w) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_objective_penalizes_missed_bytes() {
+        let w = window(); // missed 80 MiB over 100 requests = 0.8 MiB/req
+        let obj = Objective::OhrMinusDiskWrites { weight_per_mib: 1.0 };
+        assert!((obj.reward(&w) - (0.6 - 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_weight_zero_reduces_to_ohr() {
+        let obj = Objective::OhrMinusDiskWrites { weight_per_mib: 0.0 };
+        assert!((obj.reward(&window()) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_ohr_counts_dc_hits() {
+        assert!((Objective::TotalOhr.reward(&window()) - 0.8).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Hit-rate objectives stay in [0,1] for any consistent metrics
+        /// window; the combined objective is bounded above by the OHR.
+        #[test]
+        fn reward_bounds(
+            requests in 1u64..10_000,
+            hit_frac in 0.0f64..=1.0,
+            mean_size in 1u64..5_000_000,
+        ) {
+            let hoc_hits = (requests as f64 * hit_frac) as u64;
+            let bytes_total = requests * mean_size;
+            let bytes_hoc = hoc_hits * mean_size;
+            let m = CacheMetrics {
+                requests,
+                hoc_hits,
+                bytes_total,
+                bytes_hoc_hit: bytes_hoc,
+                ..Default::default()
+            };
+            for obj in [Objective::HocOhr, Objective::TotalOhr, Objective::HocBmr] {
+                let r = obj.reward(&m);
+                prop_assert!((0.0..=1.0).contains(&r), "{:?} reward {}", obj, r);
+            }
+            let combined = Objective::combined_default().reward(&m);
+            prop_assert!(combined <= m.hoc_ohr() + 1e-12);
+        }
+    }
+}
+

@@ -1,0 +1,547 @@
+//! The two-level cache server and the standalone HOC simulator.
+//!
+//! [`CacheServer`] wires together the HOC (with a swappable admission
+//! policy — the Darwin control point), the DC (with its second-request Bloom
+//! admission), frequency tracking and metrics, implementing the request flow
+//! of Figure 1. [`HocSim`] is a lighter HOC-only simulator used for shadow
+//! caches (HillClimbing) and for offline expert evaluation where only HOC
+//! hit/miss sequences matter.
+
+use crate::bloom::{BloomFilter, FrequencySketch};
+use crate::eviction::{EvictionKind, Store};
+use crate::metrics::CacheMetrics;
+use crate::policy::{AdmissionPolicy, ObjectView, ThresholdPolicy};
+use darwin_trace::{ObjectId, Request};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Where a request was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Served from the Hot Object Cache.
+    HocHit,
+    /// Served from the Disk Cache.
+    DcHit,
+    /// Fetched from the origin (full miss).
+    OriginFetch,
+}
+
+impl RequestOutcome {
+    /// True if the HOC served the request (the per-request indicator Darwin's
+    /// cross-expert predictor training conditions on).
+    pub fn is_hoc_hit(self) -> bool {
+        matches!(self, RequestOutcome::HocHit)
+    }
+}
+
+/// How the server tracks per-object request counts for the frequency knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrequencyMode {
+    /// Exact `HashMap` counting: deterministic, memory ∝ unique objects.
+    /// The simulator default (matches offline expert evaluation).
+    Exact,
+    /// TinyLFU-style counting sketch: bounded memory, slight over-counting,
+    /// periodic aging. What a production deployment would run.
+    Sketch {
+        /// Approximate number of concurrently tracked objects.
+        expected_objects: usize,
+    },
+}
+
+/// Static configuration of a [`CacheServer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// HOC capacity in bytes (paper default: 100 MB).
+    pub hoc_bytes: u64,
+    /// DC capacity in bytes (paper default: 10 GB in simulation).
+    pub dc_bytes: u64,
+    /// HOC eviction policy (paper: LRU).
+    pub hoc_eviction: EvictionKind,
+    /// DC eviction policy (paper: LRU).
+    pub dc_eviction: EvictionKind,
+    /// Frequency tracking mode.
+    pub frequency: FrequencyMode,
+    /// Sizing hint for the DC's one-hit-wonder Bloom filter.
+    pub expected_unique_objects: usize,
+}
+
+impl CacheConfig {
+    /// The paper's simulator setup: 100 MB HOC, 10 GB DC, LRU everywhere.
+    pub fn paper_default() -> Self {
+        Self {
+            hoc_bytes: 100 * 1024 * 1024,
+            dc_bytes: 10 * 1024 * 1024 * 1024,
+            hoc_eviction: EvictionKind::Lru,
+            dc_eviction: EvictionKind::Lru,
+            frequency: FrequencyMode::Exact,
+            expected_unique_objects: 1_000_000,
+        }
+    }
+
+    /// A deliberately small configuration for fast unit tests (1 MB / 64 MB).
+    pub fn small_test() -> Self {
+        Self {
+            hoc_bytes: 1024 * 1024,
+            dc_bytes: 64 * 1024 * 1024,
+            hoc_eviction: EvictionKind::Lru,
+            dc_eviction: EvictionKind::Lru,
+            frequency: FrequencyMode::Exact,
+            expected_unique_objects: 100_000,
+        }
+    }
+
+    /// Scales HOC and DC capacity by `factor` (for the 200 MB / 500 MB
+    /// studies).
+    pub fn scaled(&self, factor: u64) -> Self {
+        Self { hoc_bytes: self.hoc_bytes * factor, dc_bytes: self.dc_bytes * factor, ..self.clone() }
+    }
+}
+
+/// Exact or sketched frequency tracker.
+#[derive(Debug)]
+enum FreqTracker {
+    Exact(HashMap<ObjectId, u32>),
+    Sketch(FrequencySketch),
+}
+
+impl FreqTracker {
+    fn new(mode: FrequencyMode) -> Self {
+        match mode {
+            FrequencyMode::Exact => FreqTracker::Exact(HashMap::new()),
+            FrequencyMode::Sketch { expected_objects } => {
+                FreqTracker::Sketch(FrequencySketch::with_capacity(expected_objects))
+            }
+        }
+    }
+
+    /// Records a request, returning the count including this request.
+    fn increment(&mut self, id: ObjectId) -> u32 {
+        match self {
+            FreqTracker::Exact(map) => {
+                let c = map.entry(id).or_insert(0);
+                *c = c.saturating_add(1);
+                *c
+            }
+            FreqTracker::Sketch(s) => s.increment(id),
+        }
+    }
+}
+
+/// The two-level CDN cache server.
+pub struct CacheServer {
+    config: CacheConfig,
+    hoc: Store,
+    dc: Store,
+    policy: Box<dyn AdmissionPolicy>,
+    freq: FreqTracker,
+    /// Last request timestamp per object (for the recency knob and per-object
+    /// inter-arrival bookkeeping).
+    last_access: HashMap<ObjectId, u64>,
+    /// One-hit-wonder filter in front of the DC.
+    dc_filter: BloomFilter,
+    metrics: CacheMetrics,
+}
+
+impl CacheServer {
+    /// Creates a server with the default expert (f=2, s=100 KB) installed;
+    /// call [`CacheServer::set_policy`] to choose another.
+    pub fn new(config: CacheConfig) -> Self {
+        let hoc = Store::new(config.hoc_bytes, config.hoc_eviction);
+        let dc = Store::new(config.dc_bytes, config.dc_eviction);
+        let freq = FreqTracker::new(config.frequency);
+        let dc_filter = BloomFilter::with_capacity(config.expected_unique_objects);
+        Self {
+            config,
+            hoc,
+            dc,
+            policy: Box::new(ThresholdPolicy::new(2, 100 * 1024)),
+            freq,
+            last_access: HashMap::new(),
+            dc_filter,
+            metrics: CacheMetrics::default(),
+        }
+    }
+
+    /// Installs a new HOC admission policy (takes effect on the next
+    /// request). This is Darwin's actuation point: deploying an expert is
+    /// exactly this call.
+    pub fn set_policy<P: AdmissionPolicy + 'static>(&mut self, policy: P) {
+        self.policy = Box::new(policy);
+    }
+
+    /// Label of the currently deployed admission policy.
+    pub fn policy_label(&self) -> String {
+        self.policy.label()
+    }
+
+    /// The configuration this server was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Cumulative metrics since construction.
+    pub fn metrics(&self) -> CacheMetrics {
+        self.metrics
+    }
+
+    /// Bytes currently resident in the HOC.
+    pub fn hoc_used_bytes(&self) -> u64 {
+        self.hoc.used_bytes()
+    }
+
+    /// Bytes currently resident in the DC.
+    pub fn dc_used_bytes(&self) -> u64 {
+        self.dc.used_bytes()
+    }
+
+    /// Processes one request through the two-level hierarchy, returning where
+    /// it was served from.
+    pub fn process(&mut self, req: &Request) -> RequestOutcome {
+        let frequency = self.freq.increment(req.id);
+        let recency_us = self
+            .last_access
+            .insert(req.id, req.timestamp_us)
+            .map(|prev| req.timestamp_us.saturating_sub(prev));
+
+        self.metrics.requests += 1;
+        self.metrics.bytes_total += req.size;
+
+        // Level 1: HOC.
+        if self.hoc.touch(req.id) {
+            self.metrics.hoc_hits += 1;
+            self.metrics.bytes_hoc_hit += req.size;
+            return RequestOutcome::HocHit;
+        }
+
+        // Level 2: DC (and possible promotion into the HOC).
+        let outcome = if self.dc.touch(req.id) {
+            self.metrics.dc_hits += 1;
+            self.metrics.bytes_dc_hit += req.size;
+            RequestOutcome::DcHit
+        } else {
+            self.metrics.origin_fetches += 1;
+            self.metrics.bytes_origin += req.size;
+            // DC admission: only on a repeat request (Bloom-filtered).
+            if self.dc_filter.insert(req.id) {
+                let evicted = self.dc.insert(req.id, req.size);
+                if self.dc.contains(req.id) {
+                    self.metrics.dc_writes += 1;
+                    self.metrics.dc_write_bytes += req.size;
+                }
+                self.metrics.dc_evictions += evicted.len() as u64;
+            }
+            RequestOutcome::OriginFetch
+        };
+
+        // HOC admission (promotion) — the expert decision.
+        let view = ObjectView {
+            id: req.id,
+            size: req.size,
+            frequency,
+            recency_us,
+            now_us: req.timestamp_us,
+        };
+        if self.policy.admit(&view) {
+            let evicted = self.hoc.insert(req.id, req.size);
+            if self.hoc.contains(req.id) {
+                self.metrics.hoc_writes += 1;
+                self.metrics.hoc_write_bytes += req.size;
+            }
+            self.metrics.hoc_evictions += evicted.len() as u64;
+        }
+        outcome
+    }
+
+    /// Processes a whole trace, returning the metrics accumulated over it
+    /// (cumulative metrics minus the pre-trace snapshot).
+    pub fn process_trace(&mut self, trace: &darwin_trace::Trace) -> CacheMetrics {
+        let before = self.metrics;
+        for r in trace {
+            self.process(r);
+        }
+        self.metrics.diff(&before)
+    }
+}
+
+/// A standalone HOC-only simulator.
+///
+/// Shadow caches (HillClimbing baseline) and offline expert evaluation need
+/// HOC hit/miss behaviour only; omitting the DC makes them several times
+/// cheaper and — because HOC admission depends only on per-object frequency,
+/// size and recency, not on DC state — exactly as accurate for HOC metrics.
+pub struct HocSim {
+    hoc: Store,
+    policy: ThresholdPolicy,
+    freq: FreqTracker,
+    last_access: HashMap<ObjectId, u64>,
+    metrics: CacheMetrics,
+}
+
+impl HocSim {
+    /// HOC-only simulator with the given capacity, eviction and expert.
+    pub fn new(hoc_bytes: u64, eviction: EvictionKind, policy: ThresholdPolicy) -> Self {
+        Self {
+            hoc: Store::new(hoc_bytes, eviction),
+            policy,
+            freq: FreqTracker::new(FrequencyMode::Exact),
+            last_access: HashMap::new(),
+            metrics: CacheMetrics::default(),
+        }
+    }
+
+    /// LRU HOC with the paper's default size.
+    pub fn paper_default(policy: ThresholdPolicy) -> Self {
+        Self::new(100 * 1024 * 1024, EvictionKind::Lru, policy)
+    }
+
+    /// The installed expert.
+    pub fn policy(&self) -> ThresholdPolicy {
+        self.policy
+    }
+
+    /// Swaps the expert in place (state is retained — this is what deploying
+    /// a new expert on a warm cache does).
+    pub fn set_policy(&mut self, policy: ThresholdPolicy) {
+        self.policy = policy;
+    }
+
+    /// Cumulative metrics. Only HOC-related counters are populated; requests
+    /// not served by the HOC are counted as origin fetches.
+    pub fn metrics(&self) -> CacheMetrics {
+        self.metrics
+    }
+
+    /// Processes one request; returns true on a HOC hit.
+    pub fn process(&mut self, req: &Request) -> bool {
+        let frequency = self.freq.increment(req.id);
+        let recency_us = self
+            .last_access
+            .insert(req.id, req.timestamp_us)
+            .map(|prev| req.timestamp_us.saturating_sub(prev));
+
+        self.metrics.requests += 1;
+        self.metrics.bytes_total += req.size;
+
+        if self.hoc.touch(req.id) {
+            self.metrics.hoc_hits += 1;
+            self.metrics.bytes_hoc_hit += req.size;
+            return true;
+        }
+        self.metrics.origin_fetches += 1;
+        self.metrics.bytes_origin += req.size;
+
+        let view = ObjectView {
+            id: req.id,
+            size: req.size,
+            frequency,
+            recency_us,
+            now_us: req.timestamp_us,
+        };
+        let mut policy = self.policy;
+        if policy.admit(&view) {
+            let evicted = self.hoc.insert(req.id, req.size);
+            if self.hoc.contains(req.id) {
+                self.metrics.hoc_writes += 1;
+                self.metrics.hoc_write_bytes += req.size;
+            }
+            self.metrics.hoc_evictions += evicted.len() as u64;
+        }
+        false
+    }
+
+    /// Runs a whole trace, returning the per-request HOC hit indicators —
+    /// the raw material for cross-expert predictor training (§4.1 needs the
+    /// joint hit/miss behaviour of expert pairs on the same trace).
+    pub fn run_trace_recording(&mut self, trace: &darwin_trace::Trace) -> Vec<bool> {
+        trace.iter().map(|r| self.process(r)).collect()
+    }
+
+    /// Runs a whole trace, returning the metrics window for it.
+    pub fn run_trace(&mut self, trace: &darwin_trace::Trace) -> CacheMetrics {
+        let before = self.metrics;
+        for r in trace {
+            self.process(r);
+        }
+        self.metrics.diff(&before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AlwaysAdmit;
+    use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
+
+    fn req(id: u64, size: u64, ts: u64) -> Request {
+        Request::new(id, size, ts)
+    }
+
+    #[test]
+    fn second_request_admits_to_dc_not_first() {
+        let mut s = CacheServer::new(CacheConfig::small_test());
+        s.set_policy(ThresholdPolicy::new(100, 1)); // effectively never admit to HOC
+        assert_eq!(s.process(&req(1, 100, 0)), RequestOutcome::OriginFetch);
+        assert_eq!(s.metrics().dc_writes, 0, "one-hit wonder must not be written to DC");
+        assert_eq!(s.process(&req(1, 100, 1)), RequestOutcome::OriginFetch);
+        assert_eq!(s.metrics().dc_writes, 1, "second request admits to DC");
+        assert_eq!(s.process(&req(1, 100, 2)), RequestOutcome::DcHit);
+    }
+
+    #[test]
+    fn hoc_promotion_respects_f_threshold() {
+        let mut s = CacheServer::new(CacheConfig::small_test());
+        s.set_policy(ThresholdPolicy::new(2, 1024 * 1024));
+        // Requests 1 and 2: freq 1,2 ≤ f=2 ⇒ no promotion.
+        s.process(&req(7, 100, 0));
+        s.process(&req(7, 100, 1));
+        assert_eq!(s.metrics().hoc_writes, 0);
+        // Request 3: freq 3 > 2 ⇒ promoted.
+        let out = s.process(&req(7, 100, 2));
+        assert_eq!(out, RequestOutcome::DcHit);
+        assert_eq!(s.metrics().hoc_writes, 1);
+        // Request 4: HOC hit.
+        assert_eq!(s.process(&req(7, 100, 3)), RequestOutcome::HocHit);
+    }
+
+    #[test]
+    fn hoc_promotion_respects_size_threshold() {
+        let mut s = CacheServer::new(CacheConfig::small_test());
+        s.set_policy(ThresholdPolicy::new(0, 50));
+        s.process(&req(1, 51, 0));
+        s.process(&req(1, 51, 1));
+        assert_eq!(s.metrics().hoc_writes, 0, "oversized object promoted");
+        s.process(&req(2, 50, 2));
+        assert_eq!(s.metrics().hoc_writes, 1, "size-threshold object not promoted");
+    }
+
+    #[test]
+    fn promotion_can_happen_from_origin_fetch_path() {
+        // f=1: the 2nd request admits; the 2nd request is also the one that
+        // admits into the DC, so HOC promotion happens on the origin path.
+        let mut s = CacheServer::new(CacheConfig::small_test());
+        s.set_policy(ThresholdPolicy::new(1, 1024));
+        s.process(&req(3, 10, 0));
+        assert_eq!(s.process(&req(3, 10, 1)), RequestOutcome::OriginFetch);
+        assert_eq!(s.metrics().hoc_writes, 1);
+        assert_eq!(s.process(&req(3, 10, 2)), RequestOutcome::HocHit);
+    }
+
+    #[test]
+    fn metrics_accounting_is_consistent() {
+        let trace =
+            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 3).generate(30_000);
+        let mut s = CacheServer::new(CacheConfig::small_test());
+        s.set_policy(ThresholdPolicy::new(1, 200 * 1024));
+        let m = s.process_trace(&trace);
+        assert_eq!(m.requests as usize, trace.len());
+        assert_eq!(m.hoc_hits + m.dc_hits + m.origin_fetches, m.requests);
+        assert_eq!(m.bytes_hoc_hit + m.bytes_dc_hit + m.bytes_origin, m.bytes_total);
+        assert!(m.hoc_ohr() > 0.0, "some HOC hits expected");
+        assert!(s.hoc_used_bytes() <= s.config().hoc_bytes);
+        assert!(s.dc_used_bytes() <= s.config().dc_bytes);
+    }
+
+    #[test]
+    fn always_admit_gives_upper_bound_hoc_traffic() {
+        let trace =
+            TraceGenerator::new(MixSpec::single(TrafficClass::download()), 4).generate(20_000);
+        let mut strict = CacheServer::new(CacheConfig::small_test());
+        strict.set_policy(ThresholdPolicy::new(50, 10));
+        let m_strict = strict.process_trace(&trace);
+
+        let mut open = CacheServer::new(CacheConfig::small_test());
+        open.set_policy(AlwaysAdmit);
+        let m_open = open.process_trace(&trace);
+
+        assert!(m_open.hoc_writes > m_strict.hoc_writes);
+    }
+
+    #[test]
+    fn hocsim_matches_cacheserver_hoc_behaviour() {
+        // With a DC large enough to never evict, HOC hit sequences of the
+        // full server and the HOC-only sim must be identical.
+        let trace =
+            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 5).generate(20_000);
+        let policy = ThresholdPolicy::new(2, 100 * 1024);
+
+        let mut full = CacheServer::new(CacheConfig {
+            dc_bytes: u64::MAX / 2,
+            ..CacheConfig::small_test()
+        });
+        full.set_policy(policy);
+        let full_hits: Vec<bool> =
+            trace.iter().map(|r| full.process(r).is_hoc_hit()).collect();
+
+        let mut sim = HocSim::new(1024 * 1024, EvictionKind::Lru, policy);
+        let sim_hits = sim.run_trace_recording(&trace);
+
+        assert_eq!(full_hits, sim_hits);
+    }
+
+    #[test]
+    fn policy_swap_retains_cache_state() {
+        let mut sim = HocSim::new(10_000, EvictionKind::Lru, ThresholdPolicy::new(0, 10_000));
+        sim.process(&req(1, 100, 0)); // admitted (f=0 ⇒ first request admits)
+        sim.set_policy(ThresholdPolicy::new(100, 1)); // never admit from now on
+        assert!(sim.process(&req(1, 100, 1)), "object admitted earlier must still hit");
+    }
+
+    #[test]
+    fn recency_knob_requires_recent_rerequest() {
+        let mut sim = HocSim::new(
+            10_000,
+            EvictionKind::Lru,
+            ThresholdPolicy::with_recency(0, 10_000, 100),
+        );
+        sim.process(&req(1, 10, 0)); // first sighting: no recency ⇒ no admit
+        assert!(!sim.process(&req(1, 10, 500)), "gap 500 > r=100 ⇒ not admitted before");
+        // gap 50 ≤ 100 ⇒ admitted now.
+        assert!(!sim.process(&req(1, 10, 550)));
+        assert!(sim.process(&req(1, 10, 560)), "admitted on previous request ⇒ hit");
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_window() {
+        let mut s = CacheServer::new(CacheConfig::small_test());
+        let m = s.process_trace(&Trace::default());
+        assert_eq!(m, CacheMetrics::default());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Request and byte accounting always balances across the levels,
+        /// and capacities are never exceeded.
+        #[test]
+        fn conservation_laws(
+            reqs in proptest::collection::vec((0u64..50, 1u64..200_000), 1..400)
+        ) {
+            let mut s = CacheServer::new(CacheConfig {
+                hoc_bytes: 256 * 1024,
+                dc_bytes: 4 * 1024 * 1024,
+                ..CacheConfig::small_test()
+            });
+            s.set_policy(ThresholdPolicy::new(1, 100 * 1024));
+            let mut sizes = std::collections::HashMap::new();
+            for (i, (id, size)) in reqs.iter().enumerate() {
+                // Object sizes must be consistent within a trace.
+                let size = *sizes.entry(*id).or_insert(*size);
+                s.process(&Request::new(*id, size, i as u64));
+                let m = s.metrics();
+                prop_assert_eq!(m.hoc_hits + m.dc_hits + m.origin_fetches, m.requests);
+                prop_assert_eq!(
+                    m.bytes_hoc_hit + m.bytes_dc_hit + m.bytes_origin,
+                    m.bytes_total
+                );
+                prop_assert!(s.hoc_used_bytes() <= 256 * 1024);
+                prop_assert!(s.dc_used_bytes() <= 4 * 1024 * 1024);
+            }
+        }
+    }
+}
+

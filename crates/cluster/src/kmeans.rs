@@ -1,0 +1,275 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! The cluster count `N_clusters` "can be tuned as necessary" (Appendix A.1;
+//! the paper's evaluation uses 52 clusters over its offline corpus). Empty
+//! clusters are re-seeded from the point farthest from its centroid, so the
+//! model always returns exactly `k` centroids.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    /// Final within-cluster sum of squared distances.
+    inertia: f64,
+    iterations_run: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Fits `k` clusters on `data` with at most `max_iters` Lloyd iterations.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty, `k` is 0, or rows have differing lengths.
+    pub fn fit(data: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot cluster an empty data set");
+        assert!(k > 0, "k must be positive");
+        let dim = data[0].len();
+        assert!(data.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+        let k = k.min(data.len());
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        let mut centroids = Self::plus_plus_init(data, k, &mut rng);
+        let mut assignment = vec![usize::MAX; data.len()];
+        let mut iterations_run = 0;
+
+        for iter in 0..max_iters.max(1) {
+            iterations_run = iter + 1;
+            // Assignment step.
+            let mut changed = false;
+            for (i, row) in data.iter().enumerate() {
+                let best = Self::nearest(&centroids, row).0;
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed && iter > 0 {
+                break;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (row, &a) in data.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(row) {
+                    *s += x;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the point farthest from its
+                    // current centroid assignment.
+                    let far = data
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            let da = sq_dist(a, &centroids[assignment[0]]);
+                            let db = sq_dist(b, &centroids[assignment[0]]);
+                            da.partial_cmp(&db).unwrap()
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    centroids[c] = data[far].clone();
+                } else {
+                    for (cv, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                        *cv = s / counts[c] as f64;
+                    }
+                }
+            }
+        }
+
+        let inertia = data
+            .iter()
+            .map(|row| Self::nearest(&centroids, row).1)
+            .sum();
+        Self { centroids, inertia, iterations_run }
+    }
+
+    fn plus_plus_init(data: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+        let mut centroids = Vec::with_capacity(k);
+        centroids.push(data[rng.gen_range(0..data.len())].clone());
+        while centroids.len() < k {
+            // Distance-squared weighted sampling.
+            let d2: Vec<f64> = data
+                .iter()
+                .map(|row| {
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(row, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            if total <= 0.0 {
+                // All points coincide with existing centroids; duplicate one.
+                centroids.push(data[rng.gen_range(0..data.len())].clone());
+                continue;
+            }
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = data.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            centroids.push(data[chosen].clone());
+        }
+        centroids
+    }
+
+    fn nearest(centroids: &[Vec<f64>], row: &[f64]) -> (usize, f64) {
+        let mut best = (0, f64::INFINITY);
+        for (i, c) in centroids.iter().enumerate() {
+            let d = sq_dist(c, row);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    /// Index of the cluster whose centroid is nearest to `v` — Darwin's
+    /// online cluster lookup.
+    pub fn assign(&self, v: &[f64]) -> usize {
+        assert_eq!(v.len(), self.centroids[0].len(), "dimension mismatch");
+        Self::nearest(&self.centroids, v).0
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Within-cluster sum of squared distances at convergence.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Lloyd iterations actually run.
+    pub fn iterations_run(&self) -> usize {
+        self.iterations_run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_data() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..20 {
+            data.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+            data.push(vec![10.0 + i as f64 * 0.01, 10.0]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let km = KMeans::fit(&two_blob_data(), 2, 100, 1);
+        let a = km.assign(&[0.1, 0.0]);
+        let b = km.assign(&[10.1, 10.0]);
+        assert_ne!(a, b);
+        // All blob-0 points agree.
+        for i in 0..20 {
+            assert_eq!(km.assign(&[i as f64 * 0.01, 0.0]), a);
+        }
+    }
+
+    #[test]
+    fn centroid_is_cluster_mean() {
+        let data = vec![vec![0.0], vec![2.0], vec![100.0], vec![102.0]];
+        let km = KMeans::fit(&data, 2, 100, 3);
+        let mut cs: Vec<f64> = km.centroids().iter().map(|c| c[0]).collect();
+        cs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((cs[0] - 1.0).abs() < 1e-9);
+        assert!((cs[1] - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_clamped_to_data_size() {
+        let data = vec![vec![1.0], vec![2.0]];
+        let km = KMeans::fit(&data, 10, 50, 4);
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let d = two_blob_data();
+        let a = KMeans::fit(&d, 3, 100, 7);
+        let b = KMeans::fit(&d, 3, 100, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assignment_is_nearest_centroid() {
+        let km = KMeans::fit(&two_blob_data(), 2, 100, 9);
+        let v = vec![4.0, 4.0];
+        let assigned = km.assign(&v);
+        let dists: Vec<f64> = km
+            .centroids()
+            .iter()
+            .map(|c| c.iter().zip(&v).map(|(a, b)| (a - b) * (a - b)).sum())
+            .collect();
+        let best = dists
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(assigned, best);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let d = two_blob_data();
+        let k1 = KMeans::fit(&d, 1, 100, 5);
+        let k2 = KMeans::fit(&d, 2, 100, 5);
+        assert!(k2.inertia() < k1.inertia());
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let d = vec![vec![1.0, 1.0]; 10];
+        let km = KMeans::fit(&d, 3, 50, 6);
+        assert_eq!(km.assign(&[1.0, 1.0]), km.assign(&[1.0, 1.0]));
+        assert!(km.inertia() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every point must be assigned to its genuinely nearest centroid.
+        #[test]
+        fn assignment_optimality(points in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 3), 4..60), k in 1usize..6) {
+            let km = KMeans::fit(&points, k, 50, 11);
+            for p in &points {
+                let assigned = km.assign(p);
+                for (i, c) in km.centroids().iter().enumerate() {
+                    let da: f64 = km.centroids()[assigned].iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let di: f64 = c.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+                    prop_assert!(da <= di + 1e-9, "point assigned to {} but {} is nearer", assigned, i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Z-score feature normalization.
+//!
+//! Darwin's features mix units (bytes, microseconds, cumulative bytes) whose
+//! magnitudes differ by many orders; unnormalized Euclidean k-means would be
+//! dominated by the stack-distance entries. The normalizer is fit on the
+//! offline corpus and shipped inside the trained model so online feature
+//! vectors are transformed identically.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension z-score transform fit on a data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits means and standard deviations per dimension. Dimensions with
+    /// zero variance get std 1 (they transform to 0 and never influence
+    /// distances).
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or rows have inconsistent lengths.
+    pub fn fit(data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "cannot fit a normalizer on no data");
+        let dim = data[0].len();
+        assert!(data.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+        let n = data.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in data {
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        means.iter_mut().for_each(|m| *m /= n);
+        let mut vars = vec![0.0; dim];
+        for row in data {
+            for ((v, &m), &x) in vars.iter_mut().zip(&means).zip(row) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Dimensionality the normalizer was fit on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transforms one vector.
+    pub fn transform(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.dim(), "dimension mismatch");
+        v.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Inverse transform (for reporting centroids in original units).
+    pub fn inverse(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.dim(), "dimension mismatch");
+        v.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&z, (&m, &s))| z * s + m)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_data_has_zero_mean_unit_std() {
+        let data = vec![vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 500.0]];
+        let n = Normalizer::fit(&data);
+        let t: Vec<Vec<f64>> = data.iter().map(|v| n.transform(v)).collect();
+        for d in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| (r[d] - mean).powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let data = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let n = Normalizer::fit(&data);
+        assert_eq!(n.transform(&[7.0]), vec![0.0]);
+        assert_eq!(n.transform(&[8.0]), vec![1.0]); // std fell back to 1
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let data = vec![vec![1.0, -5.0], vec![2.0, 10.0], vec![9.0, 0.0]];
+        let n = Normalizer::fit(&data);
+        for row in &data {
+            let back = n.inverse(&n.transform(row));
+            for (a, b) in back.iter().zip(row) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        Normalizer::fit(&[]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// transform ∘ inverse is the identity for any fit.
+        #[test]
+        fn inverse_is_right_inverse(
+            data in proptest::collection::vec(
+                proptest::collection::vec(-1e6f64..1e6, 3), 2..30),
+            probe in proptest::collection::vec(-1e6f64..1e6, 3),
+        ) {
+            let n = Normalizer::fit(&data);
+            let back = n.inverse(&n.transform(&probe));
+            for (a, b) in back.iter().zip(&probe) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+            }
+        }
+    }
+}
+

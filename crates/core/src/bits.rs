@@ -1,0 +1,135 @@
+//! Packed bitsets for per-request hit indicators.
+//!
+//! Cross-expert predictor training needs, for every expert pair (i, j) and
+//! every trace, the joint hit/miss counts over the trace's requests (§4.1's
+//! type (a)/(b)/(c) request classification). Storing one bit per request per
+//! expert and intersecting with word-wise popcounts keeps this cheap: 36
+//! experts × 1 M requests is 4.5 MB and a pair intersection is ~16 k
+//! popcounts.
+
+/// A fixed-length packed bit vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// An all-zeros bitset of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Builds from an iterator of booleans.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        let mut b = Bitset::new(bools.len());
+        for (i, &v) in bools.iter().enumerate() {
+            if v {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitset holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index out of range");
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index out of range");
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of positions set in both `self` and `other`.
+    pub fn and_count(&self, other: &Bitset) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of positions cleared in `self` but set in `other`.
+    pub fn andnot_count(&self, other: &Bitset) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let full = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (!a & b).count_ones() as usize)
+            .sum::<usize>();
+        // Mask out phantom bits beyond `len` in the last word: they are 0 in
+        // `self`, so `!a` sets them — but `other` has 0 there too, so the
+        // AND clears them. No correction needed; kept for clarity.
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitset::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_bools_matches() {
+        let pattern: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let b = Bitset::from_bools(pattern.iter().copied());
+        for (i, &v) in pattern.iter().enumerate() {
+            assert_eq!(b.get(i), v);
+        }
+        assert_eq!(b.count_ones(), pattern.iter().filter(|&&v| v).count());
+    }
+
+    #[test]
+    fn and_and_andnot_counts() {
+        let a = Bitset::from_bools((0..200).map(|i| i % 2 == 0));
+        let b = Bitset::from_bools((0..200).map(|i| i % 3 == 0));
+        let both = (0..200).filter(|i| i % 2 == 0 && i % 3 == 0).count();
+        let only_b = (0..200).filter(|i| i % 2 != 0 && i % 3 == 0).count();
+        assert_eq!(a.and_count(&b), both);
+        assert_eq!(a.andnot_count(&b), only_b);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = Bitset::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Bitset::new(10).get(10);
+    }
+}

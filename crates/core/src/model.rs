@@ -1,0 +1,416 @@
+//! The trained Darwin model: everything the online phase needs.
+//!
+//! Holds the feature normalizers, the k-means clusters, the per-cluster best
+//! expert sets, the cross-expert predictor nets, and corpus statistics used
+//! to bootstrap online estimates. The model is serializable so offline
+//! training (periodic, possibly on a different machine) can ship artifacts
+//! to cache servers — mirroring how the paper's prototype "looks up the
+//! cluster and loads the corresponding best experts into memory" at the end
+//! of the feature-collection stage.
+
+use crate::expert::ExpertGrid;
+use darwin_bandit::SideInfo;
+use darwin_cache::Objective;
+use darwin_cluster::{KMeans, Normalizer};
+use darwin_features::{FeatureVector, SizeDistribution};
+use darwin_nn::Mlp;
+use serde::{Deserialize, Serialize};
+
+/// A trained cross-expert predictor `M_{i,j}`: maps normalized extended
+/// features to `[P(E_j hit | E_i hit), P(E_j hit | E_i miss)]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairPredictor {
+    /// The underlying net (2 sigmoid outputs).
+    pub net: Mlp,
+}
+
+/// The serializable product of offline training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DarwinModel {
+    grid: ExpertGrid,
+    objective: Objective,
+    base_normalizer: Normalizer,
+    ext_normalizer: Normalizer,
+    kmeans: KMeans,
+    cluster_sets: Vec<Vec<usize>>,
+    /// `predictors[i][j]`: net for ordered pair (i, j); `None` where the
+    /// pair never co-occurs in a cluster set (fallback table used instead).
+    predictors: Vec<Vec<Option<PairPredictor>>>,
+    /// Corpus-mean conditionals per pair (fallback when no net exists).
+    fallback_cond: Vec<Vec<(f64, f64)>>,
+    /// Corpus-mean hit rate per expert (marginal bootstrap).
+    mean_hit_rates: Vec<f64>,
+    theta_percent: f64,
+}
+
+impl DarwinModel {
+    /// Assembles a model (called by the offline trainer).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        grid: ExpertGrid,
+        objective: Objective,
+        base_normalizer: Normalizer,
+        ext_normalizer: Normalizer,
+        kmeans: KMeans,
+        cluster_sets: Vec<Vec<usize>>,
+        predictors: Vec<Vec<Option<PairPredictor>>>,
+        fallback_cond: Vec<Vec<(f64, f64)>>,
+        mean_hit_rates: Vec<f64>,
+        theta_percent: f64,
+    ) -> Self {
+        assert_eq!(cluster_sets.len(), kmeans.k(), "cluster set per centroid");
+        assert_eq!(predictors.len(), grid.len(), "predictor matrix square in experts");
+        assert_eq!(mean_hit_rates.len(), grid.len(), "one marginal per expert");
+        Self {
+            grid,
+            objective,
+            base_normalizer,
+            ext_normalizer,
+            kmeans,
+            cluster_sets,
+            predictors,
+            fallback_cond,
+            mean_hit_rates,
+            theta_percent,
+        }
+    }
+
+    /// The expert action space.
+    pub fn grid(&self) -> &ExpertGrid {
+        &self.grid
+    }
+
+    /// The objective this model was trained for.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The θ used for expert-set association.
+    pub fn theta_percent(&self) -> f64 {
+        self.theta_percent
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.kmeans.k()
+    }
+
+    /// Online cluster lookup from a raw (unnormalized) 15-entry feature
+    /// vector.
+    pub fn lookup_cluster(&self, features: &FeatureVector) -> usize {
+        let z = self.base_normalizer.transform(features.values());
+        self.kmeans.assign(&z)
+    }
+
+    /// The best-expert set (indices into [`Self::grid`]) of a cluster.
+    pub fn expert_set(&self, cluster: usize) -> &[usize] {
+        &self.cluster_sets[cluster]
+    }
+
+    /// All cluster sets (for the clustering-effectiveness experiments).
+    pub fn cluster_sets(&self) -> &[Vec<usize>] {
+        &self.cluster_sets
+    }
+
+    /// Corpus-mean hit rate of expert `e` (marginal bootstrap for Σ).
+    pub fn mean_hit_rate(&self, e: usize) -> f64 {
+        self.mean_hit_rates[e]
+    }
+
+    /// Predicted conditionals `(P(E_j hit | E_i hit), P(E_j hit | E_i miss))`
+    /// for a raw extended feature vector. Falls back to corpus means when no
+    /// net was trained for the pair.
+    pub fn conditionals(&self, i: usize, j: usize, extended: &FeatureVector) -> (f64, f64) {
+        if i == j {
+            return (1.0, 0.0);
+        }
+        match &self.predictors[i][j] {
+            Some(p) => {
+                // The predictors may have been trained on a prefix of the
+                // extended vector (the no-size-distribution ablation); feed
+                // exactly the dimensionality their normalizer was fit on.
+                let take = self.ext_normalizer.dim().min(extended.len());
+                let z = self.ext_normalizer.transform(&extended.values()[..take]);
+                let out = p.net.forward(&z);
+                (out[0].clamp(0.0, 1.0), out[1].clamp(0.0, 1.0))
+            }
+            None => self.fallback_cond[i][j],
+        }
+    }
+
+    /// Whether a trained net exists for the ordered pair.
+    pub fn has_predictor(&self, i: usize, j: usize) -> bool {
+        self.predictors[i][j].is_some()
+    }
+
+    /// Predicted hit rate of expert `j` given that the deployed expert `i`
+    /// observed hit rate `p_i`: the fictitious-sample mean of §4.2,
+    /// `Y_j = P(E_j|E_i hit)·p̂_i + P(E_j|E_i miss)·(1 − p̂_i)`.
+    pub fn predict_hit_rate(
+        &self,
+        i: usize,
+        j: usize,
+        p_i: f64,
+        extended: &FeatureVector,
+    ) -> f64 {
+        let (hh, hm) = self.conditionals(i, j, extended);
+        (hh * p_i + hm * (1.0 - p_i)).clamp(0.0, 1.0)
+    }
+
+    /// Builds the side-information matrix Σ over the experts in `set`, for
+    /// the current traffic (extended features) and estimated marginal hit
+    /// rates. Per §4.1:
+    ///
+    /// ```text
+    /// σ²_{ij} = P(E_i hit)·V_hit(i,j) + P(E_i miss)·V_miss(i,j),
+    /// V_hit  = p·(1−p) with p = P(E_j hit | E_i hit)   (V_miss analogous)
+    /// ```
+    ///
+    /// These are per-request Bernoulli variances; a round averages
+    /// `effective_samples` approximately-independent requests, so the round
+    /// reward variance is scaled by `1 / effective_samples`, floored at
+    /// `min_variance` to keep Σ positive.
+    pub fn side_info(
+        &self,
+        set: &[usize],
+        extended: &FeatureVector,
+        marginals: &[f64],
+        effective_samples: f64,
+        min_variance: f64,
+    ) -> SideInfo {
+        assert_eq!(set.len(), marginals.len(), "one marginal per set member");
+        assert!(effective_samples >= 1.0, "effective samples must be ≥ 1");
+        let k = set.len();
+        let mut m = vec![vec![min_variance; k]; k];
+        for (a, &i) in set.iter().enumerate() {
+            let p_i = marginals[a].clamp(0.0, 1.0);
+            for (b, &j) in set.iter().enumerate() {
+                let (hh, hm) = if i == j {
+                    // Deployed expert: real Bernoulli observation.
+                    (marginals[b], marginals[b])
+                } else {
+                    self.conditionals(i, j, extended)
+                };
+                let v_hit = hh * (1.0 - hh);
+                let v_miss = hm * (1.0 - hm);
+                let v = p_i * v_hit + (1.0 - p_i) * v_miss;
+                m[a][b] = (v / effective_samples).max(min_variance);
+            }
+        }
+        SideInfo::new(m)
+    }
+
+    /// Estimates marginal hit rates for the experts in `set`, seeding the
+    /// side-information matrix before any deployment: the corpus mean,
+    /// optionally refined from the warm-up expert's observed hit rate via
+    /// the predictors.
+    pub fn bootstrap_marginals(
+        &self,
+        set: &[usize],
+        extended: &FeatureVector,
+        warmup: Option<(usize, f64)>,
+    ) -> Vec<f64> {
+        set.iter()
+            .map(|&j| match warmup {
+                Some((i, p_i)) if i != j => self.predict_hit_rate(i, j, p_i, extended),
+                Some((_, p_i)) => p_i,
+                None => self.mean_hit_rate(j),
+            })
+            .collect()
+    }
+
+    /// Converts a (possibly predicted) HOC hit rate of expert `e` into the
+    /// model's objective reward, using the observed size distribution — the
+    /// §6.3 recipe for optimizing BMR and disk-write objectives with the
+    /// existing OHR predictors.
+    pub fn hit_rate_to_reward(
+        &self,
+        e: usize,
+        hit_rate: f64,
+        size_dist: &SizeDistribution,
+    ) -> f64 {
+        let mean_all = size_dist.mean_size();
+        match self.objective {
+            Objective::HocOhr | Objective::TotalOhr => hit_rate,
+            Objective::HocBmr => {
+                if mean_all <= 0.0 {
+                    return 0.0;
+                }
+                // Hits happen only among requests the expert can admit
+                // (size ≤ s): approximate hit bytes/request by
+                // hit_rate × mean size of admissible requests.
+                let mean_small = mean_size_at_most(size_dist, self.grid.get(e).s_bytes());
+                
+                (hit_rate * mean_small / mean_all).clamp(0.0, 1.0) // reward = 1 − BMR = byte hit ratio
+            }
+            Objective::OhrMinusDiskWrites { weight_per_mib } => {
+                let mean_small = mean_size_at_most(size_dist, self.grid.get(e).s_bytes());
+                let hit_bytes_per_req = hit_rate * mean_small;
+                let missed_mib = (mean_all - hit_bytes_per_req).max(0.0) / (1024.0 * 1024.0);
+                hit_rate - weight_per_mib * missed_mib
+            }
+        }
+    }
+
+    /// Serializes the model to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Restores a model from [`DarwinModel::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the model to a file (the artifact offline training ships to
+    /// cache servers).
+    pub fn save_to_file<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a model previously written by [`DarwinModel::save_to_file`].
+    pub fn load_from_file<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Rough in-memory footprint of the model in bytes — the §6.4 memory
+    /// discussion: the cross-expert prediction networks dominate ("the
+    /// largest memory usage is for the cross-expert prediction networks").
+    pub fn memory_footprint_bytes(&self) -> usize {
+        let f64s = std::mem::size_of::<f64>();
+        let mut predictors = 0usize;
+        for row in &self.predictors {
+            for p in row.iter().flatten() {
+                // 1-hidden-layer net: (in+1)×hidden + (hidden+1)×out params.
+                let h = p.net.n_hidden();
+                let hidden_params = (p.net.n_in() + 1) * h;
+                let out_params = (h + 1) * p.net.n_out();
+                predictors += (hidden_params + out_params) * f64s;
+            }
+        }
+        let clusters = self.kmeans.centroids().len()
+            * self.kmeans.centroids().first().map(|c| c.len()).unwrap_or(0)
+            * f64s;
+        let fallback = self.fallback_cond.len() * self.fallback_cond.len() * 2 * f64s;
+        let sets: usize =
+            self.cluster_sets.iter().map(|s| s.len() * std::mem::size_of::<usize>()).sum();
+        predictors + clusters + fallback + sets
+    }
+}
+
+/// Mean size of requests with size ≤ `s`, from the bucketized distribution
+/// (whole buckets whose range lies at or below `s`).
+fn mean_size_at_most(dist: &SizeDistribution, s: u64) -> f64 {
+    let cutoff = dist.bucket_of(s);
+    let fr = dist.fractions();
+    let means = dist.mean_size_per_bucket();
+    let mut mass = 0.0;
+    let mut bytes = 0.0;
+    for b in 0..=cutoff.min(fr.len() - 1) {
+        mass += fr[b];
+        bytes += fr[b] * means[b];
+    }
+    if mass <= 0.0 {
+        0.0
+    } else {
+        bytes / mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert::Expert;
+    use crate::offline::{OfflineConfig, OfflineTrainer};
+    use darwin_nn::TrainConfig;
+    use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
+
+    fn trained_model() -> (DarwinModel, Vec<crate::offline::EvaluatedTrace>) {
+        let cfg = OfflineConfig {
+            grid: ExpertGrid::new(vec![
+                Expert::new(1, 20),
+                Expert::new(1, 500),
+                Expert::new(5, 20),
+            ]),
+            hoc_bytes: 2 * 1024 * 1024,
+            nn_train: TrainConfig { epochs: 50, ..TrainConfig::default() },
+            n_clusters: 2,
+            ..OfflineConfig::default()
+        };
+        let trainer = OfflineTrainer::new(cfg);
+        let traces: Vec<_> = (0..5)
+            .map(|i| {
+                TraceGenerator::new(
+                    MixSpec::two_class(
+                        TrafficClass::image(),
+                        TrafficClass::download(),
+                        i as f64 / 4.0,
+                    ),
+                    50 + i as u64,
+                )
+                .generate(12_000)
+            })
+            .collect();
+        let evals = trainer.evaluate_corpus(&traces);
+        (trainer.train_from_evaluations(&evals), evals)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let (model, evals) = trained_model();
+        let back = DarwinModel::from_json(&model.to_json()).unwrap();
+        let f = &evals[0].extended;
+        assert_eq!(model.lookup_cluster(&evals[0].features), back.lookup_cluster(&evals[0].features));
+        let (a1, b1) = model.conditionals(0, 1, f);
+        let (a2, b2) = back.conditionals(0, 1, f);
+        assert!((a1 - a2).abs() < 1e-9 && (b1 - b2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn side_info_is_valid_and_scaled() {
+        let (model, evals) = trained_model();
+        let set = vec![0, 1, 2];
+        let marg = model.bootstrap_marginals(&set, &evals[0].extended, None);
+        let s1 = model.side_info(&set, &evals[0].extended, &marg, 100.0, 1e-6);
+        let s2 = model.side_info(&set, &evals[0].extended, &marg, 1000.0, 1e-6);
+        assert_eq!(s1.k(), 3);
+        // More effective samples ⇒ smaller variances.
+        assert!(s2.sigma2_max() <= s1.sigma2_max() + 1e-15);
+        assert!(s1.sigma2_min() >= 1e-6);
+    }
+
+    #[test]
+    fn bootstrap_marginals_use_warmup_observation() {
+        let (model, evals) = trained_model();
+        let set = vec![0, 1];
+        let m = model.bootstrap_marginals(&set, &evals[0].extended, Some((0, 0.42)));
+        assert!((m[0] - 0.42).abs() < 1e-12, "deployed expert keeps its observation");
+        assert!((0.0..=1.0).contains(&m[1]));
+    }
+
+    #[test]
+    fn predict_hit_rate_interpolates_conditionals() {
+        let (model, evals) = trained_model();
+        let f = &evals[0].extended;
+        let (hh, hm) = model.conditionals(0, 1, f);
+        let p = model.predict_hit_rate(0, 1, 0.5, f);
+        assert!((p - (0.5 * hh + 0.5 * hm)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_to_reward_identity_for_ohr() {
+        let (model, evals) = trained_model();
+        assert_eq!(model.hit_rate_to_reward(0, 0.37, &evals[0].size_dist), 0.37);
+    }
+
+    #[test]
+    fn mean_size_at_most_monotone() {
+        let (_, evals) = trained_model();
+        let d = &evals[0].size_dist;
+        let m_small = mean_size_at_most(d, 20 * 1024);
+        let m_large = mean_size_at_most(d, 1024 * 1024 * 1024);
+        assert!(m_small <= m_large + 1e-9);
+        assert!((m_large - d.mean_size()).abs() < 1e-6);
+    }
+}

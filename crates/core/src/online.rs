@@ -1,0 +1,552 @@
+//! Online expert identification and deployment (step 2, §4.2).
+//!
+//! [`OnlineController`] is the "brain" driven by a cache server: after the
+//! server processes each request, the controller ingests the request and the
+//! server's cumulative metrics, and occasionally returns a new expert to
+//! deploy. Each epoch of `Ne` requests runs three phases:
+//!
+//! * **Warm-up** (`N_warmup` requests): an arbitrary expert (the previous
+//!   epoch's choice) serves traffic while features are estimated; at the end
+//!   the cluster is looked up and its best-expert set loaded.
+//! * **Identify**: Track-and-Stop with Side Information deploys experts over
+//!   rounds of `N_round` requests. At each round end the deployed expert's
+//!   *real* reward is computed from the metrics window, fictitious rewards
+//!   for all other candidates are generated with the cross-expert
+//!   predictors, and the bandit decides the next deployment or stops.
+//! * **Deploy**: the identified best expert serves the rest of the epoch.
+//!
+//! `N_round` "is chosen to be sufficiently long such that the state of the
+//! cache … sufficiently de-correlates" — the controller models the residual
+//! correlation with `correlation_length` (requests per effectively
+//! independent sample) when scaling the per-request Bernoulli variances of
+//! §4.1 into per-round reward variances.
+
+use crate::expert::Expert;
+use crate::model::DarwinModel;
+use darwin_bandit::{TasConfig, TrackAndStopSideInfo};
+use darwin_cache::CacheMetrics;
+use darwin_features::{DriftDetector, FeatureExtractor, FeatureVector, SizeDistribution};
+use darwin_trace::Request;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Online-phase configuration. Defaults keep the paper's proportions
+/// (N_e = 100 M, N_warmup = 3 M, N_round = 0.5 M ⇒ 3 % / 0.5 %) at a
+/// laptop-friendly scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Epoch length N_e in requests.
+    pub epoch_requests: usize,
+    /// Warm-up (feature estimation) length N_warmup in requests.
+    pub warmup_requests: usize,
+    /// Bandit round length N_round in requests.
+    pub round_requests: usize,
+    /// Bandit failure probability δ.
+    pub delta: f64,
+    /// Stability stop: rounds of unchanged empirical best (paper: 5).
+    pub stability_rounds: Option<usize>,
+    /// Hard cap on identification rounds per epoch (0 = none).
+    pub max_identify_rounds: usize,
+    /// Requests per effectively independent reward sample within a round
+    /// (cache-state correlation); round variance = Bernoulli variance /
+    /// (round_requests / correlation_length).
+    pub correlation_length: f64,
+    /// Variance floor for the side-information matrix.
+    pub min_variance: f64,
+    /// Iterations of the α* optimizer per round.
+    pub alpha_iters: usize,
+    /// Extension beyond the paper: when set, a drift detector watches the
+    /// deployed phase (chunks of `round_requests`) and restarts the epoch —
+    /// warm-up, cluster lookup, identification — as soon as the live size
+    /// statistics deviate from the just-identified traffic by more than this
+    /// threshold (see [`darwin_features::DriftDetector`]; 0.2–0.8 sensible).
+    /// `None` reproduces the paper's fixed-length epochs.
+    pub drift_threshold: Option<f64>,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            epoch_requests: 100_000,
+            warmup_requests: 3_000,
+            round_requests: 500,
+            delta: 0.05,
+            stability_rounds: Some(5),
+            max_identify_rounds: 100,
+            correlation_length: 25.0,
+            min_variance: 1e-7,
+            alpha_iters: 120,
+            drift_threshold: None,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// Scales all request counts by `factor` (e.g. to approach paper scale).
+    pub fn scaled(&self, factor: usize) -> Self {
+        Self {
+            epoch_requests: self.epoch_requests * factor,
+            warmup_requests: self.warmup_requests * factor,
+            round_requests: self.round_requests * factor,
+            ..*self
+        }
+    }
+}
+
+/// The controller's current phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControllerPhase {
+    /// Feature estimation over the epoch's first `N_warmup` requests.
+    Warmup,
+    /// Bandit best-expert identification.
+    Identify,
+    /// Identified expert deployed for the rest of the epoch.
+    Deploy,
+}
+
+/// A recorded expert switch (for reporting and the Fig 5d experiment).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchEvent {
+    /// Global request index at which the switch took effect.
+    pub at_request: u64,
+    /// Grid index of the newly deployed expert.
+    pub expert: usize,
+    /// Phase that triggered the switch.
+    pub phase: ControllerPhase,
+}
+
+/// Per-epoch identification summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochSummary {
+    /// Cluster the warm-up features mapped to.
+    pub cluster: usize,
+    /// Size of the candidate expert set.
+    pub set_size: usize,
+    /// Bandit rounds used for identification (0 if the set was a singleton).
+    pub identify_rounds: usize,
+    /// Grid index of the expert deployed for the epoch tail.
+    pub chosen_expert: usize,
+}
+
+/// The online controller state machine.
+pub struct OnlineController {
+    model: Arc<DarwinModel>,
+    cfg: OnlineConfig,
+    phase: ControllerPhase,
+    epoch_request: usize,
+    global_request: u64,
+    current_expert: usize,
+    extractor: FeatureExtractor,
+    epoch_start_metrics: CacheMetrics,
+    // Identification state.
+    extended: Option<FeatureVector>,
+    size_dist: Option<SizeDistribution>,
+    set: Vec<usize>,
+    cluster: usize,
+    tas: Option<TrackAndStopSideInfo>,
+    round_start_metrics: CacheMetrics,
+    round_requests_seen: usize,
+    pending_arm: usize,
+    rounds_this_epoch: usize,
+    // Drift-restart extension.
+    drift: Option<DriftDetector>,
+    drift_restarts: usize,
+    // Reporting.
+    switches: Vec<SwitchEvent>,
+    epochs: Vec<EpochSummary>,
+}
+
+impl OnlineController {
+    /// New controller; the initial expert is grid index 0 until the first
+    /// identification completes (the paper lets the operator pick any).
+    pub fn new(model: Arc<DarwinModel>, cfg: OnlineConfig) -> Self {
+        assert!(cfg.warmup_requests > 0, "warm-up must be positive");
+        assert!(cfg.round_requests > 0, "round length must be positive");
+        assert!(
+            cfg.warmup_requests < cfg.epoch_requests,
+            "warm-up must fit inside an epoch"
+        );
+        Self {
+            model,
+            cfg,
+            phase: ControllerPhase::Warmup,
+            epoch_request: 0,
+            global_request: 0,
+            current_expert: 0,
+            extractor: FeatureExtractor::paper_default(),
+            epoch_start_metrics: CacheMetrics::default(),
+            extended: None,
+            size_dist: None,
+            set: Vec::new(),
+            cluster: 0,
+            tas: None,
+            round_start_metrics: CacheMetrics::default(),
+            round_requests_seen: 0,
+            pending_arm: 0,
+            rounds_this_epoch: 0,
+            drift: None,
+            drift_restarts: 0,
+            switches: Vec::new(),
+            epochs: Vec::new(),
+        }
+    }
+
+    /// The currently deployed expert.
+    pub fn current_expert(&self) -> Expert {
+        self.model.grid().get(self.current_expert)
+    }
+
+    /// Grid index of the currently deployed expert.
+    pub fn current_expert_index(&self) -> usize {
+        self.current_expert
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> ControllerPhase {
+        self.phase
+    }
+
+    /// All expert switches so far.
+    pub fn switches(&self) -> &[SwitchEvent] {
+        &self.switches
+    }
+
+    /// Completed epoch summaries.
+    pub fn epochs(&self) -> &[EpochSummary] {
+        &self.epochs
+    }
+
+    /// Number of drift-triggered early epoch restarts (0 unless the
+    /// `drift_threshold` extension is enabled).
+    pub fn drift_restarts(&self) -> usize {
+        self.drift_restarts
+    }
+
+    /// Ingests one processed request and the server's *cumulative* metrics
+    /// after processing it. Returns `Some(expert)` when the deployment must
+    /// change (the caller installs `expert.policy` on its server).
+    pub fn observe(&mut self, req: &Request, cumulative: &CacheMetrics) -> Option<Expert> {
+        self.global_request += 1;
+        self.epoch_request += 1;
+
+        let change = match self.phase {
+            ControllerPhase::Warmup => self.observe_warmup(req, cumulative),
+            ControllerPhase::Identify => self.observe_identify(cumulative),
+            ControllerPhase::Deploy => {
+                if let Some(detector) = &mut self.drift {
+                    if detector.observe(req) {
+                        self.drift_restarts += 1;
+                        self.start_new_epoch(cumulative);
+                        return None;
+                    }
+                }
+                None
+            }
+        };
+
+        // Epoch rollover (any phase; unfinished identification is abandoned
+        // in favour of its current recommendation).
+        if self.epoch_request >= self.cfg.epoch_requests {
+            self.start_new_epoch(cumulative);
+        }
+        change
+    }
+
+    fn observe_warmup(&mut self, req: &Request, cumulative: &CacheMetrics) -> Option<Expert> {
+        self.extractor.observe(req);
+        if self.epoch_request < self.cfg.warmup_requests {
+            return None;
+        }
+        // Warm-up complete: cluster lookup and expert-set load.
+        let features = self.extractor.features();
+        let extended = self.extractor.extended_features();
+        let size_dist = self.extractor.size_distribution().clone();
+        self.cluster = self.model.lookup_cluster(&features);
+        self.set = self.model.expert_set(self.cluster).to_vec();
+        self.extended = Some(extended);
+        self.size_dist = Some(size_dist);
+        self.rounds_this_epoch = 0;
+
+        if self.set.len() == 1 {
+            let chosen = self.set[0];
+            self.phase = ControllerPhase::Deploy;
+            self.arm_drift_detector();
+            self.epochs.push(EpochSummary {
+                cluster: self.cluster,
+                set_size: 1,
+                identify_rounds: 0,
+                chosen_expert: chosen,
+            });
+            return self.switch_to(chosen);
+        }
+
+        // Bootstrap Σ from the warm-up expert's observed hit rate.
+        let warm_window = cumulative.diff(&self.epoch_start_metrics);
+        let p_warm = warm_window.hoc_ohr();
+        let extended = self.extended.as_ref().expect("set above");
+        let marginals =
+            self.model
+                .bootstrap_marginals(&self.set, extended, Some((self.current_expert, p_warm)));
+        let effective =
+            (self.cfg.round_requests as f64 / self.cfg.correlation_length).max(1.0);
+        let sigma = self.model.side_info(
+            &self.set,
+            extended,
+            &marginals,
+            effective,
+            self.cfg.min_variance,
+        );
+        let tas_cfg = TasConfig {
+            stability_rounds: self.cfg.stability_rounds,
+            max_rounds: self.cfg.max_identify_rounds,
+            alpha_iters: self.cfg.alpha_iters,
+            ..TasConfig::default()
+        };
+        let mut tas = TrackAndStopSideInfo::new(sigma, self.cfg.delta, tas_cfg);
+
+        self.phase = ControllerPhase::Identify;
+        if tas.finished() {
+            // Degenerate single-arm case already handled; defensive.
+            let chosen = self.set[tas.recommend()];
+            self.tas = None;
+            self.phase = ControllerPhase::Deploy;
+            return self.switch_to(chosen);
+        }
+        let arm = tas.next_arm();
+        self.pending_arm = arm;
+        self.tas = Some(tas);
+        self.round_start_metrics = *cumulative;
+        self.round_requests_seen = 0;
+        let chosen = self.set[arm];
+        self.switch_to(chosen)
+    }
+
+    fn observe_identify(&mut self, cumulative: &CacheMetrics) -> Option<Expert> {
+        self.round_requests_seen += 1;
+        if self.round_requests_seen < self.cfg.round_requests {
+            return None;
+        }
+        // Round complete: real reward for the deployed arm, fictitious for
+        // the rest.
+        let window = cumulative.diff(&self.round_start_metrics);
+        let p_hat = window.hoc_ohr();
+        let real_reward = self.model.objective().reward(&window);
+        let extended = self.extended.as_ref().expect("identification requires features");
+        let size_dist = self.size_dist.as_ref().expect("identification requires size dist");
+        let deployed_global = self.set[self.pending_arm];
+
+        let y: Vec<f64> = self
+            .set
+            .iter()
+            .enumerate()
+            .map(|(a, &j)| {
+                if a == self.pending_arm {
+                    real_reward
+                } else {
+                    let pred_hit =
+                        self.model.predict_hit_rate(deployed_global, j, p_hat, extended);
+                    self.model.hit_rate_to_reward(j, pred_hit, size_dist)
+                }
+            })
+            .collect();
+
+        let tas = self.tas.as_mut().expect("identify phase has a bandit");
+        tas.observe(self.pending_arm, &y);
+        self.rounds_this_epoch += 1;
+
+        if tas.finished() {
+            let chosen = self.set[tas.recommend()];
+            self.tas = None;
+            self.phase = ControllerPhase::Deploy;
+            self.arm_drift_detector();
+            self.epochs.push(EpochSummary {
+                cluster: self.cluster,
+                set_size: self.set.len(),
+                identify_rounds: self.rounds_this_epoch,
+                chosen_expert: chosen,
+            });
+            return self.switch_to(chosen);
+        }
+        let arm = tas.next_arm();
+        self.pending_arm = arm;
+        self.round_start_metrics = *cumulative;
+        self.round_requests_seen = 0;
+        let chosen = self.set[arm];
+        self.switch_to(chosen)
+    }
+
+    /// Creates the drift detector when the deploy phase begins (extension;
+    /// no-op with the paper's fixed epochs).
+    fn arm_drift_detector(&mut self) {
+        self.drift = self
+            .cfg
+            .drift_threshold
+            .map(|t| DriftDetector::new(self.cfg.round_requests.max(1), t));
+    }
+
+    fn start_new_epoch(&mut self, cumulative: &CacheMetrics) {
+        if self.phase == ControllerPhase::Identify {
+            // Epoch ended mid-identification: record the best-effort choice.
+            if let Some(tas) = &self.tas {
+                self.epochs.push(EpochSummary {
+                    cluster: self.cluster,
+                    set_size: self.set.len(),
+                    identify_rounds: self.rounds_this_epoch,
+                    chosen_expert: self.set[tas.recommend()],
+                });
+            }
+            self.tas = None;
+        }
+        self.phase = ControllerPhase::Warmup;
+        self.epoch_request = 0;
+        self.extractor = FeatureExtractor::paper_default();
+        self.epoch_start_metrics = *cumulative;
+        self.drift = None;
+        // Keep the current expert through warm-up ("or one from the previous
+        // epoch", §4.2).
+    }
+
+    fn switch_to(&mut self, expert_idx: usize) -> Option<Expert> {
+        if expert_idx == self.current_expert {
+            return None;
+        }
+        self.current_expert = expert_idx;
+        self.switches.push(SwitchEvent {
+            at_request: self.global_request,
+            expert: expert_idx,
+            phase: self.phase,
+        });
+        Some(self.model.grid().get(expert_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert::{Expert, ExpertGrid};
+    use crate::offline::{OfflineConfig, OfflineTrainer};
+    use darwin_cache::{CacheConfig, CacheServer};
+    use darwin_nn::TrainConfig;
+    use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
+
+    fn small_model() -> Arc<DarwinModel> {
+        let cfg = OfflineConfig {
+            grid: ExpertGrid::new(vec![
+                Expert::new(1, 20),
+                Expert::new(1, 500),
+                Expert::new(5, 20),
+                Expert::new(5, 500),
+            ]),
+            hoc_bytes: 2 * 1024 * 1024,
+            nn_train: TrainConfig { epochs: 40, ..TrainConfig::default() },
+            n_clusters: 2,
+            ..OfflineConfig::default()
+        };
+        let trainer = OfflineTrainer::new(cfg);
+        let traces: Vec<Trace> = (0..4)
+            .map(|i| {
+                TraceGenerator::new(
+                    MixSpec::two_class(
+                        TrafficClass::image(),
+                        TrafficClass::download(),
+                        i as f64 / 3.0,
+                    ),
+                    10 + i as u64,
+                )
+                .generate(10_000)
+            })
+            .collect();
+        Arc::new(trainer.train(&traces))
+    }
+
+    fn test_cfg() -> OnlineConfig {
+        OnlineConfig {
+            epoch_requests: 20_000,
+            warmup_requests: 1_000,
+            round_requests: 300,
+            ..OnlineConfig::default()
+        }
+    }
+
+    fn drive(model: Arc<DarwinModel>, cfg: OnlineConfig, trace: &Trace) -> OnlineController {
+        let mut ctrl = OnlineController::new(model, cfg);
+        let mut server = CacheServer::new(CacheConfig {
+            hoc_bytes: 2 * 1024 * 1024,
+            ..CacheConfig::small_test()
+        });
+        server.set_policy(ctrl.current_expert().policy);
+        for r in trace {
+            server.process(r);
+            if let Some(e) = ctrl.observe(r, &server.metrics()) {
+                server.set_policy(e.policy);
+            }
+        }
+        ctrl
+    }
+
+    #[test]
+    fn progresses_through_phases() {
+        let model = small_model();
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 99)
+            .generate(15_000);
+        let ctrl = drive(model, test_cfg(), &trace);
+        assert_eq!(ctrl.phase(), ControllerPhase::Deploy, "should reach Deploy");
+        assert_eq!(ctrl.epochs().len(), 1);
+        let ep = ctrl.epochs()[0];
+        assert!(ep.set_size >= 1);
+        assert!(ep.chosen_expert < 4);
+    }
+
+    #[test]
+    fn epoch_rollover_restarts_warmup() {
+        let model = small_model();
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 7)
+            .generate(45_000);
+        let ctrl = drive(model, test_cfg(), &trace);
+        // 45k requests / 20k epoch = at least 2 completed epochs.
+        assert!(ctrl.epochs().len() >= 2, "epochs: {:?}", ctrl.epochs().len());
+    }
+
+    #[test]
+    fn switches_are_recorded_in_order() {
+        let model = small_model();
+        let trace = TraceGenerator::new(
+            MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+            3,
+        )
+        .generate(15_000);
+        let ctrl = drive(model, test_cfg(), &trace);
+        let s = ctrl.switches();
+        assert!(s.windows(2).all(|w| w[0].at_request <= w[1].at_request));
+    }
+
+    #[test]
+    fn identification_uses_bounded_rounds() {
+        let model = small_model();
+        let cfg = OnlineConfig { max_identify_rounds: 6, ..test_cfg() };
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 5)
+            .generate(15_000);
+        let ctrl = drive(model, cfg, &trace);
+        for ep in ctrl.epochs() {
+            assert!(ep.identify_rounds <= 6, "rounds {}", ep.identify_rounds);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up must fit inside an epoch")]
+    fn rejects_warmup_longer_than_epoch() {
+        let model = small_model();
+        OnlineController::new(
+            model,
+            OnlineConfig { epoch_requests: 100, warmup_requests: 100, ..OnlineConfig::default() },
+        );
+    }
+
+    #[test]
+    fn scaled_config_multiplies_lengths() {
+        let c = OnlineConfig::default().scaled(3);
+        assert_eq!(c.epoch_requests, 300_000);
+        assert_eq!(c.warmup_requests, 9_000);
+        assert_eq!(c.round_requests, 1_500);
+    }
+}

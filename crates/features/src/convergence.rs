@@ -1,0 +1,71 @@
+//! Feature-convergence measurement (Fig 5a / Fig 8).
+//!
+//! Darwin's warm-up length `N_warmup` is chosen by measuring how quickly
+//! empirical features computed over a trace *prefix* approach the values over
+//! the full trace: "we see that feature values converge to within a 10% error
+//! margin using only the first 3M requests" (§6.2). These helpers compute the
+//! per-entry and maximum relative errors that the figure plots.
+
+use crate::vector::FeatureVector;
+
+/// Per-entry relative error `|prefix − full| / |full|`, in percent.
+/// Entries where the full-trace value is 0 report 0 if the prefix also has 0
+/// and 100 otherwise (a conservative "not converged" marker).
+pub fn relative_errors(prefix: &FeatureVector, full: &FeatureVector) -> Vec<f64> {
+    assert_eq!(prefix.len(), full.len(), "dimension mismatch");
+    prefix
+        .values()
+        .iter()
+        .zip(full.values())
+        .map(|(&p, &f)| {
+            if f == 0.0 {
+                if p == 0.0 {
+                    0.0
+                } else {
+                    100.0
+                }
+            } else {
+                ((p - f) / f).abs() * 100.0
+            }
+        })
+        .collect()
+}
+
+/// Maximum relative error (percent) across all entries — the convergence
+/// criterion the paper applies ("within a 10% error margin").
+pub fn max_relative_error(prefix: &FeatureVector, full: &FeatureVector) -> f64 {
+    relative_errors(prefix, full).into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_zero_error() {
+        let v = FeatureVector::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(max_relative_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn relative_error_is_percentage() {
+        let p = FeatureVector::new(vec![90.0]);
+        let f = FeatureVector::new(vec![100.0]);
+        assert!((max_relative_error(&p, &f) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reference_handled() {
+        let p = FeatureVector::new(vec![0.0, 5.0]);
+        let f = FeatureVector::new(vec![0.0, 0.0]);
+        let errs = relative_errors(&p, &f);
+        assert_eq!(errs, vec![0.0, 100.0]);
+    }
+
+    #[test]
+    fn max_picks_worst_entry() {
+        let p = FeatureVector::new(vec![99.0, 50.0]);
+        let f = FeatureVector::new(vec![100.0, 100.0]);
+        assert!((max_relative_error(&p, &f) - 50.0).abs() < 1e-12);
+    }
+}

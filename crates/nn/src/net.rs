@@ -1,0 +1,419 @@
+//! One-hidden-layer perceptron with Adam training.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Output-layer nonlinearity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputActivation {
+    /// Logistic sigmoid — outputs in (0, 1); used for probability heads
+    /// (the cross-expert predictors output conditional hit probabilities).
+    Sigmoid,
+    /// Identity — unbounded regression outputs.
+    Identity,
+}
+
+/// Training hyper-parameters for [`Mlp::train`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Full passes over the training set.
+    pub epochs: usize,
+    /// Adam step size.
+    pub learning_rate: f64,
+    /// Mini-batch size (clamped to the data set size).
+    pub batch_size: usize,
+    /// L2 weight decay coefficient.
+    pub l2: f64,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 200, learning_rate: 0.01, batch_size: 32, l2: 1e-5, seed: 0 }
+    }
+}
+
+/// A dense `input → tanh(hidden) → output` network.
+///
+/// Weights are stored row-major: `w1[h * n_in + i]` connects input `i` to
+/// hidden unit `h`; `w2[o * n_hidden + h]` connects hidden `h` to output `o`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    n_in: usize,
+    n_hidden: usize,
+    n_out: usize,
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: Vec<f64>,
+    output: OutputActivation,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier-uniform initial weights.
+    pub fn new(
+        n_in: usize,
+        n_hidden: usize,
+        n_out: usize,
+        output: OutputActivation,
+        seed: u64,
+    ) -> Self {
+        assert!(n_in > 0 && n_hidden > 0 && n_out > 0, "layer sizes must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lim1 = (6.0 / (n_in + n_hidden) as f64).sqrt();
+        let lim2 = (6.0 / (n_hidden + n_out) as f64).sqrt();
+        Self {
+            n_in,
+            n_hidden,
+            n_out,
+            w1: (0..n_in * n_hidden).map(|_| rng.gen_range(-lim1..lim1)).collect(),
+            b1: vec![0.0; n_hidden],
+            w2: (0..n_hidden * n_out).map(|_| rng.gen_range(-lim2..lim2)).collect(),
+            b2: vec![0.0; n_out],
+            output,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Hidden-layer width.
+    pub fn n_hidden(&self) -> usize {
+        self.n_hidden
+    }
+
+    /// Output dimensionality.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_in, "input dimension mismatch");
+        let hidden = self.hidden_activations(x);
+        self.output_from_hidden(&hidden)
+    }
+
+    fn hidden_activations(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.n_hidden)
+            .map(|h| {
+                let mut z = self.b1[h];
+                let row = &self.w1[h * self.n_in..(h + 1) * self.n_in];
+                for (w, &xi) in row.iter().zip(x) {
+                    z += w * xi;
+                }
+                z.tanh()
+            })
+            .collect()
+    }
+
+    fn output_from_hidden(&self, hidden: &[f64]) -> Vec<f64> {
+        (0..self.n_out)
+            .map(|o| {
+                let mut z = self.b2[o];
+                let row = &self.w2[o * self.n_hidden..(o + 1) * self.n_hidden];
+                for (w, &h) in row.iter().zip(hidden) {
+                    z += w * h;
+                }
+                match self.output {
+                    OutputActivation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+                    OutputActivation::Identity => z,
+                }
+            })
+            .collect()
+    }
+
+    /// Mean squared error over a data set.
+    pub fn mse(&self, data: &[(Vec<f64>, Vec<f64>)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (x, y) in data {
+            let out = self.forward(x);
+            total += out
+                .iter()
+                .zip(y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
+        }
+        total / data.len() as f64
+    }
+
+    /// Trains with mini-batch Adam on MSE loss. Returns the final-epoch
+    /// average loss.
+    pub fn train(&mut self, data: &[(Vec<f64>, Vec<f64>)], cfg: &TrainConfig) -> f64 {
+        assert!(!data.is_empty(), "cannot train on an empty data set");
+        for (x, y) in data {
+            assert_eq!(x.len(), self.n_in, "input dimension mismatch");
+            assert_eq!(y.len(), self.n_out, "target dimension mismatch");
+        }
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let batch = cfg.batch_size.max(1).min(data.len());
+        let nparams = self.w1.len() + self.b1.len() + self.w2.len() + self.b2.len();
+        let mut m = vec![0.0; nparams];
+        let mut v = vec![0.0; nparams];
+        let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let mut step = 0usize;
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut last_loss = f64::INFINITY;
+
+        for _ in 0..cfg.epochs.max(1) {
+            // Fisher–Yates shuffle.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(batch) {
+                let mut grad = vec![0.0; nparams];
+                for &idx in chunk {
+                    let (x, y) = &data[idx];
+                    epoch_loss += self.accumulate_gradient(x, y, &mut grad);
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                step += 1;
+                let bc1 = 1.0 - beta1.powi(step as i32);
+                let bc2 = 1.0 - beta2.powi(step as i32);
+                self.apply_adam(&grad, scale, cfg, &mut m, &mut v, beta1, beta2, eps, bc1, bc2);
+            }
+            last_loss = epoch_loss / data.len() as f64;
+        }
+        last_loss
+    }
+
+    /// Adds ∂MSE/∂θ for one sample into `grad` (laid out w1|b1|w2|b2) and
+    /// returns the sample's squared error.
+    fn accumulate_gradient(&self, x: &[f64], y: &[f64], grad: &mut [f64]) -> f64 {
+        let hidden = self.hidden_activations(x);
+        let out = self.output_from_hidden(&hidden);
+
+        // dL/dz_o for L = Σ (out − y)² (unnormalized per-sample loss).
+        let delta_out: Vec<f64> = out
+            .iter()
+            .zip(y)
+            .map(|(&o, &t)| {
+                let dl_do = 2.0 * (o - t);
+                match self.output {
+                    OutputActivation::Sigmoid => dl_do * o * (1.0 - o),
+                    OutputActivation::Identity => dl_do,
+                }
+            })
+            .collect();
+
+        let (w1n, b1n, w2n) = (self.w1.len(), self.b1.len(), self.w2.len());
+        // w2 / b2 gradients.
+        for o in 0..self.n_out {
+            for h in 0..self.n_hidden {
+                grad[w1n + b1n + o * self.n_hidden + h] += delta_out[o] * hidden[h];
+            }
+            grad[w1n + b1n + w2n + o] += delta_out[o];
+        }
+        // Back-prop into the hidden layer.
+        for h in 0..self.n_hidden {
+            let mut dh = 0.0;
+            for o in 0..self.n_out {
+                dh += delta_out[o] * self.w2[o * self.n_hidden + h];
+            }
+            let dz = dh * (1.0 - hidden[h] * hidden[h]); // tanh'
+            for i in 0..self.n_in {
+                grad[h * self.n_in + i] += dz * x[i];
+            }
+            grad[w1n + h] += dz;
+        }
+
+        out.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_adam(
+        &mut self,
+        grad: &[f64],
+        scale: f64,
+        cfg: &TrainConfig,
+        m: &mut [f64],
+        v: &mut [f64],
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+        bc1: f64,
+        bc2: f64,
+    ) {
+        let (w1n, b1n, w2n) = (self.w1.len(), self.b1.len(), self.w2.len());
+        let params = self
+            .w1
+            .iter_mut()
+            .chain(self.b1.iter_mut())
+            .chain(self.w2.iter_mut())
+            .chain(self.b2.iter_mut());
+        for (idx, p) in params.enumerate() {
+            // Weight decay applies to weights only, not biases.
+            let is_bias = (idx >= w1n && idx < w1n + b1n) || idx >= w1n + b1n + w2n;
+            let g = grad[idx] * scale + if is_bias { 0.0 } else { cfg.l2 * *p };
+            m[idx] = beta1 * m[idx] + (1.0 - beta1) * g;
+            v[idx] = beta2 * v[idx] + (1.0 - beta2) * g * g;
+            let mhat = m[idx] / bc1;
+            let vhat = v[idx] / bc2;
+            *p -= cfg.learning_rate * mhat / (vhat.sqrt() + eps);
+        }
+    }
+
+    /// Serializes the model to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Restores a model from [`Mlp::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let net = Mlp::new(3, 5, 2, OutputActivation::Sigmoid, 1);
+        let out = net.forward(&[0.1, -0.2, 0.3]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|&o| (0.0..=1.0).contains(&o)));
+    }
+
+    #[test]
+    fn identity_outputs_unbounded() {
+        let net = Mlp::new(2, 4, 1, OutputActivation::Identity, 2);
+        let out = net.forward(&[100.0, -50.0]);
+        assert!(out[0].is_finite());
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        // y = 0.3 x0 − 0.7 x1 + 0.1
+        let data: Vec<(Vec<f64>, Vec<f64>)> = (0..200)
+            .map(|i| {
+                let x0 = (i % 20) as f64 / 10.0 - 1.0;
+                let x1 = (i / 20) as f64 / 5.0 - 1.0;
+                (vec![x0, x1], vec![0.3 * x0 - 0.7 * x1 + 0.1])
+            })
+            .collect();
+        let mut net = Mlp::new(2, 8, 1, OutputActivation::Identity, 3);
+        let loss = net.train(&data, &TrainConfig { epochs: 500, ..Default::default() });
+        assert!(loss < 1e-3, "final loss {loss}");
+    }
+
+    #[test]
+    fn learns_xor() {
+        let data: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![0.0, 0.0], vec![0.0]),
+            (vec![0.0, 1.0], vec![1.0]),
+            (vec![1.0, 0.0], vec![1.0]),
+            (vec![1.0, 1.0], vec![0.0]),
+        ];
+        let mut net = Mlp::new(2, 8, 1, OutputActivation::Sigmoid, 4);
+        net.train(
+            &data,
+            &TrainConfig { epochs: 3000, learning_rate: 0.02, batch_size: 4, ..Default::default() },
+        );
+        for (x, y) in &data {
+            let p = net.forward(x)[0];
+            assert!((p - y[0]).abs() < 0.2, "xor({x:?}) = {p}, want {}", y[0]);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let net = Mlp::new(3, 4, 2, OutputActivation::Sigmoid, 5);
+        let x = vec![0.5, -0.3, 0.8];
+        let y = vec![0.2, 0.9];
+        let nparams = net.w1.len() + net.b1.len() + net.w2.len() + net.b2.len();
+        let mut analytic = vec![0.0; nparams];
+        net.accumulate_gradient(&x, &y, &mut analytic);
+
+        let loss_of = |n: &Mlp| -> f64 {
+            let out = n.forward(&x);
+            out.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        let eps = 1e-6;
+        for idx in 0..nparams {
+            let mut plus = net.clone();
+            let mut minus = net.clone();
+            {
+                let p = param_mut(&mut plus, idx);
+                *p += eps;
+            }
+            {
+                let p = param_mut(&mut minus, idx);
+                *p -= eps;
+            }
+            let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 1e-5,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    fn param_mut(net: &mut Mlp, idx: usize) -> &mut f64 {
+        let (w1n, b1n, w2n) = (net.w1.len(), net.b1.len(), net.w2.len());
+        if idx < w1n {
+            &mut net.w1[idx]
+        } else if idx < w1n + b1n {
+            &mut net.b1[idx - w1n]
+        } else if idx < w1n + b1n + w2n {
+            &mut net.w2[idx - w1n - b1n]
+        } else {
+            &mut net.b2[idx - w1n - b1n - w2n]
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data: Vec<(Vec<f64>, Vec<f64>)> =
+            (0..50).map(|i| (vec![i as f64 / 50.0], vec![(i % 2) as f64])).collect();
+        let mut a = Mlp::new(1, 4, 1, OutputActivation::Sigmoid, 7);
+        let mut b = Mlp::new(1, 4, 1, OutputActivation::Sigmoid, 7);
+        a.train(&data, &TrainConfig::default());
+        b.train(&data, &TrainConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_model() {
+        let net = Mlp::new(4, 6, 3, OutputActivation::Sigmoid, 8);
+        let back = Mlp::from_json(&net.to_json()).unwrap();
+        // JSON float formatting may lose the last ULP; require functional
+        // equivalence rather than bitwise equality.
+        let a = net.forward(&[0.1, 0.2, 0.3, 0.4]);
+        let b = back.forward(&[0.1, 0.2, 0.3, 0.4]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn forward_rejects_wrong_dim() {
+        Mlp::new(2, 2, 1, OutputActivation::Identity, 1).forward(&[1.0]);
+    }
+
+    #[test]
+    fn mse_decreases_with_training() {
+        let data: Vec<(Vec<f64>, Vec<f64>)> = (0..100)
+            .map(|i| {
+                let x = i as f64 / 100.0;
+                (vec![x], vec![(3.0 * x).sin() * 0.4 + 0.5])
+            })
+            .collect();
+        let mut net = Mlp::new(1, 10, 1, OutputActivation::Sigmoid, 9);
+        let before = net.mse(&data);
+        net.train(&data, &TrainConfig { epochs: 400, ..Default::default() });
+        let after = net.mse(&data);
+        assert!(after < before * 0.5, "before {before}, after {after}");
+    }
+}

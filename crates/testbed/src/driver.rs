@@ -1,0 +1,91 @@
+//! Pluggable admission control for the testbed proxy.
+
+use darwin::online::OnlineController;
+use darwin::{DarwinModel, OnlineConfig};
+use darwin_cache::{CacheMetrics, ThresholdPolicy};
+use darwin_trace::Request;
+use std::sync::Arc;
+
+/// Decides the proxy's HOC admission policy over time. Called once per
+/// processed request with the proxy's cumulative metrics.
+pub trait AdmissionDriver {
+    /// Policy to install before the first request.
+    fn initial_policy(&mut self) -> ThresholdPolicy;
+    /// Observes a processed request; returns a new policy to install, if any.
+    fn observe(&mut self, req: &Request, cumulative: &CacheMetrics) -> Option<ThresholdPolicy>;
+    /// Label for reports.
+    fn label(&self) -> String;
+}
+
+/// A fixed expert (the paper's static baselines).
+#[derive(Debug, Clone)]
+pub struct StaticDriver {
+    policy: ThresholdPolicy,
+}
+
+impl StaticDriver {
+    /// Driver that always deploys `policy`.
+    pub fn new(policy: ThresholdPolicy) -> Self {
+        Self { policy }
+    }
+}
+
+impl AdmissionDriver for StaticDriver {
+    fn initial_policy(&mut self) -> ThresholdPolicy {
+        self.policy
+    }
+    fn observe(&mut self, _req: &Request, _m: &CacheMetrics) -> Option<ThresholdPolicy> {
+        None
+    }
+    fn label(&self) -> String {
+        use darwin_cache::AdmissionPolicy;
+        let p = self.policy;
+        p.label()
+    }
+}
+
+/// The full Darwin online pipeline driving the proxy (what §5's prototype
+/// does with its background learning thread — here the learning work is
+/// simulated as off-critical-path, matching the paper's observation that
+/// "the learning logic is not in the critical path of cache processing").
+pub struct DarwinDriver {
+    controller: OnlineController,
+}
+
+impl DarwinDriver {
+    /// Driver around a trained model.
+    pub fn new(model: Arc<DarwinModel>, cfg: OnlineConfig) -> Self {
+        Self { controller: OnlineController::new(model, cfg) }
+    }
+
+    /// Access to the controller (switch history, epoch summaries).
+    pub fn controller(&self) -> &OnlineController {
+        &self.controller
+    }
+}
+
+impl AdmissionDriver for DarwinDriver {
+    fn initial_policy(&mut self) -> ThresholdPolicy {
+        self.controller.current_expert().policy
+    }
+    fn observe(&mut self, req: &Request, cumulative: &CacheMetrics) -> Option<ThresholdPolicy> {
+        self.controller.observe(req, cumulative).map(|e| e.policy)
+    }
+    fn label(&self) -> String {
+        "darwin".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_driver_never_switches() {
+        let mut d = StaticDriver::new(ThresholdPolicy::new(2, 2048));
+        assert_eq!(d.initial_policy(), ThresholdPolicy::new(2, 2048));
+        let m = CacheMetrics::default();
+        assert!(d.observe(&Request::new(1, 1, 0), &m).is_none());
+        assert_eq!(d.label(), "f2s2");
+    }
+}

@@ -1,0 +1,118 @@
+//! First-byte-latency aggregation (Fig 7a's CDF).
+
+use serde::{Deserialize, Serialize};
+
+/// Collected latency samples with percentile/CDF accessors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples_us: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.samples_us.push(us);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_us.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The p-th percentile (0–100) in microseconds; 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        if self.samples_us.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        let idx = ((p / 100.0) * (self.samples_us.len() - 1) as f64).round() as usize;
+        self.samples_us[idx.min(self.samples_us.len() - 1)]
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us.iter().sum::<u64>() as f64 / self.samples_us.len() as f64
+    }
+
+    /// `(latency_us, cumulative_fraction)` points of the empirical CDF,
+    /// down-sampled to at most `points` entries (for plotting Fig 7a).
+    pub fn cdf(&mut self, points: usize) -> Vec<(u64, f64)> {
+        if self.samples_us.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples_us.len();
+        let step = (n / points).max(1);
+        let mut out = Vec::with_capacity(points + 1);
+        let mut i = step - 1;
+        while i < n {
+            out.push((self.samples_us[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(_, f)| f < 1.0).unwrap_or(false) {
+            out.push((self.samples_us[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut s = LatencyStats::new();
+        for i in 1..=100 {
+            s.record(i);
+        }
+        assert_eq!(s.percentile(0.0), 1);
+        // idx = round(0.5 · 99) = 50 ⇒ the 51st sample.
+        assert_eq!(s.percentile(50.0), 51);
+        assert_eq!(s.percentile(100.0), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.percentile(50.0), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_ends_at_one() {
+        let mut s = LatencyStats::new();
+        for i in 0..1000 {
+            s.record(i * 3 + 7);
+        }
+        let cdf = s.cdf(20);
+        assert!(!cdf.is_empty());
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // Monotone in both coordinates.
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+}

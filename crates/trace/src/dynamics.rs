@@ -1,0 +1,195 @@
+//! Non-stationary workload transformations.
+//!
+//! §2.1's premise is that "the volume and mix of traffic classes assigned to
+//! a CDN server can change rapidly". Beyond concatenating stationary phases
+//! ([`crate::concat_traces`]), these transformations inject the specific
+//! dynamics production servers exhibit:
+//!
+//! * [`modulate_rate`] — diurnal-style request-rate modulation (time-warps
+//!   arrivals without changing their order or mix);
+//! * [`drift_popularity`] — gradual popularity drift: the object IDs of one
+//!   class are progressively remapped so old favourites cool down and new
+//!   ones heat up;
+//! * [`flash_crowd`] — a sudden hot object that absorbs a share of requests
+//!   for a window (an "important iOS update is released").
+
+use crate::generator::{object_id, split_id};
+use crate::request::{Request, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Time-warps arrivals so the instantaneous rate follows
+/// `1 + depth·sin(2πt/period)` (depth ∈ [0, 1)). Request order and content
+/// are unchanged; only timestamps move.
+pub fn modulate_rate(trace: &Trace, period_us: u64, depth: f64) -> Trace {
+    assert!((0.0..1.0).contains(&depth), "depth must be in [0,1)");
+    assert!(period_us > 0, "period must be positive");
+    let mut requests = Vec::with_capacity(trace.len());
+    let mut warped = 0.0f64;
+    let mut prev = trace.requests().first().map(|r| r.timestamp_us).unwrap_or(0);
+    for r in trace {
+        let gap = (r.timestamp_us - prev) as f64;
+        prev = r.timestamp_us;
+        // Higher instantaneous rate ⇒ gaps shrink.
+        let phase = 2.0 * std::f64::consts::PI * (warped / period_us as f64);
+        let rate = 1.0 + depth * phase.sin();
+        warped += gap / rate;
+        requests.push(Request::new(r.id, r.size, warped.round() as u64));
+    }
+    Trace::from_sorted(requests)
+}
+
+/// Gradually remaps a fraction of object IDs over the trace: by the end,
+/// `drift_fraction` of requests reference "generation 1" objects (fresh IDs)
+/// instead of their original "generation 0" objects. The remap preserves
+/// each object's size-class by keeping its rank (only the generation bit in
+/// the high rank space changes), so size statistics stay put while the
+/// *identity* of the popular set rotates — exactly what ages a cache.
+pub fn drift_popularity(trace: &Trace, drift_fraction: f64, seed: u64) -> Trace {
+    assert!((0.0..=1.0).contains(&drift_fraction), "fraction in [0,1]");
+    let n = trace.len().max(1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    const GENERATION_BIT: u64 = 1 << 40; // inside the 48-bit rank space
+    let requests = trace
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let progress = i as f64 / n as f64;
+            let p_new = progress * drift_fraction;
+            if rng.gen::<f64>() < p_new {
+                let (class, rank) = split_id(r.id);
+                Request::new(object_id(class, rank | GENERATION_BIT), r.size, r.timestamp_us)
+            } else {
+                *r
+            }
+        })
+        .collect();
+    Trace::from_sorted(requests)
+}
+
+/// Overwrites a window `[start_frac, end_frac)` of the trace so that a
+/// single hot object of `hot_size` bytes absorbs `share` of its requests —
+/// a flash crowd / major software release.
+pub fn flash_crowd(
+    trace: &Trace,
+    start_frac: f64,
+    end_frac: f64,
+    share: f64,
+    hot_size: u64,
+    seed: u64,
+) -> Trace {
+    assert!((0.0..=1.0).contains(&start_frac) && (0.0..=1.0).contains(&end_frac));
+    assert!(start_frac < end_frac, "empty flash-crowd window");
+    assert!((0.0..=1.0).contains(&share), "share in [0,1]");
+    assert!(hot_size > 0, "hot object needs a size");
+    let n = trace.len();
+    let lo = (start_frac * n as f64) as usize;
+    let hi = (end_frac * n as f64) as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // A dedicated class index far above generated classes.
+    let hot_id = object_id(255, 1);
+    let requests = trace
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if i >= lo && i < hi && rng.gen::<f64>() < share {
+                Request::new(hot_id, hot_size, r.timestamp_us)
+            } else {
+                *r
+            }
+        })
+        .collect();
+    Trace::from_sorted(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MixSpec, TraceGenerator, TrafficClass};
+
+    fn base(n: usize) -> Trace {
+        TraceGenerator::new(MixSpec::single(TrafficClass::image()), 5).generate(n)
+    }
+
+    #[test]
+    fn modulation_preserves_content_and_order() {
+        let t = base(5_000);
+        let m = modulate_rate(&t, 60_000_000, 0.5);
+        assert_eq!(m.len(), t.len());
+        for (a, b) in t.iter().zip(m.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.size, b.size);
+        }
+        assert!(m.requests().windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+    }
+
+    #[test]
+    fn modulation_changes_local_density() {
+        let t = base(20_000);
+        let m = modulate_rate(&t, t.duration_us() / 2, 0.8);
+        // Count requests in the first vs second quarter of warped time; a
+        // strong modulation must make them clearly unequal.
+        let total = m.duration_us();
+        let q1 = m.iter().filter(|r| r.timestamp_us < total / 4).count();
+        let q2 = m
+            .iter()
+            .filter(|r| r.timestamp_us >= total / 4 && r.timestamp_us < total / 2)
+            .count();
+        let ratio = q1 as f64 / q2.max(1) as f64;
+        assert!(
+            !(0.8..=1.25).contains(&ratio),
+            "quarters too uniform under modulation: {q1} vs {q2}"
+        );
+    }
+
+    #[test]
+    fn drift_introduces_new_ids_late_not_early() {
+        let t = base(20_000);
+        let d = drift_popularity(&t, 0.8, 3);
+        let changed_early = t
+            .requests()
+            .iter()
+            .zip(d.requests())
+            .take(2_000)
+            .filter(|(a, b)| a.id != b.id)
+            .count();
+        let changed_late = t
+            .requests()
+            .iter()
+            .zip(d.requests())
+            .skip(18_000)
+            .filter(|(a, b)| a.id != b.id)
+            .count();
+        assert!(changed_late > changed_early * 3, "{changed_early} early vs {changed_late} late");
+        // Sizes preserved.
+        for (a, b) in t.iter().zip(d.iter()) {
+            assert_eq!(a.size, b.size);
+        }
+    }
+
+    #[test]
+    fn zero_drift_is_identity() {
+        let t = base(1_000);
+        assert_eq!(drift_popularity(&t, 0.0, 1), t);
+    }
+
+    #[test]
+    fn flash_crowd_confined_to_window() {
+        let t = base(10_000);
+        let f = flash_crowd(&t, 0.4, 0.6, 0.9, 5 * 1024 * 1024, 9);
+        let hot = object_id(255, 1);
+        assert!(f.requests()[..4_000].iter().all(|r| r.id != hot));
+        assert!(f.requests()[6_000..].iter().all(|r| r.id != hot));
+        let inside = f.requests()[4_000..6_000].iter().filter(|r| r.id == hot).count();
+        assert!(
+            (1_500..=2_000).contains(&inside),
+            "hot object got {inside}/2000 requests at share 0.9"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty flash-crowd window")]
+    fn inverted_window_rejected() {
+        flash_crowd(&base(100), 0.6, 0.4, 0.5, 1024, 1);
+    }
+}

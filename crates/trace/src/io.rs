@@ -1,0 +1,193 @@
+//! Trace import/export in a plain-text interchange format.
+//!
+//! Real CDN traces (including the anonymized production logs the paper
+//! trains on) are commonly distributed as per-request text records. This
+//! module reads and writes the minimal schema Darwin needs — the Appendix
+//! A.1 triple `(timestamp, id, size)` — one request per line:
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! timestamp_us,object_id,size_bytes
+//! 0,42,13312
+//! 117,7,524288
+//! ```
+//!
+//! The reader is forgiving about ordering (it re-sorts by timestamp) and
+//! reports the line number of the first malformed record.
+
+use crate::request::{Request, Trace};
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Why parsing a trace file failed.
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed record at the given 1-based line number.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceReadError::Parse { line, reason } => {
+                write!(f, "malformed record on line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+impl From<io::Error> for TraceReadError {
+    fn from(e: io::Error) -> Self {
+        TraceReadError::Io(e)
+    }
+}
+
+/// Parses a trace from CSV text (see module docs for the schema).
+pub fn read_trace<R: io::Read>(reader: R) -> Result<Trace, TraceReadError> {
+    let mut requests = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let parse_field = |part: Option<&str>, name: &str| -> Result<u64, TraceReadError> {
+            let raw = part.ok_or_else(|| TraceReadError::Parse {
+                line: idx + 1,
+                reason: format!("missing field `{name}`"),
+            })?;
+            raw.trim().parse::<u64>().map_err(|e| TraceReadError::Parse {
+                line: idx + 1,
+                reason: format!("field `{name}` = {raw:?}: {e}"),
+            })
+        };
+        let timestamp_us = parse_field(parts.next(), "timestamp_us")?;
+        let id = parse_field(parts.next(), "object_id")?;
+        let size = parse_field(parts.next(), "size_bytes")?;
+        if size == 0 {
+            return Err(TraceReadError::Parse {
+                line: idx + 1,
+                reason: "size must be positive".into(),
+            });
+        }
+        if let Some(extra) = parts.next() {
+            if !extra.trim().is_empty() {
+                return Err(TraceReadError::Parse {
+                    line: idx + 1,
+                    reason: format!("unexpected trailing field {extra:?}"),
+                });
+            }
+        }
+        requests.push(Request::new(id, size, timestamp_us));
+    }
+    Ok(Trace::from_requests(requests))
+}
+
+/// Reads a trace from a file path.
+pub fn read_trace_file<P: AsRef<Path>>(path: P) -> Result<Trace, TraceReadError> {
+    read_trace(fs::File::open(path)?)
+}
+
+/// Writes a trace in the interchange format.
+pub fn write_trace<W: io::Write>(trace: &Trace, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# timestamp_us,object_id,size_bytes")?;
+    for r in trace {
+        writeln!(w, "{},{},{}", r.timestamp_us, r.id, r.size)?;
+    }
+    w.flush()
+}
+
+/// Writes a trace to a file path.
+pub fn write_trace_file<P: AsRef<Path>>(trace: &Trace, path: P) -> io::Result<()> {
+    write_trace(trace, fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MixSpec, TraceGenerator, TrafficClass};
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let t = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 1).generate(500);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n10,1,100\n# middle\n20,2,200\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.requests()[0].id, 1);
+    }
+
+    #[test]
+    fn out_of_order_records_are_sorted() {
+        let text = "30,3,1\n10,1,1\n20,2,1\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        let ids: Vec<u64> = t.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn malformed_record_reports_line() {
+        let text = "10,1,100\nnot-a-number,2,200\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceReadError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let text = "10,1\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceReadError::Parse { reason, .. }) => {
+                assert!(reason.contains("size_bytes"), "{reason}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let text = "10,1,0\n";
+        assert!(matches!(
+            read_trace(text.as_bytes()),
+            Err(TraceReadError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_field_rejected_but_trailing_comma_tolerated() {
+        assert!(read_trace("10,1,100,junk\n".as_bytes()).is_err());
+        assert!(read_trace("10,1,100,\n".as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = TraceGenerator::new(MixSpec::single(TrafficClass::web()), 2).generate(100);
+        let path = std::env::temp_dir().join("darwin-trace-io-test.csv");
+        write_trace_file(&t, &path).unwrap();
+        let back = read_trace_file(&path).unwrap();
+        assert_eq!(t, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,207 @@
+//! Core request and trace types.
+//!
+//! A trace is a time-ordered sequence of [`Request`]s, each identified by a
+//! triple of object ID, object size and timestamp — the same schema the paper
+//! assumes for offline-collected traces (Appendix A.1: "each offline-collected
+//! traffic trace contains sequences of requests indexed by a triple of the ID,
+//! size, and timestamp associated with the requested object").
+
+use serde::{Deserialize, Serialize};
+
+/// Globally unique object identifier.
+///
+/// Object IDs are namespaced by traffic class in the generator (the high bits
+/// carry the class index) so that mixing classes never aliases objects.
+pub type ObjectId = u64;
+
+/// One CDN request: an object ID, the object's size in bytes, and the request
+/// arrival time in microseconds since the start of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Requested object.
+    pub id: ObjectId,
+    /// Object size in bytes. The same ID always carries the same size within
+    /// a trace (CDN objects are immutable at this granularity).
+    pub size: u64,
+    /// Arrival timestamp in microseconds.
+    pub timestamp_us: u64,
+}
+
+impl Request {
+    /// Convenience constructor.
+    pub fn new(id: ObjectId, size: u64, timestamp_us: u64) -> Self {
+        Self { id, size, timestamp_us }
+    }
+}
+
+/// A time-ordered request trace.
+///
+/// Wraps a `Vec<Request>` and offers slicing, iteration and (de)serialization
+/// helpers. Invariant: `requests` is sorted by `timestamp_us` (ties allowed).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Builds a trace from a vector of requests, sorting by timestamp to
+    /// restore the ordering invariant.
+    pub fn from_requests(mut requests: Vec<Request>) -> Self {
+        requests.sort_by_key(|r| r.timestamp_us);
+        Self { requests }
+    }
+
+    /// Builds a trace from requests already known to be time-ordered.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the ordering invariant is violated.
+    pub fn from_sorted(requests: Vec<Request>) -> Self {
+        debug_assert!(
+            requests.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us),
+            "requests must be time-ordered"
+        );
+        Self { requests }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The underlying requests, time-ordered.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Iterator over requests.
+    pub fn iter(&self) -> std::slice::Iter<'_, Request> {
+        self.requests.iter()
+    }
+
+    /// A sub-trace over the half-open request-index range `[start, end)`.
+    /// Timestamps are preserved (not re-based).
+    pub fn slice(&self, start: usize, end: usize) -> Trace {
+        Trace { requests: self.requests[start..end.min(self.requests.len())].to_vec() }
+    }
+
+    /// Splits off the first `n` requests as the warm-up prefix, returning
+    /// `(warmup, rest)`. Used by the evaluation, which discards statistics of
+    /// the first 1 M requests of every trace ("cache warmup" in §6).
+    pub fn split_warmup(&self, n: usize) -> (Trace, Trace) {
+        let n = n.min(self.len());
+        (self.slice(0, n), self.slice(n, self.len()))
+    }
+
+    /// Total bytes requested.
+    pub fn total_bytes(&self) -> u64 {
+        self.requests.iter().map(|r| r.size).sum()
+    }
+
+    /// Number of distinct objects.
+    pub fn unique_objects(&self) -> usize {
+        let mut ids: Vec<ObjectId> = self.requests.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Duration covered by the trace in microseconds (0 for empty traces).
+    pub fn duration_us(&self) -> u64 {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(a), Some(b)) => b.timestamp_us - a.timestamp_us,
+            _ => 0,
+        }
+    }
+
+    /// Serializes to a compact JSON array (for persistence of small corpora).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parses a trace previously produced by [`Trace::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Request;
+    type IntoIter = std::slice::Iter<'a, Request>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
+impl FromIterator<Request> for Trace {
+    fn from_iter<T: IntoIterator<Item = Request>>(iter: T) -> Self {
+        Trace::from_requests(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: u64, size: u64, ts: u64) -> Request {
+        Request::new(id, size, ts)
+    }
+
+    #[test]
+    fn from_requests_sorts_by_timestamp() {
+        let t = Trace::from_requests(vec![r(1, 10, 30), r(2, 20, 10), r(3, 30, 20)]);
+        let ts: Vec<u64> = t.iter().map(|x| x.timestamp_us).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn slice_clamps_end() {
+        let t = Trace::from_requests(vec![r(1, 10, 0), r(2, 20, 1)]);
+        assert_eq!(t.slice(1, 100).len(), 1);
+        assert_eq!(t.slice(0, 0).len(), 0);
+    }
+
+    #[test]
+    fn split_warmup_partitions() {
+        let t = Trace::from_requests((0..10).map(|i| r(i, 1, i)).collect());
+        let (w, rest) = t.split_warmup(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(rest.len(), 7);
+        assert_eq!(rest.requests()[0].id, 3);
+    }
+
+    #[test]
+    fn split_warmup_clamps() {
+        let t = Trace::from_requests((0..5).map(|i| r(i, 1, i)).collect());
+        let (w, rest) = t.split_warmup(100);
+        assert_eq!(w.len(), 5);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn unique_objects_and_bytes() {
+        let t = Trace::from_requests(vec![r(1, 10, 0), r(1, 10, 1), r(2, 5, 2)]);
+        assert_eq!(t.unique_objects(), 2);
+        assert_eq!(t.total_bytes(), 25);
+        assert_eq!(t.duration_us(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Trace::from_requests(vec![r(7, 1234, 0), r(8, 99, 5)]);
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_trace_properties() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.duration_us(), 0);
+        assert_eq!(t.unique_objects(), 0);
+    }
+}

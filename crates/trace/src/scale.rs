@@ -1,0 +1,120 @@
+//! Trace transformations: size scaling for larger-cache studies, and trace
+//! concatenation for traffic-shift workloads.
+//!
+//! §6 ("CDN Traces"): *"For 200MB and 500MB cache sizes … we scale up the
+//! object sizes of the 100MB traces by 2× and 5×, respectively, and
+//! additionally perturb each object's size randomly by ±20 % to synthetically
+//! generate 'new' traces."* [`scale_trace`] implements exactly that. The
+//! perturbation is drawn once per object (not per request) so object sizes
+//! remain consistent within the scaled trace.
+
+use crate::request::{Request, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Scales every object's size by `factor` and perturbs it by a per-object
+/// uniform factor in `[1 - perturb, 1 + perturb]`.
+///
+/// `perturb` must be in `[0, 1)`. Timestamps and ordering are preserved.
+pub fn scale_trace(trace: &Trace, factor: f64, perturb: f64, seed: u64) -> Trace {
+    assert!(factor > 0.0, "scale factor must be positive");
+    assert!((0.0..1.0).contains(&perturb), "perturbation must be in [0,1)");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut per_object: HashMap<u64, f64> = HashMap::new();
+    let requests = trace
+        .iter()
+        .map(|r| {
+            let mult = *per_object
+                .entry(r.id)
+                .or_insert_with(|| factor * (1.0 + rng.gen_range(-perturb..=perturb)));
+            Request::new(r.id, ((r.size as f64 * mult).round() as u64).max(1), r.timestamp_us)
+        })
+        .collect();
+    Trace::from_sorted(requests)
+}
+
+/// Concatenates traces back-to-back, re-basing timestamps so each trace
+/// starts where the previous one ended (plus one microsecond). This builds
+/// the traffic-shift workloads of Fig 4/7a ("a concatenated trace that
+/// consists of four 100M online test traces with different best experts").
+pub fn concat_traces(traces: &[Trace]) -> Trace {
+    let mut out: Vec<Request> = Vec::with_capacity(traces.iter().map(|t| t.len()).sum());
+    let mut offset = 0u64;
+    for t in traces {
+        let base = t.requests().first().map(|r| r.timestamp_us).unwrap_or(0);
+        for r in t {
+            out.push(Request::new(r.id, r.size, offset + (r.timestamp_us - base)));
+        }
+        offset = out.last().map(|r| r.timestamp_us + 1).unwrap_or(offset);
+    }
+    Trace::from_sorted(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MixSpec, TraceGenerator, TrafficClass};
+    use std::collections::HashMap;
+
+    fn small_trace(seed: u64, n: usize) -> Trace {
+        TraceGenerator::new(MixSpec::single(TrafficClass::image()), seed).generate(n)
+    }
+
+    #[test]
+    fn scaling_multiplies_sizes_within_band() {
+        let t = small_trace(1, 5000);
+        let s = scale_trace(&t, 5.0, 0.2, 7);
+        for (a, b) in t.iter().zip(s.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.timestamp_us, b.timestamp_us);
+            let ratio = b.size as f64 / a.size as f64;
+            assert!((3.9..=6.1).contains(&ratio), "ratio {ratio} outside 5×±20% (+rounding)");
+        }
+    }
+
+    #[test]
+    fn scaling_keeps_object_sizes_consistent() {
+        let t = small_trace(2, 20_000);
+        let s = scale_trace(&t, 2.0, 0.2, 3);
+        let mut sizes: HashMap<u64, u64> = HashMap::new();
+        for r in &s {
+            if let Some(prev) = sizes.insert(r.id, r.size) {
+                assert_eq!(prev, r.size);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_is_deterministic_in_seed() {
+        let t = small_trace(3, 2000);
+        assert_eq!(scale_trace(&t, 2.0, 0.2, 9), scale_trace(&t, 2.0, 0.2, 9));
+        assert_ne!(scale_trace(&t, 2.0, 0.2, 9), scale_trace(&t, 2.0, 0.2, 10));
+    }
+
+    #[test]
+    fn zero_perturbation_is_pure_scaling() {
+        let t = small_trace(4, 1000);
+        let s = scale_trace(&t, 3.0, 0.0, 1);
+        for (a, b) in t.iter().zip(s.iter()) {
+            assert_eq!(b.size, (a.size as f64 * 3.0).round() as u64);
+        }
+    }
+
+    #[test]
+    fn concat_rebases_timestamps_monotonically() {
+        let a = small_trace(5, 1000);
+        let b = small_trace(6, 1000);
+        let c = concat_traces(&[a.clone(), b.clone()]);
+        assert_eq!(c.len(), 2000);
+        assert!(c.requests().windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+        // Second half starts after first half ends.
+        assert!(c.requests()[1000].timestamp_us > c.requests()[999].timestamp_us);
+    }
+
+    #[test]
+    fn concat_of_empty_is_empty() {
+        assert!(concat_traces(&[]).is_empty());
+        assert_eq!(concat_traces(&[Trace::default(), small_trace(7, 10)]).len(), 10);
+    }
+}

@@ -1,0 +1,133 @@
+//! Descriptive statistics of a trace, used in experiment reporting and in
+//! tests that check generated traces match their class's published statistics.
+
+use crate::request::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub requests: usize,
+    /// Number of distinct objects.
+    pub unique_objects: usize,
+    /// Total requested bytes.
+    pub total_bytes: u64,
+    /// Mean request size in bytes.
+    pub mean_size: f64,
+    /// Fraction of *objects* requested exactly once ("one-hit wonders";
+    /// §2.2: nearly 70 % of unique objects accessed from a CDN cache).
+    pub one_hit_wonder_fraction: f64,
+    /// Fraction of requests for objects smaller than 20 KB (Image-class
+    /// diagnostic from §3.1).
+    pub frac_requests_below_20k: f64,
+    /// Fraction of requests for objects smaller than 50 KB (Download-class
+    /// diagnostic from §3.1).
+    pub frac_requests_below_50k: f64,
+    /// Mean requests per object.
+    pub mean_requests_per_object: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`.
+    pub fn compute(trace: &Trace) -> Self {
+        let n = trace.len();
+        if n == 0 {
+            return Self {
+                requests: 0,
+                unique_objects: 0,
+                total_bytes: 0,
+                mean_size: 0.0,
+                one_hit_wonder_fraction: 0.0,
+                frac_requests_below_20k: 0.0,
+                frac_requests_below_50k: 0.0,
+                mean_requests_per_object: 0.0,
+            };
+        }
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let mut total_bytes = 0u64;
+        let mut below20 = 0usize;
+        let mut below50 = 0usize;
+        for r in trace {
+            *counts.entry(r.id).or_default() += 1;
+            total_bytes += r.size;
+            if r.size < 20 * 1024 {
+                below20 += 1;
+            }
+            if r.size < 50 * 1024 {
+                below50 += 1;
+            }
+        }
+        let unique = counts.len();
+        let one_hit = counts.values().filter(|&&c| c == 1).count();
+        Self {
+            requests: n,
+            unique_objects: unique,
+            total_bytes,
+            mean_size: total_bytes as f64 / n as f64,
+            one_hit_wonder_fraction: one_hit as f64 / unique as f64,
+            frac_requests_below_20k: below20 as f64 / n as f64,
+            frac_requests_below_50k: below50 as f64 / n as f64,
+            mean_requests_per_object: n as f64 / unique as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MixSpec, TraceGenerator, TrafficClass};
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = TraceStats::compute(&Trace::default());
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.mean_size, 0.0);
+    }
+
+    #[test]
+    fn image_class_statistics_match_paper_shape() {
+        let t = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 11).generate(100_000);
+        let s = TraceStats::compute(&t);
+        // §3.1: "71.9% of the requests are for objects whose sizes are
+        // smaller than 20KB" — we accept a generous band.
+        assert!(
+            (0.55..=0.90).contains(&s.frac_requests_below_20k),
+            "image <20KB fraction {}",
+            s.frac_requests_below_20k
+        );
+        // Image class must be one-hit-wonder heavy.
+        assert!(
+            s.one_hit_wonder_fraction > 0.4,
+            "image one-hit fraction {}",
+            s.one_hit_wonder_fraction
+        );
+    }
+
+    #[test]
+    fn download_class_statistics_match_paper_shape() {
+        let t =
+            TraceGenerator::new(MixSpec::single(TrafficClass::download()), 12).generate(100_000);
+        let s = TraceStats::compute(&t);
+        // §3.1: "only 21.5% of the requests are for objects below 50KB".
+        assert!(
+            s.frac_requests_below_50k < 0.4,
+            "download <50KB fraction {}",
+            s.frac_requests_below_50k
+        );
+        // Download objects are popular: many requests per object.
+        assert!(
+            s.mean_requests_per_object > 5.0,
+            "download mean req/object {}",
+            s.mean_requests_per_object
+        );
+    }
+
+    #[test]
+    fn mean_size_is_total_over_requests() {
+        let t = TraceGenerator::new(MixSpec::single(TrafficClass::web()), 13).generate(5_000);
+        let s = TraceStats::compute(&t);
+        assert!((s.mean_size - s.total_bytes as f64 / s.requests as f64).abs() < 1e-9);
+    }
+}

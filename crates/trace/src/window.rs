@@ -1,0 +1,93 @@
+//! Fixed-size request windows over a trace.
+//!
+//! Several experiments slice traces into windows: the motivation study uses
+//! "two randomly-picked time windows, each with 2M requests" (Fig 2a/2b), and
+//! the Percentile baseline re-estimates its thresholds every N requests.
+
+use crate::request::Trace;
+
+/// Iterator over consecutive request-count windows of a trace.
+///
+/// The final window is yielded even if shorter than `window_len`, unless
+/// `drop_partial` was requested.
+pub struct Windows<'a> {
+    trace: &'a Trace,
+    window_len: usize,
+    pos: usize,
+    drop_partial: bool,
+}
+
+impl<'a> Windows<'a> {
+    /// Windows of `window_len` requests, including a trailing partial window.
+    pub fn new(trace: &'a Trace, window_len: usize) -> Self {
+        assert!(window_len > 0, "window length must be positive");
+        Self { trace, window_len, pos: 0, drop_partial: false }
+    }
+
+    /// Windows of `window_len` requests, dropping a trailing partial window.
+    pub fn full_only(trace: &'a Trace, window_len: usize) -> Self {
+        assert!(window_len > 0, "window length must be positive");
+        Self { trace, window_len, pos: 0, drop_partial: true }
+    }
+}
+
+impl<'a> Iterator for Windows<'a> {
+    type Item = Trace;
+
+    fn next(&mut self) -> Option<Trace> {
+        if self.pos >= self.trace.len() {
+            return None;
+        }
+        let end = (self.pos + self.window_len).min(self.trace.len());
+        if self.drop_partial && end - self.pos < self.window_len {
+            self.pos = self.trace.len();
+            return None;
+        }
+        let w = self.trace.slice(self.pos, end);
+        self.pos = end;
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+
+    fn t(n: usize) -> Trace {
+        Trace::from_requests((0..n as u64).map(|i| Request::new(i, 1, i)).collect())
+    }
+
+    #[test]
+    fn exact_division() {
+        let tr = t(9);
+        let w: Vec<Trace> = Windows::new(&tr, 3).collect();
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().all(|x| x.len() == 3));
+    }
+
+    #[test]
+    fn partial_window_included_by_default() {
+        let tr = t(10);
+        let w: Vec<Trace> = Windows::new(&tr, 3).collect();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[3].len(), 1);
+    }
+
+    #[test]
+    fn partial_window_dropped_when_requested() {
+        let tr = t(10);
+        let w: Vec<Trace> = Windows::full_only(&tr, 3).collect();
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn window_larger_than_trace() {
+        let tr = t(2);
+        let w: Vec<Trace> = Windows::new(&tr, 10).collect();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].len(), 2);
+        let w2: Vec<Trace> = Windows::full_only(&tr, 10).collect();
+        assert!(w2.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Bandit playground: the paper's theoretical story in isolation.
+//!
+//! Track-and-Stop with Side Information identifies the best arm in a number
+//! of rounds that does not grow with the number of arms K (Theorem 2), while
+//! classical Track-and-Stop scales linearly in K. This example runs both on
+//! synthetic Gaussian environments and prints the scaling table.
+//!
+//! ```text
+//! cargo run --release --example bandit_playground
+//! ```
+
+use darwin_bandit::{
+    ClassicalTrackAndStop, GaussianEnv, SideInfo, TasConfig, TrackAndStopSideInfo,
+};
+
+fn main() {
+    let cfg = TasConfig { stability_rounds: None, max_rounds: 100_000, ..TasConfig::default() };
+    let seeds = 10u64;
+
+    println!("best-arm identification: mean rounds over {seeds} seeds (delta = 0.05)\n");
+    println!("{:>4} {:>22} {:>22} {:>10}", "K", "with side info", "classical feedback", "ratio");
+
+    for k in [2usize, 4, 8, 16, 32] {
+        // One clearly-best arm; challengers staggered 0.08–0.12 below.
+        let mu: Vec<f64> = (0..k)
+            .map(|i| if i == 0 { 0.60 } else { 0.50 - 0.01 * (i % 3) as f64 })
+            .collect();
+        let sigma = SideInfo::two_level(k, 0.05, 0.08);
+
+        let mut si_total = 0usize;
+        let mut si_errors = 0usize;
+        let mut cl_total = 0usize;
+        for seed in 0..seeds {
+            let mut env = GaussianEnv::new(mu.clone(), sigma.clone(), seed);
+            let (arm, rounds, _) =
+                TrackAndStopSideInfo::new(sigma.clone(), 0.05, cfg).run(|a| env.pull(a));
+            si_total += rounds;
+            if arm != 0 {
+                si_errors += 1;
+            }
+
+            let mut env2 = GaussianEnv::new(mu.clone(), sigma.clone(), 1000 + seed);
+            let (_, rounds, _) = ClassicalTrackAndStop::homoscedastic(k, 0.05, 0.05, cfg)
+                .run(|a| env2.pull(a)[a]);
+            cl_total += rounds;
+        }
+        let si = si_total as f64 / seeds as f64;
+        let cl = cl_total as f64 / seeds as f64;
+        println!("{k:>4} {si:>22.1} {cl:>22.1} {:>10.1}x", cl / si);
+        assert_eq!(si_errors, 0, "side-info TaS misidentified the best arm");
+    }
+
+    println!(
+        "\nThe side-information column stays roughly flat in K — every round\n\
+         yields a (fictitious) sample for every arm — while classical rounds\n\
+         grow with K, as Theorem 2's comparison predicts."
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: train Darwin offline on a small corpus, then run it online on
+//! a traffic mix it has never seen, and compare against a static expert.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use darwin::prelude::*;
+use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
+use std::sync::Arc;
+
+fn main() {
+    // ---------------------------------------------------------------- corpus
+    // Historical traces: Image/Download mixes at several ratios (what a CDN
+    // would collect from production logs).
+    println!("generating offline corpus ...");
+    let corpus: Vec<_> = (0..6)
+        .map(|i| {
+            let image_share = i as f64 / 5.0;
+            let mix = MixSpec::two_class(
+                TrafficClass::image(),
+                TrafficClass::download(),
+                image_share,
+            );
+            TraceGenerator::new(mix, 100 + i as u64).generate(60_000)
+        })
+        .collect();
+
+    // --------------------------------------------------------------- offline
+    // Train the full pipeline: evaluate the 36-expert grid on every trace,
+    // cluster, associate best-expert sets, and fit cross-expert predictors.
+    println!("training Darwin offline (36 experts x {} traces) ...", corpus.len());
+    let offline = OfflineConfig {
+        hoc_bytes: 16 * 1024 * 1024,
+        feature_prefix_requests: 2_000,
+        ..OfflineConfig::default()
+    };
+    let model = Arc::new(OfflineTrainer::new(offline).train(&corpus));
+    println!(
+        "model: {} clusters, expert sets of sizes {:?}",
+        model.num_clusters(),
+        (0..model.num_clusters()).map(|c| model.expert_set(c).len()).collect::<Vec<_>>()
+    );
+
+    // ---------------------------------------------------------------- online
+    // A held-out 30:70 mix the model never saw.
+    let test = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.3),
+        999,
+    )
+    .generate(60_000);
+
+    let online = OnlineConfig {
+        epoch_requests: 60_000,
+        warmup_requests: 2_000,
+        round_requests: 600,
+        ..OnlineConfig::default()
+    };
+    let cache = CacheConfig {
+        hoc_bytes: 16 * 1024 * 1024,
+        dc_bytes: 1024 * 1024 * 1024,
+        ..CacheConfig::paper_default()
+    };
+    println!("running Darwin online on a held-out mix ...");
+    let report = run_darwin(&model, &online, &test, &cache);
+    println!(
+        "darwin: OHR = {:.4}, {} expert switches, identified in {} bandit rounds",
+        report.metrics.hoc_ohr(),
+        report.switches.len(),
+        report.epochs.first().map(|e| e.identify_rounds).unwrap_or(0),
+    );
+
+    // ------------------------------------------------------------- baseline
+    let static_expert = Expert::new(2, 100);
+    let m = darwin::run_static(static_expert, &test, &cache);
+    println!("static {}: OHR = {:.4}", static_expert.label(), m.hoc_ohr());
+    println!(
+        "darwin vs static: {:+.2}%",
+        (report.metrics.hoc_ohr() - m.hoc_ohr()) / m.hoc_ohr() * 100.0
+    );
+}

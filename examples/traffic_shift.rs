@@ -1,0 +1,91 @@
+//! Traffic-shift scenario: the paper's core motivation (§2.1).
+//!
+//! A CDN load balancer abruptly changes the traffic-class mix a server sees
+//! (e.g. an iOS release floods a web server with software downloads). This
+//! example concatenates three workload phases with very different optimal
+//! experts and shows Darwin re-identifying the best expert each epoch, while
+//! any static expert is wrong for at least one phase.
+//!
+//! ```text
+//! cargo run --release --example traffic_shift
+//! ```
+
+use darwin::prelude::*;
+use darwin_trace::{concat_traces, MixSpec, TraceGenerator, TrafficClass};
+use std::sync::Arc;
+
+fn main() {
+    let cache = CacheConfig {
+        hoc_bytes: 16 * 1024 * 1024,
+        dc_bytes: 1024 * 1024 * 1024,
+        ..CacheConfig::paper_default()
+    };
+
+    // Offline corpus spanning the mixes the server might see.
+    println!("training Darwin offline ...");
+    let corpus: Vec<_> = (0..8)
+        .map(|i| {
+            let mix = MixSpec::two_class(
+                TrafficClass::image(),
+                TrafficClass::download(),
+                i as f64 / 7.0,
+            );
+            TraceGenerator::new(mix, 10 + i as u64).generate(50_000)
+        })
+        .collect();
+    let offline = OfflineConfig {
+        hoc_bytes: cache.hoc_bytes,
+        feature_prefix_requests: 1_500,
+        ..OfflineConfig::default()
+    };
+    let model = Arc::new(OfflineTrainer::new(offline).train(&corpus));
+
+    // Three phases: image-heavy → download-heavy → balanced. Each phase is
+    // one epoch long, so Darwin re-runs feature estimation + identification
+    // at each shift.
+    let phase_len = 50_000;
+    let phases = [
+        ("image-heavy (90:10)", 0.9),
+        ("download-heavy (10:90)", 0.1),
+        ("balanced (50:50)", 0.5),
+    ];
+    let parts: Vec<_> = phases
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, share))| {
+            let mix =
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), share);
+            TraceGenerator::new(mix, 500 + i as u64).generate(phase_len)
+        })
+        .collect();
+    let workload = concat_traces(&parts);
+
+    let online = OnlineConfig {
+        epoch_requests: phase_len,
+        warmup_requests: 1_500,
+        round_requests: 500,
+        ..OnlineConfig::default()
+    };
+    println!("running Darwin across three traffic phases ...");
+    let report = run_darwin(&model, &online, &workload, &cache);
+
+    println!("\nphase shifts and Darwin's reactions:");
+    for (i, (ep, (name, _))) in report.epochs.iter().zip(&phases).enumerate() {
+        println!(
+            "  phase {} {:24} -> cluster {}, {} candidates, {} rounds, deployed {}",
+            i + 1,
+            name,
+            ep.cluster,
+            ep.set_size,
+            ep.identify_rounds,
+            model.grid().get(ep.chosen_expert).label(),
+        );
+    }
+    println!("\ndarwin overall OHR: {:.4}", report.metrics.hoc_ohr());
+
+    // Static experts: each phase's favourite fails elsewhere.
+    for expert in [Expert::new(5, 20), Expert::new(2, 1000), Expert::new(3, 100)] {
+        let m = darwin::run_static(expert, &workload, &cache);
+        println!("static {:8} OHR: {:.4}", expert.label(), m.hoc_ohr());
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the bandit theory claims (§4.2, Theorems 1–2).
+
+use darwin_bandit::{
+    ClassicalTrackAndStop, GaussianEnv, SideInfo, SuccessiveElimination, TasConfig,
+    TrackAndStopSideInfo,
+};
+
+fn cfg() -> TasConfig {
+    TasConfig { stability_rounds: None, max_rounds: 100_000, ..TasConfig::default() }
+}
+
+#[test]
+fn delta_soundness_empirically_holds() {
+    // δ = 0.1 over 60 runs on a moderately hard instance: error count must
+    // stay well below the binomial tail (mean 6, 3σ ≈ 13).
+    let mu = vec![0.56, 0.50, 0.46, 0.42];
+    let sigma = SideInfo::two_level(4, 0.06, 0.12);
+    let mut errors = 0;
+    for seed in 0..60 {
+        let mut env = GaussianEnv::new(mu.clone(), sigma.clone(), seed);
+        let (arm, _, _) =
+            TrackAndStopSideInfo::new(sigma.clone(), 0.1, cfg()).run(|a| env.pull(a));
+        if arm != 0 {
+            errors += 1;
+        }
+    }
+    assert!(errors <= 13, "{errors} errors in 60 runs at delta = 0.1");
+}
+
+#[test]
+fn side_info_rounds_flat_in_k_classical_grows() {
+    // The headline Theorem 2 contrast. Gaps held fixed while K grows.
+    let seeds = 6u64;
+    let mean_rounds = |k: usize, side_info: bool| -> f64 {
+        let mu: Vec<f64> =
+            (0..k).map(|i| if i == 0 { 0.6 } else { 0.48 }).collect();
+        let sigma = SideInfo::two_level(k, 0.05, 0.08);
+        let mut total = 0usize;
+        for seed in 0..seeds {
+            if side_info {
+                let mut env = GaussianEnv::new(mu.clone(), sigma.clone(), seed);
+                total += TrackAndStopSideInfo::new(sigma.clone(), 0.05, cfg())
+                    .run(|a| env.pull(a))
+                    .1;
+            } else {
+                let mut env = GaussianEnv::new(mu.clone(), sigma.clone(), 70 + seed);
+                total += ClassicalTrackAndStop::homoscedastic(k, 0.05, 0.05, cfg())
+                    .run(|a| env.pull(a)[a])
+                    .1;
+            }
+        }
+        total as f64 / seeds as f64
+    };
+
+    let si_small = mean_rounds(3, true);
+    let si_large = mean_rounds(24, true);
+    let cl_small = mean_rounds(3, false);
+    let cl_large = mean_rounds(24, false);
+
+    // Classical grows substantially with K.
+    assert!(
+        cl_large > cl_small * 2.0,
+        "classical rounds failed to grow: {cl_small} -> {cl_large}"
+    );
+    // Side information grows far slower than classical's growth factor.
+    let si_growth = si_large / si_small;
+    let cl_growth = cl_large / cl_small;
+    assert!(
+        si_growth < cl_growth / 1.5,
+        "side-info growth {si_growth:.2} not clearly flatter than classical {cl_growth:.2}"
+    );
+}
+
+#[test]
+fn information_level_grows_and_crosses_threshold() {
+    let sigma = SideInfo::uniform(3, 0.05);
+    let mut env = GaussianEnv::new(vec![0.7, 0.5, 0.3], sigma.clone(), 11);
+    let mut tas = TrackAndStopSideInfo::new(sigma, 0.05, cfg());
+    let mut last_z = 0.0;
+    let mut grew = 0;
+    while !tas.finished() {
+        let arm = tas.next_arm();
+        let y = env.pull(arm);
+        tas.observe(arm, &y);
+        let z = tas.information_level();
+        if z > last_z {
+            grew += 1;
+        }
+        last_z = z;
+    }
+    assert!(grew >= 2, "information level never grew");
+    assert!(
+        tas.information_level() >= tas.threshold(),
+        "stopped without crossing the threshold"
+    );
+}
+
+#[test]
+fn successive_elimination_agrees_with_tas() {
+    let mu = [0.7, 0.55, 0.4];
+    let sigma = SideInfo::uniform(3, 0.05);
+    let mut env = GaussianEnv::new(mu.to_vec(), sigma.clone(), 5);
+    let (tas_arm, _, _) =
+        TrackAndStopSideInfo::new(sigma, 0.05, cfg()).run(|a| env.pull(a));
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(6);
+    let (se_arm, _) = SuccessiveElimination::new(3, 0.05, 0.05, 100_000).run(|a| {
+        let z: f64 = rng.sample(rand_distr::StandardNormal);
+        mu[a] + 0.05 * z
+    });
+    assert_eq!(tas_arm, se_arm);
+    assert_eq!(tas_arm, 0);
+}
+
+#[test]
+fn noisier_side_information_costs_rounds() {
+    let mu = vec![0.6, 0.5, 0.45];
+    let seeds = 8u64;
+    let run_with = |cross: f64, base: u64| -> usize {
+        let sigma = SideInfo::two_level(3, 0.05, cross);
+        let mut total = 0;
+        for seed in 0..seeds {
+            let mut env = GaussianEnv::new(mu.clone(), sigma.clone(), base + seed);
+            total += TrackAndStopSideInfo::new(sigma.clone(), 0.05, cfg())
+                .run(|a| env.pull(a))
+                .1;
+        }
+        total
+    };
+    let sharp = run_with(0.07, 0);
+    let noisy = run_with(0.5, 100);
+    assert!(
+        noisy > sharp,
+        "noisy side info ({noisy}) should need more rounds than sharp ({sharp})"
+    );
+}

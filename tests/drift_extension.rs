@@ -1,0 +1,134 @@
+//! Integration tests for the drift-restart extension: with
+//! `drift_threshold` set, the controller restarts its epoch when the traffic
+//! shifts mid-epoch, instead of waiting for the fixed epoch boundary.
+
+use darwin::online::OnlineController;
+use darwin::prelude::*;
+use darwin_cache::CacheServer;
+use darwin_nn::TrainConfig;
+use darwin_trace::{concat_traces, MixSpec, Trace, TraceGenerator, TrafficClass};
+use std::sync::Arc;
+
+const HOC: u64 = 4 * 1024 * 1024;
+
+fn cache() -> CacheConfig {
+    CacheConfig { hoc_bytes: HOC, dc_bytes: 256 * 1024 * 1024, ..CacheConfig::paper_default() }
+}
+
+fn model() -> Arc<DarwinModel> {
+    let corpus: Vec<Trace> = (0..5)
+        .map(|i| {
+            TraceGenerator::new(
+                MixSpec::two_class(
+                    TrafficClass::image(),
+                    TrafficClass::download(),
+                    i as f64 / 4.0,
+                ),
+                1400 + i as u64,
+            )
+            .generate(15_000)
+        })
+        .collect();
+    let cfg = darwin::OfflineConfig {
+        grid: darwin::ExpertGrid::new(vec![
+            Expert::new(1, 20),
+            Expert::new(1, 500),
+            Expert::new(5, 20),
+            Expert::new(5, 500),
+        ]),
+        hoc_bytes: HOC,
+        nn_train: TrainConfig { epochs: 40, ..TrainConfig::default() },
+        n_clusters: 3,
+        feature_prefix_requests: 700,
+        ..darwin::OfflineConfig::default()
+    };
+    Arc::new(OfflineTrainer::new(cfg).train(&corpus))
+}
+
+/// One very long epoch with a hard mix shift at 25 % of it: fixed epochs
+/// stay locked to the stale expert; drift restarts re-identify.
+fn shifted_workload() -> Trace {
+    let a = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.95),
+        1450,
+    )
+    .generate(15_000);
+    let b = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.05),
+        1451,
+    )
+    .generate(45_000);
+    concat_traces(&[a, b])
+}
+
+fn run(cfg: OnlineConfig) -> (f64, usize, usize) {
+    let w = shifted_workload();
+    let model = model();
+    let mut ctrl = OnlineController::new(model, cfg);
+    let mut server = CacheServer::new(cache());
+    server.set_policy(ctrl.current_expert().policy);
+    for r in &w {
+        server.process(r);
+        if let Some(e) = ctrl.observe(r, &server.metrics()) {
+            server.set_policy(e.policy);
+        }
+    }
+    (server.metrics().hoc_ohr(), ctrl.drift_restarts(), ctrl.epochs().len())
+}
+
+fn base_cfg() -> OnlineConfig {
+    OnlineConfig {
+        epoch_requests: 60_000, // the whole workload is one fixed epoch
+        warmup_requests: 700,
+        round_requests: 400,
+        ..OnlineConfig::default()
+    }
+}
+
+#[test]
+fn drift_restart_triggers_on_mid_epoch_shift() {
+    let (_, restarts, epochs) =
+        run(OnlineConfig { drift_threshold: Some(0.4), ..base_cfg() });
+    assert!(restarts >= 1, "no drift restart on a 95:5 → 5:95 shift");
+    assert!(epochs >= 2, "restart should have produced a second identification");
+}
+
+#[test]
+fn drift_restart_improves_ohr_over_fixed_epoch() {
+    let (fixed_ohr, fixed_restarts, _) = run(base_cfg());
+    let (drift_ohr, _, _) = run(OnlineConfig { drift_threshold: Some(0.4), ..base_cfg() });
+    assert_eq!(fixed_restarts, 0);
+    assert!(
+        drift_ohr >= fixed_ohr * 0.98,
+        "drift restarts hurt: {drift_ohr:.4} vs fixed {fixed_ohr:.4}"
+    );
+}
+
+#[test]
+fn no_spurious_restarts_on_stationary_traffic() {
+    let model = model();
+    let w = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+        1452,
+    )
+    .generate(40_000);
+    let mut ctrl = OnlineController::new(
+        model,
+        OnlineConfig {
+            epoch_requests: 40_000,
+            warmup_requests: 700,
+            round_requests: 400,
+            drift_threshold: Some(0.5),
+            ..OnlineConfig::default()
+        },
+    );
+    let mut server = CacheServer::new(cache());
+    server.set_policy(ctrl.current_expert().policy);
+    for r in &w {
+        server.process(r);
+        if let Some(e) = ctrl.observe(r, &server.metrics()) {
+            server.set_policy(e.policy);
+        }
+    }
+    assert_eq!(ctrl.drift_restarts(), 0, "stationary traffic must not restart");
+}

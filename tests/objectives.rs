@@ -1,0 +1,140 @@
+//! Integration tests for objective flexibility (§6.3): the same pipeline
+//! optimizing OHR, BMR and the combined disk-write objective.
+
+use darwin::prelude::*;
+use darwin_nn::TrainConfig;
+use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
+use std::sync::Arc;
+
+const HOC: u64 = 4 * 1024 * 1024;
+
+fn cache() -> CacheConfig {
+    CacheConfig { hoc_bytes: HOC, dc_bytes: 256 * 1024 * 1024, ..CacheConfig::paper_default() }
+}
+
+fn corpus() -> Vec<Trace> {
+    (0..6)
+        .map(|i| {
+            TraceGenerator::new(
+                MixSpec::two_class(
+                    TrafficClass::image(),
+                    TrafficClass::download(),
+                    i as f64 / 5.0,
+                ),
+                700 + i as u64,
+            )
+            .generate(18_000)
+        })
+        .collect()
+}
+
+fn cfg(objective: Objective) -> darwin::OfflineConfig {
+    darwin::OfflineConfig {
+        grid: darwin::ExpertGrid::new(vec![
+            Expert::new(1, 20),
+            Expert::new(1, 500),
+            Expert::new(5, 20),
+            Expert::new(5, 500),
+        ]),
+        objective,
+        hoc_bytes: HOC,
+        nn_train: TrainConfig { epochs: 50, ..TrainConfig::default() },
+        n_clusters: 3,
+        feature_prefix_requests: 800,
+        ..darwin::OfflineConfig::default()
+    }
+}
+
+#[test]
+fn one_evaluation_pass_serves_all_objectives() {
+    let trainer = OfflineTrainer::new(cfg(Objective::HocOhr));
+    let evals = trainer.evaluate_corpus(&corpus());
+    for ev in &evals {
+        let ohr_rewards = ev.rewards_under(Objective::HocOhr);
+        let bmr_rewards = ev.rewards_under(Objective::HocBmr);
+        assert_eq!(ohr_rewards.len(), bmr_rewards.len());
+        // OHR rewards must equal the recorded hit rates.
+        for (r, &h) in ohr_rewards.iter().zip(&ev.hit_rates) {
+            assert!((r - h).abs() < 1e-12);
+        }
+        // BMR rewards are byte-weighted and generally differ from OHR.
+        assert!(bmr_rewards.iter().all(|r| (0.0..=1.0).contains(r)));
+    }
+}
+
+#[test]
+fn objective_changes_expert_ranking() {
+    // The BMR-best expert weights bytes; on mixed traffic with small + large
+    // objects it can differ from the OHR-best. At minimum the reward
+    // *orderings* must not be identical on every trace (otherwise the
+    // objective plumbing is inert).
+    let trainer = OfflineTrainer::new(cfg(Objective::HocOhr));
+    let evals = trainer.evaluate_corpus(&corpus());
+    let mut any_difference = false;
+    for ev in &evals {
+        let ohr = ev.rewards_under(Objective::HocOhr);
+        let bmr = ev.rewards_under(Objective::HocBmr);
+        let order = |v: &[f64]| -> Vec<usize> {
+            let mut idx: Vec<usize> = (0..v.len()).collect();
+            idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).unwrap());
+            idx
+        };
+        if order(&ohr) != order(&bmr) {
+            any_difference = true;
+        }
+    }
+    assert!(any_difference, "OHR and BMR rankings never differed across the corpus");
+}
+
+#[test]
+fn bmr_trained_darwin_achieves_lower_bmr_than_ohr_trained() {
+    let traces = corpus();
+    let trainer_ohr = OfflineTrainer::new(cfg(Objective::HocOhr));
+    let evals = trainer_ohr.evaluate_corpus(&traces);
+    let model_ohr = Arc::new(trainer_ohr.train_from_evaluations(&evals));
+    let trainer_bmr = OfflineTrainer::new(cfg(Objective::HocBmr));
+    let model_bmr = Arc::new(trainer_bmr.train_from_evaluations(&evals));
+
+    let online = OnlineConfig {
+        epoch_requests: 25_000,
+        warmup_requests: 800,
+        round_requests: 400,
+        ..OnlineConfig::default()
+    };
+    // Average over several held-out mixes (single traces are noisy at this
+    // scale).
+    let mut bmr_with_bmr_model = 0.0;
+    let mut bmr_with_ohr_model = 0.0;
+    for (i, share) in [0.25, 0.5, 0.75].iter().enumerate() {
+        let test = TraceGenerator::new(
+            MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), *share),
+            950 + i as u64,
+        )
+        .generate(25_000);
+        bmr_with_bmr_model +=
+            darwin::run_darwin(&model_bmr, &online, &test, &cache()).metrics.hoc_bmr();
+        bmr_with_ohr_model +=
+            darwin::run_darwin(&model_ohr, &online, &test, &cache()).metrics.hoc_bmr();
+    }
+    assert!(
+        bmr_with_bmr_model <= bmr_with_ohr_model * 1.05,
+        "BMR-trained Darwin ({bmr_with_bmr_model:.4}) should not lose clearly to \
+         OHR-trained ({bmr_with_ohr_model:.4}) on its own metric"
+    );
+}
+
+#[test]
+fn hit_rate_to_reward_conversion_is_monotone() {
+    let trainer = OfflineTrainer::new(cfg(Objective::HocBmr));
+    let model = trainer.train(&corpus());
+    let trainer2 = OfflineTrainer::new(cfg(Objective::HocBmr));
+    let ev = trainer2.evaluate_trace(
+        &TraceGenerator::new(MixSpec::single(TrafficClass::image()), 1).generate(10_000),
+    );
+    // Higher predicted hit rate must never reduce the reward, for any expert.
+    for e in 0..4 {
+        let lo = model.hit_rate_to_reward(e, 0.2, &ev.size_dist);
+        let hi = model.hit_rate_to_reward(e, 0.6, &ev.size_dist);
+        assert!(hi >= lo, "expert {e}: reward not monotone in hit rate");
+    }
+}

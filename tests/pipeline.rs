@@ -1,0 +1,173 @@
+//! End-to-end integration: offline training → model serialization → online
+//! adaptation, across all crates.
+
+use darwin::prelude::*;
+use darwin_nn::TrainConfig;
+use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
+use std::sync::Arc;
+
+const HOC: u64 = 4 * 1024 * 1024;
+
+fn cache() -> CacheConfig {
+    CacheConfig { hoc_bytes: HOC, dc_bytes: 256 * 1024 * 1024, ..CacheConfig::paper_default() }
+}
+
+fn small_grid() -> darwin::ExpertGrid {
+    darwin::ExpertGrid::new(vec![
+        Expert::new(1, 20),
+        Expert::new(1, 500),
+        Expert::new(4, 20),
+        Expert::new(4, 500),
+        Expert::new(7, 100),
+    ])
+}
+
+fn corpus(len: usize) -> Vec<Trace> {
+    (0..6)
+        .map(|i| {
+            let mix = MixSpec::two_class(
+                TrafficClass::image(),
+                TrafficClass::download(),
+                i as f64 / 5.0,
+            );
+            TraceGenerator::new(mix, 300 + i as u64).generate(len)
+        })
+        .collect()
+}
+
+fn offline_cfg() -> darwin::OfflineConfig {
+    darwin::OfflineConfig {
+        grid: small_grid(),
+        hoc_bytes: HOC,
+        nn_train: TrainConfig { epochs: 60, ..TrainConfig::default() },
+        n_clusters: 3,
+        feature_prefix_requests: 1_000,
+        ..darwin::OfflineConfig::default()
+    }
+}
+
+fn online_cfg() -> OnlineConfig {
+    OnlineConfig {
+        epoch_requests: 25_000,
+        warmup_requests: 1_000,
+        round_requests: 400,
+        ..OnlineConfig::default()
+    }
+}
+
+#[test]
+fn offline_online_pipeline_runs_and_adapts() {
+    let trainer = OfflineTrainer::new(offline_cfg());
+    let model = Arc::new(trainer.train(&corpus(20_000)));
+
+    // Held-out download-heavy traffic.
+    let test = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.2),
+        901,
+    )
+    .generate(25_000);
+    let report = darwin::run_darwin(&model, &online_cfg(), &test, &cache());
+
+    assert_eq!(report.metrics.requests as usize, test.len());
+    assert!(!report.epochs.is_empty(), "at least one epoch summary");
+    let ep = &report.epochs[0];
+    assert!(ep.set_size >= 1 && ep.set_size <= 5);
+    assert!(ep.chosen_expert < 5);
+    assert!(report.metrics.hoc_ohr() > 0.0);
+}
+
+#[test]
+fn darwin_close_to_hindsight_best_static() {
+    let trainer = OfflineTrainer::new(offline_cfg());
+    let traces = corpus(20_000);
+    let model = Arc::new(trainer.train(&traces));
+
+    let test = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+        902,
+    )
+    .generate(25_000);
+
+    let darwin_ohr = darwin::run_darwin(&model, &online_cfg(), &test, &cache())
+        .metrics
+        .hoc_ohr();
+    let static_ohrs: Vec<f64> = small_grid()
+        .experts()
+        .iter()
+        .map(|e| darwin::run_static(*e, &test, &cache()).hoc_ohr())
+        .collect();
+    let best = static_ohrs.iter().cloned().fold(f64::MIN, f64::max);
+    let worst = static_ohrs.iter().cloned().fold(f64::MAX, f64::min);
+
+    assert!(
+        darwin_ohr >= worst,
+        "darwin {darwin_ohr} below the worst static {worst}"
+    );
+    // Close to hindsight-best: warm-up + exploration must cost < 20 %
+    // relative at this small scale.
+    assert!(
+        darwin_ohr >= best * 0.8,
+        "darwin {darwin_ohr} too far below hindsight best {best}"
+    );
+}
+
+#[test]
+fn serialized_model_behaves_identically() {
+    let trainer = OfflineTrainer::new(offline_cfg());
+    let model = trainer.train(&corpus(15_000));
+    let restored = DarwinModel::from_json(&model.to_json()).expect("roundtrip");
+
+    let test = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 903).generate(20_000);
+    let a = darwin::run_darwin(&Arc::new(model), &online_cfg(), &test, &cache());
+    let b = darwin::run_darwin(&Arc::new(restored), &online_cfg(), &test, &cache());
+
+    assert_eq!(a.metrics, b.metrics, "restored model must drive identical decisions");
+    assert_eq!(a.final_expert, b.final_expert);
+}
+
+#[test]
+fn epoch_rollover_reidentifies_after_traffic_shift() {
+    let trainer = OfflineTrainer::new(offline_cfg());
+    let model = Arc::new(trainer.train(&corpus(20_000)));
+
+    // Phase 1 image-heavy, phase 2 download-heavy — one epoch each.
+    let p1 = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.95),
+        904,
+    )
+    .generate(25_000);
+    let p2 = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.05),
+        905,
+    )
+    .generate(25_000);
+    let workload = darwin_trace::concat_traces(&[p1, p2]);
+
+    let report = darwin::run_darwin(&model, &online_cfg(), &workload, &cache());
+    assert!(report.epochs.len() >= 2, "two epochs expected, got {}", report.epochs.len());
+}
+
+#[test]
+fn cluster_sets_cover_online_best_experts() {
+    // Appendix A.3's check: "at least one of the trace's best experts is
+    // always included in its corresponding expert set".
+    let trainer = OfflineTrainer::new(offline_cfg());
+    let traces = corpus(20_000);
+    let evals = trainer.evaluate_corpus(&traces);
+    let model = trainer.train_from_evaluations(&evals);
+
+    let mut covered = 0;
+    for ev in &evals {
+        let cluster = model.lookup_cluster(&ev.features);
+        let set = model.expert_set(cluster);
+        let near_best = ev.best_expert_set(1.0);
+        if near_best.iter().any(|e| set.contains(e)) {
+            covered += 1;
+        }
+    }
+    assert!(
+        covered >= evals.len() - 1,
+        "cluster sets cover best experts for only {covered}/{} training traces",
+        evals.len()
+    );
+}

@@ -1,0 +1,178 @@
+//! Failure injection and robustness: Darwin's behaviour when its learned
+//! components are wrong, degenerate, or face traffic they never saw.
+//!
+//! The design rationale (§4) is that Darwin "directly testing and then
+//! selecting among multiple good candidates can better accommodate any
+//! potential errors in feature collection, clustering, etc." — these tests
+//! hold it to that.
+
+use darwin::prelude::*;
+use darwin_nn::TrainConfig;
+use darwin_trace::{
+    drift_popularity, flash_crowd, MixSpec, Trace, TraceGenerator, TrafficClass,
+};
+use std::sync::Arc;
+
+const HOC: u64 = 4 * 1024 * 1024;
+
+fn cache() -> CacheConfig {
+    CacheConfig { hoc_bytes: HOC, dc_bytes: 256 * 1024 * 1024, ..CacheConfig::paper_default() }
+}
+
+fn grid() -> darwin::ExpertGrid {
+    darwin::ExpertGrid::new(vec![
+        Expert::new(1, 20),
+        Expert::new(1, 500),
+        Expert::new(5, 20),
+        Expert::new(5, 500),
+    ])
+}
+
+fn corpus() -> Vec<Trace> {
+    (0..5)
+        .map(|i| {
+            TraceGenerator::new(
+                MixSpec::two_class(
+                    TrafficClass::image(),
+                    TrafficClass::download(),
+                    i as f64 / 4.0,
+                ),
+                600 + i as u64,
+            )
+            .generate(15_000)
+        })
+        .collect()
+}
+
+fn base_cfg() -> darwin::OfflineConfig {
+    darwin::OfflineConfig {
+        grid: grid(),
+        hoc_bytes: HOC,
+        nn_train: TrainConfig { epochs: 50, ..TrainConfig::default() },
+        n_clusters: 2,
+        feature_prefix_requests: 700,
+        ..darwin::OfflineConfig::default()
+    }
+}
+
+fn online() -> OnlineConfig {
+    OnlineConfig {
+        epoch_requests: 20_000,
+        warmup_requests: 700,
+        round_requests: 400,
+        ..OnlineConfig::default()
+    }
+}
+
+fn worst_and_best_static(trace: &Trace) -> (f64, f64) {
+    let ohrs: Vec<f64> = grid()
+        .experts()
+        .iter()
+        .map(|e| darwin::run_static(*e, trace, &cache()).hoc_ohr())
+        .collect();
+    (
+        ohrs.iter().cloned().fold(f64::MAX, f64::min),
+        ohrs.iter().cloned().fold(f64::MIN, f64::max),
+    )
+}
+
+#[test]
+fn untrained_predictors_do_not_sink_darwin_below_worst_static() {
+    // Predictors with essentially no training (1 epoch, zero learning rate)
+    // produce near-random conditionals. The deployed expert's *real* rewards
+    // must still anchor identification above the worst static expert.
+    let cfg = darwin::OfflineConfig {
+        nn_train: TrainConfig { epochs: 1, learning_rate: 0.0, ..TrainConfig::default() },
+        ..base_cfg()
+    };
+    let model = Arc::new(OfflineTrainer::new(cfg).train(&corpus()));
+    let test = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+        1100,
+    )
+    .generate(20_000);
+    let d = darwin::run_darwin(&model, &online(), &test, &cache()).metrics.hoc_ohr();
+    let (worst, _) = worst_and_best_static(&test);
+    assert!(
+        d >= worst * 0.9,
+        "garbage predictors sank darwin ({d:.4}) below worst static ({worst:.4})"
+    );
+}
+
+#[test]
+fn single_cluster_degenerate_model_still_works() {
+    let cfg = darwin::OfflineConfig { n_clusters: 1, ..base_cfg() };
+    let model = Arc::new(OfflineTrainer::new(cfg).train(&corpus()));
+    assert_eq!(model.num_clusters(), 1);
+    let test =
+        TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1101).generate(20_000);
+    let report = darwin::run_darwin(&model, &online(), &test, &cache());
+    assert_eq!(report.metrics.requests as usize, test.len());
+    assert!(report.metrics.hoc_ohr() > 0.0);
+}
+
+#[test]
+fn trace_shorter_than_warmup_completes_gracefully() {
+    let model = Arc::new(OfflineTrainer::new(base_cfg()).train(&corpus()));
+    let tiny = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 1102).generate(300);
+    let report = darwin::run_darwin(&model, &online(), &tiny, &cache());
+    assert_eq!(report.metrics.requests, 300);
+    assert!(report.epochs.is_empty(), "no identification should have happened");
+}
+
+#[test]
+fn out_of_distribution_traffic_class_is_survivable() {
+    // Deploy on a Web-class trace the model never trained on. Darwin must
+    // stay above the worst static expert (its measurements are real even if
+    // its cluster lookup and predictors are extrapolating).
+    let model = Arc::new(OfflineTrainer::new(base_cfg()).train(&corpus()));
+    let test = TraceGenerator::new(MixSpec::single(TrafficClass::web()), 1103).generate(20_000);
+    let d = darwin::run_darwin(&model, &online(), &test, &cache()).metrics.hoc_ohr();
+    let (worst, _) = worst_and_best_static(&test);
+    assert!(d >= worst * 0.9, "OOD traffic sank darwin ({d:.4}) below worst static ({worst:.4})");
+}
+
+#[test]
+fn flash_crowd_mid_epoch_does_not_crash_or_zero_out() {
+    let model = Arc::new(OfflineTrainer::new(base_cfg()).train(&corpus()));
+    let base = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+        1104,
+    )
+    .generate(20_000);
+    let crowd = flash_crowd(&base, 0.3, 0.6, 0.7, 2 * 1024 * 1024, 5);
+    let report = darwin::run_darwin(&model, &online(), &crowd, &cache());
+    assert_eq!(report.metrics.requests as usize, crowd.len());
+    // The hot object is highly cacheable: OHR should not collapse.
+    assert!(report.metrics.hoc_ohr() > 0.05);
+}
+
+#[test]
+fn popularity_drift_is_survivable() {
+    let model = Arc::new(OfflineTrainer::new(base_cfg()).train(&corpus()));
+    let base =
+        TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1105).generate(20_000);
+    let drifted = drift_popularity(&base, 0.6, 6);
+    let report = darwin::run_darwin(&model, &online(), &drifted, &cache());
+    assert_eq!(report.metrics.requests as usize, drifted.len());
+    assert!(report.metrics.hoc_ohr() > 0.0);
+}
+
+#[test]
+fn model_file_roundtrip_and_footprint() {
+    let model = OfflineTrainer::new(base_cfg()).train(&corpus());
+    let path = std::env::temp_dir().join("darwin-robustness-model.json");
+    model.save_to_file(&path).expect("save");
+    let loaded = DarwinModel::load_from_file(&path).expect("load");
+    assert_eq!(model.num_clusters(), loaded.num_clusters());
+    assert!(model.memory_footprint_bytes() > 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_model_file_is_an_error_not_a_panic() {
+    let path = std::env::temp_dir().join("darwin-corrupt-model.json");
+    std::fs::write(&path, "{ not json ").unwrap();
+    assert!(DarwinModel::load_from_file(&path).is_err());
+    let _ = std::fs::remove_file(&path);
+}

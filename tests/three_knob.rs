@@ -1,0 +1,131 @@
+//! End-to-end pipeline with three-knob experts (frequency, size, recency) —
+//! the §6/Fig 11 extension: "we also created experts with three decision
+//! knobs … Darwin can be trivially extended to include other knobs."
+
+use darwin::prelude::*;
+use darwin_nn::TrainConfig;
+use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
+use std::sync::Arc;
+
+const HOC: u64 = 4 * 1024 * 1024;
+
+fn cache() -> CacheConfig {
+    CacheConfig { hoc_bytes: HOC, dc_bytes: 256 * 1024 * 1024, ..CacheConfig::paper_default() }
+}
+
+fn three_knob_grid() -> darwin::ExpertGrid {
+    darwin::ExpertGrid::new(vec![
+        Expert::with_recency(1, 100, 10),
+        Expert::with_recency(1, 100, 600),
+        Expert::with_recency(5, 100, 10),
+        Expert::with_recency(5, 100, 600),
+        Expert::with_recency(1, 500, 600),
+        Expert::with_recency(5, 500, 600),
+    ])
+}
+
+fn corpus() -> Vec<Trace> {
+    (0..5)
+        .map(|i| {
+            TraceGenerator::new(
+                MixSpec::two_class(
+                    TrafficClass::image(),
+                    TrafficClass::download(),
+                    i as f64 / 4.0,
+                ),
+                1200 + i as u64,
+            )
+            .generate(15_000)
+        })
+        .collect()
+}
+
+#[test]
+fn three_knob_pipeline_end_to_end() {
+    let cfg = darwin::OfflineConfig {
+        grid: three_knob_grid(),
+        hoc_bytes: HOC,
+        nn_train: TrainConfig { epochs: 50, ..TrainConfig::default() },
+        n_clusters: 2,
+        feature_prefix_requests: 700,
+        ..darwin::OfflineConfig::default()
+    };
+    let trainer = OfflineTrainer::new(cfg);
+    let model = Arc::new(trainer.train(&corpus()));
+
+    // Every cluster set refers to valid 3-knob experts.
+    for c in 0..model.num_clusters() {
+        for &e in model.expert_set(c) {
+            assert!(model.grid().get(e).policy.max_recency_us.is_some());
+        }
+    }
+
+    let online = OnlineConfig {
+        epoch_requests: 20_000,
+        warmup_requests: 700,
+        round_requests: 400,
+        ..OnlineConfig::default()
+    };
+    let test = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.35),
+        1299,
+    )
+    .generate(20_000);
+    let report = darwin::run_darwin(&model, &online, &test, &cache());
+    assert_eq!(report.metrics.requests as usize, test.len());
+
+    // Darwin must stay at or above the worst three-knob static expert.
+    let worst = three_knob_grid()
+        .experts()
+        .iter()
+        .map(|e| darwin::run_static(*e, &test, &cache()).hoc_ohr())
+        .fold(f64::MAX, f64::min);
+    assert!(
+        report.metrics.hoc_ohr() >= worst * 0.95,
+        "darwin {} below worst 3-knob static {}",
+        report.metrics.hoc_ohr(),
+        worst
+    );
+}
+
+#[test]
+fn recency_knob_changes_behaviour() {
+    // A tight recency threshold must admit strictly fewer objects than a
+    // loose one, everything else equal.
+    let trace =
+        TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1301).generate(15_000);
+    let tight = darwin::run_static(Expert::with_recency(1, 500, 1), &trace, &cache());
+    let loose = darwin::run_static(Expert::with_recency(1, 500, 3600), &trace, &cache());
+    assert!(
+        tight.hoc_writes < loose.hoc_writes,
+        "tight recency admitted {} ≥ loose {}",
+        tight.hoc_writes,
+        loose.hoc_writes
+    );
+}
+
+#[test]
+fn timeline_tracks_adaptation() {
+    let cfg = darwin::OfflineConfig {
+        grid: three_knob_grid(),
+        hoc_bytes: HOC,
+        nn_train: TrainConfig { epochs: 40, ..TrainConfig::default() },
+        n_clusters: 2,
+        feature_prefix_requests: 700,
+        ..darwin::OfflineConfig::default()
+    };
+    let model = Arc::new(OfflineTrainer::new(cfg).train(&corpus()));
+    let online = OnlineConfig {
+        epoch_requests: 20_000,
+        warmup_requests: 700,
+        round_requests: 400,
+        ..OnlineConfig::default()
+    };
+    let test =
+        TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1302).generate(20_000);
+    let report =
+        darwin::runner::run_darwin_with_timeline(&model, &online, &test, &cache(), 2_000);
+    assert_eq!(report.timeline.len(), 10);
+    assert!(report.timeline.windows(2).all(|w| w[0].0 < w[1].0));
+    assert!(report.timeline.iter().all(|&(_, ohr)| (0.0..=1.0).contains(&ohr)));
+}
