@@ -110,9 +110,9 @@ impl SuccessiveElimination {
             .flatten()
             .map(|&(l, _)| l)
             .fold(f64::NEG_INFINITY, f64::max);
-        for i in 0..self.alive.len() {
-            if let Some((_, ucb)) = bounds[i] {
-                if ucb < best_lcb {
+        for (i, b) in bounds.iter().enumerate() {
+            if let Some((_, ucb)) = b {
+                if *ucb < best_lcb {
                     self.alive[i] = false;
                 }
             }

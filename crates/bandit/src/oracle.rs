@@ -116,8 +116,8 @@ pub fn optimal_alpha(nu: &[f64], sigma: &SideInfo, iters: usize) -> Vec<f64> {
                 let denom = w[star] + w[c];
                 let ga = (w[c] / denom) * (w[c] / denom); // ∂/∂w_star
                 let gb = (w[star] / denom) * (w[star] / denom); // ∂/∂w_c
-                for i in 0..k {
-                    grad[i] += 0.5
+                for (i, g) in grad.iter_mut().enumerate() {
+                    *g += 0.5
                         * delta
                         * delta
                         * (ga / sigma.var(i, star) + gb / sigma.var(i, c));

@@ -79,7 +79,7 @@ impl Percentile {
     /// Chooses the expert for the distribution observed in a window.
     /// `freqs` is the per-request frequency sample (the within-window request
     /// count of each request's object), `sizes` the per-request sizes.
-    fn choose(&self, freqs: &mut Vec<u32>, sizes: &mut Vec<u64>) -> Expert {
+    fn choose(&self, freqs: &mut [u32], sizes: &mut [u64]) -> Expert {
         let f = percentile_u32(freqs, self.f_percentile) as f64;
         let s = percentile_u64(sizes, self.s_percentile) as f64;
         self.nearest_expert(f, s)

@@ -78,7 +78,7 @@ fn main() {
     let ctx = SharedContext::build_with_cache(
         scale,
         false,
-        use_cache.then(|| out.as_path()),
+        use_cache.then_some(out.as_path()),
     );
     eprintln!("[experiments] context ready in {:.1}s", t0.elapsed().as_secs_f64());
 

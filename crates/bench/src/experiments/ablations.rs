@@ -46,7 +46,10 @@ pub fn side_info_scaling(out: &Path) {
         out,
     );
     let cfg = TasConfig { stability_rounds: None, max_rounds: 60_000, ..TasConfig::default() };
-    for k in [2usize, 4, 8, 16, 32] {
+    // Each K is an independent (seeded) bandit study; fan out over K and
+    // emit rows in K order.
+    let ks = [2usize, 4, 8, 16, 32];
+    let per_k = darwin_parallel::par_map(0, &ks, |&k| {
         // Means: one good arm, the rest staggered below it.
         let mu: Vec<f64> = (0..k)
             .map(|i| if i == 0 { 0.6 } else { 0.5 - 0.01 * (i as f64 % 5.0) })
@@ -64,11 +67,10 @@ pub fn side_info_scaling(out: &Path) {
             let classical = ClassicalTrackAndStop::homoscedastic(k, 0.05, 0.05, cfg);
             cl_rounds += classical.run(|arm| env2.pull(arm)[arm]).1;
         }
-        rep.row(&[
-            k.to_string(),
-            format!("{:.1}", si_rounds as f64 / seeds as f64),
-            format!("{:.1}", cl_rounds as f64 / seeds as f64),
-        ]);
+        (si_rounds as f64 / seeds as f64, cl_rounds as f64 / seeds as f64)
+    });
+    for (&k, (si_mean, cl_mean)) in ks.iter().zip(&per_k) {
+        rep.row(&[k.to_string(), format!("{si_mean:.1}"), format!("{cl_mean:.1}")]);
     }
     rep.finish().expect("write side-info ablation");
 }
@@ -88,17 +90,22 @@ pub fn theta_sweep(ctx: &SharedContext, out: &Path) {
         cfg.theta_percent = theta;
         let trainer = OfflineTrainer::new(cfg);
         let model = Arc::new(trainer.train_from_evaluations(&ctx.train_evals));
+        // Per-pick Darwin runs are independent; aggregate in pick order.
+        let per_pick = darwin_parallel::par_map(0, &picks, |&ti| {
+            let trace = &ctx.corpus.online_test[ti];
+            let rep2 = darwin::run_darwin(&model, &ctx.scale.online_config(), trace, &cache);
+            let ep = rep2.epochs.first().map(|ep| (ep.set_size as f64, ep.identify_rounds as f64));
+            (ep, rep2.metrics.hoc_ohr())
+        });
         let mut sets = Vec::new();
         let mut rounds = Vec::new();
         let mut ohrs = Vec::new();
-        for &ti in &picks {
-            let trace = &ctx.corpus.online_test[ti];
-            let rep2 = darwin::run_darwin(&model, &ctx.scale.online_config(), trace, &cache);
-            if let Some(ep) = rep2.epochs.first() {
-                sets.push(ep.set_size as f64);
-                rounds.push(ep.identify_rounds as f64);
+        for (ep, ohr) in per_pick {
+            if let Some((set, round)) = ep {
+                sets.push(set);
+                rounds.push(round);
             }
-            ohrs.push(rep2.metrics.hoc_ohr());
+            ohrs.push(ohr);
         }
         rep.row(&[
             format!("{theta}"),
@@ -124,12 +131,10 @@ pub fn warmup_sweep(ctx: &SharedContext, out: &Path) {
     for pct in [0.5, 1.0, 3.0, 10.0] {
         let mut cfg = base;
         cfg.warmup_requests = ((base.epoch_requests as f64) * pct / 100.0) as usize;
-        let mut ohrs = Vec::new();
-        for &ti in &picks {
+        let ohrs = darwin_parallel::par_map(0, &picks, |&ti| {
             let trace = &ctx.corpus.online_test[ti];
-            let r = darwin::run_darwin(&ctx.model, &cfg, trace, &cache);
-            ohrs.push(r.metrics.hoc_ohr());
-        }
+            darwin::run_darwin(&ctx.model, &cfg, trace, &cache).metrics.hoc_ohr()
+        });
         rep.row(&[format!("{pct}"), f4(runs::Stats::of(&ohrs).mean)]);
     }
     rep.finish().expect("write warmup ablation");
@@ -151,15 +156,18 @@ pub fn round_length_sweep(ctx: &SharedContext, out: &Path) {
     for pct in [0.2, 0.5, 1.0, 2.0] {
         let mut cfg = base;
         cfg.round_requests = (((base.epoch_requests as f64) * pct / 100.0) as usize).max(50);
-        let mut rounds = Vec::new();
-        let mut ohrs = Vec::new();
-        for &ti in &picks {
+        let per_pick = darwin_parallel::par_map(0, &picks, |&ti| {
             let trace = &ctx.corpus.online_test[ti];
             let r = darwin::run_darwin(&ctx.model, &cfg, trace, &cache);
-            if let Some(ep) = r.epochs.first() {
-                rounds.push(ep.identify_rounds as f64);
+            (r.epochs.first().map(|ep| ep.identify_rounds as f64), r.metrics.hoc_ohr())
+        });
+        let mut rounds = Vec::new();
+        let mut ohrs = Vec::new();
+        for (round, ohr) in per_pick {
+            if let Some(round) = round {
+                rounds.push(round);
             }
-            ohrs.push(r.metrics.hoc_ohr());
+            ohrs.push(ohr);
         }
         rep.row(&[
             format!("{pct}"),
@@ -181,20 +189,27 @@ pub fn eviction_policy(ctx: &SharedContext, out: &Path) {
         &["trace", "lru", "fifo", "lfu", "s4lru"],
         out,
     );
-    for &ti in &picks {
+    // One work item per (trace, eviction-kind) pair: 4 full-trace sims per
+    // pick, all independent.
+    let kinds = [
+        EvictionKind::Lru,
+        EvictionKind::Fifo,
+        EvictionKind::Lfu,
+        EvictionKind::SegmentedLru { segments: 4 },
+    ];
+    let pairs: Vec<(usize, EvictionKind)> =
+        picks.iter().flat_map(|&ti| kinds.iter().map(move |&k| (ti, k))).collect();
+    let ohrs = darwin_parallel::par_map(0, &pairs, |&(ti, kind)| {
         let trace = &ctx.corpus.online_test[ti];
         let best = ctx.online_evals[ti].best_expert();
         let policy = ctx.model.grid().get(best).policy;
+        let mut sim = HocSim::new(ctx.scale.hoc_bytes(), kind, policy);
+        sim.run_trace(trace).hoc_ohr()
+    });
+    for (pi, &ti) in picks.iter().enumerate() {
         let mut cells = vec![format!("mix{ti}")];
-        for kind in [
-            EvictionKind::Lru,
-            EvictionKind::Fifo,
-            EvictionKind::Lfu,
-            EvictionKind::SegmentedLru { segments: 4 },
-        ] {
-            let mut sim = HocSim::new(ctx.scale.hoc_bytes(), kind, policy);
-            let m = sim.run_trace(trace);
-            cells.push(f4(m.hoc_ohr()));
+        for ki in 0..kinds.len() {
+            cells.push(f4(ohrs[pi * kinds.len() + ki]));
         }
         rep.row(&cells);
     }
@@ -292,14 +307,12 @@ pub fn predictor_features(ctx: &SharedContext, out: &Path) {
         let trainer = OfflineTrainer::new(cfg.clone());
         let model = trainer.train_from_evaluations(&ctx.train_evals);
         let n = cfg.grid.len();
-        let mut accs = Vec::new();
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    accs.push(order_accuracy(&model, i, j, &ctx.test_evals, 1.0));
-                }
-            }
-        }
+        // All ordered (i, j) pairs are independent accuracy probes.
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j))).collect();
+        let accs = darwin_parallel::par_map(0, &pairs, |&(i, j)| {
+            order_accuracy(&model, i, j, &ctx.test_evals, 1.0)
+        });
         let mean = accs.iter().sum::<f64>() / accs.len() as f64;
         let above = accs.iter().filter(|&&a| a > 0.8).count() as f64 / accs.len() as f64;
         rep.row(&[label.to_string(), f4(mean), f4(above)]);

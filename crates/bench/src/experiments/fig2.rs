@@ -28,12 +28,25 @@ struct GridResult {
     cells: Vec<(u32, u64, f64, f64)>,
 }
 
+/// Selection key that makes a NaN cell lose: `total_cmp` alone would rank
+/// positive NaN above every real value in a max, so a degenerate simulation
+/// result could masquerade as the optimum.
+fn nan_loses(x: f64, worst: f64) -> f64 {
+    if x.is_nan() {
+        worst
+    } else {
+        x
+    }
+}
+
 impl GridResult {
     fn best_by_ohr(&self) -> (u32, u64, f64) {
         let c = self
             .cells
             .iter()
-            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+            .max_by(|a, b| {
+                nan_loses(a.2, f64::NEG_INFINITY).total_cmp(&nan_loses(b.2, f64::NEG_INFINITY))
+            })
             .unwrap();
         (c.0, c.1, c.2)
     }
@@ -42,7 +55,9 @@ impl GridResult {
         let c = self
             .cells
             .iter()
-            .min_by(|a, b| a.3.partial_cmp(&b.3).unwrap())
+            .min_by(|a, b| {
+                nan_loses(a.3, f64::INFINITY).total_cmp(&nan_loses(b.3, f64::INFINITY))
+            })
             .unwrap();
         (c.0, c.1, c.3)
     }
@@ -56,17 +71,20 @@ impl GridResult {
     }
 }
 
-fn sweep(trace: &Trace, hoc_bytes: u64) -> GridResult {
+/// Sweeps the full (f, s) grid on one trace, one simulation per cell,
+/// fanned out deterministically (`threads` 0 = auto): each cell is an
+/// independent work item, so the grid is bitwise identical at any
+/// thread count.
+fn sweep(trace: &Trace, hoc_bytes: u64, threads: usize) -> GridResult {
     let (fs, ss) = motivation_grid();
-    let mut cells = Vec::new();
-    for &f in &fs {
-        for &s in &ss {
-            let mut sim =
-                HocSim::new(hoc_bytes, EvictionKind::Lru, ThresholdPolicy::new(f, s * 1024));
-            let m = sim.run_trace(trace);
-            cells.push((f, s, m.hoc_ohr(), m.hoc_miss_bytes_per_request()));
-        }
-    }
+    let grid_points: Vec<(u32, u64)> =
+        fs.iter().flat_map(|&f| ss.iter().map(move |&s| (f, s))).collect();
+    let cells = darwin_parallel::par_map(threads, &grid_points, |&(f, s)| {
+        let mut sim =
+            HocSim::new(hoc_bytes, EvictionKind::Lru, ThresholdPolicy::new(f, s * 1024));
+        let m = sim.run_trace(trace);
+        (f, s, m.hoc_ohr(), m.hoc_miss_bytes_per_request())
+    });
     GridResult { cells }
 }
 
@@ -80,25 +98,23 @@ pub fn run(scale: &Scale, out: &Path) {
     let len = (scale.online_trace_len() * 7).max(2_000_000);
 
     // 2a/2b: two windows of a production-like mixed trace with different
-    // class mixes (the load balancer changed the mix between windows).
-    let win1 = TraceGenerator::new(
-        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.8),
-        2001,
-    )
-    .generate(len);
-    let win2 = TraceGenerator::new(
-        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.25),
-        2002,
-    )
-    .generate(len);
-    let image =
-        TraceGenerator::new(MixSpec::single(TrafficClass::image()), 2003).generate(len);
-    let download =
-        TraceGenerator::new(MixSpec::single(TrafficClass::download()), 2004).generate(len);
+    // class mixes (the load balancer changed the mix between windows);
+    // 2c/2d: single-class Image and Download traces. Generation is seeded
+    // per trace, so the four builds fan out in parallel.
+    let specs = [
+        (MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.8), 2001u64),
+        (MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.25), 2002),
+        (MixSpec::single(TrafficClass::image()), 2003),
+        (MixSpec::single(TrafficClass::download()), 2004),
+    ];
+    let traces = darwin_parallel::par_map(0, &specs, |(spec, seed)| {
+        TraceGenerator::new(spec.clone(), *seed).generate(len)
+    });
 
     let names = ["win1", "win2", "image", "download"];
-    let grids: Vec<GridResult> =
-        [&win1, &win2, &image, &download].iter().map(|t| sweep(t, hoc)).collect();
+    // Grids run one after another so each sweep gets the full worker pool
+    // for its 56 cells.
+    let grids: Vec<GridResult> = traces.iter().map(|t| sweep(t, hoc, 0)).collect();
 
     let mut rep = Report::new(
         "fig2_grids",
@@ -146,4 +162,47 @@ pub fn run(scale: &Scale, out: &Path) {
         format!("f{fw} s{sw} {dw:.1} B/req"),
     ]);
     sum.finish().expect("write fig2 summary");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The motivation grid — the heaviest sweep in the harness — is bitwise
+    /// identical at 1 and 8 worker threads, cell for cell.
+    #[test]
+    fn grid_is_thread_count_invariant() {
+        let trace = TraceGenerator::new(
+            MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+            77,
+        )
+        .generate(30_000);
+        let hoc = 4 * 1024 * 1024;
+        let one = sweep(&trace, hoc, 1);
+        let eight = sweep(&trace, hoc, 8);
+        assert_eq!(one.cells.len(), eight.cells.len());
+        for (a, b) in one.cells.iter().zip(&eight.cells) {
+            assert_eq!((a.0, a.1), (b.0, b.1), "cell order must match");
+            assert_eq!(a.2.to_bits(), b.2.to_bits(), "ohr at f{} s{}", a.0, a.1);
+            assert_eq!(a.3.to_bits(), b.3.to_bits(), "disk write at f{} s{}", a.0, a.1);
+        }
+        // The selected optima therefore agree too.
+        assert_eq!(one.best_by_ohr(), eight.best_by_ohr());
+        assert_eq!(one.best_by_disk_write(), eight.best_by_disk_write());
+    }
+
+    /// `total_cmp`-based selection tolerates NaN cells (a sim returning a
+    /// degenerate metric must not panic the whole experiment run).
+    #[test]
+    fn best_selection_survives_nan_cells() {
+        let grid = GridResult {
+            cells: vec![
+                (1, 10, f64::NAN, 5.0),
+                (2, 20, 0.4, f64::NAN),
+                (3, 50, 0.6, 3.0),
+            ],
+        };
+        assert_eq!(grid.best_by_ohr(), (3, 50, 0.6));
+        assert_eq!(grid.best_by_disk_write(), (3, 50, 3.0));
+    }
 }

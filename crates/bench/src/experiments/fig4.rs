@@ -85,8 +85,10 @@ pub fn run_b(ctx: &SharedContext, out: &Path) {
         &["trace", "baseline", "baseline_ohr", "darwin_ohr", "improvement_pct"],
         out,
     );
-    let mut improvements: Vec<(String, Vec<f64>)> = Vec::new();
-    for &ti in &picks {
+    // Per-pick comparisons are independent; fan them out and aggregate the
+    // report rows in pick order afterwards (the inner baseline suite runs
+    // inline inside each worker).
+    let per_pick = darwin_parallel::par_map(0, &picks, |&ti| {
         let trace = &scaled_online[ti];
         let d = runs::darwin_metrics(&model, &ctx.scale, trace, &cache).hoc_ohr();
         let mut rows: Vec<(String, f64)> = Vec::new();
@@ -97,6 +99,10 @@ pub fn run_b(ctx: &SharedContext, out: &Path) {
         for (label, m) in suite.run_all(trace, &cache) {
             rows.push((label, m.hoc_ohr()));
         }
+        (ti, d, rows)
+    });
+    let mut improvements: Vec<(String, Vec<f64>)> = Vec::new();
+    for (ti, d, rows) in per_pick {
         for (label, ohr) in rows {
             let imp = runs::improvement_pct(d, ohr);
             rep.row(&[format!("mix{ti}"), label.clone(), f4(ohr), f4(d), format!("{imp:.2}")]);
@@ -133,11 +139,16 @@ pub fn run_c(ctx: &SharedContext, out: &Path) {
         format!("{:.3}", r.goodput_gbps),
         format!("{:.1}", r.latency.clone().mean() / 1000.0),
     ]);
-    for e in runs::representative_static(ctx.model.grid()) {
+    // Each static expert's testbed run is independent; fan out and report
+    // in expert order.
+    let statics = runs::representative_static(ctx.model.grid());
+    let static_runs = darwin_parallel::par_map(0, &statics, |e| {
         let mut d = StaticDriver::new(e.policy);
-        let r = tb.run(&workload, &cache, &mut d);
+        (e.label(), tb.run(&workload, &cache, &mut d))
+    });
+    for (label, r) in static_runs {
         rep.row(&[
-            e.label(),
+            label,
             f4(r.cache.hoc_ohr()),
             format!("{:.3}", r.goodput_gbps),
             format!("{:.1}", r.latency.clone().mean() / 1000.0),
@@ -170,8 +181,10 @@ fn run_sim_comparison(
         &["trace", "baseline", "baseline_ohr", "darwin_ohr", "improvement_pct"],
         out,
     );
-    let mut improvements: Vec<(String, Vec<f64>)> = Vec::new();
-    for &ti in &picks {
+    // One work item per ensemble pick: Darwin plus every baseline on that
+    // trace. Aggregation happens in pick order, so reports are identical at
+    // any thread count.
+    let per_pick = darwin_parallel::par_map(0, &picks, |&ti| {
         let trace = &ctx.corpus.online_test[ti];
         let d = runs::darwin_metrics(&ctx.model, scale, trace, &cache).hoc_ohr();
         let mut rows: Vec<(String, f64)> = Vec::new();
@@ -181,6 +194,10 @@ fn run_sim_comparison(
         for (label, m) in suite.run_all(trace, &cache) {
             rows.push((label, m.hoc_ohr()));
         }
+        (ti, d, rows)
+    });
+    let mut improvements: Vec<(String, Vec<f64>)> = Vec::new();
+    for (ti, d, rows) in per_pick {
         for (label, ohr) in rows {
             let imp = runs::improvement_pct(d, ohr);
             rep.row(&[format!("mix{ti}"), label.clone(), f4(ohr), f4(d), format!("{imp:.2}")]);

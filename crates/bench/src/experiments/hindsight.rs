@@ -45,9 +45,11 @@ pub fn run(ctx: &SharedContext, out: &Path) {
         &["trace", "darwin_ohr", "hindsight_ohr", "loss_pct", "chosen_gap_pct"],
         out,
     );
-    let mut losses = Vec::new();
-    let mut chosen_gaps = Vec::new();
-    for (ti, (trace, ev)) in traces.iter().zip(&evals).enumerate() {
+    // Each held-out trace's Darwin run is an independent work item; rows
+    // are emitted in trace order afterwards so the report is identical at
+    // any thread count.
+    let per_trace = darwin_parallel::par_run(0, traces.len(), |ti| {
+        let (trace, ev) = (&traces[ti], &evals[ti]);
         let report = darwin::run_darwin(&ctx.model, &ctx.scale.online_config(), trace, &cache);
         let darwin_ohr = report.metrics.hoc_ohr();
         let (_, best_ohr) = runs::hindsight_best(ev);
@@ -59,6 +61,11 @@ pub fn run(ctx: &SharedContext, out: &Path) {
             .first()
             .map(|ep| (best_ohr - ev.hit_rates[ep.chosen_expert]) / best_ohr * 100.0)
             .unwrap_or(100.0);
+        (darwin_ohr, best_ohr, loss, chosen_gap)
+    });
+    let mut losses = Vec::new();
+    let mut chosen_gaps = Vec::new();
+    for (ti, (darwin_ohr, best_ohr, loss, chosen_gap)) in per_trace.into_iter().enumerate() {
         losses.push(loss);
         chosen_gaps.push(chosen_gap);
         rep.row(&[

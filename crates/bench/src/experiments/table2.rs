@@ -18,13 +18,9 @@ pub fn run(ctx: &SharedContext, out: &Path) {
         &cache,
     );
 
-    // Darwin OHR on every online test trace.
-    let mut darwin_ohr = Vec::new();
-    for trace in &ctx.corpus.online_test {
-        darwin_ohr.push(runs::darwin_metrics(&ctx.model, &ctx.scale, trace, &cache).hoc_ohr());
-    }
-
-    // Accumulate improvements per baseline over all traces.
+    // Accumulate improvements per baseline over all traces. Each trace's
+    // Darwin run and baseline suite is an independent work item; sums are
+    // aggregated in trace order afterwards.
     let n_experts = ctx.model.grid().len();
     let mut labels: Vec<String> =
         (0..n_experts).map(|e| runs::expert_label(ctx.model.grid(), e)).collect();
@@ -33,13 +29,21 @@ pub fn run(ctx: &SharedContext, out: &Path) {
     );
     let mut sums = vec![0.0; labels.len()];
 
-    for (ti, trace) in ctx.corpus.online_test.iter().enumerate() {
-        let d = darwin_ohr[ti];
-        for (e, &ohr) in ctx.online_evals[ti].hit_rates.iter().enumerate() {
-            sums[e] += runs::improvement_pct(d, ohr);
+    let per_trace = darwin_parallel::par_run(0, ctx.corpus.online_test.len(), |ti| {
+        let trace = &ctx.corpus.online_test[ti];
+        let d = runs::darwin_metrics(&ctx.model, &ctx.scale, trace, &cache).hoc_ohr();
+        let mut imps = Vec::with_capacity(n_experts + 5);
+        for &ohr in &ctx.online_evals[ti].hit_rates {
+            imps.push(runs::improvement_pct(d, ohr));
         }
-        for (bi, (_, m)) in suite.run_all(trace, &cache).into_iter().enumerate() {
-            sums[n_experts + bi] += runs::improvement_pct(d, m.hoc_ohr());
+        for (_, m) in suite.run_all(trace, &cache) {
+            imps.push(runs::improvement_pct(d, m.hoc_ohr()));
+        }
+        imps
+    });
+    for imps in &per_trace {
+        for (s, imp) in sums.iter_mut().zip(imps) {
+            *s += imp;
         }
     }
 

@@ -55,15 +55,17 @@ impl BaselineSuite {
     }
 
     /// Runs every adaptive baseline on `trace`, returning `(label, metrics)`
-    /// pairs.
+    /// pairs in a fixed order. The five runs are independent full-trace
+    /// simulations, so they fan out across workers; output order (and every
+    /// metric bit) is identical at any thread count.
     pub fn run_all(&self, trace: &Trace, cache: &CacheConfig) -> Vec<(String, CacheMetrics)> {
-        vec![
-            ("Percentile".into(), self.percentile.run(trace, cache)),
-            ("HC-10".into(), self.hc10.run(trace, cache)),
-            ("HC-20".into(), self.hc20.run(trace, cache)),
-            ("AdaptSize".into(), self.adaptsize.run(trace, cache)),
-            ("Direct".into(), self.direct.run(trace, cache)),
-        ]
+        darwin_parallel::par_run(0, 5, |i| match i {
+            0 => ("Percentile".into(), self.percentile.run(trace, cache)),
+            1 => ("HC-10".into(), self.hc10.run(trace, cache)),
+            2 => ("HC-20".into(), self.hc20.run(trace, cache)),
+            3 => ("AdaptSize".into(), self.adaptsize.run(trace, cache)),
+            _ => ("Direct".into(), self.direct.run(trace, cache)),
+        })
     }
 }
 
@@ -98,14 +100,19 @@ pub struct Stats {
 }
 
 impl Stats {
-    /// Computes stats; panics on empty input.
+    /// Computes stats; panics on empty input. NaN-tolerant (`total_cmp`
+    /// sorts NaNs to the ends instead of panicking); the median of an
+    /// even-length sample is the mean of the two middle elements.
     pub fn of(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "stats of empty sample");
         let mut v = values.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
+        let mid = v.len() / 2;
+        let median =
+            if v.len().is_multiple_of(2) { (v[mid - 1] + v[mid]) / 2.0 } else { v[mid] };
         Self {
             min: v[0],
-            median: v[v.len() / 2],
+            median,
             mean: v.iter().sum::<f64>() / v.len() as f64,
             max: v[v.len() - 1],
         }
@@ -143,5 +150,42 @@ pub fn tuning_sample(traces: &[Trace]) -> Vec<Trace> {
     }
     let stride = (traces.len() / 4).max(1);
     traces.iter().step_by(stride).take(4).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_median_averages_middle_pair_for_even_samples() {
+        let s = Stats::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        let s = Stats::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+        let s = Stats::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn stats_tolerates_nan_without_panicking() {
+        // `total_cmp` sorts positive NaN last: min stays real, max reflects
+        // the degenerate sample instead of aborting the experiment run.
+        let s = Stats::of(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert!(s.max.is_nan());
+    }
+
+    #[test]
+    fn improvement_pct_guards_tiny_bases() {
+        assert_eq!(improvement_pct(1.0, 0.0), 0.0);
+        assert!((improvement_pct(1.2, 1.0) - 20.0).abs() < 1e-9);
+        assert!((improvement_pct(0.8, 1.0) + 20.0).abs() < 1e-9);
+    }
 }
 

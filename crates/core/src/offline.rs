@@ -15,9 +15,13 @@
 //!    that co-occurs in some cluster set (or all pairs when configured), a
 //!    1-hidden-layer net maps extended features → the two conditionals.
 //!
-//! Expert evaluation is embarrassingly parallel and fans out across threads
-//! (crossbeam scoped threads; the paper notes CDN servers are not CPU-bound
-//! and offline training is periodic background work).
+//! Expert evaluation is embarrassingly parallel and fans out through the
+//! deterministic [`darwin_parallel`] engine at two levels — traces across the
+//! corpus and experts within a trace (the inner sweep runs inline when the
+//! outer one is already parallel). Results are bitwise identical at any
+//! thread count: every work item derives its seed and output slot from its
+//! index alone. The paper notes CDN servers are not CPU-bound and offline
+//! training is periodic background work.
 
 use crate::bits::Bitset;
 use crate::expert::ExpertGrid;
@@ -116,7 +120,7 @@ impl EvaluatedTrace {
         self.rewards
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("non-empty expert grid")
     }
@@ -185,20 +189,25 @@ impl OfflineTrainer {
         let extended = fx.extended_features();
         let (_, size_dist) = fx.finish();
 
-        // Per-expert simulation with per-request hit bits.
+        // Per-expert simulation with per-request hit bits. Each expert's
+        // simulation is independent, so the sweep fans out; when this trace
+        // is itself a work item of `evaluate_corpus`, the engine runs the
+        // inner sweep inline instead of oversubscribing.
+        let per_expert = darwin_parallel::par_run(self.cfg.threads, n_experts, |e| {
+            let expert = self.cfg.grid.get(e);
+            let mut sim = HocSim::new(self.cfg.hoc_bytes, self.cfg.eviction, expert.policy);
+            let bools = sim.run_trace_recording(trace);
+            (Bitset::from_bools(bools), sim.metrics())
+        });
         let mut hits: Vec<Bitset> = Vec::with_capacity(n_experts);
         let mut metrics = Vec::with_capacity(n_experts);
         let mut rewards = Vec::with_capacity(n_experts);
         let mut hit_rates = Vec::with_capacity(n_experts);
-        for e in 0..n_experts {
-            let expert = self.cfg.grid.get(e);
-            let mut sim = HocSim::new(self.cfg.hoc_bytes, self.cfg.eviction, expert.policy);
-            let bools = sim.run_trace_recording(trace);
-            let m = sim.metrics();
+        for (bits, m) in per_expert {
             rewards.push(self.cfg.objective.reward(&m));
             hit_rates.push(m.hoc_ohr());
             metrics.push(m);
-            hits.push(Bitset::from_bools(bools));
+            hits.push(bits);
         }
 
         // Pairwise conditionals from bit intersections.
@@ -222,32 +231,9 @@ impl OfflineTrainer {
     }
 
     /// Evaluates a corpus, fanning traces out across worker threads.
+    /// Results are bitwise identical at any thread count.
     pub fn evaluate_corpus(&self, traces: &[Trace]) -> Vec<EvaluatedTrace> {
-        let threads = if self.cfg.threads > 0 {
-            self.cfg.threads
-        } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        };
-        if threads <= 1 || traces.len() <= 1 {
-            return traces.iter().map(|t| self.evaluate_trace(t)).collect();
-        }
-        let mut results: Vec<Option<EvaluatedTrace>> = (0..traces.len()).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results_cell = parking_lot::Mutex::new(&mut results);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads.min(traces.len()) {
-                scope.spawn(|_| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= traces.len() {
-                        break;
-                    }
-                    let ev = self.evaluate_trace(&traces[idx]);
-                    results_cell.lock()[idx] = Some(ev);
-                });
-            }
-        })
-        .expect("evaluation worker panicked");
-        results.into_iter().map(|r| r.expect("all traces evaluated")).collect()
+        darwin_parallel::par_map(self.cfg.threads, traces, |t| self.evaluate_trace(t))
     }
 
     /// Clusters evaluations and forms per-cluster best expert sets for an
@@ -346,9 +332,9 @@ impl OfflineTrainer {
         // Which ordered pairs need predictors?
         let mut need = vec![vec![false; n_experts]; n_experts];
         if self.cfg.train_all_pairs {
-            for i in 0..n_experts {
-                for j in 0..n_experts {
-                    need[i][j] = i != j;
+            for (i, row) in need.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    *cell = i != j;
                 }
             }
         } else {
@@ -365,14 +351,14 @@ impl OfflineTrainer {
 
         // Fallback conditionals: corpus means per pair.
         let mut fallback = vec![vec![(0.0, 0.0); n_experts]; n_experts];
-        for i in 0..n_experts {
-            for j in 0..n_experts {
+        for (i, row) in fallback.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
                 let (mut shh, mut shm) = (0.0, 0.0);
                 for ev in evals {
                     shh += ev.cond[i][j].0;
                     shm += ev.cond[i][j].1;
                 }
-                fallback[i][j] = (shh / evals.len() as f64, shm / evals.len() as f64);
+                *cell = (shh / evals.len() as f64, shm / evals.len() as f64);
             }
         }
 
@@ -419,7 +405,8 @@ impl OfflineTrainer {
         )
     }
 
-    /// Trains one net per pair (parallel across pairs).
+    /// Trains one net per pair (parallel across pairs; each pair's net is
+    /// seeded from the pair indices, so results are thread-count-invariant).
     fn train_pairs(
         &self,
         pairs: &[(usize, usize)],
@@ -427,7 +414,7 @@ impl OfflineTrainer {
         evals: &[EvaluatedTrace],
     ) -> Vec<Mlp> {
         let n_in = ext_normalized.first().map(|r| r.len()).unwrap_or(1);
-        let train_one = |&(i, j): &(usize, usize)| -> Mlp {
+        darwin_parallel::par_map(self.cfg.threads, pairs, |&(i, j)| {
             let data: Vec<(Vec<f64>, Vec<f64>)> = ext_normalized
                 .iter()
                 .zip(evals)
@@ -445,33 +432,7 @@ impl OfflineTrainer {
                 Mlp::new(n_in, self.cfg.nn_hidden, 2, OutputActivation::Sigmoid, seed);
             net.train(&data, &self.cfg.nn_train);
             net
-        };
-
-        let threads = if self.cfg.threads > 0 {
-            self.cfg.threads
-        } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        };
-        if threads <= 1 || pairs.len() <= 1 {
-            return pairs.iter().map(train_one).collect();
-        }
-        let mut out: Vec<Option<Mlp>> = (0..pairs.len()).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let out_cell = parking_lot::Mutex::new(&mut out);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads.min(pairs.len()) {
-                scope.spawn(|_| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= pairs.len() {
-                        break;
-                    }
-                    let net = train_one(&pairs[idx]);
-                    out_cell.lock()[idx] = Some(net);
-                });
-            }
         })
-        .expect("predictor trainer panicked");
-        out.into_iter().map(|o| o.expect("all pairs trained")).collect()
     }
 }
 
@@ -622,6 +583,65 @@ mod tests {
             let single = trainer.evaluate_trace(t);
             assert_eq!(single.rewards, ev.rewards);
             assert_eq!(single.hit_rates, ev.hit_rates);
+        }
+    }
+
+    /// The engine's core guarantee: evaluation results are bitwise identical
+    /// whatever the worker count, including the cross-expert conditionals.
+    #[test]
+    fn corpus_evaluation_is_thread_count_invariant() {
+        let traces = corpus(4, 8_000);
+        let eval_at = |threads: usize| {
+            OfflineTrainer::new(OfflineConfig { threads, ..tiny_cfg() })
+                .evaluate_corpus(&traces)
+        };
+        let one = eval_at(1);
+        let eight = eval_at(8);
+        assert_eq!(one.len(), eight.len());
+        for (a, b) in one.iter().zip(&eight) {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.rewards), bits(&b.rewards));
+            assert_eq!(bits(&a.hit_rates), bits(&b.hit_rates));
+            assert_eq!(
+                bits(a.features.values()),
+                bits(b.features.values())
+            );
+            for (ra, rb) in a.cond.iter().zip(&b.cond) {
+                for (&(hh_a, hm_a), &(hh_b, hm_b)) in ra.iter().zip(rb) {
+                    assert_eq!(hh_a.to_bits(), hh_b.to_bits());
+                    assert_eq!(hm_a.to_bits(), hm_b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Trained models are also thread-count-invariant: per-pair nets seed
+    /// from pair indices, never from work distribution.
+    #[test]
+    fn training_is_thread_count_invariant() {
+        let traces = corpus(4, 6_000);
+        let small = OfflineConfig {
+            nn_train: TrainConfig { epochs: 10, ..TrainConfig::default() },
+            ..tiny_cfg()
+        };
+        let evals =
+            OfflineTrainer::new(OfflineConfig { threads: 1, ..small.clone() })
+                .evaluate_corpus(&traces);
+        let model_1 = OfflineTrainer::new(OfflineConfig { threads: 1, ..small.clone() })
+            .train_from_evaluations(&evals);
+        let model_8 = OfflineTrainer::new(OfflineConfig { threads: 8, ..small })
+            .train_from_evaluations(&evals);
+        let probe = &evals[0].extended;
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    continue;
+                }
+                let (hh_1, hm_1) = model_1.conditionals(i, j, probe);
+                let (hh_8, hm_8) = model_8.conditionals(i, j, probe);
+                assert_eq!(hh_1.to_bits(), hh_8.to_bits(), "pair ({i},{j})");
+                assert_eq!(hm_1.to_bits(), hm_8.to_bits(), "pair ({i},{j})");
+            }
         }
     }
 }

@@ -215,8 +215,8 @@ impl Mlp {
         // Back-prop into the hidden layer.
         for h in 0..self.n_hidden {
             let mut dh = 0.0;
-            for o in 0..self.n_out {
-                dh += delta_out[o] * self.w2[o * self.n_hidden + h];
+            for (o, d) in delta_out.iter().enumerate() {
+                dh += d * self.w2[o * self.n_hidden + h];
             }
             let dz = dh * (1.0 - hidden[h] * hidden[h]); // tanh'
             for i in 0..self.n_in {
@@ -339,7 +339,7 @@ mod tests {
             out.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum()
         };
         let eps = 1e-6;
-        for idx in 0..nparams {
+        for (idx, a) in analytic.iter().enumerate() {
             let mut plus = net.clone();
             let mut minus = net.clone();
             {
@@ -352,9 +352,8 @@ mod tests {
             }
             let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
             assert!(
-                (numeric - analytic[idx]).abs() < 1e-5,
-                "param {idx}: numeric {numeric} vs analytic {}",
-                analytic[idx]
+                (numeric - a).abs() < 1e-5,
+                "param {idx}: numeric {numeric} vs analytic {a}"
             );
         }
     }

@@ -300,7 +300,7 @@ mod proptests {
             prop_assert_eq!(r.completed, 2_000);
             prop_assert!(r.goodput_gbps.is_finite() && r.goodput_gbps > 0.0);
             let mut lat = r.latency.clone();
-            prop_assert!((lat.percentile(100.0) as u64) <= r.makespan_us);
+            prop_assert!(lat.percentile(100.0) <= r.makespan_us);
             prop_assert!((0.0..=1.0).contains(&r.hoc_busy_fraction));
         }
     }

@@ -1,0 +1,316 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`), range and
+//! tuple strategies, [`collection::vec`], [`bool::ANY`], and the
+//! `prop_assert*` macros. There is no shrinking — a failing case panics
+//! with the ordinary assertion message — but generation is fully
+//! deterministic: every test function derives its RNG seed from its module
+//! path, name, and case index, so failures reproduce exactly across runs.
+
+/// Strategy: a recipe for generating values of one type.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+
+    /// A value-generation strategy. Unlike upstream proptest there is no
+    /// value tree or shrinking; a strategy just samples.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl<T: Clone> Strategy for core::ops::Range<T>
+    where
+        core::ops::Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: Clone> Strategy for core::ops::RangeInclusive<T>
+    where
+        core::ops::RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Strategy producing a fixed value every time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for an unbiased random `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The strategy for any `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn sample(&self, rng: &mut SmallRng) -> core::primitive::bool {
+            rng.gen::<core::primitive::bool>()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A range of collection sizes (`lo` inclusive, `hi` exclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty proptest size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty proptest size range");
+            Self { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a strategy generating vectors of values from `element` with
+    /// lengths in `size` (an exact `usize` or a `usize` range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and deterministic seeding helpers.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    /// Derives a deterministic seed from a test's identity and case index
+    /// (FNV-1a over the name, mixed with the index).
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Builds the case RNG from a seed.
+    pub fn rng_for(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Each function's arguments are drawn from the
+/// strategies after `in`; the body runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let __seed = $crate::test_runner::case_seed(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let mut __rng = $crate::test_runner::rng_for(__seed);
+                    let ( $($pat,)+ ) = (
+                        $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts two values differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the rest of the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Generated values respect their strategies' bounds.
+        #[test]
+        fn bounds_hold(
+            x in 10u64..20,
+            f in 0.0f64..=1.0,
+            pair in (0u32..5, -3i64..3),
+            mut v in crate::collection::vec((0u64..50, crate::bool::ANY), 1..10),
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(pair.0 < 5);
+            prop_assert!((-3..3).contains(&pair.1));
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            v.sort();
+            prop_assert!(v.iter().all(|&(id, _)| id < 50));
+        }
+
+        /// Exact vec sizes are honored, including nested vecs.
+        #[test]
+        fn exact_sizes(grid in crate::collection::vec(crate::collection::vec(-1.0f64..1.0, 3), 2..6)) {
+            prop_assert!((2..6).contains(&grid.len()));
+            for row in &grid {
+                prop_assert_eq!(row.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = crate::test_runner::case_seed("mod::test", 3);
+        let b = crate::test_runner::case_seed("mod::test", 3);
+        assert_eq!(a, b);
+        assert_ne!(a, crate::test_runner::case_seed("mod::test", 4));
+        assert_ne!(a, crate::test_runner::case_seed("mod::other", 3));
+    }
+}

@@ -1,0 +1,389 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace vendors the small slice of the `rand` API it actually uses:
+//! [`SmallRng`] (an xoshiro256++ generator seeded through SplitMix64),
+//! the [`Rng`] / [`SeedableRng`] traits, uniform range sampling, and the
+//! [`Distribution`] trait that `rand_distr` builds on.
+//!
+//! The generator is fully deterministic: a given seed produces the same
+//! stream on every platform and every run, which is what the repository's
+//! reproducibility guarantees (seeded traces, seeded training) rely on.
+//! Streams do *not* match the upstream `rand` crate bit-for-bit — only
+//! self-consistency is promised, and every consumer in this workspace
+//! seeds its generators explicitly.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Core generator interface: raw 32/64-bit output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generator interface. This workspace only uses
+/// [`SeedableRng::seed_from_u64`].
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` seed (expanded via SplitMix64).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let out = splitmix64(&mut state);
+            let bytes = out.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A value that can be drawn uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    /// True when the range contains no values.
+    fn is_empty_range(&self) -> bool;
+}
+
+macro_rules! uint_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(!self.is_empty_range(), "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + (uniform_u128_below(rng, span) as $t)
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(!self.is_empty_range(), "cannot sample empty range");
+                let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                *self.start() + (uniform_u128_below(rng, span) as $t)
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+
+macro_rules! int_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(!self.is_empty_range(), "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + uniform_u128_below(rng, span) as i128) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(!self.is_empty_range(), "cannot sample empty range");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                (*self.start() as i128 + uniform_u128_below(rng, span) as i128) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+
+uint_range_impl!(u8, u16, u32, u64, usize);
+int_range_impl!(i8, i16, i32, i64, isize);
+
+/// Uniform draw from `[0, bound)` by widening multiply with rejection
+/// (no modulo bias). `bound` of 0 means the full 2^128 span is never
+/// requested here; callers guarantee `bound >= 1`.
+fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    debug_assert!(bound >= 1);
+    if bound == 1 {
+        return 0;
+    }
+    if bound <= u64::MAX as u128 {
+        let bound = bound as u64;
+        // Lemire's widening-multiply method with rejection.
+        let zone = bound.wrapping_neg() % bound; // 2^64 mod bound
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= zone {
+                return (m >> 64) as u128;
+            }
+        }
+    }
+    // > 64-bit spans (only reachable through i128 widening of u64/i64
+    // inclusive ranges spanning the full domain): simple rejection.
+    let mask = u128::MAX >> bound.leading_zeros().saturating_sub(1);
+    loop {
+        let x = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) & mask;
+        if x < bound {
+            return x;
+        }
+    }
+}
+
+macro_rules! float_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = unit_float(rng) as $t;
+                let v = self.start + (self.end - self.start) * u;
+                if v < self.end { v } else { self.start }
+            }
+            fn is_empty_range(&self) -> bool {
+                !(self.start < self.end)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                let u = unit_float(rng) as $t;
+                self.start() + (self.end() - self.start()) * u
+            }
+            fn is_empty_range(&self) -> bool {
+                !(self.start() <= self.end())
+            }
+        }
+    )*};
+}
+
+float_range_impl!(f32, f64);
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_float<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A sampling distribution (the `rand_distr` extension point).
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution behind [`Rng::gen`]: uniform `[0, 1)` for
+/// floats, full-domain uniform for integers and `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_float(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u32() >> 8) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level generator methods (blanket-implemented over [`RngCore`]).
+/// None of the methods bound `Self: Sized`, so they are usable behind
+/// `&mut R` where `R: Rng + ?Sized` — mirroring upstream.
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p must be in [0, 1]");
+        unit_float(self) < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: Distribution<T>,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *w = u64::from_le_bytes(b);
+            }
+            // An all-zero state would be a fixed point; nudge it.
+            if s.iter().all(|&w| w == 0) {
+                s = [0x9E37_79B9_7F4A_7C15, 0xD1B5_4A32_D192_ED03, 0xAEF1_7502_07C2_3E9D, 1];
+            }
+            Self { s }
+        }
+    }
+
+    /// Alias kept for API compatibility (`StdRng` is not used for anything
+    /// security-relevant in this workspace).
+    pub type StdRng = SmallRng;
+}
+
+/// `rand::distributions` module shim (the [`Distribution`] trait and
+/// [`Standard`] live at the crate root too, mirroring upstream re-exports).
+pub mod distributions {
+    pub use super::{Distribution, Standard};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0usize..=5);
+            assert!(y <= 5);
+            let f: f64 = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let g: f64 = rng.gen_range(-0.25f64..=0.25);
+            assert!((-0.25..=0.25).contains(&g));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline vendored stand-in for the `rand_distr` crate.
+//!
+//! Implements the two distributions this workspace draws from:
+//!
+//! * [`StandardNormal`] — N(0, 1) via the Box–Muller transform;
+//! * [`Zipf`] — Zipf(n, s) over ranks `1..=n` via rejection-inversion
+//!   (Hörmann & Derflinger), the same family of algorithm upstream uses.
+//!
+//! As with the vendored `rand`, streams are deterministic per seed but not
+//! bit-compatible with the real `rand_distr` crate.
+
+use rand::{Distribution, Rng, RngCore};
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision, usable behind
+/// `?Sized` generator references (`RngCore` methods carry no `Sized` bound).
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: exact, stateless (no cached spare), branch-free.
+        let u1: f64 = unit_f64(rng).max(f64::MIN_POSITIVE);
+        let u2: f64 = unit_f64(rng);
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Error constructing a [`Zipf`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n` was zero.
+    NTooSmall,
+    /// The exponent was not a positive finite number.
+    STooSmall,
+}
+
+impl core::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => write!(f, "Zipf requires n >= 1"),
+            ZipfError::STooSmall => write!(f, "Zipf requires s > 0 and finite"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(-s)`. Samples are returned as `F` (the rank as a float),
+/// matching the upstream API shape `Zipf<f64>`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf<F> {
+    n: F,
+    s: F,
+    /// H(0.5), cached.
+    h_lo: F,
+    /// H(n + 0.5) − H(0.5), cached.
+    h_span: F,
+}
+
+impl Zipf<f64> {
+    /// Creates Zipf(n, s). Fails if `n == 0` or `s` is not positive/finite.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if s <= 0.0 || !s.is_finite() {
+            return Err(ZipfError::STooSmall);
+        }
+        let nf = n as f64;
+        let h_lo = h_integral(0.5, s);
+        let h_span = h_integral(nf + 0.5, s) - h_lo;
+        Ok(Self { n: nf, s, h_lo, h_span })
+    }
+}
+
+/// H(x) = ∫₁ˣ t^(−s) dt, the antiderivative used by rejection-inversion.
+#[inline]
+fn h_integral(x: f64, s: f64) -> f64 {
+    let one_minus_s = 1.0 - s;
+    if one_minus_s.abs() < 1e-9 {
+        x.ln()
+    } else {
+        (x.powf(one_minus_s) - 1.0) / one_minus_s
+    }
+}
+
+/// Inverse of [`h_integral`].
+#[inline]
+fn h_integral_inv(y: f64, s: f64) -> f64 {
+    let one_minus_s = 1.0 - s;
+    if one_minus_s.abs() < 1e-9 {
+        y.exp()
+    } else {
+        (1.0 + y * one_minus_s).powf(1.0 / one_minus_s)
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.n <= 1.0 {
+            return 1.0;
+        }
+        // Rejection-inversion: draw X on [0.5, n + 0.5] with density
+        // ∝ x^(−s) by inverting H, round to the nearest integer rank k, and
+        // accept with probability k^(−s) / ∫_{k−½}^{k+½} x^(−s) dx (≤ 1 by
+        // convexity of x^(−s)). Acceptance is ~90 %+ for CDN-like s < 1.5.
+        loop {
+            let u: f64 = unit_f64(rng);
+            let x = h_integral_inv(self.h_lo + u * self.h_span, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            let envelope = h_integral(k + 0.5, self.s) - h_integral(k - 0.5, self.s);
+            let accept = k.powf(-self.s) / envelope;
+            if unit_f64(rng) < accept {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.sample(StandardNormal)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn zipf_ranks_in_range_and_skewed() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let z = Zipf::new(1000, 1.0).unwrap();
+        let n = 50_000;
+        let mut rank1 = 0usize;
+        for _ in 0..n {
+            let k: f64 = rng.sample(z);
+            assert!((1.0..=1000.0).contains(&k));
+            assert_eq!(k, k.floor());
+            if k == 1.0 {
+                rank1 += 1;
+            }
+        }
+        // For s = 1, n = 1000: P(1) = 1 / H_1000 ≈ 0.1336.
+        let p1 = rank1 as f64 / n as f64;
+        assert!((p1 - 0.1336).abs() < 0.01, "P(rank 1) = {p1}");
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(1, 0.5).is_ok());
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full verification gate: build, test, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests (workspace) =="
+cargo test --workspace -q
+
+echo "== clippy (-D warnings, all targets) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== verify: all green =="
