@@ -128,10 +128,7 @@ mod tests {
                 .run(gaussian_oracle(mu_large, 0.1, seed))
                 .1;
         }
-        assert!(
-            rounds_large > rounds_small,
-            "K=12 took {rounds_large} ≤ K=3 {rounds_small}"
-        );
+        assert!(rounds_large > rounds_small, "K=12 took {rounds_large} ≤ K=3 {rounds_small}");
     }
 
     #[test]

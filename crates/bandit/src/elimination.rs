@@ -105,11 +105,7 @@ impl SuccessiveElimination {
                 Some((mean - r, mean + r))
             })
             .collect();
-        let best_lcb = bounds
-            .iter()
-            .flatten()
-            .map(|&(l, _)| l)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best_lcb = bounds.iter().flatten().map(|&(l, _)| l).fold(f64::NEG_INFINITY, f64::max);
         for (i, b) in bounds.iter().enumerate() {
             if let Some((_, ucb)) = b {
                 if *ucb < best_lcb {

@@ -98,12 +98,7 @@ impl GaussianEnv {
 
     /// Index of the true best arm.
     pub fn best_arm(&self) -> usize {
-        self.mu
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap()
+        self.mu.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap()
     }
 
     /// Deploys arm `i` for one round, returning the full reward vector

@@ -75,12 +75,7 @@ impl WeightedEstimator {
     /// The empirically best arm (ties broken toward the lower index).
     pub fn best_arm(&self) -> usize {
         let means = self.means();
-        means
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap()
+        means.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap()
     }
 }
 

@@ -64,7 +64,7 @@ pub mod ucb;
 pub use classical::ClassicalTrackAndStop;
 pub use elimination::SuccessiveElimination;
 pub use env::GaussianEnv;
-pub use estimator::WeightedEstimator;
 pub use env::SideInfo;
+pub use estimator::WeightedEstimator;
 pub use tas::{BetaRule, TasConfig, TrackAndStopSideInfo};
 pub use ucb::{SideInfoUcb, Ucb1};

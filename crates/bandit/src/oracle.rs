@@ -44,9 +44,7 @@ pub fn has_unique_best(nu: &[f64]) -> bool {
 /// allocation, so both uses share this code).
 fn precisions(alloc: &[f64], sigma: &SideInfo) -> Vec<f64> {
     let k = sigma.k();
-    (0..k)
-        .map(|j| (0..k).map(|i| alloc[i] / sigma.var(i, j)).sum())
-        .collect()
+    (0..k).map(|j| (0..k).map(|i| alloc[i] / sigma.var(i, j)).sum()).collect()
 }
 
 /// Φ(ν, alloc) for an arbitrary non-negative allocation (see Eq 2).
@@ -117,10 +115,7 @@ pub fn optimal_alpha(nu: &[f64], sigma: &SideInfo, iters: usize) -> Vec<f64> {
                 let ga = (w[c] / denom) * (w[c] / denom); // ∂/∂w_star
                 let gb = (w[star] / denom) * (w[star] / denom); // ∂/∂w_c
                 for (i, g) in grad.iter_mut().enumerate() {
-                    *g += 0.5
-                        * delta
-                        * delta
-                        * (ga / sigma.var(i, star) + gb / sigma.var(i, c));
+                    *g += 0.5 * delta * delta * (ga / sigma.var(i, star) + gb / sigma.var(i, c));
                 }
             }
         }
@@ -209,11 +204,8 @@ mod tests {
     fn optimal_alpha_improves_phi_over_uniform() {
         // Strongly asymmetric side info: deploying arm 0 is very noisy for
         // everyone; the optimizer should shift mass away from it.
-        let sigma = SideInfo::new(vec![
-            vec![4.0, 4.0, 4.0],
-            vec![0.04, 0.04, 0.04],
-            vec![0.04, 0.04, 0.04],
-        ]);
+        let sigma =
+            SideInfo::new(vec![vec![4.0, 4.0, 4.0], vec![0.04, 0.04, 0.04], vec![0.04, 0.04, 0.04]]);
         let nu = [0.6, 0.5, 0.4];
         let k = 3;
         let uniform = vec![1.0 / k as f64; k];

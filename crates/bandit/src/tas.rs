@@ -174,9 +174,7 @@ impl TrackAndStopSideInfo {
         let t = self.t.max(1) as f64;
         let k = self.k() as f64;
         match self.cfg.beta {
-            BetaRule::GarivierKaufmann => {
-                (((1.0 + t.ln()) * (k - 1.0).max(1.0)) / self.delta).ln()
-            }
+            BetaRule::GarivierKaufmann => (((1.0 + t.ln()) * (k - 1.0).max(1.0)) / self.delta).ln(),
             BetaRule::Theorem1 { c } => {
                 let kappa = self.sigma.kappa();
                 let s2min = self.sigma.sigma2_min();
@@ -203,11 +201,7 @@ impl TrackAndStopSideInfo {
             self.under_explored().unwrap()
         } else {
             // D-tracking: most under-deployed w.r.t. α*(μ̂_t, Σ).
-            let alpha = oracle::optimal_alpha(
-                &self.est.means(),
-                &self.sigma,
-                self.cfg.alpha_iters,
-            );
+            let alpha = oracle::optimal_alpha(&self.est.means(), &self.sigma, self.cfg.alpha_iters);
             let t = self.t as f64;
             (0..k)
                 .max_by(|&a, &b| {
@@ -333,10 +327,7 @@ mod tests {
             easy_total += run_once(vec![0.8, 0.4, 0.3], sigma.clone(), seed, cfg).1;
             hard_total += run_once(vec![0.52, 0.50, 0.30], sigma.clone(), seed, cfg).1;
         }
-        assert!(
-            hard_total > easy_total,
-            "hard {hard_total} should exceed easy {easy_total}"
-        );
+        assert!(hard_total > easy_total, "hard {hard_total} should exceed easy {easy_total}");
     }
 
     #[test]
@@ -353,11 +344,7 @@ mod tests {
     #[test]
     fn budget_stop_reported() {
         let sigma = SideInfo::uniform(2, 5.0); // extremely noisy
-        let cfg = TasConfig {
-            max_rounds: 10,
-            stability_rounds: None,
-            ..TasConfig::default()
-        };
+        let cfg = TasConfig { max_rounds: 10, stability_rounds: None, ..TasConfig::default() };
         let (_, rounds, reason) = run_once(vec![0.501, 0.5], sigma, 4, cfg);
         assert_eq!(rounds, 10);
         assert_eq!(reason, StopReason::Budget);
@@ -440,10 +427,7 @@ mod tests {
             with_si += run_once(mu.clone(), informative.clone(), seed, cfg).1;
             without_si += run_once(mu.clone(), uninformative.clone(), seed, cfg).1;
         }
-        assert!(
-            with_si < without_si,
-            "side info {with_si} rounds ≥ weak side info {without_si}"
-        );
+        assert!(with_si < without_si, "side info {with_si} rounds ≥ weak side info {without_si}");
     }
 }
 
@@ -498,4 +482,3 @@ mod proptests {
         }
     }
 }
-

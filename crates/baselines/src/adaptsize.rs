@@ -74,14 +74,10 @@ impl AdaptSize {
             e.0 += 1;
             seen += 1;
             if seen >= self.window {
-                let duration_s =
-                    ((r.timestamp_us - window_start_us) as f64 / 1e6).max(1e-6);
+                let duration_s = ((r.timestamp_us - window_start_us) as f64 / 1e6).max(1e-6);
                 c = self.tune(&stats, duration_s, cache.hoc_bytes as f64);
                 reconfigs += 1;
-                server.set_policy(ProbabilisticSizePolicy::new(
-                    c,
-                    self.seed.wrapping_add(reconfigs),
-                ));
+                server.set_policy(ProbabilisticSizePolicy::new(c, self.seed.wrapping_add(reconfigs)));
                 stats.clear();
                 seen = 0;
                 window_start_us = r.timestamp_us;
@@ -92,19 +88,12 @@ impl AdaptSize {
 
     /// Picks the `c` maximizing the Markov-model OHR for the window's
     /// object statistics.
-    pub fn tune(
-        &self,
-        stats: &HashMap<ObjectId, (u64, u64)>,
-        duration_s: f64,
-        capacity: f64,
-    ) -> f64 {
+    pub fn tune(&self, stats: &HashMap<ObjectId, (u64, u64)>, duration_s: f64, capacity: f64) -> f64 {
         if stats.is_empty() {
             return self.initial_c;
         }
-        let objects: Vec<(f64, f64)> = stats
-            .values()
-            .map(|&(count, size)| (count as f64 / duration_s, size as f64))
-            .collect();
+        let objects: Vec<(f64, f64)> =
+            stats.values().map(|&(count, size)| (count as f64 / duration_s, size as f64)).collect();
         let total_rate: f64 = objects.iter().map(|&(l, _)| l).sum();
 
         let mut best = (self.initial_c, f64::NEG_INFINITY);
@@ -112,11 +101,7 @@ impl AdaptSize {
             let frac = g as f64 / (self.grid_points - 1).max(1) as f64;
             let c = self.c_min * (self.c_max / self.c_min).powf(frac);
             let t = solve_characteristic_time(&objects, c, capacity);
-            let ohr: f64 = objects
-                .iter()
-                .map(|&(l, s)| l * pi_in(l, s, c, t))
-                .sum::<f64>()
-                / total_rate;
+            let ohr: f64 = objects.iter().map(|&(l, s)| l * pi_in(l, s, c, t)).sum::<f64>() / total_rate;
             if ohr > best.1 {
                 best = (c, ohr);
             }
@@ -142,9 +127,7 @@ fn pi_in(lambda: f64, size: f64, c: f64, t: f64) -> f64 {
 /// Bisection on the capacity constraint `Σ_i s_i π_i(c, T) = capacity`.
 /// Returns a `T` within 0.1 % of the root (or the bracket end).
 fn solve_characteristic_time(objects: &[(f64, f64)], c: f64, capacity: f64) -> f64 {
-    let occupied = |t: f64| -> f64 {
-        objects.iter().map(|&(l, s)| s * pi_in(l, s, c, t)).sum()
-    };
+    let occupied = |t: f64| -> f64 { objects.iter().map(|&(l, s)| s * pi_in(l, s, c, t)).sum() };
     // If even a huge T does not fill the cache, everything admitted fits.
     let mut hi = 1e9;
     if occupied(hi) <= capacity {
@@ -206,8 +189,7 @@ mod tests {
 
     #[test]
     fn run_accounts_all_requests() {
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 5).generate(15_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 5).generate(15_000);
         let a = AdaptSize::new(5_000, 2);
         let m = a.run(&trace, &CacheConfig::small_test());
         assert_eq!(m.requests as usize, trace.len());

@@ -53,7 +53,10 @@ impl DirectMapping {
 
         let fs: Vec<f64> = grid.experts().iter().map(|e| e.f() as f64).collect();
         let lss: Vec<f64> = grid.experts().iter().map(|e| (e.s_bytes() as f64).ln()).collect();
-        let f_range = (fs.iter().cloned().fold(f64::INFINITY, f64::min), fs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        let f_range = (
+            fs.iter().cloned().fold(f64::INFINITY, f64::min),
+            fs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
         let ls_range = (
             lss.iter().cloned().fold(f64::INFINITY, f64::min),
             lss.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
@@ -162,11 +165,7 @@ mod tests {
         let traces: Vec<Trace> = (0..6)
             .map(|i| {
                 TraceGenerator::new(
-                    MixSpec::two_class(
-                        TrafficClass::image(),
-                        TrafficClass::download(),
-                        i as f64 / 5.0,
-                    ),
+                    MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 5.0),
                     30 + i as u64,
                 )
                 .generate(8_000)
@@ -204,8 +203,7 @@ mod tests {
             &TrainConfig { epochs: 100, ..TrainConfig::default() },
             2,
         );
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::download()), 9).generate(12_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 9).generate(12_000);
         let m = dm.run(&trace, &CacheConfig::small_test());
         assert_eq!(m.requests as usize, trace.len());
     }

@@ -129,8 +129,7 @@ mod tests {
 
     #[test]
     fn runs_and_accounts_all_requests() {
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 1).generate(15_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 1).generate(15_000);
         let hc = HillClimbing::new(ThresholdPolicy::new(4, 50 * 1024), 10 * 1024, 3_000);
         let m = hc.run(&trace, &CacheConfig::small_test());
         assert_eq!(m.requests as usize, trace.len());
@@ -140,8 +139,7 @@ mod tests {
     fn climbs_toward_better_expert() {
         // Download traffic strongly prefers permissive thresholds; starting
         // from a strict expert, climbing should improve on staying put.
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::download()), 2).generate(40_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 2).generate(40_000);
         let cache = CacheConfig { hoc_bytes: 4 * 1024 * 1024, ..CacheConfig::small_test() };
         let strict = ThresholdPolicy::new(6, 20 * 1024);
         let hc = HillClimbing::new(strict, 20 * 1024, 4_000);
@@ -161,8 +159,7 @@ mod tests {
 
     #[test]
     fn size_threshold_never_collapses_to_zero() {
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 3).generate(12_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 3).generate(12_000);
         // Start at the minimum size; downward probes must clamp at 1 KB.
         let hc = HillClimbing::new(ThresholdPolicy::new(2, 1024), 10 * 1024, 2_000);
         let m = hc.run(&trace, &CacheConfig::small_test());

@@ -33,12 +33,7 @@ impl Percentile {
     /// ("the percentile values are picked to be the best-performing ones
     /// for this window size"): grid-search over candidate (f, s) percentile
     /// pairs, maximizing mean HOC OHR.
-    pub fn tuned(
-        grid: ExpertGrid,
-        window: usize,
-        training: &[Trace],
-        cache: &CacheConfig,
-    ) -> Self {
+    pub fn tuned(grid: ExpertGrid, window: usize, training: &[Trace], cache: &CacheConfig) -> Self {
         assert!(!training.is_empty(), "tuning needs at least one trace");
         let mut best = Self::new(grid.clone(), window);
         let mut best_ohr = f64::NEG_INFINITY;
@@ -46,11 +41,9 @@ impl Percentile {
             for &s_pct in &[70.0, 80.0, 90.0, 95.0] {
                 let candidate =
                     Self { grid: grid.clone(), window, f_percentile: f_pct, s_percentile: s_pct };
-                let mean_ohr: f64 = training
-                    .iter()
-                    .map(|t| candidate.run(t, cache).hoc_ohr())
-                    .sum::<f64>()
-                    / training.len() as f64;
+                let mean_ohr: f64 =
+                    training.iter().map(|t| candidate.run(t, cache).hoc_ohr()).sum::<f64>()
+                        / training.len() as f64;
                 if mean_ohr > best_ohr {
                     best_ohr = mean_ohr;
                     best = candidate;
@@ -203,8 +196,7 @@ mod tests {
     fn observe_emits_expert_at_window_boundary() {
         let p = Percentile::new(ExpertGrid::paper_grid(), 10);
         let mut st = PercentileState::default();
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 2).generate(25);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 2).generate(25);
         let mut emitted = 0;
         for r in &trace {
             if p.observe(&mut st, r).is_some() {
@@ -250,4 +242,3 @@ mod proptests {
         }
     }
 }
-

@@ -5,17 +5,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use darwin_cache::{
-    BloomFilter, CacheConfig, CacheServer, EvictionKind, FrequencySketch, HocSim, Store,
-    ThresholdPolicy,
+    BloomFilter, CacheConfig, CacheServer, EvictionKind, FrequencySketch, HocSim, Store, ThresholdPolicy,
 };
 use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
 
 fn workload(n: usize) -> Trace {
-    TraceGenerator::new(
-        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
-        42,
-    )
-    .generate(n)
+    TraceGenerator::new(MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5), 42)
+        .generate(n)
 }
 
 fn bench_cache_server(c: &mut Criterion) {
@@ -36,11 +32,8 @@ fn bench_cache_server(c: &mut Criterion) {
     });
     g.bench_function("hoc_only_process", |b| {
         b.iter(|| {
-            let mut sim = HocSim::new(
-                16 * 1024 * 1024,
-                EvictionKind::Lru,
-                ThresholdPolicy::new(2, 100 * 1024),
-            );
+            let mut sim =
+                HocSim::new(16 * 1024 * 1024, EvictionKind::Lru, ThresholdPolicy::new(2, 100 * 1024));
             black_box(sim.run_trace(&trace))
         })
     });

@@ -14,11 +14,7 @@ fn bench_online_epoch(c: &mut Criterion) {
     let corpus: Vec<_> = (0..4)
         .map(|i| {
             TraceGenerator::new(
-                MixSpec::two_class(
-                    TrafficClass::image(),
-                    TrafficClass::download(),
-                    i as f64 / 3.0,
-                ),
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 3.0),
                 20 + i as u64,
             )
             .generate(30_000)
@@ -49,11 +45,8 @@ fn bench_online_epoch(c: &mut Criterion) {
         round_requests: 500,
         ..OnlineConfig::default()
     };
-    let cache = CacheConfig {
-        hoc_bytes: hoc,
-        dc_bytes: 512 * 1024 * 1024,
-        ..CacheConfig::paper_default()
-    };
+    let cache =
+        CacheConfig { hoc_bytes: hoc, dc_bytes: 512 * 1024 * 1024, ..CacheConfig::paper_default() };
 
     let mut g = c.benchmark_group("end_to_end");
     g.throughput(Throughput::Elements(trace.len() as u64));

@@ -7,11 +7,9 @@ use darwin_features::FeatureExtractor;
 use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
 
 fn bench_extract(c: &mut Criterion) {
-    let trace = TraceGenerator::new(
-        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
-        7,
-    )
-    .generate(100_000);
+    let trace =
+        TraceGenerator::new(MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5), 7)
+            .generate(100_000);
 
     let mut g = c.benchmark_group("feature_extraction");
     g.throughput(Throughput::Elements(trace.len() as u64));

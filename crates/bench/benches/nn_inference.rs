@@ -36,10 +36,7 @@ fn bench_training(c: &mut Criterion) {
     c.bench_function("train_one_predictor_50x100", |b| {
         b.iter(|| {
             let mut net = Mlp::new(22, 8, 2, OutputActivation::Sigmoid, 5);
-            black_box(net.train(
-                &data,
-                &TrainConfig { epochs: 100, ..TrainConfig::default() },
-            ))
+            black_box(net.train(&data, &TrainConfig { epochs: 100, ..TrainConfig::default() }))
         })
     });
 }

@@ -5,7 +5,7 @@
 //!
 //! what: all | fig2 | fig4a | fig4b | fig4c | fig5a | fig5b | fig5c | fig5d
 //!     | fig6 | fig7a | fig7b | table2 | fig8 | fig9 | fig10 | fig11
-//!     | ablations | timeline | hindsight
+//!     | ablations | timeline | hindsight | shard
 //! ```
 //!
 //! `--scale 1` (default) is the laptop configuration; larger factors move
@@ -14,13 +14,15 @@
 //! directory and reuses them on later invocations at the same scale.
 
 use darwin::offline::OfflineTrainer;
-use darwin_bench::experiments::{ablations, fig2, fig4, fig5, fig6, fig7, fig8_11, hindsight, table2, timeline};
+use darwin_bench::experiments::{
+    ablations, fig2, fig4, fig5, fig6, fig7, fig8_11, hindsight, shard, table2, timeline,
+};
 use darwin_bench::{Scale, SharedContext};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight> [--scale N] [--out DIR] [--cache]"
+        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard> [--scale N] [--out DIR] [--cache]"
     );
     std::process::exit(2);
 }
@@ -56,18 +58,40 @@ fn main() {
 
     // Validate the experiment name before building anything expensive.
     const KNOWN: &[&str] = &[
-        "all", "fig2", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c", "fig5d", "fig6",
-        "fig7a", "fig7b", "table2", "fig8", "fig9", "fig10", "fig11", "ablations", "timeline",
+        "all",
+        "fig2",
+        "fig4a",
+        "fig4b",
+        "fig4c",
+        "fig5a",
+        "fig5b",
+        "fig5c",
+        "fig5d",
+        "fig6",
+        "fig7a",
+        "fig7b",
+        "table2",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "ablations",
+        "timeline",
         "hindsight",
+        "shard",
     ];
     if !KNOWN.contains(&what.as_str()) {
         eprintln!("unknown experiment {what:?}");
         usage();
     }
 
-    // fig2 needs no shared context.
+    // fig2 and the shard throughput sweep need no shared context.
     if what == "fig2" {
         fig2::run(&scale, &out);
+        return;
+    }
+    if what == "shard" {
+        shard::run(&scale, &out);
         return;
     }
 
@@ -75,11 +99,7 @@ fn main() {
     let needs_all_pairs = matches!(what.as_str(), "all" | "fig5c" | "fig10");
     eprintln!("[experiments] building shared context at scale {scale_factor} ...");
     let t0 = std::time::Instant::now();
-    let ctx = SharedContext::build_with_cache(
-        scale,
-        false,
-        use_cache.then_some(out.as_path()),
-    );
+    let ctx = SharedContext::build_with_cache(scale, false, use_cache.then_some(out.as_path()));
     eprintln!("[experiments] context ready in {:.1}s", t0.elapsed().as_secs_f64());
 
     let all_pairs_model = if needs_all_pairs {
@@ -106,21 +126,37 @@ fn main() {
         "table2" => table2::run(&ctx, &out),
         "fig8" => fig8_11::run_fig8(&ctx, &out),
         "fig9" => fig8_11::run_fig9(&ctx, &out),
-        "fig10" => {
-            fig8_11::run_fig10(&ctx, all_pairs_model.as_ref().expect("all-pairs model"), &out)
-        }
+        "fig10" => fig8_11::run_fig10(&ctx, all_pairs_model.as_ref().expect("all-pairs model"), &out),
         "fig11" => fig8_11::run_fig11(&ctx, &out),
         "ablations" => ablations::run(&ctx, &out),
         "timeline" => timeline::run(&ctx, &out),
         "hindsight" => hindsight::run(&ctx, &out),
+        "shard" => shard::run(&scale, &out),
         _ => usage(),
     };
 
     if what == "all" {
         for name in [
-            "fig2", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c", "fig5d", "fig6",
-            "fig7a", "fig7b", "table2", "fig8", "fig9", "fig10", "fig11", "ablations",
-            "timeline", "hindsight",
+            "fig2",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig5a",
+            "fig5b",
+            "fig5c",
+            "fig5d",
+            "fig6",
+            "fig7a",
+            "fig7b",
+            "table2",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablations",
+            "timeline",
+            "hindsight",
+            "shard",
         ] {
             let t = std::time::Instant::now();
             eprintln!("\n[experiments] ===== {name} =====");

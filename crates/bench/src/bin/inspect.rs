@@ -34,12 +34,8 @@ fn main() {
     // Show the offline cluster sets first.
     println!("clusters: {}", ctx.model.num_clusters());
     for c in 0..ctx.model.num_clusters() {
-        let labels: Vec<String> = ctx
-            .model
-            .expert_set(c)
-            .iter()
-            .map(|&e| runs::expert_label(ctx.model.grid(), e))
-            .collect();
+        let labels: Vec<String> =
+            ctx.model.expert_set(c).iter().map(|&e| runs::expert_label(ctx.model.grid(), e)).collect();
         println!("  cluster {c}: {}", labels.join(" "));
     }
 

@@ -40,11 +40,9 @@ impl Corpus {
     /// 0:100, `train_seeds` offline traces per mix.
     pub fn build(scale: &Scale, n_ratios: usize, train_seeds: usize) -> Self {
         assert!(n_ratios >= 2, "need at least the two pure mixes");
-        let ratios: Vec<f64> =
-            (0..n_ratios).map(|i| 1.0 - i as f64 / (n_ratios - 1) as f64).collect();
-        let mix = |share: f64| {
-            MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), share)
-        };
+        let ratios: Vec<f64> = (0..n_ratios).map(|i| 1.0 - i as f64 / (n_ratios - 1) as f64).collect();
+        let mix =
+            |share: f64| MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), share);
 
         let mut offline_train = Vec::new();
         let mut offline_test = Vec::new();
@@ -52,9 +50,8 @@ impl Corpus {
         for (ri, &share) in ratios.iter().enumerate() {
             for s in 0..train_seeds {
                 let seed = (ri * 1000 + s) as u64 + 1;
-                offline_train.push(
-                    TraceGenerator::new(mix(share), seed).generate(scale.offline_trace_len()),
-                );
+                offline_train
+                    .push(TraceGenerator::new(mix(share), seed).generate(scale.offline_trace_len()));
             }
             offline_test.push(
                 TraceGenerator::new(mix(share), (ri * 1000 + 900) as u64)
@@ -125,11 +122,7 @@ impl SharedContext {
         let trainer = OfflineTrainer::new(offline_cfg.clone());
 
         let cache_path = cache_dir.map(|d| {
-            d.join(format!(
-                "ctx-cache-v{}-scale{}.json",
-                env!("CARGO_PKG_VERSION"),
-                scale.factor()
-            ))
+            d.join(format!("ctx-cache-v{}-scale{}.json", env!("CARGO_PKG_VERSION"), scale.factor()))
         });
         let cached: Option<CachedEvals> = cache_path
             .as_ref()
@@ -154,15 +147,9 @@ impl SharedContext {
                     offline_cfg.grid.len()
                 );
                 let train = trainer.evaluate_corpus(&corpus.offline_train);
-                eprintln!(
-                    "[context] evaluating {} offline test traces ...",
-                    corpus.offline_test.len()
-                );
+                eprintln!("[context] evaluating {} offline test traces ...", corpus.offline_test.len());
                 let test = trainer.evaluate_corpus(&corpus.offline_test);
-                eprintln!(
-                    "[context] evaluating {} online test traces ...",
-                    corpus.online_test.len()
-                );
+                eprintln!("[context] evaluating {} online test traces ...", corpus.online_test.len());
                 let online = trainer.evaluate_corpus(&corpus.online_test);
                 if let Some(p) = &cache_path {
                     let payload = CachedEvals {

@@ -17,11 +17,9 @@ use crate::experiments::fig5::order_accuracy;
 use crate::report::{f4, Report};
 use crate::runs;
 use darwin::offline::OfflineTrainer;
-use darwin_bandit::{
-    ClassicalTrackAndStop, GaussianEnv, SideInfo, TasConfig, TrackAndStopSideInfo,
-};
-use darwin_cluster::{KMeans, Normalizer};
+use darwin_bandit::{ClassicalTrackAndStop, GaussianEnv, SideInfo, TasConfig, TrackAndStopSideInfo};
 use darwin_cache::Objective;
+use darwin_cluster::{KMeans, Normalizer};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -51,9 +49,8 @@ pub fn side_info_scaling(out: &Path) {
     let ks = [2usize, 4, 8, 16, 32];
     let per_k = darwin_parallel::par_map(0, &ks, |&k| {
         // Means: one good arm, the rest staggered below it.
-        let mu: Vec<f64> = (0..k)
-            .map(|i| if i == 0 { 0.6 } else { 0.5 - 0.01 * (i as f64 % 5.0) })
-            .collect();
+        let mu: Vec<f64> =
+            (0..k).map(|i| if i == 0 { 0.6 } else { 0.5 - 0.01 * (i as f64 % 5.0) }).collect();
         let sigma = SideInfo::two_level(k, 0.05, 0.08);
         let mut si_rounds = 0usize;
         let mut cl_rounds = 0usize;
@@ -254,19 +251,14 @@ pub fn overhead(ctx: &SharedContext, out: &Path) {
     ]);
     rep.row(&[
         "darwin / hillclimbing memory ratio".into(),
-        format!(
-            "{:.4}",
-            ctx.model.memory_footprint_bytes() as f64
-                / (2 * ctx.scale.hoc_bytes()) as f64
-        ),
+        format!("{:.4}", ctx.model.memory_footprint_bytes() as f64 / (2 * ctx.scale.hoc_bytes()) as f64),
     ]);
     rep.finish().expect("write overhead");
 }
 
 /// Ablation 4: cluster-count sweep (inertia and set sizes).
 pub fn cluster_count_sweep(ctx: &SharedContext, out: &Path) {
-    let rows: Vec<Vec<f64>> =
-        ctx.train_evals.iter().map(|e| e.features.values().to_vec()).collect();
+    let rows: Vec<Vec<f64>> = ctx.train_evals.iter().map(|e| e.features.values().to_vec()).collect();
     let norm = Normalizer::fit(&rows);
     let z: Vec<Vec<f64>> = rows.iter().map(|r| norm.transform(r)).collect();
     let mut rep = Report::new(
@@ -280,8 +272,7 @@ pub fn cluster_count_sweep(ctx: &SharedContext, out: &Path) {
         let mut cfg = ctx.offline_cfg.clone();
         cfg.n_clusters = k;
         let trainer = OfflineTrainer::new(cfg);
-        let (assignment, sets) =
-            trainer.cluster_expert_sets(&ctx.train_evals, 1.0, Objective::HocOhr);
+        let (assignment, sets) = trainer.cluster_expert_sets(&ctx.train_evals, 1.0, Objective::HocOhr);
         let sizes: Vec<f64> = assignment.iter().map(|&c| sets[c].len() as f64).collect();
         rep.row(&[
             k.to_string(),

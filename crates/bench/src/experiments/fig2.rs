@@ -55,19 +55,13 @@ impl GridResult {
         let c = self
             .cells
             .iter()
-            .min_by(|a, b| {
-                nan_loses(a.3, f64::INFINITY).total_cmp(&nan_loses(b.3, f64::INFINITY))
-            })
+            .min_by(|a, b| nan_loses(a.3, f64::INFINITY).total_cmp(&nan_loses(b.3, f64::INFINITY)))
             .unwrap();
         (c.0, c.1, c.3)
     }
 
     fn ohr_at(&self, f: u32, s_kb: u64) -> f64 {
-        self.cells
-            .iter()
-            .find(|c| c.0 == f && c.1 == s_kb)
-            .map(|c| c.2)
-            .expect("cell in grid")
+        self.cells.iter().find(|c| c.0 == f && c.1 == s_kb).map(|c| c.2).expect("cell in grid")
     }
 }
 
@@ -80,8 +74,7 @@ fn sweep(trace: &Trace, hoc_bytes: u64, threads: usize) -> GridResult {
     let grid_points: Vec<(u32, u64)> =
         fs.iter().flat_map(|&f| ss.iter().map(move |&s| (f, s))).collect();
     let cells = darwin_parallel::par_map(threads, &grid_points, |&(f, s)| {
-        let mut sim =
-            HocSim::new(hoc_bytes, EvictionKind::Lru, ThresholdPolicy::new(f, s * 1024));
+        let mut sim = HocSim::new(hoc_bytes, EvictionKind::Lru, ThresholdPolicy::new(f, s * 1024));
         let m = sim.run_trace(trace);
         (f, s, m.hoc_ohr(), m.hoc_miss_bytes_per_request())
     });
@@ -196,11 +189,7 @@ mod tests {
     #[test]
     fn best_selection_survives_nan_cells() {
         let grid = GridResult {
-            cells: vec![
-                (1, 10, f64::NAN, 5.0),
-                (2, 20, 0.4, f64::NAN),
-                (3, 50, 0.6, 3.0),
-            ],
+            cells: vec![(1, 10, f64::NAN, 5.0), (2, 20, 0.4, f64::NAN), (3, 50, 0.6, 3.0)],
         };
         assert_eq!(grid.best_by_ohr(), (3, 50, 0.6));
         assert_eq!(grid.best_by_disk_write(), (3, 50, 3.0));

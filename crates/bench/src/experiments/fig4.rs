@@ -72,13 +72,8 @@ pub fn run_b(ctx: &SharedContext, out: &Path) {
     }
 
     let cache = ctx.scale.cache_config_scaled(factor);
-    let suite = BaselineSuite::build(
-        &ctx.scale,
-        &cfg.grid,
-        &train_evals,
-        &tuning_sample(&scaled_train),
-        &cache,
-    );
+    let suite =
+        BaselineSuite::build(&ctx.scale, &cfg.grid, &train_evals, &tuning_sample(&scaled_train), &cache);
     let mut rep = Report::new(
         "fig4b",
         "Fig 4b: OHR improvement of Darwin vs baselines (5x cache)",
@@ -119,8 +114,7 @@ pub fn run_b(ctx: &SharedContext, out: &Path) {
 /// Fig 4c: prototype (testbed) comparison at low concurrency.
 pub fn run_c(ctx: &SharedContext, out: &Path) {
     let picks = ctx.ensemble_indices();
-    let parts: Vec<_> =
-        picks.iter().take(4).map(|&i| ctx.corpus.online_test[i].clone()).collect();
+    let parts: Vec<_> = picks.iter().take(4).map(|&i| ctx.corpus.online_test[i].clone()).collect();
     let workload = concat_traces(&parts);
     let cache = ctx.scale.cache_config();
     let tb = Testbed::new(TestbedConfig { concurrency: 8, ..TestbedConfig::default() });

@@ -63,8 +63,7 @@ pub fn run_b(ctx: &SharedContext, out: &Path) {
         out,
     );
     for theta in [1.0, 2.0, 5.0] {
-        let (assignment, sets) =
-            trainer.cluster_expert_sets(&ctx.train_evals, theta, Objective::HocOhr);
+        let (assignment, sets) = trainer.cluster_expert_sets(&ctx.train_evals, theta, Objective::HocOhr);
         // Weight sets by how many traces map to them (what a trace sees).
         let sizes: Vec<f64> = assignment.iter().map(|&c| sets[c].len() as f64).collect();
         let s = runs::Stats::of(&sizes);
@@ -141,8 +140,7 @@ pub fn run_d(ctx: &SharedContext, out: &Path) {
     let mut rounds = Vec::new();
     let mut set_sizes = Vec::new();
     for trace in &ctx.corpus.online_test {
-        let report =
-            darwin::run_darwin(&ctx.model, &ctx.scale.online_config(), trace, &cache);
+        let report = darwin::run_darwin(&ctx.model, &ctx.scale.online_config(), trace, &cache);
         if let Some(ep) = report.epochs.first() {
             rounds.push(ep.identify_rounds as f64);
             set_sizes.push(ep.set_size as f64);

@@ -20,13 +20,7 @@ use std::sync::Arc;
 
 /// Runs both Fig 6 experiments.
 pub fn run(ctx: &SharedContext, out: &Path) {
-    run_objective(
-        ctx,
-        Objective::HocBmr,
-        "fig6a",
-        "Fig 6a: HOC byte miss ratio (lower is better)",
-        out,
-    );
+    run_objective(ctx, Objective::HocBmr, "fig6a", "Fig 6a: HOC byte miss ratio (lower is better)", out);
     run_objective(
         ctx,
         Objective::combined_default(),
@@ -36,13 +30,7 @@ pub fn run(ctx: &SharedContext, out: &Path) {
     );
 }
 
-fn run_objective(
-    ctx: &SharedContext,
-    objective: Objective,
-    name: &str,
-    title: &str,
-    out: &Path,
-) {
+fn run_objective(ctx: &SharedContext, objective: Objective, name: &str, title: &str, out: &Path) {
     // Retrain the model under the new objective, reusing the evaluations
     // (the "two slight modifications" of §6.3).
     let mut cfg = ctx.offline_cfg.clone();
@@ -65,11 +53,8 @@ fn run_objective(
         let d = objective.report_value(&report.metrics);
 
         // Static expert metric values, from the stored per-expert metrics.
-        let statics: Vec<f64> = ctx.online_evals[ti]
-            .metrics
-            .iter()
-            .map(|m| objective.report_value(m))
-            .collect();
+        let statics: Vec<f64> =
+            ctx.online_evals[ti].metrics.iter().map(|m| objective.report_value(m)).collect();
         let s = runs::Stats::of(&statics);
         // For BMR smaller is better: improvement = (static − darwin)/static.
         let better_is_lower = matches!(objective, Objective::HocBmr);
@@ -79,15 +64,8 @@ fn run_objective(
             runs::improvement_pct(d, s.mean)
         };
         improvements.push(imp);
-        let (best, worst) =
-            if better_is_lower { (s.min, s.max) } else { (s.max, s.min) };
-        rep.row(&[
-            format!("mix{ti}"),
-            f4(d),
-            f4(best),
-            f4(worst),
-            format!("{imp:.2}"),
-        ]);
+        let (best, worst) = if better_is_lower { (s.min, s.max) } else { (s.max, s.min) };
+        rep.row(&[format!("mix{ti}"), f4(d), f4(best), f4(worst), format!("{imp:.2}")]);
     }
     rep.finish().expect("write fig6");
     let s = runs::Stats::of(&improvements);

@@ -24,8 +24,7 @@ pub fn run_a(ctx: &SharedContext, out: &Path) {
     // testbed unloaded, HOC-vs-DC hits cost nearly the same and the CDF
     // degenerates to the two propagation plateaus.
     let picks = ctx.ensemble_indices();
-    let parts: Vec<_> =
-        picks.iter().rev().take(4).map(|&i| ctx.corpus.online_test[i].clone()).collect();
+    let parts: Vec<_> = picks.iter().rev().take(4).map(|&i| ctx.corpus.online_test[i].clone()).collect();
     let workload = concat_traces(&parts);
     let cache = ctx.scale.cache_config();
     let tb = Testbed::new(TestbedConfig { concurrency: 200, ..TestbedConfig::default() });
@@ -58,14 +57,9 @@ pub fn run_a(ctx: &SharedContext, out: &Path) {
     rep.finish().expect("write fig7a");
 
     // Full CDF series for plotting.
-    let mut cdf = Report::new(
-        "fig7a_cdf",
-        "Fig 7a: latency CDF series",
-        &["driver", "latency_ms", "cdf"],
-        out,
-    );
-    for (label, mut lat) in [("darwin".to_string(), rd.latency), ("f2s100".to_string(), rs.latency)]
-    {
+    let mut cdf =
+        Report::new("fig7a_cdf", "Fig 7a: latency CDF series", &["driver", "latency_ms", "cdf"], out);
+    for (label, mut lat) in [("darwin".to_string(), rd.latency), ("f2s100".to_string(), rs.latency)] {
         for (us, frac) in lat.cdf(50) {
             cdf.row(&[label.clone(), format!("{:.2}", us as f64 / 1000.0), format!("{frac:.4}")]);
         }
@@ -80,12 +74,7 @@ pub fn run_b(ctx: &SharedContext, out: &Path) {
     // the hit-rate → throughput coupling visible (as in the paper, whose
     // testbed served production-sized media objects).
     let picks = ctx.ensemble_indices();
-    let parts: Vec<_> = picks
-        .iter()
-        .rev()
-        .take(2)
-        .map(|&i| ctx.corpus.online_test[i].clone())
-        .collect();
+    let parts: Vec<_> = picks.iter().rev().take(2).map(|&i| ctx.corpus.online_test[i].clone()).collect();
     let workload = concat_traces(&parts);
     let cache = ctx.scale.cache_config();
 

@@ -37,11 +37,7 @@ pub fn run_fig8(ctx: &SharedContext, out: &Path) {
             errs.push(max_relative_error(&prefix, &full));
         }
         let s = runs::Stats::of(&errs);
-        rep.row(&[
-            format!("{:.0}", frac * 100.0),
-            format!("{:.2}", s.mean),
-            format!("{:.2}", s.max),
-        ]);
+        rep.row(&[format!("{:.0}", frac * 100.0), format!("{:.2}", s.mean), format!("{:.2}", s.max)]);
     }
     rep.finish().expect("write fig8");
 }
@@ -57,8 +53,7 @@ pub fn run_fig9(ctx: &SharedContext, out: &Path) {
         out,
     );
     for theta in [0.5, 1.0, 2.0, 5.0, 10.0] {
-        let (assignment, sets) =
-            trainer.cluster_expert_sets(&ctx.train_evals, theta, Objective::HocOhr);
+        let (assignment, sets) = trainer.cluster_expert_sets(&ctx.train_evals, theta, Objective::HocOhr);
         let sizes: Vec<f64> = assignment.iter().map(|&c| sets[c].len() as f64).collect();
         let s = runs::Stats::of(&sizes);
         let reduction = 100.0 * (1.0 - s.mean / n_experts);
@@ -69,8 +64,7 @@ pub fn run_fig9(ctx: &SharedContext, out: &Path) {
             let rewards = ev.rewards_under(Objective::HocOhr);
             let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let floor = best - theta / 100.0 * best.abs();
-            let within =
-                sets[c].iter().filter(|&&e| rewards[e] >= floor).count() as f64;
+            let within = sets[c].iter().filter(|&&e| rewards[e] >= floor).count() as f64;
             fracs.push(within / sets[c].len().max(1) as f64);
         }
         let f = runs::Stats::of(&fracs);
@@ -101,11 +95,7 @@ pub fn run_fig10(ctx: &SharedContext, all_pairs_model: &DarwinModel, out: &Path)
         .iter()
         .enumerate()
         .map(|(i, &share)| {
-            let spec = MixSpec::two_class(
-                TrafficClass::image(),
-                TrafficClass::download(),
-                share,
-            );
+            let spec = MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), share);
             TraceGenerator::new(spec, 7700 + i as u64).generate(len)
         })
         .collect();
@@ -117,10 +107,9 @@ pub fn run_fig10(ctx: &SharedContext, all_pairs_model: &DarwinModel, out: &Path)
             let spec = match i % 3 {
                 0 => MixSpec::two_class(image.clone(), download.clone(), 0.3 + 0.1 * i as f64),
                 1 => MixSpec::two_class(image.clone(), web.clone(), 0.5),
-                _ => MixSpec::new(
-                    vec![image.clone(), download.clone(), web.clone()],
-                    vec![0.4, 0.3, 0.3],
-                ),
+                _ => {
+                    MixSpec::new(vec![image.clone(), download.clone(), web.clone()], vec![0.4, 0.3, 0.3])
+                }
             };
             TraceGenerator::new(spec, 7000 + i as u64).generate(len)
         })

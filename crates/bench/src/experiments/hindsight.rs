@@ -31,8 +31,7 @@ pub fn run(ctx: &SharedContext, out: &Path) {
     let mut traces = Vec::new();
     for (ri, &share) in ctx.corpus.ratios.iter().enumerate() {
         for s in 0..3u64 {
-            let mix =
-                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), share);
+            let mix = MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), share);
             traces.push(TraceGenerator::new(mix, 60_000 + ri as u64 * 100 + s).generate(len));
         }
     }
@@ -78,9 +77,8 @@ pub fn run(ctx: &SharedContext, out: &Path) {
     }
     rep.finish().expect("write hindsight");
 
-    let frac_within = |v: &[f64], pct: f64| {
-        v.iter().filter(|&&x| x <= pct).count() as f64 / v.len() as f64
-    };
+    let frac_within =
+        |v: &[f64], pct: f64| v.iter().filter(|&&x| x <= pct).count() as f64 / v.len() as f64;
     let mut sum = Report::new(
         "hindsight_summary",
         "Hindsight-optimality summary",
@@ -89,7 +87,11 @@ pub fn run(ctx: &SharedContext, out: &Path) {
     );
     let l = runs::Stats::of(&losses);
     let g = runs::Stats::of(&chosen_gaps);
-    sum.row(&["median loss vs hindsight (%)".into(), format!("{:.2}", l.median), format!("{:.2}", g.median)]);
+    sum.row(&[
+        "median loss vs hindsight (%)".into(),
+        format!("{:.2}", l.median),
+        format!("{:.2}", g.median),
+    ]);
     sum.row(&["mean loss (%)".into(), format!("{:.2}", l.mean), format!("{:.2}", g.mean)]);
     sum.row(&["max loss (%)".into(), format!("{:.2}", l.max), format!("{:.2}", g.max)]);
     sum.row(&[

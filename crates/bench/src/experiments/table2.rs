@@ -24,9 +24,7 @@ pub fn run(ctx: &SharedContext, out: &Path) {
     let n_experts = ctx.model.grid().len();
     let mut labels: Vec<String> =
         (0..n_experts).map(|e| runs::expert_label(ctx.model.grid(), e)).collect();
-    labels.extend(
-        ["Percentile", "HC-10", "HC-20", "AdaptSize", "Direct"].map(String::from),
-    );
+    labels.extend(["Percentile", "HC-10", "HC-20", "AdaptSize", "Direct"].map(String::from));
     let mut sums = vec![0.0; labels.len()];
 
     let per_trace = darwin_parallel::par_run(0, ctx.corpus.online_test.len(), |ti| {

@@ -30,10 +30,8 @@ pub fn run(ctx: &SharedContext, out: &Path) {
     base_cfg.epoch_requests = workload.len().max(2); // one fixed epoch
     let drift_cfg = darwin::OnlineConfig { drift_threshold: Some(0.4), ..base_cfg };
 
-    let fixed =
-        run_darwin_with_timeline(&ctx.model, &base_cfg, &workload, &cache, window);
-    let drift =
-        run_darwin_with_timeline(&ctx.model, &drift_cfg, &workload, &cache, window);
+    let fixed = run_darwin_with_timeline(&ctx.model, &base_cfg, &workload, &cache, window);
+    let drift = run_darwin_with_timeline(&ctx.model, &drift_cfg, &workload, &cache, window);
 
     // Static timelines.
     let static_timeline = |e: Expert| -> Vec<(u64, f64)> {

@@ -24,6 +24,7 @@ pub mod experiments {
     pub mod fig7;
     pub mod fig8_11;
     pub mod hindsight;
+    pub mod shard;
     pub mod table2;
     pub mod timeline;
 }

@@ -58,12 +58,7 @@ impl Report {
         }
         println!("\n== {} ==", self.title);
         let fmt_row = |cells: &[String]| -> String {
-            cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         println!("{}", fmt_row(&self.header));
         for row in &self.rows {

@@ -108,14 +108,8 @@ impl Stats {
         let mut v = values.to_vec();
         v.sort_by(f64::total_cmp);
         let mid = v.len() / 2;
-        let median =
-            if v.len().is_multiple_of(2) { (v[mid - 1] + v[mid]) / 2.0 } else { v[mid] };
-        Self {
-            min: v[0],
-            median,
-            mean: v.iter().sum::<f64>() / v.len() as f64,
-            max: v[v.len() - 1],
-        }
+        let median = if v.len().is_multiple_of(2) { (v[mid - 1] + v[mid]) / 2.0 } else { v[mid] };
+        Self { min: v[0], median, mean: v.iter().sum::<f64>() / v.len() as f64, max: v[v.len() - 1] }
     }
 }
 
@@ -188,4 +182,3 @@ mod tests {
         assert!((improvement_pct(0.8, 1.0) + 20.0).abs() < 1e-9);
     }
 }
-

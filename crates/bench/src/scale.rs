@@ -71,11 +71,7 @@ impl Scale {
     /// 500 MB studies use m = 2, 5).
     pub fn cache_config_scaled(&self, m: u64) -> CacheConfig {
         let base = self.cache_config();
-        CacheConfig {
-            hoc_bytes: base.hoc_bytes * m,
-            dc_bytes: base.dc_bytes * m,
-            ..base
-        }
+        CacheConfig { hoc_bytes: base.hoc_bytes * m, dc_bytes: base.dc_bytes * m, ..base }
     }
 
     /// Online-phase configuration preserving the paper's epoch proportions

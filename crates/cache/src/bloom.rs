@@ -251,6 +251,82 @@ mod tests {
     }
 
     #[test]
+    fn sketch_aging_halves_every_counter_exactly() {
+        // Every estimate must follow c -> floor(c / 2) on each aging step,
+        // for a spread of ids and counts (not just one object).
+        let mut s = FrequencySketch::with_capacity(1024);
+        s.aging_period = u64::MAX; // only age explicitly
+        for id in 0..50u64 {
+            for _ in 0..(1 + id % 7) {
+                s.increment(id);
+            }
+        }
+        let before: Vec<u32> = (0..50u64).map(|id| s.estimate(id)).collect();
+        s.age();
+        for id in 0..50u64 {
+            assert_eq!(s.estimate(id), before[id as usize] / 2, "id {id}");
+        }
+    }
+
+    #[test]
+    fn sketch_aging_never_underflows() {
+        let mut s = FrequencySketch::with_capacity(64);
+        s.increment(9);
+        // Far more halvings than bits: counters must pin at 0, never wrap.
+        for _ in 0..100 {
+            s.age();
+        }
+        assert_eq!(s.estimate(9), 0);
+        // A fresh increment after heavy aging starts from 1 again.
+        assert_eq!(s.increment(9), 1);
+    }
+
+    #[test]
+    fn sketch_automatic_aging_triggers_at_period() {
+        let mut s = FrequencySketch::with_capacity(64);
+        // A short explicit period keeps the test exact: padding with
+        // thousands of distinct ids (the default period) would collide with
+        // the tracked id's counters and obscure the boundary.
+        s.aging_period = 16;
+        for _ in 0..10 {
+            s.increment(77);
+        }
+        // Filler ops up to (but not past) the boundary. A colliding slot can
+        // only be *raised* by conservative update, never lowered, and the
+        // filler's counts stay below 10, so the tracked minimum is stable.
+        for _ in 0..5 {
+            s.increment(88);
+        }
+        assert_eq!(s.estimate(77), 10, "no aging before the period boundary");
+        // The 16th increment crosses the period: every counter halves
+        // (10 -> 5) before the request is counted.
+        s.increment(88);
+        assert_eq!(s.estimate(77), 5, "aging did not fire at the period boundary");
+    }
+
+    #[test]
+    fn exact_and_sketch_agree_below_error_bound() {
+        // A workload whose distinct-object count is far below the sketch
+        // capacity and whose length stays below the aging period must be
+        // counted *exactly* (conservative update can only over-count on
+        // collisions, and collisions are negligible at this load factor).
+        let mut sketch = FrequencySketch::with_capacity(4096);
+        let mut exact: std::collections::HashMap<ObjectId, u32> = std::collections::HashMap::new();
+        let mut x = 99u64;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let id = (x >> 40) % 64; // 64 distinct objects in a 4096-object sketch
+            let e = exact.entry(id).or_insert(0);
+            *e += 1;
+            let got = sketch.increment(id);
+            assert_eq!(got, *e, "sketch diverged from exact count for {id}");
+        }
+        for (&id, &c) in &exact {
+            assert_eq!(sketch.estimate(id), c, "post-hoc estimate for {id}");
+        }
+    }
+
+    #[test]
     fn sketch_clear_zeroes() {
         let mut s = FrequencySketch::with_capacity(64);
         s.increment(3);

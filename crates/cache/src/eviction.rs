@@ -189,20 +189,10 @@ impl Store {
         self.clock += 1;
         let mut evicted = Vec::new();
         while self.used + size > self.capacity {
-            let victim = self
-                .pick_victim()
-                .expect("store is non-empty while over capacity");
+            let victim = self.pick_victim().expect("store is non-empty while over capacity");
             evicted.push(self.remove_idx(victim));
         }
-        let node = Node {
-            id,
-            size,
-            prev: NIL,
-            next: NIL,
-            segment: 0,
-            hits: 1,
-            last_touch: self.clock,
-        };
+        let node = Node { id, size, prev: NIL, next: NIL, segment: 0, hits: 1, last_touch: self.clock };
         let idx = match self.free.pop() {
             Some(i) => {
                 self.nodes[i] = node;
@@ -510,7 +500,7 @@ mod tests {
     #[test]
     fn segmented_demotion_cascades_to_eviction() {
         let mut s = s4(100); // budget 25 per segment
-        // Fill with promoted objects.
+                             // Fill with promoted objects.
         for id in 0..4u64 {
             s.insert(id, 25);
             s.touch(id);
@@ -622,6 +612,67 @@ mod proptests {
                 b.sort_unstable();
                 prop_assert_eq!(a, b);
                 prop_assert!(s.used_bytes() <= 40);
+            }
+        }
+
+        /// Cache-server-shaped request sequences (touch on hit, insert on
+        /// miss): resident bytes never exceed capacity and every eviction the
+        /// store reports matches, in order, the victim a reference model of
+        /// the policy picks (LRU: least recent; FIFO: oldest insert; LFU:
+        /// fewest hits, least-recent tie-break).
+        #[test]
+        fn request_sequence_eviction_order_matches_policy(
+            kind_sel in 0usize..3,
+            reqs in proptest::collection::vec((0u64..40, 1u64..30), 1..400),
+        ) {
+            const CAP: u64 = 100;
+            let kind = [EvictionKind::Lru, EvictionKind::Fifo, EvictionKind::Lfu][kind_sel];
+            let mut s = Store::new(CAP, kind);
+            // Reference state: `order` is most-recent-first for LRU and
+            // most-recently-inserted-first for FIFO; `stats` tracks
+            // (hits, last_touch) for LFU with the same clock Store uses.
+            let mut sizes: std::collections::HashMap<u64, u64> = Default::default();
+            let mut order: Vec<u64> = Vec::new();
+            let mut stats: std::collections::HashMap<u64, (u64, u64)> = Default::default();
+            let mut used = 0u64;
+            let mut clock = 0u64;
+            for (id, size) in reqs {
+                let size = *sizes.entry(id).or_insert(size);
+                if s.touch(id) {
+                    clock += 1;
+                    prop_assert!(order.contains(&id), "store hit an absent object");
+                    if kind == EvictionKind::Lru {
+                        let pos = order.iter().position(|&i| i == id).unwrap();
+                        order.remove(pos);
+                        order.insert(0, id);
+                    }
+                    let e = stats.get_mut(&id).unwrap();
+                    e.0 += 1;
+                    e.1 = clock;
+                } else {
+                    clock += 1; // the miss-side touch() also ticks the clock
+                    clock += 1; // insert() ticks again before evicting
+                    let mut expected: Vec<(u64, u64)> = Vec::new();
+                    while used + size > CAP {
+                        let victim = match kind {
+                            EvictionKind::Lfu => *stats
+                                .keys()
+                                .min_by_key(|i| stats[i])
+                                .expect("non-empty while over capacity"),
+                            _ => *order.last().expect("non-empty while over capacity"),
+                        };
+                        order.retain(|&i| i != victim);
+                        stats.remove(&victim);
+                        used -= sizes[&victim];
+                        expected.push((victim, sizes[&victim]));
+                    }
+                    prop_assert_eq!(s.insert(id, size), expected, "eviction order diverged");
+                    order.insert(0, id);
+                    stats.insert(id, (1, clock));
+                    used += size;
+                }
+                prop_assert!(s.used_bytes() <= CAP);
+                prop_assert_eq!(s.used_bytes(), used);
             }
         }
 

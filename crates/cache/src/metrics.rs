@@ -87,27 +87,53 @@ impl CacheMetrics {
     /// Counter-wise difference `self − earlier`; the activity of the window
     /// between the two snapshots.
     ///
-    /// # Panics
-    /// Panics in debug builds if `earlier` is not actually an earlier
-    /// snapshot of the same counter stream.
+    /// Subtraction saturates at zero: if `earlier` is not actually an earlier
+    /// snapshot of the same counter stream (a reset or wrapped counter), the
+    /// affected counters clamp to zero instead of panicking in debug builds.
     pub fn diff(&self, earlier: &CacheMetrics) -> CacheMetrics {
-        debug_assert!(self.requests >= earlier.requests, "snapshots out of order");
         CacheMetrics {
-            requests: self.requests - earlier.requests,
-            hoc_hits: self.hoc_hits - earlier.hoc_hits,
-            dc_hits: self.dc_hits - earlier.dc_hits,
-            origin_fetches: self.origin_fetches - earlier.origin_fetches,
-            bytes_total: self.bytes_total - earlier.bytes_total,
-            bytes_hoc_hit: self.bytes_hoc_hit - earlier.bytes_hoc_hit,
-            bytes_dc_hit: self.bytes_dc_hit - earlier.bytes_dc_hit,
-            bytes_origin: self.bytes_origin - earlier.bytes_origin,
-            dc_write_bytes: self.dc_write_bytes - earlier.dc_write_bytes,
-            dc_writes: self.dc_writes - earlier.dc_writes,
-            hoc_write_bytes: self.hoc_write_bytes - earlier.hoc_write_bytes,
-            hoc_writes: self.hoc_writes - earlier.hoc_writes,
-            hoc_evictions: self.hoc_evictions - earlier.hoc_evictions,
-            dc_evictions: self.dc_evictions - earlier.dc_evictions,
+            requests: self.requests.saturating_sub(earlier.requests),
+            hoc_hits: self.hoc_hits.saturating_sub(earlier.hoc_hits),
+            dc_hits: self.dc_hits.saturating_sub(earlier.dc_hits),
+            origin_fetches: self.origin_fetches.saturating_sub(earlier.origin_fetches),
+            bytes_total: self.bytes_total.saturating_sub(earlier.bytes_total),
+            bytes_hoc_hit: self.bytes_hoc_hit.saturating_sub(earlier.bytes_hoc_hit),
+            bytes_dc_hit: self.bytes_dc_hit.saturating_sub(earlier.bytes_dc_hit),
+            bytes_origin: self.bytes_origin.saturating_sub(earlier.bytes_origin),
+            dc_write_bytes: self.dc_write_bytes.saturating_sub(earlier.dc_write_bytes),
+            dc_writes: self.dc_writes.saturating_sub(earlier.dc_writes),
+            hoc_write_bytes: self.hoc_write_bytes.saturating_sub(earlier.hoc_write_bytes),
+            hoc_writes: self.hoc_writes.saturating_sub(earlier.hoc_writes),
+            hoc_evictions: self.hoc_evictions.saturating_sub(earlier.hoc_evictions),
+            dc_evictions: self.dc_evictions.saturating_sub(earlier.dc_evictions),
         }
+    }
+
+    /// Counter-wise sum `self + other`: the combined activity of two disjoint
+    /// counter streams (e.g. the shards of a fleet). Rates of the merged
+    /// value are fleet-wide rates because all counters are plain sums.
+    pub fn merge(&self, other: &CacheMetrics) -> CacheMetrics {
+        CacheMetrics {
+            requests: self.requests + other.requests,
+            hoc_hits: self.hoc_hits + other.hoc_hits,
+            dc_hits: self.dc_hits + other.dc_hits,
+            origin_fetches: self.origin_fetches + other.origin_fetches,
+            bytes_total: self.bytes_total + other.bytes_total,
+            bytes_hoc_hit: self.bytes_hoc_hit + other.bytes_hoc_hit,
+            bytes_dc_hit: self.bytes_dc_hit + other.bytes_dc_hit,
+            bytes_origin: self.bytes_origin + other.bytes_origin,
+            dc_write_bytes: self.dc_write_bytes + other.dc_write_bytes,
+            dc_writes: self.dc_writes + other.dc_writes,
+            hoc_write_bytes: self.hoc_write_bytes + other.hoc_write_bytes,
+            hoc_writes: self.hoc_writes + other.hoc_writes,
+            hoc_evictions: self.hoc_evictions + other.hoc_evictions,
+            dc_evictions: self.dc_evictions + other.dc_evictions,
+        }
+    }
+
+    /// Merges an iterator of per-shard metrics into fleet-wide totals.
+    pub fn merge_all<'a, I: IntoIterator<Item = &'a CacheMetrics>>(parts: I) -> CacheMetrics {
+        parts.into_iter().fold(CacheMetrics::default(), |acc, m| acc.merge(m))
     }
 }
 
@@ -176,5 +202,42 @@ mod tests {
     fn diff_of_self_is_zero() {
         let m = sample();
         assert_eq!(m.diff(&m), CacheMetrics::default());
+    }
+
+    #[test]
+    fn diff_saturates_on_out_of_order_snapshots() {
+        // Regression: an out-of-order (reset / wrapped) earlier snapshot used
+        // to panic in debug builds; it must clamp to zero instead.
+        let early = CacheMetrics { requests: 10, hoc_hits: 5, bytes_total: 50, ..Default::default() };
+        let late = CacheMetrics { requests: 30, hoc_hits: 2, bytes_total: 90, ..Default::default() };
+        let w = late.diff(&early);
+        assert_eq!(w.requests, 20);
+        assert_eq!(w.hoc_hits, 0, "wrapped counter saturates to zero");
+        assert_eq!(w.bytes_total, 40);
+        // Saturation is per-counter: in the inverted diff the genuinely
+        // out-of-order counters clamp to zero while a counter that is still
+        // ordered (early.hoc_hits=5 > late.hoc_hits=2) diffs normally.
+        let inv = early.diff(&late);
+        assert_eq!(inv.requests, 0);
+        assert_eq!(inv.hoc_hits, 3);
+        assert_eq!(inv.bytes_total, 0);
+        // Diffing a zero snapshot against anything is all zeros.
+        assert_eq!(CacheMetrics::default().diff(&sample()), CacheMetrics::default());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_rates_are_fleet_wide() {
+        let a = sample();
+        let b = CacheMetrics { requests: 50, hoc_hits: 10, bytes_total: 500, ..Default::default() };
+        let m = a.merge(&b);
+        assert_eq!(m.requests, 150);
+        assert_eq!(m.hoc_hits, 50);
+        assert_eq!(m.bytes_total, 1500);
+        assert!((m.hoc_ohr() - 50.0 / 150.0).abs() < 1e-12);
+        // merge_all over shards equals pairwise merging.
+        let parts = [a, b, sample()];
+        assert_eq!(CacheMetrics::merge_all(&parts), a.merge(&b).merge(&sample()));
+        // Identity element.
+        assert_eq!(a.merge(&CacheMetrics::default()), a);
     }
 }

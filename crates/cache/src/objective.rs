@@ -46,8 +46,7 @@ impl Objective {
             Objective::TotalOhr => window.total_ohr(),
             Objective::HocBmr => 1.0 - window.hoc_bmr(),
             Objective::OhrMinusDiskWrites { weight_per_mib } => {
-                let missed_mib_per_req =
-                    window.hoc_miss_bytes_per_request() / (1024.0 * 1024.0);
+                let missed_mib_per_req = window.hoc_miss_bytes_per_request() / (1024.0 * 1024.0);
                 window.hoc_ohr() - weight_per_mib * missed_mib_per_req
             }
         }
@@ -153,4 +152,3 @@ mod proptests {
         }
     }
 }
-

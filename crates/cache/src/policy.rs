@@ -87,12 +87,9 @@ impl AdmissionPolicy for ThresholdPolicy {
 
     fn label(&self) -> String {
         match self.max_recency_us {
-            Some(r) => format!(
-                "f{}s{}r{}",
-                self.freq_threshold,
-                self.size_threshold / 1024,
-                r / 1_000_000
-            ),
+            Some(r) => {
+                format!("f{}s{}r{}", self.freq_threshold, self.size_threshold / 1024, r / 1_000_000)
+            }
             None => format!("f{}s{}", self.freq_threshold, self.size_threshold / 1024),
         }
     }
@@ -197,10 +194,7 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(ThresholdPolicy::new(3, 20 * 1024).label(), "f3s20");
-        assert_eq!(
-            ThresholdPolicy::with_recency(3, 20 * 1024, 5_000_000).label(),
-            "f3s20r5"
-        );
+        assert_eq!(ThresholdPolicy::with_recency(3, 20 * 1024, 5_000_000).label(), "f3s20r5");
     }
 
     #[test]

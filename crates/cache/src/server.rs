@@ -234,13 +234,8 @@ impl CacheServer {
         };
 
         // HOC admission (promotion) — the expert decision.
-        let view = ObjectView {
-            id: req.id,
-            size: req.size,
-            frequency,
-            recency_us,
-            now_us: req.timestamp_us,
-        };
+        let view =
+            ObjectView { id: req.id, size: req.size, frequency, recency_us, now_us: req.timestamp_us };
         if self.policy.admit(&view) {
             let evicted = self.hoc.insert(req.id, req.size);
             if self.hoc.contains(req.id) {
@@ -330,13 +325,8 @@ impl HocSim {
         self.metrics.origin_fetches += 1;
         self.metrics.bytes_origin += req.size;
 
-        let view = ObjectView {
-            id: req.id,
-            size: req.size,
-            frequency,
-            recency_us,
-            now_us: req.timestamp_us,
-        };
+        let view =
+            ObjectView { id: req.id, size: req.size, frequency, recency_us, now_us: req.timestamp_us };
         let mut policy = self.policy;
         if policy.admit(&view) {
             let evicted = self.hoc.insert(req.id, req.size);
@@ -428,8 +418,7 @@ mod tests {
 
     #[test]
     fn metrics_accounting_is_consistent() {
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 3).generate(30_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 3).generate(30_000);
         let mut s = CacheServer::new(CacheConfig::small_test());
         s.set_policy(ThresholdPolicy::new(1, 200 * 1024));
         let m = s.process_trace(&trace);
@@ -443,8 +432,7 @@ mod tests {
 
     #[test]
     fn always_admit_gives_upper_bound_hoc_traffic() {
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::download()), 4).generate(20_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 4).generate(20_000);
         let mut strict = CacheServer::new(CacheConfig::small_test());
         strict.set_policy(ThresholdPolicy::new(50, 10));
         let m_strict = strict.process_trace(&trace);
@@ -460,17 +448,13 @@ mod tests {
     fn hocsim_matches_cacheserver_hoc_behaviour() {
         // With a DC large enough to never evict, HOC hit sequences of the
         // full server and the HOC-only sim must be identical.
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 5).generate(20_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 5).generate(20_000);
         let policy = ThresholdPolicy::new(2, 100 * 1024);
 
-        let mut full = CacheServer::new(CacheConfig {
-            dc_bytes: u64::MAX / 2,
-            ..CacheConfig::small_test()
-        });
+        let mut full =
+            CacheServer::new(CacheConfig { dc_bytes: u64::MAX / 2, ..CacheConfig::small_test() });
         full.set_policy(policy);
-        let full_hits: Vec<bool> =
-            trace.iter().map(|r| full.process(r).is_hoc_hit()).collect();
+        let full_hits: Vec<bool> = trace.iter().map(|r| full.process(r).is_hoc_hit()).collect();
 
         let mut sim = HocSim::new(1024 * 1024, EvictionKind::Lru, policy);
         let sim_hits = sim.run_trace_recording(&trace);
@@ -488,11 +472,8 @@ mod tests {
 
     #[test]
     fn recency_knob_requires_recent_rerequest() {
-        let mut sim = HocSim::new(
-            10_000,
-            EvictionKind::Lru,
-            ThresholdPolicy::with_recency(0, 10_000, 100),
-        );
+        let mut sim =
+            HocSim::new(10_000, EvictionKind::Lru, ThresholdPolicy::with_recency(0, 10_000, 100));
         sim.process(&req(1, 10, 0)); // first sighting: no recency ⇒ no admit
         assert!(!sim.process(&req(1, 10, 500)), "gap 500 > r=100 ⇒ not admitted before");
         // gap 50 ≤ 100 ⇒ admitted now.
@@ -544,4 +525,3 @@ mod proptests {
         }
     }
 }
-

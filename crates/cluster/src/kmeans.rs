@@ -85,10 +85,7 @@ impl KMeans {
             }
         }
 
-        let inertia = data
-            .iter()
-            .map(|row| Self::nearest(&centroids, row).1)
-            .sum();
+        let inertia = data.iter().map(|row| Self::nearest(&centroids, row).1).sum();
         Self { centroids, inertia, iterations_run }
     }
 
@@ -99,12 +96,7 @@ impl KMeans {
             // Distance-squared weighted sampling.
             let d2: Vec<f64> = data
                 .iter()
-                .map(|row| {
-                    centroids
-                        .iter()
-                        .map(|c| sq_dist(row, c))
-                        .fold(f64::INFINITY, f64::min)
-                })
+                .map(|row| centroids.iter().map(|c| sq_dist(row, c)).fold(f64::INFINITY, f64::min))
                 .collect();
             let total: f64 = d2.iter().sum();
             if total <= 0.0 {
@@ -225,12 +217,7 @@ mod tests {
             .iter()
             .map(|c| c.iter().zip(&v).map(|(a, b)| (a - b) * (a - b)).sum())
             .collect();
-        let best = dists
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = dists.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(assigned, best);
     }
 

@@ -62,19 +62,13 @@ impl Normalizer {
     /// Transforms one vector.
     pub fn transform(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.dim(), "dimension mismatch");
-        v.iter()
-            .zip(self.means.iter().zip(&self.stds))
-            .map(|(&x, (&m, &s))| (x - m) / s)
-            .collect()
+        v.iter().zip(self.means.iter().zip(&self.stds)).map(|(&x, (&m, &s))| (x - m) / s).collect()
     }
 
     /// Inverse transform (for reporting centroids in original units).
     pub fn inverse(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.dim(), "dimension mismatch");
-        v.iter()
-            .zip(self.means.iter().zip(&self.stds))
-            .map(|(&z, (&m, &s))| z * s + m)
-            .collect()
+        v.iter().zip(self.means.iter().zip(&self.stds)).map(|(&z, (&m, &s))| z * s + m).collect()
     }
 }
 
@@ -143,4 +137,3 @@ mod proptests {
         }
     }
 }
-

@@ -62,11 +62,7 @@ impl Bitset {
     /// Number of positions set in both `self` and `other`.
     pub fn and_count(&self, other: &Bitset) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Number of positions cleared in `self` but set in `other`.

@@ -146,13 +146,7 @@ impl DarwinModel {
     /// Predicted hit rate of expert `j` given that the deployed expert `i`
     /// observed hit rate `p_i`: the fictitious-sample mean of §4.2,
     /// `Y_j = P(E_j|E_i hit)·p̂_i + P(E_j|E_i miss)·(1 − p̂_i)`.
-    pub fn predict_hit_rate(
-        &self,
-        i: usize,
-        j: usize,
-        p_i: f64,
-        extended: &FeatureVector,
-    ) -> f64 {
+    pub fn predict_hit_rate(&self, i: usize, j: usize, p_i: f64, extended: &FeatureVector) -> f64 {
         let (hh, hm) = self.conditionals(i, j, extended);
         (hh * p_i + hm * (1.0 - p_i)).clamp(0.0, 1.0)
     }
@@ -223,12 +217,7 @@ impl DarwinModel {
     /// model's objective reward, using the observed size distribution — the
     /// §6.3 recipe for optimizing BMR and disk-write objectives with the
     /// existing OHR predictors.
-    pub fn hit_rate_to_reward(
-        &self,
-        e: usize,
-        hit_rate: f64,
-        size_dist: &SizeDistribution,
-    ) -> f64 {
+    pub fn hit_rate_to_reward(&self, e: usize, hit_rate: f64, size_dist: &SizeDistribution) -> f64 {
         let mean_all = size_dist.mean_size();
         match self.objective {
             Objective::HocOhr | Objective::TotalOhr => hit_rate,
@@ -240,7 +229,7 @@ impl DarwinModel {
                 // (size ≤ s): approximate hit bytes/request by
                 // hit_rate × mean size of admissible requests.
                 let mean_small = mean_size_at_most(size_dist, self.grid.get(e).s_bytes());
-                
+
                 (hit_rate * mean_small / mean_all).clamp(0.0, 1.0) // reward = 1 − BMR = byte hit ratio
             }
             Objective::OhrMinusDiskWrites { weight_per_mib } => {
@@ -293,8 +282,7 @@ impl DarwinModel {
             * self.kmeans.centroids().first().map(|c| c.len()).unwrap_or(0)
             * f64s;
         let fallback = self.fallback_cond.len() * self.fallback_cond.len() * 2 * f64s;
-        let sets: usize =
-            self.cluster_sets.iter().map(|s| s.len() * std::mem::size_of::<usize>()).sum();
+        let sets: usize = self.cluster_sets.iter().map(|s| s.len() * std::mem::size_of::<usize>()).sum();
         predictors + clusters + fallback + sets
     }
 }
@@ -328,11 +316,7 @@ mod tests {
 
     fn trained_model() -> (DarwinModel, Vec<crate::offline::EvaluatedTrace>) {
         let cfg = OfflineConfig {
-            grid: ExpertGrid::new(vec![
-                Expert::new(1, 20),
-                Expert::new(1, 500),
-                Expert::new(5, 20),
-            ]),
+            grid: ExpertGrid::new(vec![Expert::new(1, 20), Expert::new(1, 500), Expert::new(5, 20)]),
             hoc_bytes: 2 * 1024 * 1024,
             nn_train: TrainConfig { epochs: 50, ..TrainConfig::default() },
             n_clusters: 2,
@@ -342,11 +326,7 @@ mod tests {
         let traces: Vec<_> = (0..5)
             .map(|i| {
                 TraceGenerator::new(
-                    MixSpec::two_class(
-                        TrafficClass::image(),
-                        TrafficClass::download(),
-                        i as f64 / 4.0,
-                    ),
+                    MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 4.0),
                     50 + i as u64,
                 )
                 .generate(12_000)

@@ -141,10 +141,7 @@ impl EvaluatedTrace {
 /// Experts within θ% of the best reward (shared by trace- and cluster-level
 /// set formation).
 pub fn best_set(rewards: &[f64], theta_percent: f64) -> Vec<usize> {
-    let best = rewards
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let floor = best - (theta_percent / 100.0) * best.abs();
     (0..rewards.len()).filter(|&e| rewards[e] >= floor).collect()
 }
@@ -221,8 +218,7 @@ impl OfflineTrainer {
                 let both = hits[i].and_count(&hits[j]);
                 let j_given_i_miss_count = hits[i].andnot_count(&hits[j]);
                 let p_hh = if hi == 0 { marginal_j } else { both as f64 / hi as f64 };
-                let p_hm =
-                    if mi == 0 { marginal_j } else { j_given_i_miss_count as f64 / mi as f64 };
+                let p_hm = if mi == 0 { marginal_j } else { j_given_i_miss_count as f64 / mi as f64 };
                 cond[i][j] = (p_hh, p_hm);
             }
         }
@@ -246,16 +242,14 @@ impl OfflineTrainer {
         objective: Objective,
     ) -> (Vec<usize>, Vec<Vec<usize>>) {
         assert!(!evals.is_empty(), "no evaluations supplied");
-        let base_rows: Vec<Vec<f64>> =
-            evals.iter().map(|e| e.features.values().to_vec()).collect();
+        let base_rows: Vec<Vec<f64>> = evals.iter().map(|e| e.features.values().to_vec()).collect();
         let base_norm = Normalizer::fit(&base_rows);
         let k = if self.cfg.n_clusters > 0 {
             self.cfg.n_clusters
         } else {
             ((evals.len() as f64).sqrt().round() as usize).max(2)
         };
-        let normalized: Vec<Vec<f64>> =
-            base_rows.iter().map(|r| base_norm.transform(r)).collect();
+        let normalized: Vec<Vec<f64>> = base_rows.iter().map(|r| base_norm.transform(r)).collect();
         let kmeans = KMeans::fit(&normalized, k, 200, self.cfg.seed);
         let mut assignment = Vec::with_capacity(evals.len());
         let mut sets: Vec<Vec<usize>> = vec![Vec::new(); kmeans.k()];
@@ -290,10 +284,8 @@ impl OfflineTrainer {
         let n_experts = self.cfg.grid.len();
 
         // Normalizers.
-        let base_rows: Vec<Vec<f64>> =
-            evals.iter().map(|e| e.features.values().to_vec()).collect();
-        let ext_rows: Vec<Vec<f64>> =
-            evals.iter().map(|e| e.extended.values().to_vec()).collect();
+        let base_rows: Vec<Vec<f64>> = evals.iter().map(|e| e.features.values().to_vec()).collect();
+        let ext_rows: Vec<Vec<f64>> = evals.iter().map(|e| e.extended.values().to_vec()).collect();
         let base_norm = Normalizer::fit(&base_rows);
         let ext_norm = Normalizer::fit(&ext_rows);
 
@@ -303,8 +295,7 @@ impl OfflineTrainer {
         } else {
             ((evals.len() as f64).sqrt().round() as usize).max(2)
         };
-        let normalized: Vec<Vec<f64>> =
-            base_rows.iter().map(|r| base_norm.transform(r)).collect();
+        let normalized: Vec<Vec<f64>> = base_rows.iter().map(|r| base_norm.transform(r)).collect();
         let kmeans = KMeans::fit(&normalized, k, 200, self.cfg.seed);
 
         // Cluster-level best expert sets (union of member trace sets),
@@ -369,8 +360,7 @@ impl OfflineTrainer {
         } else {
             (&base_rows, Normalizer::fit(&base_rows))
         };
-        let ext_normalized: Vec<Vec<f64>> =
-            pred_rows.iter().map(|r| pred_norm.transform(r)).collect();
+        let ext_normalized: Vec<Vec<f64>> = pred_rows.iter().map(|r| pred_norm.transform(r)).collect();
         let mut predictors: Vec<Vec<Option<PairPredictor>>> =
             (0..n_experts).map(|_| (0..n_experts).map(|_| None).collect()).collect();
         let pairs: Vec<(usize, usize)> = (0..n_experts)
@@ -423,13 +413,9 @@ impl OfflineTrainer {
                     (x.clone(), vec![p_hh, p_hm])
                 })
                 .collect();
-            let seed = self
-                .cfg
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((i * 1000 + j) as u64);
-            let mut net =
-                Mlp::new(n_in, self.cfg.nn_hidden, 2, OutputActivation::Sigmoid, seed);
+            let seed =
+                self.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add((i * 1000 + j) as u64);
+            let mut net = Mlp::new(n_in, self.cfg.nn_hidden, 2, OutputActivation::Sigmoid, seed);
             net.train(&data, &self.cfg.nn_train);
             net
         })
@@ -592,8 +578,7 @@ mod tests {
     fn corpus_evaluation_is_thread_count_invariant() {
         let traces = corpus(4, 8_000);
         let eval_at = |threads: usize| {
-            OfflineTrainer::new(OfflineConfig { threads, ..tiny_cfg() })
-                .evaluate_corpus(&traces)
+            OfflineTrainer::new(OfflineConfig { threads, ..tiny_cfg() }).evaluate_corpus(&traces)
         };
         let one = eval_at(1);
         let eight = eval_at(8);
@@ -602,10 +587,7 @@ mod tests {
             let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&a.rewards), bits(&b.rewards));
             assert_eq!(bits(&a.hit_rates), bits(&b.hit_rates));
-            assert_eq!(
-                bits(a.features.values()),
-                bits(b.features.values())
-            );
+            assert_eq!(bits(a.features.values()), bits(b.features.values()));
             for (ra, rb) in a.cond.iter().zip(&b.cond) {
                 for (&(hh_a, hm_a), &(hh_b, hm_b)) in ra.iter().zip(rb) {
                     assert_eq!(hh_a.to_bits(), hh_b.to_bits());
@@ -625,12 +607,11 @@ mod tests {
             ..tiny_cfg()
         };
         let evals =
-            OfflineTrainer::new(OfflineConfig { threads: 1, ..small.clone() })
-                .evaluate_corpus(&traces);
+            OfflineTrainer::new(OfflineConfig { threads: 1, ..small.clone() }).evaluate_corpus(&traces);
         let model_1 = OfflineTrainer::new(OfflineConfig { threads: 1, ..small.clone() })
             .train_from_evaluations(&evals);
-        let model_8 = OfflineTrainer::new(OfflineConfig { threads: 8, ..small })
-            .train_from_evaluations(&evals);
+        let model_8 =
+            OfflineTrainer::new(OfflineConfig { threads: 8, ..small }).train_from_evaluations(&evals);
         let probe = &evals[0].extended;
         for i in 0..4 {
             for j in 0..4 {
@@ -731,4 +712,3 @@ mod proptests {
         }
     }
 }
-

@@ -162,10 +162,7 @@ impl OnlineController {
     pub fn new(model: Arc<DarwinModel>, cfg: OnlineConfig) -> Self {
         assert!(cfg.warmup_requests > 0, "warm-up must be positive");
         assert!(cfg.round_requests > 0, "round length must be positive");
-        assert!(
-            cfg.warmup_requests < cfg.epoch_requests,
-            "warm-up must fit inside an epoch"
-        );
+        assert!(cfg.warmup_requests < cfg.epoch_requests, "warm-up must fit inside an epoch");
         Self {
             model,
             cfg,
@@ -209,6 +206,15 @@ impl OnlineController {
     /// All expert switches so far.
     pub fn switches(&self) -> &[SwitchEvent] {
         &self.switches
+    }
+
+    /// The full deployed-expert sequence: the initial expert (grid index 0,
+    /// deployed from request 0) followed by every switch as `(at_request,
+    /// expert)` pairs. Two controllers behaved identically iff their
+    /// sequences are equal — the equality the sharded fleet's determinism
+    /// contract is verified against.
+    pub fn expert_sequence(&self) -> Vec<(u64, usize)> {
+        std::iter::once((0, 0)).chain(self.switches.iter().map(|s| (s.at_request, s.expert))).collect()
     }
 
     /// Completed epoch summaries.
@@ -285,17 +291,10 @@ impl OnlineController {
         let p_warm = warm_window.hoc_ohr();
         let extended = self.extended.as_ref().expect("set above");
         let marginals =
-            self.model
-                .bootstrap_marginals(&self.set, extended, Some((self.current_expert, p_warm)));
-        let effective =
-            (self.cfg.round_requests as f64 / self.cfg.correlation_length).max(1.0);
-        let sigma = self.model.side_info(
-            &self.set,
-            extended,
-            &marginals,
-            effective,
-            self.cfg.min_variance,
-        );
+            self.model.bootstrap_marginals(&self.set, extended, Some((self.current_expert, p_warm)));
+        let effective = (self.cfg.round_requests as f64 / self.cfg.correlation_length).max(1.0);
+        let sigma =
+            self.model.side_info(&self.set, extended, &marginals, effective, self.cfg.min_variance);
         let tas_cfg = TasConfig {
             stability_rounds: self.cfg.stability_rounds,
             max_rounds: self.cfg.max_identify_rounds,
@@ -343,8 +342,7 @@ impl OnlineController {
                 if a == self.pending_arm {
                     real_reward
                 } else {
-                    let pred_hit =
-                        self.model.predict_hit_rate(deployed_global, j, p_hat, extended);
+                    let pred_hit = self.model.predict_hit_rate(deployed_global, j, p_hat, extended);
                     self.model.hit_rate_to_reward(j, pred_hit, size_dist)
                 }
             })
@@ -378,10 +376,8 @@ impl OnlineController {
     /// Creates the drift detector when the deploy phase begins (extension;
     /// no-op with the paper's fixed epochs).
     fn arm_drift_detector(&mut self) {
-        self.drift = self
-            .cfg
-            .drift_threshold
-            .map(|t| DriftDetector::new(self.cfg.round_requests.max(1), t));
+        self.drift =
+            self.cfg.drift_threshold.map(|t| DriftDetector::new(self.cfg.round_requests.max(1), t));
     }
 
     fn start_new_epoch(&mut self, cumulative: &CacheMetrics) {
@@ -446,11 +442,7 @@ mod tests {
         let traces: Vec<Trace> = (0..4)
             .map(|i| {
                 TraceGenerator::new(
-                    MixSpec::two_class(
-                        TrafficClass::image(),
-                        TrafficClass::download(),
-                        i as f64 / 3.0,
-                    ),
+                    MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 3.0),
                     10 + i as u64,
                 )
                 .generate(10_000)
@@ -470,10 +462,8 @@ mod tests {
 
     fn drive(model: Arc<DarwinModel>, cfg: OnlineConfig, trace: &Trace) -> OnlineController {
         let mut ctrl = OnlineController::new(model, cfg);
-        let mut server = CacheServer::new(CacheConfig {
-            hoc_bytes: 2 * 1024 * 1024,
-            ..CacheConfig::small_test()
-        });
+        let mut server =
+            CacheServer::new(CacheConfig { hoc_bytes: 2 * 1024 * 1024, ..CacheConfig::small_test() });
         server.set_policy(ctrl.current_expert().policy);
         for r in trace {
             server.process(r);
@@ -487,8 +477,7 @@ mod tests {
     #[test]
     fn progresses_through_phases() {
         let model = small_model();
-        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 99)
-            .generate(15_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 99).generate(15_000);
         let ctrl = drive(model, test_cfg(), &trace);
         assert_eq!(ctrl.phase(), ControllerPhase::Deploy, "should reach Deploy");
         assert_eq!(ctrl.epochs().len(), 1);
@@ -500,8 +489,7 @@ mod tests {
     #[test]
     fn epoch_rollover_restarts_warmup() {
         let model = small_model();
-        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 7)
-            .generate(45_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 7).generate(45_000);
         let ctrl = drive(model, test_cfg(), &trace);
         // 45k requests / 20k epoch = at least 2 completed epochs.
         assert!(ctrl.epochs().len() >= 2, "epochs: {:?}", ctrl.epochs().len());
@@ -524,8 +512,7 @@ mod tests {
     fn identification_uses_bounded_rounds() {
         let model = small_model();
         let cfg = OnlineConfig { max_identify_rounds: 6, ..test_cfg() };
-        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 5)
-            .generate(15_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 5).generate(15_000);
         let ctrl = drive(model, cfg, &trace);
         for ep in ctrl.epochs() {
             assert!(ep.identify_rounds <= 6, "rounds {}", ep.identify_rounds);
@@ -540,6 +527,27 @@ mod tests {
             model,
             OnlineConfig { epoch_requests: 100, warmup_requests: 100, ..OnlineConfig::default() },
         );
+    }
+
+    #[test]
+    fn controller_is_send() {
+        // Per-shard controllers live on fleet worker threads; this must keep
+        // compiling if OnlineController grows new state.
+        fn assert_send<T: Send>() {}
+        assert_send::<OnlineController>();
+    }
+
+    #[test]
+    fn expert_sequence_starts_at_initial_expert() {
+        let model = small_model();
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 99).generate(15_000);
+        let ctrl = drive(model, test_cfg(), &trace);
+        let seq = ctrl.expert_sequence();
+        assert_eq!(seq[0], (0, 0));
+        assert_eq!(seq.len(), ctrl.switches().len() + 1);
+        for (ev, &(at, ex)) in ctrl.switches().iter().zip(&seq[1..]) {
+            assert_eq!((ev.at_request, ev.expert), (at, ex));
+        }
     }
 
     #[test]

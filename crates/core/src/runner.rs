@@ -100,11 +100,7 @@ mod tests {
         let corpus: Vec<_> = (0..4)
             .map(|i| {
                 TraceGenerator::new(
-                    MixSpec::two_class(
-                        TrafficClass::image(),
-                        TrafficClass::download(),
-                        i as f64 / 3.0,
-                    ),
+                    MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 3.0),
                     20 + i as u64,
                 )
                 .generate(10_000)
@@ -138,8 +134,7 @@ mod tests {
 
     #[test]
     fn static_runner_matches_manual_simulation() {
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 4).generate(5_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 4).generate(5_000);
         let cache = darwin_cache::CacheConfig::small_test();
         let e = Expert::new(2, 100);
         let a = run_static(e, &trace, &cache);

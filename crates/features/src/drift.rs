@@ -33,11 +33,7 @@ impl TrafficSnapshot {
     /// shifts without that noise.
     pub fn distance(&self, other: &TrafficSnapshot) -> f64 {
         assert_eq!(self.fractions.len(), other.fractions.len(), "bucket mismatch");
-        self.fractions
-            .iter()
-            .zip(&other.fractions)
-            .map(|(a, b)| (a - b).abs())
-            .sum()
+        self.fractions.iter().zip(&other.fractions).map(|(a, b)| (a - b).abs()).sum()
     }
 
     /// Mean request size of the chunk (reporting only).

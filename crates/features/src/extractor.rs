@@ -249,8 +249,7 @@ mod tests {
         for pos in positions.values() {
             for (j, &pj) in pos.iter().enumerate() {
                 for k in 1..=n.min(j) {
-                    iat_sum[k - 1] +=
-                        (reqs[pj].timestamp_us - reqs[pos[j - k]].timestamp_us) as f64;
+                    iat_sum[k - 1] += (reqs[pj].timestamp_us - reqs[pos[j - k]].timestamp_us) as f64;
                     iat_cnt[k - 1] += 1;
                 }
                 for k in 1..=m.min(j) {

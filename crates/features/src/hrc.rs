@@ -115,8 +115,7 @@ impl FootprintDescriptor {
                     // Distinct bytes accessed strictly after `prev`, plus the
                     // object itself (its own bytes count toward the stack
                     // position it must fit into).
-                    let between = if pos == 0 { 0 } else { fen.prefix(pos - 1) }
-                        - fen.prefix(prev);
+                    let between = if pos == 0 { 0 } else { fen.prefix(pos - 1) } - fen.prefix(prev);
                     let dist = between + r.size;
                     fen.add(prev, -(prev_size as i64));
                     edges.iter().position(|&e| dist <= e).unwrap_or(edges.len())
@@ -132,14 +131,7 @@ impl FootprintDescriptor {
             last_pos.insert(r.id, (pos, r.size));
         }
 
-        Self {
-            edges,
-            request_counts,
-            byte_counts,
-            total_requests: n as u64,
-            total_bytes,
-            unique_bytes,
-        }
+        Self { edges, request_counts, byte_counts, total_requests: n as u64, total_bytes, unique_bytes }
     }
 
     /// Total requests summarized.
@@ -207,10 +199,7 @@ impl FootprintDescriptor {
         let v = if self.total_requests == 0 {
             vec![0.0; self.request_counts.len()]
         } else {
-            self.request_counts
-                .iter()
-                .map(|&c| c as f64 / self.total_requests as f64)
-                .collect()
+            self.request_counts.iter().map(|&c| c as f64 / self.total_requests as f64).collect()
         };
         FeatureVector::new(v)
     }
@@ -223,10 +212,7 @@ mod tests {
 
     fn t(reqs: &[(u64, u64)]) -> Trace {
         Trace::from_requests(
-            reqs.iter()
-                .enumerate()
-                .map(|(i, &(id, size))| Request::new(id, size, i as u64))
-                .collect(),
+            reqs.iter().enumerate().map(|(i, &(id, size))| Request::new(id, size, i as u64)).collect(),
         )
     }
 
@@ -277,13 +263,9 @@ mod tests {
         // Mattson exactness: predicted OHR at a bucket edge equals the hit
         // rate of an LRU cache of that size with unconditional admission.
         use darwin_cache::{EvictionKind, HocSim, ThresholdPolicy};
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::download()), 9).generate(30_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 9).generate(30_000);
         let cache_bytes = 4 * 1024 * 1024u64;
-        let fd = FootprintDescriptor::compute_with_edges(
-            &trace,
-            vec![cache_bytes, 2 * cache_bytes],
-        );
+        let fd = FootprintDescriptor::compute_with_edges(&trace, vec![cache_bytes, 2 * cache_bytes]);
         let mut sim = HocSim::new(
             cache_bytes,
             EvictionKind::Lru,
@@ -300,21 +282,18 @@ mod tests {
 
     #[test]
     fn hrc_is_monotone_in_cache_size() {
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 3).generate(20_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 3).generate(20_000);
         let fd = FootprintDescriptor::compute(&trace);
         let curve = fd.hit_rate_curve();
         assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12));
         // BHR also monotone.
-        let bhr: Vec<f64> =
-            curve.iter().map(|&(c, _)| fd.predicted_bhr(c)).collect();
+        let bhr: Vec<f64> = curve.iter().map(|&(c, _)| fd.predicted_bhr(c)).collect();
         assert!(bhr.windows(2).all(|w| w[0] <= w[1] + 1e-12));
     }
 
     #[test]
     fn cold_misses_cap_the_curve() {
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::image()), 4).generate(20_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 4).generate(20_000);
         let fd = FootprintDescriptor::compute(&trace);
         let max_ohr = fd.predicted_ohr(u64::MAX / 2);
         let unique = trace.unique_objects();
@@ -327,8 +306,7 @@ mod tests {
 
     #[test]
     fn feature_fractions_sum_to_one() {
-        let trace =
-            TraceGenerator::new(MixSpec::single(TrafficClass::web()), 5).generate(5_000);
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::web()), 5).generate(5_000);
         let fd = FootprintDescriptor::compute(&trace);
         let sum: f64 = fd.as_features().values().iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);

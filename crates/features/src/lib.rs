@@ -50,6 +50,6 @@ pub use convergence::{max_relative_error, relative_errors};
 pub use drift::{DriftDetector, TrafficSnapshot};
 pub use extractor::FeatureExtractor;
 pub use hrc::FootprintDescriptor;
-pub use synth::synthesize;
 pub use sizedist::SizeDistribution;
+pub use synth::synthesize;
 pub use vector::FeatureVector;

@@ -162,11 +162,8 @@ mod tests {
     use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
 
     fn reference_trace(n: usize) -> Trace {
-        TraceGenerator::new(
-            MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
-            77,
-        )
-        .generate(n)
+        TraceGenerator::new(MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5), 77)
+            .generate(n)
     }
 
     #[test]
@@ -182,14 +179,8 @@ mod tests {
     fn synthesis_is_deterministic_in_seed() {
         let fd = FootprintDescriptor::compute(&reference_trace(10_000));
         let sizes = SizeModel::from_median(50.0 * 1024.0, 1.2, 128, 10 * 1024 * 1024);
-        assert_eq!(
-            synthesize(&fd, &sizes, 200.0, 5_000, 9),
-            synthesize(&fd, &sizes, 200.0, 5_000, 9)
-        );
-        assert_ne!(
-            synthesize(&fd, &sizes, 200.0, 5_000, 9),
-            synthesize(&fd, &sizes, 200.0, 5_000, 10)
-        );
+        assert_eq!(synthesize(&fd, &sizes, 200.0, 5_000, 9), synthesize(&fd, &sizes, 200.0, 5_000, 9));
+        assert_ne!(synthesize(&fd, &sizes, 200.0, 5_000, 9), synthesize(&fd, &sizes, 200.0, 5_000, 10));
     }
 
     #[test]
@@ -205,12 +196,7 @@ mod tests {
 
         let f1 = fd.as_features();
         let f2 = fd2.as_features();
-        let l1: f64 = f1
-            .values()
-            .iter()
-            .zip(f2.values())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let l1: f64 = f1.values().iter().zip(f2.values()).map(|(a, b)| (a - b).abs()).sum();
         assert!(l1 < 0.35, "bucket-fraction L1 distance {l1:.3} too large");
     }
 
@@ -224,27 +210,18 @@ mod tests {
 
         let cache_bytes = 8 * 1024 * 1024u64;
         let run = |t: &Trace| {
-            let mut sim = HocSim::new(
-                cache_bytes,
-                EvictionKind::Lru,
-                ThresholdPolicy::new(0, u64::MAX),
-            );
+            let mut sim = HocSim::new(cache_bytes, EvictionKind::Lru, ThresholdPolicy::new(0, u64::MAX));
             sim.run_trace(t).hoc_ohr()
         };
         let (a, b) = (run(&original), run(&synth));
-        assert!(
-            (a - b).abs() < 0.06,
-            "original LRU OHR {a:.4} vs synthesized {b:.4}"
-        );
+        assert!((a - b).abs() < 0.06, "original LRU OHR {a:.4} vs synthesized {b:.4}");
     }
 
     #[test]
     fn cold_only_descriptor_yields_all_unique_objects() {
         // A trace of all-distinct objects has a descriptor with everything
         // in the unbounded bucket; synthesis must produce all-cold requests.
-        let t = Trace::from_requests(
-            (0..1000u64).map(|i| Request::new(i, 1000, i)).collect(),
-        );
+        let t = Trace::from_requests((0..1000u64).map(|i| Request::new(i, 1000, i)).collect());
         let fd = FootprintDescriptor::compute(&t);
         let sizes = SizeModel::from_median(1000.0, 0.5, 100, 10_000);
         let synth = synthesize(&fd, &sizes, 100.0, 1000, 5);
@@ -255,9 +232,7 @@ mod tests {
     fn tight_loop_descriptor_yields_high_reuse() {
         // One object requested n times: descriptor is ~all in the smallest
         // bucket; the synthesized trace must be strongly reusing.
-        let t = Trace::from_requests(
-            (0..2000u64).map(|i| Request::new(7, 4096, i)).collect(),
-        );
+        let t = Trace::from_requests((0..2000u64).map(|i| Request::new(7, 4096, i)).collect());
         let fd = FootprintDescriptor::compute(&t);
         let sizes = SizeModel::from_median(4096.0, 0.1, 1024, 16_384);
         let synth = synthesize(&fd, &sizes, 100.0, 2000, 6);

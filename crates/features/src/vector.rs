@@ -46,12 +46,7 @@ impl FeatureVector {
     /// Euclidean distance to another vector of the same length.
     pub fn distance(&self, other: &FeatureVector) -> f64 {
         assert_eq!(self.len(), other.len(), "dimension mismatch");
-        self.values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.values.iter().zip(&other.values).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     /// Concatenates `extra` entries (e.g. size-distribution buckets) onto a

@@ -53,13 +53,7 @@ pub struct Mlp {
 
 impl Mlp {
     /// Creates a network with Xavier-uniform initial weights.
-    pub fn new(
-        n_in: usize,
-        n_hidden: usize,
-        n_out: usize,
-        output: OutputActivation,
-        seed: u64,
-    ) -> Self {
+    pub fn new(n_in: usize, n_hidden: usize, n_out: usize, output: OutputActivation, seed: u64) -> Self {
         assert!(n_in > 0 && n_hidden > 0 && n_out > 0, "layer sizes must be positive");
         let mut rng = SmallRng::seed_from_u64(seed);
         let lim1 = (6.0 / (n_in + n_hidden) as f64).sqrt();
@@ -135,11 +129,7 @@ impl Mlp {
         let mut total = 0.0;
         for (x, y) in data {
             let out = self.forward(x);
-            total += out
-                .iter()
-                .zip(y)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>();
+            total += out.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
         }
         total / data.len() as f64
     }
@@ -351,10 +341,7 @@ mod tests {
                 *p -= eps;
             }
             let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
-            assert!(
-                (numeric - a).abs() < 1e-5,
-                "param {idx}: numeric {numeric} vs analytic {a}"
-            );
+            assert!((numeric - a).abs() < 1e-5, "param {idx}: numeric {numeric} vs analytic {a}");
         }
     }
 

@@ -57,6 +57,19 @@ pub fn in_pool() -> bool {
     IN_POOL.with(|f| f.get())
 }
 
+/// Runs `f` with this thread marked as a sweep worker, so any [`par_run`] /
+/// [`par_map`] call inside `f` executes inline instead of spawning threads.
+///
+/// Long-lived worker threads that the engine did not create — e.g. the shard
+/// workers of `darwin-shard`'s fleet, each already pinned to its own thread —
+/// wrap their serving loop in this so that model code they call cannot
+/// oversubscribe the machine with `N_workers × N_threads` nested pools. The
+/// flag is restored on exit (including unwinds).
+pub fn inline_sweeps<T, F: FnOnce() -> T>(f: F) -> T {
+    let _guard = PoolGuard::enter();
+    f()
+}
+
 /// Output slots indexed by work item. Safety rests on the work queue: the
 /// atomic counter hands each index to exactly one worker, so no two threads
 /// ever touch the same slot.
@@ -106,9 +119,7 @@ where
         return (0..n).map(f).collect();
     }
 
-    let slots = Slots {
-        cells: (0..n).map(|_| UnsafeCell::new(None)).collect(),
-    };
+    let slots = Slots { cells: (0..n).map(|_| UnsafeCell::new(None)).collect() };
     let next = AtomicUsize::new(0);
 
     let work = |slots: &Slots<T>, next: &AtomicUsize| {
@@ -133,11 +144,7 @@ where
         work(&slots, &next);
     });
 
-    slots
-        .cells
-        .into_iter()
-        .map(|c| c.into_inner().expect("work item completed"))
-        .collect()
+    slots.cells.into_iter().map(|c| c.into_inner().expect("work item completed")).collect()
 }
 
 /// Parallel map over a slice, preserving order. `threads == 0` means auto.
@@ -239,6 +246,21 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let out = par_run(64, 3, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn inline_sweeps_forces_sequential_nested_runs() {
+        assert!(!in_pool());
+        let out = inline_sweeps(|| {
+            assert!(in_pool(), "scope must mark the thread as a worker");
+            par_run(8, 4, |i| i * 2)
+        });
+        assert_eq!(out, vec![0, 2, 4, 6]);
+        assert!(!in_pool(), "flag restored after the scope");
+        // Restored on unwind too.
+        let r = std::panic::catch_unwind(|| inline_sweeps(|| panic!("boom")));
+        assert!(r.is_err());
+        assert!(!in_pool());
     }
 
     #[test]

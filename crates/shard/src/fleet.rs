@@ -1,0 +1,405 @@
+//! The sharded fleet: N cache servers on N worker threads.
+//!
+//! [`ShardedFleet`] hash-partitions the object space across `shards`
+//! independent [`CacheServer`]s, each owned by a dedicated worker thread and
+//! each driven by its *own* [`AdmissionDriver`] — with [`DarwinDriver`]
+//! drivers this is one Darwin controller per shard, learning that shard's
+//! sub-workload (the paper's per-server deployment model, §5).
+//!
+//! # Determinism contract
+//!
+//! The router is a pure function of `(id, shards)`, so shard `s` sees
+//! exactly the subsequence of the submitted stream whose IDs route to `s`,
+//! *in submission order* — the SPSC queue preserves order and nothing else
+//! touches the shard's state. Thread scheduling can change timing but never
+//! ordering, so under [`Backpressure::Block`] a fleet replay is bitwise
+//! identical (metrics, deployed-expert sequence, final cache occupancy) to
+//! running each shard's filtered trace sequentially. `replay.rs` exposes
+//! both sides of this equation and `tests/equivalence.rs` enforces it.
+//!
+//! Worker threads wrap their serving loop in
+//! [`darwin_parallel::inline_sweeps`], so a per-shard Darwin controller that
+//! sweeps experts at an epoch boundary runs those sweeps inline instead of
+//! stacking `DARWIN_THREADS`-wide pools `shards` times over.
+//!
+//! [`DarwinDriver`]: darwin_testbed::DarwinDriver
+
+use crate::metrics::{FleetMetrics, ShardCell};
+use crate::queue::{channel, Producer};
+use crate::router::Router;
+use darwin_cache::{CacheConfig, CacheMetrics, CacheServer};
+use darwin_testbed::AdmissionDriver;
+use darwin_trace::{Request, Trace};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What happens when a shard's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backpressure {
+    /// Submission blocks until the shard drains (lossless — required for the
+    /// determinism/replay contract).
+    Block,
+    /// The overflow is dropped and counted (load shedding, as a production
+    /// front-end under overload would do).
+    DropNewest,
+}
+
+/// Fleet parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of shards (= worker threads = cache servers = controllers).
+    pub shards: usize,
+    /// Per-shard queue capacity, in requests.
+    pub queue_capacity: usize,
+    /// Submission/drain batch size (amortizes queue locking).
+    pub batch: usize,
+    /// Full-queue behaviour.
+    pub backpressure: Backpressure,
+    /// Record a [`FleetMetrics`] snapshot every this many submitted requests
+    /// (`None` disables periodic snapshots; a final one is always taken).
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 4096,
+            batch: 256,
+            backpressure: Backpressure::Block,
+            snapshot_every: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A fleet of `shards` shards with the remaining defaults.
+    pub fn with_shards(shards: usize) -> Self {
+        Self { shards, ..Self::default() }
+    }
+}
+
+/// Everything one shard produced, returned by [`ShardedFleet::finish`]. The
+/// driver comes back too, so callers can pull switch histories out of
+/// per-shard Darwin controllers.
+#[derive(Debug)]
+pub struct ShardOutcome<D> {
+    /// Shard index.
+    pub shard: usize,
+    /// Final cumulative cache metrics.
+    pub cache: CacheMetrics,
+    /// Requests the worker processed.
+    pub processed: u64,
+    /// Requests dropped at the queue (always 0 under [`Backpressure::Block`]).
+    pub dropped: u64,
+    /// Queue high-water mark over the run.
+    pub queue_high_water: usize,
+    /// Final HOC occupancy, bytes.
+    pub hoc_used_bytes: u64,
+    /// Final DC occupancy, bytes.
+    pub dc_used_bytes: u64,
+    /// The shard's admission driver, returned for post-mortem inspection.
+    pub driver: D,
+}
+
+/// Result of a completed fleet run.
+#[derive(Debug)]
+pub struct FleetReport<D> {
+    /// Per-shard outcomes, indexed by shard.
+    pub shards: Vec<ShardOutcome<D>>,
+    /// Periodic snapshots ([`FleetConfig::snapshot_every`]) plus a final one.
+    pub snapshots: Vec<FleetMetrics>,
+    /// Label of the router that partitioned the stream.
+    pub router: String,
+}
+
+impl<D> FleetReport<D> {
+    /// Fleet-wide cache metrics (counter-wise sum over shards).
+    pub fn fleet_cache(&self) -> CacheMetrics {
+        CacheMetrics::merge_all(self.shards.iter().map(|s| &s.cache))
+    }
+
+    /// Requests processed across the fleet.
+    pub fn total_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Requests dropped across the fleet.
+    pub fn total_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+}
+
+struct WorkerResult<D> {
+    cache: CacheMetrics,
+    processed: u64,
+    hoc_used_bytes: u64,
+    dc_used_bytes: u64,
+    driver: D,
+}
+
+/// A running fleet. Submit requests, then [`finish`](Self::finish) to join
+/// the workers and collect the report.
+pub struct ShardedFleet<D: AdmissionDriver + Send + 'static> {
+    cfg: FleetConfig,
+    router: Box<dyn Router>,
+    producers: Vec<Producer<Request>>,
+    cells: Vec<Arc<ShardCell>>,
+    handles: Vec<JoinHandle<WorkerResult<D>>>,
+    staged: Vec<Vec<Request>>,
+    submitted: u64,
+    snapshots: Vec<FleetMetrics>,
+}
+
+impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D> {
+    /// Spawns the fleet: one worker thread, cache server, queue and driver
+    /// per shard. `factory(s)` builds shard `s`'s driver.
+    pub fn new(
+        cfg: FleetConfig,
+        cache: CacheConfig,
+        router: Box<dyn Router>,
+        mut factory: impl FnMut(usize) -> D,
+    ) -> Self {
+        assert!(cfg.shards > 0, "fleet needs at least one shard");
+        assert!(cfg.batch > 0, "batch size must be positive");
+        let mut producers = Vec::with_capacity(cfg.shards);
+        let mut cells = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
+            let (tx, rx) = channel::<Request>(cfg.queue_capacity);
+            let cell = Arc::new(ShardCell::new(s, tx.gauges()));
+            let worker_cell = Arc::clone(&cell);
+            let worker_cache = cache.clone();
+            let driver = factory(s);
+            let batch = cfg.batch;
+            let handle = std::thread::Builder::new()
+                .name(format!("shard-{s}"))
+                .spawn(move || worker(rx, worker_cell, worker_cache, driver, batch))
+                .expect("spawn shard worker");
+            producers.push(tx);
+            cells.push(cell);
+            handles.push(handle);
+        }
+        Self {
+            staged: vec![Vec::with_capacity(cfg.batch); cfg.shards],
+            cfg,
+            router,
+            producers,
+            cells,
+            handles,
+            submitted: 0,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Routes one request to its shard. Under [`Backpressure::Block`] this
+    /// may block when the shard's queue is full.
+    pub fn submit(&mut self, req: Request) {
+        let s = self.router.route(req.id, self.cfg.shards);
+        self.staged[s].push(req);
+        if self.staged[s].len() >= self.cfg.batch {
+            self.flush_shard(s);
+        }
+        self.submitted += 1;
+        if let Some(every) = self.cfg.snapshot_every {
+            if self.submitted.is_multiple_of(every) {
+                let snap = self.metrics();
+                self.snapshots.push(snap);
+            }
+        }
+    }
+
+    /// Submits every request of `trace` in order.
+    pub fn submit_trace(&mut self, trace: &Trace) {
+        for req in trace.iter() {
+            self.submit(*req);
+        }
+    }
+
+    /// Pushes all staged batches to their shards.
+    pub fn flush(&mut self) {
+        for s in 0..self.cfg.shards {
+            self.flush_shard(s);
+        }
+    }
+
+    fn flush_shard(&mut self, s: usize) {
+        if self.staged[s].is_empty() {
+            return;
+        }
+        match self.cfg.backpressure {
+            Backpressure::Block => {
+                let undelivered = self.producers[s].push_all(&mut self.staged[s]);
+                assert_eq!(undelivered, 0, "shard {s} worker died mid-run");
+            }
+            Backpressure::DropNewest => {
+                let dropped = self.producers[s].try_push_all(&mut self.staged[s]);
+                self.cells[s].add_dropped(dropped as u64);
+            }
+        }
+    }
+
+    /// Requests submitted so far (including any later dropped).
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Live fleet-wide metrics, assembled from the shard cells. Mid-run this
+    /// is a *recent* view (workers publish once per drained batch); after
+    /// [`finish`](Self::finish) the final snapshot is exact.
+    pub fn metrics(&self) -> FleetMetrics {
+        FleetMetrics { shards: self.cells.iter().map(|c| c.snapshot()).collect() }
+    }
+
+    /// Snapshots recorded so far.
+    pub fn snapshots(&self) -> &[FleetMetrics] {
+        &self.snapshots
+    }
+
+    /// Flushes staged work, closes the queues, joins every worker and
+    /// returns the final report (with the drivers inside).
+    pub fn finish(mut self) -> FleetReport<D> {
+        self.flush();
+        drop(self.producers); // end-of-stream for every shard
+        let mut shards = Vec::with_capacity(self.handles.len());
+        for (s, handle) in self.handles.into_iter().enumerate() {
+            let r = handle.join().expect("shard worker panicked");
+            let snap = self.cells[s].snapshot();
+            shards.push(ShardOutcome {
+                shard: s,
+                cache: r.cache,
+                processed: r.processed,
+                dropped: snap.dropped,
+                queue_high_water: snap.queue_high_water,
+                hoc_used_bytes: r.hoc_used_bytes,
+                dc_used_bytes: r.dc_used_bytes,
+                driver: r.driver,
+            });
+        }
+        let mut snapshots = self.snapshots;
+        snapshots.push(FleetMetrics { shards: self.cells.iter().map(|c| c.snapshot()).collect() });
+        FleetReport { shards, snapshots, router: self.router.label() }
+    }
+}
+
+/// The per-shard serving loop. Identical, request for request, to the
+/// sequential loop in `replay::run_partition` — that symmetry is the
+/// equivalence proof's other half.
+fn worker<D: AdmissionDriver>(
+    rx: crate::queue::Consumer<Request>,
+    cell: Arc<ShardCell>,
+    cache: CacheConfig,
+    mut driver: D,
+    batch: usize,
+) -> WorkerResult<D> {
+    darwin_parallel::inline_sweeps(|| {
+        let mut server = CacheServer::new(cache);
+        server.set_policy(driver.initial_policy());
+        let mut processed = 0u64;
+        let mut buf: Vec<Request> = Vec::with_capacity(batch);
+        while rx.pop_batch(&mut buf, batch) {
+            for req in buf.drain(..) {
+                server.process(&req);
+                processed += 1;
+                if let Some(policy) = driver.observe(&req, &server.metrics()) {
+                    server.set_policy(policy);
+                }
+            }
+            cell.publish(server.metrics(), processed, server.policy_label());
+        }
+        cell.publish(server.metrics(), processed, server.policy_label());
+        WorkerResult {
+            cache: server.metrics(),
+            processed,
+            hoc_used_bytes: server.hoc_used_bytes(),
+            dc_used_bytes: server.dc_used_bytes(),
+            driver,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{HashRouter, ModuloRouter};
+    use darwin_cache::ThresholdPolicy;
+    use darwin_testbed::StaticDriver;
+    use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
+
+    fn trace(n: usize, seed: u64) -> Trace {
+        TraceGenerator::new(MixSpec::single(TrafficClass::image()), seed).generate(n)
+    }
+
+    fn static_fleet(cfg: FleetConfig) -> ShardedFleet<StaticDriver> {
+        ShardedFleet::new(cfg, CacheConfig::small_test(), Box::new(HashRouter), |_| {
+            StaticDriver::new(ThresholdPolicy::new(1, 100 * 1024))
+        })
+    }
+
+    #[test]
+    fn fleet_processes_every_request_under_block() {
+        let t = trace(20_000, 3);
+        let mut fleet = static_fleet(FleetConfig {
+            shards: 4,
+            queue_capacity: 64,
+            batch: 16,
+            backpressure: Backpressure::Block,
+            snapshot_every: Some(5_000),
+        });
+        fleet.submit_trace(&t);
+        let report = fleet.finish();
+        assert_eq!(report.total_processed(), 20_000);
+        assert_eq!(report.total_dropped(), 0);
+        assert_eq!(report.fleet_cache().requests, 20_000);
+        // Periodic snapshots at 5k/10k/15k/20k plus the final one.
+        assert_eq!(report.snapshots.len(), 5);
+        let last = report.snapshots.last().unwrap();
+        assert_eq!(last.total_processed(), 20_000);
+        assert_eq!(last.fleet_cache(), report.fleet_cache());
+        for s in &report.shards {
+            assert!(s.queue_high_water <= 64, "capacity bound violated");
+            assert!(!s.driver.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn drop_newest_accounts_for_every_request() {
+        // A tiny queue with a huge batch guarantees overflow: whatever is
+        // not processed must be counted as dropped.
+        let t = trace(30_000, 9);
+        let mut fleet = static_fleet(FleetConfig {
+            shards: 2,
+            queue_capacity: 8,
+            batch: 512,
+            backpressure: Backpressure::DropNewest,
+            snapshot_every: None,
+        });
+        fleet.submit_trace(&t);
+        let report = fleet.finish();
+        assert_eq!(
+            report.total_processed() + report.total_dropped(),
+            30_000,
+            "processed + dropped must cover every submission"
+        );
+        assert_eq!(report.fleet_cache().requests, report.total_processed());
+    }
+
+    #[test]
+    fn shards_partition_the_object_space() {
+        let t = trace(10_000, 5);
+        let mut fleet = ShardedFleet::new(
+            FleetConfig::with_shards(4),
+            CacheConfig::small_test(),
+            Box::new(ModuloRouter),
+            |_| StaticDriver::new(ThresholdPolicy::new(1, 100 * 1024)),
+        );
+        fleet.submit_trace(&t);
+        let report = fleet.finish();
+        // Every shard saw work (modulo over dense generator IDs), and the
+        // shard request counts sum to the trace.
+        assert_eq!(report.shards.iter().map(|s| s.cache.requests).sum::<u64>(), 10_000);
+        assert!(report.shards.iter().all(|s| s.cache.requests > 0));
+        assert_eq!(report.router, "modulo");
+    }
+}

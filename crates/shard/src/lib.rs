@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # darwin-shard
+//!
+//! The sharded concurrent serving layer: a hash-partitioned fleet of HOC
+//! cache servers with per-shard Darwin controllers.
+//!
+//! The paper deploys Darwin inside a real proxy where "the learning logic is
+//! not in the critical path of cache processing" (§5); production CDNs scale
+//! that proxy by hash-partitioning the object space across independent cache
+//! shards. This crate reproduces that shape:
+//!
+//! ```text
+//!                       ┌─────────────────────────── ShardedFleet ───────┐
+//!                       │  ┌─ SPSC queue 0 ─┐   ┌─ worker thread 0 ────┐ │
+//!  submit(req) ─ Router ┼─▶│ bounded,       │──▶│ CacheServer (HOC+DC) │ │
+//!        │              │  │ backpressure   │   │ + AdmissionDriver    │ │
+//!        │              │  └────────────────┘   │   (Darwin ctrl #0)   │ │
+//!        │              │          ⋮            └──────────┬───────────┘ │
+//!        │              │  ┌────────────────┐   ┌──────────▼───────────┐ │
+//!        └──────────────┼─▶│ SPSC queue N−1 │──▶│ worker N−1 / ctrl N−1│ │
+//!                       │  └────────────────┘   └──────────┬───────────┘ │
+//!                       │                         FleetMetrics (agg)     │
+//!                       └────────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`router`] — pure `(id, shards) → shard` placement ([`HashRouter`] by
+//!   default; the [`Router`] trait is the seam for locality-aware routing).
+//! * [`queue`] — bounded SPSC queues with blocking or drop-with-counter
+//!   backpressure and occupancy gauges.
+//! * [`fleet`] — [`ShardedFleet`]: one worker thread, cache server, queue
+//!   and [`AdmissionDriver`](darwin_testbed::AdmissionDriver) per shard
+//!   (with `DarwinDriver` drivers that is one Darwin controller per shard,
+//!   each learning its own sub-workload).
+//! * [`metrics`] — [`FleetMetrics`]: per-shard and fleet-wide OHR / BMR /
+//!   disk-write aggregation, queue depth and backpressure counters, periodic
+//!   snapshots.
+//! * [`replay`] — the deterministic sequential side of the equivalence
+//!   contract: an N-shard fleet over a hash-partitioned trace is bitwise
+//!   identical to N sequential single-shard runs (`tests/equivalence.rs`
+//!   enforces this at 1, 2 and 8 shards).
+
+pub mod fleet;
+pub mod metrics;
+pub mod queue;
+pub mod replay;
+pub mod router;
+
+pub use fleet::{Backpressure, FleetConfig, FleetReport, ShardOutcome, ShardedFleet};
+pub use metrics::{FleetMetrics, ShardCell, ShardSnapshot};
+pub use queue::{channel, Consumer, Producer, QueueGauges};
+pub use replay::{partition, run_partition, run_sequential, ShardRun};
+pub use router::{HashRouter, ModuloRouter, Router};

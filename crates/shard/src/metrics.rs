@@ -1,0 +1,179 @@
+//! Fleet-wide metrics aggregation.
+//!
+//! Each shard worker periodically publishes its cumulative [`CacheMetrics`]
+//! (plus processed/backpressure counters) into a [`ShardCell`]; the fleet
+//! assembles point-in-time [`FleetMetrics`] snapshots from the cells on
+//! demand and, when configured, on a fixed submission cadence. Because every
+//! counter is a plain sum, per-shard metrics merge into exact fleet-wide
+//! OHR / BMR / disk-write figures via [`CacheMetrics::merge_all`].
+
+use crate::queue::QueueGauges;
+use darwin_cache::CacheMetrics;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Point-in-time view of one shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests fully processed by the shard worker.
+    pub processed: u64,
+    /// Requests dropped at the shard's queue under `DropNewest` backpressure.
+    pub dropped: u64,
+    /// Requests currently waiting in the shard's queue.
+    pub queue_depth: usize,
+    /// Maximum queue depth ever observed (backpressure high-water mark).
+    pub queue_high_water: usize,
+    /// The shard server's cumulative cache metrics.
+    pub cache: CacheMetrics,
+    /// Label of the shard's currently deployed admission policy.
+    pub policy: String,
+}
+
+/// Point-in-time view of the whole fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl FleetMetrics {
+    /// Fleet-wide cache metrics: the counter-wise sum over shards. OHR/BMR
+    /// and disk-write rates of the returned value are exact fleet-wide
+    /// figures.
+    pub fn fleet_cache(&self) -> CacheMetrics {
+        CacheMetrics::merge_all(self.shards.iter().map(|s| &s.cache))
+    }
+
+    /// Requests processed across the fleet.
+    pub fn total_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Requests dropped across the fleet (backpressure load shedding).
+    pub fn total_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Deepest queue across shards right now.
+    pub fn max_queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth).max().unwrap_or(0)
+    }
+
+    /// Highest queue high-water mark across shards.
+    pub fn max_queue_high_water(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_high_water).max().unwrap_or(0)
+    }
+}
+
+/// The mailbox one shard worker publishes into and the fleet reads from.
+#[derive(Debug)]
+pub struct ShardCell {
+    shard: usize,
+    state: Mutex<(CacheMetrics, String)>,
+    processed: AtomicU64,
+    dropped: AtomicU64,
+    gauges: Arc<QueueGauges>,
+}
+
+impl ShardCell {
+    /// Cell for `shard`, wired to that shard's queue gauges.
+    pub fn new(shard: usize, gauges: Arc<QueueGauges>) -> Self {
+        Self {
+            shard,
+            state: Mutex::new((CacheMetrics::default(), String::new())),
+            processed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            gauges,
+        }
+    }
+
+    /// Worker side: publish the shard's cumulative metrics and policy label.
+    pub fn publish(&self, cache: CacheMetrics, processed: u64, policy: String) {
+        *self.state.lock().expect("cell poisoned") = (cache, policy);
+        self.processed.store(processed, Ordering::Release);
+    }
+
+    /// Producer side: account requests shed at this shard's queue.
+    pub fn add_dropped(&self, n: u64) {
+        if n > 0 {
+            self.dropped.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests dropped at this shard so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Reader side: the shard's current snapshot.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        let (cache, policy) = self.state.lock().expect("cell poisoned").clone();
+        ShardSnapshot {
+            shard: self.shard,
+            processed: self.processed.load(Ordering::Acquire),
+            dropped: self.dropped(),
+            queue_depth: self.gauges.depth(),
+            queue_high_water: self.gauges.high_water(),
+            cache,
+            policy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(shard: usize, requests: u64, hits: u64) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            processed: requests,
+            dropped: 0,
+            queue_depth: 0,
+            queue_high_water: 0,
+            cache: CacheMetrics {
+                requests,
+                hoc_hits: hits,
+                bytes_total: requests * 10,
+                ..Default::default()
+            },
+            policy: "f2s100".into(),
+        }
+    }
+
+    #[test]
+    fn fleet_aggregates_are_counterwise_sums() {
+        let fm = FleetMetrics { shards: vec![snap(0, 100, 40), snap(1, 300, 60)] };
+        let total = fm.fleet_cache();
+        assert_eq!(total.requests, 400);
+        assert_eq!(total.hoc_hits, 100);
+        assert!((total.hoc_ohr() - 0.25).abs() < 1e-12, "fleet OHR is hit-weighted");
+        assert_eq!(fm.total_processed(), 400);
+        assert_eq!(fm.total_dropped(), 0);
+    }
+
+    #[test]
+    fn empty_fleet_is_all_zero() {
+        let fm = FleetMetrics { shards: Vec::new() };
+        assert_eq!(fm.fleet_cache(), CacheMetrics::default());
+        assert_eq!(fm.max_queue_depth(), 0);
+        assert_eq!(fm.max_queue_high_water(), 0);
+    }
+
+    #[test]
+    fn cell_roundtrips_published_state() {
+        let cell = ShardCell::new(3, Arc::new(QueueGauges::default()));
+        let m = CacheMetrics { requests: 7, hoc_hits: 2, ..Default::default() };
+        cell.publish(m, 7, "f1s50".into());
+        cell.add_dropped(5);
+        let s = cell.snapshot();
+        assert_eq!(s.shard, 3);
+        assert_eq!(s.processed, 7);
+        assert_eq!(s.dropped, 5);
+        assert_eq!(s.cache, m);
+        assert_eq!(s.policy, "f1s50");
+    }
+}

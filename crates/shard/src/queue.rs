@@ -1,0 +1,269 @@
+//! Bounded SPSC request queues with explicit backpressure.
+//!
+//! Each shard worker is fed by exactly one of these: the fleet's router
+//! thread is the single producer, the shard's worker thread the single
+//! consumer (enforced by move semantics — neither endpoint is `Clone`).
+//! Capacity is fixed at construction; when the queue fills, the producer
+//! either *blocks* until the worker drains (lossless backpressure, the
+//! replay/determinism mode) or *drops* the overflow while counting it (the
+//! load-shedding mode a production front-end would run).
+//!
+//! Batch operations (`push_all` / `pop_batch`) move many items under one
+//! lock acquisition, so per-request synchronization cost amortizes away at
+//! fleet throughput. Depth and high-water gauges are published through
+//! [`QueueGauges`] for the fleet metrics aggregator.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Live occupancy gauges of one queue, readable from any thread.
+#[derive(Debug, Default)]
+pub struct QueueGauges {
+    depth: AtomicUsize,
+    high_water: AtomicUsize,
+}
+
+impl QueueGauges {
+    /// Items currently enqueued.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Maximum depth ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    fn set_depth(&self, d: usize) {
+        self.depth.store(d, Ordering::Relaxed);
+        self.high_water.fetch_max(d, Ordering::Relaxed);
+    }
+}
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    producer_closed: bool,
+    consumer_closed: bool,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    gauges: Arc<QueueGauges>,
+}
+
+/// Creates a bounded SPSC queue of `capacity` items.
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "queue capacity must be positive");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            buf: VecDeque::with_capacity(capacity.min(64 * 1024)),
+            producer_closed: false,
+            consumer_closed: false,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity,
+        gauges: Arc::new(QueueGauges::default()),
+    });
+    (Producer { shared: Arc::clone(&shared) }, Consumer { shared })
+}
+
+/// The sending endpoint. Dropping it closes the queue; the consumer drains
+/// what remains and then observes end-of-stream.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving endpoint. Dropping it makes subsequent pushes fail fast
+/// (the items are returned/dropped, never silently lost in a dead queue).
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Producer<T> {
+    /// The queue's occupancy gauges.
+    pub fn gauges(&self) -> Arc<QueueGauges> {
+        Arc::clone(&self.shared.gauges)
+    }
+
+    /// Blocking push of every item in `batch` (drained front-to-back,
+    /// preserving order). Blocks while the queue is full. Returns the number
+    /// of items *not* delivered because the consumer disappeared (0 on
+    /// success).
+    pub fn push_all(&self, batch: &mut Vec<T>) -> usize {
+        let mut undelivered = 0usize;
+        let mut inner = self.shared.inner.lock().expect("queue poisoned");
+        let mut iter = batch.drain(..);
+        'outer: loop {
+            let Some(item) = iter.next() else { break };
+            loop {
+                if inner.consumer_closed {
+                    undelivered = 1 + iter.count();
+                    break 'outer;
+                }
+                if inner.buf.len() < self.shared.capacity {
+                    inner.buf.push_back(item);
+                    self.shared.gauges.set_depth(inner.buf.len());
+                    self.shared.not_empty.notify_one();
+                    break;
+                }
+                inner = self.shared.not_full.wait(inner).expect("queue poisoned");
+            }
+        }
+        undelivered
+    }
+
+    /// Non-blocking push: items that fit are enqueued in order, the overflow
+    /// is dropped. Returns the number of dropped items (also counting every
+    /// item when the consumer is gone).
+    pub fn try_push_all(&self, batch: &mut Vec<T>) -> usize {
+        let mut inner = self.shared.inner.lock().expect("queue poisoned");
+        if inner.consumer_closed {
+            let n = batch.len();
+            batch.clear();
+            return n;
+        }
+        let space = self.shared.capacity - inner.buf.len();
+        let deliver = batch.len().min(space);
+        let dropped = batch.len() - deliver;
+        for item in batch.drain(..deliver) {
+            inner.buf.push_back(item);
+        }
+        batch.clear();
+        if deliver > 0 {
+            self.shared.gauges.set_depth(inner.buf.len());
+            self.shared.not_empty.notify_one();
+        }
+        dropped
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("queue poisoned");
+        inner.producer_closed = true;
+        self.shared.not_empty.notify_one();
+    }
+}
+
+impl<T> Consumer<T> {
+    /// The queue's occupancy gauges.
+    pub fn gauges(&self) -> Arc<QueueGauges> {
+        Arc::clone(&self.shared.gauges)
+    }
+
+    /// Blocks until at least one item is available (or the producer closed),
+    /// then moves up to `max` items into `out` preserving order. Returns
+    /// false when the stream is exhausted (producer closed and queue empty).
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> bool {
+        let mut inner = self.shared.inner.lock().expect("queue poisoned");
+        while inner.buf.is_empty() {
+            if inner.producer_closed {
+                return false;
+            }
+            inner = self.shared.not_empty.wait(inner).expect("queue poisoned");
+        }
+        let take = inner.buf.len().min(max.max(1));
+        out.extend(inner.buf.drain(..take));
+        self.shared.gauges.set_depth(inner.buf.len());
+        self.shared.not_full.notify_one();
+        true
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("queue poisoned");
+        inner.consumer_closed = true;
+        self.shared.not_full.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved_across_batches() {
+        let (tx, rx) = channel::<u32>(128);
+        let mut batch: Vec<u32> = (0..100).collect();
+        assert_eq!(tx.push_all(&mut batch), 0);
+        assert!(batch.is_empty());
+        drop(tx);
+        let mut got = Vec::new();
+        let mut buf = Vec::new();
+        while rx.pop_batch(&mut buf, 7) {
+            got.append(&mut buf);
+        }
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_push_drops_overflow_and_counts_it() {
+        let (tx, rx) = channel::<u32>(4);
+        let mut batch: Vec<u32> = (0..10).collect();
+        let dropped = tx.try_push_all(&mut batch);
+        assert_eq!(dropped, 6, "only 4 fit");
+        assert_eq!(rx.gauges().depth(), 4);
+        assert_eq!(rx.gauges().high_water(), 4);
+        // The 4 oldest survive (drop-newest policy).
+        let mut buf = Vec::new();
+        assert!(rx.pop_batch(&mut buf, 10));
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_consumer() {
+        let (tx, rx) = channel::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            let mut total = 0usize;
+            for chunk in 0..50u64 {
+                let mut batch: Vec<u64> = (chunk * 10..chunk * 10 + 10).collect();
+                total += batch.len();
+                assert_eq!(tx.push_all(&mut batch), 0);
+            }
+            total
+        });
+        let mut got = Vec::new();
+        let mut buf = Vec::new();
+        while rx.pop_batch(&mut buf, 16) {
+            got.append(&mut buf);
+        }
+        assert_eq!(producer.join().unwrap(), 500);
+        assert_eq!(got.len(), 500);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "order preserved under blocking");
+        assert!(rx.gauges().high_water() <= 8, "capacity bound respected");
+    }
+
+    #[test]
+    fn consumer_drop_fails_pushes_fast() {
+        let (tx, rx) = channel::<u32>(2);
+        drop(rx);
+        let mut batch = vec![1, 2, 3];
+        assert_eq!(tx.push_all(&mut batch), 3, "all undelivered");
+        let mut batch = vec![4, 5];
+        assert_eq!(tx.try_push_all(&mut batch), 2);
+    }
+
+    #[test]
+    fn producer_drop_ends_stream_after_drain() {
+        let (tx, rx) = channel::<u32>(8);
+        let mut batch = vec![1, 2];
+        tx.push_all(&mut batch);
+        drop(tx);
+        let mut buf = Vec::new();
+        assert!(rx.pop_batch(&mut buf, 10));
+        assert_eq!(buf, vec![1, 2]);
+        assert!(!rx.pop_batch(&mut buf, 10), "closed and empty ⇒ end of stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = channel::<u32>(0);
+    }
+}

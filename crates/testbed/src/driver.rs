@@ -62,6 +62,14 @@ impl DarwinDriver {
     pub fn controller(&self) -> &OnlineController {
         &self.controller
     }
+
+    /// Consumes the driver, returning its controller. A sharded fleet hands
+    /// the per-shard drivers back when it shuts down; this is how callers
+    /// recover each shard's switch history and epoch summaries for reporting
+    /// and for the fleet-vs-sequential determinism check.
+    pub fn into_controller(self) -> OnlineController {
+        self.controller
+    }
 }
 
 impl AdmissionDriver for DarwinDriver {

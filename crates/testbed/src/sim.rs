@@ -177,22 +177,15 @@ impl Testbed {
             heap.push(Reverse((done, client)));
         }
 
-        let goodput_gbps = if makespan == 0 {
-            0.0
-        } else {
-            (bytes_delivered as f64 * 8.0) / (makespan as f64 * 1e3)
-        };
+        let goodput_gbps =
+            if makespan == 0 { 0.0 } else { (bytes_delivered as f64 * 8.0) / (makespan as f64 * 1e3) };
         TestbedReport {
             cache: server.metrics(),
             latency,
             makespan_us: makespan,
             goodput_gbps,
             completed,
-            hoc_busy_fraction: if makespan == 0 {
-                0.0
-            } else {
-                lock_busy_us as f64 / makespan as f64
-            },
+            hoc_busy_fraction: if makespan == 0 { 0.0 } else { lock_busy_us as f64 / makespan as f64 },
             driver: driver.label(),
         }
     }
@@ -305,4 +298,3 @@ mod proptests {
         }
     }
 }
-

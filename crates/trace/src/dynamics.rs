@@ -131,35 +131,19 @@ mod tests {
         // strong modulation must make them clearly unequal.
         let total = m.duration_us();
         let q1 = m.iter().filter(|r| r.timestamp_us < total / 4).count();
-        let q2 = m
-            .iter()
-            .filter(|r| r.timestamp_us >= total / 4 && r.timestamp_us < total / 2)
-            .count();
+        let q2 = m.iter().filter(|r| r.timestamp_us >= total / 4 && r.timestamp_us < total / 2).count();
         let ratio = q1 as f64 / q2.max(1) as f64;
-        assert!(
-            !(0.8..=1.25).contains(&ratio),
-            "quarters too uniform under modulation: {q1} vs {q2}"
-        );
+        assert!(!(0.8..=1.25).contains(&ratio), "quarters too uniform under modulation: {q1} vs {q2}");
     }
 
     #[test]
     fn drift_introduces_new_ids_late_not_early() {
         let t = base(20_000);
         let d = drift_popularity(&t, 0.8, 3);
-        let changed_early = t
-            .requests()
-            .iter()
-            .zip(d.requests())
-            .take(2_000)
-            .filter(|(a, b)| a.id != b.id)
-            .count();
-        let changed_late = t
-            .requests()
-            .iter()
-            .zip(d.requests())
-            .skip(18_000)
-            .filter(|(a, b)| a.id != b.id)
-            .count();
+        let changed_early =
+            t.requests().iter().zip(d.requests()).take(2_000).filter(|(a, b)| a.id != b.id).count();
+        let changed_late =
+            t.requests().iter().zip(d.requests()).skip(18_000).filter(|(a, b)| a.id != b.id).count();
         assert!(changed_late > changed_early * 3, "{changed_early} early vs {changed_late} late");
         // Sizes preserved.
         for (a, b) in t.iter().zip(d.iter()) {
@@ -181,10 +165,7 @@ mod tests {
         assert!(f.requests()[..4_000].iter().all(|r| r.id != hot));
         assert!(f.requests()[6_000..].iter().all(|r| r.id != hot));
         let inside = f.requests()[4_000..6_000].iter().filter(|r| r.id == hot).count();
-        assert!(
-            (1_500..=2_000).contains(&inside),
-            "hot object got {inside}/2000 requests at share 0.9"
-        );
+        assert!((1_500..=2_000).contains(&inside), "hot object got {inside}/2000 requests at share 0.9");
     }
 
     #[test]

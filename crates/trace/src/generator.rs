@@ -128,8 +128,7 @@ impl TraceGenerator {
             .classes
             .iter()
             .map(|c| {
-                Zipf::new(c.num_objects.max(1), c.zipf_alpha.max(1e-9))
-                    .expect("valid Zipf parameters")
+                Zipf::new(c.num_objects.max(1), c.zipf_alpha.max(1e-9)).expect("valid Zipf parameters")
             })
             .collect();
         let lambda_per_us = spec.aggregate_rate_rps() / 1_000_000.0;
@@ -166,8 +165,7 @@ impl TraceGenerator {
             // (one-hit wonder); otherwise draw from the Zipf catalog.
             // Zipf gives rank in [1, num_objects]; permute deterministically
             // per class so popularity order differs between classes/seeds.
-            let rank = if class.one_hit_fraction > 0.0
-                && self.rng.gen::<f64>() < class.one_hit_fraction
+            let rank = if class.one_hit_fraction > 0.0 && self.rng.gen::<f64>() < class.one_hit_fraction
             {
                 let r = self.one_hit_next[class_idx];
                 self.one_hit_next[class_idx] += 1;
@@ -185,10 +183,7 @@ impl TraceGenerator {
 
     fn draw_class(&mut self) -> usize {
         let u: f64 = self.rng.gen::<f64>();
-        self.cum_shares
-            .iter()
-            .position(|&c| u < c)
-            .unwrap_or(self.cum_shares.len() - 1)
+        self.cum_shares.iter().position(|&c| u < c).unwrap_or(self.cum_shares.len() - 1)
     }
 }
 

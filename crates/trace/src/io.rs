@@ -78,10 +78,7 @@ pub fn read_trace<R: io::Read>(reader: R) -> Result<Trace, TraceReadError> {
         let id = parse_field(parts.next(), "object_id")?;
         let size = parse_field(parts.next(), "size_bytes")?;
         if size == 0 {
-            return Err(TraceReadError::Parse {
-                line: idx + 1,
-                reason: "size must be positive".into(),
-            });
+            return Err(TraceReadError::Parse { line: idx + 1, reason: "size must be positive".into() });
         }
         if let Some(extra) = parts.next() {
             if !extra.trim().is_empty() {
@@ -169,10 +166,7 @@ mod tests {
     #[test]
     fn zero_size_rejected() {
         let text = "10,1,0\n";
-        assert!(matches!(
-            read_trace(text.as_bytes()),
-            Err(TraceReadError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(read_trace(text.as_bytes()), Err(TraceReadError::Parse { line: 1, .. })));
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod window;
 pub use class::{ClassKind, SizeModel, TrafficClass};
 pub use dynamics::{drift_popularity, flash_crowd, modulate_rate};
 pub use generator::{MixSpec, TraceGenerator};
+pub use io::{read_trace, read_trace_file, write_trace, write_trace_file, TraceReadError};
 pub use request::{ObjectId, Request, Trace};
 pub use scale::{concat_traces, scale_trace};
-pub use io::{read_trace, read_trace_file, write_trace, write_trace_file, TraceReadError};
 pub use stats::TraceStats;
 pub use window::Windows;

@@ -98,17 +98,12 @@ mod tests {
             s.frac_requests_below_20k
         );
         // Image class must be one-hit-wonder heavy.
-        assert!(
-            s.one_hit_wonder_fraction > 0.4,
-            "image one-hit fraction {}",
-            s.one_hit_wonder_fraction
-        );
+        assert!(s.one_hit_wonder_fraction > 0.4, "image one-hit fraction {}", s.one_hit_wonder_fraction);
     }
 
     #[test]
     fn download_class_statistics_match_paper_shape() {
-        let t =
-            TraceGenerator::new(MixSpec::single(TrafficClass::download()), 12).generate(100_000);
+        let t = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 12).generate(100_000);
         let s = TraceStats::compute(&t);
         // §3.1: "only 21.5% of the requests are for objects below 50KB".
         assert!(

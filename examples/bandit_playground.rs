@@ -9,9 +9,7 @@
 //! cargo run --release --example bandit_playground
 //! ```
 
-use darwin_bandit::{
-    ClassicalTrackAndStop, GaussianEnv, SideInfo, TasConfig, TrackAndStopSideInfo,
-};
+use darwin_bandit::{ClassicalTrackAndStop, GaussianEnv, SideInfo, TasConfig, TrackAndStopSideInfo};
 
 fn main() {
     let cfg = TasConfig { stability_rounds: None, max_rounds: 100_000, ..TasConfig::default() };
@@ -22,9 +20,8 @@ fn main() {
 
     for k in [2usize, 4, 8, 16, 32] {
         // One clearly-best arm; challengers staggered 0.08–0.12 below.
-        let mu: Vec<f64> = (0..k)
-            .map(|i| if i == 0 { 0.60 } else { 0.50 - 0.01 * (i % 3) as f64 })
-            .collect();
+        let mu: Vec<f64> =
+            (0..k).map(|i| if i == 0 { 0.60 } else { 0.50 - 0.01 * (i % 3) as f64 }).collect();
         let sigma = SideInfo::two_level(k, 0.05, 0.08);
 
         let mut si_total = 0usize;
@@ -40,8 +37,8 @@ fn main() {
             }
 
             let mut env2 = GaussianEnv::new(mu.clone(), sigma.clone(), 1000 + seed);
-            let (_, rounds, _) = ClassicalTrackAndStop::homoscedastic(k, 0.05, 0.05, cfg)
-                .run(|a| env2.pull(a)[a]);
+            let (_, rounds, _) =
+                ClassicalTrackAndStop::homoscedastic(k, 0.05, 0.05, cfg).run(|a| env2.pull(a)[a]);
             cl_total += rounds;
         }
         let si = si_total as f64 / seeds as f64;

@@ -22,11 +22,8 @@ use darwin_features::FeatureExtractor;
 use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
 
 const HOC: u64 = 16 * 1024 * 1024;
-const ADMISSION: ThresholdPolicy = ThresholdPolicy {
-    freq_threshold: 2,
-    size_threshold: 500 * 1024,
-    max_recency_us: None,
-};
+const ADMISSION: ThresholdPolicy =
+    ThresholdPolicy { freq_threshold: 2, size_threshold: 500 * 1024, max_recency_us: None };
 
 fn eviction_experts() -> Vec<(&'static str, EvictionKind)> {
     vec![
@@ -53,20 +50,15 @@ fn main() {
     println!("evaluating {} eviction experts offline ...", eviction_experts().len());
     let corpus: Vec<Trace> = (0..8)
         .map(|i| {
-            let mix = MixSpec::two_class(
-                TrafficClass::image(),
-                TrafficClass::download(),
-                i as f64 / 7.0,
-            );
+            let mix =
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 7.0);
             TraceGenerator::new(mix, 3000 + i as u64).generate(60_000)
         })
         .collect();
 
     // Features + clustering (identical pipeline to admission-Darwin).
-    let rows: Vec<Vec<f64>> = corpus
-        .iter()
-        .map(|t| FeatureExtractor::extract(&t.slice(0, 2_000)).into_values())
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        corpus.iter().map(|t| FeatureExtractor::extract(&t.slice(0, 2_000)).into_values()).collect();
     let norm = Normalizer::fit(&rows);
     let z: Vec<Vec<f64>> = rows.iter().map(|r| norm.transform(r)).collect();
     let km = KMeans::fit(&z, 3, 100, 7);
@@ -89,24 +81,16 @@ fn main() {
             cluster_choice.push(0);
             continue;
         }
-        let best = (0..names.len())
-            .max_by(|&a, &b| sums[c][a].partial_cmp(&sums[c][b]).unwrap())
-            .unwrap();
+        let best =
+            (0..names.len()).max_by(|&a, &b| sums[c][a].partial_cmp(&sums[c][b]).unwrap()).unwrap();
         cluster_choice.push(best);
-        let means: Vec<String> = sums[c]
-            .iter()
-            .map(|s| format!("{:.4}", s / counts[c] as f64))
-            .collect();
+        let means: Vec<String> =
+            sums[c].iter().map(|s| format!("{:.4}", s / counts[c] as f64)).collect();
         println!(
             "  cluster {c} ({} traces): best = {:6}  [{}]",
             counts[c],
             names[best],
-            names
-                .iter()
-                .zip(&means)
-                .map(|(n, m)| format!("{n}={m}"))
-                .collect::<Vec<_>>()
-                .join(" ")
+            names.iter().zip(&means).map(|(n, m)| format!("{n}={m}")).collect::<Vec<_>>().join(" ")
         );
     }
 
@@ -115,11 +99,9 @@ fn main() {
     let mut learned_total = 0.0;
     let mut lru_total = 0.0;
     for (i, share) in [0.2, 0.5, 0.8].iter().enumerate() {
-        let mix =
-            MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), *share);
+        let mix = MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), *share);
         let test = TraceGenerator::new(mix, 4000 + i as u64).generate(60_000);
-        let features =
-            FeatureExtractor::extract(&test.slice(0, 2_000)).into_values();
+        let features = FeatureExtractor::extract(&test.slice(0, 2_000)).into_values();
         let c = km.assign(&norm.transform(&features));
         let choice = cluster_choice[c];
         let rewards = evaluate(&test);

@@ -23,11 +23,8 @@ fn main() {
     };
     let corpus: Vec<_> = (0..6)
         .map(|i| {
-            let mix = MixSpec::two_class(
-                TrafficClass::image(),
-                TrafficClass::download(),
-                i as f64 / 5.0,
-            );
+            let mix =
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 5.0);
             TraceGenerator::new(mix, 40 + i as u64).generate(50_000)
         })
         .collect();
@@ -53,11 +50,9 @@ fn main() {
     println!("evaluating expert grid once ...");
     let evals = OfflineTrainer::new(base_cfg.clone()).evaluate_corpus(&corpus);
 
-    for objective in [
-        Objective::HocOhr,
-        Objective::HocBmr,
-        Objective::OhrMinusDiskWrites { weight_per_mib: 1.0 },
-    ] {
+    for objective in
+        [Objective::HocOhr, Objective::HocBmr, Objective::OhrMinusDiskWrites { weight_per_mib: 1.0 }]
+    {
         let cfg = OfflineConfig { objective, ..base_cfg.clone() };
         let model = Arc::new(OfflineTrainer::new(cfg).train_from_evaluations(&evals));
         let report = run_darwin(&model, &online, &test, &cache);

@@ -22,11 +22,8 @@ fn main() {
     println!("training Darwin offline ...");
     let corpus: Vec<_> = (0..6)
         .map(|i| {
-            let mix = MixSpec::two_class(
-                TrafficClass::image(),
-                TrafficClass::download(),
-                i as f64 / 5.0,
-            );
+            let mix =
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 5.0);
             TraceGenerator::new(mix, 60 + i as u64).generate(40_000)
         })
         .collect();

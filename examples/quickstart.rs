@@ -17,11 +17,7 @@ fn main() {
     let corpus: Vec<_> = (0..6)
         .map(|i| {
             let image_share = i as f64 / 5.0;
-            let mix = MixSpec::two_class(
-                TrafficClass::image(),
-                TrafficClass::download(),
-                image_share,
-            );
+            let mix = MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), image_share);
             TraceGenerator::new(mix, 100 + i as u64).generate(60_000)
         })
         .collect();

@@ -25,11 +25,8 @@ fn main() {
     println!("training Darwin offline ...");
     let corpus: Vec<_> = (0..8)
         .map(|i| {
-            let mix = MixSpec::two_class(
-                TrafficClass::image(),
-                TrafficClass::download(),
-                i as f64 / 7.0,
-            );
+            let mix =
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 7.0);
             TraceGenerator::new(mix, 10 + i as u64).generate(50_000)
         })
         .collect();
@@ -44,17 +41,13 @@ fn main() {
     // one epoch long, so Darwin re-runs feature estimation + identification
     // at each shift.
     let phase_len = 50_000;
-    let phases = [
-        ("image-heavy (90:10)", 0.9),
-        ("download-heavy (10:90)", 0.1),
-        ("balanced (50:50)", 0.5),
-    ];
+    let phases =
+        [("image-heavy (90:10)", 0.9), ("download-heavy (10:90)", 0.1), ("balanced (50:50)", 0.5)];
     let parts: Vec<_> = phases
         .iter()
         .enumerate()
         .map(|(i, &(_, share))| {
-            let mix =
-                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), share);
+            let mix = MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), share);
             TraceGenerator::new(mix, 500 + i as u64).generate(phase_len)
         })
         .collect();

@@ -1,8 +1,7 @@
 //! Integration tests for the bandit theory claims (§4.2, Theorems 1–2).
 
 use darwin_bandit::{
-    ClassicalTrackAndStop, GaussianEnv, SideInfo, SuccessiveElimination, TasConfig,
-    TrackAndStopSideInfo,
+    ClassicalTrackAndStop, GaussianEnv, SideInfo, SuccessiveElimination, TasConfig, TrackAndStopSideInfo,
 };
 
 fn cfg() -> TasConfig {
@@ -18,8 +17,7 @@ fn delta_soundness_empirically_holds() {
     let mut errors = 0;
     for seed in 0..60 {
         let mut env = GaussianEnv::new(mu.clone(), sigma.clone(), seed);
-        let (arm, _, _) =
-            TrackAndStopSideInfo::new(sigma.clone(), 0.1, cfg()).run(|a| env.pull(a));
+        let (arm, _, _) = TrackAndStopSideInfo::new(sigma.clone(), 0.1, cfg()).run(|a| env.pull(a));
         if arm != 0 {
             errors += 1;
         }
@@ -32,21 +30,17 @@ fn side_info_rounds_flat_in_k_classical_grows() {
     // The headline Theorem 2 contrast. Gaps held fixed while K grows.
     let seeds = 6u64;
     let mean_rounds = |k: usize, side_info: bool| -> f64 {
-        let mu: Vec<f64> =
-            (0..k).map(|i| if i == 0 { 0.6 } else { 0.48 }).collect();
+        let mu: Vec<f64> = (0..k).map(|i| if i == 0 { 0.6 } else { 0.48 }).collect();
         let sigma = SideInfo::two_level(k, 0.05, 0.08);
         let mut total = 0usize;
         for seed in 0..seeds {
             if side_info {
                 let mut env = GaussianEnv::new(mu.clone(), sigma.clone(), seed);
-                total += TrackAndStopSideInfo::new(sigma.clone(), 0.05, cfg())
-                    .run(|a| env.pull(a))
-                    .1;
+                total += TrackAndStopSideInfo::new(sigma.clone(), 0.05, cfg()).run(|a| env.pull(a)).1;
             } else {
                 let mut env = GaussianEnv::new(mu.clone(), sigma.clone(), 70 + seed);
-                total += ClassicalTrackAndStop::homoscedastic(k, 0.05, 0.05, cfg())
-                    .run(|a| env.pull(a)[a])
-                    .1;
+                total +=
+                    ClassicalTrackAndStop::homoscedastic(k, 0.05, 0.05, cfg()).run(|a| env.pull(a)[a]).1;
             }
         }
         total as f64 / seeds as f64
@@ -58,10 +52,7 @@ fn side_info_rounds_flat_in_k_classical_grows() {
     let cl_large = mean_rounds(24, false);
 
     // Classical grows substantially with K.
-    assert!(
-        cl_large > cl_small * 2.0,
-        "classical rounds failed to grow: {cl_small} -> {cl_large}"
-    );
+    assert!(cl_large > cl_small * 2.0, "classical rounds failed to grow: {cl_small} -> {cl_large}");
     // Side information grows far slower than classical's growth factor.
     let si_growth = si_large / si_small;
     let cl_growth = cl_large / cl_small;
@@ -89,10 +80,7 @@ fn information_level_grows_and_crosses_threshold() {
         last_z = z;
     }
     assert!(grew >= 2, "information level never grew");
-    assert!(
-        tas.information_level() >= tas.threshold(),
-        "stopped without crossing the threshold"
-    );
+    assert!(tas.information_level() >= tas.threshold(), "stopped without crossing the threshold");
 }
 
 #[test]
@@ -100,8 +88,7 @@ fn successive_elimination_agrees_with_tas() {
     let mu = [0.7, 0.55, 0.4];
     let sigma = SideInfo::uniform(3, 0.05);
     let mut env = GaussianEnv::new(mu.to_vec(), sigma.clone(), 5);
-    let (tas_arm, _, _) =
-        TrackAndStopSideInfo::new(sigma, 0.05, cfg()).run(|a| env.pull(a));
+    let (tas_arm, _, _) = TrackAndStopSideInfo::new(sigma, 0.05, cfg()).run(|a| env.pull(a));
 
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
@@ -123,16 +110,11 @@ fn noisier_side_information_costs_rounds() {
         let mut total = 0;
         for seed in 0..seeds {
             let mut env = GaussianEnv::new(mu.clone(), sigma.clone(), base + seed);
-            total += TrackAndStopSideInfo::new(sigma.clone(), 0.05, cfg())
-                .run(|a| env.pull(a))
-                .1;
+            total += TrackAndStopSideInfo::new(sigma.clone(), 0.05, cfg()).run(|a| env.pull(a)).1;
         }
         total
     };
     let sharp = run_with(0.07, 0);
     let noisy = run_with(0.5, 100);
-    assert!(
-        noisy > sharp,
-        "noisy side info ({noisy}) should need more rounds than sharp ({sharp})"
-    );
+    assert!(noisy > sharp, "noisy side info ({noisy}) should need more rounds than sharp ({sharp})");
 }

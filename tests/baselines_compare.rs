@@ -58,11 +58,7 @@ fn darwin_competitive_with_all_baselines_on_shifting_traffic() {
     let corpus: Vec<Trace> = (0..6)
         .map(|i| {
             TraceGenerator::new(
-                MixSpec::two_class(
-                    TrafficClass::image(),
-                    TrafficClass::download(),
-                    i as f64 / 5.0,
-                ),
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 5.0),
                 500 + i as u64,
             )
             .generate(20_000)
@@ -109,10 +105,7 @@ fn darwin_competitive_with_all_baselines_on_shifting_traffic() {
     // tolerated).
     let weakest = p.min(hc).min(dm);
     let strongest = p.max(hc).max(dm);
-    assert!(
-        darwin_ohr >= weakest * 0.95,
-        "darwin {darwin_ohr:.4} below weakest baseline {weakest:.4}"
-    );
+    assert!(darwin_ohr >= weakest * 0.95, "darwin {darwin_ohr:.4} below weakest baseline {weakest:.4}");
     assert!(
         darwin_ohr >= strongest * 0.8,
         "darwin {darwin_ohr:.4} far below strongest baseline {strongest:.4}"

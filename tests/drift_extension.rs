@@ -19,11 +19,7 @@ fn model() -> Arc<DarwinModel> {
     let corpus: Vec<Trace> = (0..5)
         .map(|i| {
             TraceGenerator::new(
-                MixSpec::two_class(
-                    TrafficClass::image(),
-                    TrafficClass::download(),
-                    i as f64 / 4.0,
-                ),
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 4.0),
                 1400 + i as u64,
             )
             .generate(15_000)
@@ -87,8 +83,7 @@ fn base_cfg() -> OnlineConfig {
 
 #[test]
 fn drift_restart_triggers_on_mid_epoch_shift() {
-    let (_, restarts, epochs) =
-        run(OnlineConfig { drift_threshold: Some(0.4), ..base_cfg() });
+    let (_, restarts, epochs) = run(OnlineConfig { drift_threshold: Some(0.4), ..base_cfg() });
     assert!(restarts >= 1, "no drift restart on a 95:5 → 5:95 shift");
     assert!(epochs >= 2, "restart should have produced a second identification");
 }

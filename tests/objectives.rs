@@ -16,11 +16,7 @@ fn corpus() -> Vec<Trace> {
     (0..6)
         .map(|i| {
             TraceGenerator::new(
-                MixSpec::two_class(
-                    TrafficClass::image(),
-                    TrafficClass::download(),
-                    i as f64 / 5.0,
-                ),
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 5.0),
                 700 + i as u64,
             )
             .generate(18_000)
@@ -111,10 +107,8 @@ fn bmr_trained_darwin_achieves_lower_bmr_than_ohr_trained() {
             950 + i as u64,
         )
         .generate(25_000);
-        bmr_with_bmr_model +=
-            darwin::run_darwin(&model_bmr, &online, &test, &cache()).metrics.hoc_bmr();
-        bmr_with_ohr_model +=
-            darwin::run_darwin(&model_ohr, &online, &test, &cache()).metrics.hoc_bmr();
+        bmr_with_bmr_model += darwin::run_darwin(&model_bmr, &online, &test, &cache()).metrics.hoc_bmr();
+        bmr_with_ohr_model += darwin::run_darwin(&model_ohr, &online, &test, &cache()).metrics.hoc_bmr();
     }
     assert!(
         bmr_with_bmr_model <= bmr_with_ohr_model * 1.05,

@@ -25,11 +25,8 @@ fn small_grid() -> darwin::ExpertGrid {
 fn corpus(len: usize) -> Vec<Trace> {
     (0..6)
         .map(|i| {
-            let mix = MixSpec::two_class(
-                TrafficClass::image(),
-                TrafficClass::download(),
-                i as f64 / 5.0,
-            );
+            let mix =
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 5.0);
             TraceGenerator::new(mix, 300 + i as u64).generate(len)
         })
         .collect()
@@ -88,9 +85,7 @@ fn darwin_close_to_hindsight_best_static() {
     )
     .generate(25_000);
 
-    let darwin_ohr = darwin::run_darwin(&model, &online_cfg(), &test, &cache())
-        .metrics
-        .hoc_ohr();
+    let darwin_ohr = darwin::run_darwin(&model, &online_cfg(), &test, &cache()).metrics.hoc_ohr();
     let static_ohrs: Vec<f64> = small_grid()
         .experts()
         .iter()
@@ -99,16 +94,10 @@ fn darwin_close_to_hindsight_best_static() {
     let best = static_ohrs.iter().cloned().fold(f64::MIN, f64::max);
     let worst = static_ohrs.iter().cloned().fold(f64::MAX, f64::min);
 
-    assert!(
-        darwin_ohr >= worst,
-        "darwin {darwin_ohr} below the worst static {worst}"
-    );
+    assert!(darwin_ohr >= worst, "darwin {darwin_ohr} below the worst static {worst}");
     // Close to hindsight-best: warm-up + exploration must cost < 20 %
     // relative at this small scale.
-    assert!(
-        darwin_ohr >= best * 0.8,
-        "darwin {darwin_ohr} too far below hindsight best {best}"
-    );
+    assert!(darwin_ohr >= best * 0.8, "darwin {darwin_ohr} too far below hindsight best {best}");
 }
 
 #[test]

@@ -8,9 +8,7 @@
 
 use darwin::prelude::*;
 use darwin_nn::TrainConfig;
-use darwin_trace::{
-    drift_popularity, flash_crowd, MixSpec, Trace, TraceGenerator, TrafficClass,
-};
+use darwin_trace::{drift_popularity, flash_crowd, MixSpec, Trace, TraceGenerator, TrafficClass};
 use std::sync::Arc;
 
 const HOC: u64 = 4 * 1024 * 1024;
@@ -32,11 +30,7 @@ fn corpus() -> Vec<Trace> {
     (0..5)
         .map(|i| {
             TraceGenerator::new(
-                MixSpec::two_class(
-                    TrafficClass::image(),
-                    TrafficClass::download(),
-                    i as f64 / 4.0,
-                ),
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 4.0),
                 600 + i as u64,
             )
             .generate(15_000)
@@ -65,15 +59,9 @@ fn online() -> OnlineConfig {
 }
 
 fn worst_and_best_static(trace: &Trace) -> (f64, f64) {
-    let ohrs: Vec<f64> = grid()
-        .experts()
-        .iter()
-        .map(|e| darwin::run_static(*e, trace, &cache()).hoc_ohr())
-        .collect();
-    (
-        ohrs.iter().cloned().fold(f64::MAX, f64::min),
-        ohrs.iter().cloned().fold(f64::MIN, f64::max),
-    )
+    let ohrs: Vec<f64> =
+        grid().experts().iter().map(|e| darwin::run_static(*e, trace, &cache()).hoc_ohr()).collect();
+    (ohrs.iter().cloned().fold(f64::MAX, f64::min), ohrs.iter().cloned().fold(f64::MIN, f64::max))
 }
 
 #[test]
@@ -93,10 +81,7 @@ fn untrained_predictors_do_not_sink_darwin_below_worst_static() {
     .generate(20_000);
     let d = darwin::run_darwin(&model, &online(), &test, &cache()).metrics.hoc_ohr();
     let (worst, _) = worst_and_best_static(&test);
-    assert!(
-        d >= worst * 0.9,
-        "garbage predictors sank darwin ({d:.4}) below worst static ({worst:.4})"
-    );
+    assert!(d >= worst * 0.9, "garbage predictors sank darwin ({d:.4}) below worst static ({worst:.4})");
 }
 
 #[test]
@@ -104,8 +89,7 @@ fn single_cluster_degenerate_model_still_works() {
     let cfg = darwin::OfflineConfig { n_clusters: 1, ..base_cfg() };
     let model = Arc::new(OfflineTrainer::new(cfg).train(&corpus()));
     assert_eq!(model.num_clusters(), 1);
-    let test =
-        TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1101).generate(20_000);
+    let test = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1101).generate(20_000);
     let report = darwin::run_darwin(&model, &online(), &test, &cache());
     assert_eq!(report.metrics.requests as usize, test.len());
     assert!(report.metrics.hoc_ohr() > 0.0);
@@ -150,8 +134,7 @@ fn flash_crowd_mid_epoch_does_not_crash_or_zero_out() {
 #[test]
 fn popularity_drift_is_survivable() {
     let model = Arc::new(OfflineTrainer::new(base_cfg()).train(&corpus()));
-    let base =
-        TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1105).generate(20_000);
+    let base = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1105).generate(20_000);
     let drifted = drift_popularity(&base, 0.6, 6);
     let report = darwin::run_darwin(&model, &online(), &drifted, &cache());
     assert_eq!(report.metrics.requests as usize, drifted.len());

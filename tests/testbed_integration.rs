@@ -16,11 +16,7 @@ fn model() -> Arc<DarwinModel> {
     let corpus: Vec<_> = (0..5)
         .map(|i| {
             TraceGenerator::new(
-                MixSpec::two_class(
-                    TrafficClass::image(),
-                    TrafficClass::download(),
-                    i as f64 / 4.0,
-                ),
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 4.0),
                 800 + i as u64,
             )
             .generate(15_000)
@@ -115,8 +111,7 @@ fn testbed_latency_reflects_cache_outcomes() {
 #[test]
 fn shared_resources_create_saturation() {
     // Goodput must grow sub-linearly once the shared disk/origin saturate.
-    let trace =
-        TraceGenerator::new(MixSpec::single(TrafficClass::download()), 6).generate(12_000);
+    let trace = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 6).generate(12_000);
     let run_at = |c: usize| {
         let tb = Testbed::new(TestbedConfig { concurrency: c, ..TestbedConfig::default() });
         let mut d = StaticDriver::new(ThresholdPolicy::new(2, 100 * 1024));
@@ -124,8 +119,5 @@ fn shared_resources_create_saturation() {
     };
     let g64 = run_at(64);
     let g2048 = run_at(2048);
-    assert!(
-        g2048 < g64 * 32.0 * 0.8,
-        "no saturation: 64 clients {g64} Gbps, 2048 clients {g2048} Gbps"
-    );
+    assert!(g2048 < g64 * 32.0 * 0.8, "no saturation: 64 clients {g64} Gbps, 2048 clients {g2048} Gbps");
 }

@@ -28,11 +28,7 @@ fn corpus() -> Vec<Trace> {
     (0..5)
         .map(|i| {
             TraceGenerator::new(
-                MixSpec::two_class(
-                    TrafficClass::image(),
-                    TrafficClass::download(),
-                    i as f64 / 4.0,
-                ),
+                MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), i as f64 / 4.0),
                 1200 + i as u64,
             )
             .generate(15_000)
@@ -92,8 +88,7 @@ fn three_knob_pipeline_end_to_end() {
 fn recency_knob_changes_behaviour() {
     // A tight recency threshold must admit strictly fewer objects than a
     // loose one, everything else equal.
-    let trace =
-        TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1301).generate(15_000);
+    let trace = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1301).generate(15_000);
     let tight = darwin::run_static(Expert::with_recency(1, 500, 1), &trace, &cache());
     let loose = darwin::run_static(Expert::with_recency(1, 500, 3600), &trace, &cache());
     assert!(
@@ -121,10 +116,8 @@ fn timeline_tracks_adaptation() {
         round_requests: 400,
         ..OnlineConfig::default()
     };
-    let test =
-        TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1302).generate(20_000);
-    let report =
-        darwin::runner::run_darwin_with_timeline(&model, &online, &test, &cache(), 2_000);
+    let test = TraceGenerator::new(MixSpec::single(TrafficClass::download()), 1302).generate(20_000);
+    let report = darwin::runner::run_darwin_with_timeline(&model, &online, &test, &cache(), 2_000);
     assert_eq!(report.timeline.len(), 10);
     assert!(report.timeline.windows(2).all(|w| w[0].0 < w[1].0));
     assert!(report.timeline.iter().all(|&(_, ohr)| (0.0..=1.0).contains(&ohr)));

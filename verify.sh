@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full verification gate: build, test, lint. Run from the repo root.
+# Full verification gate: build, test, format, lint. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -8,6 +8,15 @@ cargo build --release --workspace
 
 echo "== tests (workspace) =="
 cargo test --workspace -q
+
+echo "== shard fleet equivalence (1, 2, 8 shards) =="
+cargo test -p darwin-shard --test equivalence -q -- \
+    darwin_fleet_equivalent_at_1_shard \
+    darwin_fleet_equivalent_at_2_shards \
+    darwin_fleet_equivalent_at_8_shards
+
+echo "== rustfmt (--check) =="
+cargo fmt --all -- --check
 
 echo "== clippy (-D warnings, all targets) =="
 cargo clippy --workspace --all-targets -- -D warnings
