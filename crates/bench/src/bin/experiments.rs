@@ -5,7 +5,7 @@
 //!
 //! what: all | fig2 | fig4a | fig4b | fig4c | fig5a | fig5b | fig5c | fig5d
 //!     | fig6 | fig7a | fig7b | table2 | fig8 | fig9 | fig10 | fig11
-//!     | ablations | timeline | hindsight | shard
+//!     | ablations | timeline | hindsight | shard | gateway
 //! ```
 //!
 //! `--scale 1` (default) is the laptop configuration; larger factors move
@@ -15,14 +15,14 @@
 
 use darwin::offline::OfflineTrainer;
 use darwin_bench::experiments::{
-    ablations, fig2, fig4, fig5, fig6, fig7, fig8_11, hindsight, shard, table2, timeline,
+    ablations, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, shard, table2, timeline,
 };
 use darwin_bench::{Scale, SharedContext};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard> [--scale N] [--out DIR] [--cache]"
+        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway> [--scale N] [--out DIR] [--cache]"
     );
     std::process::exit(2);
 }
@@ -79,19 +79,24 @@ fn main() {
         "timeline",
         "hindsight",
         "shard",
+        "gateway",
     ];
     if !KNOWN.contains(&what.as_str()) {
         eprintln!("unknown experiment {what:?}");
         usage();
     }
 
-    // fig2 and the shard throughput sweep need no shared context.
+    // fig2 and the serving-layer sweeps need no shared context.
     if what == "fig2" {
         fig2::run(&scale, &out);
         return;
     }
     if what == "shard" {
         shard::run(&scale, &out);
+        return;
+    }
+    if what == "gateway" {
+        gateway::run(&scale, &out);
         return;
     }
 
@@ -132,6 +137,7 @@ fn main() {
         "timeline" => timeline::run(&ctx, &out),
         "hindsight" => hindsight::run(&ctx, &out),
         "shard" => shard::run(&scale, &out),
+        "gateway" => gateway::run(&scale, &out),
         _ => usage(),
     };
 
@@ -157,6 +163,7 @@ fn main() {
             "timeline",
             "hindsight",
             "shard",
+            "gateway",
         ] {
             let t = std::time::Instant::now();
             eprintln!("\n[experiments] ===== {name} =====");

@@ -3,15 +3,46 @@
 //! compares with the hindsight-best static expert.
 //!
 //! ```text
-//! inspect [--scale N] [--trace IDX]
+//! inspect [--scale N] [--trace IDX] [--fleet SHARDS]
 //! ```
+//!
+//! `--fleet SHARDS` skips the Darwin pipeline entirely and instead replays a
+//! generated trace through a static-expert [`ShardedFleet`], printing the
+//! final [`FleetMetrics`] snapshot as JSON — byte-for-byte the same document
+//! (and the same `FleetMetrics::to_json` code path) a gateway `STATS` frame
+//! returns, minus the gateway's connection counters.
 
 use darwin_bench::{runs, Scale, SharedContext};
+use darwin_cache::ThresholdPolicy;
+use darwin_shard::{FleetConfig, FleetMetrics, HashRouter, ShardedFleet};
+use darwin_testbed::StaticDriver;
+use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
+
+/// Replays a generated trace through a `shards`-wide static fleet and prints
+/// the final metrics snapshot JSON (the gateway `STATS` code path).
+fn inspect_fleet(scale: &Scale, shards: usize) {
+    let trace = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+        2025,
+    )
+    .generate(scale.online_trace_len());
+    let mut fleet = ShardedFleet::new(
+        FleetConfig::with_shards(shards),
+        scale.cache_config(),
+        Box::new(HashRouter),
+        |_| StaticDriver::new(ThresholdPolicy::new(2, 100 * 1024)),
+    );
+    fleet.submit_trace(&trace);
+    let report = fleet.finish();
+    let snapshot: &FleetMetrics = report.snapshots.last().expect("final snapshot always taken");
+    println!("{}", snapshot.to_json());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale_factor = 1usize;
     let mut only: Option<usize> = None;
+    let mut fleet: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -23,11 +54,19 @@ fn main() {
                 i += 1;
                 only = Some(args[i].parse().expect("trace idx"));
             }
+            "--fleet" => {
+                i += 1;
+                fleet = Some(args[i].parse().expect("fleet shards"));
+            }
             other => panic!("unknown arg {other}"),
         }
         i += 1;
     }
     let scale = Scale::new(scale_factor);
+    if let Some(shards) = fleet {
+        inspect_fleet(&scale, shards);
+        return;
+    }
     let ctx = SharedContext::build(scale, false);
     let cache = scale.cache_config();
 

@@ -1,0 +1,202 @@
+//! Gateway serving throughput: loadgen rps and latency percentiles vs
+//! connection and shard count (`BENCH_gateway.json`).
+//!
+//! Each cell of the {shards} × {connections} sweep binds a loopback
+//! [`Gateway`] (static expert per shard — the serving path, not learning, is
+//! what's timed) and replays the same generated trace through the
+//! [`darwin_gateway::loadgen`] client. Reported `rps` is end-to-end: wire
+//! encode, kernel loopback, frame decode, shard queue handoff, cache
+//! processing and the verdict stream back. On a box with fewer cores than
+//! threads the absolute numbers measure protocol + handoff overhead rather
+//! than scale-out — read them against `BENCH_shard.json`'s critical-path
+//! projection, which bounds what the same fleet serves on one-core-per-shard
+//! hardware.
+//!
+//! Output: a console table, `<out>/gateway_rps.csv`, and
+//! `<out>/BENCH_gateway.json`.
+
+use crate::report::{f4, Report};
+use crate::scale::Scale;
+use darwin_cache::ThresholdPolicy;
+use darwin_gateway::{loadgen, Gateway, LoadgenConfig};
+use darwin_shard::{Backpressure, FleetConfig, HashRouter};
+use darwin_testbed::StaticDriver;
+use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
+use serde::Serialize;
+use std::path::Path;
+
+/// Shard counts swept by the experiment.
+pub const SHARD_COUNTS: [usize; 2] = [1, 4];
+/// Client connection counts swept by the experiment.
+pub const CONNECTION_COUNTS: [usize; 2] = [1, 4];
+
+/// Repetitions per cell; the fastest run is kept.
+const REPEATS: usize = 2;
+
+/// One row of `BENCH_gateway.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct GatewayRow {
+    /// Fleet shard count behind the gateway.
+    pub shards: usize,
+    /// Concurrent loadgen connections.
+    pub connections: usize,
+    /// End-to-end requests/sec of the best repeat.
+    pub rps: f64,
+    /// Median per-frame round-trip, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile per-frame round-trip, microseconds.
+    pub p99_us: u64,
+    /// Fleet-wide object hit ratio (identical across cells by determinism
+    /// at 1 connection; at 4 connections interleaving may perturb it).
+    pub fleet_ohr: f64,
+    /// Requests shed (always 0 under blocking backpressure).
+    pub dropped: u64,
+}
+
+/// The full `BENCH_gateway.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct GatewayBench {
+    /// Experiment name.
+    pub experiment: String,
+    /// Scale factor the trace length derives from.
+    pub scale: usize,
+    /// Requests in the benchmark trace.
+    pub requests: usize,
+    /// Loadgen requests per `GET` frame.
+    pub frame_batch: usize,
+    /// Loadgen frames in flight per connection.
+    pub window: usize,
+    /// CPU cores visible to this process (interprets the numbers).
+    pub cpu_cores: usize,
+    /// Per-cell measurements.
+    pub rows: Vec<GatewayRow>,
+}
+
+fn bench_trace(scale: &Scale) -> Trace {
+    // 2x the online trace length: long enough that steady-state serving
+    // dominates connection setup, short enough for a CI box at debug speeds.
+    TraceGenerator::new(MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5), 2025)
+        .generate(2 * scale.online_trace_len())
+}
+
+fn policy() -> ThresholdPolicy {
+    ThresholdPolicy::new(2, 100 * 1024)
+}
+
+/// Runs the sweep and writes the table, CSV and `BENCH_gateway.json`.
+pub fn run(scale: &Scale, out: &Path) {
+    let trace = bench_trace(scale);
+    let n = trace.len();
+    let cache = scale.cache_config();
+    let loadgen_base = LoadgenConfig { connections: 1, batch: 64, window: 8 };
+
+    let mut rows: Vec<GatewayRow> = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        for &connections in &CONNECTION_COUNTS {
+            let cfg = LoadgenConfig { connections, ..loadgen_base };
+            let mut best: Option<(f64, loadgen::LoadgenReport, f64, u64)> = None;
+            for _ in 0..REPEATS {
+                let gateway = Gateway::bind(
+                    "127.0.0.1:0",
+                    FleetConfig {
+                        shards,
+                        queue_capacity: 8192,
+                        batch: 256,
+                        backpressure: Backpressure::Block,
+                        snapshot_every: None,
+                    },
+                    cache.clone(),
+                    Box::new(HashRouter),
+                    |_| StaticDriver::new(policy()),
+                )
+                .expect("bind loopback gateway");
+                let report = loadgen::run(gateway.local_addr(), &trace, cfg).expect("loadgen replay");
+                assert_eq!(report.tally.total(), n as u64, "every request gets a verdict");
+                gateway.shutdown();
+                let fleet = gateway.finish().expect("clean gateway shutdown");
+                assert_eq!(fleet.total_processed(), n as u64);
+                let rps = report.rps();
+                let ohr = fleet.fleet_cache().hoc_ohr();
+                let dropped = fleet.total_dropped();
+                if best.as_ref().is_none_or(|(b, ..)| rps > *b) {
+                    best = Some((rps, report, ohr, dropped));
+                }
+            }
+            let (rps, report, fleet_ohr, dropped) = best.expect("at least one repeat");
+            rows.push(GatewayRow {
+                shards,
+                connections,
+                rps,
+                p50_us: report.latency_percentile(50.0).as_micros() as u64,
+                p99_us: report.latency_percentile(99.0).as_micros() as u64,
+                fleet_ohr,
+                dropped,
+            });
+        }
+    }
+
+    let mut table = Report::new(
+        "gateway_rps",
+        "Gateway serving throughput vs shards x connections",
+        &["shards", "conns", "rps", "p50_us", "p99_us", "ohr", "dropped"],
+        out,
+    );
+    for r in &rows {
+        table.row(&[
+            r.shards.to_string(),
+            r.connections.to_string(),
+            format!("{:.0}", r.rps),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+            f4(r.fleet_ohr),
+            r.dropped.to_string(),
+        ]);
+    }
+    table.finish().expect("write gateway_rps.csv");
+
+    let bench = GatewayBench {
+        experiment: "gateway_rps".into(),
+        scale: scale.factor(),
+        requests: n,
+        frame_batch: loadgen_base.batch,
+        window: loadgen_base.window,
+        cpu_cores: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        rows,
+    };
+    std::fs::create_dir_all(out).expect("create output dir");
+    let json = serde_json::to_string_pretty(&bench).expect("serialize BENCH_gateway");
+    let path = out.join("BENCH_gateway.json");
+    std::fs::write(&path, &json).expect("write BENCH_gateway.json");
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_has_expected_shape() {
+        let doc = GatewayBench {
+            experiment: "gateway_rps".into(),
+            scale: 1,
+            requests: 100,
+            frame_batch: 64,
+            window: 8,
+            cpu_cores: 1,
+            rows: vec![GatewayRow {
+                shards: 4,
+                connections: 4,
+                rps: 1000.0,
+                p50_us: 150,
+                p99_us: 900,
+                fleet_ohr: 0.3,
+                dropped: 0,
+            }],
+        };
+        let s = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(s.contains("\"experiment\""));
+        assert!(s.contains("gateway_rps"));
+        assert!(s.contains("p99_us"));
+        assert!(s.contains("connections"));
+    }
+}

@@ -23,6 +23,7 @@ pub mod experiments {
     pub mod fig6;
     pub mod fig7;
     pub mod fig8_11;
+    pub mod gateway;
     pub mod hindsight;
     pub mod shard;
     pub mod table2;

@@ -1,0 +1,82 @@
+//! Standalone gateway server: a sharded fleet with static-expert admission
+//! behind the TCP wire protocol.
+//!
+//! ```text
+//! gateway [--addr HOST:PORT] [--shards N] [--queue N] [--batch N]
+//!         [--drop-newest] [--hoc-mb N] [--freq F] [--size-kb S]
+//! ```
+//!
+//! Serves until a client sends `SHUTDOWN` (e.g. `loadgen --shutdown`), then
+//! drains, joins the shard workers and prints the final metrics snapshot.
+
+use darwin_cache::{CacheConfig, ThresholdPolicy};
+use darwin_gateway::Gateway;
+use darwin_shard::{Backpressure, FleetConfig, HashRouter};
+use darwin_testbed::StaticDriver;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:4870".to_string();
+    let mut shards = 4usize;
+    let mut queue = 8192usize;
+    let mut batch = 256usize;
+    let mut backpressure = Backpressure::Block;
+    let mut hoc_mb = 100u64;
+    let mut freq = 2u32;
+    let mut size_kb = 100u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args[i].clone();
+            }
+            "--shards" => {
+                i += 1;
+                shards = args[i].parse().expect("shards");
+            }
+            "--queue" => {
+                i += 1;
+                queue = args[i].parse().expect("queue capacity");
+            }
+            "--batch" => {
+                i += 1;
+                batch = args[i].parse().expect("batch");
+            }
+            "--drop-newest" => backpressure = Backpressure::DropNewest,
+            "--hoc-mb" => {
+                i += 1;
+                hoc_mb = args[i].parse().expect("hoc mb");
+            }
+            "--freq" => {
+                i += 1;
+                freq = args[i].parse().expect("frequency threshold");
+            }
+            "--size-kb" => {
+                i += 1;
+                size_kb = args[i].parse().expect("size threshold kb");
+            }
+            other => panic!("unknown arg {other}"),
+        }
+        i += 1;
+    }
+
+    let cfg = FleetConfig { shards, queue_capacity: queue, batch, backpressure, snapshot_every: None };
+    let cache = CacheConfig { hoc_bytes: hoc_mb * 1024 * 1024, ..CacheConfig::paper_default() };
+    let policy = ThresholdPolicy::new(freq, size_kb * 1024);
+    let gateway =
+        Gateway::bind(addr.as_str(), cfg, cache, Box::new(HashRouter), |_| StaticDriver::new(policy))
+            .expect("bind gateway");
+    println!("gateway listening on {} ({} shards, {:?})", gateway.local_addr(), shards, backpressure);
+
+    gateway.wait_shutdown();
+    let metrics = gateway.metrics();
+    let report = gateway.finish().expect("gateway finished cleanly");
+    println!("{}", metrics.to_json());
+    println!(
+        "served {} requests ({} dropped), fleet OHR {:.4}",
+        report.total_processed(),
+        report.total_dropped(),
+        report.fleet_cache().hoc_ohr(),
+    );
+}

@@ -1,0 +1,87 @@
+//! Load generator: replays a generated trace against a running gateway and
+//! reports throughput and latency percentiles.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--connections N]
+//!         [--batch N] [--window N] [--seed S] [--stats] [--shutdown]
+//! ```
+//!
+//! `--stats` fetches the gateway's JSON metrics snapshot after the replay;
+//! `--shutdown` then asks the gateway to shut down gracefully.
+
+use darwin_gateway::loadgen;
+use darwin_gateway::LoadgenConfig;
+use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:4870".to_string();
+    let mut requests = 200_000usize;
+    let mut cfg = LoadgenConfig::default();
+    let mut seed = 2024u64;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args[i].clone();
+            }
+            "--requests" => {
+                i += 1;
+                requests = args[i].parse().expect("requests");
+            }
+            "--connections" => {
+                i += 1;
+                cfg.connections = args[i].parse().expect("connections");
+            }
+            "--batch" => {
+                i += 1;
+                cfg.batch = args[i].parse().expect("batch");
+            }
+            "--window" => {
+                i += 1;
+                cfg.window = args[i].parse().expect("window");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("seed");
+            }
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            other => panic!("unknown arg {other}"),
+        }
+        i += 1;
+    }
+
+    let trace = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+        seed,
+    )
+    .generate(requests);
+
+    let report = loadgen::run(addr.as_str(), &trace, cfg).expect("loadgen run");
+    let t = report.tally;
+    assert_eq!(t.total(), report.requests, "every request must receive a verdict");
+    println!(
+        "{} requests over {} connection(s): {:.0} rps, p50 {:?}, p99 {:?}",
+        report.requests,
+        cfg.connections,
+        report.rps(),
+        report.latency_percentile(50.0),
+        report.latency_percentile(99.0),
+    );
+    println!(
+        "verdicts: hoc_hits={} dc_hits={} origin={} dropped={} admitted={}",
+        t.hoc_hits, t.dc_hits, t.origin_fetches, t.dropped, t.admitted,
+    );
+
+    if stats {
+        println!("{}", loadgen::fetch_stats(addr.as_str()).expect("fetch stats"));
+    }
+    if shutdown {
+        loadgen::send_shutdown(addr.as_str()).expect("send shutdown");
+        println!("gateway acknowledged shutdown");
+    }
+}

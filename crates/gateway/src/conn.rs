@@ -1,0 +1,318 @@
+//! Per-connection reply plumbing.
+//!
+//! Each connection runs two threads: the *reader* decodes frames and submits
+//! requests into the fleet, the *writer* streams replies back. In between
+//! sits a [`ConnSink`]: frames are numbered in arrival order, each frame's
+//! reply is pushed under its sequence number as soon as it is complete, and
+//! the writer emits replies strictly in sequence — so clients can pipeline
+//! and still match the *k*-th reply to the *k*-th frame they sent.
+//!
+//! A `GET` frame's reply is assembled by a [`PendingBatch`]: its records
+//! travel through the shard queues as [`GatewayEnvelope`]s, each completing
+//! (or being dropped — shedding fills a `Dropped` verdict from the
+//! envelope's `Drop` impl) into its slot of the batch; the last arrival
+//! pushes the assembled `VERDICTS` reply into the sink. Record order is
+//! preserved no matter how shards interleave.
+
+use crate::wire::{encode, encode_verdict_bytes, Message, WireVerdict};
+use darwin_shard::{Envelope, Verdict};
+use darwin_trace::Request;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One frame's reply, keyed in the sink by the frame's sequence number.
+pub(crate) enum Reply {
+    /// Assembled verdict bytes of a `GET` frame, in record order.
+    Verdicts(Vec<u8>),
+    /// JSON snapshot answering a `STATS` frame.
+    Stats(String),
+    /// Acknowledges a `SHUTDOWN` frame.
+    ShutdownAck,
+}
+
+struct SinkState {
+    ready: BTreeMap<u64, Reply>,
+    next_write: u64,
+    end_seq: Option<u64>,
+    aborted: bool,
+}
+
+/// The ordered reply buffer between a connection's frame decoding (and the
+/// shard workers completing its batches) and its writer thread.
+pub(crate) struct ConnSink {
+    state: Mutex<SinkState>,
+    cv: Condvar,
+}
+
+impl ConnSink {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(SinkState {
+                ready: BTreeMap::new(),
+                next_write: 0,
+                end_seq: None,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Queues `reply` as the answer to frame `seq`. No-op after abort.
+    pub(crate) fn push(&self, seq: u64, reply: Reply) {
+        let mut st = self.state.lock().expect("sink poisoned");
+        if st.aborted {
+            return;
+        }
+        st.ready.insert(seq, reply);
+        self.cv.notify_one();
+    }
+
+    /// Declares the stream complete: the writer exits once every reply below
+    /// `end_seq` has been written.
+    pub(crate) fn finish_at(&self, end_seq: u64) {
+        let mut st = self.state.lock().expect("sink poisoned");
+        st.end_seq = Some(end_seq);
+        self.cv.notify_one();
+    }
+
+    /// Tears the sink down immediately (client gone, protocol error, or a
+    /// panicking reader): pending replies are discarded, the writer wakes
+    /// and exits, later pushes are ignored.
+    pub(crate) fn abort(&self) {
+        let mut st = self.state.lock().expect("sink poisoned");
+        st.aborted = true;
+        st.ready.clear();
+        self.cv.notify_one();
+    }
+
+    /// Writer side: blocks for the next run of consecutive ready replies.
+    /// Returns `None` once the sink is aborted or drained through `end_seq`.
+    fn next_run(&self) -> Option<Vec<Reply>> {
+        let mut st = self.state.lock().expect("sink poisoned");
+        loop {
+            if st.aborted {
+                return None;
+            }
+            let mut run = Vec::new();
+            loop {
+                let next = st.next_write;
+                match st.ready.remove(&next) {
+                    Some(r) => {
+                        run.push(r);
+                        st.next_write += 1;
+                    }
+                    None => break,
+                }
+            }
+            if !run.is_empty() {
+                return Some(run);
+            }
+            if st.end_seq.is_some_and(|end| st.next_write >= end) {
+                return None;
+            }
+            st = self.cv.wait(st).expect("sink poisoned");
+        }
+    }
+}
+
+/// Aborts the sink when dropped — placed in the reader thread so that even a
+/// panic (e.g. a dead shard detected mid-submit) releases the writer and
+/// closes the socket instead of wedging the connection.
+pub(crate) struct SinkGuard(pub(crate) Arc<ConnSink>);
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        self.0.abort();
+    }
+}
+
+/// What the writer thread reports back for the gateway's counters.
+pub(crate) struct WriterStats {
+    pub(crate) bytes_out: u64,
+    pub(crate) verdicts_out: u64,
+}
+
+/// The writer loop: drains the sink in sequence order, encoding each run of
+/// ready replies into one buffer and writing it with a single syscall (the
+/// protocol's batched-write path). Exits on sink abort/drain or the first
+/// write error (client disconnected).
+pub(crate) fn writer_loop(sink: &ConnSink, mut stream: TcpStream) -> WriterStats {
+    let mut stats = WriterStats { bytes_out: 0, verdicts_out: 0 };
+    let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
+    while let Some(run) = sink.next_run() {
+        out.clear();
+        for reply in run {
+            match reply {
+                Reply::Verdicts(bytes) => {
+                    stats.verdicts_out += bytes.len() as u64;
+                    encode_verdict_bytes(&bytes, &mut out);
+                }
+                Reply::Stats(json) => encode(&Message::StatsReply(json), &mut out),
+                Reply::ShutdownAck => encode(&Message::ShutdownAck, &mut out),
+            }
+        }
+        if stream.write_all(&out).is_err() {
+            sink.abort();
+            return stats;
+        }
+        stats.bytes_out += out.len() as u64;
+    }
+    // Drained (or aborted): signal end-of-replies to a still-reading client.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    stats
+}
+
+/// Assembles one `GET` frame's `VERDICTS` reply from its records' verdicts,
+/// which arrive concurrently from the shard workers.
+pub(crate) struct PendingBatch {
+    seq: u64,
+    sink: Arc<ConnSink>,
+    verdicts: Vec<AtomicU8>,
+    remaining: AtomicUsize,
+}
+
+impl PendingBatch {
+    pub(crate) fn new(seq: u64, sink: Arc<ConnSink>, records: usize) -> Arc<Self> {
+        debug_assert!(records > 0);
+        Arc::new(Self {
+            seq,
+            sink,
+            verdicts: (0..records).map(|_| AtomicU8::new(WireVerdict::DROPPED.to_byte())).collect(),
+            remaining: AtomicUsize::new(records),
+        })
+    }
+
+    fn fill(&self, index: usize, byte: u8) {
+        self.verdicts[index].store(byte, Ordering::Relaxed);
+        // The release of this fetch_sub publishes the store above to the
+        // thread that observes the count hit zero (acquire side), so the
+        // assembling thread sees every slot.
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let bytes = self.verdicts.iter().map(|v| v.load(Ordering::Relaxed)).collect();
+            self.sink.push(self.seq, Reply::Verdicts(bytes));
+        }
+    }
+}
+
+/// The envelope a gateway request travels the shard queue in: completion
+/// routes the verdict into slot `index` of the originating frame's batch.
+/// If the envelope is shed before reaching a worker (queue overflow under
+/// `DropNewest`, or a dead shard) its `Drop` impl files a `Dropped` verdict
+/// instead — every record of every accepted frame is answered exactly once.
+pub(crate) struct GatewayEnvelope {
+    req: Request,
+    slot: Option<(Arc<PendingBatch>, usize)>,
+}
+
+impl GatewayEnvelope {
+    pub(crate) fn new(req: Request, batch: Arc<PendingBatch>, index: usize) -> Self {
+        Self { req, slot: Some((batch, index)) }
+    }
+}
+
+impl Envelope for GatewayEnvelope {
+    fn request(&self) -> &Request {
+        &self.req
+    }
+
+    fn complete(mut self, verdict: Verdict) {
+        if let Some((batch, index)) = self.slot.take() {
+            batch.fill(index, WireVerdict::from(verdict).to_byte());
+        }
+    }
+}
+
+impl Drop for GatewayEnvelope {
+    fn drop(&mut self) {
+        if let Some((batch, index)) = self.slot.take() {
+            batch.fill(index, WireVerdict::DROPPED.to_byte());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_ready(sink: &ConnSink) -> Vec<Reply> {
+        sink.finish_at(u64::MAX);
+        let mut out = Vec::new();
+        // end_seq = MAX keeps the writer-side wait alive, so only pull runs
+        // that are already consecutive-ready.
+        let mut st = sink.state.lock().unwrap();
+        loop {
+            let next = st.next_write;
+            match st.ready.remove(&next) {
+                Some(r) => {
+                    out.push(r);
+                    st.next_write += 1;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batch_assembles_in_record_order_regardless_of_fill_order() {
+        let sink = Arc::new(ConnSink::new());
+        let batch = PendingBatch::new(0, Arc::clone(&sink), 3);
+        batch.fill(2, 2);
+        batch.fill(0, 0);
+        assert!(drain_ready(&sink).is_empty(), "incomplete batch must not be pushed");
+        batch.fill(1, 1);
+        match drain_ready(&sink).as_slice() {
+            [Reply::Verdicts(bytes)] => assert_eq!(bytes, &vec![0, 1, 2]),
+            _ => panic!("expected exactly one assembled verdict reply"),
+        }
+    }
+
+    #[test]
+    fn dropped_envelope_files_dropped_verdict() {
+        let sink = Arc::new(ConnSink::new());
+        let batch = PendingBatch::new(0, Arc::clone(&sink), 2);
+        let env0 = GatewayEnvelope::new(Request::new(1, 10, 0), Arc::clone(&batch), 0);
+        let env1 = GatewayEnvelope::new(Request::new(2, 10, 1), Arc::clone(&batch), 1);
+        env0.complete(Verdict {
+            shard: 0,
+            outcome: darwin_cache::RequestOutcome::HocHit,
+            admitted: false,
+        });
+        drop(env1); // shed at the queue
+        match drain_ready(&sink).as_slice() {
+            [Reply::Verdicts(bytes)] => {
+                assert_eq!(
+                    WireVerdict::from_byte(bytes[0]).unwrap().outcome,
+                    crate::wire::VerdictOutcome::HocHit
+                );
+                assert_eq!(WireVerdict::from_byte(bytes[1]).unwrap(), WireVerdict::DROPPED);
+            }
+            _ => panic!("expected one reply"),
+        }
+    }
+
+    #[test]
+    fn aborted_sink_ignores_pushes_and_releases_writer() {
+        let sink = Arc::new(ConnSink::new());
+        sink.push(0, Reply::ShutdownAck);
+        sink.abort();
+        sink.push(1, Reply::ShutdownAck);
+        assert!(sink.next_run().is_none(), "aborted sink releases the writer");
+    }
+
+    #[test]
+    fn next_run_collects_consecutive_replies() {
+        let sink = Arc::new(ConnSink::new());
+        sink.push(1, Reply::ShutdownAck);
+        sink.push(0, Reply::Stats("{}".into()));
+        let run = sink.next_run().expect("two consecutive replies ready");
+        assert_eq!(run.len(), 2);
+        assert!(matches!(run[0], Reply::Stats(_)));
+        assert!(matches!(run[1], Reply::ShutdownAck));
+        sink.finish_at(2);
+        assert!(sink.next_run().is_none(), "drained through end_seq");
+    }
+}

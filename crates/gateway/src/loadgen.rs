@@ -1,0 +1,269 @@
+//! Load-generator client: replays a trace over N concurrent connections.
+//!
+//! The trace is split into contiguous per-connection chunks; each connection
+//! streams its chunk as pipelined `GET` frames, keeping up to `window` frames
+//! in flight, and records one round-trip latency sample per frame. A single
+//! connection therefore preserves trace order exactly — the configuration the
+//! end-to-end equivalence tests use — while multiple connections trade
+//! ordering for throughput, as a real CDN front-end would.
+
+use crate::wire::{encode_get, FrameReader, Message, VerdictOutcome, WireVerdict};
+use darwin_trace::{Request, Trace};
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// How a [`run`] replays its trace.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Concurrent connections; the trace is split contiguously across them.
+    pub connections: usize,
+    /// Requests per `GET` frame.
+    pub batch: usize,
+    /// Frames each connection keeps in flight before reading a reply.
+    pub window: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self { connections: 1, batch: 64, window: 8 }
+    }
+}
+
+/// Counts of the verdicts a run received.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictTally {
+    /// Requests served from the Hot Object Cache.
+    pub hoc_hits: u64,
+    /// Requests served from the Disk Cache.
+    pub dc_hits: u64,
+    /// Requests that went to the origin.
+    pub origin_fetches: u64,
+    /// Requests shed before processing.
+    pub dropped: u64,
+    /// Requests whose object was admitted into the HOC.
+    pub admitted: u64,
+}
+
+impl VerdictTally {
+    fn absorb(&mut self, v: WireVerdict) {
+        match v.outcome {
+            VerdictOutcome::HocHit => self.hoc_hits += 1,
+            VerdictOutcome::DcHit => self.dc_hits += 1,
+            VerdictOutcome::OriginFetch => self.origin_fetches += 1,
+            VerdictOutcome::Dropped => self.dropped += 1,
+        }
+        if v.admitted {
+            self.admitted += 1;
+        }
+    }
+
+    fn merge(&mut self, other: VerdictTally) {
+        self.hoc_hits += other.hoc_hits;
+        self.dc_hits += other.dc_hits;
+        self.origin_fetches += other.origin_fetches;
+        self.dropped += other.dropped;
+        self.admitted += other.admitted;
+    }
+
+    /// Total verdicts received.
+    pub fn total(&self) -> u64 {
+        self.hoc_hits + self.dc_hits + self.origin_fetches + self.dropped
+    }
+}
+
+/// What a [`run`] measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests sent (= trace length).
+    pub requests: u64,
+    /// Wall-clock of the whole replay.
+    pub elapsed: Duration,
+    /// Per-outcome verdict counts, summed over connections.
+    pub tally: VerdictTally,
+    /// Per-frame round-trip latencies, sorted ascending.
+    pub latencies: Vec<Duration>,
+}
+
+impl LoadgenReport {
+    /// Requests per second over the whole replay.
+    pub fn rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.requests as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The `p`-th percentile frame round-trip (nearest-rank on the sorted
+    /// samples); zero when no frames were measured.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = (p / 100.0 * (self.latencies.len() - 1) as f64).round() as usize;
+        self.latencies[rank.min(self.latencies.len() - 1)]
+    }
+}
+
+fn contiguous_chunks(trace: &[Request], parts: usize) -> Vec<&[Request]> {
+    let n = trace.len();
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut at = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(&trace[at..at + len]);
+        at += len;
+    }
+    out
+}
+
+/// One connection's replay: pipelined writes with a bounded in-flight window.
+fn replay_chunk(
+    addr: &std::net::SocketAddr,
+    chunk: &[Request],
+    batch: usize,
+    window: usize,
+) -> io::Result<(VerdictTally, Vec<Duration>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = FrameReader::new(stream.try_clone()?);
+    let mut tally = VerdictTally::default();
+    let mut latencies = Vec::with_capacity(chunk.len() / batch.max(1) + 1);
+    let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(window);
+    let mut buf = Vec::with_capacity(batch * crate::wire::GET_RECORD_LEN + crate::wire::HEADER_LEN);
+
+    let mut read_reply =
+        |reader: &mut FrameReader<TcpStream>, inflight: &mut VecDeque<Instant>| -> io::Result<()> {
+            let sent = inflight.pop_front().expect("reply awaited with no frame in flight");
+            match reader.recv() {
+                Ok(Some(Message::Verdicts(vs))) => {
+                    latencies.push(sent.elapsed());
+                    for v in vs {
+                        tally.absorb(v);
+                    }
+                    Ok(())
+                }
+                Ok(other) => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected VERDICTS reply, got {other:?}"),
+                )),
+                Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
+        };
+
+    for frame in chunk.chunks(batch.max(1)) {
+        while inflight.len() >= window.max(1) {
+            read_reply(&mut reader, &mut inflight)?;
+        }
+        buf.clear();
+        encode_get(frame, &mut buf);
+        stream.write_all(&buf)?;
+        inflight.push_back(Instant::now());
+    }
+    while !inflight.is_empty() {
+        read_reply(&mut reader, &mut inflight)?;
+    }
+    stream.shutdown(std::net::Shutdown::Write)?;
+    latencies.sort_unstable();
+    Ok((tally, latencies))
+}
+
+/// Replays `trace` against a gateway at `addr` and reports throughput,
+/// latency percentiles and the verdict tally.
+pub fn run(addr: impl ToSocketAddrs, trace: &Trace, cfg: LoadgenConfig) -> io::Result<LoadgenReport> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved for gateway"))?;
+    let requests = trace.len() as u64;
+    let chunks = contiguous_chunks(trace.requests(), cfg.connections.max(1));
+    let started = Instant::now();
+    let results: Vec<io::Result<(VerdictTally, Vec<Duration>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| scope.spawn(move || replay_chunk(&addr, chunk, cfg.batch, cfg.window)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| panic!("loadgen connection thread panicked")))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut tally = VerdictTally::default();
+    let mut latencies = Vec::new();
+    for r in results {
+        let (t, l) = r?;
+        tally.merge(t);
+        latencies.extend(l);
+    }
+    latencies.sort_unstable();
+    Ok(LoadgenReport { requests, elapsed, tally, latencies })
+}
+
+/// Asks a gateway for its JSON fleet-metrics snapshot (`STATS`).
+pub fn fetch_stats(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&crate::wire::encoded(&Message::Stats))?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut reader = FrameReader::new(stream);
+    match reader.recv() {
+        Ok(Some(Message::StatsReply(json))) => Ok(json),
+        Ok(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected STATS_REPLY, got {other:?}"),
+        )),
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+/// Sends a graceful-shutdown request and waits for its acknowledgement.
+pub fn send_shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&crate::wire::encoded(&Message::Shutdown))?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut reader = FrameReader::new(stream);
+    match reader.recv() {
+        Ok(Some(Message::ShutdownAck)) => Ok(()),
+        Ok(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected SHUTDOWN_ACK, got {other:?}"),
+        )),
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_trace_contiguously() {
+        let reqs: Vec<Request> = (0..10).map(|i| Request::new(i, 1, i)).collect();
+        let chunks = contiguous_chunks(&reqs, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), 10);
+        let flat: Vec<Request> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(flat, reqs);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let report = LoadgenReport {
+            requests: 4,
+            elapsed: Duration::from_secs(2),
+            tally: VerdictTally::default(),
+            latencies: (1..=4).map(Duration::from_millis).collect(),
+        };
+        assert_eq!(report.rps(), 2.0);
+        assert_eq!(report.latency_percentile(0.0), Duration::from_millis(1));
+        assert_eq!(report.latency_percentile(50.0), Duration::from_millis(3));
+        assert_eq!(report.latency_percentile(99.0), Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,346 @@
+//! The TCP gateway: acceptor, connection workers, graceful shutdown.
+//!
+//! ```text
+//!            ┌──────────────────────────── Gateway ───────────────────────┐
+//!            │ acceptor thread (nonblocking accept + shutdown flag)       │
+//!            │   ├─ conn 0: reader ──▶ Mutex<ShardedFleet> ─▶ shard queues│
+//! clients ──▶│   │          writer ◀── ConnSink (seq-ordered replies) ◀───┼── verdicts
+//!            │   └─ conn k: …                                             │
+//!            │ STATS / SHUTDOWN bypass the fleet mutex entirely           │
+//!            └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The fleet's submission side is single-producer, so connection readers
+//! serialize `GET` submissions through a mutex; backpressure (a full shard
+//! queue under [`Backpressure::Block`](darwin_shard::Backpressure::Block))
+//! therefore stalls *submission*, never monitoring: `STATS` frames read the
+//! fleet through its non-blocking [`MetricsHandle`] and answer even while
+//! every submitter is blocked.
+
+use crate::conn::{writer_loop, ConnSink, GatewayEnvelope, PendingBatch, Reply, SinkGuard};
+use crate::wire::{FrameReader, Message, RecvError};
+use darwin_cache::CacheConfig;
+use darwin_shard::{
+    FleetConfig, FleetMetrics, FleetReport, GatewaySnapshot, MetricsHandle, Router, ShardedFleet,
+};
+use darwin_testbed::AdmissionDriver;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a gateway shut down unhappily.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// The acceptor thread panicked.
+    AcceptorPanicked,
+    /// This many connection workers panicked (a dead shard detected
+    /// mid-submit, or a writer failure the reader could not absorb).
+    ConnectionPanicked(usize),
+    /// A shard worker panicked; the fleet report is unrecoverable.
+    ShardPanicked,
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::AcceptorPanicked => write!(f, "gateway acceptor thread panicked"),
+            GatewayError::ConnectionPanicked(n) => {
+                write!(f, "{n} gateway connection worker(s) panicked")
+            }
+            GatewayError::ShardPanicked => write!(f, "a shard worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+/// The gateway's own counters (see [`GatewaySnapshot`] for field meanings).
+#[derive(Debug, Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    frames_in: AtomicU64,
+    frames_rejected: AtomicU64,
+    requests_in: AtomicU64,
+    verdicts_out: AtomicU64,
+    stats_served: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl Counters {
+    fn add(counter: &AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> GatewaySnapshot {
+        GatewaySnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            requests_in: self.requests_in.load(Ordering::Relaxed),
+            verdicts_out: self.verdicts_out.load(Ordering::Relaxed),
+            stats_served: self.stats_served.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Decrements the active-connection gauge even when the reader panics.
+struct ActiveGuard(Arc<Counters>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+struct Shared<D: AdmissionDriver + Send + 'static> {
+    fleet: Mutex<Option<ShardedFleet<D, GatewayEnvelope>>>,
+    metrics: MetricsHandle,
+    counters: Arc<Counters>,
+    shutdown: AtomicBool,
+}
+
+impl<D: AdmissionDriver + Send + 'static> Shared<D> {
+    /// Fleet snapshot with the gateway counters folded in — non-blocking by
+    /// construction (shard cells + atomics, no fleet mutex).
+    fn fleet_metrics(&self) -> FleetMetrics {
+        self.metrics.snapshot().with_gateway(self.counters.snapshot())
+    }
+}
+
+/// A running TCP gateway over a [`ShardedFleet`].
+///
+/// Bind with [`Gateway::bind`], point clients (e.g. the `loadgen` binary or
+/// [`crate::loadgen`]) at [`local_addr`](Self::local_addr), then
+/// [`finish`](Self::finish) to drain connections, join the shard workers and
+/// collect the final [`FleetReport`].
+pub struct Gateway<D: AdmissionDriver + Send + 'static> {
+    shared: Arc<Shared<D>>,
+    acceptor: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    addr: SocketAddr,
+}
+
+impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
+    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the fleet
+    /// plus the acceptor thread. `factory(s)` builds shard `s`'s admission
+    /// driver, exactly as in [`ShardedFleet::new`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cfg: FleetConfig,
+        cache: CacheConfig,
+        router: Box<dyn Router>,
+        factory: impl FnMut(usize) -> D,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let fleet: ShardedFleet<D, GatewayEnvelope> = ShardedFleet::new(cfg, cache, router, factory);
+        let shared = Arc::new(Shared {
+            metrics: fleet.metrics_handle(),
+            fleet: Mutex::new(Some(fleet)),
+            counters: Arc::new(Counters::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("gw-accept".into())
+            .spawn(move || acceptor_loop(listener, acceptor_shared))?;
+        Ok(Self { shared, acceptor: Some(acceptor), addr })
+    }
+
+    /// The address the gateway is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Non-blocking fleet + gateway metrics snapshot (the same document a
+    /// `STATS` frame returns).
+    pub fn metrics(&self) -> FleetMetrics {
+        self.shared.fleet_metrics()
+    }
+
+    /// Requests a graceful shutdown: stop accepting, let connections drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// True once shutdown was requested (by [`shutdown`](Self::shutdown) or
+    /// a client's `SHUTDOWN` frame).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Blocks until shutdown is requested.
+    pub fn wait_shutdown(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Graceful shutdown: stops accepting, drains and joins every
+    /// connection, joins the shard workers, and returns the final report.
+    /// Worker panics — connection or shard — surface as `Err` instead of
+    /// hanging or being swallowed.
+    pub fn finish(mut self) -> Result<FleetReport<D>, GatewayError> {
+        self.shutdown();
+        let conns = self
+            .acceptor
+            .take()
+            .expect("finish consumes the gateway")
+            .join()
+            .map_err(|_| GatewayError::AcceptorPanicked)?;
+        let panicked = conns.into_iter().map(|c| c.join()).filter(Result::is_err).count();
+        let fleet = match self.shared.fleet.lock() {
+            Ok(mut guard) => guard.take(),
+            // A reader that panicked mid-submit poisons the mutex; the fleet
+            // itself is still recoverable.
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
+        .expect("fleet taken exactly once");
+        let report = catch_unwind(AssertUnwindSafe(|| fleet.finish()))
+            .map_err(|_| GatewayError::ShardPanicked)?;
+        if panicked > 0 {
+            return Err(GatewayError::ConnectionPanicked(panicked));
+        }
+        Ok(report)
+    }
+}
+
+fn acceptor_loop<D: AdmissionDriver + Send + 'static>(
+    listener: TcpListener,
+    shared: Arc<Shared<D>>,
+) -> Vec<JoinHandle<()>> {
+    let mut conns = Vec::new();
+    let mut next_id = 0usize;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                Counters::add(&shared.counters.connections_accepted, 1);
+                shared.counters.connections_active.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let id = next_id;
+                next_id += 1;
+                let handle = std::thread::Builder::new()
+                    .name(format!("gw-conn-{id}"))
+                    .spawn(move || connection(stream, conn_shared))
+                    .expect("spawn gateway connection worker");
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    conns
+}
+
+/// One connection's reader: decodes frames, submits `GET` records through
+/// the fleet, answers `STATS`/`SHUTDOWN` off the metrics handle, and on exit
+/// either drains (clean EOF / shutdown: every accepted frame still gets its
+/// reply) or aborts (protocol violation / transport error).
+fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Arc<Shared<D>>) {
+    let counters = Arc::clone(&shared.counters);
+    let _active = ActiveGuard(Arc::clone(&counters));
+    let _ = stream.set_nodelay(true);
+    // The read timeout bounds how long a quiet connection takes to notice a
+    // gateway-side shutdown request.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let sink = Arc::new(ConnSink::new());
+    let sink_guard = SinkGuard(Arc::clone(&sink));
+    let writer = {
+        let sink = Arc::clone(&sink);
+        let writer_counters = Arc::clone(&counters);
+        std::thread::Builder::new()
+            .name("gw-write".into())
+            .spawn(move || {
+                let stats = writer_loop(&sink, write_half);
+                Counters::add(&writer_counters.bytes_out, stats.bytes_out);
+                Counters::add(&writer_counters.verdicts_out, stats.verdicts_out);
+            })
+            .expect("spawn gateway connection writer")
+    };
+
+    let mut reader = FrameReader::new(stream);
+    let mut seq = 0u64;
+    let mut bytes_seen = 0u64;
+    // True ⇒ drain replies through `seq` before closing; false ⇒ abort now.
+    let drain = loop {
+        let next = reader.recv();
+        let bytes = reader.bytes_read();
+        Counters::add(&counters.bytes_in, bytes - bytes_seen);
+        bytes_seen = bytes;
+        match next {
+            Ok(Some(Message::Get(records))) => {
+                Counters::add(&counters.frames_in, 1);
+                Counters::add(&counters.requests_in, records.len() as u64);
+                let batch = PendingBatch::new(seq, Arc::clone(&sink), records.len());
+                seq += 1;
+                let mut guard = shared.fleet.lock().expect("fleet mutex poisoned");
+                let fleet = guard.as_mut().expect("fleet finished while serving");
+                for (index, req) in records.into_iter().enumerate() {
+                    fleet.submit(GatewayEnvelope::new(req, Arc::clone(&batch), index));
+                }
+                // Push staged work through now: the client is waiting on
+                // this frame's verdicts, not on a future frame to top up
+                // the staging buffers.
+                fleet.flush();
+            }
+            Ok(Some(Message::Stats)) => {
+                Counters::add(&counters.frames_in, 1);
+                Counters::add(&counters.stats_served, 1);
+                sink.push(seq, Reply::Stats(shared.fleet_metrics().to_json()));
+                seq += 1;
+            }
+            Ok(Some(Message::Shutdown)) => {
+                Counters::add(&counters.frames_in, 1);
+                // Flag first: the writer may deliver the ack the instant it is
+                // pushed, and a client that has the ack in hand must observe
+                // `shutdown_requested() == true`.
+                shared.shutdown.store(true, Ordering::Release);
+                sink.push(seq, Reply::ShutdownAck);
+                seq += 1;
+                break true;
+            }
+            Ok(Some(Message::Verdicts(_) | Message::StatsReply(_) | Message::ShutdownAck)) => {
+                // Server-to-client opcodes are illegal from a client.
+                Counters::add(&counters.frames_rejected, 1);
+                break false;
+            }
+            Ok(None) => break true,
+            Err(e) if e.is_timeout() => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break true;
+                }
+            }
+            Err(RecvError::Wire(_)) => {
+                Counters::add(&counters.frames_rejected, 1);
+                break false;
+            }
+            Err(RecvError::Io(_)) => break false,
+        }
+    };
+    if drain {
+        sink.finish_at(seq);
+    } else {
+        sink.abort();
+    }
+    if writer.join().is_err() {
+        // Keep the guard alive through the unwinding panic below; its abort
+        // is a no-op since the writer is already gone.
+        panic!("gateway connection writer panicked");
+    }
+    drop(sink_guard);
+}

@@ -1,0 +1,392 @@
+//! End-to-end loopback tests: a trace served through a real TCP gateway on
+//! 127.0.0.1 (port 0 — always ephemeral) must behave exactly like the
+//! in-process fleet, and the serving layer must stay live and consistent
+//! under shutdown, worker panics, shedding and client disconnects.
+
+use darwin::{DarwinModel, Expert, ExpertGrid, OfflineConfig, OfflineTrainer, OnlineConfig};
+use darwin_cache::{CacheConfig, CacheMetrics, ThresholdPolicy};
+use darwin_gateway::wire::{encode_get, FrameReader, Message};
+use darwin_gateway::{loadgen, Gateway, LoadgenConfig};
+use darwin_nn::TrainConfig;
+use darwin_shard::{run_sequential, Backpressure, FleetConfig, FleetMetrics, HashRouter};
+use darwin_testbed::{AdmissionDriver, DarwinDriver, StaticDriver};
+use darwin_trace::{MixSpec, Request, Trace, TraceGenerator, TrafficClass};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+
+fn model() -> Arc<DarwinModel> {
+    static MODEL: OnceLock<Arc<DarwinModel>> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let cfg = OfflineConfig {
+                grid: ExpertGrid::new(vec![
+                    Expert::new(1, 20),
+                    Expert::new(1, 500),
+                    Expert::new(5, 20),
+                    Expert::new(5, 500),
+                ]),
+                hoc_bytes: 2 * 1024 * 1024,
+                nn_train: TrainConfig { epochs: 40, ..TrainConfig::default() },
+                n_clusters: 2,
+                ..OfflineConfig::default()
+            };
+            let traces: Vec<Trace> = (0..4)
+                .map(|i| {
+                    TraceGenerator::new(
+                        MixSpec::two_class(
+                            TrafficClass::image(),
+                            TrafficClass::download(),
+                            i as f64 / 3.0,
+                        ),
+                        10 + i as u64,
+                    )
+                    .generate(10_000)
+                })
+                .collect();
+            Arc::new(OfflineTrainer::new(cfg).train(&traces))
+        })
+        .clone()
+}
+
+fn cache_cfg() -> CacheConfig {
+    CacheConfig { hoc_bytes: 2 * 1024 * 1024, ..CacheConfig::small_test() }
+}
+
+fn online_cfg() -> OnlineConfig {
+    OnlineConfig {
+        epoch_requests: 20_000,
+        warmup_requests: 1_000,
+        round_requests: 300,
+        ..OnlineConfig::default()
+    }
+}
+
+fn fleet_cfg(shards: usize) -> FleetConfig {
+    FleetConfig {
+        shards,
+        queue_capacity: 256,
+        batch: 64,
+        backpressure: Backpressure::Block,
+        snapshot_every: None,
+    }
+}
+
+fn test_trace(n: usize) -> Trace {
+    TraceGenerator::new(MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5), 4242)
+        .generate(n)
+}
+
+/// The tentpole contract: a trace replayed through the loopback gateway on a
+/// single connection (which preserves trace order exactly) is bitwise
+/// identical — per-shard cache metrics, occupancy — to the sequential
+/// per-partition replay, and the verdict stream the client saw agrees with
+/// the server's own counters.
+#[test]
+fn static_gateway_equivalent_to_sequential_replay() {
+    let trace = test_trace(30_000);
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), |_| {
+        StaticDriver::new(policy)
+    })
+    .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    let report = loadgen::run(addr, &trace, LoadgenConfig { connections: 1, batch: 64, window: 8 })
+        .expect("loadgen replay");
+    gateway.shutdown();
+    let fleet_report = gateway.finish().expect("clean gateway shutdown");
+
+    let seq = run_sequential(2, cache_cfg(), &HashRouter, |_| StaticDriver::new(policy), &trace);
+    for (f, s) in fleet_report.shards.iter().zip(&seq) {
+        assert_eq!(f.cache, s.cache, "shard {}: cache metrics", f.shard);
+        assert_eq!(f.hoc_used_bytes, s.hoc_used_bytes, "shard {}: HOC occupancy", f.shard);
+        assert_eq!(f.dc_used_bytes, s.dc_used_bytes, "shard {}: DC occupancy", f.shard);
+        assert_eq!(f.dropped, 0, "Block backpressure is lossless");
+    }
+
+    // The client's verdict tally is the fleet's cache metrics, seen from the
+    // other end of the wire.
+    let fleet_cache: CacheMetrics = fleet_report.fleet_cache();
+    let t = report.tally;
+    assert_eq!(t.total(), trace.len() as u64);
+    assert_eq!(t.dropped, 0);
+    assert_eq!(t.hoc_hits, fleet_cache.hoc_hits);
+    assert_eq!(t.dc_hits, fleet_cache.dc_hits);
+    assert_eq!(t.origin_fetches, fleet_cache.origin_fetches);
+    assert_eq!(t.admitted, fleet_cache.hoc_writes);
+}
+
+/// Same contract with the full per-shard Darwin controllers: the deployed
+/// expert sequences must also match the sequential replay exactly.
+#[test]
+fn darwin_gateway_equivalent_to_sequential_replay() {
+    let model = model();
+    let trace = test_trace(48_000);
+    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), |_| {
+        DarwinDriver::new(Arc::clone(&model), online_cfg())
+    })
+    .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    let report = loadgen::run(addr, &trace, LoadgenConfig { connections: 1, batch: 64, window: 8 })
+        .expect("loadgen replay");
+    assert_eq!(report.tally.total(), trace.len() as u64);
+    gateway.shutdown();
+    let fleet_report = gateway.finish().expect("clean gateway shutdown");
+
+    let seq = run_sequential(
+        2,
+        cache_cfg(),
+        &HashRouter,
+        |_| DarwinDriver::new(Arc::clone(&model), online_cfg()),
+        &trace,
+    );
+    let mut switched_anywhere = false;
+    for (f, s) in fleet_report.shards.into_iter().zip(seq) {
+        let shard = f.shard;
+        assert_eq!(f.processed, s.processed, "shard {shard}: processed");
+        assert_eq!(f.cache, s.cache, "shard {shard}: cache metrics");
+        assert_eq!(f.hoc_used_bytes, s.hoc_used_bytes, "shard {shard}: HOC occupancy");
+        assert_eq!(f.dc_used_bytes, s.dc_used_bytes, "shard {shard}: DC occupancy");
+        let gw_seq = f.driver.into_controller().expert_sequence();
+        let replay_seq = s.driver.into_controller().expert_sequence();
+        assert_eq!(gw_seq, replay_seq, "shard {shard}: deployed-expert sequence");
+        switched_anywhere |= gw_seq.len() > 1;
+    }
+    assert!(switched_anywhere, "trace must exercise real controller switches");
+}
+
+/// Multiple connections interleave at the fleet, so bitwise equivalence no
+/// longer applies — but every request must still get exactly one verdict and
+/// nothing may be shed under blocking backpressure.
+#[test]
+fn multi_connection_replay_answers_every_request() {
+    let trace = test_trace(20_000);
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(4), cache_cfg(), Box::new(HashRouter), |_| {
+        StaticDriver::new(policy)
+    })
+    .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    let report = loadgen::run(addr, &trace, LoadgenConfig { connections: 4, batch: 32, window: 4 })
+        .expect("loadgen replay");
+    assert_eq!(report.tally.total(), trace.len() as u64);
+    assert_eq!(report.tally.dropped, 0);
+
+    let fleet_report = {
+        gateway.shutdown();
+        gateway.finish().expect("clean gateway shutdown")
+    };
+    assert_eq!(fleet_report.total_processed(), trace.len() as u64);
+    assert_eq!(fleet_report.total_dropped(), 0);
+}
+
+/// `STATS` answers with a parseable [`FleetMetrics`] JSON document carrying
+/// the gateway's own counters — the same snapshot `Gateway::metrics` returns.
+#[test]
+fn stats_frame_returns_parseable_snapshot() {
+    let trace = test_trace(5_000);
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), |_| {
+        StaticDriver::new(policy)
+    })
+    .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    loadgen::run(addr, &trace, LoadgenConfig::default()).expect("loadgen replay");
+    let json = loadgen::fetch_stats(addr).expect("stats fetch");
+    let snapshot = FleetMetrics::from_json(&json).expect("stats reply parses as FleetMetrics");
+    let gw = snapshot.gateway.expect("gateway counters folded into the snapshot");
+    assert!(gw.connections_accepted >= 2, "replay + stats connections");
+    assert_eq!(gw.requests_in, trace.len() as u64);
+    assert!(gw.stats_served >= 1);
+    assert!(gw.bytes_in > 0 && gw.bytes_out > 0);
+
+    // In-process and over-the-wire snapshots use the same code path; the
+    // cache-side numbers of a quiesced fleet agree exactly.
+    let local = gateway.metrics();
+    assert_eq!(local.fleet_cache(), snapshot.fleet_cache());
+    gateway.shutdown();
+    gateway.finish().expect("clean gateway shutdown");
+}
+
+/// A client `SHUTDOWN` frame is acknowledged and leaves the gateway ready to
+/// finish without any local shutdown call.
+#[test]
+fn shutdown_frame_drains_gateway() {
+    let trace = test_trace(2_000);
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(1), cache_cfg(), Box::new(HashRouter), |_| {
+        StaticDriver::new(policy)
+    })
+    .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    loadgen::run(addr, &trace, LoadgenConfig::default()).expect("loadgen replay");
+    loadgen::send_shutdown(addr).expect("shutdown acked");
+    assert!(gateway.shutdown_requested());
+    gateway.wait_shutdown();
+    let report = gateway.finish().expect("clean gateway shutdown");
+    assert_eq!(report.total_processed(), trace.len() as u64);
+}
+
+/// A driver that panics mid-run, killing its shard worker.
+#[derive(Debug)]
+struct PanickyDriver {
+    seen: u64,
+    fuse: u64,
+}
+
+impl AdmissionDriver for PanickyDriver {
+    fn initial_policy(&mut self) -> ThresholdPolicy {
+        ThresholdPolicy::new(2, 100 * 1024)
+    }
+    fn observe(&mut self, _req: &Request, _m: &CacheMetrics) -> Option<ThresholdPolicy> {
+        self.seen += 1;
+        assert!(self.seen < self.fuse, "injected shard worker panic");
+        None
+    }
+    fn label(&self) -> String {
+        "panicky".into()
+    }
+}
+
+/// A shard worker panic must surface as an error from `finish()` — never a
+/// hang, and never a silently-Ok report.
+#[test]
+fn worker_panic_propagates_to_finish() {
+    let trace = test_trace(4_000);
+    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(1), cache_cfg(), Box::new(HashRouter), |_| {
+        PanickyDriver { seen: 0, fuse: 500 }
+    })
+    .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    // Drive the doomed fleet by hand: the replay errors out once the
+    // connection collapses, which is expected here.
+    let _ = loadgen::run(addr, &trace, LoadgenConfig { connections: 1, batch: 128, window: 2 });
+
+    gateway.shutdown();
+    let err = gateway.finish().expect_err("worker panic must fail finish()");
+    // Which layer reports first depends on timing (the dying shard can take
+    // the submitting connection worker with it); both surface the failure.
+    match err {
+        darwin_gateway::GatewayError::ShardPanicked
+        | darwin_gateway::GatewayError::ConnectionPanicked(_) => {}
+        other => panic!("unexpected gateway error: {other}"),
+    }
+}
+
+/// A driver slow enough that a tiny `DropNewest` queue must shed load.
+struct SlowDriver;
+
+impl AdmissionDriver for SlowDriver {
+    fn initial_policy(&mut self) -> ThresholdPolicy {
+        ThresholdPolicy::new(2, 100 * 1024)
+    }
+    fn observe(&mut self, _req: &Request, _m: &CacheMetrics) -> Option<ThresholdPolicy> {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        None
+    }
+    fn label(&self) -> String {
+        "slow".into()
+    }
+}
+
+/// A client that writes a burst and vanishes without reading replies: the
+/// connection worker must exit cleanly, shed requests must be counted (not
+/// lost), and queue gauges must respect the configured capacity.
+#[test]
+fn client_disconnect_mid_stream_keeps_counters_consistent() {
+    let trace = test_trace(8_000);
+    let cfg = FleetConfig {
+        shards: 2,
+        queue_capacity: 64,
+        batch: 16,
+        backpressure: Backpressure::DropNewest,
+        snapshot_every: None,
+    };
+    let gateway = Gateway::bind("127.0.0.1:0", cfg, cache_cfg(), Box::new(HashRouter), |_| SlowDriver)
+        .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    {
+        // Raw client: stream every frame, read nothing, hang up.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut buf = Vec::new();
+        for frame in trace.requests().chunks(128) {
+            buf.clear();
+            encode_get(frame, &mut buf);
+            if stream.write_all(&buf).is_err() {
+                break; // gateway already noticed the overload — fine
+            }
+        }
+        // Dropping the stream closes both halves with replies unread.
+    }
+
+    // Give the reader time to drain what reached the socket, then stop.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    gateway.shutdown();
+    let metrics = gateway.metrics();
+    let report = gateway.finish().expect("disconnect must not poison the gateway");
+
+    let gw = metrics.gateway.expect("gateway counters");
+    assert_eq!(
+        report.total_processed() + report.total_dropped(),
+        gw.requests_in,
+        "every decoded request is either processed or counted as shed"
+    );
+    assert!(report.total_dropped() > 0, "tiny DropNewest queue over a slow worker must shed");
+    for s in &report.shards {
+        assert!(
+            s.queue_high_water <= 64,
+            "shard {}: high-water {} exceeds queue capacity",
+            s.shard,
+            s.queue_high_water
+        );
+    }
+    assert_eq!(gw.connections_active, 0, "connection worker exited");
+}
+
+/// Pipelined mixed traffic on one connection: replies come back in frame
+/// order regardless of opcode mix.
+#[test]
+fn pipelined_mixed_frames_reply_in_order() {
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), |_| {
+        StaticDriver::new(policy)
+    })
+    .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let reqs: Vec<Request> = (0..10).map(|i| Request::new(i, 1000, i)).collect();
+    let mut burst = Vec::new();
+    encode_get(&reqs[..4], &mut burst);
+    darwin_gateway::wire::encode(&Message::Stats, &mut burst);
+    encode_get(&reqs[4..], &mut burst);
+    stream.write_all(&burst).expect("write burst");
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+
+    let mut reader = FrameReader::new(stream);
+    match reader.recv().expect("first reply") {
+        Some(Message::Verdicts(vs)) => assert_eq!(vs.len(), 4),
+        other => panic!("expected 4 verdicts first, got {other:?}"),
+    }
+    assert!(
+        matches!(reader.recv().expect("second reply"), Some(Message::StatsReply(_))),
+        "stats reply must come second"
+    );
+    match reader.recv().expect("third reply") {
+        Some(Message::Verdicts(vs)) => assert_eq!(vs.len(), 6),
+        other => panic!("expected 6 verdicts last, got {other:?}"),
+    }
+    assert!(reader.recv().expect("clean EOF").is_none());
+
+    gateway.shutdown();
+    gateway.finish().expect("clean gateway shutdown");
+}

@@ -1,0 +1,146 @@
+//! Property and corpus tests for the wire codec: encode→decode is the
+//! identity on every expressible frame, and malformed / truncated /
+//! oversized input is rejected without panicking.
+
+use darwin_gateway::wire::{
+    decode, encoded, Message, WireError, WireVerdict, GET_RECORD_LEN, HEADER_LEN, MAGIC, MAX_BODY_LEN,
+    VERSION,
+};
+use darwin_gateway::VerdictOutcome;
+use darwin_trace::Request;
+use proptest::prelude::*;
+
+fn frame(opcode: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(opcode);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GET frames round-trip: decoding an encoding yields the original
+    /// records and consumes exactly the frame.
+    #[test]
+    fn get_roundtrip(recs in proptest::collection::vec(
+        (0u64..u64::MAX, 1u64..1 << 40, 0u64..1 << 50), 1..300,
+    )) {
+        let records: Vec<Request> =
+            recs.iter().map(|&(id, size, ts)| Request::new(id, size, ts)).collect();
+        let bytes = encoded(&Message::Get(records.clone()));
+        let (msg, used) = decode(&bytes).unwrap().expect("complete frame");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(msg, Message::Get(records));
+    }
+
+    /// Verdict frames round-trip through the packed byte encoding.
+    #[test]
+    fn verdicts_roundtrip(vs in proptest::collection::vec((0u8..4, proptest::bool::ANY), 1..500)) {
+        let verdicts: Vec<WireVerdict> = vs
+            .iter()
+            .map(|&(o, admitted)| WireVerdict {
+                outcome: match o {
+                    0 => VerdictOutcome::HocHit,
+                    1 => VerdictOutcome::DcHit,
+                    2 => VerdictOutcome::OriginFetch,
+                    _ => VerdictOutcome::Dropped,
+                },
+                // dropped+admitted is inexpressible by construction
+                admitted: admitted && o != 3,
+            })
+            .collect();
+        let bytes = encoded(&Message::Verdicts(verdicts.clone()));
+        let (msg, used) = decode(&bytes).unwrap().expect("complete frame");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(msg, Message::Verdicts(verdicts));
+    }
+
+    /// Stats replies round-trip arbitrary (UTF-8) payloads.
+    #[test]
+    fn stats_reply_roundtrip(chars in proptest::collection::vec(32u8..127, 0..2000)) {
+        let json = String::from_utf8(chars).expect("ascii payload");
+        let bytes = encoded(&Message::StatsReply(json.clone()));
+        let (msg, used) = decode(&bytes).unwrap().expect("complete frame");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(msg, Message::StatsReply(json));
+    }
+
+    /// Every strict prefix of a valid frame decodes to "need more bytes" —
+    /// never to a frame, never to an error, never a panic.
+    #[test]
+    fn truncations_are_incomplete_not_errors(recs in proptest::collection::vec(
+        (0u64..1 << 32, 1u64..1 << 20, 0u64..1 << 30), 1..50,
+    )) {
+        let records: Vec<Request> =
+            recs.iter().map(|&(id, size, ts)| Request::new(id, size, ts)).collect();
+        let bytes = encoded(&Message::Get(records));
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(decode(&bytes[..cut]).unwrap(), None, "cut at {}", cut);
+        }
+    }
+
+    /// Arbitrary byte soup never panics the decoder: it either wants more
+    /// bytes, yields a frame, or reports a structured error.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..600)) {
+        let _ = decode(&bytes);
+    }
+}
+
+#[test]
+fn malformed_corpus_is_rejected() {
+    // Wrong magic (both visible in a 2-byte prefix and in a full header).
+    assert_eq!(decode(&[0xEF, 0xBE]), Err(WireError::BadMagic(0xBEEF)));
+    let mut f = frame(0x02, &[]);
+    f[0] = 0x00;
+    assert_eq!(decode(&f), Err(WireError::BadMagic(0xDA00)));
+
+    // Wrong version, visible from byte 3 on.
+    let mut f = frame(0x02, &[]);
+    f[2] = 9;
+    assert_eq!(decode(&f), Err(WireError::BadVersion(9)));
+    assert_eq!(decode(&f[..3]), Err(WireError::BadVersion(9)));
+
+    // Unknown opcodes, client and server ranges.
+    for op in [0x00u8, 0x04, 0x42, 0x80, 0x84, 0xFF] {
+        assert_eq!(decode(&frame(op, &[])), Err(WireError::UnknownOpcode(op)));
+    }
+
+    // Oversized body_len is rejected from the header alone — no body needed.
+    let mut f = frame(0x01, &[]);
+    f[4..8].copy_from_slice(&((MAX_BODY_LEN + 1) as u32).to_le_bytes());
+    assert_eq!(decode(&f), Err(WireError::Oversized { opcode: 0x01, len: MAX_BODY_LEN + 1 }));
+
+    // Body lengths illegal for their opcode.
+    assert_eq!(decode(&frame(0x01, &[])), Err(WireError::BadBodyLen { opcode: 0x01, len: 0 }));
+    assert_eq!(
+        decode(&frame(0x01, &[0u8; GET_RECORD_LEN + 1])),
+        Err(WireError::BadBodyLen { opcode: 0x01, len: GET_RECORD_LEN + 1 })
+    );
+    assert_eq!(decode(&frame(0x02, &[1])), Err(WireError::BadBodyLen { opcode: 0x02, len: 1 }));
+    assert_eq!(decode(&frame(0x03, &[1])), Err(WireError::BadBodyLen { opcode: 0x03, len: 1 }));
+    assert_eq!(decode(&frame(0x81, &[])), Err(WireError::BadBodyLen { opcode: 0x81, len: 0 }));
+    assert_eq!(decode(&frame(0x83, &[1])), Err(WireError::BadBodyLen { opcode: 0x83, len: 1 }));
+
+    // Verdict bytes with reserved bits, and dropped-yet-admitted.
+    assert_eq!(decode(&frame(0x81, &[0b1000])), Err(WireError::BadVerdictByte(0b1000)));
+    assert_eq!(decode(&frame(0x81, &[0b111])), Err(WireError::BadVerdictByte(0b111)));
+
+    // Stats replies must be UTF-8.
+    assert_eq!(decode(&frame(0x82, &[0xFF, 0xFE])), Err(WireError::BadUtf8));
+}
+
+#[test]
+fn decode_consumes_one_frame_at_a_time() {
+    let mut stream = encoded(&Message::Stats);
+    stream.extend_from_slice(&encoded(&Message::Shutdown));
+    let (first, used) = decode(&stream).unwrap().expect("first frame");
+    assert_eq!(first, Message::Stats);
+    let (second, used2) = decode(&stream[used..]).unwrap().expect("second frame");
+    assert_eq!(second, Message::Shutdown);
+    assert_eq!(used + used2, stream.len());
+}

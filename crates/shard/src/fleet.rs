@@ -24,15 +24,56 @@
 //!
 //! [`DarwinDriver`]: darwin_testbed::DarwinDriver
 
-use crate::metrics::{FleetMetrics, ShardCell};
+use crate::metrics::{FleetMetrics, MetricsHandle, ShardCell};
 use crate::queue::{channel, Producer};
 use crate::router::Router;
-use darwin_cache::{CacheConfig, CacheMetrics, CacheServer};
+use darwin_cache::{CacheConfig, CacheMetrics, CacheServer, RequestOutcome};
 use darwin_testbed::AdmissionDriver;
 use darwin_trace::{Request, Trace};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// What one request's trip through its shard produced: where it was served
+/// from and whether the admission policy promoted it into the HOC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Shard that served the request.
+    pub shard: usize,
+    /// Where the request was served from.
+    pub outcome: RequestOutcome,
+    /// True if this request's object was written into the HOC (the expert's
+    /// admission decision fired).
+    pub admitted: bool,
+}
+
+/// A queue item: a request plus whatever completion state rides along with
+/// it through the shard queue.
+///
+/// The fleet routes on [`Envelope::request`] and, once the shard worker has
+/// processed the request, hands the envelope its [`Verdict`] via
+/// [`Envelope::complete`]. A plain [`Request`] is the trivial envelope
+/// (completion is a no-op) — in-process replay uses that; the network
+/// gateway wraps requests in envelopes that deliver the verdict back to the
+/// originating connection.
+///
+/// Implementations that must report *something* even when the envelope never
+/// reaches a worker (dropped under [`Backpressure::DropNewest`], or a dead
+/// shard) should do so in their `Drop` impl: the queue simply drops shed
+/// envelopes.
+pub trait Envelope: Send + 'static {
+    /// The request to route and process.
+    fn request(&self) -> &Request;
+    /// Called on the shard worker thread after the request was processed.
+    fn complete(self, verdict: Verdict);
+}
+
+impl Envelope for Request {
+    fn request(&self) -> &Request {
+        self
+    }
+    fn complete(self, _verdict: Verdict) {}
+}
 
 /// What happens when a shard's queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,20 +180,20 @@ struct WorkerResult<D> {
     driver: D,
 }
 
-/// A running fleet. Submit requests, then [`finish`](Self::finish) to join
-/// the workers and collect the report.
-pub struct ShardedFleet<D: AdmissionDriver + Send + 'static> {
+/// A running fleet. Submit requests (or any [`Envelope`] around them), then
+/// [`finish`](Self::finish) to join the workers and collect the report.
+pub struct ShardedFleet<D: AdmissionDriver + Send + 'static, E: Envelope = Request> {
     cfg: FleetConfig,
     router: Box<dyn Router>,
-    producers: Vec<Producer<Request>>,
+    producers: Vec<Producer<E>>,
     cells: Vec<Arc<ShardCell>>,
     handles: Vec<JoinHandle<WorkerResult<D>>>,
-    staged: Vec<Vec<Request>>,
+    staged: Vec<Vec<E>>,
     submitted: u64,
     snapshots: Vec<FleetMetrics>,
 }
 
-impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D> {
+impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
     /// Spawns the fleet: one worker thread, cache server, queue and driver
     /// per shard. `factory(s)` builds shard `s`'s driver.
     pub fn new(
@@ -167,7 +208,7 @@ impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D> {
         let mut cells = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         for s in 0..cfg.shards {
-            let (tx, rx) = channel::<Request>(cfg.queue_capacity);
+            let (tx, rx) = channel::<E>(cfg.queue_capacity);
             let cell = Arc::new(ShardCell::new(s, tx.gauges()));
             let worker_cell = Arc::clone(&cell);
             let worker_cache = cache.clone();
@@ -175,14 +216,14 @@ impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D> {
             let batch = cfg.batch;
             let handle = std::thread::Builder::new()
                 .name(format!("shard-{s}"))
-                .spawn(move || worker(rx, worker_cell, worker_cache, driver, batch))
+                .spawn(move || worker(s, rx, worker_cell, worker_cache, driver, batch))
                 .expect("spawn shard worker");
             producers.push(tx);
             cells.push(cell);
             handles.push(handle);
         }
         Self {
-            staged: vec![Vec::with_capacity(cfg.batch); cfg.shards],
+            staged: (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch)).collect(),
             cfg,
             router,
             producers,
@@ -193,11 +234,11 @@ impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D> {
         }
     }
 
-    /// Routes one request to its shard. Under [`Backpressure::Block`] this
+    /// Routes one envelope to its shard. Under [`Backpressure::Block`] this
     /// may block when the shard's queue is full.
-    pub fn submit(&mut self, req: Request) {
-        let s = self.router.route(req.id, self.cfg.shards);
-        self.staged[s].push(req);
+    pub fn submit(&mut self, env: E) {
+        let s = self.router.route(env.request().id, self.cfg.shards);
+        self.staged[s].push(env);
         if self.staged[s].len() >= self.cfg.batch {
             self.flush_shard(s);
         }
@@ -207,13 +248,6 @@ impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D> {
                 let snap = self.metrics();
                 self.snapshots.push(snap);
             }
-        }
-    }
-
-    /// Submits every request of `trace` in order.
-    pub fn submit_trace(&mut self, trace: &Trace) {
-        for req in trace.iter() {
-            self.submit(*req);
         }
     }
 
@@ -249,7 +283,18 @@ impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D> {
     /// is a *recent* view (workers publish once per drained batch); after
     /// [`finish`](Self::finish) the final snapshot is exact.
     pub fn metrics(&self) -> FleetMetrics {
-        FleetMetrics { shards: self.cells.iter().map(|c| c.snapshot()).collect() }
+        self.metrics_handle().snapshot()
+    }
+
+    /// A cloneable, non-blocking handle onto the fleet's metrics. Snapshots
+    /// taken through the handle never touch the submission path or the shard
+    /// queues (the cells are lock-per-cell mailboxes), so a monitoring
+    /// thread — or a gateway `STATS` frame — can read the fleet while a
+    /// submitter is blocked on backpressure. The handle stays valid after
+    /// [`finish`](Self::finish); it then reports each shard's final
+    /// published state.
+    pub fn metrics_handle(&self) -> MetricsHandle {
+        MetricsHandle::new(self.cells.clone())
     }
 
     /// Snapshots recorded so far.
@@ -278,16 +323,27 @@ impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D> {
             });
         }
         let mut snapshots = self.snapshots;
-        snapshots.push(FleetMetrics { shards: self.cells.iter().map(|c| c.snapshot()).collect() });
+        snapshots.push(MetricsHandle::new(self.cells).snapshot());
         FleetReport { shards, snapshots, router: self.router.label() }
+    }
+}
+
+impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D, Request> {
+    /// Submits every request of `trace` in order.
+    pub fn submit_trace(&mut self, trace: &Trace) {
+        for req in trace.iter() {
+            self.submit(*req);
+        }
     }
 }
 
 /// The per-shard serving loop. Identical, request for request, to the
 /// sequential loop in `replay::run_partition` — that symmetry is the
-/// equivalence proof's other half.
-fn worker<D: AdmissionDriver>(
-    rx: crate::queue::Consumer<Request>,
+/// equivalence proof's other half. Each processed envelope is completed with
+/// its [`Verdict`] before the driver observes the request.
+fn worker<D: AdmissionDriver, E: Envelope>(
+    shard: usize,
+    rx: crate::queue::Consumer<E>,
     cell: Arc<ShardCell>,
     cache: CacheConfig,
     mut driver: D,
@@ -297,12 +353,16 @@ fn worker<D: AdmissionDriver>(
         let mut server = CacheServer::new(cache);
         server.set_policy(driver.initial_policy());
         let mut processed = 0u64;
-        let mut buf: Vec<Request> = Vec::with_capacity(batch);
+        let mut buf: Vec<E> = Vec::with_capacity(batch);
         while rx.pop_batch(&mut buf, batch) {
-            for req in buf.drain(..) {
-                server.process(&req);
+            for env in buf.drain(..) {
+                let req = *env.request();
+                let writes_before = server.metrics().hoc_writes;
+                let outcome = server.process(&req);
                 processed += 1;
-                if let Some(policy) = driver.observe(&req, &server.metrics()) {
+                let metrics = server.metrics();
+                env.complete(Verdict { shard, outcome, admitted: metrics.hoc_writes > writes_before });
+                if let Some(policy) = driver.observe(&req, &metrics) {
                     server.set_policy(policy);
                 }
             }
@@ -383,6 +443,46 @@ mod tests {
             "processed + dropped must cover every submission"
         );
         assert_eq!(report.fleet_cache().requests, report.total_processed());
+    }
+
+    /// Envelope that records its verdict into a shared log.
+    struct VerdictProbe {
+        req: Request,
+        out: Arc<std::sync::Mutex<Vec<Verdict>>>,
+    }
+
+    impl Envelope for VerdictProbe {
+        fn request(&self) -> &Request {
+            &self.req
+        }
+        fn complete(self, verdict: Verdict) {
+            self.out.lock().unwrap().push(verdict);
+        }
+    }
+
+    #[test]
+    fn envelopes_receive_verdicts_matching_metrics() {
+        let t = trace(10_000, 11);
+        let verdicts: Arc<std::sync::Mutex<Vec<Verdict>>> = Arc::default();
+        let mut fleet: ShardedFleet<StaticDriver, VerdictProbe> = ShardedFleet::new(
+            FleetConfig::with_shards(2),
+            CacheConfig::small_test(),
+            Box::new(HashRouter),
+            |_| StaticDriver::new(ThresholdPolicy::new(1, 100 * 1024)),
+        );
+        for req in t.iter() {
+            fleet.submit(VerdictProbe { req: *req, out: Arc::clone(&verdicts) });
+        }
+        let report = fleet.finish();
+        let v = verdicts.lock().unwrap();
+        assert_eq!(v.len(), 10_000, "every envelope completed exactly once");
+        let cache = report.fleet_cache();
+        use darwin_cache::RequestOutcome::*;
+        assert_eq!(v.iter().filter(|x| x.outcome == HocHit).count() as u64, cache.hoc_hits);
+        assert_eq!(v.iter().filter(|x| x.outcome == DcHit).count() as u64, cache.dc_hits);
+        assert_eq!(v.iter().filter(|x| x.outcome == OriginFetch).count() as u64, cache.origin_fetches);
+        assert_eq!(v.iter().filter(|x| x.admitted).count() as u64, cache.hoc_writes);
+        assert!(v.iter().all(|x| x.shard < 2));
     }
 
     #[test]

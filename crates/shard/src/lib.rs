@@ -46,8 +46,8 @@ pub mod queue;
 pub mod replay;
 pub mod router;
 
-pub use fleet::{Backpressure, FleetConfig, FleetReport, ShardOutcome, ShardedFleet};
-pub use metrics::{FleetMetrics, ShardCell, ShardSnapshot};
+pub use fleet::{Backpressure, Envelope, FleetConfig, FleetReport, ShardOutcome, ShardedFleet, Verdict};
+pub use metrics::{FleetMetrics, GatewaySnapshot, MetricsHandle, ShardCell, ShardSnapshot};
 pub use queue::{channel, Consumer, Producer, QueueGauges};
 pub use replay::{partition, run_partition, run_sequential, ShardRun};
 pub use router::{HashRouter, ModuloRouter, Router};

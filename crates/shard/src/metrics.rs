@@ -32,14 +32,63 @@ pub struct ShardSnapshot {
     pub policy: String,
 }
 
+/// Counters of a network front-end serving a fleet, folded into
+/// [`FleetMetrics`] snapshots taken through a gateway (`None` for in-process
+/// fleets). All counters are cumulative since the gateway started.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewaySnapshot {
+    /// Connections accepted so far.
+    pub connections_accepted: u64,
+    /// Connections currently being served.
+    pub connections_active: u64,
+    /// Well-formed frames decoded across all connections.
+    pub frames_in: u64,
+    /// Frames rejected (malformed, oversized, or a client-illegal opcode).
+    pub frames_rejected: u64,
+    /// Requests extracted from `GET` frames and submitted to the fleet.
+    pub requests_in: u64,
+    /// Verdicts written back to clients.
+    pub verdicts_out: u64,
+    /// `STATS` frames served.
+    pub stats_served: u64,
+    /// Bytes read off client sockets.
+    pub bytes_in: u64,
+    /// Bytes written to client sockets.
+    pub bytes_out: u64,
+}
+
 /// Point-in-time view of the whole fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetMetrics {
     /// Per-shard snapshots, indexed by shard.
     pub shards: Vec<ShardSnapshot>,
+    /// Network front-end counters, when the snapshot was taken through a
+    /// gateway.
+    pub gateway: Option<GatewaySnapshot>,
 }
 
 impl FleetMetrics {
+    /// A snapshot of `shards` with no gateway in front.
+    pub fn from_shards(shards: Vec<ShardSnapshot>) -> Self {
+        Self { shards, gateway: None }
+    }
+
+    /// Folds a gateway's counters into the snapshot.
+    pub fn with_gateway(mut self, gateway: GatewaySnapshot) -> Self {
+        self.gateway = Some(gateway);
+        self
+    }
+
+    /// Serializes the snapshot as pretty JSON — the one code path behind the
+    /// gateway's `STATS` reply and the `inspect` binary's fleet mode.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet metrics serialization cannot fail")
+    }
+
+    /// Parses a snapshot produced by [`FleetMetrics::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
     /// Fleet-wide cache metrics: the counter-wise sum over shards. OHR/BMR
     /// and disk-write rates of the returned value are exact fleet-wide
     /// figures.
@@ -65,6 +114,35 @@ impl FleetMetrics {
     /// Highest queue high-water mark across shards.
     pub fn max_queue_high_water(&self) -> usize {
         self.shards.iter().map(|s| s.queue_high_water).max().unwrap_or(0)
+    }
+}
+
+/// A cloneable, non-blocking view of a fleet's metrics.
+///
+/// Snapshots read only the per-shard [`ShardCell`] mailboxes — never the
+/// submission path or the shard queues — so a handle can be polled from any
+/// thread while submitters are blocked on backpressure, and it remains valid
+/// after the fleet has been [`finish`](crate::ShardedFleet::finish)ed
+/// (reporting each shard's final published state).
+#[derive(Debug, Clone)]
+pub struct MetricsHandle {
+    cells: Vec<Arc<ShardCell>>,
+}
+
+impl MetricsHandle {
+    /// Handle over the given shard cells (one per shard, in shard order).
+    pub fn new(cells: Vec<Arc<ShardCell>>) -> Self {
+        Self { cells }
+    }
+
+    /// Number of shards the handle observes.
+    pub fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Point-in-time fleet snapshot.
+    pub fn snapshot(&self) -> FleetMetrics {
+        FleetMetrics::from_shards(self.cells.iter().map(|c| c.snapshot()).collect())
     }
 }
 
@@ -146,7 +224,7 @@ mod tests {
 
     #[test]
     fn fleet_aggregates_are_counterwise_sums() {
-        let fm = FleetMetrics { shards: vec![snap(0, 100, 40), snap(1, 300, 60)] };
+        let fm = FleetMetrics::from_shards(vec![snap(0, 100, 40), snap(1, 300, 60)]);
         let total = fm.fleet_cache();
         assert_eq!(total.requests, 400);
         assert_eq!(total.hoc_hits, 100);
@@ -157,10 +235,44 @@ mod tests {
 
     #[test]
     fn empty_fleet_is_all_zero() {
-        let fm = FleetMetrics { shards: Vec::new() };
+        let fm = FleetMetrics::from_shards(Vec::new());
         assert_eq!(fm.fleet_cache(), CacheMetrics::default());
         assert_eq!(fm.max_queue_depth(), 0);
         assert_eq!(fm.max_queue_high_water(), 0);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_with_and_without_gateway() {
+        let plain = FleetMetrics::from_shards(vec![snap(0, 10, 3)]);
+        assert_eq!(FleetMetrics::from_json(&plain.to_json()).unwrap(), plain);
+
+        let gw = GatewaySnapshot {
+            connections_accepted: 2,
+            connections_active: 1,
+            frames_in: 40,
+            frames_rejected: 1,
+            requests_in: 2_000,
+            verdicts_out: 1_990,
+            stats_served: 3,
+            bytes_in: 48_000,
+            bytes_out: 2_300,
+        };
+        let folded = FleetMetrics::from_shards(vec![snap(0, 10, 3)]).with_gateway(gw);
+        let back = FleetMetrics::from_json(&folded.to_json()).unwrap();
+        assert_eq!(back, folded);
+        assert_eq!(back.gateway.unwrap().requests_in, 2_000);
+    }
+
+    #[test]
+    fn handle_snapshots_are_nonblocking_views_of_cells() {
+        let cell = Arc::new(ShardCell::new(0, Arc::new(QueueGauges::default())));
+        let handle = MetricsHandle::new(vec![Arc::clone(&cell)]);
+        assert_eq!(handle.shards(), 1);
+        assert_eq!(handle.snapshot().total_processed(), 0);
+        cell.publish(CacheMetrics { requests: 9, ..Default::default() }, 9, "f1s1".into());
+        let snap = handle.snapshot();
+        assert_eq!(snap.total_processed(), 9);
+        assert!(snap.gateway.is_none());
     }
 
     #[test]

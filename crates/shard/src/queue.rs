@@ -179,7 +179,16 @@ impl<T> Drop for Consumer<T> {
     fn drop(&mut self) {
         let mut inner = self.shared.inner.lock().expect("queue poisoned");
         inner.consumer_closed = true;
+        // A consumer that dies with items still buffered (a panicking shard
+        // worker) would otherwise strand them in the channel until the
+        // producer side is torn down. Drain them now — outside the lock — so
+        // item destructors run promptly; gateway envelopes, for example,
+        // answer their pending request with a `Dropped` verdict from `Drop`.
+        let stranded: VecDeque<T> = std::mem::take(&mut inner.buf);
+        self.shared.gauges.set_depth(0);
+        drop(inner);
         self.shared.not_full.notify_one();
+        drop(stranded);
     }
 }
 
@@ -265,5 +274,25 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = channel::<u32>(0);
+    }
+
+    #[test]
+    fn consumer_drop_runs_destructors_of_buffered_items() {
+        // A dead consumer (panicked worker) must not strand buffered items:
+        // their destructors run at consumer drop, not at producer teardown.
+        let flag = Arc::new(AtomicUsize::new(0));
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (tx, rx) = channel::<Probe>(8);
+        let mut batch = vec![Probe(Arc::clone(&flag)), Probe(Arc::clone(&flag))];
+        assert_eq!(tx.push_all(&mut batch), 0);
+        assert_eq!(flag.load(Ordering::SeqCst), 0, "buffered items are alive");
+        drop(rx);
+        assert_eq!(flag.load(Ordering::SeqCst), 2, "consumer drop released them");
+        assert_eq!(tx.gauges().depth(), 0);
     }
 }

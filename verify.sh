@@ -15,6 +15,13 @@ cargo test -p darwin-shard --test equivalence -q -- \
     darwin_fleet_equivalent_at_2_shards \
     darwin_fleet_equivalent_at_8_shards
 
+echo "== gateway loopback smoke (127.0.0.1 replay ≡ in-process replay) =="
+cargo test -p darwin-gateway --test loopback -q -- \
+    static_gateway_equivalent_to_sequential_replay \
+    darwin_gateway_equivalent_to_sequential_replay \
+    stats_frame_returns_parseable_snapshot \
+    shutdown_frame_drains_gateway
+
 echo "== rustfmt (--check) =="
 cargo fmt --all -- --check
 
