@@ -5,7 +5,7 @@
 //!
 //! what: all | fig2 | fig4a | fig4b | fig4c | fig5a | fig5b | fig5c | fig5d
 //!     | fig6 | fig7a | fig7b | table2 | fig8 | fig9 | fig10 | fig11
-//!     | ablations | timeline | hindsight | shard | gateway
+//!     | ablations | timeline | hindsight | shard | gateway | chaos
 //! ```
 //!
 //! `--scale 1` (default) is the laptop configuration; larger factors move
@@ -15,14 +15,14 @@
 
 use darwin::offline::OfflineTrainer;
 use darwin_bench::experiments::{
-    ablations, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, shard, table2, timeline,
+    ablations, chaos, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, shard, table2, timeline,
 };
 use darwin_bench::{Scale, SharedContext};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway> [--scale N] [--out DIR] [--cache]"
+        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos> [--scale N] [--out DIR] [--cache]"
     );
     std::process::exit(2);
 }
@@ -80,6 +80,7 @@ fn main() {
         "hindsight",
         "shard",
         "gateway",
+        "chaos",
     ];
     if !KNOWN.contains(&what.as_str()) {
         eprintln!("unknown experiment {what:?}");
@@ -97,6 +98,10 @@ fn main() {
     }
     if what == "gateway" {
         gateway::run(&scale, &out);
+        return;
+    }
+    if what == "chaos" {
+        chaos::run(&scale, &out);
         return;
     }
 
@@ -138,6 +143,7 @@ fn main() {
         "hindsight" => hindsight::run(&ctx, &out),
         "shard" => shard::run(&scale, &out),
         "gateway" => gateway::run(&scale, &out),
+        "chaos" => chaos::run(&scale, &out),
         _ => usage(),
     };
 
@@ -164,6 +170,7 @@ fn main() {
             "hindsight",
             "shard",
             "gateway",
+            "chaos",
         ] {
             let t = std::time::Instant::now();
             eprintln!("\n[experiments] ===== {name} =====");

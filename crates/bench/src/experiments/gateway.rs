@@ -88,7 +88,8 @@ pub fn run(scale: &Scale, out: &Path) {
     let trace = bench_trace(scale);
     let n = trace.len();
     let cache = scale.cache_config();
-    let loadgen_base = LoadgenConfig { connections: 1, batch: 64, window: 8 };
+    let loadgen_base =
+        LoadgenConfig { connections: 1, batch: 64, window: 8, ..LoadgenConfig::default() };
 
     let mut rows: Vec<GatewayRow> = Vec::new();
     for &shards in &SHARD_COUNTS {
@@ -104,6 +105,7 @@ pub fn run(scale: &Scale, out: &Path) {
                         batch: 256,
                         backpressure: Backpressure::Block,
                         snapshot_every: None,
+                        restart_budget: Default::default(),
                     },
                     cache.clone(),
                     Box::new(HashRouter),

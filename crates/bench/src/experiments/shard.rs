@@ -113,6 +113,7 @@ pub fn run(scale: &Scale, out: &Path) {
                     batch: 512,
                     backpressure: Backpressure::Block,
                     snapshot_every: None,
+                    restart_budget: Default::default(),
                 },
                 cache.clone(),
                 Box::new(HashRouter),

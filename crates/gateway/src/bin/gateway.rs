@@ -4,15 +4,21 @@
 //! ```text
 //! gateway [--addr HOST:PORT] [--shards N] [--queue N] [--batch N]
 //!         [--drop-newest] [--hoc-mb N] [--freq F] [--size-kb S]
+//!         [--max-restarts N] [--restart-window N]
+//!         [--read-timeout-ms N] [--idle-timeout-ms N]
 //! ```
 //!
 //! Serves until a client sends `SHUTDOWN` (e.g. `loadgen --shutdown`), then
 //! drains, joins the shard workers and prints the final metrics snapshot.
+//! Shard workers that panic are cold-restarted against the
+//! `--max-restarts`-per-`--restart-window` budget; a shard that exhausts it
+//! is buried and its requests are answered `Unavailable` (degraded mode).
 
 use darwin_cache::{CacheConfig, ThresholdPolicy};
-use darwin_gateway::Gateway;
-use darwin_shard::{Backpressure, FleetConfig, HashRouter};
+use darwin_gateway::{Gateway, GatewayConfig};
+use darwin_shard::{Backpressure, FleetConfig, HashRouter, RestartBudget};
 use darwin_testbed::StaticDriver;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +30,8 @@ fn main() {
     let mut hoc_mb = 100u64;
     let mut freq = 2u32;
     let mut size_kb = 100u64;
+    let mut restart_budget = RestartBudget::default();
+    let mut gw = GatewayConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -56,17 +64,41 @@ fn main() {
                 i += 1;
                 size_kb = args[i].parse().expect("size threshold kb");
             }
+            "--max-restarts" => {
+                i += 1;
+                restart_budget.max_restarts = args[i].parse().expect("max restarts");
+            }
+            "--restart-window" => {
+                i += 1;
+                restart_budget.window_requests = args[i].parse().expect("restart window");
+            }
+            "--read-timeout-ms" => {
+                i += 1;
+                gw.read_timeout = Duration::from_millis(args[i].parse().expect("read timeout ms"));
+            }
+            "--idle-timeout-ms" => {
+                i += 1;
+                gw.idle_timeout = Some(Duration::from_millis(args[i].parse().expect("idle timeout ms")));
+            }
             other => panic!("unknown arg {other}"),
         }
         i += 1;
     }
 
-    let cfg = FleetConfig { shards, queue_capacity: queue, batch, backpressure, snapshot_every: None };
+    let cfg = FleetConfig {
+        shards,
+        queue_capacity: queue,
+        batch,
+        backpressure,
+        snapshot_every: None,
+        restart_budget,
+    };
     let cache = CacheConfig { hoc_bytes: hoc_mb * 1024 * 1024, ..CacheConfig::paper_default() };
     let policy = ThresholdPolicy::new(freq, size_kb * 1024);
-    let gateway =
-        Gateway::bind(addr.as_str(), cfg, cache, Box::new(HashRouter), |_| StaticDriver::new(policy))
-            .expect("bind gateway");
+    let gateway = Gateway::bind_with(addr.as_str(), cfg, cache, Box::new(HashRouter), gw, move |_| {
+        StaticDriver::new(policy)
+    })
+    .expect("bind gateway");
     println!("gateway listening on {} ({} shards, {:?})", gateway.local_addr(), shards, backpressure);
 
     gateway.wait_shutdown();
@@ -74,9 +106,12 @@ fn main() {
     let report = gateway.finish().expect("gateway finished cleanly");
     println!("{}", metrics.to_json());
     println!(
-        "served {} requests ({} dropped), fleet OHR {:.4}",
+        "served {} requests ({} dropped, {} unavailable), fleet OHR {:.4}, {} restart(s), {} dead shard(s)",
         report.total_processed(),
         report.total_dropped(),
+        report.total_unavailable(),
         report.fleet_cache().hoc_ohr(),
+        report.total_restarts(),
+        report.dead_shards(),
     );
 }

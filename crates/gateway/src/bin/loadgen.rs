@@ -3,15 +3,20 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--connections N]
-//!         [--batch N] [--window N] [--seed S] [--stats] [--shutdown]
+//!         [--batch N] [--window N] [--seed S]
+//!         [--retries N] [--backoff-ms N] [--backoff-cap-ms N]
+//!         [--read-timeout-ms N] [--stats] [--shutdown]
 //! ```
 //!
 //! `--stats` fetches the gateway's JSON metrics snapshot after the replay;
-//! `--shutdown` then asks the gateway to shut down gracefully.
+//! `--shutdown` then asks the gateway to shut down gracefully. Transport
+//! failures are retried with exponential backoff (`--retries` consecutive
+//! failures before giving up) and reported as typed counters in the summary.
 
 use darwin_gateway::loadgen;
 use darwin_gateway::LoadgenConfig;
 use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +53,23 @@ fn main() {
                 i += 1;
                 seed = args[i].parse().expect("seed");
             }
+            "--retries" => {
+                i += 1;
+                cfg.retries = args[i].parse().expect("retries");
+            }
+            "--backoff-ms" => {
+                i += 1;
+                cfg.backoff = Duration::from_millis(args[i].parse().expect("backoff ms"));
+            }
+            "--backoff-cap-ms" => {
+                i += 1;
+                cfg.backoff_cap = Duration::from_millis(args[i].parse().expect("backoff cap ms"));
+            }
+            "--read-timeout-ms" => {
+                i += 1;
+                cfg.read_timeout =
+                    Some(Duration::from_millis(args[i].parse().expect("read timeout ms")));
+            }
             "--stats" => stats = true,
             "--shutdown" => shutdown = true,
             other => panic!("unknown arg {other}"),
@@ -73,8 +95,13 @@ fn main() {
         report.latency_percentile(99.0),
     );
     println!(
-        "verdicts: hoc_hits={} dc_hits={} origin={} dropped={} admitted={}",
-        t.hoc_hits, t.dc_hits, t.origin_fetches, t.dropped, t.admitted,
+        "verdicts: hoc_hits={} dc_hits={} origin={} dropped={} unavailable={} admitted={}",
+        t.hoc_hits, t.dc_hits, t.origin_fetches, t.dropped, t.unavailable, t.admitted,
+    );
+    let e = report.errors;
+    println!(
+        "errors: connect_failures={} timeouts={} resets={} other_io={} reconnects={} resubmitted={}",
+        e.connect_failures, e.timeouts, e.resets, e.other_io, e.reconnects, e.resubmitted,
     );
 
     if stats {

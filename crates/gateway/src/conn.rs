@@ -200,8 +200,10 @@ impl PendingBatch {
 /// The envelope a gateway request travels the shard queue in: completion
 /// routes the verdict into slot `index` of the originating frame's batch.
 /// If the envelope is shed before reaching a worker (queue overflow under
-/// `DropNewest`, or a dead shard) its `Drop` impl files a `Dropped` verdict
-/// instead — every record of every accepted frame is answered exactly once.
+/// `DropNewest`, or in flight when a shard worker dies) its `Drop` impl
+/// files a `Dropped` verdict instead, and a request routed to a permanently
+/// dead shard files `Unavailable` via [`Envelope::unavailable`] — every
+/// record of every accepted frame is answered exactly once.
 pub(crate) struct GatewayEnvelope {
     req: Request,
     slot: Option<(Arc<PendingBatch>, usize)>,
@@ -221,6 +223,14 @@ impl Envelope for GatewayEnvelope {
     fn complete(mut self, verdict: Verdict) {
         if let Some((batch, index)) = self.slot.take() {
             batch.fill(index, WireVerdict::from(verdict).to_byte());
+        }
+    }
+
+    fn unavailable(mut self) {
+        // Taking the slot defuses the `Drop` impl below, so the record is
+        // answered `Unavailable`, not `Dropped`.
+        if let Some((batch, index)) = self.slot.take() {
+            batch.fill(index, WireVerdict::UNAVAILABLE.to_byte());
         }
     }
 }
@@ -289,6 +299,20 @@ mod tests {
                     crate::wire::VerdictOutcome::HocHit
                 );
                 assert_eq!(WireVerdict::from_byte(bytes[1]).unwrap(), WireVerdict::DROPPED);
+            }
+            _ => panic!("expected one reply"),
+        }
+    }
+
+    #[test]
+    fn unavailable_envelope_files_unavailable_verdict() {
+        let sink = Arc::new(ConnSink::new());
+        let batch = PendingBatch::new(0, Arc::clone(&sink), 1);
+        let env = GatewayEnvelope::new(Request::new(1, 10, 0), Arc::clone(&batch), 0);
+        env.unavailable();
+        match drain_ready(&sink).as_slice() {
+            [Reply::Verdicts(bytes)] => {
+                assert_eq!(WireVerdict::from_byte(bytes[0]).unwrap(), WireVerdict::UNAVAILABLE);
             }
             _ => panic!("expected one reply"),
         }

@@ -33,6 +33,6 @@ pub mod wire;
 
 mod conn;
 
-pub use loadgen::{LoadgenConfig, LoadgenReport, VerdictTally};
-pub use server::{Gateway, GatewayError};
+pub use loadgen::{ErrorStats, LoadgenConfig, LoadgenReport, VerdictTally};
+pub use server::{Gateway, GatewayConfig, GatewayError};
 pub use wire::{Message, VerdictOutcome, WireError, WireVerdict};

@@ -6,12 +6,21 @@
 //! connection therefore preserves trace order exactly — the configuration the
 //! end-to-end equivalence tests use — while multiple connections trade
 //! ordering for throughput, as a real CDN front-end would.
+//!
+//! ## Resilience
+//!
+//! A broken transport (refused connect, read timeout, reset, early EOF) does
+//! not abort the replay: the connection reconnects with exponential backoff
+//! plus seeded jitter and resubmits every frame whose reply it has not yet
+//! tallied. Replies arrive strictly in frame order on a connection, so "the
+//! answered prefix" is exactly the frames that are done — resubmission never
+//! double-counts a verdict. Each failure is classified into [`ErrorStats`].
 
-use crate::wire::{encode_get, FrameReader, Message, VerdictOutcome, WireVerdict};
+use crate::wire::{encode_get, FrameReader, Message, RecvError, VerdictOutcome, WireVerdict};
 use darwin_trace::{Request, Trace};
 use std::collections::VecDeque;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// How a [`run`] replays its trace.
@@ -23,11 +32,83 @@ pub struct LoadgenConfig {
     pub batch: usize,
     /// Frames each connection keeps in flight before reading a reply.
     pub window: usize,
+    /// Consecutive transport failures a connection tolerates (reconnecting
+    /// after each) before the run gives up. Progress — any answered frame —
+    /// resets the count.
+    pub retries: u32,
+    /// Backoff before the first reconnect attempt; doubles per consecutive
+    /// failure.
+    pub backoff: Duration,
+    /// Ceiling on the (pre-jitter) backoff delay.
+    pub backoff_cap: Duration,
+    /// Socket read timeout while awaiting replies (`None` = block forever).
+    /// A timed-out read counts as a transport failure and triggers a
+    /// reconnect-and-resubmit.
+    pub read_timeout: Option<Duration>,
+    /// Seed for the backoff jitter (per-connection streams are derived from
+    /// it, so a fixed seed gives a reproducible retry schedule).
+    pub seed: u64,
 }
 
 impl Default for LoadgenConfig {
     fn default() -> Self {
-        Self { connections: 1, batch: 64, window: 8 }
+        Self {
+            connections: 1,
+            batch: 64,
+            window: 8,
+            retries: 3,
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            read_timeout: None,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Typed transport-error counters accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorStats {
+    /// `connect()` attempts that failed.
+    pub connect_failures: u64,
+    /// Reads that hit the configured `read_timeout`.
+    pub timeouts: u64,
+    /// Connections reset, aborted, broken-piped, or closed before every
+    /// in-flight frame was answered.
+    pub resets: u64,
+    /// Any other I/O failure.
+    pub other_io: u64,
+    /// Successful re-connections after a transport failure.
+    pub reconnects: u64,
+    /// Requests resubmitted because their frame was sent but unanswered
+    /// when the transport failed.
+    pub resubmitted: u64,
+}
+
+impl ErrorStats {
+    fn merge(&mut self, other: ErrorStats) {
+        self.connect_failures += other.connect_failures;
+        self.timeouts += other.timeouts;
+        self.resets += other.resets;
+        self.other_io += other.other_io;
+        self.reconnects += other.reconnects;
+        self.resubmitted += other.resubmitted;
+    }
+
+    /// Total transport failures (reconnects and resubmissions are recovery
+    /// actions, not failures, and are excluded).
+    pub fn total_failures(&self) -> u64 {
+        self.connect_failures + self.timeouts + self.resets + self.other_io
+    }
+
+    fn classify(&mut self, e: &io::Error) {
+        match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => self.timeouts += 1,
+            io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof => self.resets += 1,
+            _ => self.other_io += 1,
+        }
     }
 }
 
@@ -42,6 +123,9 @@ pub struct VerdictTally {
     pub origin_fetches: u64,
     /// Requests shed before processing.
     pub dropped: u64,
+    /// Requests answered `Unavailable` by a degraded gateway (their shard
+    /// was permanently dead).
+    pub unavailable: u64,
     /// Requests whose object was admitted into the HOC.
     pub admitted: u64,
 }
@@ -53,6 +137,7 @@ impl VerdictTally {
             VerdictOutcome::DcHit => self.dc_hits += 1,
             VerdictOutcome::OriginFetch => self.origin_fetches += 1,
             VerdictOutcome::Dropped => self.dropped += 1,
+            VerdictOutcome::Unavailable => self.unavailable += 1,
         }
         if v.admitted {
             self.admitted += 1;
@@ -64,12 +149,13 @@ impl VerdictTally {
         self.dc_hits += other.dc_hits;
         self.origin_fetches += other.origin_fetches;
         self.dropped += other.dropped;
+        self.unavailable += other.unavailable;
         self.admitted += other.admitted;
     }
 
     /// Total verdicts received.
     pub fn total(&self) -> u64 {
-        self.hoc_hits + self.dc_hits + self.origin_fetches + self.dropped
+        self.hoc_hits + self.dc_hits + self.origin_fetches + self.dropped + self.unavailable
     }
 }
 
@@ -82,6 +168,8 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Per-outcome verdict counts, summed over connections.
     pub tally: VerdictTally,
+    /// Transport-error counters, summed over connections.
+    pub errors: ErrorStats,
     /// Per-frame round-trip latencies, sorted ascending.
     pub latencies: Vec<Duration>,
 }
@@ -122,55 +210,170 @@ fn contiguous_chunks(trace: &[Request], parts: usize) -> Vec<&[Request]> {
     out
 }
 
-/// One connection's replay: pipelined writes with a bounded in-flight window.
-fn replay_chunk(
-    addr: &std::net::SocketAddr,
-    chunk: &[Request],
-    batch: usize,
-    window: usize,
-) -> io::Result<(VerdictTally, Vec<Duration>)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    let mut reader = FrameReader::new(stream.try_clone()?);
-    let mut tally = VerdictTally::default();
-    let mut latencies = Vec::with_capacity(chunk.len() / batch.max(1) + 1);
-    let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(window);
-    let mut buf = Vec::with_capacity(batch * crate::wire::GET_RECORD_LEN + crate::wire::HEADER_LEN);
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-    let mut read_reply =
-        |reader: &mut FrameReader<TcpStream>, inflight: &mut VecDeque<Instant>| -> io::Result<()> {
-            let sent = inflight.pop_front().expect("reply awaited with no frame in flight");
-            match reader.recv() {
-                Ok(Some(Message::Verdicts(vs))) => {
-                    latencies.push(sent.elapsed());
-                    for v in vs {
-                        tally.absorb(v);
-                    }
-                    Ok(())
+/// Exponential backoff with full jitter: uniform in
+/// `(0, min(cap, backoff · 2^failures)]`, so concurrent reconnecting
+/// connections spread out instead of stampeding.
+fn backoff_delay(cfg: &LoadgenConfig, consecutive_failures: u32, rng: &mut u64) -> Duration {
+    let ceiling = cfg
+        .backoff
+        .saturating_mul(1u32 << consecutive_failures.saturating_sub(1).min(20))
+        .min(cfg.backoff_cap)
+        .as_nanos() as u64;
+    Duration::from_nanos(if ceiling == 0 { 0 } else { splitmix64(rng) % ceiling + 1 })
+}
+
+/// What one connection accumulated.
+struct ChunkOutcome {
+    tally: VerdictTally,
+    errors: ErrorStats,
+    latencies: Vec<Duration>,
+}
+
+/// One connection's replay: pipelined writes with a bounded in-flight
+/// window, reconnecting (and resubmitting the unanswered suffix) on
+/// transport failure.
+///
+/// Replies on a connection arrive strictly in frame order, so frames split
+/// into an *answered prefix* (tallied, never resent) and an unanswered
+/// suffix; after a reconnect the replay resumes at the first unanswered
+/// frame. Protocol violations (a malformed or unexpected reply) are not
+/// transport failures and abort the run — retrying a server that talks
+/// garbage only makes more garbage.
+fn replay_chunk(
+    addr: &SocketAddr,
+    chunk: &[Request],
+    cfg: &LoadgenConfig,
+    conn_index: usize,
+) -> io::Result<ChunkOutcome> {
+    let batch = cfg.batch.max(1);
+    let frames: Vec<&[Request]> = chunk.chunks(batch).collect();
+    let mut answered = 0usize; // frames fully tallied (prefix length)
+    let mut sent_high = 0usize; // highest frame index ever sent + 1
+    let mut out = ChunkOutcome {
+        tally: VerdictTally::default(),
+        errors: ErrorStats::default(),
+        latencies: Vec::with_capacity(frames.len()),
+    };
+    let mut rng = cfg.seed ^ (conn_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut failures = 0u32; // consecutive, reset on progress
+    let mut buf = Vec::with_capacity(batch * crate::wire::GET_RECORD_LEN + crate::wire::HEADER_LEN);
+    let mut first_session = true;
+
+    'session: while answered < frames.len() {
+        if !first_session {
+            std::thread::sleep(backoff_delay(cfg, failures, &mut rng));
+        }
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                out.errors.connect_failures += 1;
+                failures += 1;
+                if failures > cfg.retries {
+                    return Err(e);
                 }
-                Ok(other) => Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("expected VERDICTS reply, got {other:?}"),
-                )),
-                Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+                first_session = false;
+                continue 'session;
             }
         };
-
-    for frame in chunk.chunks(batch.max(1)) {
-        while inflight.len() >= window.max(1) {
-            read_reply(&mut reader, &mut inflight)?;
+        if !first_session {
+            out.errors.reconnects += 1;
+            // Everything sent but unanswered on the dead connection goes
+            // again on this one.
+            let resubmit: usize = frames[answered..sent_high].iter().map(|f| f.len()).sum();
+            out.errors.resubmitted += resubmit as u64;
         }
-        buf.clear();
-        encode_get(frame, &mut buf);
-        stream.write_all(&buf)?;
-        inflight.push_back(Instant::now());
+        first_session = false;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(cfg.read_timeout);
+        let mut reader = match stream.try_clone() {
+            Ok(read_half) => FrameReader::new(read_half),
+            Err(e) => {
+                out.errors.classify(&e);
+                failures += 1;
+                if failures > cfg.retries {
+                    return Err(e);
+                }
+                continue 'session;
+            }
+        };
+        let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(cfg.window);
+        let mut next_send = answered;
+        sent_high = sent_high.max(answered);
+
+        loop {
+            // Top the window up, then (or when everything is sent) read.
+            if next_send < frames.len() && inflight.len() < cfg.window.max(1) {
+                buf.clear();
+                encode_get(frames[next_send], &mut buf);
+                if let Err(e) = stream.write_all(&buf) {
+                    out.errors.classify(&e);
+                    failures += 1;
+                    if failures > cfg.retries {
+                        return Err(e);
+                    }
+                    continue 'session;
+                }
+                inflight.push_back(Instant::now());
+                next_send += 1;
+                sent_high = sent_high.max(next_send);
+                continue;
+            }
+            if inflight.is_empty() {
+                break; // all frames sent and answered
+            }
+            match reader.recv() {
+                Ok(Some(Message::Verdicts(vs))) => {
+                    let sent = inflight.pop_front().expect("verdicts with no frame in flight");
+                    out.latencies.push(sent.elapsed());
+                    for v in vs {
+                        out.tally.absorb(v);
+                    }
+                    answered += 1;
+                    failures = 0;
+                }
+                Ok(None) => {
+                    // EOF with frames still in flight: the gateway closed on
+                    // us (shutdown or a torn connection) — reconnect.
+                    out.errors.resets += 1;
+                    failures += 1;
+                    if failures > cfg.retries {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "gateway closed with frames unanswered",
+                        ));
+                    }
+                    continue 'session;
+                }
+                Ok(Some(other)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected VERDICTS reply, got {other:?}"),
+                    ));
+                }
+                Err(RecvError::Wire(e)) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+                Err(RecvError::Io(e)) => {
+                    out.errors.classify(&e);
+                    failures += 1;
+                    if failures > cfg.retries {
+                        return Err(e);
+                    }
+                    continue 'session;
+                }
+            }
+        }
     }
-    while !inflight.is_empty() {
-        read_reply(&mut reader, &mut inflight)?;
-    }
-    stream.shutdown(std::net::Shutdown::Write)?;
-    latencies.sort_unstable();
-    Ok((tally, latencies))
+    out.latencies.sort_unstable();
+    Ok(out)
 }
 
 /// Replays `trace` against a gateway at `addr` and reports throughput,
@@ -183,10 +386,11 @@ pub fn run(addr: impl ToSocketAddrs, trace: &Trace, cfg: LoadgenConfig) -> io::R
     let requests = trace.len() as u64;
     let chunks = contiguous_chunks(trace.requests(), cfg.connections.max(1));
     let started = Instant::now();
-    let results: Vec<io::Result<(VerdictTally, Vec<Duration>)>> = std::thread::scope(|scope| {
+    let results: Vec<io::Result<ChunkOutcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
-            .map(|chunk| scope.spawn(move || replay_chunk(&addr, chunk, cfg.batch, cfg.window)))
+            .enumerate()
+            .map(|(i, chunk)| scope.spawn(move || replay_chunk(&addr, chunk, &cfg, i)))
             .collect();
         handles
             .into_iter()
@@ -195,14 +399,16 @@ pub fn run(addr: impl ToSocketAddrs, trace: &Trace, cfg: LoadgenConfig) -> io::R
     });
     let elapsed = started.elapsed();
     let mut tally = VerdictTally::default();
+    let mut errors = ErrorStats::default();
     let mut latencies = Vec::new();
     for r in results {
-        let (t, l) = r?;
-        tally.merge(t);
-        latencies.extend(l);
+        let out = r?;
+        tally.merge(out.tally);
+        errors.merge(out.errors);
+        latencies.extend(out.latencies);
     }
     latencies.sort_unstable();
-    Ok(LoadgenReport { requests, elapsed, tally, latencies })
+    Ok(LoadgenReport { requests, elapsed, tally, errors, latencies })
 }
 
 /// Asks a gateway for its JSON fleet-metrics snapshot (`STATS`).
@@ -254,11 +460,85 @@ mod tests {
     }
 
     #[test]
+    fn backoff_is_bounded_jittered_and_reproducible() {
+        let cfg = LoadgenConfig {
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+            ..LoadgenConfig::default()
+        };
+        for failures in 1..=10u32 {
+            let ceiling = cfg.backoff.saturating_mul(1 << (failures - 1)).min(cfg.backoff_cap);
+            let mut rng = 7;
+            let d = backoff_delay(&cfg, failures, &mut rng);
+            assert!(d > Duration::ZERO && d <= ceiling, "failures={failures}: {d:?} vs {ceiling:?}");
+        }
+        let (mut a, mut b) = (42u64, 42u64);
+        for failures in 1..=5 {
+            assert_eq!(backoff_delay(&cfg, failures, &mut a), backoff_delay(&cfg, failures, &mut b));
+        }
+    }
+
+    /// A server that answers one frame then slams the door forces the client
+    /// through its reconnect path; the second session answers everything.
+    /// Every request must end up tallied exactly once.
+    #[test]
+    fn reconnect_resubmits_the_unanswered_suffix() {
+        use crate::wire::encode_verdict_bytes;
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let answer = |stream: &TcpStream, records: usize| {
+                let bytes = vec![WireVerdict::DROPPED.to_byte(); records];
+                let mut out = Vec::new();
+                encode_verdict_bytes(&bytes, &mut out);
+                (&mut &*stream).write_all(&out).unwrap();
+            };
+            // Session 1: one answer, then disconnect mid-conversation.
+            let (s, _) = listener.accept().unwrap();
+            let mut reader = FrameReader::new(s.try_clone().unwrap());
+            if let Ok(Some(Message::Get(recs))) = reader.recv() {
+                answer(&s, recs.len());
+            }
+            drop(reader);
+            drop(s);
+            // Session 2: answer until the client is done.
+            let (s, _) = listener.accept().unwrap();
+            let mut reader = FrameReader::new(s.try_clone().unwrap());
+            while let Ok(Some(msg)) = reader.recv() {
+                if let Message::Get(recs) = msg {
+                    answer(&s, recs.len());
+                }
+            }
+        });
+
+        let reqs: Vec<Request> = (0..12).map(|i| Request::new(i, 100, i)).collect();
+        let trace = Trace::from_requests(reqs);
+        let cfg = LoadgenConfig {
+            connections: 1,
+            batch: 3,
+            window: 8,
+            retries: 5,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            ..LoadgenConfig::default()
+        };
+        let report = run(addr, &trace, cfg).expect("replay should survive the disconnect");
+        server.join().unwrap();
+        assert_eq!(report.tally.total(), 12, "every request answered exactly once");
+        assert_eq!(report.errors.reconnects, 1);
+        assert!(report.errors.resets >= 1, "the slammed door must be classified: {:?}", report.errors);
+        assert!(report.errors.resubmitted >= 3, "at least one frame resent: {:?}", report.errors);
+    }
+
+    #[test]
     fn percentiles_use_nearest_rank() {
         let report = LoadgenReport {
             requests: 4,
             elapsed: Duration::from_secs(2),
             tally: VerdictTally::default(),
+            errors: ErrorStats::default(),
             latencies: (1..=4).map(Duration::from_millis).collect(),
         };
         assert_eq!(report.rps(), 2.0);

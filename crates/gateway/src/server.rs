@@ -21,26 +21,29 @@ use crate::conn::{writer_loop, ConnSink, GatewayEnvelope, PendingBatch, Reply, S
 use crate::wire::{FrameReader, Message, RecvError};
 use darwin_cache::CacheConfig;
 use darwin_shard::{
-    FleetConfig, FleetMetrics, FleetReport, GatewaySnapshot, MetricsHandle, Router, ShardedFleet,
+    FaultPlan, FleetConfig, FleetMetrics, FleetReport, GatewaySnapshot, MetricsHandle, Router,
+    ShardedFleet,
 };
 use darwin_testbed::AdmissionDriver;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How a gateway shut down unhappily.
+///
+/// A shard worker dying is *not* in this list: the fleet's supervisor
+/// restarts it (or buries the shard once its restart budget is spent), and
+/// the final [`FleetReport`] carries the restart and dead-shard counts —
+/// degraded service, not an error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GatewayError {
     /// The acceptor thread panicked.
     AcceptorPanicked,
-    /// This many connection workers panicked (a dead shard detected
-    /// mid-submit, or a writer failure the reader could not absorb).
+    /// This many connection workers panicked (a writer failure the reader
+    /// could not absorb).
     ConnectionPanicked(usize),
-    /// A shard worker panicked; the fleet report is unrecoverable.
-    ShardPanicked,
 }
 
 impl std::fmt::Display for GatewayError {
@@ -50,18 +53,51 @@ impl std::fmt::Display for GatewayError {
             GatewayError::ConnectionPanicked(n) => {
                 write!(f, "{n} gateway connection worker(s) panicked")
             }
-            GatewayError::ShardPanicked => write!(f, "a shard worker panicked"),
         }
     }
 }
 
 impl std::error::Error for GatewayError {}
 
+/// Gateway-side tuning knobs, separate from the fleet's [`FleetConfig`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Per-connection socket read timeout. This is the gateway's
+    /// shutdown-latency / idle-cost dial: a quiet connection only notices a
+    /// shutdown request (or its idle deadline) when a read times out, so
+    /// smaller values make shutdown and the idle cutoff more responsive at
+    /// the price of more wakeups per quiet connection; larger values are
+    /// cheaper but let quiet connections linger after
+    /// [`Gateway::shutdown`]. It does **not** bound how long a client may
+    /// take to send a frame — timeouts without a shutdown or idle deadline
+    /// pending simply re-arm the read.
+    pub read_timeout: Duration,
+    /// Close a connection after this long without a decoded frame (`None` =
+    /// never). Resolution is bounded below by `read_timeout`: the idle clock
+    /// is only consulted when a read times out.
+    pub idle_timeout: Option<Duration>,
+    /// Scripted faults threaded into the shard workers
+    /// ([`ShardedFleet::with_fault_plan`]). The empty plan is the identity;
+    /// production paths leave it empty.
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_millis(50),
+            idle_timeout: None,
+            fault_plan: FaultPlan::default(),
+        }
+    }
+}
+
 /// The gateway's own counters (see [`GatewaySnapshot`] for field meanings).
 #[derive(Debug, Default)]
 struct Counters {
     connections_accepted: AtomicU64,
     connections_active: AtomicU64,
+    idle_closed: AtomicU64,
     frames_in: AtomicU64,
     frames_rejected: AtomicU64,
     requests_in: AtomicU64,
@@ -82,6 +118,7 @@ impl Counters {
         GatewaySnapshot {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_active: self.connections_active.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
             frames_in: self.frames_in.load(Ordering::Relaxed),
             frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
             requests_in: self.requests_in.load(Ordering::Relaxed),
@@ -107,6 +144,8 @@ struct Shared<D: AdmissionDriver + Send + 'static> {
     metrics: MetricsHandle,
     counters: Arc<Counters>,
     shutdown: AtomicBool,
+    read_timeout: Duration,
+    idle_timeout: Option<Duration>,
 }
 
 impl<D: AdmissionDriver + Send + 'static> Shared<D> {
@@ -131,24 +170,41 @@ pub struct Gateway<D: AdmissionDriver + Send + 'static> {
 
 impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
     /// Binds `addr` (use port 0 for an ephemeral port) and spawns the fleet
-    /// plus the acceptor thread. `factory(s)` builds shard `s`'s admission
-    /// driver, exactly as in [`ShardedFleet::new`].
+    /// plus the acceptor thread with default [`GatewayConfig`] knobs.
+    /// `factory(s)` builds shard `s`'s admission driver, exactly as in
+    /// [`ShardedFleet::new`].
     pub fn bind(
         addr: impl ToSocketAddrs,
         cfg: FleetConfig,
         cache: CacheConfig,
         router: Box<dyn Router>,
-        factory: impl FnMut(usize) -> D,
+        factory: impl FnMut(usize) -> D + Send + 'static,
+    ) -> std::io::Result<Self> {
+        Self::bind_with(addr, cfg, cache, router, GatewayConfig::default(), factory)
+    }
+
+    /// [`bind`](Self::bind) with explicit gateway knobs: connection
+    /// deadlines and (for chaos tests) a scripted fault plan.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        cfg: FleetConfig,
+        cache: CacheConfig,
+        router: Box<dyn Router>,
+        gateway: GatewayConfig,
+        factory: impl FnMut(usize) -> D + Send + 'static,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let fleet: ShardedFleet<D, GatewayEnvelope> = ShardedFleet::new(cfg, cache, router, factory);
+        let fleet: ShardedFleet<D, GatewayEnvelope> =
+            ShardedFleet::with_fault_plan(cfg, cache, router, factory, gateway.fault_plan);
         let shared = Arc::new(Shared {
             metrics: fleet.metrics_handle(),
             fleet: Mutex::new(Some(fleet)),
             counters: Arc::new(Counters::default()),
             shutdown: AtomicBool::new(false),
+            read_timeout: gateway.read_timeout,
+            idle_timeout: gateway.idle_timeout,
         });
         let acceptor_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
@@ -188,8 +244,9 @@ impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
 
     /// Graceful shutdown: stops accepting, drains and joins every
     /// connection, joins the shard workers, and returns the final report.
-    /// Worker panics — connection or shard — surface as `Err` instead of
-    /// hanging or being swallowed.
+    /// Gateway-thread panics surface as `Err`; shard-worker deaths do not —
+    /// the supervisor has already absorbed them, and the report's
+    /// `total_restarts()` / `dead_shards()` say how bumpy the ride was.
     pub fn finish(mut self) -> Result<FleetReport<D>, GatewayError> {
         self.shutdown();
         let conns = self
@@ -206,8 +263,7 @@ impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
             Err(poisoned) => poisoned.into_inner().take(),
         }
         .expect("fleet taken exactly once");
-        let report = catch_unwind(AssertUnwindSafe(|| fleet.finish()))
-            .map_err(|_| GatewayError::ShardPanicked)?;
+        let report = fleet.finish();
         if panicked > 0 {
             return Err(GatewayError::ConnectionPanicked(panicked));
         }
@@ -253,8 +309,9 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
     let _active = ActiveGuard(Arc::clone(&counters));
     let _ = stream.set_nodelay(true);
     // The read timeout bounds how long a quiet connection takes to notice a
-    // gateway-side shutdown request.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    // gateway-side shutdown request or its idle deadline (see
+    // `GatewayConfig::read_timeout` for the tradeoff).
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -276,19 +333,29 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
     let mut reader = FrameReader::new(stream);
     let mut seq = 0u64;
     let mut bytes_seen = 0u64;
+    let mut last_frame = Instant::now();
     // True ⇒ drain replies through `seq` before closing; false ⇒ abort now.
     let drain = loop {
         let next = reader.recv();
         let bytes = reader.bytes_read();
         Counters::add(&counters.bytes_in, bytes - bytes_seen);
         bytes_seen = bytes;
+        if matches!(next, Ok(Some(_))) {
+            last_frame = Instant::now();
+        }
         match next {
             Ok(Some(Message::Get(records))) => {
                 Counters::add(&counters.frames_in, 1);
                 Counters::add(&counters.requests_in, records.len() as u64);
                 let batch = PendingBatch::new(seq, Arc::clone(&sink), records.len());
                 seq += 1;
-                let mut guard = shared.fleet.lock().expect("fleet mutex poisoned");
+                // A reader that panicked mid-submit poisons the mutex, but
+                // the fleet's own invariants (per-request accounting,
+                // Drop-based answering) survive the unwind — keep serving.
+                let mut guard = match shared.fleet.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
                 let fleet = guard.as_mut().expect("fleet finished while serving");
                 for (index, req) in records.into_iter().enumerate() {
                     fleet.submit(GatewayEnvelope::new(req, Arc::clone(&batch), index));
@@ -322,6 +389,10 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
             Ok(None) => break true,
             Err(e) if e.is_timeout() => {
                 if shared.shutdown.load(Ordering::Acquire) {
+                    break true;
+                }
+                if shared.idle_timeout.is_some_and(|idle| last_frame.elapsed() >= idle) {
+                    Counters::add(&counters.idle_closed, 1);
                     break true;
                 }
             }

@@ -6,11 +6,15 @@
 //! ```text
 //! offset  size  field
 //!      0     2  magic     0xDA57
-//!      2     1  version   1
+//!      2     1  version   2
 //!      3     1  opcode
 //!      4     4  body_len  (≤ MAX_BODY_LEN)
 //!      8     …  body
 //! ```
+//!
+//! Version 2 widened the verdict byte from a 2-bit to a 3-bit outcome field
+//! to make room for the degraded-mode `Unavailable` answer; v1 frames are
+//! rejected with [`WireError::BadVersion`] (both ends of this repo speak v2).
 //!
 //! Client → server opcodes:
 //!
@@ -24,7 +28,7 @@
 //!
 //! | opcode | name           | body |
 //! |--------|----------------|------|
-//! | `0x81` | `VERDICTS`     | one byte per `GET` record: bits 0–1 outcome (0 = HOC hit, 1 = DC hit, 2 = origin fetch, 3 = dropped), bit 2 admitted-to-HOC, bits 3–7 zero |
+//! | `0x81` | `VERDICTS`     | one byte per `GET` record: bits 0–2 outcome (0 = HOC hit, 1 = DC hit, 2 = origin fetch, 3 = dropped, 4 = unavailable), bit 3 admitted-to-HOC, bits 4–7 zero |
 //! | `0x82` | `STATS_REPLY`  | UTF-8 JSON of a `FleetMetrics` snapshot |
 //! | `0x83` | `SHUTDOWN_ACK` | empty |
 //!
@@ -47,7 +51,7 @@ use std::io::Read;
 /// First two header bytes of every frame.
 pub const MAGIC: u16 = 0xDA57;
 /// Protocol version this module speaks.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 /// Fixed header size, bytes.
 pub const HEADER_LEN: usize = 8;
 /// Upper bound on a frame body; larger `body_len` headers are rejected
@@ -75,8 +79,11 @@ pub enum VerdictOutcome {
     /// Fetched from the origin (full miss).
     OriginFetch,
     /// Never processed: shed at a full shard queue (`DropNewest`
-    /// backpressure) or orphaned by a dead shard.
+    /// backpressure) or in flight when a shard worker died.
     Dropped,
+    /// Never processed: the request's shard was permanently dead (restart
+    /// budget exhausted) when it arrived — the gateway's degraded mode.
+    Unavailable,
 }
 
 /// One request's reply: outcome plus the admission decision.
@@ -92,34 +99,45 @@ impl WireVerdict {
     /// The verdict a shed request reports.
     pub const DROPPED: WireVerdict = WireVerdict { outcome: VerdictOutcome::Dropped, admitted: false };
 
-    /// Wire encoding (bits 0–1 outcome, bit 2 admitted).
+    /// The verdict a request routed to a permanently dead shard reports.
+    pub const UNAVAILABLE: WireVerdict =
+        WireVerdict { outcome: VerdictOutcome::Unavailable, admitted: false };
+
+    /// Wire encoding (bits 0–2 outcome, bit 3 admitted).
     pub fn to_byte(self) -> u8 {
         let outcome = match self.outcome {
             VerdictOutcome::HocHit => 0,
             VerdictOutcome::DcHit => 1,
             VerdictOutcome::OriginFetch => 2,
             VerdictOutcome::Dropped => 3,
+            VerdictOutcome::Unavailable => 4,
         };
-        outcome | u8::from(self.admitted) << 2
+        outcome | u8::from(self.admitted) << 3
     }
 
-    /// Parses a wire byte, rejecting anything with reserved bits set or the
-    /// impossible dropped-yet-admitted combination.
+    /// Parses a wire byte, rejecting anything with reserved bits set, an
+    /// unassigned outcome, or the impossible never-processed-yet-admitted
+    /// combinations.
     pub fn from_byte(b: u8) -> Result<Self, WireError> {
-        if b & !0b111 != 0 {
+        if b & !0b1111 != 0 {
             return Err(WireError::BadVerdictByte(b));
         }
-        let admitted = b & 0b100 != 0;
-        let outcome = match b & 0b11 {
+        let admitted = b & 0b1000 != 0;
+        let outcome = match b & 0b111 {
             0 => VerdictOutcome::HocHit,
             1 => VerdictOutcome::DcHit,
             2 => VerdictOutcome::OriginFetch,
-            _ => {
+            v @ (3 | 4) => {
                 if admitted {
                     return Err(WireError::BadVerdictByte(b));
                 }
-                VerdictOutcome::Dropped
+                if v == 3 {
+                    VerdictOutcome::Dropped
+                } else {
+                    VerdictOutcome::Unavailable
+                }
             }
+            _ => return Err(WireError::BadVerdictByte(b)),
         };
         Ok(WireVerdict { outcome, admitted })
     }
@@ -468,14 +486,18 @@ mod tests {
                 assert_eq!(WireVerdict::from_byte(v.to_byte()).unwrap(), v);
             }
         }
-        let d = WireVerdict::DROPPED;
-        assert_eq!(WireVerdict::from_byte(d.to_byte()).unwrap(), d);
+        for v in [WireVerdict::DROPPED, WireVerdict::UNAVAILABLE] {
+            assert_eq!(WireVerdict::from_byte(v.to_byte()).unwrap(), v);
+        }
     }
 
     #[test]
-    fn dropped_and_admitted_is_rejected() {
-        assert_eq!(WireVerdict::from_byte(0b111), Err(WireError::BadVerdictByte(0b111)));
-        assert_eq!(WireVerdict::from_byte(0b1000), Err(WireError::BadVerdictByte(0b1000)));
+    fn impossible_verdict_bytes_are_rejected() {
+        // Dropped + admitted, Unavailable + admitted, unassigned outcomes,
+        // and reserved high bits.
+        for b in [0b1011u8, 0b1100, 0b101, 0b110, 0b111, 0b1_0000, 0xFF] {
+            assert_eq!(WireVerdict::from_byte(b), Err(WireError::BadVerdictByte(b)), "byte {b:#b}");
+        }
     }
 
     #[test]

@@ -69,6 +69,7 @@ fn fleet_cfg(shards: usize) -> FleetConfig {
         batch: 64,
         backpressure: Backpressure::Block,
         snapshot_every: None,
+        restart_budget: Default::default(),
     }
 }
 
@@ -86,14 +87,19 @@ fn test_trace(n: usize) -> Trace {
 fn static_gateway_equivalent_to_sequential_replay() {
     let trace = test_trace(30_000);
     let policy = ThresholdPolicy::new(2, 100 * 1024);
-    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), |_| {
-        StaticDriver::new(policy)
-    })
-    .expect("bind loopback gateway");
+    let gateway =
+        Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), move |_| {
+            StaticDriver::new(policy)
+        })
+        .expect("bind loopback gateway");
     let addr = gateway.local_addr();
 
-    let report = loadgen::run(addr, &trace, LoadgenConfig { connections: 1, batch: 64, window: 8 })
-        .expect("loadgen replay");
+    let report = loadgen::run(
+        addr,
+        &trace,
+        LoadgenConfig { connections: 1, batch: 64, window: 8, ..Default::default() },
+    )
+    .expect("loadgen replay");
     gateway.shutdown();
     let fleet_report = gateway.finish().expect("clean gateway shutdown");
 
@@ -123,14 +129,21 @@ fn static_gateway_equivalent_to_sequential_replay() {
 fn darwin_gateway_equivalent_to_sequential_replay() {
     let model = model();
     let trace = test_trace(48_000);
-    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), |_| {
-        DarwinDriver::new(Arc::clone(&model), online_cfg())
-    })
-    .expect("bind loopback gateway");
+    let gateway = {
+        let model = Arc::clone(&model);
+        Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), move |_| {
+            DarwinDriver::new(Arc::clone(&model), online_cfg())
+        })
+        .expect("bind loopback gateway")
+    };
     let addr = gateway.local_addr();
 
-    let report = loadgen::run(addr, &trace, LoadgenConfig { connections: 1, batch: 64, window: 8 })
-        .expect("loadgen replay");
+    let report = loadgen::run(
+        addr,
+        &trace,
+        LoadgenConfig { connections: 1, batch: 64, window: 8, ..Default::default() },
+    )
+    .expect("loadgen replay");
     assert_eq!(report.tally.total(), trace.len() as u64);
     gateway.shutdown();
     let fleet_report = gateway.finish().expect("clean gateway shutdown");
@@ -149,7 +162,7 @@ fn darwin_gateway_equivalent_to_sequential_replay() {
         assert_eq!(f.cache, s.cache, "shard {shard}: cache metrics");
         assert_eq!(f.hoc_used_bytes, s.hoc_used_bytes, "shard {shard}: HOC occupancy");
         assert_eq!(f.dc_used_bytes, s.dc_used_bytes, "shard {shard}: DC occupancy");
-        let gw_seq = f.driver.into_controller().expert_sequence();
+        let gw_seq = f.driver.expect("live shard keeps its driver").into_controller().expert_sequence();
         let replay_seq = s.driver.into_controller().expert_sequence();
         assert_eq!(gw_seq, replay_seq, "shard {shard}: deployed-expert sequence");
         switched_anywhere |= gw_seq.len() > 1;
@@ -164,14 +177,19 @@ fn darwin_gateway_equivalent_to_sequential_replay() {
 fn multi_connection_replay_answers_every_request() {
     let trace = test_trace(20_000);
     let policy = ThresholdPolicy::new(2, 100 * 1024);
-    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(4), cache_cfg(), Box::new(HashRouter), |_| {
-        StaticDriver::new(policy)
-    })
-    .expect("bind loopback gateway");
+    let gateway =
+        Gateway::bind("127.0.0.1:0", fleet_cfg(4), cache_cfg(), Box::new(HashRouter), move |_| {
+            StaticDriver::new(policy)
+        })
+        .expect("bind loopback gateway");
     let addr = gateway.local_addr();
 
-    let report = loadgen::run(addr, &trace, LoadgenConfig { connections: 4, batch: 32, window: 4 })
-        .expect("loadgen replay");
+    let report = loadgen::run(
+        addr,
+        &trace,
+        LoadgenConfig { connections: 4, batch: 32, window: 4, ..Default::default() },
+    )
+    .expect("loadgen replay");
     assert_eq!(report.tally.total(), trace.len() as u64);
     assert_eq!(report.tally.dropped, 0);
 
@@ -189,10 +207,11 @@ fn multi_connection_replay_answers_every_request() {
 fn stats_frame_returns_parseable_snapshot() {
     let trace = test_trace(5_000);
     let policy = ThresholdPolicy::new(2, 100 * 1024);
-    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), |_| {
-        StaticDriver::new(policy)
-    })
-    .expect("bind loopback gateway");
+    let gateway =
+        Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), move |_| {
+            StaticDriver::new(policy)
+        })
+        .expect("bind loopback gateway");
     let addr = gateway.local_addr();
 
     loadgen::run(addr, &trace, LoadgenConfig::default()).expect("loadgen replay");
@@ -218,10 +237,11 @@ fn stats_frame_returns_parseable_snapshot() {
 fn shutdown_frame_drains_gateway() {
     let trace = test_trace(2_000);
     let policy = ThresholdPolicy::new(2, 100 * 1024);
-    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(1), cache_cfg(), Box::new(HashRouter), |_| {
-        StaticDriver::new(policy)
-    })
-    .expect("bind loopback gateway");
+    let gateway =
+        Gateway::bind("127.0.0.1:0", fleet_cfg(1), cache_cfg(), Box::new(HashRouter), move |_| {
+            StaticDriver::new(policy)
+        })
+        .expect("bind loopback gateway");
     let addr = gateway.local_addr();
 
     loadgen::run(addr, &trace, LoadgenConfig::default()).expect("loadgen replay");
@@ -253,10 +273,14 @@ impl AdmissionDriver for PanickyDriver {
     }
 }
 
-/// A shard worker panic must surface as an error from `finish()` — never a
-/// hang, and never a silently-Ok report.
+/// Repeated shard-worker panics no longer collapse the gateway: the
+/// supervisor cold-restarts the worker while its budget lasts (each fresh
+/// `PanickyDriver` burns through another fuse), then buries the shard, after
+/// which its requests are answered `Unavailable`. The client's replay
+/// completes, every request is answered exactly once, and `finish()` reports
+/// the damage instead of failing.
 #[test]
-fn worker_panic_propagates_to_finish() {
+fn worker_panics_are_supervised_and_degrade_gracefully() {
     let trace = test_trace(4_000);
     let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(1), cache_cfg(), Box::new(HashRouter), |_| {
         PanickyDriver { seen: 0, fuse: 500 }
@@ -264,19 +288,26 @@ fn worker_panic_propagates_to_finish() {
     .expect("bind loopback gateway");
     let addr = gateway.local_addr();
 
-    // Drive the doomed fleet by hand: the replay errors out once the
-    // connection collapses, which is expected here.
-    let _ = loadgen::run(addr, &trace, LoadgenConfig { connections: 1, batch: 128, window: 2 });
+    let report = loadgen::run(
+        addr,
+        &trace,
+        LoadgenConfig { connections: 1, batch: 128, window: 2, ..Default::default() },
+    )
+    .expect("replay must survive supervised worker deaths");
+    assert_eq!(report.tally.total(), trace.len() as u64, "exactly-once answering");
+    assert!(report.tally.unavailable > 0, "the buried shard answers Unavailable");
 
     gateway.shutdown();
-    let err = gateway.finish().expect_err("worker panic must fail finish()");
-    // Which layer reports first depends on timing (the dying shard can take
-    // the submitting connection worker with it); both surface the failure.
-    match err {
-        darwin_gateway::GatewayError::ShardPanicked
-        | darwin_gateway::GatewayError::ConnectionPanicked(_) => {}
-        other => panic!("unexpected gateway error: {other}"),
-    }
+    let fleet = gateway.finish().expect("supervised fleet finishes cleanly");
+    assert_eq!(fleet.total_restarts(), 3, "default budget grants three restarts");
+    assert_eq!(fleet.dead_shards(), 1, "the fourth death buries the only shard");
+    assert_eq!(
+        fleet.total_processed() + fleet.total_dropped() + fleet.total_unavailable(),
+        trace.len() as u64,
+        "conservation: processed + dropped + unavailable == submitted"
+    );
+    assert_eq!(report.tally.unavailable, fleet.total_unavailable());
+    assert_eq!(report.tally.dropped, fleet.total_dropped());
 }
 
 /// A driver slow enough that a tiny `DropNewest` queue must shed load.
@@ -307,6 +338,7 @@ fn client_disconnect_mid_stream_keeps_counters_consistent() {
         batch: 16,
         backpressure: Backpressure::DropNewest,
         snapshot_every: None,
+        restart_budget: Default::default(),
     };
     let gateway = Gateway::bind("127.0.0.1:0", cfg, cache_cfg(), Box::new(HashRouter), |_| SlowDriver)
         .expect("bind loopback gateway");
@@ -356,10 +388,11 @@ fn client_disconnect_mid_stream_keeps_counters_consistent() {
 #[test]
 fn pipelined_mixed_frames_reply_in_order() {
     let policy = ThresholdPolicy::new(2, 100 * 1024);
-    let gateway = Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), |_| {
-        StaticDriver::new(policy)
-    })
-    .expect("bind loopback gateway");
+    let gateway =
+        Gateway::bind("127.0.0.1:0", fleet_cfg(2), cache_cfg(), Box::new(HashRouter), move |_| {
+            StaticDriver::new(policy)
+        })
+        .expect("bind loopback gateway");
     let addr = gateway.local_addr();
 
     let mut stream = TcpStream::connect(addr).expect("connect");

@@ -39,7 +39,7 @@ proptest! {
 
     /// Verdict frames round-trip through the packed byte encoding.
     #[test]
-    fn verdicts_roundtrip(vs in proptest::collection::vec((0u8..4, proptest::bool::ANY), 1..500)) {
+    fn verdicts_roundtrip(vs in proptest::collection::vec((0u8..5, proptest::bool::ANY), 1..500)) {
         let verdicts: Vec<WireVerdict> = vs
             .iter()
             .map(|&(o, admitted)| WireVerdict {
@@ -47,10 +47,12 @@ proptest! {
                     0 => VerdictOutcome::HocHit,
                     1 => VerdictOutcome::DcHit,
                     2 => VerdictOutcome::OriginFetch,
-                    _ => VerdictOutcome::Dropped,
+                    3 => VerdictOutcome::Dropped,
+                    _ => VerdictOutcome::Unavailable,
                 },
-                // dropped+admitted is inexpressible by construction
-                admitted: admitted && o != 3,
+                // never-processed (dropped/unavailable) + admitted is
+                // inexpressible by construction
+                admitted: admitted && o < 3,
             })
             .collect();
         let bytes = encoded(&Message::Verdicts(verdicts.clone()));
@@ -126,12 +128,49 @@ fn malformed_corpus_is_rejected() {
     assert_eq!(decode(&frame(0x81, &[])), Err(WireError::BadBodyLen { opcode: 0x81, len: 0 }));
     assert_eq!(decode(&frame(0x83, &[1])), Err(WireError::BadBodyLen { opcode: 0x83, len: 1 }));
 
-    // Verdict bytes with reserved bits, and dropped-yet-admitted.
-    assert_eq!(decode(&frame(0x81, &[0b1000])), Err(WireError::BadVerdictByte(0b1000)));
-    assert_eq!(decode(&frame(0x81, &[0b111])), Err(WireError::BadVerdictByte(0b111)));
+    // Verdict bytes with reserved bits, unassigned outcomes, and the
+    // inexpressible never-processed-yet-admitted combinations.
+    for b in [
+        0b1011u8, // Dropped + admitted
+        0b1100,   // Unavailable + admitted
+        0b101,    // unassigned outcome 5
+        0b110,    // unassigned outcome 6
+        0b111,    // unassigned outcome 7
+        0b1_0000, // reserved bit 4
+        0xFF,
+    ] {
+        assert_eq!(decode(&frame(0x81, &[b])), Err(WireError::BadVerdictByte(b)), "byte {b:#b}");
+    }
 
     // Stats replies must be UTF-8.
     assert_eq!(decode(&frame(0x82, &[0xFF, 0xFE])), Err(WireError::BadUtf8));
+}
+
+/// The degraded-mode `Unavailable` bit (outcome 4) is a first-class citizen
+/// of the verdict byte: it decodes next to processed and dropped verdicts,
+/// and only its un-admitted form is legal.
+#[test]
+fn unavailable_verdict_frames_decode() {
+    let body = [
+        0b0000u8, // HocHit
+        0b1010,   // OriginFetch + admitted
+        0b011,    // Dropped
+        0b100,    // Unavailable
+    ];
+    let (msg, used) = decode(&frame(0x81, &body)).unwrap().expect("complete frame");
+    assert_eq!(used, HEADER_LEN + body.len());
+    let Message::Verdicts(vs) = msg else { panic!("expected VERDICTS") };
+    assert_eq!(
+        vs.iter().map(|v| v.outcome).collect::<Vec<_>>(),
+        vec![
+            VerdictOutcome::HocHit,
+            VerdictOutcome::OriginFetch,
+            VerdictOutcome::Dropped,
+            VerdictOutcome::Unavailable,
+        ]
+    );
+    assert_eq!(vs[3], WireVerdict::UNAVAILABLE);
+    assert!(vs[1].admitted && !vs[3].admitted);
 }
 
 #[test]

@@ -1,4 +1,4 @@
-//! The sharded fleet: N cache servers on N worker threads.
+//! The sharded fleet: N cache servers on N worker threads, supervised.
 //!
 //! [`ShardedFleet`] hash-partitions the object space across `shards`
 //! independent [`CacheServer`]s, each owned by a dedicated worker thread and
@@ -17,6 +17,34 @@
 //! running each shard's filtered trace sequentially. `replay.rs` exposes
 //! both sides of this equation and `tests/equivalence.rs` enforces it.
 //!
+//! # Supervision
+//!
+//! A shard worker that panics — organically (a bug in a driver or the
+//! server) or on a scripted [`FaultPlan`] event — no longer takes the fleet
+//! down. The fleet detects the death at the next delivery to that shard
+//! (a failed push on the Block path, a closed-consumer probe on the
+//! DropNewest path) and consults the shard's [`Supervisor`]:
+//!
+//! * **Within the [`RestartBudget`]** the worker is cold-restarted: fresh
+//!   `CacheServer`, fresh driver from the factory, fresh queue. Learned
+//!   state is gone and the shard re-warms — exactly what a production cache
+//!   node does after a crash. The restart is counted in [`FleetMetrics`].
+//! * **Beyond the budget** the shard is permanently dead: every later
+//!   request routed to it is answered immediately via
+//!   [`Envelope::unavailable`] (degraded mode) instead of queueing into a
+//!   crash loop.
+//!
+//! Requests in flight at the moment of death (staged, queued, or popped but
+//! not yet completed) are answered `Dropped` through their envelope `Drop`
+//! impls and counted, so the conservation law **submitted = processed +
+//! dropped + unavailable** holds exactly over any run, faulty or not
+//! (`tests/chaos.rs` proptests it). Scripted panics are additionally
+//! *synchronized*: the submitter joins the doomed worker right after
+//! submitting the fatal request, which pins the processed / dropped /
+//! restart boundary and makes chaos runs under `Block` reproducible
+//! bit-for-bit. [`finish`](ShardedFleet::finish) never panics on a dead
+//! shard — it reports per-shard `restarts` / `dead` flags instead.
+//!
 //! Worker threads wrap their serving loop in
 //! [`darwin_parallel::inline_sweeps`], so a per-shard Darwin controller that
 //! sweeps experts at an epoch boundary runs those sweeps inline instead of
@@ -24,13 +52,16 @@
 //!
 //! [`DarwinDriver`]: darwin_testbed::DarwinDriver
 
+use crate::fault::{FaultKind, FaultPlan, ShardFaultCursor};
 use crate::metrics::{FleetMetrics, MetricsHandle, ShardCell};
-use crate::queue::{channel, Producer};
+use crate::queue::{channel, Consumer, Producer, QueueGauges};
 use crate::router::Router;
+use crate::supervisor::{RestartBudget, Supervisor, SupervisorVerdict};
 use darwin_cache::{CacheConfig, CacheMetrics, CacheServer, RequestOutcome};
 use darwin_testbed::AdmissionDriver;
 use darwin_trace::{Request, Trace};
 use serde::{Deserialize, Serialize};
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -58,14 +89,24 @@ pub struct Verdict {
 /// originating connection.
 ///
 /// Implementations that must report *something* even when the envelope never
-/// reaches a worker (dropped under [`Backpressure::DropNewest`], or a dead
-/// shard) should do so in their `Drop` impl: the queue simply drops shed
-/// envelopes.
+/// reaches a worker (dropped under [`Backpressure::DropNewest`], stranded by
+/// a worker crash) should do so in their `Drop` impl: the queue simply drops
+/// shed envelopes.
 pub trait Envelope: Send + 'static {
     /// The request to route and process.
     fn request(&self) -> &Request;
     /// Called on the shard worker thread after the request was processed.
     fn complete(self, verdict: Verdict);
+    /// Called on the submitting thread when the request's shard is
+    /// permanently dead (degraded mode): the request will never be
+    /// processed. The default just drops the envelope — override to report
+    /// a distinct `Unavailable` answer (the gateway does).
+    fn unavailable(self)
+    where
+        Self: Sized,
+    {
+        drop(self);
+    }
 }
 
 impl Envelope for Request {
@@ -100,6 +141,9 @@ pub struct FleetConfig {
     /// Record a [`FleetMetrics`] snapshot every this many submitted requests
     /// (`None` disables periodic snapshots; a final one is always taken).
     pub snapshot_every: Option<u64>,
+    /// Restart budget enforced per shard by its [`Supervisor`].
+    #[serde(default)]
+    pub restart_budget: RestartBudget,
 }
 
 impl Default for FleetConfig {
@@ -110,6 +154,7 @@ impl Default for FleetConfig {
             batch: 256,
             backpressure: Backpressure::Block,
             snapshot_every: None,
+            restart_budget: RestartBudget::default(),
         }
     }
 }
@@ -128,20 +173,32 @@ impl FleetConfig {
 pub struct ShardOutcome<D> {
     /// Shard index.
     pub shard: usize,
-    /// Final cumulative cache metrics.
+    /// Final cumulative cache metrics, summed over every incarnation of the
+    /// shard's server (restarts start from a cold cache but keep counting).
     pub cache: CacheMetrics,
-    /// Requests the worker processed.
+    /// Requests the worker(s) fully processed, across incarnations.
     pub processed: u64,
-    /// Requests dropped at the queue (always 0 under [`Backpressure::Block`]).
+    /// Requests dropped: shed at the queue under
+    /// [`Backpressure::DropNewest`], or in flight when a worker died.
     pub dropped: u64,
-    /// Queue high-water mark over the run.
+    /// Requests answered `Unavailable` because the shard was permanently
+    /// dead when they were submitted.
+    pub unavailable: u64,
+    /// Cold restarts the supervisor granted this shard.
+    pub restarts: u32,
+    /// True if the shard's worker was dead when the fleet finished (restart
+    /// budget exhausted, or a terminal panic at end-of-stream).
+    pub dead: bool,
+    /// Queue high-water mark over the run (max across incarnations).
     pub queue_high_water: usize,
-    /// Final HOC occupancy, bytes.
+    /// Final HOC occupancy, bytes (0 for a dead shard — the server was lost
+    /// in the crash).
     pub hoc_used_bytes: u64,
-    /// Final DC occupancy, bytes.
+    /// Final DC occupancy, bytes (0 for a dead shard).
     pub dc_used_bytes: u64,
     /// The shard's admission driver, returned for post-mortem inspection.
-    pub driver: D,
+    /// `None` for a dead shard: the driver unwound with the worker.
+    pub driver: Option<D>,
 }
 
 /// Result of a completed fleet run.
@@ -170,77 +227,148 @@ impl<D> FleetReport<D> {
     pub fn total_dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.dropped).sum()
     }
+
+    /// Requests answered `Unavailable` across the fleet.
+    pub fn total_unavailable(&self) -> u64 {
+        self.shards.iter().map(|s| s.unavailable).sum()
+    }
+
+    /// Cold restarts granted across the fleet.
+    pub fn total_restarts(&self) -> u32 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Shards that were dead at finish.
+    pub fn dead_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.dead).count()
+    }
 }
 
 struct WorkerResult<D> {
-    cache: CacheMetrics,
-    processed: u64,
     hoc_used_bytes: u64,
     dc_used_bytes: u64,
     driver: D,
+}
+
+/// How a shard worker thread ended. Workers catch their own unwinds, so
+/// `JoinHandle::join` always succeeds and the fleet inspects this instead.
+enum WorkerExit<D> {
+    /// Clean end-of-stream exit.
+    Completed(WorkerResult<D>),
+    /// The worker panicked; server and driver unwound with it. In-flight
+    /// envelopes were released (their `Drop` impls filed verdicts) by the
+    /// consumer endpoint's destructor.
+    Panicked,
+}
+
+/// One shard's runtime state inside the fleet.
+struct ShardSlot<D, E> {
+    /// `None` once the shard is dead (burying drops the producer).
+    producer: Option<Producer<E>>,
+    /// The current incarnation's worker, `None` once buried.
+    handle: Option<JoinHandle<WorkerExit<D>>>,
+    cell: Arc<ShardCell>,
 }
 
 /// A running fleet. Submit requests (or any [`Envelope`] around them), then
 /// [`finish`](Self::finish) to join the workers and collect the report.
 pub struct ShardedFleet<D: AdmissionDriver + Send + 'static, E: Envelope = Request> {
     cfg: FleetConfig,
+    cache: CacheConfig,
     router: Box<dyn Router>,
-    producers: Vec<Producer<E>>,
-    cells: Vec<Arc<ShardCell>>,
-    handles: Vec<JoinHandle<WorkerResult<D>>>,
+    factory: Box<dyn FnMut(usize) -> D + Send>,
+    fault: FaultPlan,
+    /// Per-shard scripted panic indices (sorted) and a cursor into each —
+    /// the submitter-side half of the scripted-panic synchronization.
+    panic_at: Vec<Vec<u64>>,
+    next_panic: Vec<usize>,
+    shards: Vec<ShardSlot<D, E>>,
+    supervisors: Vec<Supervisor>,
     staged: Vec<Vec<E>>,
     submitted: u64,
+    per_shard_submitted: Vec<u64>,
     snapshots: Vec<FleetMetrics>,
 }
 
 impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
     /// Spawns the fleet: one worker thread, cache server, queue and driver
-    /// per shard. `factory(s)` builds shard `s`'s driver.
+    /// per shard. `factory(s)` builds shard `s`'s driver — it is retained
+    /// so the supervisor can build fresh drivers for cold restarts.
     pub fn new(
         cfg: FleetConfig,
         cache: CacheConfig,
         router: Box<dyn Router>,
-        mut factory: impl FnMut(usize) -> D,
+        factory: impl FnMut(usize) -> D + Send + 'static,
+    ) -> Self {
+        Self::with_fault_plan(cfg, cache, router, factory, FaultPlan::default())
+    }
+
+    /// [`new`](Self::new) plus a scripted [`FaultPlan`] threaded into the
+    /// shard workers. The empty plan is the identity: it leaves the fleet
+    /// bitwise identical to one built without a plan. Intended for chaos
+    /// tests and benches; production paths pass no plan.
+    pub fn with_fault_plan(
+        cfg: FleetConfig,
+        cache: CacheConfig,
+        router: Box<dyn Router>,
+        factory: impl FnMut(usize) -> D + Send + 'static,
+        fault: FaultPlan,
     ) -> Self {
         assert!(cfg.shards > 0, "fleet needs at least one shard");
         assert!(cfg.batch > 0, "batch size must be positive");
-        let mut producers = Vec::with_capacity(cfg.shards);
-        let mut cells = Vec::with_capacity(cfg.shards);
-        let mut handles = Vec::with_capacity(cfg.shards);
-        for s in 0..cfg.shards {
-            let (tx, rx) = channel::<E>(cfg.queue_capacity);
-            let cell = Arc::new(ShardCell::new(s, tx.gauges()));
-            let worker_cell = Arc::clone(&cell);
-            let worker_cache = cache.clone();
-            let driver = factory(s);
-            let batch = cfg.batch;
-            let handle = std::thread::Builder::new()
-                .name(format!("shard-{s}"))
-                .spawn(move || worker(s, rx, worker_cell, worker_cache, driver, batch))
-                .expect("spawn shard worker");
-            producers.push(tx);
-            cells.push(cell);
-            handles.push(handle);
-        }
-        Self {
+        let panic_at = fault.panic_indices(cfg.shards);
+        let mut fleet = Self {
             staged: (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch)).collect(),
-            cfg,
+            cache,
             router,
-            producers,
-            cells,
-            handles,
+            factory: Box::new(factory),
+            fault,
+            panic_at,
+            next_panic: vec![0; cfg.shards],
+            shards: (0..cfg.shards)
+                .map(|s| ShardSlot {
+                    producer: None,
+                    handle: None,
+                    cell: Arc::new(ShardCell::new(s, Arc::new(QueueGauges::default()))),
+                })
+                .collect(),
+            supervisors: vec![Supervisor::new(cfg.restart_budget); cfg.shards],
             submitted: 0,
+            per_shard_submitted: vec![0; cfg.shards],
             snapshots: Vec::new(),
+            cfg,
+        };
+        for s in 0..fleet.cfg.shards {
+            fleet.spawn_worker(s, 0);
         }
+        fleet
     }
 
     /// Routes one envelope to its shard. Under [`Backpressure::Block`] this
-    /// may block when the shard's queue is full.
+    /// may block when the shard's queue is full. Requests routed to a dead
+    /// shard are answered immediately via [`Envelope::unavailable`].
     pub fn submit(&mut self, env: E) {
         let s = self.router.route(env.request().id, self.cfg.shards);
-        self.staged[s].push(env);
-        if self.staged[s].len() >= self.cfg.batch {
-            self.flush_shard(s);
+        let idx = self.per_shard_submitted[s];
+        self.per_shard_submitted[s] = idx + 1;
+        if self.supervisors[s].is_dead() {
+            self.shards[s].cell.add_unavailable(1);
+            env.unavailable();
+        } else {
+            self.staged[s].push(env);
+            let scripted = self.next_panic[s] < self.panic_at[s].len()
+                && self.panic_at[s][self.next_panic[s]] == idx;
+            if scripted {
+                // Deliver everything up to and including the fatal request,
+                // then join the doomed worker: it dies popping exactly this
+                // request, so the restart boundary is deterministic.
+                let handled = self.flush_shard(s);
+                if !handled {
+                    self.handle_worker_death(s);
+                }
+            } else if self.staged[s].len() >= self.cfg.batch {
+                self.flush_shard(s);
+            }
         }
         self.submitted += 1;
         if let Some(every) = self.cfg.snapshot_every {
@@ -258,29 +386,112 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
         }
     }
 
-    fn flush_shard(&mut self, s: usize) {
+    /// Delivers shard `s`'s staged batch. Returns true if a worker death was
+    /// detected (and handled) during delivery.
+    fn flush_shard(&mut self, s: usize) -> bool {
         if self.staged[s].is_empty() {
-            return;
+            return false;
         }
-        match self.cfg.backpressure {
+        let Some(producer) = self.shards[s].producer.as_ref() else {
+            // Dead shard: `submit` diverts before staging, so this is only
+            // reachable for work staged before the burial — release it (the
+            // death arithmetic already accounted for it).
+            self.staged[s].clear();
+            return false;
+        };
+        let died = match self.cfg.backpressure {
             Backpressure::Block => {
-                let undelivered = self.producers[s].push_all(&mut self.staged[s]);
-                assert_eq!(undelivered, 0, "shard {s} worker died mid-run");
+                // `push_all` destroys-and-counts the remainder if the
+                // consumer vanished mid-delivery; a nonzero return is the
+                // Block path's death signal.
+                producer.push_all(&mut self.staged[s]) > 0
             }
             Backpressure::DropNewest => {
-                let dropped = self.producers[s].try_push_all(&mut self.staged[s]);
-                self.cells[s].add_dropped(dropped as u64);
+                let shed = producer.try_push_all(&mut self.staged[s]);
+                self.shards[s].cell.add_dropped(shed as u64);
+                producer.is_closed()
             }
+        };
+        if died {
+            self.handle_worker_death(s);
+        }
+        died
+    }
+
+    /// Joins a dead (or doomed) worker, settles the accounting, and asks the
+    /// shard's supervisor for a cold restart or a burial.
+    fn handle_worker_death(&mut self, s: usize) {
+        // Anything still staged never reached the queue; release it (Drop
+        // impls answer it) — the arithmetic below counts it.
+        self.staged[s].clear();
+        // Hang up first so a worker stalled in a scripted QueueFull wait (or
+        // a doomed-but-alive worker draining toward its scripted panic)
+        // observes end-of-stream and terminates.
+        self.shards[s].producer = None;
+        let handle = self.shards[s].handle.take().expect("dying shard had no worker");
+        let exit = handle.join().unwrap_or(WorkerExit::Panicked);
+        // `Completed` here means the worker won a race against the death
+        // signal (possible only under DropNewest shedding of a scripted
+        // fatal request); treat it as the scripted death it stands in for.
+        drop(exit);
+        let cell = Arc::clone(&self.shards[s].cell);
+        // Everything submitted to this shard but never answered — staged,
+        // queued, or popped mid-batch — unwound through envelope Drop impls.
+        // Conservation arithmetic turns that into an exact dropped count.
+        let answered = cell.processed_total() + cell.dropped() + cell.unavailable();
+        cell.add_dropped(self.per_shard_submitted[s].saturating_sub(answered));
+        cell.fold_incarnation();
+        match self.supervisors[s].on_worker_death(self.submitted) {
+            SupervisorVerdict::Respawn => {
+                cell.record_restart();
+                self.spawn_worker(s, self.per_shard_submitted[s]);
+            }
+            SupervisorVerdict::Bury => cell.mark_dead(),
         }
     }
 
-    /// Requests submitted so far (including any later dropped).
+    /// Spawns shard `s`'s worker whose first request has per-shard index
+    /// `from` (0 for the initial incarnation).
+    fn spawn_worker(&mut self, s: usize, from: u64) {
+        let (tx, rx) = channel::<E>(self.cfg.queue_capacity);
+        self.shards[s].cell.set_gauges(tx.gauges());
+        let ctx = WorkerCtx {
+            shard: s,
+            rx,
+            cell: Arc::clone(&self.shards[s].cell),
+            cache: self.cache.clone(),
+            driver: (self.factory)(s),
+            batch: self.cfg.batch,
+            start: from,
+            faults: ShardFaultCursor::for_shard(&self.fault, s, from),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("shard-{s}"))
+            .spawn(move || worker(ctx))
+            .expect("spawn shard worker");
+        self.shards[s].producer = Some(tx);
+        self.shards[s].handle = Some(handle);
+        // Scripted panics the previous incarnation never reached fall inside
+        // the dropped range; skip them.
+        while self.next_panic[s] < self.panic_at[s].len() && self.panic_at[s][self.next_panic[s]] < from
+        {
+            self.next_panic[s] += 1;
+        }
+    }
+
+    /// Requests submitted so far (including any later dropped or answered
+    /// `Unavailable`).
     pub fn submitted(&self) -> u64 {
         self.submitted
     }
 
+    /// Shards currently marked permanently dead.
+    pub fn dead_shards(&self) -> usize {
+        self.supervisors.iter().filter(|sup| sup.is_dead()).count()
+    }
+
     /// Live fleet-wide metrics, assembled from the shard cells. Mid-run this
-    /// is a *recent* view (workers publish once per drained batch); after
+    /// is a *recent* view (workers publish once per request); after
     /// [`finish`](Self::finish) the final snapshot is exact.
     pub fn metrics(&self) -> FleetMetrics {
         self.metrics_handle().snapshot()
@@ -294,7 +505,7 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
     /// [`finish`](Self::finish); it then reports each shard's final
     /// published state.
     pub fn metrics_handle(&self) -> MetricsHandle {
-        MetricsHandle::new(self.cells.clone())
+        MetricsHandle::new(self.shards.iter().map(|slot| Arc::clone(&slot.cell)).collect())
     }
 
     /// Snapshots recorded so far.
@@ -303,27 +514,53 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
     }
 
     /// Flushes staged work, closes the queues, joins every worker and
-    /// returns the final report (with the drivers inside).
+    /// returns the final report (with the surviving drivers inside).
+    ///
+    /// Never panics on a dead worker: a shard that died with no flush left
+    /// to observe it is folded in here, reported as `dead` with its
+    /// unanswered tail counted `dropped`.
     pub fn finish(mut self) -> FleetReport<D> {
         self.flush();
-        drop(self.producers); // end-of-stream for every shard
-        let mut shards = Vec::with_capacity(self.handles.len());
-        for (s, handle) in self.handles.into_iter().enumerate() {
-            let r = handle.join().expect("shard worker panicked");
-            let snap = self.cells[s].snapshot();
+        for slot in &mut self.shards {
+            slot.producer = None; // end-of-stream for every live shard
+        }
+        let mut shards = Vec::with_capacity(self.cfg.shards);
+        for (s, slot) in self.shards.iter_mut().enumerate() {
+            let exit = slot.handle.take().map(|h| h.join().unwrap_or(WorkerExit::Panicked));
+            let (driver, hoc_used_bytes, dc_used_bytes) = match exit {
+                Some(WorkerExit::Completed(r)) => (Some(r.driver), r.hoc_used_bytes, r.dc_used_bytes),
+                Some(WorkerExit::Panicked) => {
+                    // Terminal panic at end-of-stream: no later flush could
+                    // observe it, so settle the death here. No respawn — the
+                    // stream is over, there is nothing left to serve.
+                    let answered =
+                        slot.cell.processed_total() + slot.cell.dropped() + slot.cell.unavailable();
+                    slot.cell.add_dropped(self.per_shard_submitted[s].saturating_sub(answered));
+                    slot.cell.fold_incarnation();
+                    slot.cell.mark_dead();
+                    (None, 0, 0)
+                }
+                None => (None, 0, 0), // buried earlier
+            };
+            let snap = slot.cell.snapshot();
             shards.push(ShardOutcome {
                 shard: s,
-                cache: r.cache,
-                processed: r.processed,
+                cache: snap.cache,
+                processed: snap.processed,
                 dropped: snap.dropped,
+                unavailable: snap.unavailable,
+                restarts: snap.restarts,
+                dead: snap.dead,
                 queue_high_water: snap.queue_high_water,
-                hoc_used_bytes: r.hoc_used_bytes,
-                dc_used_bytes: r.dc_used_bytes,
-                driver: r.driver,
+                hoc_used_bytes,
+                dc_used_bytes,
+                driver,
             });
         }
         let mut snapshots = self.snapshots;
-        snapshots.push(MetricsHandle::new(self.cells).snapshot());
+        snapshots.push(
+            MetricsHandle::new(self.shards.iter().map(|sl| Arc::clone(&sl.cell)).collect()).snapshot(),
+        );
         FleetReport { shards, snapshots, router: self.router.label() }
     }
 }
@@ -337,51 +574,97 @@ impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D, Request> {
     }
 }
 
+/// Everything one worker incarnation needs, bundled for the thread spawn.
+struct WorkerCtx<D, E> {
+    shard: usize,
+    rx: Consumer<E>,
+    cell: Arc<ShardCell>,
+    cache: CacheConfig,
+    driver: D,
+    batch: usize,
+    /// Per-shard index of the first request this incarnation pops.
+    start: u64,
+    faults: ShardFaultCursor,
+}
+
 /// The per-shard serving loop. Identical, request for request, to the
 /// sequential loop in `replay::run_partition` — that symmetry is the
 /// equivalence proof's other half. Each processed envelope is completed with
 /// its [`Verdict`] before the driver observes the request.
-fn worker<D: AdmissionDriver, E: Envelope>(
-    shard: usize,
-    rx: crate::queue::Consumer<E>,
-    cell: Arc<ShardCell>,
-    cache: CacheConfig,
-    mut driver: D,
-    batch: usize,
-) -> WorkerResult<D> {
-    darwin_parallel::inline_sweeps(|| {
-        let mut server = CacheServer::new(cache);
-        server.set_policy(driver.initial_policy());
-        let mut processed = 0u64;
-        let mut buf: Vec<E> = Vec::with_capacity(batch);
-        while rx.pop_batch(&mut buf, batch) {
-            for env in buf.drain(..) {
-                let req = *env.request();
-                let writes_before = server.metrics().hoc_writes;
-                let outcome = server.process(&req);
-                processed += 1;
-                let metrics = server.metrics();
-                env.complete(Verdict { shard, outcome, admitted: metrics.hoc_writes > writes_before });
-                if let Some(policy) = driver.observe(&req, &metrics) {
-                    server.set_policy(policy);
+///
+/// The whole loop runs under `catch_unwind`: a panic (organic or scripted)
+/// drops the in-hand envelope, the drain buffer and the consumer endpoint —
+/// each of which answers its envelopes via `Drop` — and the worker reports
+/// [`WorkerExit::Panicked`] instead of poisoning `join()`.
+fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D> {
+    let WorkerCtx { shard, rx, cell, cache, mut driver, batch, start, mut faults } = ctx;
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        darwin_parallel::inline_sweeps(|| {
+            let mut server = CacheServer::new(cache);
+            server.set_policy(driver.initial_policy());
+            let mut processed = 0u64;
+            let mut buf: Vec<E> = Vec::with_capacity(batch);
+            let gauges = rx.gauges();
+            while rx.pop_batch(&mut buf, batch) {
+                for env in buf.drain(..) {
+                    while let Some(kind) = faults.take(start + processed) {
+                        match kind {
+                            FaultKind::Panic => panic!(
+                                "scripted fault: shard {shard} dies at per-shard request {}",
+                                start + processed
+                            ),
+                            FaultKind::Delay { spins } => {
+                                for _ in 0..spins {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                            // Stall until the input queue is packed solid
+                            // (or the stream ended): a manufactured
+                            // backpressure episode.
+                            FaultKind::QueueFull => {
+                                while gauges.depth() < rx.capacity() && !rx.is_producer_closed() {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                    let req = *env.request();
+                    let writes_before = server.metrics().hoc_writes;
+                    let outcome = server.process(&req);
+                    processed += 1;
+                    let metrics = server.metrics();
+                    env.complete(Verdict {
+                        shard,
+                        outcome,
+                        admitted: metrics.hoc_writes > writes_before,
+                    });
+                    // Per-request publication keeps the cell exact at any
+                    // crash point — the conservation law depends on it.
+                    cell.publish_request(metrics, processed);
+                    if let Some(policy) = driver.observe(&req, &metrics) {
+                        server.set_policy(policy);
+                    }
                 }
+                cell.publish(server.metrics(), processed, server.policy_label());
             }
             cell.publish(server.metrics(), processed, server.policy_label());
-        }
-        cell.publish(server.metrics(), processed, server.policy_label());
-        WorkerResult {
-            cache: server.metrics(),
-            processed,
-            hoc_used_bytes: server.hoc_used_bytes(),
-            dc_used_bytes: server.dc_used_bytes(),
-            driver,
-        }
-    })
+            WorkerResult {
+                hoc_used_bytes: server.hoc_used_bytes(),
+                dc_used_bytes: server.dc_used_bytes(),
+                driver,
+            }
+        })
+    }));
+    match outcome {
+        Ok(result) => WorkerExit::Completed(result),
+        Err(_) => WorkerExit::Panicked,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultEvent;
     use crate::router::{HashRouter, ModuloRouter};
     use darwin_cache::ThresholdPolicy;
     use darwin_testbed::StaticDriver;
@@ -406,11 +689,15 @@ mod tests {
             batch: 16,
             backpressure: Backpressure::Block,
             snapshot_every: Some(5_000),
+            restart_budget: RestartBudget::default(),
         });
         fleet.submit_trace(&t);
         let report = fleet.finish();
         assert_eq!(report.total_processed(), 20_000);
         assert_eq!(report.total_dropped(), 0);
+        assert_eq!(report.total_unavailable(), 0);
+        assert_eq!(report.total_restarts(), 0);
+        assert_eq!(report.dead_shards(), 0);
         assert_eq!(report.fleet_cache().requests, 20_000);
         // Periodic snapshots at 5k/10k/15k/20k plus the final one.
         assert_eq!(report.snapshots.len(), 5);
@@ -419,7 +706,7 @@ mod tests {
         assert_eq!(last.fleet_cache(), report.fleet_cache());
         for s in &report.shards {
             assert!(s.queue_high_water <= 64, "capacity bound violated");
-            assert!(!s.driver.label().is_empty());
+            assert!(!s.driver.as_ref().expect("healthy shard keeps its driver").label().is_empty());
         }
     }
 
@@ -434,6 +721,7 @@ mod tests {
             batch: 512,
             backpressure: Backpressure::DropNewest,
             snapshot_every: None,
+            restart_budget: RestartBudget::default(),
         });
         fleet.submit_trace(&t);
         let report = fleet.finish();
@@ -501,5 +789,96 @@ mod tests {
         assert_eq!(report.shards.iter().map(|s| s.cache.requests).sum::<u64>(), 10_000);
         assert!(report.shards.iter().all(|s| s.cache.requests > 0));
         assert_eq!(report.router, "modulo");
+    }
+
+    #[test]
+    fn scripted_panic_restarts_the_shard_and_conserves_answers() {
+        let t = trace(12_000, 21);
+        let plan = FaultPlan::new(vec![FaultEvent { shard: 0, at: 100, kind: FaultKind::Panic }]);
+        let mut fleet: ShardedFleet<StaticDriver> = ShardedFleet::with_fault_plan(
+            FleetConfig { shards: 2, batch: 32, ..FleetConfig::default() },
+            CacheConfig::small_test(),
+            Box::new(HashRouter),
+            |_| StaticDriver::new(ThresholdPolicy::new(1, 100 * 1024)),
+            plan,
+        );
+        fleet.submit_trace(&t);
+        let report = fleet.finish();
+        assert_eq!(report.total_restarts(), 1, "one scripted death, one restart");
+        assert_eq!(report.dead_shards(), 0);
+        assert_eq!(
+            report.total_processed() + report.total_dropped() + report.total_unavailable(),
+            12_000,
+            "conservation across the restart"
+        );
+        let s0 = &report.shards[0];
+        assert_eq!(s0.dropped, 1, "exactly the fatal request dropped");
+        assert!(s0.driver.is_some(), "respawned shard has a (fresh) driver");
+        assert_eq!(s0.restarts, 1);
+        assert_eq!(report.fleet_cache().requests, report.total_processed());
+    }
+
+    #[test]
+    fn exhausted_budget_buries_the_shard_and_degrades() {
+        let t = trace(10_000, 33);
+        let plan = FaultPlan::new(vec![FaultEvent { shard: 0, at: 50, kind: FaultKind::Panic }]);
+        let mut fleet: ShardedFleet<StaticDriver> = ShardedFleet::with_fault_plan(
+            FleetConfig {
+                shards: 2,
+                restart_budget: RestartBudget::with_max_restarts(0),
+                ..FleetConfig::default()
+            },
+            CacheConfig::small_test(),
+            Box::new(HashRouter),
+            |_| StaticDriver::new(ThresholdPolicy::new(1, 100 * 1024)),
+            plan,
+        );
+        fleet.submit_trace(&t);
+        assert_eq!(fleet.dead_shards(), 1);
+        let report = fleet.finish();
+        let s0 = &report.shards[0];
+        assert!(s0.dead, "zero budget: first panic is fatal");
+        assert_eq!(s0.restarts, 0);
+        assert!(s0.driver.is_none(), "dead shard's driver unwound with it");
+        assert_eq!(s0.processed, 50, "requests before the fault were served");
+        assert_eq!(s0.dropped, 1, "the fatal request");
+        assert!(s0.unavailable > 0, "later arrivals answered Unavailable");
+        assert_eq!(
+            report.total_processed() + report.total_dropped() + report.total_unavailable(),
+            10_000,
+            "conservation with a dead shard"
+        );
+        // Shard 1 was untouched.
+        assert!(!report.shards[1].dead);
+        assert_eq!(report.shards[1].dropped + report.shards[1].unavailable, 0);
+    }
+
+    #[test]
+    fn delay_and_queue_full_faults_do_not_change_results() {
+        let t = trace(8_000, 44);
+        let run = |plan: FaultPlan| {
+            let mut fleet: ShardedFleet<StaticDriver> = ShardedFleet::with_fault_plan(
+                FleetConfig { shards: 2, queue_capacity: 32, batch: 8, ..FleetConfig::default() },
+                CacheConfig::small_test(),
+                Box::new(HashRouter),
+                |_| StaticDriver::new(ThresholdPolicy::new(1, 100 * 1024)),
+                plan,
+            );
+            fleet.submit_trace(&t);
+            fleet.finish()
+        };
+        let clean = run(FaultPlan::default());
+        let slowed = run(FaultPlan::new(vec![
+            FaultEvent { shard: 0, at: 40, kind: FaultKind::Delay { spins: 2_000 } },
+            FaultEvent { shard: 1, at: 10, kind: FaultKind::QueueFull },
+            FaultEvent { shard: 1, at: 11, kind: FaultKind::Delay { spins: 100 } },
+        ]));
+        assert_eq!(clean.fleet_cache(), slowed.fleet_cache(), "stalls never alter state");
+        assert_eq!(slowed.total_restarts(), 0);
+        assert_eq!(slowed.total_dropped(), 0);
+        for (a, b) in clean.shards.iter().zip(slowed.shards.iter()) {
+            assert_eq!(a.cache, b.cache);
+            assert_eq!(a.processed, b.processed);
+        }
     }
 }

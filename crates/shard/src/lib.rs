@@ -33,21 +33,32 @@
 //!   (with `DarwinDriver` drivers that is one Darwin controller per shard,
 //!   each learning its own sub-workload).
 //! * [`metrics`] — [`FleetMetrics`]: per-shard and fleet-wide OHR / BMR /
-//!   disk-write aggregation, queue depth and backpressure counters, periodic
-//!   snapshots.
+//!   disk-write aggregation, queue depth and backpressure counters, restart
+//!   and degraded-mode state, periodic snapshots.
+//! * [`supervisor`] — per-shard restart policy: a [`Supervisor`] grants cold
+//!   restarts against a sliding-window [`RestartBudget`] and marks shards
+//!   permanently dead once it is spent (the fleet then answers their
+//!   requests `Unavailable` — degraded mode, not an outage).
+//! * [`fault`] — deterministic chaos scripting: a [`FaultPlan`] keys panics,
+//!   delays and queue-full stalls off per-shard request sequence numbers, so
+//!   fault runs reproduce bit-for-bit (no wall clock anywhere).
 //! * [`replay`] — the deterministic sequential side of the equivalence
 //!   contract: an N-shard fleet over a hash-partitioned trace is bitwise
 //!   identical to N sequential single-shard runs (`tests/equivalence.rs`
 //!   enforces this at 1, 2 and 8 shards).
 
+pub mod fault;
 pub mod fleet;
 pub mod metrics;
 pub mod queue;
 pub mod replay;
 pub mod router;
+pub mod supervisor;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fleet::{Backpressure, Envelope, FleetConfig, FleetReport, ShardOutcome, ShardedFleet, Verdict};
 pub use metrics::{FleetMetrics, GatewaySnapshot, MetricsHandle, ShardCell, ShardSnapshot};
 pub use queue::{channel, Consumer, Producer, QueueGauges};
 pub use replay::{partition, run_partition, run_sequential, ShardRun};
 pub use router::{HashRouter, ModuloRouter, Router};
+pub use supervisor::{RestartBudget, Supervisor, SupervisorVerdict};

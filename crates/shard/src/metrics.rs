@@ -1,16 +1,24 @@
 //! Fleet-wide metrics aggregation.
 //!
-//! Each shard worker periodically publishes its cumulative [`CacheMetrics`]
-//! (plus processed/backpressure counters) into a [`ShardCell`]; the fleet
+//! Each shard worker publishes its cumulative [`CacheMetrics`] (plus
+//! processed/backpressure counters) into a [`ShardCell`]; the fleet
 //! assembles point-in-time [`FleetMetrics`] snapshots from the cells on
 //! demand and, when configured, on a fixed submission cadence. Because every
 //! counter is a plain sum, per-shard metrics merge into exact fleet-wide
 //! OHR / BMR / disk-write figures via [`CacheMetrics::merge_all`].
+//!
+//! Cells survive their worker: when a supervisor cold-restarts a shard, the
+//! dying incarnation's counters are *folded* into per-cell bases
+//! ([`ShardCell::fold_incarnation`]) and the fresh worker counts on top, so
+//! `processed` / `cache` in a snapshot are always totals over the shard's
+//! whole life. Restart and permanent-death state ride along (`restarts`,
+//! `dead`, `unavailable`), which is how `finish()` reports fault history
+//! instead of panicking.
 
 use crate::queue::QueueGauges;
 use darwin_cache::CacheMetrics;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Point-in-time view of one shard.
@@ -18,17 +26,33 @@ use std::sync::{Arc, Mutex};
 pub struct ShardSnapshot {
     /// Shard index.
     pub shard: usize,
-    /// Requests fully processed by the shard worker.
+    /// Requests fully processed by the shard's workers, summed over every
+    /// incarnation.
     pub processed: u64,
-    /// Requests dropped at the shard's queue under `DropNewest` backpressure.
+    /// Requests dropped: shed at the shard's queue under `DropNewest`
+    /// backpressure, or in flight when a worker died.
     pub dropped: u64,
+    /// Requests answered `Unavailable` because the shard was permanently
+    /// dead when they arrived.
+    #[serde(default)]
+    pub unavailable: u64,
+    /// Cold restarts the shard's supervisor granted.
+    #[serde(default)]
+    pub restarts: u32,
+    /// True once the shard is permanently dead (restart budget exhausted or
+    /// a terminal end-of-stream panic).
+    #[serde(default)]
+    pub dead: bool,
     /// Requests currently waiting in the shard's queue.
     pub queue_depth: usize,
-    /// Maximum queue depth ever observed (backpressure high-water mark).
+    /// Maximum queue depth ever observed, across incarnations (backpressure
+    /// high-water mark).
     pub queue_high_water: usize,
-    /// The shard server's cumulative cache metrics.
+    /// The shard's cumulative cache metrics, summed over incarnations (each
+    /// restart begins from a cold cache but keeps counting).
     pub cache: CacheMetrics,
-    /// Label of the shard's currently deployed admission policy.
+    /// Label of the shard's currently deployed admission policy (the last
+    /// published label, for a dead shard).
     pub policy: String,
 }
 
@@ -41,6 +65,9 @@ pub struct GatewaySnapshot {
     pub connections_accepted: u64,
     /// Connections currently being served.
     pub connections_active: u64,
+    /// Connections closed by the gateway's idle cutoff.
+    #[serde(default)]
+    pub idle_closed: u64,
     /// Well-formed frames decoded across all connections.
     pub frames_in: u64,
     /// Frames rejected (malformed, oversized, or a client-illegal opcode).
@@ -101,9 +128,25 @@ impl FleetMetrics {
         self.shards.iter().map(|s| s.processed).sum()
     }
 
-    /// Requests dropped across the fleet (backpressure load shedding).
+    /// Requests dropped across the fleet (backpressure load shedding plus
+    /// in-flight losses at worker deaths).
     pub fn total_dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Requests answered `Unavailable` across the fleet (degraded mode).
+    pub fn total_unavailable(&self) -> u64 {
+        self.shards.iter().map(|s| s.unavailable).sum()
+    }
+
+    /// Cold restarts granted across the fleet.
+    pub fn total_restarts(&self) -> u32 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Shards currently marked permanently dead.
+    pub fn dead_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.dead).count()
     }
 
     /// Deepest queue across shards right now.
@@ -146,14 +189,38 @@ impl MetricsHandle {
     }
 }
 
+/// Cache metrics and policy label of the current worker incarnation, plus
+/// the folded totals of every incarnation that died before it.
+#[derive(Debug, Default)]
+struct CellState {
+    cache: CacheMetrics,
+    cache_base: CacheMetrics,
+    policy: String,
+}
+
 /// The mailbox one shard worker publishes into and the fleet reads from.
+///
+/// The cell outlives any single worker incarnation: at a cold restart the
+/// fleet calls [`fold_incarnation`](Self::fold_incarnation) to move the dead
+/// incarnation's counters into bases and [`set_gauges`](Self::set_gauges) to
+/// point at the replacement queue, so readers always see whole-shard totals.
 #[derive(Debug)]
 pub struct ShardCell {
     shard: usize,
-    state: Mutex<(CacheMetrics, String)>,
+    state: Mutex<CellState>,
+    /// Requests processed by the *current* incarnation, stored per request
+    /// so the count is exact at any crash point.
     processed: AtomicU64,
+    /// Requests processed by previous (crashed) incarnations.
+    processed_base: AtomicU64,
     dropped: AtomicU64,
-    gauges: Arc<QueueGauges>,
+    unavailable: AtomicU64,
+    restarts: AtomicU32,
+    dead: AtomicBool,
+    /// High-water marks of retired queues (a restart swaps in a fresh queue
+    /// whose gauge starts at zero).
+    high_water_floor: AtomicUsize,
+    gauges: Mutex<Arc<QueueGauges>>,
 }
 
 impl ShardCell {
@@ -161,20 +228,41 @@ impl ShardCell {
     pub fn new(shard: usize, gauges: Arc<QueueGauges>) -> Self {
         Self {
             shard,
-            state: Mutex::new((CacheMetrics::default(), String::new())),
+            state: Mutex::new(CellState::default()),
             processed: AtomicU64::new(0),
+            processed_base: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
-            gauges,
+            unavailable: AtomicU64::new(0),
+            restarts: AtomicU32::new(0),
+            dead: AtomicBool::new(false),
+            high_water_floor: AtomicUsize::new(0),
+            gauges: Mutex::new(gauges),
         }
     }
 
-    /// Worker side: publish the shard's cumulative metrics and policy label.
+    /// Worker side, batch boundary: publish cumulative metrics *and* the
+    /// policy label (labels change rarely; per-request publication skips
+    /// them).
     pub fn publish(&self, cache: CacheMetrics, processed: u64, policy: String) {
-        *self.state.lock().expect("cell poisoned") = (cache, policy);
+        {
+            let mut st = self.state.lock().expect("cell poisoned");
+            st.cache = cache;
+            st.policy = policy;
+        }
         self.processed.store(processed, Ordering::Release);
     }
 
-    /// Producer side: account requests shed at this shard's queue.
+    /// Worker side, per request: publish cumulative metrics and the
+    /// processed count. Keeping the cell exact at every request is what
+    /// makes the fleet's crash accounting (`submitted = processed + dropped
+    /// + unavailable`) exact rather than batch-granular.
+    pub fn publish_request(&self, cache: CacheMetrics, processed: u64) {
+        self.state.lock().expect("cell poisoned").cache = cache;
+        self.processed.store(processed, Ordering::Release);
+    }
+
+    /// Producer side: account requests shed at this shard's queue or lost in
+    /// flight to a worker death.
     pub fn add_dropped(&self, n: u64) {
         if n > 0 {
             self.dropped.fetch_add(n, Ordering::Relaxed);
@@ -186,15 +274,81 @@ impl ShardCell {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Reader side: the shard's current snapshot.
+    /// Producer side: account requests answered `Unavailable` because this
+    /// shard is dead.
+    pub fn add_unavailable(&self, n: u64) {
+        if n > 0 {
+            self.unavailable.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests answered `Unavailable` so far.
+    pub fn unavailable(&self) -> u64 {
+        self.unavailable.load(Ordering::Relaxed)
+    }
+
+    /// Requests processed across all incarnations.
+    pub fn processed_total(&self) -> u64 {
+        self.processed_base.load(Ordering::Acquire) + self.processed.load(Ordering::Acquire)
+    }
+
+    /// Folds the just-joined incarnation's counters into the bases so the
+    /// next incarnation (if any) counts on top. Call only after the worker
+    /// thread has been joined — the arithmetic assumes no concurrent
+    /// publisher.
+    pub fn fold_incarnation(&self) {
+        {
+            let mut st = self.state.lock().expect("cell poisoned");
+            let current = std::mem::take(&mut st.cache);
+            st.cache_base = st.cache_base.merge(&current);
+        }
+        let p = self.processed.swap(0, Ordering::AcqRel);
+        self.processed_base.fetch_add(p, Ordering::AcqRel);
+        let hw = self.gauges.lock().expect("cell poisoned").high_water();
+        self.high_water_floor.fetch_max(hw, Ordering::Relaxed);
+    }
+
+    /// Points the cell at a replacement queue's gauges (cold restart).
+    pub fn set_gauges(&self, gauges: Arc<QueueGauges>) {
+        *self.gauges.lock().expect("cell poisoned") = gauges;
+    }
+
+    /// Counts one granted cold restart.
+    pub fn record_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cold restarts granted so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Marks the shard permanently dead.
+    pub fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+    }
+
+    /// True once the shard has been marked permanently dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Reader side: the shard's current snapshot (whole-life totals).
     pub fn snapshot(&self) -> ShardSnapshot {
-        let (cache, policy) = self.state.lock().expect("cell poisoned").clone();
+        let (cache, policy) = {
+            let st = self.state.lock().expect("cell poisoned");
+            (st.cache_base.merge(&st.cache), st.policy.clone())
+        };
+        let gauges = Arc::clone(&self.gauges.lock().expect("cell poisoned"));
         ShardSnapshot {
             shard: self.shard,
-            processed: self.processed.load(Ordering::Acquire),
+            processed: self.processed_total(),
             dropped: self.dropped(),
-            queue_depth: self.gauges.depth(),
-            queue_high_water: self.gauges.high_water(),
+            unavailable: self.unavailable(),
+            restarts: self.restarts(),
+            dead: self.is_dead(),
+            queue_depth: gauges.depth(),
+            queue_high_water: self.high_water_floor.load(Ordering::Relaxed).max(gauges.high_water()),
             cache,
             policy,
         }
@@ -210,6 +364,9 @@ mod tests {
             shard,
             processed: requests,
             dropped: 0,
+            unavailable: 0,
+            restarts: 0,
+            dead: false,
             queue_depth: 0,
             queue_high_water: 0,
             cache: CacheMetrics {
@@ -231,6 +388,9 @@ mod tests {
         assert!((total.hoc_ohr() - 0.25).abs() < 1e-12, "fleet OHR is hit-weighted");
         assert_eq!(fm.total_processed(), 400);
         assert_eq!(fm.total_dropped(), 0);
+        assert_eq!(fm.total_unavailable(), 0);
+        assert_eq!(fm.total_restarts(), 0);
+        assert_eq!(fm.dead_shards(), 0);
     }
 
     #[test]
@@ -249,6 +409,7 @@ mod tests {
         let gw = GatewaySnapshot {
             connections_accepted: 2,
             connections_active: 1,
+            idle_closed: 1,
             frames_in: 40,
             frames_rejected: 1,
             requests_in: 2_000,
@@ -261,6 +422,20 @@ mod tests {
         let back = FleetMetrics::from_json(&folded.to_json()).unwrap();
         assert_eq!(back, folded);
         assert_eq!(back.gateway.unwrap().requests_in, 2_000);
+    }
+
+    #[test]
+    fn snapshot_json_tolerates_pre_supervision_fields() {
+        // Snapshots written before the supervision counters existed (older
+        // bench artifacts) still parse; the new fields default to zero.
+        let fm = FleetMetrics::from_shards(vec![snap(0, 10, 3)]);
+        let mut json = fm.to_json();
+        for gone in ["\"unavailable\": 0,", "\"restarts\": 0,", "\"dead\": false,"] {
+            assert!(json.contains(gone));
+            json = json.replacen(gone, "", 1);
+        }
+        let back = FleetMetrics::from_json(&json).unwrap();
+        assert_eq!(back, fm, "missing fields default to zero");
     }
 
     #[test]
@@ -281,11 +456,41 @@ mod tests {
         let m = CacheMetrics { requests: 7, hoc_hits: 2, ..Default::default() };
         cell.publish(m, 7, "f1s50".into());
         cell.add_dropped(5);
+        cell.add_unavailable(2);
         let s = cell.snapshot();
         assert_eq!(s.shard, 3);
         assert_eq!(s.processed, 7);
         assert_eq!(s.dropped, 5);
+        assert_eq!(s.unavailable, 2);
         assert_eq!(s.cache, m);
         assert_eq!(s.policy, "f1s50");
+        assert!(!s.dead);
+    }
+
+    #[test]
+    fn fold_incarnation_accumulates_across_restarts() {
+        let cell = ShardCell::new(0, Arc::new(QueueGauges::default()));
+        let m1 = CacheMetrics { requests: 100, hoc_hits: 30, ..Default::default() };
+        cell.publish_request(m1, 100);
+        cell.fold_incarnation();
+        cell.record_restart();
+
+        // Fresh incarnation counts from zero; readers see the sum.
+        let m2 = CacheMetrics { requests: 40, hoc_hits: 10, ..Default::default() };
+        cell.publish_request(m2, 40);
+        let s = cell.snapshot();
+        assert_eq!(s.processed, 140);
+        assert_eq!(s.cache.requests, 140);
+        assert_eq!(s.cache.hoc_hits, 40);
+        assert_eq!(s.restarts, 1);
+        assert!(!s.dead);
+
+        // Second death exhausts the (hypothetical) budget.
+        cell.fold_incarnation();
+        cell.mark_dead();
+        let s = cell.snapshot();
+        assert_eq!(s.processed, 140);
+        assert!(s.dead);
+        assert_eq!(cell.processed_total(), 140);
     }
 }

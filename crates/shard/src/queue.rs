@@ -117,6 +117,14 @@ impl<T> Producer<T> {
         undelivered
     }
 
+    /// True once the consumer endpoint is gone (worker thread exited or
+    /// panicked): subsequent pushes will fail fast. This is the supervisor's
+    /// death-detection signal on the `DropNewest` path, where a failed push
+    /// is otherwise indistinguishable from ordinary overflow.
+    pub fn is_closed(&self) -> bool {
+        self.shared.inner.lock().expect("queue poisoned").consumer_closed
+    }
+
     /// Non-blocking push: items that fit are enqueued in order, the overflow
     /// is dropped. Returns the number of dropped items (also counting every
     /// item when the consumer is gone).
@@ -154,6 +162,35 @@ impl<T> Consumer<T> {
     /// The queue's occupancy gauges.
     pub fn gauges(&self) -> Arc<QueueGauges> {
         Arc::clone(&self.shared.gauges)
+    }
+
+    /// The queue's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// True once the producer endpoint has been dropped (end of stream —
+    /// possibly with items still buffered).
+    pub fn is_producer_closed(&self) -> bool {
+        self.shared.inner.lock().expect("queue poisoned").producer_closed
+    }
+
+    /// Closes the queue from the consumer side and destroys everything still
+    /// buffered, returning how many items that was. A panicking shard worker
+    /// calls this from its unwind handler so in-flight envelopes are answered
+    /// (their destructors file `Dropped` verdicts) *and counted*; afterwards
+    /// every producer push fails fast, which is what the supervisor's
+    /// organic-death detection keys on.
+    pub fn close(&self) -> usize {
+        let mut inner = self.shared.inner.lock().expect("queue poisoned");
+        inner.consumer_closed = true;
+        let stranded: VecDeque<T> = std::mem::take(&mut inner.buf);
+        self.shared.gauges.set_depth(0);
+        drop(inner);
+        self.shared.not_full.notify_one();
+        let n = stranded.len();
+        drop(stranded);
+        n
     }
 
     /// Blocks until at least one item is available (or the producer closed),
@@ -274,6 +311,23 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = channel::<u32>(0);
+    }
+
+    #[test]
+    fn close_counts_and_destroys_buffered_items() {
+        let (tx, rx) = channel::<u32>(8);
+        let mut batch = vec![1, 2, 3];
+        assert_eq!(tx.push_all(&mut batch), 0);
+        assert!(!tx.is_closed());
+        assert_eq!(rx.capacity(), 8);
+        assert!(!rx.is_producer_closed());
+        assert_eq!(rx.close(), 3, "all buffered items destroyed and counted");
+        assert_eq!(rx.gauges().depth(), 0);
+        assert!(tx.is_closed());
+        let mut batch = vec![4];
+        assert_eq!(tx.push_all(&mut batch), 1, "pushes fail fast after close");
+        drop(tx);
+        assert!(rx.is_producer_closed());
     }
 
     #[test]

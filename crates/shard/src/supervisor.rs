@@ -1,0 +1,140 @@
+//! Shard-worker supervision: restart policy and per-shard health tracking.
+//!
+//! A [`Supervisor`] sits (logically) above one shard worker. When the worker
+//! dies — an organic panic detected by a failed queue push, or a scripted
+//! [`FaultKind::Panic`](crate::fault::FaultKind) — the fleet asks the
+//! supervisor what to do. The answer is governed by a [`RestartBudget`]:
+//! up to `max_restarts` cold restarts within any sliding window of
+//! `window_requests` *fleet submissions* (request counts, not wall clock, so
+//! chaos runs stay deterministic). Inside the budget the worker is respawned
+//! with a fresh `CacheServer` and a fresh admission driver — a cold restart,
+//! exactly what a production cache node does after a crash: the learned
+//! state is gone, the shard re-warms. Beyond the budget the shard is marked
+//! **permanently dead** and every later request routed to it is answered
+//! `Unavailable` immediately (degraded mode) instead of queueing into a
+//! crash loop.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How many cold restarts a shard is allowed before it is declared dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestartBudget {
+    /// Maximum restarts tolerated within one window. 0 means the first panic
+    /// kills the shard permanently.
+    pub max_restarts: u32,
+    /// Sliding-window length, counted in fleet-wide submitted requests (a
+    /// deterministic clock). Restarts older than this no longer count
+    /// against the budget.
+    pub window_requests: u64,
+}
+
+impl Default for RestartBudget {
+    fn default() -> Self {
+        Self { max_restarts: 3, window_requests: 100_000 }
+    }
+}
+
+impl RestartBudget {
+    /// A budget of `max_restarts` over the default window.
+    pub fn with_max_restarts(max_restarts: u32) -> Self {
+        Self { max_restarts, ..Self::default() }
+    }
+}
+
+/// What the fleet should do with a shard whose worker just died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorVerdict {
+    /// Within budget: cold-restart the worker (fresh server, fresh driver).
+    Respawn,
+    /// Budget exhausted: mark the shard permanently dead; answer everything
+    /// routed to it `Unavailable`.
+    Bury,
+}
+
+/// Per-shard supervision state: the restart history against its budget.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    budget: RestartBudget,
+    /// Fleet submission counts at which past restarts happened (only those
+    /// still inside the window are retained).
+    marks: VecDeque<u64>,
+    restarts: u32,
+    dead: bool,
+}
+
+impl Supervisor {
+    /// A supervisor enforcing `budget`.
+    pub fn new(budget: RestartBudget) -> Self {
+        Self { budget, marks: VecDeque::new(), restarts: 0, dead: false }
+    }
+
+    /// Records a worker death observed at fleet submission count `now` and
+    /// decides between respawn and burial. Idempotent once dead.
+    pub fn on_worker_death(&mut self, now: u64) -> SupervisorVerdict {
+        if self.dead {
+            return SupervisorVerdict::Bury;
+        }
+        let horizon = now.saturating_sub(self.budget.window_requests);
+        while self.marks.front().is_some_and(|&m| m < horizon) {
+            self.marks.pop_front();
+        }
+        if (self.marks.len() as u64) < u64::from(self.budget.max_restarts) {
+            self.marks.push_back(now);
+            self.restarts += 1;
+            SupervisorVerdict::Respawn
+        } else {
+            self.dead = true;
+            SupervisorVerdict::Bury
+        }
+    }
+
+    /// Cold restarts granted so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// True once the shard has been declared permanently dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respawns_within_budget_then_buries() {
+        let mut sup = Supervisor::new(RestartBudget { max_restarts: 2, window_requests: 1_000 });
+        assert_eq!(sup.on_worker_death(10), SupervisorVerdict::Respawn);
+        assert_eq!(sup.on_worker_death(20), SupervisorVerdict::Respawn);
+        assert_eq!(sup.restarts(), 2);
+        assert!(!sup.is_dead());
+        assert_eq!(sup.on_worker_death(30), SupervisorVerdict::Bury);
+        assert!(sup.is_dead());
+        assert_eq!(sup.restarts(), 2, "burial is not a restart");
+        // Idempotent once dead, regardless of how far the clock moves.
+        assert_eq!(sup.on_worker_death(1_000_000), SupervisorVerdict::Bury);
+    }
+
+    #[test]
+    fn window_expiry_refills_the_budget() {
+        let mut sup = Supervisor::new(RestartBudget { max_restarts: 1, window_requests: 100 });
+        assert_eq!(sup.on_worker_death(0), SupervisorVerdict::Respawn);
+        // Second death 200 submissions later: the first mark fell out of the
+        // window, so the budget has refilled.
+        assert_eq!(sup.on_worker_death(200), SupervisorVerdict::Respawn);
+        assert_eq!(sup.restarts(), 2);
+        // A third death inside the second mark's window exhausts it.
+        assert_eq!(sup.on_worker_death(250), SupervisorVerdict::Bury);
+    }
+
+    #[test]
+    fn zero_budget_buries_immediately() {
+        let mut sup = Supervisor::new(RestartBudget::with_max_restarts(0));
+        assert_eq!(sup.on_worker_death(5), SupervisorVerdict::Bury);
+        assert!(sup.is_dead());
+        assert_eq!(sup.restarts(), 0);
+    }
+}

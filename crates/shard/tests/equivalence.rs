@@ -87,10 +87,14 @@ fn check_darwin_equivalence(shards: usize) {
             batch: 64,
             backpressure: Backpressure::Block,
             snapshot_every: None,
+            restart_budget: Default::default(),
         },
         cache_cfg(),
         Box::new(HashRouter),
-        |_| DarwinDriver::new(Arc::clone(&model), online_cfg()),
+        {
+            let model = Arc::clone(&model);
+            move |_| DarwinDriver::new(Arc::clone(&model), online_cfg())
+        },
     );
     fleet.submit_trace(&trace);
     let fleet_report = fleet.finish();
@@ -116,7 +120,8 @@ fn check_darwin_equivalence(shards: usize) {
         assert_eq!(f.cache, s.cache, "shard {shard}: cache metrics");
         assert_eq!(f.hoc_used_bytes, s.hoc_used_bytes, "shard {shard}: HOC occupancy");
         assert_eq!(f.dc_used_bytes, s.dc_used_bytes, "shard {shard}: DC occupancy");
-        let fleet_seq = f.driver.into_controller().expert_sequence();
+        let fleet_seq =
+            f.driver.expect("live shard keeps its driver").into_controller().expert_sequence();
         let replay_seq = s.driver.into_controller().expert_sequence();
         assert_eq!(fleet_seq, replay_seq, "shard {shard}: deployed-expert sequence");
         switched_anywhere |= fleet_seq.len() > 1;
@@ -155,10 +160,11 @@ fn static_fleet_equivalent_at_8_shards_long_trace() {
             batch: 16,
             backpressure: Backpressure::Block,
             snapshot_every: Some(25_000),
+            restart_budget: Default::default(),
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),
-        |_| StaticDriver::new(policy),
+        move |_| StaticDriver::new(policy),
     );
     fleet.submit_trace(&trace);
     let report = fleet.finish();

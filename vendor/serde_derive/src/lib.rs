@@ -9,20 +9,22 @@
 //!   comments are skipped);
 //! * tuple and unit structs;
 //! * enums with unit, tuple, and struct variants (externally tagged, like
-//!   serde's JSON default).
+//!   serde's JSON default);
+//! * `#[serde(default)]` on named fields: a missing field deserializes to
+//!   `Default::default()` instead of erroring (serialization is unchanged).
 //!
-//! Generics and `#[serde(...)]` field attributes are intentionally not
+//! Generics and every other `#[serde(...)]` attribute are intentionally not
 //! supported; deriving on such an item produces a compile error naming this
 //! limitation rather than silently wrong code.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Deserialize)
 }
@@ -34,10 +36,16 @@ enum Mode {
 }
 
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
+    NamedStruct { name: String, fields: Vec<Field> },
     TupleStruct { name: String, arity: usize },
     UnitStruct { name: String },
     Enum { name: String, variants: Vec<Variant> },
+}
+
+/// A named field plus whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -48,7 +56,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 fn expand(input: TokenStream, mode: Mode) -> TokenStream {
@@ -159,12 +167,49 @@ fn parse_item(tokens: &[TokenTree]) -> Result<Item, String> {
     }
 }
 
-/// Parses `field: Type, ...` lists, returning the field names in order.
-fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+/// Inspects one bracketed attribute body: returns true for `serde(default)`,
+/// false for any non-serde attribute (doc comments arrive this way), and an
+/// error for every other `serde(...)` form — unsupported attributes must not
+/// silently change semantics.
+fn parse_serde_attr(tokens: &[TokenTree]) -> Result<bool, String> {
+    let [TokenTree::Ident(id), TokenTree::Group(g)] = tokens else {
+        return Ok(false);
+    };
+    if id.to_string() != "serde" || g.delimiter() != Delimiter::Parenthesis {
+        return Ok(false);
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match &inner[..] {
+        [TokenTree::Ident(d)] if d.to_string() == "default" => Ok(true),
+        _ => Err(format!(
+            "unsupported attribute `#[serde({})]`: the vendored derive only knows \
+             `#[serde(default)]`",
+            g.stream()
+        )),
+    }
+}
+
+/// Parses `field: Type, ...` lists, returning the fields in order with their
+/// `#[serde(default)]` markers.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attrs(tokens, i);
+        let mut default = false;
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                i += 1;
+            }
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    default |=
+                        parse_serde_attr(&g.stream().into_iter().collect::<Vec<_>>())?;
+                    i += 1;
+                }
+                _ => break,
+            }
+        }
         if i >= tokens.len() {
             break;
         }
@@ -192,7 +237,7 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
         if i < tokens.len() {
             i += 1; // the comma
         }
-        fields.push(field);
+        fields.push(Field { name: field, default });
     }
     Ok(fields)
 }
@@ -268,6 +313,7 @@ fn gen_serialize(item: &Item) -> String {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "entries.push((\"{f}\".to_string(), \
                          ::serde::Serialize::to_value(&self.{f})));"
@@ -333,10 +379,12 @@ fn gen_serialize(item: &Item) -> String {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds =
+                                fields.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(", ");
                             let pushes: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), \
                                          ::serde::Serialize::to_value({f}))"
@@ -365,18 +413,29 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
+/// The `field: <expr>` initializer for one named field: an error on a
+/// missing key, unless the field is `#[serde(default)]`.
+fn named_field_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match ::serde::get_field(entries, \"{name}\") {{\n\
+                 Ok(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 Err(_) => ::core::default::Default::default(),\n\
+             }}"
+        )
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::from_value(\
+             ::serde::get_field(entries, \"{name}\")?)?"
+        )
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::NamedStruct { name, fields } => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::get_field(entries, \"{f}\")?)?"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(named_field_init).collect();
             format!(
                 "#[automatically_derived]\n\
                  impl ::serde::Deserialize for {name} {{\n\
@@ -450,15 +509,8 @@ fn gen_deserialize(item: &Item) -> String {
                             ))
                         }
                         VariantKind::Named(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(\
-                                         ::serde::get_field(entries, \"{f}\")?)?"
-                                    )
-                                })
-                                .collect();
+                            let inits: Vec<String> =
+                                fields.iter().map(named_field_init).collect();
                             Some(format!(
                                 "\"{vname}\" => {{\n\
                                      let entries = payload.as_object().ok_or_else(|| \

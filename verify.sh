@@ -22,6 +22,12 @@ cargo test -p darwin-gateway --test loopback -q -- \
     stats_frame_returns_parseable_snapshot \
     shutdown_frame_drains_gateway
 
+echo "== chaos: fault-plan conservation (proptest + bitwise regression) =="
+cargo test -p darwin-shard --test chaos -q
+
+echo "== chaos bench smoke (scripted shard deaths, exactly-once answering) =="
+cargo run --release -p darwin-bench --bin experiments -- chaos --out target/chaos_smoke
+
 echo "== rustfmt (--check) =="
 cargo fmt --all -- --check
 
