@@ -68,6 +68,25 @@ impl SideInfo {
     pub fn kappa(&self) -> f64 {
         self.sigma2_min() / self.sigma2_max()
     }
+
+    /// Serializes the variance matrix row by row, bit-exactly.
+    pub fn encode_state(&self, enc: &mut darwin_ckpt::Enc) {
+        enc.seq(&self.sigma2, |e, row| e.seq(row, |e, &v| e.f64(v)));
+    }
+
+    /// Rebuilds side information from bytes written by
+    /// [`SideInfo::encode_state`], re-validating squareness and positivity.
+    pub fn decode_state(dec: &mut darwin_ckpt::Dec<'_>) -> Result<Self, darwin_ckpt::CkptError> {
+        let sigma2: Vec<Vec<f64>> = dec.seq(|d| d.seq(|d| d.f64()))?;
+        let k = sigma2.len();
+        if k == 0
+            || sigma2.iter().any(|row| row.len() != k)
+            || sigma2.iter().flatten().any(|&v| v <= 0.0 || !v.is_finite())
+        {
+            return Err(darwin_ckpt::CkptError::Malformed("invalid side-info matrix".into()));
+        }
+        Ok(Self { sigma2 })
+    }
 }
 
 /// A synthetic environment with Gaussian rewards and side information, used

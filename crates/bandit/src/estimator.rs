@@ -77,6 +77,29 @@ impl WeightedEstimator {
         let means = self.means();
         means.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap()
     }
+
+    /// Serializes the estimator (side info, accumulators, round count).
+    pub fn encode_state(&self, enc: &mut darwin_ckpt::Enc) {
+        self.sigma.encode_state(enc);
+        enc.seq(&self.weighted_sum, |e, &v| e.f64(v));
+        enc.seq(&self.precision, |e, &v| e.f64(v));
+        enc.usize(self.rounds);
+    }
+
+    /// Rebuilds an estimator from bytes written by
+    /// [`WeightedEstimator::encode_state`].
+    pub fn decode_state(dec: &mut darwin_ckpt::Dec<'_>) -> Result<Self, darwin_ckpt::CkptError> {
+        let sigma = SideInfo::decode_state(dec)?;
+        let weighted_sum = dec.seq(|d| d.f64())?;
+        let precision = dec.seq(|d| d.f64())?;
+        let rounds = dec.usize()?;
+        if weighted_sum.len() != sigma.k() || precision.len() != sigma.k() {
+            return Err(darwin_ckpt::CkptError::Malformed(
+                "estimator accumulator length mismatch".into(),
+            ));
+        }
+        Ok(Self { sigma, weighted_sum, precision, rounds })
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 use crate::env::SideInfo;
 use crate::estimator::WeightedEstimator;
 use crate::oracle;
+use darwin_ckpt::{CkptError, Dec, Enc};
 use serde::{Deserialize, Serialize};
 
 /// Stopping-threshold rule.
@@ -267,6 +268,96 @@ impl TrackAndStopSideInfo {
         }
     }
 
+    /// Serializes the full identification state: side info, δ, config, the
+    /// weighted estimator, deployment counts and every piece of stopping
+    /// bookkeeping — enough to resume mid-identification bit-exactly.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        self.sigma.encode_state(enc);
+        enc.f64(self.delta);
+        match self.cfg.beta {
+            BetaRule::GarivierKaufmann => enc.u8(0),
+            BetaRule::Theorem1 { c } => {
+                enc.u8(1);
+                enc.f64(c);
+            }
+        }
+        enc.opt(self.cfg.stability_rounds.as_ref(), |e, &r| e.usize(r));
+        enc.usize(self.cfg.max_rounds);
+        enc.usize(self.cfg.alpha_iters);
+        enc.f64(self.cfg.reward_bound_m);
+        enc.bool(self.cfg.forced_exploration);
+        self.est.encode_state(enc);
+        enc.seq(&self.counts, |e, &v| e.f64(v));
+        enc.usize(self.t);
+        enc.bool(self.finished);
+        enc.opt(self.stop_reason.as_ref(), |e, r| {
+            e.u8(match r {
+                StopReason::Threshold => 0,
+                StopReason::Stability => 1,
+                StopReason::Budget => 2,
+            })
+        });
+        enc.opt(self.last_best.as_ref(), |e, &b| e.usize(b));
+        enc.usize(self.consec_best);
+        enc.opt(self.pending_arm.as_ref(), |e, &a| e.usize(a));
+    }
+
+    /// Rebuilds an identification run from bytes written by
+    /// [`TrackAndStopSideInfo::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let sigma = SideInfo::decode_state(dec)?;
+        let delta = dec.f64()?;
+        if delta.is_nan() || delta <= 0.0 || delta >= 1.0 {
+            return Err(CkptError::Malformed(format!("delta {delta} outside (0,1)")));
+        }
+        let beta = match dec.u8()? {
+            0 => BetaRule::GarivierKaufmann,
+            1 => BetaRule::Theorem1 { c: dec.f64()? },
+            t => return Err(CkptError::Malformed(format!("beta rule tag {t}"))),
+        };
+        let cfg = TasConfig {
+            beta,
+            stability_rounds: dec.opt(|d| d.usize())?,
+            max_rounds: dec.usize()?,
+            alpha_iters: dec.usize()?,
+            reward_bound_m: dec.f64()?,
+            forced_exploration: dec.bool()?,
+        };
+        let est = WeightedEstimator::decode_state(dec)?;
+        let counts = dec.seq(|d| d.f64())?;
+        let k = sigma.k();
+        if est.k() != k || counts.len() != k {
+            return Err(CkptError::Malformed("arm count mismatch".into()));
+        }
+        let t = dec.usize()?;
+        let finished = dec.bool()?;
+        let stop_reason = dec.opt(|d| match d.u8()? {
+            0 => Ok(StopReason::Threshold),
+            1 => Ok(StopReason::Stability),
+            2 => Ok(StopReason::Budget),
+            t => Err(CkptError::Malformed(format!("stop reason tag {t}"))),
+        })?;
+        let last_best = dec.opt(|d| d.usize())?;
+        let consec_best = dec.usize()?;
+        let pending_arm = dec.opt(|d| d.usize())?;
+        if last_best.is_some_and(|b| b >= k) || pending_arm.is_some_and(|a| a >= k) {
+            return Err(CkptError::Malformed("arm index out of range".into()));
+        }
+        Ok(Self {
+            sigma,
+            delta,
+            cfg,
+            est,
+            counts,
+            t,
+            finished,
+            stop_reason,
+            last_best,
+            consec_best,
+            pending_arm,
+        })
+    }
+
     /// Runs the full identification loop against a reward oracle, returning
     /// `(recommended_arm, rounds, stop_reason)`.
     pub fn run<F>(mut self, mut pull: F) -> (usize, usize, StopReason)
@@ -387,6 +478,64 @@ mod tests {
         let mut tas = TrackAndStopSideInfo::new(sigma, 0.05, TasConfig::default());
         let _ = tas.next_arm(); // arm 0
         tas.observe(2, &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn codec_roundtrip_mid_identification_resumes_identically() {
+        let sigma = SideInfo::two_level(4, 0.05, 0.12);
+        let mut env = GaussianEnv::new(vec![0.6, 0.55, 0.4, 0.3], sigma.clone(), 21);
+        let cfg = TasConfig { stability_rounds: None, max_rounds: 500, ..TasConfig::default() };
+        let mut original = TrackAndStopSideInfo::new(sigma, 0.05, cfg);
+        // Progress past initialization, stop mid-run with a pending arm.
+        for _ in 0..6 {
+            let a = original.next_arm();
+            let y = env.pull(a);
+            original.observe(a, &y);
+        }
+        let _ = original.next_arm(); // leave a pending (un-observed) arm
+
+        let mut enc = Enc::new();
+        original.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let mut restored = TrackAndStopSideInfo::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(restored.means(), original.means());
+        assert_eq!(restored.deployment_counts(), original.deployment_counts());
+        assert_eq!(restored.rounds(), original.rounds());
+        // Canonical encoding.
+        let mut re = Enc::new();
+        restored.encode_state(&mut re);
+        assert_eq!(re.into_bytes(), bytes);
+
+        // Both runs continue identically on the same reward stream.
+        let mut env2 = env.clone();
+        while !original.finished() {
+            let a = original.next_arm();
+            assert_eq!(a, restored.next_arm(), "arm choice diverged");
+            let y = env2.pull(a);
+            original.observe(a, &y);
+            restored.observe(a, &y);
+            assert_eq!(original.finished(), restored.finished());
+        }
+        assert_eq!(original.recommend(), restored.recommend());
+        assert_eq!(original.stop_reason(), restored.stop_reason());
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_state() {
+        let sigma = SideInfo::uniform(3, 0.1);
+        let tas = TrackAndStopSideInfo::new(sigma, 0.05, TasConfig::default());
+        let mut enc = Enc::new();
+        tas.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        for keep in 0..bytes.len() {
+            let mut dec = Dec::new(&bytes[..keep]);
+            assert!(
+                TrackAndStopSideInfo::decode_state(&mut dec).and_then(|_| dec.finish()).is_err(),
+                "truncation to {keep} accepted"
+            );
+        }
     }
 
     #[test]

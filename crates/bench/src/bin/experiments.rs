@@ -5,7 +5,7 @@
 //!
 //! what: all | fig2 | fig4a | fig4b | fig4c | fig5a | fig5b | fig5c | fig5d
 //!     | fig6 | fig7a | fig7b | table2 | fig8 | fig9 | fig10 | fig11
-//!     | ablations | timeline | hindsight | shard | gateway | chaos
+//!     | ablations | timeline | hindsight | shard | gateway | chaos | recovery
 //! ```
 //!
 //! `--scale 1` (default) is the laptop configuration; larger factors move
@@ -15,14 +15,15 @@
 
 use darwin::offline::OfflineTrainer;
 use darwin_bench::experiments::{
-    ablations, chaos, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, shard, table2, timeline,
+    ablations, chaos, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, recovery, shard,
+    table2, timeline,
 };
 use darwin_bench::{Scale, SharedContext};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos> [--scale N] [--out DIR] [--cache]"
+        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos|recovery> [--scale N] [--out DIR] [--cache]"
     );
     std::process::exit(2);
 }
@@ -81,6 +82,7 @@ fn main() {
         "shard",
         "gateway",
         "chaos",
+        "recovery",
     ];
     if !KNOWN.contains(&what.as_str()) {
         eprintln!("unknown experiment {what:?}");
@@ -102,6 +104,10 @@ fn main() {
     }
     if what == "chaos" {
         chaos::run(&scale, &out);
+        return;
+    }
+    if what == "recovery" {
+        recovery::run(&scale, &out);
         return;
     }
 
@@ -144,6 +150,7 @@ fn main() {
         "shard" => shard::run(&scale, &out),
         "gateway" => gateway::run(&scale, &out),
         "chaos" => chaos::run(&scale, &out),
+        "recovery" => recovery::run(&scale, &out),
         _ => usage(),
     };
 
@@ -171,6 +178,7 @@ fn main() {
             "shard",
             "gateway",
             "chaos",
+            "recovery",
         ] {
             let t = std::time::Instant::now();
             eprintln!("\n[experiments] ===== {name} =====");

@@ -152,6 +152,7 @@ pub fn run(scale: &Scale, out: &Path) {
                 backpressure: Backpressure::Block,
                 snapshot_every: None,
                 restart_budget: sc.budget,
+                checkpoint_every: None,
             },
             cache.clone(),
             Box::new(HashRouter),

@@ -114,6 +114,7 @@ pub fn run(scale: &Scale, out: &Path) {
                     backpressure: Backpressure::Block,
                     snapshot_every: None,
                     restart_budget: Default::default(),
+                    checkpoint_every: None,
                 },
                 cache.clone(),
                 Box::new(HashRouter),

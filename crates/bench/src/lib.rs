@@ -26,6 +26,7 @@ pub mod experiments {
     pub mod fig8_11;
     pub mod gateway;
     pub mod hindsight;
+    pub mod recovery;
     pub mod shard;
     pub mod table2;
     pub mod timeline;

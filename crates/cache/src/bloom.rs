@@ -8,6 +8,7 @@
 //! provides it with bounded memory (a conservative-update counting Bloom
 //! sketch with periodic halving, as in TinyLFU).
 
+use darwin_ckpt::{CkptError, Dec, Enc};
 use darwin_trace::ObjectId;
 
 /// Double-hashing seeds (large odd constants; quality is adequate for cache
@@ -83,6 +84,29 @@ impl BloomFilter {
         self.bits.iter_mut().for_each(|w| *w = 0);
         self.inserted = 0;
     }
+
+    /// Serializes the filter (bit words, hash count, insert counter).
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.u32(self.k);
+        enc.u64(self.inserted);
+        enc.seq(&self.bits, |e, &w| e.u64(w));
+    }
+
+    /// Rebuilds a filter from bytes written by [`BloomFilter::encode_state`].
+    /// The word count must be a power of two (the mask is derived from it).
+    pub fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let k = dec.u32()?;
+        if k == 0 || k > 16 {
+            return Err(CkptError::Malformed(format!("bloom hash count {k}")));
+        }
+        let inserted = dec.u64()?;
+        let bits = dec.seq(|d| d.u64())?;
+        let words = bits.len() as u64;
+        if words == 0 || !words.is_power_of_two() {
+            return Err(CkptError::Malformed(format!("bloom word count {words}")));
+        }
+        Ok(Self { bits, mask: words * 64 - 1, k, inserted })
+    }
 }
 
 /// A conservative-update counting sketch with periodic halving ("aging"), à
@@ -157,6 +181,32 @@ impl FrequencySketch {
     pub fn clear(&mut self) {
         self.counters.iter_mut().for_each(|c| *c = 0);
         self.ops = 0;
+    }
+
+    /// Serializes the sketch (counters, hash count, aging state).
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.u32(self.k);
+        enc.u64(self.ops);
+        enc.u64(self.aging_period);
+        enc.bytes(&self.counters);
+    }
+
+    /// Rebuilds a sketch from bytes written by
+    /// [`FrequencySketch::encode_state`]. The slot count must be a power of
+    /// two and the hash count must fit the fixed slot buffer.
+    pub fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let k = dec.u32()?;
+        if k == 0 || k > 8 {
+            return Err(CkptError::Malformed(format!("sketch hash count {k}")));
+        }
+        let ops = dec.u64()?;
+        let aging_period = dec.u64()?;
+        let counters = dec.bytes()?.to_vec();
+        let slots = counters.len() as u64;
+        if slots == 0 || !slots.is_power_of_two() {
+            return Err(CkptError::Malformed(format!("sketch slot count {slots}")));
+        }
+        Ok(Self { counters, mask: slots - 1, k, ops, aging_period })
     }
 }
 
@@ -324,6 +374,49 @@ mod tests {
         for (&id, &c) in &exact {
             assert_eq!(sketch.estimate(id), c, "post-hoc estimate for {id}");
         }
+    }
+
+    #[test]
+    fn bloom_and_sketch_codecs_roundtrip() {
+        let mut b = BloomFilter::with_capacity(500);
+        let mut s = FrequencySketch::with_capacity(500);
+        for id in 0..300u64 {
+            b.insert(id);
+            s.increment(id % 40);
+        }
+        let mut enc = Enc::new();
+        b.encode_state(&mut enc);
+        s.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let rb = BloomFilter::decode_state(&mut dec).unwrap();
+        let rs = FrequencySketch::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(rb.inserted(), b.inserted());
+        for id in 0..400u64 {
+            assert_eq!(rb.contains(id), b.contains(id), "bloom diverged at {id}");
+            assert_eq!(rs.estimate(id), s.estimate(id), "sketch diverged at {id}");
+        }
+        // Future behaviour identical too.
+        assert_eq!(rs.clone().increment(7), s.clone().increment(7));
+    }
+
+    #[test]
+    fn bloom_and_sketch_codecs_reject_bad_shapes() {
+        let mut enc = Enc::new();
+        enc.u32(4);
+        enc.u64(0);
+        enc.seq(&[0u64; 3], |e, &w| e.u64(w)); // 3 words: not a power of two
+        let bytes = enc.into_bytes();
+        assert!(BloomFilter::decode_state(&mut Dec::new(&bytes)).is_err());
+
+        let mut enc = Enc::new();
+        enc.u32(0); // zero hash functions
+        enc.u64(0);
+        enc.u64(10);
+        enc.bytes(&[0u8; 64]);
+        let bytes = enc.into_bytes();
+        assert!(FrequencySketch::decode_state(&mut Dec::new(&bytes)).is_err());
     }
 
     #[test]

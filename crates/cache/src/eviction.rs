@@ -14,6 +14,7 @@
 //! overflowing tails downward (evicting from the bottom) — so a one-hit
 //! scan can only churn the lowest segment.
 
+use darwin_ckpt::{CkptError, Dec, Enc};
 use darwin_trace::ObjectId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -294,6 +295,95 @@ impl Store {
         self.seg_used[segment] += self.nodes[idx].size;
     }
 
+    /// Serializes the store's observable state (policy, capacity, clock and
+    /// per-segment recency order with per-object bookkeeping) into `enc`.
+    ///
+    /// Slab layout (node indices, free list) is deliberately *not* encoded:
+    /// it carries no behavioural information, and omitting it makes the
+    /// encoding canonical — identical observable state always encodes to
+    /// identical bytes, which the warm-restore equivalence tests rely on.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        match self.kind {
+            EvictionKind::Lru => enc.u8(0),
+            EvictionKind::Fifo => enc.u8(1),
+            EvictionKind::Lfu => enc.u8(2),
+            EvictionKind::SegmentedLru { segments } => {
+                enc.u8(3);
+                enc.u8(segments);
+            }
+        }
+        enc.u64(self.capacity);
+        enc.u64(self.clock);
+        enc.usize(self.heads.len());
+        for seg in 0..self.heads.len() {
+            // Walk head → tail so decode can rebuild by pushing in reverse.
+            let mut chain = Vec::new();
+            let mut idx = self.heads[seg];
+            while idx != NIL {
+                chain.push(idx);
+                idx = self.nodes[idx].next;
+            }
+            enc.seq(&chain, |e, &i| {
+                let n = &self.nodes[i];
+                e.u64(n.id);
+                e.u64(n.size);
+                e.u64(n.hits);
+                e.u64(n.last_touch);
+            });
+        }
+    }
+
+    /// Rebuilds a store from bytes written by [`Store::encode_state`].
+    ///
+    /// Structural invariants (segment count matches the policy, no duplicate
+    /// IDs, occupancy within capacity) are re-validated, so a corrupt body
+    /// that passed the outer CRC by construction still cannot produce an
+    /// inconsistent store.
+    pub fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let kind = match dec.u8()? {
+            0 => EvictionKind::Lru,
+            1 => EvictionKind::Fifo,
+            2 => EvictionKind::Lfu,
+            3 => EvictionKind::SegmentedLru { segments: dec.u8()? },
+            t => return Err(CkptError::Malformed(format!("eviction kind tag {t}"))),
+        };
+        let capacity = dec.u64()?;
+        if capacity == 0 {
+            return Err(CkptError::Malformed("zero store capacity".into()));
+        }
+        let clock = dec.u64()?;
+        let segs = dec.usize()?;
+        if segs != kind.num_segments() {
+            return Err(CkptError::Malformed(format!(
+                "segment count {segs} does not match policy {:?}",
+                kind
+            )));
+        }
+        let mut store = Store::new(capacity, kind);
+        store.clock = clock;
+        for seg in 0..segs {
+            let chain = dec.seq(|d| Ok((d.u64()?, d.u64()?, d.u64()?, d.u64()?)))?;
+            // Encoded head → tail; push_front in reverse restores the order.
+            for &(id, size, hits, last_touch) in chain.iter().rev() {
+                let node = Node { id, size, prev: NIL, next: NIL, segment: seg, hits, last_touch };
+                store.nodes.push(node);
+                let idx = store.nodes.len() - 1;
+                store.push_front(idx, seg);
+                if store.map.insert(id, idx).is_some() {
+                    return Err(CkptError::Malformed(format!("duplicate object {id}")));
+                }
+                store.used += size;
+            }
+        }
+        if store.used > store.capacity {
+            return Err(CkptError::Malformed(format!(
+                "occupancy {} exceeds capacity {}",
+                store.used, store.capacity
+            )));
+        }
+        Ok(store)
+    }
+
     fn unlink(&mut self, idx: usize) {
         let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
         let segment = self.nodes[idx].segment;
@@ -436,6 +526,66 @@ mod tests {
             s.insert(i, 10); // each insert evicts the previous one
         }
         assert!(s.nodes.len() <= 2, "slab grew: {}", s.nodes.len());
+    }
+
+    fn roundtrip(s: &Store) -> Store {
+        let mut enc = Enc::new();
+        s.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let restored = Store::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        // Canonical encoding: re-encoding the restored store is bit-identical.
+        let mut re = Enc::new();
+        restored.encode_state(&mut re);
+        assert_eq!(re.into_bytes(), bytes, "encoding is not canonical");
+        restored
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_behaviour() {
+        for kind in [
+            EvictionKind::Lru,
+            EvictionKind::Fifo,
+            EvictionKind::Lfu,
+            EvictionKind::SegmentedLru { segments: 4 },
+        ] {
+            let mut s = Store::new(100, kind);
+            for i in 0..40u64 {
+                s.insert(i, 1 + i % 23);
+                s.touch(i / 2);
+            }
+            let mut r = roundtrip(&s);
+            assert_eq!(r.used_bytes(), s.used_bytes());
+            assert_eq!(r.len(), s.len());
+            // Same future behaviour: identical eviction sequences.
+            for i in 100..140u64 {
+                assert_eq!(s.insert(i, 7), r.insert(i, 7), "kind {kind:?} diverged at {i}");
+                assert_eq!(s.touch(i % 50), r.touch(i % 50));
+            }
+        }
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_bodies() {
+        let mut s = Store::lru(100);
+        s.insert(1, 10);
+        s.insert(2, 20);
+        let mut enc = Enc::new();
+        s.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        // Truncations never panic.
+        for keep in 0..bytes.len() {
+            let mut dec = Dec::new(&bytes[..keep]);
+            assert!(
+                Store::decode_state(&mut dec).and_then(|_| dec.finish()).is_err(),
+                "truncation to {keep} bytes accepted"
+            );
+        }
+        // Bad kind tag.
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert!(Store::decode_state(&mut Dec::new(&bad)).is_err());
     }
 
     // --- segmented LRU ---

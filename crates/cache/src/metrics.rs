@@ -12,6 +12,7 @@
 //! of two snapshots — this is how online algorithms (Darwin's bandit rounds,
 //! HillClimbing's epochs, Percentile's windows) extract per-round rewards.
 
+use darwin_ckpt::{CkptError, Dec, Enc};
 use serde::{Deserialize, Serialize};
 
 /// Monotone cache counters. All byte quantities are in bytes.
@@ -134,6 +135,48 @@ impl CacheMetrics {
     /// Merges an iterator of per-shard metrics into fleet-wide totals.
     pub fn merge_all<'a, I: IntoIterator<Item = &'a CacheMetrics>>(parts: I) -> CacheMetrics {
         parts.into_iter().fold(CacheMetrics::default(), |acc, m| acc.merge(m))
+    }
+
+    /// Serializes every counter, in declaration order.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        for v in [
+            self.requests,
+            self.hoc_hits,
+            self.dc_hits,
+            self.origin_fetches,
+            self.bytes_total,
+            self.bytes_hoc_hit,
+            self.bytes_dc_hit,
+            self.bytes_origin,
+            self.dc_write_bytes,
+            self.dc_writes,
+            self.hoc_write_bytes,
+            self.hoc_writes,
+            self.hoc_evictions,
+            self.dc_evictions,
+        ] {
+            enc.u64(v);
+        }
+    }
+
+    /// Reads counters written by [`CacheMetrics::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        Ok(CacheMetrics {
+            requests: dec.u64()?,
+            hoc_hits: dec.u64()?,
+            dc_hits: dec.u64()?,
+            origin_fetches: dec.u64()?,
+            bytes_total: dec.u64()?,
+            bytes_hoc_hit: dec.u64()?,
+            bytes_dc_hit: dec.u64()?,
+            bytes_origin: dec.u64()?,
+            dc_write_bytes: dec.u64()?,
+            dc_writes: dec.u64()?,
+            hoc_write_bytes: dec.u64()?,
+            hoc_writes: dec.u64()?,
+            hoc_evictions: dec.u64()?,
+            dc_evictions: dec.u64()?,
+        })
     }
 }
 

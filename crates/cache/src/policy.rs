@@ -7,6 +7,7 @@
 //! other implementors cover the baselines (always-admit, probabilistic size
 //! admission for AdaptSize).
 
+use darwin_ckpt::{CkptError, Dec, Enc};
 use darwin_trace::ObjectId;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +64,22 @@ impl ThresholdPolicy {
     /// Three-knob expert (f, s, r).
     pub fn with_recency(freq_threshold: u32, size_threshold: u64, max_recency_us: u64) -> Self {
         Self { freq_threshold, size_threshold, max_recency_us: Some(max_recency_us) }
+    }
+
+    /// Serializes the expert's three knobs.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.u32(self.freq_threshold);
+        enc.u64(self.size_threshold);
+        enc.opt(self.max_recency_us.as_ref(), |e, &r| e.u64(r));
+    }
+
+    /// Reads knobs written by [`ThresholdPolicy::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            freq_threshold: dec.u32()?,
+            size_threshold: dec.u64()?,
+            max_recency_us: dec.opt(|d| d.u64())?,
+        })
     }
 }
 

@@ -11,6 +11,7 @@ use crate::bloom::{BloomFilter, FrequencySketch};
 use crate::eviction::{EvictionKind, Store};
 use crate::metrics::CacheMetrics;
 use crate::policy::{AdmissionPolicy, ObjectView, ThresholdPolicy};
+use darwin_ckpt::{CkptError, Dec, Enc};
 use darwin_trace::{ObjectId, Request};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -256,6 +257,127 @@ impl CacheServer {
         }
         self.metrics.diff(&before)
     }
+
+    /// Serializes the server's full mutable state — both store levels, the
+    /// frequency tracker, per-object recency bookkeeping, the DC's one-hit
+    /// wonder filter, and cumulative metrics — prefixed with a fingerprint
+    /// of the static [`CacheConfig`].
+    ///
+    /// The deployed admission policy is deliberately *not* included: the
+    /// controller that deploys experts owns that state, and the shard
+    /// checkpoint layer records it alongside these bytes. Encoding is
+    /// canonical (hash maps sorted by key), so identical state always
+    /// yields identical bytes.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.bytes(&config_fingerprint(&self.config));
+        self.hoc.encode_state(&mut enc);
+        self.dc.encode_state(&mut enc);
+        match &self.freq {
+            FreqTracker::Exact(map) => {
+                enc.u8(0);
+                let mut entries: Vec<(ObjectId, u32)> = map.iter().map(|(&id, &c)| (id, c)).collect();
+                entries.sort_unstable();
+                enc.seq(&entries, |e, &(id, c)| {
+                    e.u64(id);
+                    e.u32(c);
+                });
+            }
+            FreqTracker::Sketch(s) => {
+                enc.u8(1);
+                s.encode_state(&mut enc);
+            }
+        }
+        let mut last: Vec<(ObjectId, u64)> =
+            self.last_access.iter().map(|(&id, &ts)| (id, ts)).collect();
+        last.sort_unstable();
+        enc.seq(&last, |e, &(id, ts)| {
+            e.u64(id);
+            e.u64(ts);
+        });
+        self.dc_filter.encode_state(&mut enc);
+        self.metrics.encode_state(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Rebuilds a server from bytes written by [`CacheServer::save_state`].
+    ///
+    /// `config` must match the configuration the state was saved under
+    /// (compared by fingerprint — restoring a checkpoint into a differently
+    /// sized cache would silently violate capacity invariants). The restored
+    /// server has the default policy installed; the caller re-deploys the
+    /// policy that was active at save time.
+    pub fn restore_state(config: CacheConfig, bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut dec = Dec::new(bytes);
+        let found = dec.bytes()?;
+        if found != config_fingerprint(&config) {
+            return Err(CkptError::Malformed("cache config fingerprint mismatch".into()));
+        }
+        let hoc = Store::decode_state(&mut dec)?;
+        let dc = Store::decode_state(&mut dec)?;
+        if hoc.capacity() != config.hoc_bytes || dc.capacity() != config.dc_bytes {
+            return Err(CkptError::Malformed("store capacity does not match config".into()));
+        }
+        let freq = match (dec.u8()?, config.frequency) {
+            (0, FrequencyMode::Exact) => {
+                let entries = dec.seq(|d| Ok((d.u64()?, d.u32()?)))?;
+                FreqTracker::Exact(entries.into_iter().collect())
+            }
+            (1, FrequencyMode::Sketch { .. }) => {
+                FreqTracker::Sketch(FrequencySketch::decode_state(&mut dec)?)
+            }
+            (t, _) => {
+                return Err(CkptError::Malformed(format!(
+                    "frequency tracker tag {t} does not match config"
+                )))
+            }
+        };
+        let last_access: HashMap<ObjectId, u64> =
+            dec.seq(|d| Ok((d.u64()?, d.u64()?)))?.into_iter().collect();
+        let dc_filter = BloomFilter::decode_state(&mut dec)?;
+        let metrics = CacheMetrics::decode_state(&mut dec)?;
+        dec.finish()?;
+        Ok(Self {
+            config,
+            hoc,
+            dc,
+            policy: Box::new(ThresholdPolicy::new(2, 100 * 1024)),
+            freq,
+            last_access,
+            dc_filter,
+            metrics,
+        })
+    }
+}
+
+/// Canonical byte fingerprint of a [`CacheConfig`], used to refuse restoring
+/// a checkpoint into a server with different static configuration.
+fn config_fingerprint(cfg: &CacheConfig) -> Vec<u8> {
+    fn kind(enc: &mut Enc, k: EvictionKind) {
+        match k {
+            EvictionKind::Lru => enc.u8(0),
+            EvictionKind::Fifo => enc.u8(1),
+            EvictionKind::Lfu => enc.u8(2),
+            EvictionKind::SegmentedLru { segments } => {
+                enc.u8(3);
+                enc.u8(segments);
+            }
+        }
+    }
+    let mut enc = Enc::new();
+    enc.u64(cfg.hoc_bytes);
+    enc.u64(cfg.dc_bytes);
+    kind(&mut enc, cfg.hoc_eviction);
+    kind(&mut enc, cfg.dc_eviction);
+    match cfg.frequency {
+        FrequencyMode::Exact => enc.u8(0),
+        FrequencyMode::Sketch { expected_objects } => {
+            enc.u8(1);
+            enc.usize(expected_objects);
+        }
+    }
+    enc.usize(cfg.expected_unique_objects);
+    enc.into_bytes()
 }
 
 /// A standalone HOC-only simulator.
@@ -487,6 +609,69 @@ mod tests {
         let m = s.process_trace(&Trace::default());
         assert_eq!(m, CacheMetrics::default());
     }
+
+    #[test]
+    fn save_restore_resumes_bitwise_identically() {
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 9).generate(20_000);
+        let policy = ThresholdPolicy::new(2, 100 * 1024);
+        let mut original = CacheServer::new(CacheConfig::small_test());
+        original.set_policy(policy);
+        let (head, tail) = (&trace.requests()[..12_000], &trace.requests()[12_000..]);
+        for r in head {
+            original.process(r);
+        }
+
+        let bytes = original.save_state();
+        let mut restored = CacheServer::restore_state(CacheConfig::small_test(), &bytes).unwrap();
+        restored.set_policy(policy);
+        assert_eq!(restored.metrics(), original.metrics());
+        assert_eq!(restored.hoc_used_bytes(), original.hoc_used_bytes());
+        assert_eq!(restored.dc_used_bytes(), original.dc_used_bytes());
+        // Re-saving the restored server is bit-identical (canonical codec).
+        assert_eq!(restored.save_state(), bytes);
+
+        // Both servers process the tail identically, outcome by outcome.
+        for r in tail {
+            assert_eq!(original.process(r), restored.process(r), "diverged at {}", r.id);
+        }
+        assert_eq!(restored.metrics(), original.metrics());
+        assert_eq!(restored.hoc_used_bytes(), original.hoc_used_bytes());
+        assert_eq!(restored.dc_used_bytes(), original.dc_used_bytes());
+    }
+
+    #[test]
+    fn save_restore_roundtrips_sketch_mode_too() {
+        let cfg = CacheConfig {
+            frequency: FrequencyMode::Sketch { expected_objects: 4096 },
+            ..CacheConfig::small_test()
+        };
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 6).generate(10_000);
+        let mut original = CacheServer::new(cfg.clone());
+        for r in &trace {
+            original.process(r);
+        }
+        let bytes = original.save_state();
+        let restored = CacheServer::restore_state(cfg, &bytes).unwrap();
+        assert_eq!(restored.metrics(), original.metrics());
+        assert_eq!(restored.save_state(), bytes);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let mut s = CacheServer::new(CacheConfig::small_test());
+        s.process(&req(1, 100, 0));
+        let bytes = s.save_state();
+        let bigger = CacheConfig { hoc_bytes: 2 * 1024 * 1024, ..CacheConfig::small_test() };
+        assert!(matches!(
+            CacheServer::restore_state(bigger, &bytes),
+            Err(darwin_ckpt::CkptError::Malformed(_))
+        ));
+        let sketchy = CacheConfig {
+            frequency: FrequencyMode::Sketch { expected_objects: 64 },
+            ..CacheConfig::small_test()
+        };
+        assert!(CacheServer::restore_state(sketchy, &bytes).is_err());
+    }
 }
 
 #[cfg(test)]
@@ -521,6 +706,83 @@ mod proptests {
                 );
                 prop_assert!(s.hoc_used_bytes() <= 256 * 1024);
                 prop_assert!(s.dc_used_bytes() <= 4 * 1024 * 1024);
+            }
+        }
+
+        /// Arbitrary request prefixes roundtrip through save/restore with a
+        /// canonical encoding, and the restored server replays any suffix
+        /// bitwise-identically to the original.
+        #[test]
+        fn save_restore_roundtrip_arbitrary_state(
+            prefix in proptest::collection::vec((0u64..60, 1u64..150_000), 1..300),
+            suffix in proptest::collection::vec((0u64..60, 1u64..150_000), 0..100),
+        ) {
+            let cfg = CacheConfig {
+                hoc_bytes: 256 * 1024,
+                dc_bytes: 4 * 1024 * 1024,
+                ..CacheConfig::small_test()
+            };
+            let policy = ThresholdPolicy::new(1, 100 * 1024);
+            let mut original = CacheServer::new(cfg.clone());
+            original.set_policy(policy);
+            let mut sizes = std::collections::HashMap::new();
+            for (i, (id, size)) in prefix.iter().enumerate() {
+                let size = *sizes.entry(*id).or_insert(*size);
+                original.process(&Request::new(*id, size, i as u64));
+            }
+
+            let bytes = original.save_state();
+            let mut restored = CacheServer::restore_state(cfg, &bytes).unwrap();
+            restored.set_policy(policy);
+            prop_assert_eq!(restored.save_state(), bytes.clone());
+            prop_assert_eq!(restored.metrics(), original.metrics());
+
+            for (i, (id, size)) in suffix.iter().enumerate() {
+                let size = *sizes.entry(*id).or_insert(*size);
+                let at = (prefix.len() + i) as u64;
+                let a = original.process(&Request::new(*id, size, at));
+                let b = restored.process(&Request::new(*id, size, at));
+                prop_assert_eq!(a, b, "restored server diverged");
+            }
+            prop_assert_eq!(restored.metrics(), original.metrics());
+            prop_assert_eq!(restored.hoc_used_bytes(), original.hoc_used_bytes());
+            prop_assert_eq!(restored.dc_used_bytes(), original.dc_used_bytes());
+        }
+
+        /// Any truncation or single-bit flip of saved state is rejected with
+        /// an error — never a panic, never a silently inconsistent server.
+        #[test]
+        fn corrupt_save_state_never_restores(
+            prefix in proptest::collection::vec((0u64..40, 1u64..100_000), 1..150),
+            cut in 0.0f64..1.0,
+            flip in 0.0f64..1.0,
+            bit in 0u8..8,
+        ) {
+            let cfg = CacheConfig {
+                hoc_bytes: 256 * 1024,
+                dc_bytes: 4 * 1024 * 1024,
+                ..CacheConfig::small_test()
+            };
+            let mut s = CacheServer::new(cfg.clone());
+            let mut sizes = std::collections::HashMap::new();
+            for (i, (id, size)) in prefix.iter().enumerate() {
+                let size = *sizes.entry(*id).or_insert(*size);
+                s.process(&Request::new(*id, size, i as u64));
+            }
+            let bytes = s.save_state();
+            // Truncation: always an error (body must be consumed exactly).
+            let keep = ((cut * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            prop_assert!(CacheServer::restore_state(cfg.clone(), &bytes[..keep]).is_err());
+            // Bit flip: either detected, or the restored server still upholds
+            // its structural invariants (the outer frame CRC is what makes
+            // flips always-detected end to end; the body decoder must merely
+            // never panic or break invariants).
+            let mut bad = bytes.clone();
+            let byte = ((flip * bad.len() as f64) as usize).min(bad.len() - 1);
+            bad[byte] ^= 1 << bit;
+            if let Ok(r) = CacheServer::restore_state(cfg.clone(), &bad) {
+                prop_assert!(r.hoc_used_bytes() <= cfg.hoc_bytes);
+                prop_assert!(r.dc_used_bytes() <= cfg.dc_bytes);
             }
         }
     }

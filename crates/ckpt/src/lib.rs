@@ -1,0 +1,539 @@
+#![warn(missing_docs)]
+
+//! # darwin-ckpt
+//!
+//! Std-only binary checkpoint codec, the wire layer of the warm-recovery
+//! subsystem (`wire.rs`'s sibling: no serde, no external crates, explicit
+//! little-endian layout).
+//!
+//! Three pieces:
+//!
+//! * [`Enc`] / [`Dec`] — append-only writer and checked reader for the
+//!   primitive vocabulary every checkpointed struct is built from: `u8`,
+//!   `u32`, `u64`, `f64` (bit-exact via `to_le_bytes`), `bool`, `usize`
+//!   (as `u64`), length-prefixed byte strings and options. Every `Dec`
+//!   read is bounds-checked and returns [`CkptError::Truncated`] instead
+//!   of panicking — corrupt input must never bring a worker down.
+//! * [`crc64`] — CRC-64/XZ (ECMA-182 polynomial, reflected), the frame
+//!   integrity check. Detects all single-bit flips and all burst errors
+//!   up to 64 bits.
+//! * [`seal`] / [`open`] — the versioned frame envelope:
+//!
+//!   ```text
+//!   magic: u32 LE | version: u16 LE | body_len: u64 LE | body | crc64: u64 LE
+//!   ```
+//!
+//!   `open` validates magic, CRC (over everything before the trailer) and
+//!   version, in that order, so callers can distinguish "not a checkpoint"
+//!   ([`CkptError::BadMagic`]), "damaged" ([`CkptError::BadCrc`] /
+//!   [`CkptError::Truncated`]) and "from another format revision"
+//!   ([`CkptError::BadVersion`]) — each of which the shard supervisor
+//!   answers with a cold restart, never a panic.
+//!
+//! Encoders in the state-owning crates keep byte output deterministic
+//! (hash maps are serialized sorted by key), so identical state always
+//! seals to identical frames — the property the roundtrip proptests pin.
+
+use std::fmt;
+
+/// Why a checkpoint frame or body failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The input ended before the expected data (or a length prefix claims
+    /// more bytes than remain).
+    Truncated,
+    /// The frame does not start with the expected magic number — it is not
+    /// a checkpoint of this kind at all.
+    BadMagic {
+        /// Magic the caller expected.
+        expected: u32,
+        /// Magic actually found.
+        found: u32,
+    },
+    /// The frame is a valid checkpoint of this kind but from a different
+    /// format revision.
+    BadVersion {
+        /// Version the caller supports.
+        expected: u16,
+        /// Version actually found.
+        found: u16,
+    },
+    /// The CRC-64 trailer does not match the frame contents (bit rot, torn
+    /// write, deliberate corruption).
+    BadCrc,
+    /// The bytes decoded structurally but violate an invariant of the type
+    /// being restored (e.g. a config fingerprint mismatch).
+    Malformed(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Truncated => write!(f, "checkpoint truncated"),
+            CkptError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:#010x}, found {found:#010x}")
+            }
+            CkptError::BadVersion { expected, found } => {
+                write!(f, "bad version: expected {expected}, found {found}")
+            }
+            CkptError::BadCrc => write!(f, "CRC mismatch"),
+            CkptError::Malformed(why) => write!(f, "malformed checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` bit-exactly (IEEE-754 bits, little-endian).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Writes an option: a presence byte, then the value if present.
+    pub fn opt<T>(&mut self, v: Option<&T>, f: impl FnOnce(&mut Self, &T)) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Writes a slice as a length prefix followed by each element.
+    pub fn seq<T>(&mut self, v: &[T], mut f: impl FnMut(&mut Self, &T)) {
+        self.usize(v.len());
+        for x in v {
+            f(self, x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Errors unless the decoder consumed its input exactly.
+    pub fn finish(self) -> Result<(), CkptError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CkptError::Malformed(format!("{} trailing bytes", self.remaining())))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `usize` encoded as `u64`, rejecting values that do not fit.
+    pub fn usize(&mut self) -> Result<usize, CkptError> {
+        usize::try_from(self.u64()?).map_err(|_| CkptError::Malformed("usize overflow".into()))
+    }
+
+    /// Reads an `f64` bit-exactly.
+    pub fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `bool`, rejecting anything but 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CkptError::Malformed(format!("bool byte {b}"))),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CkptError> {
+        String::from_utf8(self.bytes()?.to_vec())
+            .map_err(|_| CkptError::Malformed("invalid UTF-8".into()))
+    }
+
+    /// Reads an option written by [`Enc::opt`].
+    pub fn opt<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, CkptError>,
+    ) -> Result<Option<T>, CkptError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            b => Err(CkptError::Malformed(format!("option byte {b}"))),
+        }
+    }
+
+    /// Reads a sequence written by [`Enc::seq`]. The declared length is
+    /// sanity-bounded by the remaining input (every element occupies at
+    /// least one byte), so a corrupt length prefix cannot trigger a huge
+    /// allocation.
+    pub fn seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, CkptError>,
+    ) -> Result<Vec<T>, CkptError> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(CkptError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+// CRC-64/XZ: ECMA-182 polynomial, reflected, init/xorout = !0.
+const CRC64_POLY: u64 = 0xC96C_5795_D787_0F42;
+
+const fn crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 { (crc >> 1) ^ CRC64_POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC64_TABLE: [u64; 256] = crc64_table();
+
+/// CRC-64/XZ checksum of `bytes`.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Frame header length: magic (4) + version (2) + body length (8).
+const HEADER_LEN: usize = 14;
+/// CRC trailer length.
+const TRAILER_LEN: usize = 8;
+
+/// Seals `body` into a versioned, CRC-guarded frame.
+pub fn seal(magic: u32, version: u16, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    out.extend_from_slice(&magic.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(body);
+    let crc = crc64(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Opens a frame sealed by [`seal`], returning the body on success.
+/// Validation order: length, magic, CRC, version, body length — so damage
+/// and format drift produce the most specific error available.
+pub fn open(frame: &[u8], magic: u32, version: u16) -> Result<&[u8], CkptError> {
+    if frame.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(CkptError::Truncated);
+    }
+    let found_magic = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+    if found_magic != magic {
+        return Err(CkptError::BadMagic { expected: magic, found: found_magic });
+    }
+    let split = frame.len() - TRAILER_LEN;
+    let stored = u64::from_le_bytes(frame[split..].try_into().expect("8 bytes"));
+    if crc64(&frame[..split]) != stored {
+        return Err(CkptError::BadCrc);
+    }
+    let found_version = u16::from_le_bytes(frame[4..6].try_into().expect("2 bytes"));
+    if found_version != version {
+        return Err(CkptError::BadVersion { expected: version, found: found_version });
+    }
+    let body_len = u64::from_le_bytes(frame[6..14].try_into().expect("8 bytes"));
+    if body_len != (split - HEADER_LEN) as u64 {
+        return Err(CkptError::Malformed("body length mismatch".into()));
+    }
+    Ok(&frame[HEADER_LEN..split])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: u32 = 0xDA12_34B0;
+    const VERSION: u16 = 1;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut enc = Enc::new();
+        enc.u8(7);
+        enc.u32(0xDEAD_BEEF);
+        enc.u64(u64::MAX - 3);
+        enc.usize(123_456);
+        enc.f64(-0.125);
+        enc.f64(f64::NAN);
+        enc.bool(true);
+        enc.bool(false);
+        enc.bytes(b"hello");
+        enc.str("caf\u{e9}");
+        enc.opt(Some(&42u64), |e, v| e.u64(*v));
+        enc.opt::<u64>(None, |e, v| e.u64(*v));
+        enc.seq(&[1u64, 2, 3], |e, v| e.u64(*v));
+        let bytes = enc.into_bytes();
+
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(dec.usize().unwrap(), 123_456);
+        assert_eq!(dec.f64().unwrap(), -0.125);
+        assert!(dec.f64().unwrap().is_nan(), "NaN survives bit-exactly");
+        assert!(dec.bool().unwrap());
+        assert!(!dec.bool().unwrap());
+        assert_eq!(dec.bytes().unwrap(), b"hello");
+        assert_eq!(dec.str().unwrap(), "caf\u{e9}");
+        assert_eq!(dec.opt(|d| d.u64()).unwrap(), Some(42));
+        assert_eq!(dec.opt(|d| d.u64()).unwrap(), None);
+        assert_eq!(dec.seq(|d| d.u64()).unwrap(), vec![1, 2, 3]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn reads_past_end_are_truncated_not_panics() {
+        let mut dec = Dec::new(&[1, 2]);
+        assert_eq!(dec.u64(), Err(CkptError::Truncated));
+        // Failed read consumed nothing.
+        assert_eq!(dec.remaining(), 2);
+        assert_eq!(dec.u8().unwrap(), 1);
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_bounded() {
+        let mut enc = Enc::new();
+        enc.usize(usize::MAX / 2); // absurd sequence length
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(dec.seq(|d| d.u8()), Err(CkptError::Truncated));
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let dec = Dec::new(&[0]);
+        assert!(matches!(dec.finish(), Err(CkptError::Malformed(_))));
+    }
+
+    #[test]
+    fn crc64_known_vector() {
+        // CRC-64/XZ of "123456789" is 0x995DC9BBDF1939FA.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let body = b"checkpoint body".to_vec();
+        let frame = seal(MAGIC, VERSION, &body);
+        assert_eq!(open(&frame, MAGIC, VERSION).unwrap(), &body[..]);
+        // Empty body is fine too.
+        let frame = seal(MAGIC, VERSION, &[]);
+        assert_eq!(open(&frame, MAGIC, VERSION).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn open_rejects_wrong_magic() {
+        let frame = seal(MAGIC, VERSION, b"x");
+        assert_eq!(
+            open(&frame, MAGIC + 1, VERSION),
+            Err(CkptError::BadMagic { expected: MAGIC + 1, found: MAGIC })
+        );
+    }
+
+    #[test]
+    fn open_rejects_wrong_version() {
+        let frame = seal(MAGIC, 2, b"x");
+        assert_eq!(
+            open(&frame, MAGIC, VERSION),
+            Err(CkptError::BadVersion { expected: VERSION, found: 2 })
+        );
+    }
+
+    #[test]
+    fn open_rejects_every_single_bit_flip() {
+        let frame = seal(MAGIC, VERSION, b"warm recovery frame");
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    open(&bad, MAGIC, VERSION).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_rejects_every_truncation() {
+        let frame = seal(MAGIC, VERSION, b"torn write victim");
+        for keep in 0..frame.len() {
+            assert!(open(&frame[..keep], MAGIC, VERSION).is_err(), "kept {keep} bytes");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const MAGIC: u32 = 0xDA12_34B0;
+
+    proptest! {
+        /// Any body roundtrips through seal/open bit-exactly.
+        #[test]
+        fn any_body_roundtrips(body in proptest::collection::vec(0u8..=255, 0..512)) {
+            let frame = seal(MAGIC, 1, &body);
+            prop_assert_eq!(open(&frame, MAGIC, 1).unwrap(), &body[..]);
+        }
+
+        /// Any single bit flip in a sealed frame is detected.
+        #[test]
+        fn any_bit_flip_detected(
+            body in proptest::collection::vec(0u8..=255, 0..256),
+            pos in 0.0f64..1.0,
+            bit in 0u8..8,
+        ) {
+            let frame = seal(MAGIC, 1, &body);
+            let mut bad = frame.clone();
+            let byte = ((pos * bad.len() as f64) as usize).min(bad.len() - 1);
+            bad[byte] ^= 1 << bit;
+            prop_assert!(open(&bad, MAGIC, 1).is_err());
+        }
+
+        /// Any truncation of a sealed frame is detected.
+        #[test]
+        fn any_truncation_detected(
+            body in proptest::collection::vec(0u8..=255, 0..256),
+            cut in 0.0f64..1.0,
+        ) {
+            let frame = seal(MAGIC, 1, &body);
+            let keep = ((cut * frame.len() as f64) as usize).min(frame.len() - 1);
+            prop_assert!(open(&frame[..keep], MAGIC, 1).is_err());
+        }
+
+        /// Decoding arbitrary bytes as a frame never panics.
+        #[test]
+        fn open_never_panics(junk in proptest::collection::vec(0u8..=255, 0..128)) {
+            let _ = open(&junk, MAGIC, 1);
+        }
+    }
+}

@@ -25,6 +25,7 @@ use crate::expert::Expert;
 use crate::model::DarwinModel;
 use darwin_bandit::{TasConfig, TrackAndStopSideInfo};
 use darwin_cache::CacheMetrics;
+use darwin_ckpt::{CkptError, Dec, Enc};
 use darwin_features::{DriftDetector, FeatureExtractor, FeatureVector, SizeDistribution};
 use darwin_trace::Request;
 use serde::{Deserialize, Serialize};
@@ -402,6 +403,121 @@ impl OnlineController {
         // epoch", §4.2).
     }
 
+    /// Serializes the controller's dynamic state (everything except the
+    /// immutable [`DarwinModel`] and [`OnlineConfig`], which the restoring
+    /// side must already hold). The bytes begin with a canonical fingerprint
+    /// of the config so [`OnlineController::restore_state`] can refuse a
+    /// restore into a controller configured differently.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.bytes(&online_config_fingerprint(&self.cfg));
+        enc.u8(phase_tag(self.phase));
+        enc.usize(self.epoch_request);
+        enc.u64(self.global_request);
+        enc.usize(self.current_expert);
+        self.extractor.encode_state(&mut enc);
+        self.epoch_start_metrics.encode_state(&mut enc);
+        enc.opt(self.extended.as_ref(), |e, v| v.encode_state(e));
+        enc.opt(self.size_dist.as_ref(), |e, v| v.encode_state(e));
+        enc.seq(&self.set, |e, &v| e.usize(v));
+        enc.usize(self.cluster);
+        enc.opt(self.tas.as_ref(), |e, t| t.encode_state(e));
+        self.round_start_metrics.encode_state(&mut enc);
+        enc.usize(self.round_requests_seen);
+        enc.usize(self.pending_arm);
+        enc.usize(self.rounds_this_epoch);
+        enc.opt(self.drift.as_ref(), |e, d| d.encode_state(e));
+        enc.usize(self.drift_restarts);
+        enc.seq(&self.switches, |e, s| {
+            e.u64(s.at_request);
+            e.usize(s.expert);
+            e.u8(phase_tag(s.phase));
+        });
+        enc.seq(&self.epochs, |e, ep| {
+            e.usize(ep.cluster);
+            e.usize(ep.set_size);
+            e.usize(ep.identify_rounds);
+            e.usize(ep.chosen_expert);
+        });
+        enc.into_bytes()
+    }
+
+    /// Restores the dynamic state saved by [`OnlineController::save_state`]
+    /// into this controller (which must have been built with the same model
+    /// and config). On error, `self` is left untouched.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut dec = Dec::new(bytes);
+        let fp = dec.bytes()?;
+        if fp != online_config_fingerprint(&self.cfg).as_slice() {
+            return Err(CkptError::Malformed("online config fingerprint mismatch".into()));
+        }
+        let phase = phase_from_tag(dec.u8()?)?;
+        let epoch_request = dec.usize()?;
+        let global_request = dec.u64()?;
+        let current_expert = dec.usize()?;
+        let extractor = darwin_features::FeatureExtractor::decode_state(&mut dec)?;
+        let epoch_start_metrics = CacheMetrics::decode_state(&mut dec)?;
+        let extended = dec.opt(FeatureVector::decode_state)?;
+        let size_dist = dec.opt(SizeDistribution::decode_state)?;
+        let set: Vec<usize> = dec.seq(|d| d.usize())?;
+        let cluster = dec.usize()?;
+        let tas = dec.opt(TrackAndStopSideInfo::decode_state)?;
+        let round_start_metrics = CacheMetrics::decode_state(&mut dec)?;
+        let round_requests_seen = dec.usize()?;
+        let pending_arm = dec.usize()?;
+        let rounds_this_epoch = dec.usize()?;
+        let drift = dec.opt(DriftDetector::decode_state)?;
+        let drift_restarts = dec.usize()?;
+        let switches: Vec<SwitchEvent> = dec.seq(|d| {
+            Ok(SwitchEvent { at_request: d.u64()?, expert: d.usize()?, phase: phase_from_tag(d.u8()?)? })
+        })?;
+        let epochs: Vec<EpochSummary> = dec.seq(|d| {
+            Ok(EpochSummary {
+                cluster: d.usize()?,
+                set_size: d.usize()?,
+                identify_rounds: d.usize()?,
+                chosen_expert: d.usize()?,
+            })
+        })?;
+        dec.finish()?;
+
+        let grid_len = self.model.grid().len();
+        if current_expert >= grid_len || set.iter().any(|&j| j >= grid_len) {
+            return Err(CkptError::Malformed("expert index out of grid range".into()));
+        }
+        if let Some(t) = &tas {
+            if phase != ControllerPhase::Identify {
+                return Err(CkptError::Malformed("bandit present outside Identify phase".into()));
+            }
+            if t.k() != set.len() || pending_arm >= set.len() {
+                return Err(CkptError::Malformed("bandit arm count mismatch".into()));
+            }
+        } else if phase == ControllerPhase::Identify {
+            return Err(CkptError::Malformed("Identify phase without a bandit".into()));
+        }
+
+        self.phase = phase;
+        self.epoch_request = epoch_request;
+        self.global_request = global_request;
+        self.current_expert = current_expert;
+        self.extractor = extractor;
+        self.epoch_start_metrics = epoch_start_metrics;
+        self.extended = extended;
+        self.size_dist = size_dist;
+        self.set = set;
+        self.cluster = cluster;
+        self.tas = tas;
+        self.round_start_metrics = round_start_metrics;
+        self.round_requests_seen = round_requests_seen;
+        self.pending_arm = pending_arm;
+        self.rounds_this_epoch = rounds_this_epoch;
+        self.drift = drift;
+        self.drift_restarts = drift_restarts;
+        self.switches = switches;
+        self.epochs = epochs;
+        Ok(())
+    }
+
     fn switch_to(&mut self, expert_idx: usize) -> Option<Expert> {
         if expert_idx == self.current_expert {
             return None;
@@ -414,6 +530,40 @@ impl OnlineController {
         });
         Some(self.model.grid().get(expert_idx))
     }
+}
+
+fn phase_tag(phase: ControllerPhase) -> u8 {
+    match phase {
+        ControllerPhase::Warmup => 0,
+        ControllerPhase::Identify => 1,
+        ControllerPhase::Deploy => 2,
+    }
+}
+
+fn phase_from_tag(tag: u8) -> Result<ControllerPhase, CkptError> {
+    match tag {
+        0 => Ok(ControllerPhase::Warmup),
+        1 => Ok(ControllerPhase::Identify),
+        2 => Ok(ControllerPhase::Deploy),
+        other => Err(CkptError::Malformed(format!("unknown controller phase tag {other}"))),
+    }
+}
+
+/// Canonical byte encoding of an [`OnlineConfig`], used to refuse restoring
+/// controller state across differently-configured controllers.
+fn online_config_fingerprint(cfg: &OnlineConfig) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.usize(cfg.epoch_requests);
+    enc.usize(cfg.warmup_requests);
+    enc.usize(cfg.round_requests);
+    enc.f64(cfg.delta);
+    enc.opt(cfg.stability_rounds.as_ref(), |e, &v| e.usize(v));
+    enc.usize(cfg.max_identify_rounds);
+    enc.f64(cfg.correlation_length);
+    enc.f64(cfg.min_variance);
+    enc.usize(cfg.alpha_iters);
+    enc.opt(cfg.drift_threshold.as_ref(), |e, &v| e.f64(v));
+    enc.into_bytes()
 }
 
 #[cfg(test)]
@@ -547,6 +697,88 @@ mod tests {
         assert_eq!(seq.len(), ctrl.switches().len() + 1);
         for (ev, &(at, ex)) in ctrl.switches().iter().zip(&seq[1..]) {
             assert_eq!((ev.at_request, ev.expert), (at, ex));
+        }
+    }
+
+    #[test]
+    fn save_restore_mid_run_resumes_bitwise_identically() {
+        let model = small_model();
+        let cfg = test_cfg();
+        let trace = TraceGenerator::new(
+            MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+            42,
+        )
+        .generate(30_000);
+        let requests = trace.requests();
+        // Split inside the second epoch's identification window.
+        let split = 21_500;
+
+        let cache_cfg = CacheConfig { hoc_bytes: 2 * 1024 * 1024, ..CacheConfig::small_test() };
+        let mut ctrl = OnlineController::new(Arc::clone(&model), cfg);
+        let mut server = CacheServer::new(cache_cfg.clone());
+        server.set_policy(ctrl.current_expert().policy);
+        for r in &requests[..split] {
+            server.process(r);
+            if let Some(e) = ctrl.observe(r, &server.metrics()) {
+                server.set_policy(e.policy);
+            }
+        }
+
+        let saved = ctrl.save_state();
+        let mut restored = OnlineController::new(Arc::clone(&model), cfg);
+        restored.restore_state(&saved).unwrap();
+        assert_eq!(restored.phase(), ctrl.phase());
+        assert_eq!(restored.current_expert_index(), ctrl.current_expert_index());
+        assert_eq!(restored.expert_sequence(), ctrl.expert_sequence());
+        assert_eq!(restored.epochs(), ctrl.epochs());
+        // Canonical encoding: re-saving the restored controller is bit-equal.
+        assert_eq!(restored.save_state(), saved);
+
+        // Warm-restore the cache server alongside the controller and verify
+        // every decision over the tail matches the uninterrupted run.
+        let mut server2 = CacheServer::restore_state(cache_cfg, &server.save_state()).unwrap();
+        server2.set_policy(restored.current_expert().policy);
+        for r in &requests[split..] {
+            server.process(r);
+            server2.process(r);
+            let a = ctrl.observe(r, &server.metrics());
+            let b = restored.observe(r, &server2.metrics());
+            assert_eq!(
+                a.as_ref().map(|e| e.policy),
+                b.as_ref().map(|e| e.policy),
+                "policy switch diverged"
+            );
+            if let Some(e) = a {
+                server.set_policy(e.policy);
+            }
+            if let Some(e) = b {
+                server2.set_policy(e.policy);
+            }
+        }
+        assert_eq!(restored.expert_sequence(), ctrl.expert_sequence());
+        assert_eq!(restored.epochs(), ctrl.epochs());
+        assert_eq!(server2.metrics(), server.metrics());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config_and_corrupt_bytes() {
+        let model = small_model();
+        let trace = TraceGenerator::new(MixSpec::single(TrafficClass::image()), 11).generate(5_000);
+        let ctrl = drive(Arc::clone(&model), test_cfg(), &trace);
+        let saved = ctrl.save_state();
+
+        // Different round length → fingerprint mismatch.
+        let other_cfg = OnlineConfig { round_requests: 400, ..test_cfg() };
+        let mut other = OnlineController::new(Arc::clone(&model), other_cfg);
+        assert!(other.restore_state(&saved).is_err());
+        // ... and the failed restore left it untouched.
+        assert_eq!(other.phase(), ControllerPhase::Warmup);
+        assert_eq!(other.expert_sequence(), vec![(0, 0)]);
+
+        // Every truncation is rejected without panicking.
+        let mut same = OnlineController::new(Arc::clone(&model), test_cfg());
+        for keep in (0..saved.len()).step_by(97) {
+            assert!(same.restore_state(&saved[..keep]).is_err(), "truncation to {keep} accepted");
         }
     }
 

@@ -12,6 +12,7 @@
 //! across traffic classes.
 
 use crate::sizedist::SizeDistribution;
+use darwin_ckpt::{CkptError, Dec, Enc};
 use darwin_trace::Request;
 
 /// A snapshot of the cheap distributional statistics of a request chunk.
@@ -39,6 +40,15 @@ impl TrafficSnapshot {
     /// Mean request size of the chunk (reporting only).
     pub fn mean_size(&self) -> f64 {
         self.mean_size
+    }
+
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.seq(&self.fractions, |e, &v| e.f64(v));
+        enc.f64(self.mean_size);
+    }
+
+    fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        Ok(Self { fractions: dec.seq(|d| d.f64())?, mean_size: dec.f64()? })
     }
 }
 
@@ -114,6 +124,50 @@ impl DriftDetector {
     /// Whether a reference snapshot has been locked.
     pub fn has_reference(&self) -> bool {
         self.reference.is_some()
+    }
+
+    /// Serializes the detector's configuration and rolling state.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.usize(self.chunk_requests);
+        enc.f64(self.threshold);
+        enc.usize(self.consecutive_required);
+        enc.usize(self.consecutive_over);
+        enc.opt(self.reference.as_ref(), |e, r| r.encode_state(e));
+        self.current.encode_state(enc);
+        enc.usize(self.seen_in_chunk);
+        enc.f64(self.last_distance);
+    }
+
+    /// Rebuilds a detector from bytes written by
+    /// [`DriftDetector::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let chunk_requests = dec.usize()?;
+        let threshold = dec.f64()?;
+        let consecutive_required = dec.usize()?;
+        let consecutive_over = dec.usize()?;
+        let reference = dec.opt(TrafficSnapshot::decode_state)?;
+        let current = SizeDistribution::decode_state(dec)?;
+        let seen_in_chunk = dec.usize()?;
+        let last_distance = dec.f64()?;
+        if chunk_requests == 0 || !threshold.is_finite() || threshold <= 0.0 || consecutive_required == 0
+        {
+            return Err(CkptError::Malformed("invalid drift-detector parameters".into()));
+        }
+        if let Some(r) = &reference {
+            if r.fractions.len() != current.num_buckets() {
+                return Err(CkptError::Malformed("drift reference bucket mismatch".into()));
+            }
+        }
+        Ok(Self {
+            chunk_requests,
+            threshold,
+            consecutive_required,
+            consecutive_over,
+            reference,
+            current,
+            seen_in_chunk,
+            last_distance,
+        })
     }
 
     /// Feeds one request. Returns `true` when a completed chunk deviates
@@ -201,6 +255,26 @@ mod tests {
         assert_eq!(sa.distance(&sa), 0.0);
         assert!((sa.distance(&sb) - sb.distance(&sa)).abs() < 1e-12);
         assert!(sa.distance(&sb) > 0.0);
+    }
+
+    #[test]
+    fn codec_roundtrip_mid_chunk_resumes_identically() {
+        let mut original = DriftDetector::new(700, 0.4);
+        feed(&mut original, 0.9, 3_000, 8); // reference locked, mid-chunk state
+        let mut enc = darwin_ckpt::Enc::new();
+        original.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = darwin_ckpt::Dec::new(&bytes);
+        let mut restored = DriftDetector::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(restored.has_reference(), original.has_reference());
+        assert_eq!(restored.last_distance(), original.last_distance());
+        // Both fire (or not) on the same future request stream.
+        let mix = MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.05);
+        let trace = TraceGenerator::new(mix, 9).generate(5_000);
+        for r in &trace {
+            assert_eq!(original.observe(r), restored.observe(r));
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::sizedist::SizeDistribution;
 use crate::vector::FeatureVector;
+use darwin_ckpt::{CkptError, Dec, Enc};
 use darwin_trace::{ObjectId, Request, Trace};
 use std::collections::{HashMap, VecDeque};
 
@@ -125,6 +126,85 @@ impl FeatureExtractor {
     pub fn finish(self) -> (FeatureVector, SizeDistribution) {
         let features = self.features();
         (features, self.size_dist)
+    }
+
+    /// Serializes the extractor's full streaming state, including every
+    /// per-object access ring (sorted by object ID for a canonical byte
+    /// stream).
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.usize(self.n_iat);
+        enc.usize(self.m_sd);
+        enc.u64(self.cum_bytes);
+        enc.seq(&self.iat_sum, |e, &v| e.f64(v));
+        enc.seq(&self.iat_cnt, |e, &v| e.u64(v));
+        enc.seq(&self.sd_sum, |e, &v| e.f64(v));
+        enc.seq(&self.sd_cnt, |e, &v| e.u64(v));
+        enc.u64(self.size_sum);
+        enc.u64(self.requests);
+        self.size_dist.encode_state(enc);
+        let mut ids: Vec<ObjectId> = self.history.keys().copied().collect();
+        ids.sort_unstable();
+        enc.seq(&ids, |e, &id| {
+            e.u64(id);
+            let ring: Vec<(u64, u64)> = self.history[&id].iter().copied().collect();
+            e.seq(&ring, |e, &(ts, bytes)| {
+                e.u64(ts);
+                e.u64(bytes);
+            });
+        });
+    }
+
+    /// Rebuilds an extractor from bytes written by
+    /// [`FeatureExtractor::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let n_iat = dec.usize()?;
+        let m_sd = dec.usize()?;
+        if n_iat == 0 || m_sd == 0 {
+            return Err(CkptError::Malformed("feature orders must be positive".into()));
+        }
+        let cum_bytes = dec.u64()?;
+        let iat_sum = dec.seq(|d| d.f64())?;
+        let iat_cnt = dec.seq(|d| d.u64())?;
+        let sd_sum = dec.seq(|d| d.f64())?;
+        let sd_cnt = dec.seq(|d| d.u64())?;
+        if iat_sum.len() != n_iat
+            || iat_cnt.len() != n_iat
+            || sd_sum.len() != m_sd
+            || sd_cnt.len() != m_sd
+        {
+            return Err(CkptError::Malformed("feature accumulator length mismatch".into()));
+        }
+        let size_sum = dec.u64()?;
+        let requests = dec.u64()?;
+        let size_dist = SizeDistribution::decode_state(dec)?;
+        let cap = n_iat.max(m_sd);
+        let entries = dec.seq(|d| {
+            let id = d.u64()?;
+            let ring = d.seq(|d| Ok((d.u64()?, d.u64()?)))?;
+            Ok((id, ring))
+        })?;
+        let mut history: HashMap<ObjectId, VecDeque<(u64, u64)>> = HashMap::new();
+        for (id, ring) in entries {
+            if ring.len() > cap {
+                return Err(CkptError::Malformed(format!("ring for {id} exceeds capacity")));
+            }
+            if history.insert(id, ring.into_iter().collect()).is_some() {
+                return Err(CkptError::Malformed(format!("duplicate history entry {id}")));
+            }
+        }
+        Ok(Self {
+            n_iat,
+            m_sd,
+            history,
+            cum_bytes,
+            iat_sum,
+            iat_cnt,
+            sd_sum,
+            sd_cnt,
+            size_sum,
+            requests,
+            size_dist,
+        })
     }
 
     /// Convenience: extract features of an entire trace.
@@ -289,6 +369,32 @@ mod tests {
     fn empty_extractor_reports_zeros() {
         let f = FeatureExtractor::paper_default();
         assert!(f.features().values().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn codec_roundtrip_resumes_identically() {
+        let mut original = FeatureExtractor::paper_default();
+        for i in 0..5_000u64 {
+            original.observe(&Request::new(i % 97, 100 + i % 9_000, i * 13));
+        }
+        let mut enc = darwin_ckpt::Enc::new();
+        original.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = darwin_ckpt::Dec::new(&bytes);
+        let mut restored = FeatureExtractor::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(restored.features(), original.features());
+        // Canonical bytes and identical continued evolution.
+        let mut re = darwin_ckpt::Enc::new();
+        restored.encode_state(&mut re);
+        assert_eq!(re.into_bytes(), bytes);
+        for i in 5_000..6_000u64 {
+            let r = Request::new(i % 97, 100 + i % 9_000, i * 13);
+            original.observe(&r);
+            restored.observe(&r);
+        }
+        assert_eq!(restored.features(), original.features());
+        assert_eq!(restored.extended_features(), original.extended_features());
     }
 }
 

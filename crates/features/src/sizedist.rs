@@ -9,6 +9,7 @@
 //! 500, 1000 KB, ∞) — the paper's prototype stores a distribution "whose
 //! entry number is the same as the size threshold selection range" (§6.4).
 
+use darwin_ckpt::{CkptError, Dec, Enc};
 use serde::{Deserialize, Serialize};
 
 /// A request-size histogram over fixed byte-edge buckets.
@@ -102,6 +103,35 @@ impl SizeDistribution {
         self.counts.iter_mut().for_each(|c| *c = 0);
         self.bytes.iter_mut().for_each(|b| *b = 0);
         self.total = 0;
+    }
+
+    /// Serializes edges and per-bucket counters.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.seq(&self.edges, |e, &v| e.u64(v));
+        enc.seq(&self.counts, |e, &v| e.u64(v));
+        enc.seq(&self.bytes, |e, &v| e.u64(v));
+        enc.u64(self.total);
+    }
+
+    /// Rebuilds a histogram from bytes written by
+    /// [`SizeDistribution::encode_state`], re-validating the shape
+    /// invariants (ascending edges, bucket count = edges + 1, total =
+    /// Σ counts).
+    pub fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let edges = dec.seq(|d| d.u64())?;
+        let counts = dec.seq(|d| d.u64())?;
+        let bytes = dec.seq(|d| d.u64())?;
+        let total = dec.u64()?;
+        if edges.is_empty() || edges.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CkptError::Malformed("size-distribution edges not ascending".into()));
+        }
+        if counts.len() != edges.len() + 1 || bytes.len() != counts.len() {
+            return Err(CkptError::Malformed("size-distribution bucket count mismatch".into()));
+        }
+        if counts.iter().sum::<u64>() != total {
+            return Err(CkptError::Malformed("size-distribution total mismatch".into()));
+        }
+        Ok(Self { edges, counts, bytes, total })
     }
 }
 

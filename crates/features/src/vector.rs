@@ -1,5 +1,6 @@
 //! Named feature vectors.
 
+use darwin_ckpt::{CkptError, Dec, Enc};
 use serde::{Deserialize, Serialize};
 
 /// A dense feature vector with stable entry semantics.
@@ -55,6 +56,16 @@ impl FeatureVector {
         let mut v = self.values.clone();
         v.extend_from_slice(extra);
         FeatureVector::new(v)
+    }
+
+    /// Serializes the entries bit-exactly.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.seq(&self.values, |e, &v| e.f64(v));
+    }
+
+    /// Reads entries written by [`FeatureVector::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        Ok(Self { values: dec.seq(|d| d.f64())? })
     }
 }
 

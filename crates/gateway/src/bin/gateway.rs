@@ -5,14 +5,20 @@
 //! gateway [--addr HOST:PORT] [--shards N] [--queue N] [--batch N]
 //!         [--drop-newest] [--hoc-mb N] [--freq F] [--size-kb S]
 //!         [--max-restarts N] [--restart-window N]
+//!         [--checkpoint-every N] [--checkpoint-dir DIR]
 //!         [--read-timeout-ms N] [--idle-timeout-ms N]
 //! ```
 //!
 //! Serves until a client sends `SHUTDOWN` (e.g. `loadgen --shutdown`), then
 //! drains, joins the shard workers and prints the final metrics snapshot.
-//! Shard workers that panic are cold-restarted against the
+//! Shard workers that panic are restarted against the
 //! `--max-restarts`-per-`--restart-window` budget; a shard that exhausts it
 //! is buried and its requests are answered `Unavailable` (degraded mode).
+//! With `--checkpoint-every N` each shard checkpoints its cache + driver
+//! state every N per-shard requests and restarts resume *warm* from the
+//! latest valid checkpoint (cold when none validates); `--checkpoint-dir`
+//! additionally spills each checkpoint to `DIR/shard-{s}.ckpt` via atomic
+//! rename.
 
 use darwin_cache::{CacheConfig, ThresholdPolicy};
 use darwin_gateway::{Gateway, GatewayConfig};
@@ -31,6 +37,7 @@ fn main() {
     let mut freq = 2u32;
     let mut size_kb = 100u64;
     let mut restart_budget = RestartBudget::default();
+    let mut checkpoint_every: Option<u64> = None;
     let mut gw = GatewayConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -72,6 +79,14 @@ fn main() {
                 i += 1;
                 restart_budget.window_requests = args[i].parse().expect("restart window");
             }
+            "--checkpoint-every" => {
+                i += 1;
+                checkpoint_every = Some(args[i].parse().expect("checkpoint cadence"));
+            }
+            "--checkpoint-dir" => {
+                i += 1;
+                gw.checkpoint_dir = Some(std::path::PathBuf::from(&args[i]));
+            }
             "--read-timeout-ms" => {
                 i += 1;
                 gw.read_timeout = Duration::from_millis(args[i].parse().expect("read timeout ms"));
@@ -92,6 +107,7 @@ fn main() {
         backpressure,
         snapshot_every: None,
         restart_budget,
+        checkpoint_every,
     };
     let cache = CacheConfig { hoc_bytes: hoc_mb * 1024 * 1024, ..CacheConfig::paper_default() };
     let policy = ThresholdPolicy::new(freq, size_kb * 1024);
@@ -106,12 +122,13 @@ fn main() {
     let report = gateway.finish().expect("gateway finished cleanly");
     println!("{}", metrics.to_json());
     println!(
-        "served {} requests ({} dropped, {} unavailable), fleet OHR {:.4}, {} restart(s), {} dead shard(s)",
+        "served {} requests ({} dropped, {} unavailable), fleet OHR {:.4}, {} restart(s) ({} warm), {} dead shard(s)",
         report.total_processed(),
         report.total_dropped(),
         report.total_unavailable(),
         report.fleet_cache().hoc_ohr(),
         report.total_restarts(),
+        report.total_warm_restarts(),
         report.dead_shards(),
     );
 }

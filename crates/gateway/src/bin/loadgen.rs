@@ -77,6 +77,11 @@ fn main() {
         i += 1;
     }
 
+    // One seed drives the whole run: the generated trace AND the per-
+    // connection full-jitter backoff RNG. Without this, two runs with the
+    // same --seed could retry on different schedules and (under load
+    // shedding) produce different verdict tallies.
+    cfg.seed = seed;
     let trace = TraceGenerator::new(
         MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
         seed,

@@ -80,6 +80,11 @@ pub struct GatewayConfig {
     /// ([`ShardedFleet::with_fault_plan`]). The empty plan is the identity;
     /// production paths leave it empty.
     pub fault_plan: FaultPlan,
+    /// Directory for on-disk warm-restart checkpoint spills
+    /// (`shard-{s}.ckpt`, written via atomic rename). `None` keeps
+    /// checkpoints in memory only. Only meaningful when the fleet's
+    /// `checkpoint_every` is set.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for GatewayConfig {
@@ -88,6 +93,7 @@ impl Default for GatewayConfig {
             read_timeout: Duration::from_millis(50),
             idle_timeout: None,
             fault_plan: FaultPlan::default(),
+            checkpoint_dir: None,
         }
     }
 }
@@ -196,8 +202,14 @@ impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let fleet: ShardedFleet<D, GatewayEnvelope> =
-            ShardedFleet::with_fault_plan(cfg, cache, router, factory, gateway.fault_plan);
+        let fleet: ShardedFleet<D, GatewayEnvelope> = ShardedFleet::with_recovery(
+            cfg,
+            cache,
+            router,
+            factory,
+            gateway.fault_plan,
+            gateway.checkpoint_dir,
+        );
         let shared = Arc::new(Shared {
             metrics: fleet.metrics_handle(),
             fleet: Mutex::new(Some(fleet)),

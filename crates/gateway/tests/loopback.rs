@@ -70,6 +70,7 @@ fn fleet_cfg(shards: usize) -> FleetConfig {
         backpressure: Backpressure::Block,
         snapshot_every: None,
         restart_budget: Default::default(),
+        checkpoint_every: None,
     }
 }
 
@@ -339,6 +340,7 @@ fn client_disconnect_mid_stream_keeps_counters_consistent() {
         backpressure: Backpressure::DropNewest,
         snapshot_every: None,
         restart_budget: Default::default(),
+        checkpoint_every: None,
     };
     let gateway = Gateway::bind("127.0.0.1:0", cfg, cache_cfg(), Box::new(HashRouter), |_| SlowDriver)
         .expect("bind loopback gateway");

@@ -7,7 +7,7 @@
 //! of the trace alone: the same trace under the same plan produces the same
 //! faults at the same requests, run after run, with no wall clock anywhere.
 //!
-//! Three fault kinds are scripted:
+//! Four fault kinds are scripted:
 //!
 //! * [`FaultKind::Panic`] — the shard worker panics immediately before
 //!   processing the request at the event's index. The request itself is
@@ -26,6 +26,11 @@
 //!   its input queue is completely full (or the producer hung up), then
 //!   resumes: a scripted backpressure episode that exercises the exact
 //!   queue-full machinery overload would.
+//! * [`FaultKind::CorruptCheckpoint`] — every stored warm-restart
+//!   checkpoint candidate for the shard is damaged (torn-truncated or
+//!   bit-flipped) before the request. Harmless by itself; followed by a
+//!   `Panic` it forces — and proves — the detected-corruption cold-restart
+//!   fallback.
 //!
 //! Plans can be written by hand ([`FaultPlan::new`] / [`FaultPlan::push`]) or
 //! generated from a seed ([`FaultPlan::random`]) — both are plain data
@@ -53,6 +58,16 @@ pub enum FaultKind {
     /// The worker stalls before the request until its queue is full or the
     /// producer side has hung up, manufacturing a backpressure episode.
     QueueFull,
+    /// Damages every stored checkpoint candidate for the shard — both
+    /// in-memory buffers and the on-disk spill — immediately before the
+    /// request at the event's index. `torn` truncates the frames (a torn
+    /// write); otherwise a mid-frame bit is flipped (bit rot). On its own
+    /// the fault is result-invisible; paired with a later `Panic` it proves
+    /// the restore path detects the damage and falls back cold.
+    CorruptCheckpoint {
+        /// Truncate the frames instead of flipping a bit.
+        torn: bool,
+    },
 }
 
 /// One scripted fault: `kind` fires on shard `shard` immediately before the
@@ -166,7 +181,8 @@ fn fault_rank(kind: FaultKind) -> u8 {
     match kind {
         FaultKind::Delay { .. } => 0,
         FaultKind::QueueFull => 1,
-        FaultKind::Panic => 2,
+        FaultKind::CorruptCheckpoint { .. } => 2,
+        FaultKind::Panic => 3,
     }
 }
 

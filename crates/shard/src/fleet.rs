@@ -52,6 +52,7 @@
 //!
 //! [`DarwinDriver`]: darwin_testbed::DarwinDriver
 
+use crate::ckpt::{CheckpointSlot, ShardCheckpoint};
 use crate::fault::{FaultKind, FaultPlan, ShardFaultCursor};
 use crate::metrics::{FleetMetrics, MetricsHandle, ShardCell};
 use crate::queue::{channel, Consumer, Producer, QueueGauges};
@@ -144,6 +145,12 @@ pub struct FleetConfig {
     /// Restart budget enforced per shard by its [`Supervisor`].
     #[serde(default)]
     pub restart_budget: RestartBudget,
+    /// Take a warm-restart checkpoint of each shard every this many
+    /// per-shard requests (`None` disables checkpointing; every restart is
+    /// then cold). Boundaries are request-sequence numbers, never wall
+    /// clock, so checkpoint contents are deterministic.
+    #[serde(default)]
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for FleetConfig {
@@ -155,6 +162,7 @@ impl Default for FleetConfig {
             backpressure: Backpressure::Block,
             snapshot_every: None,
             restart_budget: RestartBudget::default(),
+            checkpoint_every: None,
         }
     }
 }
@@ -184,8 +192,10 @@ pub struct ShardOutcome<D> {
     /// Requests answered `Unavailable` because the shard was permanently
     /// dead when they were submitted.
     pub unavailable: u64,
-    /// Cold restarts the supervisor granted this shard.
+    /// Restarts the supervisor granted this shard (warm and cold together).
     pub restarts: u32,
+    /// Restarts that resumed warm from a valid checkpoint.
+    pub warm_restarts: u32,
     /// True if the shard's worker was dead when the fleet finished (restart
     /// budget exhausted, or a terminal panic at end-of-stream).
     pub dead: bool,
@@ -233,9 +243,19 @@ impl<D> FleetReport<D> {
         self.shards.iter().map(|s| s.unavailable).sum()
     }
 
-    /// Cold restarts granted across the fleet.
+    /// Restarts granted across the fleet (warm and cold together).
     pub fn total_restarts(&self) -> u32 {
         self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Restarts that resumed warm from a checkpoint, across the fleet.
+    pub fn total_warm_restarts(&self) -> u32 {
+        self.shards.iter().map(|s| s.warm_restarts).sum()
+    }
+
+    /// Restarts that fell back cold, across the fleet.
+    pub fn total_cold_restarts(&self) -> u32 {
+        self.shards.iter().map(|s| s.restarts.saturating_sub(s.warm_restarts)).sum()
     }
 
     /// Shards that were dead at finish.
@@ -284,6 +304,9 @@ pub struct ShardedFleet<D: AdmissionDriver + Send + 'static, E: Envelope = Reque
     next_panic: Vec<usize>,
     shards: Vec<ShardSlot<D, E>>,
     supervisors: Vec<Supervisor>,
+    /// Per-shard checkpoint mailboxes (allocated even when checkpointing is
+    /// off: an empty slot just makes every restart cold).
+    ckpt_slots: Vec<Arc<CheckpointSlot>>,
     staged: Vec<Vec<E>>,
     submitted: u64,
     per_shard_submitted: Vec<u64>,
@@ -314,8 +337,29 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
         factory: impl FnMut(usize) -> D + Send + 'static,
         fault: FaultPlan,
     ) -> Self {
+        Self::with_recovery(cfg, cache, router, factory, fault, None)
+    }
+
+    /// [`with_fault_plan`](Self::with_fault_plan) plus an optional on-disk
+    /// spill directory for warm-restart checkpoints. When `checkpoint_dir`
+    /// is given, each shard's latest checkpoint frame is also written to
+    /// `dir/shard-{s}.ckpt` (temp-file + atomic rename); stale spill files
+    /// for this fleet's shards are removed up front so a reused directory
+    /// never resurrects a previous run's state.
+    pub fn with_recovery(
+        cfg: FleetConfig,
+        cache: CacheConfig,
+        router: Box<dyn Router>,
+        factory: impl FnMut(usize) -> D + Send + 'static,
+        fault: FaultPlan,
+        checkpoint_dir: Option<std::path::PathBuf>,
+    ) -> Self {
         assert!(cfg.shards > 0, "fleet needs at least one shard");
         assert!(cfg.batch > 0, "batch size must be positive");
+        if let Some(dir) = &checkpoint_dir {
+            let _ = std::fs::create_dir_all(dir);
+            crate::ckpt::clear_spill_dir(dir, cfg.shards);
+        }
         let panic_at = fault.panic_indices(cfg.shards);
         let mut fleet = Self {
             staged: (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch)).collect(),
@@ -333,13 +377,16 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
                 })
                 .collect(),
             supervisors: vec![Supervisor::new(cfg.restart_budget); cfg.shards],
+            ckpt_slots: (0..cfg.shards)
+                .map(|s| Arc::new(CheckpointSlot::new(s, checkpoint_dir.clone())))
+                .collect(),
             submitted: 0,
             per_shard_submitted: vec![0; cfg.shards],
             snapshots: Vec::new(),
             cfg,
         };
         for s in 0..fleet.cfg.shards {
-            fleet.spawn_worker(s, 0);
+            fleet.spawn_worker(s, 0, false);
         }
         fleet
     }
@@ -444,15 +491,17 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
         match self.supervisors[s].on_worker_death(self.submitted) {
             SupervisorVerdict::Respawn => {
                 cell.record_restart();
-                self.spawn_worker(s, self.per_shard_submitted[s]);
+                self.spawn_worker(s, self.per_shard_submitted[s], true);
             }
             SupervisorVerdict::Bury => cell.mark_dead(),
         }
     }
 
     /// Spawns shard `s`'s worker whose first request has per-shard index
-    /// `from` (0 for the initial incarnation).
-    fn spawn_worker(&mut self, s: usize, from: u64) {
+    /// `from` (0 for the initial incarnation). A `respawn`ed worker first
+    /// tries to restore the shard's latest checkpoint (warm restart); the
+    /// initial incarnation always starts cold.
+    fn spawn_worker(&mut self, s: usize, from: u64, respawn: bool) {
         let (tx, rx) = channel::<E>(self.cfg.queue_capacity);
         self.shards[s].cell.set_gauges(tx.gauges());
         let ctx = WorkerCtx {
@@ -464,6 +513,9 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
             batch: self.cfg.batch,
             start: from,
             faults: ShardFaultCursor::for_shard(&self.fault, s, from),
+            slot: Arc::clone(&self.ckpt_slots[s]),
+            checkpoint_every: self.cfg.checkpoint_every,
+            respawn,
         };
         let handle = std::thread::Builder::new()
             .name(format!("shard-{s}"))
@@ -550,6 +602,7 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
                 dropped: snap.dropped,
                 unavailable: snap.unavailable,
                 restarts: snap.restarts,
+                warm_restarts: snap.warm_restarts,
                 dead: snap.dead,
                 queue_high_water: snap.queue_high_water,
                 hoc_used_bytes,
@@ -585,6 +638,39 @@ struct WorkerCtx<D, E> {
     /// Per-shard index of the first request this incarnation pops.
     start: u64,
     faults: ShardFaultCursor,
+    /// The shard's checkpoint mailbox (writer side; restore source on
+    /// respawn).
+    slot: Arc<CheckpointSlot>,
+    /// Checkpoint cadence in per-shard requests (`None`: never checkpoint).
+    checkpoint_every: Option<u64>,
+    /// True when this incarnation replaces a dead one and should attempt a
+    /// warm restore.
+    respawn: bool,
+}
+
+/// Attempts a warm restore from the slot's best candidate. Returns the
+/// restored server, the policy deployed at the checkpoint boundary, and the
+/// metrics base the incarnation must subtract before publishing (its
+/// pre-existing history, already folded into the cell by the supervisor).
+fn try_restore<D: AdmissionDriver>(
+    shard: usize,
+    slot: &CheckpointSlot,
+    cache: &CacheConfig,
+    driver: &mut D,
+) -> Option<(CacheServer, darwin_cache::ThresholdPolicy, CacheMetrics)> {
+    for frame in slot.candidates() {
+        let Ok(ckpt) = ShardCheckpoint::from_frame(&frame) else { continue };
+        if ckpt.shard != shard {
+            continue;
+        }
+        let Ok(server) = CacheServer::restore_state(cache.clone(), &ckpt.cache) else { continue };
+        if !driver.load_state(&ckpt.driver) {
+            continue;
+        }
+        let base = server.metrics();
+        return Some((server, ckpt.policy, base));
+    }
+    None
 }
 
 /// The per-shard serving loop. Identical, request for request, to the
@@ -597,11 +683,37 @@ struct WorkerCtx<D, E> {
 /// each of which answers its envelopes via `Drop` — and the worker reports
 /// [`WorkerExit::Panicked`] instead of poisoning `join()`.
 fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D> {
-    let WorkerCtx { shard, rx, cell, cache, mut driver, batch, start, mut faults } = ctx;
+    let WorkerCtx {
+        shard,
+        rx,
+        cell,
+        cache,
+        mut driver,
+        batch,
+        start,
+        mut faults,
+        slot,
+        checkpoint_every,
+        respawn,
+    } = ctx;
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         darwin_parallel::inline_sweeps(|| {
-            let mut server = CacheServer::new(cache);
-            server.set_policy(driver.initial_policy());
+            // Respawned incarnations try the shard's checkpoint candidates
+            // first (warm restart); validation failure of every candidate —
+            // or no checkpoint at all — falls back to the cold path. The
+            // restored metrics become this incarnation's publication *base*:
+            // the cell already holds the shard's whole pre-death history
+            // (folded by the supervisor), so the incarnation must publish
+            // only its increments or restored counters would double-count.
+            let (mut server, mut current_policy, base) =
+                match respawn.then(|| try_restore(shard, &slot, &cache, &mut driver)).flatten() {
+                    Some((server, policy, base)) => {
+                        cell.record_warm_restart();
+                        (server, policy, base)
+                    }
+                    None => (CacheServer::new(cache), driver.initial_policy(), CacheMetrics::default()),
+                };
+            server.set_policy(current_policy);
             let mut processed = 0u64;
             let mut buf: Vec<E> = Vec::with_capacity(batch);
             let gauges = rx.gauges();
@@ -626,12 +738,16 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
                                     std::thread::yield_now();
                                 }
                             }
+                            FaultKind::CorruptCheckpoint { torn } => slot.corrupt(torn),
                         }
                     }
                     let req = *env.request();
                     let writes_before = server.metrics().hoc_writes;
                     let outcome = server.process(&req);
                     processed += 1;
+                    // The *raw* cumulative metrics drive the driver and the
+                    // admission indicator — they are part of the determinism
+                    // contract. Only the published copy is re-based.
                     let metrics = server.metrics();
                     env.complete(Verdict {
                         shard,
@@ -640,14 +756,34 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
                     });
                     // Per-request publication keeps the cell exact at any
                     // crash point — the conservation law depends on it.
-                    cell.publish_request(metrics, processed);
+                    cell.publish_request(metrics.diff(&base), processed);
                     if let Some(policy) = driver.observe(&req, &metrics) {
+                        current_policy = policy;
                         server.set_policy(policy);
                     }
+                    // Checkpoint exactly at configured request-sequence
+                    // boundaries, after the driver observed the request —
+                    // the same cut a paused sequential run would make.
+                    if let Some(every) = checkpoint_every {
+                        let seq = start + processed;
+                        if every > 0 && seq.is_multiple_of(every) {
+                            if let Some(dstate) = driver.save_state() {
+                                let ckpt = ShardCheckpoint {
+                                    shard,
+                                    seq,
+                                    policy: current_policy,
+                                    cache: server.save_state(),
+                                    driver: dstate,
+                                };
+                                slot.store(ckpt.to_frame());
+                                cell.record_checkpoint(seq);
+                            }
+                        }
+                    }
                 }
-                cell.publish(server.metrics(), processed, server.policy_label());
+                cell.publish(server.metrics().diff(&base), processed, server.policy_label());
             }
-            cell.publish(server.metrics(), processed, server.policy_label());
+            cell.publish(server.metrics().diff(&base), processed, server.policy_label());
             WorkerResult {
                 hoc_used_bytes: server.hoc_used_bytes(),
                 dc_used_bytes: server.dc_used_bytes(),
@@ -690,6 +826,7 @@ mod tests {
             backpressure: Backpressure::Block,
             snapshot_every: Some(5_000),
             restart_budget: RestartBudget::default(),
+            checkpoint_every: None,
         });
         fleet.submit_trace(&t);
         let report = fleet.finish();
@@ -722,6 +859,7 @@ mod tests {
             backpressure: Backpressure::DropNewest,
             snapshot_every: None,
             restart_budget: RestartBudget::default(),
+            checkpoint_every: None,
         });
         fleet.submit_trace(&t);
         let report = fleet.finish();
@@ -851,6 +989,76 @@ mod tests {
         // Shard 1 was untouched.
         assert!(!report.shards[1].dead);
         assert_eq!(report.shards[1].dropped + report.shards[1].unavailable, 0);
+    }
+
+    #[test]
+    fn boundary_panic_with_checkpointing_restarts_warm() {
+        let t = trace(12_000, 21);
+        // Panic exactly at a checkpoint boundary: the respawn restores the
+        // checkpoint taken at seq 1_000 (covering requests [0, 1_000)).
+        let plan = FaultPlan::new(vec![FaultEvent { shard: 0, at: 1_000, kind: FaultKind::Panic }]);
+        let mut fleet: ShardedFleet<StaticDriver> = ShardedFleet::with_fault_plan(
+            FleetConfig { shards: 2, batch: 32, checkpoint_every: Some(500), ..FleetConfig::default() },
+            CacheConfig::small_test(),
+            Box::new(HashRouter),
+            |_| StaticDriver::new(ThresholdPolicy::new(1, 100 * 1024)),
+            plan,
+        );
+        fleet.submit_trace(&t);
+        let report = fleet.finish();
+        assert_eq!(report.total_restarts(), 1);
+        assert_eq!(report.total_warm_restarts(), 1, "boundary kill must restore warm");
+        assert_eq!(report.total_cold_restarts(), 0);
+        assert_eq!(report.shards[0].dropped, 1, "exactly the fatal request dropped");
+        assert_eq!(
+            report.total_processed() + report.total_dropped() + report.total_unavailable(),
+            12_000,
+            "conservation across the warm restart"
+        );
+        assert_eq!(report.fleet_cache().requests, report.total_processed());
+        // The final snapshot carries the checkpoint gauges.
+        let last = report.snapshots.last().unwrap();
+        assert!(last.shards[0].checkpoint_seq.is_some());
+        assert_eq!(last.total_warm_restarts() + last.total_cold_restarts(), last.total_restarts());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_forces_detected_cold_fallback() {
+        let t = trace(12_000, 21);
+        for &torn in &[true, false] {
+            // Corrupt every checkpoint candidate right before the panic at
+            // the same index (corruption sorts before the death).
+            let plan = FaultPlan::new(vec![
+                FaultEvent { shard: 0, at: 1_000, kind: FaultKind::CorruptCheckpoint { torn } },
+                FaultEvent { shard: 0, at: 1_000, kind: FaultKind::Panic },
+            ]);
+            let mut fleet: ShardedFleet<StaticDriver> = ShardedFleet::with_fault_plan(
+                FleetConfig {
+                    shards: 2,
+                    batch: 32,
+                    checkpoint_every: Some(500),
+                    ..FleetConfig::default()
+                },
+                CacheConfig::small_test(),
+                Box::new(HashRouter),
+                |_| StaticDriver::new(ThresholdPolicy::new(1, 100 * 1024)),
+                plan,
+            );
+            fleet.submit_trace(&t);
+            let report = fleet.finish();
+            assert_eq!(report.total_restarts(), 1, "torn={torn}");
+            assert_eq!(
+                report.total_warm_restarts(),
+                0,
+                "torn={torn}: corruption must be detected, restart must go cold"
+            );
+            assert_eq!(report.total_cold_restarts(), 1, "torn={torn}");
+            assert_eq!(
+                report.total_processed() + report.total_dropped() + report.total_unavailable(),
+                12_000,
+                "torn={torn}: conservation across the cold fallback"
+            );
+        }
     }
 
     #[test]

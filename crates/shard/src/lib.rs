@@ -40,13 +40,21 @@
 //!   permanently dead once it is spent (the fleet then answers their
 //!   requests `Unavailable` — degraded mode, not an outage).
 //! * [`fault`] — deterministic chaos scripting: a [`FaultPlan`] keys panics,
-//!   delays and queue-full stalls off per-shard request sequence numbers, so
-//!   fault runs reproduce bit-for-bit (no wall clock anywhere).
+//!   delays, queue-full stalls and checkpoint corruption off per-shard
+//!   request sequence numbers, so fault runs reproduce bit-for-bit (no wall
+//!   clock anywhere).
+//! * [`ckpt`] — warm-restart checkpoints: a versioned, CRC-64-guarded
+//!   [`ShardCheckpoint`] frame (cache image + driver state + deployed
+//!   policy) taken at request-sequence boundaries into a double-buffered
+//!   [`CheckpointSlot`] with optional atomic-rename disk spill. A respawned
+//!   worker restores the latest valid frame (warm restart) and falls back
+//!   cold when none validates.
 //! * [`replay`] — the deterministic sequential side of the equivalence
 //!   contract: an N-shard fleet over a hash-partitioned trace is bitwise
 //!   identical to N sequential single-shard runs (`tests/equivalence.rs`
 //!   enforces this at 1, 2 and 8 shards).
 
+pub mod ckpt;
 pub mod fault;
 pub mod fleet;
 pub mod metrics;
@@ -55,6 +63,7 @@ pub mod replay;
 pub mod router;
 pub mod supervisor;
 
+pub use ckpt::{CheckpointSlot, ShardCheckpoint, CKPT_MAGIC, CKPT_VERSION};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fleet::{Backpressure, Envelope, FleetConfig, FleetReport, ShardOutcome, ShardedFleet, Verdict};
 pub use metrics::{FleetMetrics, GatewaySnapshot, MetricsHandle, ShardCell, ShardSnapshot};

@@ -36,13 +36,24 @@ pub struct ShardSnapshot {
     /// dead when they arrived.
     #[serde(default)]
     pub unavailable: u64,
-    /// Cold restarts the shard's supervisor granted.
+    /// Restarts the shard's supervisor granted (warm and cold together).
     #[serde(default)]
     pub restarts: u32,
+    /// Restarts that resumed from a valid checkpoint (warm). Always
+    /// `<= restarts`; the difference is the cold-restart count.
+    #[serde(default)]
+    pub warm_restarts: u32,
     /// True once the shard is permanently dead (restart budget exhausted or
     /// a terminal end-of-stream panic).
     #[serde(default)]
     pub dead: bool,
+    /// Per-shard sequence number of the latest stored checkpoint, if any.
+    #[serde(default)]
+    pub checkpoint_seq: Option<u64>,
+    /// Requests processed since the latest checkpoint (0 when no checkpoint
+    /// exists yet) — the work a crash right now would replay-lose warm.
+    #[serde(default)]
+    pub checkpoint_age: u64,
     /// Requests currently waiting in the shard's queue.
     pub queue_depth: usize,
     /// Maximum queue depth ever observed, across incarnations (backpressure
@@ -54,6 +65,13 @@ pub struct ShardSnapshot {
     /// Label of the shard's currently deployed admission policy (the last
     /// published label, for a dead shard).
     pub policy: String,
+}
+
+impl ShardSnapshot {
+    /// Restarts that fell back to a cold start (no valid checkpoint).
+    pub fn cold_restarts(&self) -> u32 {
+        self.restarts.saturating_sub(self.warm_restarts)
+    }
 }
 
 /// Counters of a network front-end serving a fleet, folded into
@@ -116,6 +134,34 @@ impl FleetMetrics {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// Merges another snapshot into this one, aggregating STATS replies from
+    /// disjoint shard groups (e.g. two gateway processes each owning half the
+    /// keyspace) into a single cluster-wide view: shard lists concatenate and
+    /// re-sort by shard index, gateway counters sum when both sides carry
+    /// them. Every `total_*` accessor of the merged snapshot equals the sum
+    /// of the inputs', so the conservation law survives merging.
+    pub fn merge(mut self, other: FleetMetrics) -> FleetMetrics {
+        self.shards.extend(other.shards);
+        self.shards.sort_by_key(|s| s.shard);
+        self.gateway = match (self.gateway, other.gateway) {
+            (Some(a), Some(b)) => Some(GatewaySnapshot {
+                connections_accepted: a.connections_accepted + b.connections_accepted,
+                connections_active: a.connections_active + b.connections_active,
+                idle_closed: a.idle_closed + b.idle_closed,
+                frames_in: a.frames_in + b.frames_in,
+                frames_rejected: a.frames_rejected + b.frames_rejected,
+                requests_in: a.requests_in + b.requests_in,
+                verdicts_out: a.verdicts_out + b.verdicts_out,
+                stats_served: a.stats_served + b.stats_served,
+                bytes_in: a.bytes_in + b.bytes_in,
+                bytes_out: a.bytes_out + b.bytes_out,
+            }),
+            (a, b) => a.or(b),
+        };
+        self
+    }
+
     /// Fleet-wide cache metrics: the counter-wise sum over shards. OHR/BMR
     /// and disk-write rates of the returned value are exact fleet-wide
     /// figures.
@@ -139,9 +185,27 @@ impl FleetMetrics {
         self.shards.iter().map(|s| s.unavailable).sum()
     }
 
-    /// Cold restarts granted across the fleet.
+    /// Restarts granted across the fleet (warm and cold together).
     pub fn total_restarts(&self) -> u32 {
         self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Restarts that resumed warm from a checkpoint, across the fleet.
+    pub fn total_warm_restarts(&self) -> u32 {
+        self.shards.iter().map(|s| s.warm_restarts).sum()
+    }
+
+    /// Restarts that fell back cold, across the fleet. Together with
+    /// [`FleetMetrics::total_warm_restarts`] this always sums to
+    /// [`FleetMetrics::total_restarts`].
+    pub fn total_cold_restarts(&self) -> u32 {
+        self.shards.iter().map(|s| s.cold_restarts()).sum()
+    }
+
+    /// Largest checkpoint age across shards: the most work any one shard
+    /// would lose to a crash right now, even restoring warm.
+    pub fn max_checkpoint_age(&self) -> u64 {
+        self.shards.iter().map(|s| s.checkpoint_age).max().unwrap_or(0)
     }
 
     /// Shards currently marked permanently dead.
@@ -216,6 +280,10 @@ pub struct ShardCell {
     dropped: AtomicU64,
     unavailable: AtomicU64,
     restarts: AtomicU32,
+    warm_restarts: AtomicU32,
+    /// Sequence number of the latest stored checkpoint; `u64::MAX` is the
+    /// "none yet" sentinel (a real sequence of `u64::MAX` is unreachable).
+    ckpt_seq: AtomicU64,
     dead: AtomicBool,
     /// High-water marks of retired queues (a restart swaps in a fresh queue
     /// whose gauge starts at zero).
@@ -234,6 +302,8 @@ impl ShardCell {
             dropped: AtomicU64::new(0),
             unavailable: AtomicU64::new(0),
             restarts: AtomicU32::new(0),
+            warm_restarts: AtomicU32::new(0),
+            ckpt_seq: AtomicU64::new(u64::MAX),
             dead: AtomicBool::new(false),
             high_water_floor: AtomicUsize::new(0),
             gauges: Mutex::new(gauges),
@@ -313,14 +383,40 @@ impl ShardCell {
         *self.gauges.lock().expect("cell poisoned") = gauges;
     }
 
-    /// Counts one granted cold restart.
+    /// Counts one granted restart (warm or cold — warmness is recorded
+    /// separately by the respawned worker once its restore attempt settles).
     pub fn record_restart(&self) {
         self.restarts.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Cold restarts granted so far.
+    /// Restarts granted so far (warm and cold together).
     pub fn restarts(&self) -> u32 {
         self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Worker side, on respawn: records that the incarnation restored warm
+    /// from a valid checkpoint.
+    pub fn record_warm_restart(&self) {
+        self.warm_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Restarts that resumed warm so far.
+    pub fn warm_restarts(&self) -> u32 {
+        self.warm_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Worker side: records a stored checkpoint covering the shard's first
+    /// `seq` requests.
+    pub fn record_checkpoint(&self, seq: u64) {
+        self.ckpt_seq.store(seq, Ordering::Release);
+    }
+
+    /// Sequence number of the latest stored checkpoint, if any.
+    pub fn checkpoint_seq(&self) -> Option<u64> {
+        match self.ckpt_seq.load(Ordering::Acquire) {
+            u64::MAX => None,
+            seq => Some(seq),
+        }
     }
 
     /// Marks the shard permanently dead.
@@ -340,13 +436,18 @@ impl ShardCell {
             (st.cache_base.merge(&st.cache), st.policy.clone())
         };
         let gauges = Arc::clone(&self.gauges.lock().expect("cell poisoned"));
+        let processed_total = self.processed_total();
+        let checkpoint_seq = self.checkpoint_seq();
         ShardSnapshot {
             shard: self.shard,
-            processed: self.processed_total(),
+            processed: processed_total,
             dropped: self.dropped(),
             unavailable: self.unavailable(),
             restarts: self.restarts(),
+            warm_restarts: self.warm_restarts(),
             dead: self.is_dead(),
+            checkpoint_seq,
+            checkpoint_age: checkpoint_seq.map_or(0, |s| processed_total.saturating_sub(s)),
             queue_depth: gauges.depth(),
             queue_high_water: self.high_water_floor.load(Ordering::Relaxed).max(gauges.high_water()),
             cache,
@@ -366,7 +467,10 @@ mod tests {
             dropped: 0,
             unavailable: 0,
             restarts: 0,
+            warm_restarts: 0,
             dead: false,
+            checkpoint_seq: None,
+            checkpoint_age: 0,
             queue_depth: 0,
             queue_high_water: 0,
             cache: CacheMetrics {
@@ -430,12 +534,70 @@ mod tests {
         // bench artifacts) still parse; the new fields default to zero.
         let fm = FleetMetrics::from_shards(vec![snap(0, 10, 3)]);
         let mut json = fm.to_json();
-        for gone in ["\"unavailable\": 0,", "\"restarts\": 0,", "\"dead\": false,"] {
-            assert!(json.contains(gone));
+        for gone in [
+            "\"unavailable\": 0,",
+            "\"restarts\": 0,",
+            "\"warm_restarts\": 0,",
+            "\"dead\": false,",
+            "\"checkpoint_seq\": null,",
+            "\"checkpoint_age\": 0,",
+        ] {
+            assert!(json.contains(gone), "field {gone} missing from JSON");
             json = json.replacen(gone, "", 1);
         }
         let back = FleetMetrics::from_json(&json).unwrap();
         assert_eq!(back, fm, "missing fields default to zero");
+    }
+
+    #[test]
+    fn warm_and_cold_restarts_partition_the_total() {
+        let mut a = snap(0, 100, 40);
+        a.restarts = 3;
+        a.warm_restarts = 2;
+        let mut b = snap(1, 100, 40);
+        b.restarts = 1;
+        b.warm_restarts = 0;
+        assert_eq!(a.cold_restarts(), 1);
+        assert_eq!(b.cold_restarts(), 1);
+        let fm = FleetMetrics::from_shards(vec![a, b]);
+        assert_eq!(fm.total_restarts(), 4);
+        assert_eq!(fm.total_warm_restarts(), 2);
+        assert_eq!(fm.total_cold_restarts(), 2);
+        assert_eq!(
+            fm.total_warm_restarts() + fm.total_cold_restarts(),
+            fm.total_restarts(),
+            "warm + cold must always equal the total"
+        );
+    }
+
+    #[test]
+    fn checkpoint_age_tracks_latest_checkpoint() {
+        let mut a = snap(0, 5_000, 40);
+        a.checkpoint_seq = Some(4_000);
+        a.checkpoint_age = 1_000;
+        let b = snap(1, 9_000, 60); // never checkpointed: age 0
+        let fm = FleetMetrics::from_shards(vec![a, b]);
+        assert_eq!(fm.max_checkpoint_age(), 1_000);
+    }
+
+    #[test]
+    fn cell_records_checkpoints_and_warm_restarts() {
+        let cell = ShardCell::new(0, Arc::new(QueueGauges::default()));
+        assert_eq!(cell.checkpoint_seq(), None);
+        assert_eq!(cell.snapshot().checkpoint_age, 0);
+
+        cell.publish_request(CacheMetrics { requests: 1_500, ..Default::default() }, 1_500);
+        cell.record_checkpoint(1_000);
+        let s = cell.snapshot();
+        assert_eq!(s.checkpoint_seq, Some(1_000));
+        assert_eq!(s.checkpoint_age, 500);
+
+        cell.record_restart();
+        cell.record_warm_restart();
+        let s = cell.snapshot();
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.warm_restarts, 1);
+        assert_eq!(s.cold_restarts(), 0);
     }
 
     #[test]

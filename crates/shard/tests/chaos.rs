@@ -76,6 +76,7 @@ fn check_conservation(shards: usize, plan: FaultPlan, budget: RestartBudget, bp:
             backpressure: bp,
             snapshot_every: None,
             restart_budget: budget,
+            checkpoint_every: None,
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),
@@ -155,6 +156,7 @@ fn empty_fault_plan_is_bitwise_identical_to_sequential_replay() {
                 backpressure: Backpressure::Block,
                 snapshot_every: None,
                 restart_budget: RestartBudget::default(),
+                checkpoint_every: None,
             },
             CacheConfig::small_test(),
             Box::new(HashRouter),
@@ -194,6 +196,7 @@ fn fault_runs_reproduce_bit_for_bit() {
                 backpressure: Backpressure::Block,
                 snapshot_every: None,
                 restart_budget: RestartBudget { max_restarts: 1, window_requests: 100_000 },
+                checkpoint_every: None,
             },
             CacheConfig::small_test(),
             Box::new(HashRouter),
@@ -242,6 +245,7 @@ fn stall_faults_are_result_invisible() {
                 backpressure: Backpressure::Block,
                 snapshot_every: None,
                 restart_budget: RestartBudget::default(),
+                checkpoint_every: None,
             },
             CacheConfig::small_test(),
             Box::new(HashRouter),

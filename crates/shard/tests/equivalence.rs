@@ -88,6 +88,7 @@ fn check_darwin_equivalence(shards: usize) {
             backpressure: Backpressure::Block,
             snapshot_every: None,
             restart_budget: Default::default(),
+            checkpoint_every: None,
         },
         cache_cfg(),
         Box::new(HashRouter),
@@ -161,6 +162,7 @@ fn static_fleet_equivalent_at_8_shards_long_trace() {
             backpressure: Backpressure::Block,
             snapshot_every: Some(25_000),
             restart_budget: Default::default(),
+            checkpoint_every: None,
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),

@@ -1,0 +1,398 @@
+//! The warm-recovery contract, enforced end to end.
+//!
+//! A shard killed **exactly at a checkpoint boundary** and restored warm
+//! resumes bitwise-identical — cumulative cache metrics, final HOC/DC
+//! occupancy, and the full deployed-expert sequence — to an uninterrupted
+//! sequential run of its partition (minus the one fatal request every
+//! scripted death drops). Verified at 1, 2 and 8 shards with the full
+//! per-shard Darwin controller; `verify.sh` runs all three as the
+//! restore-equivalence gate.
+//!
+//! The cold-fallback path is pinned just as tightly: with every checkpoint
+//! candidate corrupted, the restart is *detected* as cold and its result
+//! equals head-run + fresh tail-run ground truth. A disk-spill test proves
+//! the atomic-rename spill file parses into a restorable checkpoint after
+//! the fleet exits, and the conservation-law test (satellite: FleetMetrics
+//! merge + warm/cold partition of `total_restarts`) closes the ledger.
+
+use darwin::{DarwinModel, Expert, ExpertGrid, OfflineConfig, OfflineTrainer, OnlineConfig};
+use darwin_cache::{CacheConfig, CacheMetrics, CacheServer, ThresholdPolicy};
+use darwin_nn::TrainConfig;
+use darwin_shard::{
+    partition, run_partition, Backpressure, FaultEvent, FaultKind, FaultPlan, FleetConfig, HashRouter,
+    ShardCheckpoint, ShardedFleet,
+};
+use darwin_testbed::{DarwinDriver, StaticDriver};
+use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
+use std::sync::{Arc, OnceLock};
+
+/// Per-shard request index the scripted panic fires at: a multiple of
+/// [`CKPT_EVERY`], so the dying incarnation checkpoints at exactly this
+/// sequence number right before the fatal request arrives.
+const KILL_AT: u64 = 3_000;
+/// Checkpoint cadence; `KILL_AT` is a boundary of it.
+const CKPT_EVERY: u64 = 1_000;
+
+/// One small offline-trained model shared by every test in this file (same
+/// shape as `tests/equivalence.rs`).
+fn model() -> Arc<DarwinModel> {
+    static MODEL: OnceLock<Arc<DarwinModel>> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let cfg = OfflineConfig {
+                grid: ExpertGrid::new(vec![
+                    Expert::new(1, 20),
+                    Expert::new(1, 500),
+                    Expert::new(5, 20),
+                    Expert::new(5, 500),
+                ]),
+                hoc_bytes: 2 * 1024 * 1024,
+                nn_train: TrainConfig { epochs: 40, ..TrainConfig::default() },
+                n_clusters: 2,
+                ..OfflineConfig::default()
+            };
+            let traces: Vec<Trace> = (0..4)
+                .map(|i| {
+                    TraceGenerator::new(
+                        MixSpec::two_class(
+                            TrafficClass::image(),
+                            TrafficClass::download(),
+                            i as f64 / 3.0,
+                        ),
+                        10 + i as u64,
+                    )
+                    .generate(10_000)
+                })
+                .collect();
+            Arc::new(OfflineTrainer::new(cfg).train(&traces))
+        })
+        .clone()
+}
+
+fn cache_cfg() -> CacheConfig {
+    CacheConfig { hoc_bytes: 2 * 1024 * 1024, ..CacheConfig::small_test() }
+}
+
+fn online_cfg() -> OnlineConfig {
+    OnlineConfig {
+        epoch_requests: 20_000,
+        warmup_requests: 1_000,
+        round_requests: 300,
+        ..OnlineConfig::default()
+    }
+}
+
+fn test_trace() -> Trace {
+    // Long enough that shard 0 holds well over `KILL_AT` requests even at 8
+    // shards, and that the checkpoint at `KILL_AT` lands mid-Identify (live
+    // Track-and-Stop posterior in the frame, not just warm-up counters).
+    TraceGenerator::new(MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5), 4242)
+        .generate(48_000)
+}
+
+fn fleet_cfg(shards: usize) -> FleetConfig {
+    FleetConfig {
+        shards,
+        queue_capacity: 256,
+        batch: 64,
+        backpressure: Backpressure::Block,
+        snapshot_every: None,
+        restart_budget: Default::default(),
+        checkpoint_every: Some(CKPT_EVERY),
+    }
+}
+
+/// `part` minus its element at per-shard index `at` — the request a scripted
+/// panic at `at` answers `Dropped`. What remains is exactly the stream the
+/// dying incarnation (indices `0..at`) plus the respawned one (`at+1..`)
+/// process between them.
+fn minus_fatal(part: &Trace, at: u64) -> Trace {
+    let mut reqs = part.requests().to_vec();
+    reqs.remove(at as usize);
+    Trace::from_sorted(reqs)
+}
+
+/// Keystone (a): boundary-kill warm restore is bitwise-identical to the
+/// uninterrupted run, with the full Darwin controller per shard.
+fn check_warm_boundary_restore(shards: usize) {
+    let model = model();
+    let trace = test_trace();
+
+    let mut fleet = ShardedFleet::with_fault_plan(
+        fleet_cfg(shards),
+        cache_cfg(),
+        Box::new(HashRouter),
+        {
+            let model = Arc::clone(&model);
+            move |_| DarwinDriver::new(Arc::clone(&model), online_cfg())
+        },
+        FaultPlan::new(vec![FaultEvent { shard: 0, at: KILL_AT, kind: FaultKind::Panic }]),
+    );
+    fleet.submit_trace(&trace);
+    let report = fleet.finish();
+
+    // Uninterrupted ground truth per shard; shard 0's partition loses the
+    // one fatal request the death dropped.
+    let parts = partition(&trace, &HashRouter, shards);
+    assert!(
+        parts[0].len() as u64 > KILL_AT + CKPT_EVERY,
+        "trace too short for a meaningful post-restore tail at {shards} shards"
+    );
+    let seq: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(s, part)| {
+            let ground = if s == 0 { minus_fatal(part, KILL_AT) } else { part.clone() };
+            run_partition(cache_cfg(), DarwinDriver::new(Arc::clone(&model), online_cfg()), &ground)
+        })
+        .collect();
+
+    // The death itself, as scripted: one warm restart, one dropped request,
+    // nothing unavailable.
+    let s0 = &report.shards[0];
+    assert_eq!(s0.restarts, 1, "exactly one supervised restart");
+    assert_eq!(s0.warm_restarts, 1, "the restart resumed warm from the boundary checkpoint");
+    assert_eq!(s0.dropped, 1, "only the fatal request was lost");
+    assert_eq!(report.total_unavailable(), 0);
+    assert_eq!(
+        report.total_processed() + report.total_dropped(),
+        trace.len() as u64,
+        "conservation across the warm restart"
+    );
+
+    // Bitwise identity, shard by shard: metrics, occupancy, expert sequence.
+    let mut switched_anywhere = false;
+    for (f, s) in report.shards.into_iter().zip(seq) {
+        let shard = f.shard;
+        assert_eq!(f.processed, s.processed, "shard {shard}: processed");
+        assert_eq!(f.cache, s.cache, "shard {shard}: cache metrics across the restart");
+        assert_eq!(f.hoc_used_bytes, s.hoc_used_bytes, "shard {shard}: HOC occupancy");
+        assert_eq!(f.dc_used_bytes, s.dc_used_bytes, "shard {shard}: DC occupancy");
+        let fleet_seq =
+            f.driver.expect("restored shard keeps its driver").into_controller().expert_sequence();
+        let replay_seq = s.driver.into_controller().expert_sequence();
+        assert_eq!(fleet_seq, replay_seq, "shard {shard}: deployed-expert sequence");
+        switched_anywhere |= fleet_seq.len() > 1;
+    }
+    assert!(
+        switched_anywhere,
+        "test must exercise real controller activity: no shard ever deployed a non-initial expert"
+    );
+}
+
+#[test]
+fn warm_boundary_restore_bitwise_at_1_shard() {
+    check_warm_boundary_restore(1);
+}
+
+#[test]
+fn warm_boundary_restore_bitwise_at_2_shards() {
+    check_warm_boundary_restore(2);
+}
+
+#[test]
+fn warm_boundary_restore_bitwise_at_8_shards() {
+    check_warm_boundary_restore(8);
+}
+
+/// Cold fallback, pinned exactly: with every checkpoint candidate corrupted
+/// the restart is *detected* cold (never a panic, never a silent mis-restore)
+/// and the shard's result equals head-run + fresh-tail-run ground truth.
+#[test]
+fn corrupted_checkpoint_falls_back_cold_bitwise() {
+    let model = model();
+    let trace = test_trace();
+    let shards = 2;
+
+    let mut fleet = ShardedFleet::with_fault_plan(
+        fleet_cfg(shards),
+        cache_cfg(),
+        Box::new(HashRouter),
+        {
+            let model = Arc::clone(&model);
+            move |_| DarwinDriver::new(Arc::clone(&model), online_cfg())
+        },
+        FaultPlan::new(vec![
+            // Bit rot on every candidate, then death at the same index: the
+            // corruption fires first (fault ordering), so the respawn finds
+            // no valid frame and must fall back cold — detectably.
+            FaultEvent { shard: 0, at: KILL_AT, kind: FaultKind::CorruptCheckpoint { torn: false } },
+            FaultEvent { shard: 0, at: KILL_AT, kind: FaultKind::Panic },
+        ]),
+    );
+    fleet.submit_trace(&trace);
+    let report = fleet.finish();
+
+    let s0 = &report.shards[0];
+    assert_eq!(s0.restarts, 1);
+    assert_eq!(s0.warm_restarts, 0, "corrupted checkpoints must not restore warm");
+    assert_eq!(s0.dropped, 1);
+    assert_eq!(report.total_processed() + report.total_dropped(), trace.len() as u64);
+
+    // Ground truth: the dying incarnation ran indices 0..KILL_AT; the cold
+    // respawn ran a fresh server + fresh controller over KILL_AT+1.. .
+    let parts = partition(&trace, &HashRouter, shards);
+    let head = run_partition(
+        cache_cfg(),
+        DarwinDriver::new(Arc::clone(&model), online_cfg()),
+        &parts[0].slice(0, KILL_AT as usize),
+    );
+    let tail = run_partition(
+        cache_cfg(),
+        DarwinDriver::new(Arc::clone(&model), online_cfg()),
+        &parts[0].slice(KILL_AT as usize + 1, parts[0].len()),
+    );
+    assert_eq!(s0.processed, head.processed + tail.processed);
+    assert_eq!(
+        s0.cache,
+        CacheMetrics::merge_all([&head.cache, &tail.cache]),
+        "cumulative metrics = dead incarnation + cold tail"
+    );
+    assert_eq!(s0.hoc_used_bytes, tail.hoc_used_bytes, "occupancy is the cold tail's");
+    assert_eq!(s0.dc_used_bytes, tail.dc_used_bytes);
+    let fleet_seq = report.shards[0]
+        .driver
+        .as_ref()
+        .expect("cold-restarted shard keeps its driver")
+        .controller()
+        .expert_sequence();
+    assert_eq!(
+        fleet_seq,
+        tail.driver.into_controller().expert_sequence(),
+        "the cold controller's history starts over with the tail"
+    );
+}
+
+/// The torn-write flavor of the same fallback: truncated frames are caught
+/// just like bit-flipped ones.
+#[test]
+fn torn_checkpoint_falls_back_cold() {
+    let trace = test_trace();
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let mut fleet = ShardedFleet::with_fault_plan(
+        fleet_cfg(2),
+        cache_cfg(),
+        Box::new(HashRouter),
+        move |_| StaticDriver::new(policy),
+        FaultPlan::new(vec![
+            FaultEvent { shard: 0, at: KILL_AT, kind: FaultKind::CorruptCheckpoint { torn: true } },
+            FaultEvent { shard: 0, at: KILL_AT, kind: FaultKind::Panic },
+        ]),
+    );
+    fleet.submit_trace(&trace);
+    let report = fleet.finish();
+    assert_eq!(report.total_restarts(), 1);
+    assert_eq!(report.total_warm_restarts(), 0, "torn frames must not restore warm");
+    assert_eq!(report.total_cold_restarts(), 1);
+    assert_eq!(report.total_processed() + report.total_dropped(), trace.len() as u64);
+}
+
+/// The on-disk spill: after a fleet with a checkpoint directory exits, each
+/// shard's `shard-{s}.ckpt` holds a CRC-valid frame that decodes and restores
+/// into a live `CacheServer` — the cross-process warm-restart artifact.
+#[test]
+fn disk_spill_parses_and_restores_after_exit() {
+    let dir = std::env::temp_dir().join(format!("darwin-restore-spill-{}", std::process::id()));
+    let shards = 2;
+    let trace = test_trace();
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let mut fleet = ShardedFleet::with_recovery(
+        fleet_cfg(shards),
+        cache_cfg(),
+        Box::new(HashRouter),
+        move |_| StaticDriver::new(policy),
+        FaultPlan::new(vec![FaultEvent { shard: 0, at: KILL_AT, kind: FaultKind::Panic }]),
+        Some(dir.clone()),
+    );
+    fleet.submit_trace(&trace);
+    let report = fleet.finish();
+    assert_eq!(report.total_warm_restarts(), 1, "memory candidates still serve the in-process path");
+
+    let parts = partition(&trace, &HashRouter, shards);
+    for (s, part) in parts.iter().enumerate().take(shards) {
+        let path = dir.join(format!("shard-{s}.ckpt"));
+        let frame = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("spill file {} must exist: {e}", path.display()));
+        let ckpt = ShardCheckpoint::from_frame(&frame).expect("spill frame is CRC-valid");
+        assert_eq!(ckpt.shard, s);
+        // Latest boundary the shard reached (shard 0 keeps checkpointing
+        // past the kill: the warm respawn re-arms the same slot).
+        let expect_seq = (part.len() as u64 / CKPT_EVERY) * CKPT_EVERY;
+        assert_eq!(ckpt.seq, expect_seq, "shard {s}: spill holds the latest boundary");
+        let server = CacheServer::restore_state(cache_cfg(), &ckpt.cache)
+            .expect("spilled cache state restores into a live server");
+        // Shard 0's post-kill checkpoints are short the one request the death
+        // dropped; every other shard's request count equals the boundary.
+        let expect_requests = if s == 0 { expect_seq - 1 } else { expect_seq };
+        assert_eq!(server.metrics().requests, expect_requests, "shard {s}: restored request count");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: `FleetMetrics::merge` and the conservation law across warm
+/// restarts; warm and cold counters always partition `total_restarts`.
+#[test]
+fn fleet_metrics_merge_and_conservation_across_warm_restarts() {
+    let trace = test_trace();
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let shards = 4;
+    let mut fleet = ShardedFleet::with_fault_plan(
+        fleet_cfg(shards),
+        cache_cfg(),
+        Box::new(HashRouter),
+        move |_| StaticDriver::new(policy),
+        FaultPlan::new(vec![
+            // One warm restart (boundary kill on shard 0) and one cold: shard
+            // 1's candidates are corrupted right before its death.
+            FaultEvent { shard: 0, at: KILL_AT, kind: FaultKind::Panic },
+            FaultEvent { shard: 1, at: KILL_AT, kind: FaultKind::CorruptCheckpoint { torn: false } },
+            FaultEvent { shard: 1, at: KILL_AT, kind: FaultKind::Panic },
+        ]),
+    );
+    let handle = fleet.metrics_handle();
+    fleet.submit_trace(&trace);
+    let report = fleet.finish();
+    let snap = handle.snapshot();
+
+    // Conservation, on both the report and the live snapshot.
+    let submitted = trace.len() as u64;
+    assert_eq!(
+        report.total_processed() + report.total_dropped() + report.total_unavailable(),
+        submitted
+    );
+    assert_eq!(snap.total_processed() + snap.total_dropped() + snap.total_unavailable(), submitted);
+
+    // Warm + cold partitions the restart count, fleet-wide and per shard.
+    assert_eq!(snap.total_restarts(), 2);
+    assert_eq!(snap.total_warm_restarts(), 1);
+    assert_eq!(snap.total_cold_restarts(), 1);
+    assert_eq!(snap.total_warm_restarts() + snap.total_cold_restarts(), snap.total_restarts());
+    for s in &snap.shards {
+        assert!(s.warm_restarts + s.cold_restarts() == s.restarts, "shard {}: partition", s.shard);
+    }
+    // Checkpoint gauges: every shard checkpointed, and the age counts the
+    // requests it processed past its latest boundary.
+    for s in &snap.shards {
+        let seq = s.checkpoint_seq.unwrap_or_else(|| panic!("shard {} checkpointed", s.shard));
+        assert_eq!(s.checkpoint_age, s.processed.saturating_sub(seq), "shard {}: age gauge", s.shard);
+    }
+
+    // Merging per-shard-group snapshots (a split STATS view) loses nothing:
+    // every total of the merged snapshot equals the sum of the parts'.
+    let left = darwin_shard::FleetMetrics::from_shards(snap.shards[..2].to_vec());
+    let right = darwin_shard::FleetMetrics::from_shards(snap.shards[2..].to_vec());
+    let merged = left.merge(right);
+    assert_eq!(merged.shards.len(), shards);
+    assert_eq!(merged.total_processed(), snap.total_processed());
+    assert_eq!(merged.total_dropped(), snap.total_dropped());
+    assert_eq!(merged.total_unavailable(), snap.total_unavailable());
+    assert_eq!(merged.total_restarts(), snap.total_restarts());
+    assert_eq!(merged.total_warm_restarts(), snap.total_warm_restarts());
+    assert_eq!(merged.max_checkpoint_age(), snap.max_checkpoint_age());
+    assert_eq!(merged.fleet_cache(), snap.fleet_cache());
+    assert_eq!(
+        merged.total_processed() + merged.total_dropped() + merged.total_unavailable(),
+        submitted,
+        "conservation survives the merge"
+    );
+}

@@ -15,6 +15,19 @@ pub trait AdmissionDriver {
     fn observe(&mut self, req: &Request, cumulative: &CacheMetrics) -> Option<ThresholdPolicy>;
     /// Label for reports.
     fn label(&self) -> String;
+    /// Serializes the driver's dynamic state for a warm-restart checkpoint.
+    /// `None` (the default) marks the driver as non-checkpointable; a
+    /// checkpointing fleet then skips the snapshot entirely rather than
+    /// persist a cache state it could not pair with driver state.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+    /// Restores state written by [`AdmissionDriver::save_state`] into a
+    /// freshly built driver of the same configuration. Returns `false` when
+    /// the bytes are rejected (the caller must fall back to a cold start).
+    fn load_state(&mut self, _bytes: &[u8]) -> bool {
+        false
+    }
 }
 
 /// A fixed expert (the paper's static baselines).
@@ -41,6 +54,14 @@ impl AdmissionDriver for StaticDriver {
         use darwin_cache::AdmissionPolicy;
         let p = self.policy;
         p.label()
+    }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // Stateless: an empty payload suffices, but the driver *is*
+        // checkpointable (the fleet still snapshots the cache).
+        Some(Vec::new())
+    }
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
     }
 }
 
@@ -81,6 +102,12 @@ impl AdmissionDriver for DarwinDriver {
     }
     fn label(&self) -> String {
         "darwin".into()
+    }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.controller.save_state())
+    }
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        self.controller.restore_state(bytes).is_ok()
     }
 }
 

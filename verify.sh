@@ -25,8 +25,18 @@ cargo test -p darwin-gateway --test loopback -q -- \
 echo "== chaos: fault-plan conservation (proptest + bitwise regression) =="
 cargo test -p darwin-shard --test chaos -q
 
+echo "== restore equivalence (boundary-kill warm restore bitwise at 1, 2, 8 shards) =="
+cargo test -p darwin-shard --test restore -q -- \
+    warm_boundary_restore_bitwise_at_1_shard \
+    warm_boundary_restore_bitwise_at_2_shards \
+    warm_boundary_restore_bitwise_at_8_shards \
+    corrupted_checkpoint_falls_back_cold_bitwise
+
 echo "== chaos bench smoke (scripted shard deaths, exactly-once answering) =="
 cargo run --release -p darwin-bench --bin experiments -- chaos --out target/chaos_smoke
+
+echo "== recovery bench smoke (warm vs cold hit-ratio recovery) =="
+cargo run --release -p darwin-bench --bin experiments -- recovery --out target/recovery_smoke
 
 echo "== rustfmt (--check) =="
 cargo fmt --all -- --check
