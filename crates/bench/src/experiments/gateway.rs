@@ -26,7 +26,7 @@ use serde::Serialize;
 use std::path::Path;
 
 /// Shard counts swept by the experiment.
-pub const SHARD_COUNTS: [usize; 2] = [1, 4];
+pub const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
 /// Client connection counts swept by the experiment.
 pub const CONNECTION_COUNTS: [usize; 2] = [1, 4];
 

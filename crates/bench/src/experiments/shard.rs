@@ -7,8 +7,11 @@
 //! critical path anyway, §5) and reports two throughput figures per row:
 //!
 //! * **live** — wall-clock requests/sec of the threaded fleet *on this
-//!   machine*. On fewer cores than shards this measures queue/handoff
-//!   overhead, not scale-out.
+//!   machine*, driven the way a gateway drives it: [`PRODUCERS`] concurrent
+//!   ingest producers routing whole frames into per-shard runs and
+//!   delivering each run with one batched queue operation. Per-request
+//!   submit→verdict latency is sampled alongside (`live_p99_ms`). On fewer
+//!   cores than shards this measures queue/handoff overhead, not scale-out.
 //! * **critical-path** — total requests ÷ the slowest shard's sequential
 //!   replay time. Because the fleet is bitwise equivalent to its sequential
 //!   per-shard replays (see `darwin-shard/tests/equivalence.rs`), this is
@@ -21,15 +24,27 @@
 use crate::report::{f4, Report};
 use crate::scale::Scale;
 use darwin_cache::ThresholdPolicy;
-use darwin_shard::{partition, run_partition, Backpressure, FleetConfig, HashRouter, ShardedFleet};
+use darwin_shard::{
+    partition, run_partition, Backpressure, Envelope, FleetConfig, HashRouter, ShardedFleet, Verdict,
+};
 use darwin_testbed::StaticDriver;
-use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
+use darwin_trace::{MixSpec, Request, Trace, TraceGenerator, TrafficClass};
 use serde::Serialize;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Shard counts swept by the experiment.
 pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Concurrent ingest producers driving the live measurement (the gateway
+/// topology: one producer per connection).
+pub const PRODUCERS: usize = 4;
+
+/// Requests per submitted frame on the live path (one `push_batch` per
+/// touched shard per frame).
+const FRAME: usize = 512;
 
 /// Repetitions per timing; the fastest is kept (standard practice — the
 /// minimum is the least noise-contaminated estimate of the true cost).
@@ -40,10 +55,17 @@ const REPEATS: usize = 3;
 pub struct ShardRow {
     /// Shard count (= worker threads = cache servers).
     pub shards: usize,
-    /// Threaded-fleet wall-clock requests/sec on this machine.
+    /// Threaded-fleet wall-clock requests/sec on this machine, with
+    /// [`PRODUCERS`] concurrent frame-batched ingest producers.
     pub live_rps: f64,
     /// `live_rps` relative to the 1-shard row.
     pub live_speedup: f64,
+    /// 99th-percentile submit→verdict latency (nearest-rank) of the fastest
+    /// live repeat, milliseconds. Includes queueing delay, so it rises when
+    /// the shards — not the ingest path — are the bottleneck.
+    pub live_p99_ms: f64,
+    /// Median submit→verdict latency of the fastest live repeat, ms.
+    pub live_p50_ms: f64,
     /// Projected requests/sec on one-core-per-shard hardware: total requests
     /// divided by the slowest shard's sequential replay seconds (valid by
     /// the fleet-equals-sequential-replay equivalence theorem).
@@ -75,6 +97,8 @@ pub struct ShardBench {
     pub driver: String,
     /// CPU cores visible to this process (interprets the live numbers).
     pub cpu_cores: usize,
+    /// Concurrent ingest producers behind every live measurement.
+    pub producers: usize,
     /// Critical-path throughput scaling from 1 to 8 shards.
     pub scaling_1_to_8_critical_path: f64,
     /// Live throughput scaling from 1 to 8 shards on this machine.
@@ -94,6 +118,85 @@ fn policy() -> ThresholdPolicy {
     ThresholdPolicy::new(2, 100 * 1024)
 }
 
+/// Envelope that stamps its submit→verdict latency (nanoseconds) into a
+/// preallocated per-request slot — no locks or allocation on the hot path.
+struct TimedEnvelope {
+    req: Request,
+    started: Instant,
+    slot: usize,
+    lat: Arc<Vec<AtomicU64>>,
+}
+
+impl Envelope for TimedEnvelope {
+    fn request(&self) -> &Request {
+        &self.req
+    }
+    fn complete(self, _verdict: Verdict) {
+        self.lat[self.slot].store(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Nearest-rank percentile of a sorted nanosecond sample, in milliseconds.
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * sorted_ns.len() as f64).ceil() as usize;
+    sorted_ns[rank.saturating_sub(1).min(sorted_ns.len() - 1)] as f64 / 1e6
+}
+
+/// One live run: [`PRODUCERS`] threads split the trace into contiguous
+/// chunks (the gateway's connection topology) and frame-batch it into the
+/// fleet. Returns (elapsed seconds, per-request latencies ns, report).
+fn live_run(
+    shards: usize,
+    cache: &darwin_cache::CacheConfig,
+    trace: &Trace,
+) -> (f64, Vec<u64>, darwin_shard::FleetReport<StaticDriver>) {
+    let n = trace.len();
+    let fleet: ShardedFleet<StaticDriver, TimedEnvelope> = ShardedFleet::new(
+        FleetConfig {
+            shards,
+            queue_capacity: 8192,
+            batch: 512,
+            backpressure: Backpressure::Block,
+            snapshot_every: None,
+            restart_budget: Default::default(),
+            checkpoint_every: None,
+        },
+        cache.clone(),
+        Box::new(HashRouter),
+        |_| StaticDriver::new(policy()),
+    );
+    let lat: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+    let ingest = fleet.ingest();
+    let chunk_len = n.div_ceil(PRODUCERS);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (p, chunk) in trace.requests().chunks(chunk_len).enumerate() {
+            let mut producer = ingest.producer();
+            let lat = Arc::clone(&lat);
+            scope.spawn(move || {
+                let base = p * chunk_len;
+                for (f, frame) in chunk.chunks(FRAME).enumerate() {
+                    let started = Instant::now();
+                    producer.submit_frame(frame.iter().enumerate().map(|(j, req)| TimedEnvelope {
+                        req: *req,
+                        started,
+                        slot: base + f * FRAME + j,
+                        lat: Arc::clone(&lat),
+                    }));
+                }
+            });
+        }
+    });
+    let report = fleet.finish();
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(report.total_processed(), n as u64, "Block ingest is lossless");
+    let samples = lat.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    (elapsed, samples, report)
+}
+
 /// Runs the sweep and writes the table, CSV and `BENCH_shard.json`.
 pub fn run(scale: &Scale, out: &Path) {
     let trace = bench_trace(scale);
@@ -102,32 +205,21 @@ pub fn run(scale: &Scale, out: &Path) {
 
     let mut rows: Vec<ShardRow> = Vec::new();
     for &shards in &SHARD_COUNTS {
-        // Live threaded fleet (fastest of REPEATS runs).
+        // Live threaded fleet behind PRODUCERS frame-batching producers;
+        // the fastest of REPEATS runs wins and keeps its latency sample.
         let mut live_s = f64::INFINITY;
+        let mut latencies: Vec<u64> = Vec::new();
         let mut report = None;
         for _ in 0..REPEATS {
-            let mut fleet = ShardedFleet::new(
-                FleetConfig {
-                    shards,
-                    queue_capacity: 8192,
-                    batch: 512,
-                    backpressure: Backpressure::Block,
-                    snapshot_every: None,
-                    restart_budget: Default::default(),
-                    checkpoint_every: None,
-                },
-                cache.clone(),
-                Box::new(HashRouter),
-                |_| StaticDriver::new(policy()),
-            );
-            let t0 = Instant::now();
-            fleet.submit_trace(&trace);
-            let r = fleet.finish();
-            live_s = live_s.min(t0.elapsed().as_secs_f64());
-            assert_eq!(r.total_processed(), n as u64);
+            let (elapsed, samples, r) = live_run(shards, &cache, &trace);
+            if elapsed < live_s {
+                live_s = elapsed;
+                latencies = samples;
+            }
             report = Some(r);
         }
         let report = report.expect("at least one repeat");
+        latencies.sort_unstable();
 
         // Critical path: time each shard's sequential replay independently,
         // keeping each shard's fastest repeat.
@@ -147,6 +239,8 @@ pub fn run(scale: &Scale, out: &Path) {
             shards,
             live_rps: n as f64 / live_s,
             live_speedup: 0.0, // filled below
+            live_p99_ms: percentile_ms(&latencies, 99.0),
+            live_p50_ms: percentile_ms(&latencies, 50.0),
             critical_path_rps: n as f64 / max_shard_s,
             critical_path_speedup: 0.0, // filled below
             max_shard_seconds: max_shard_s,
@@ -165,7 +259,7 @@ pub fn run(scale: &Scale, out: &Path) {
     let mut table = Report::new(
         "shard_throughput",
         "Fleet throughput vs shard count",
-        &["shards", "live_rps", "live_x", "critpath_rps", "critpath_x", "ohr", "hiwater"],
+        &["shards", "live_rps", "live_x", "p99_ms", "critpath_rps", "critpath_x", "ohr", "hiwater"],
         out,
     );
     for r in &rows {
@@ -173,6 +267,7 @@ pub fn run(scale: &Scale, out: &Path) {
             r.shards.to_string(),
             format!("{:.0}", r.live_rps),
             f4(r.live_speedup),
+            format!("{:.3}", r.live_p99_ms),
             format!("{:.0}", r.critical_path_rps),
             f4(r.critical_path_speedup),
             f4(r.fleet_ohr),
@@ -189,6 +284,7 @@ pub fn run(scale: &Scale, out: &Path) {
         router: "hash".into(),
         driver: "static f2s100".into(),
         cpu_cores: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        producers: PRODUCERS,
         scaling_1_to_8_critical_path: last.critical_path_speedup,
         scaling_1_to_8_live: last.live_speedup,
         rows,
@@ -215,6 +311,8 @@ mod tests {
             shards: 8,
             live_rps: 1.0,
             live_speedup: 1.0,
+            live_p99_ms: 0.5,
+            live_p50_ms: 0.1,
             critical_path_rps: 8.0,
             critical_path_speedup: 8.0,
             max_shard_seconds: 0.5,
@@ -229,6 +327,7 @@ mod tests {
             router: "hash".into(),
             driver: "static f2s100".into(),
             cpu_cores: 1,
+            producers: PRODUCERS,
             scaling_1_to_8_critical_path: 8.0,
             scaling_1_to_8_live: 1.0,
             rows: vec![row],

@@ -186,13 +186,19 @@ impl LoadgenReport {
     }
 
     /// The `p`-th percentile frame round-trip (nearest-rank on the sorted
-    /// samples); zero when no frames were measured.
+    /// samples: index `⌈p/100 · len⌉ − 1`, clamped); zero when no frames
+    /// were measured.
+    ///
+    /// # Panics
+    ///
+    /// If `p` is not a number in `[0, 100]`.
     pub fn latency_percentile(&self, p: f64) -> Duration {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
         if self.latencies.is_empty() {
             return Duration::ZERO;
         }
-        let rank = (p / 100.0 * (self.latencies.len() - 1) as f64).round() as usize;
-        self.latencies[rank.min(self.latencies.len() - 1)]
+        let rank = (p / 100.0 * self.latencies.len() as f64).ceil() as usize;
+        self.latencies[rank.saturating_sub(1).min(self.latencies.len() - 1)]
     }
 }
 
@@ -543,7 +549,55 @@ mod tests {
         };
         assert_eq!(report.rps(), 2.0);
         assert_eq!(report.latency_percentile(0.0), Duration::from_millis(1));
-        assert_eq!(report.latency_percentile(50.0), Duration::from_millis(3));
+        // Nearest-rank: ⌈50/100 · 4⌉ − 1 = index 1, i.e. 2ms — *not* the
+        // rounded-interpolation 3ms the old implementation returned.
+        assert_eq!(report.latency_percentile(50.0), Duration::from_millis(2));
+        assert_eq!(report.latency_percentile(75.0), Duration::from_millis(3));
         assert_eq!(report.latency_percentile(99.0), Duration::from_millis(4));
+        assert_eq!(report.latency_percentile(100.0), Duration::from_millis(4));
+        // Odd-length sanity: p50 of [1..=5] is the middle sample.
+        let odd = LoadgenReport {
+            requests: 5,
+            elapsed: Duration::from_secs(1),
+            tally: VerdictTally::default(),
+            errors: ErrorStats::default(),
+            latencies: (1..=5).map(Duration::from_millis).collect(),
+        };
+        assert_eq!(odd.latency_percentile(50.0), Duration::from_millis(3));
+        // No samples: zero, regardless of p.
+        let empty = LoadgenReport {
+            requests: 0,
+            elapsed: Duration::ZERO,
+            tally: VerdictTally::default(),
+            errors: ErrorStats::default(),
+            latencies: Vec::new(),
+        };
+        assert_eq!(empty.latency_percentile(99.0), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn percentile_above_100_is_rejected() {
+        let report = LoadgenReport {
+            requests: 1,
+            elapsed: Duration::from_secs(1),
+            tally: VerdictTally::default(),
+            errors: ErrorStats::default(),
+            latencies: vec![Duration::from_millis(1)],
+        };
+        let _ = report.latency_percentile(100.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn negative_percentile_is_rejected() {
+        let report = LoadgenReport {
+            requests: 1,
+            elapsed: Duration::from_secs(1),
+            tally: VerdictTally::default(),
+            errors: ErrorStats::default(),
+            latencies: vec![Duration::from_millis(1)],
+        };
+        let _ = report.latency_percentile(-1.0);
     }
 }

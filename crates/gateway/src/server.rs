@@ -3,26 +3,29 @@
 //! ```text
 //!            ┌──────────────────────────── Gateway ───────────────────────┐
 //!            │ acceptor thread (nonblocking accept + shutdown flag)       │
-//!            │   ├─ conn 0: reader ──▶ Mutex<ShardedFleet> ─▶ shard queues│
+//!            │   ├─ conn 0: reader ─▶ FleetProducer 0 ─▶ per-shard lanes  │
 //! clients ──▶│   │          writer ◀── ConnSink (seq-ordered replies) ◀───┼── verdicts
-//!            │   └─ conn k: …                                             │
-//!            │ STATS / SHUTDOWN bypass the fleet mutex entirely           │
+//!            │   └─ conn k: reader ─▶ FleetProducer k ─▶ per-shard lanes  │
+//!            │ STATS / SHUTDOWN bypass the ingest path entirely           │
 //!            └────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! The fleet's submission side is single-producer, so connection readers
-//! serialize `GET` submissions through a mutex; backpressure (a full shard
-//! queue under [`Backpressure::Block`](darwin_shard::Backpressure::Block))
-//! therefore stalls *submission*, never monitoring: `STATS` frames read the
-//! fleet through its non-blocking [`MetricsHandle`] and answer even while
-//! every submitter is blocked.
+//! Each connection reader owns a private [`FleetProducer`]: it routes a
+//! whole decoded `GET` frame into per-shard runs and delivers each run with
+//! one batched queue operation, so N connections contend per *shard* (on
+//! that shard's lane) instead of serializing through one fleet-wide lock.
+//! Backpressure (a full shard queue under
+//! [`Backpressure::Block`](darwin_shard::Backpressure::Block)) therefore
+//! stalls only the submitting connections, never monitoring: `STATS` frames
+//! read the fleet through its non-blocking [`MetricsHandle`] and answer even
+//! while every submitter is blocked.
 
 use crate::conn::{writer_loop, ConnSink, GatewayEnvelope, PendingBatch, Reply, SinkGuard};
 use crate::wire::{FrameReader, Message, RecvError};
 use darwin_cache::CacheConfig;
 use darwin_shard::{
-    FaultPlan, FleetConfig, FleetMetrics, FleetReport, GatewaySnapshot, MetricsHandle, Router,
-    ShardedFleet,
+    FaultPlan, FleetConfig, FleetIngest, FleetMetrics, FleetProducer, FleetReport, GatewaySnapshot,
+    MetricsHandle, Router, ShardedFleet,
 };
 use darwin_testbed::AdmissionDriver;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -146,7 +149,10 @@ impl Drop for ActiveGuard {
 }
 
 struct Shared<D: AdmissionDriver + Send + 'static> {
+    /// Held only for [`Gateway::finish`]; the serving path never locks it.
     fleet: Mutex<Option<ShardedFleet<D, GatewayEnvelope>>>,
+    /// Multi-producer ingest front: each connection mints its own producer.
+    ingest: FleetIngest<D, GatewayEnvelope>,
     metrics: MetricsHandle,
     counters: Arc<Counters>,
     shutdown: AtomicBool,
@@ -212,6 +218,7 @@ impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
         );
         let shared = Arc::new(Shared {
             metrics: fleet.metrics_handle(),
+            ingest: fleet.ingest(),
             fleet: Mutex::new(Some(fleet)),
             counters: Arc::new(Counters::default()),
             shutdown: AtomicBool::new(false),
@@ -343,6 +350,11 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
     };
 
     let mut reader = FrameReader::new(stream);
+    // This connection's private ingest front. Routing and staging are
+    // lock-free; delivery serializes per shard on the shard's lane. Dropped
+    // (and thereby flushed) when the reader exits, before `finish` can join
+    // this thread — no envelope outlives its connection unanswered.
+    let mut producer: FleetProducer<D, GatewayEnvelope> = shared.ingest.producer();
     let mut seq = 0u64;
     let mut bytes_seen = 0u64;
     let mut last_frame = Instant::now();
@@ -361,21 +373,16 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
                 Counters::add(&counters.requests_in, records.len() as u64);
                 let batch = PendingBatch::new(seq, Arc::clone(&sink), records.len());
                 seq += 1;
-                // A reader that panicked mid-submit poisons the mutex, but
-                // the fleet's own invariants (per-request accounting,
-                // Drop-based answering) survive the unwind — keep serving.
-                let mut guard = match shared.fleet.lock() {
-                    Ok(guard) => guard,
-                    Err(poisoned) => poisoned.into_inner(),
-                };
-                let fleet = guard.as_mut().expect("fleet finished while serving");
-                for (index, req) in records.into_iter().enumerate() {
-                    fleet.submit(GatewayEnvelope::new(req, Arc::clone(&batch), index));
-                }
-                // Push staged work through now: the client is waiting on
-                // this frame's verdicts, not on a future frame to top up
-                // the staging buffers.
-                fleet.flush();
+                // Route the whole frame into per-shard runs and deliver each
+                // run with one queue operation. The client is waiting on this
+                // frame's verdicts, so `submit_frame` flushes immediately
+                // instead of pooling toward the batch threshold.
+                producer.submit_frame(
+                    records
+                        .into_iter()
+                        .enumerate()
+                        .map(|(index, req)| GatewayEnvelope::new(req, Arc::clone(&batch), index)),
+                );
             }
             Ok(Some(Message::Stats)) => {
                 Counters::add(&counters.frames_in, 1);

@@ -8,7 +8,7 @@ use darwin_cache::{CacheConfig, CacheMetrics, ThresholdPolicy};
 use darwin_gateway::wire::{encode_get, FrameReader, Message};
 use darwin_gateway::{loadgen, Gateway, LoadgenConfig};
 use darwin_nn::TrainConfig;
-use darwin_shard::{run_sequential, Backpressure, FleetConfig, FleetMetrics, HashRouter};
+use darwin_shard::{partition, run_sequential, Backpressure, FleetConfig, FleetMetrics, HashRouter};
 use darwin_testbed::{AdmissionDriver, DarwinDriver, StaticDriver};
 use darwin_trace::{MixSpec, Request, Trace, TraceGenerator, TrafficClass};
 use std::io::Write;
@@ -200,6 +200,68 @@ fn multi_connection_replay_answers_every_request() {
     };
     assert_eq!(fleet_report.total_processed(), trace.len() as u64);
     assert_eq!(fleet_report.total_dropped(), 0);
+}
+
+/// Four connections hammering tiny shard queues under blocking backpressure:
+/// the per-connection producers contend on the per-shard lanes, yet the
+/// router still determines the partition exactly — each shard processes
+/// precisely the requests whose IDs route to it, whatever the interleaving —
+/// and every request is answered exactly once with nothing shed.
+#[test]
+fn contended_connections_preserve_per_shard_partition() {
+    let trace = test_trace(24_000);
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let cfg = FleetConfig {
+        shards: 2,
+        queue_capacity: 32, // small enough that Block backpressure engages
+        batch: 16,
+        backpressure: Backpressure::Block,
+        snapshot_every: None,
+        restart_budget: Default::default(),
+        checkpoint_every: None,
+    };
+    let gateway = Gateway::bind("127.0.0.1:0", cfg, cache_cfg(), Box::new(HashRouter), move |_| {
+        StaticDriver::new(policy)
+    })
+    .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    let report = loadgen::run(
+        addr,
+        &trace,
+        LoadgenConfig { connections: 4, batch: 48, window: 4, ..Default::default() },
+    )
+    .expect("contended replay");
+    assert_eq!(report.tally.total(), trace.len() as u64, "exactly-once answering");
+    assert_eq!(report.tally.dropped, 0, "Block backpressure is lossless");
+    assert_eq!(report.tally.unavailable, 0);
+
+    gateway.shutdown();
+    let fleet_report = gateway.finish().expect("clean gateway shutdown");
+    assert_eq!(fleet_report.total_processed(), trace.len() as u64);
+    assert_eq!(fleet_report.total_dropped(), 0);
+    let parts = partition(&trace, &HashRouter, 2);
+    for (outcome, part) in fleet_report.shards.iter().zip(&parts) {
+        assert_eq!(
+            outcome.processed,
+            part.len() as u64,
+            "shard {}: processed exactly its partition",
+            outcome.shard
+        );
+        assert_eq!(outcome.cache.requests, part.len() as u64);
+        assert!(
+            outcome.queue_high_water <= 32,
+            "shard {}: high-water {} exceeds queue capacity",
+            outcome.shard,
+            outcome.queue_high_water
+        );
+    }
+    // The verdict tally and the fleet's cache metrics agree across the wire.
+    let fleet_cache = fleet_report.fleet_cache();
+    assert_eq!(
+        report.tally.hoc_hits + report.tally.dc_hits + report.tally.origin_fetches,
+        fleet_cache.requests
+    );
 }
 
 /// `STATS` answers with a parseable [`FleetMetrics`] JSON document carrying

@@ -6,6 +6,23 @@
 //! drivers this is one Darwin controller per shard, learning that shard's
 //! sub-workload (the paper's per-server deployment model, §5).
 //!
+//! # Ingest pipeline
+//!
+//! Requests reach a shard through a two-stage pipeline: submitters *stage*
+//! envelopes into per-shard runs, then *deliver* each run with a single
+//! [`push_batch`](crate::queue::Producer::push_batch) onto the shard's SPSC
+//! ring — one index publication and one gauge update per run, however many
+//! requests it carries. Two ingest fronts exist:
+//!
+//! * the fleet's own single-submitter API ([`ShardedFleet::submit`] /
+//!   [`submit_trace`](ShardedFleet::submit_trace)), which preserves the
+//!   bitwise determinism contract below, and
+//! * [`FleetIngest`], a cloneable handle that mints one [`FleetProducer`]
+//!   per gateway connection. Producers stage and flush independently;
+//!   delivery into any one shard is serialized by that shard's *lane* lock,
+//!   so N connections contend per shard instead of through one global
+//!   router loop.
+//!
 //! # Determinism contract
 //!
 //! The router is a pure function of `(id, shards)`, so shard `s` sees
@@ -16,6 +33,9 @@
 //! identical (metrics, deployed-expert sequence, final cache occupancy) to
 //! running each shard's filtered trace sequentially. `replay.rs` exposes
 //! both sides of this equation and `tests/equivalence.rs` enforces it.
+//! Multi-producer ingest keeps the per-shard FIFO *within* each producer
+//! (each flush is one atomic run); the interleaving *between* producers is
+//! scheduling-dependent, exactly as concurrent connections always were.
 //!
 //! # Supervision
 //!
@@ -39,11 +59,12 @@
 //! impls and counted, so the conservation law **submitted = processed +
 //! dropped + unavailable** holds exactly over any run, faulty or not
 //! (`tests/chaos.rs` proptests it). Scripted panics are additionally
-//! *synchronized*: the submitter joins the doomed worker right after
-//! submitting the fatal request, which pins the processed / dropped /
-//! restart boundary and makes chaos runs under `Block` reproducible
-//! bit-for-bit. [`finish`](ShardedFleet::finish) never panics on a dead
-//! shard — it reports per-shard `restarts` / `dead` flags instead.
+//! *synchronized* on the single-submitter path: the submitter joins the
+//! doomed worker right after submitting the fatal request, which pins the
+//! processed / dropped / restart boundary and makes chaos runs under
+//! `Block` reproducible bit-for-bit. [`finish`](ShardedFleet::finish) never
+//! panics on a dead shard — it reports per-shard `restarts` / `dead` flags
+//! instead.
 //!
 //! Worker threads wrap their serving loop in
 //! [`darwin_parallel::inline_sweeps`], so a per-shard Darwin controller that
@@ -63,7 +84,8 @@ use darwin_testbed::AdmissionDriver;
 use darwin_trace::{Request, Trace};
 use serde::{Deserialize, Serialize};
 use std::panic::AssertUnwindSafe;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// What one request's trip through its shard produced: where it was served
@@ -135,7 +157,8 @@ pub struct FleetConfig {
     pub shards: usize,
     /// Per-shard queue capacity, in requests.
     pub queue_capacity: usize,
-    /// Submission/drain batch size (amortizes queue locking).
+    /// Submission/drain batch size (bounds a staged per-shard run; one queue
+    /// operation publishes the whole run).
     pub batch: usize,
     /// Full-queue behaviour.
     pub backpressure: Backpressure,
@@ -281,32 +304,164 @@ enum WorkerExit<D> {
     Panicked,
 }
 
-/// One shard's runtime state inside the fleet.
-struct ShardSlot<D, E> {
+/// The mutable half of one shard's ingest lane. Every delivery into the
+/// shard — from the fleet's own submitter or from any [`FleetProducer`] —
+/// happens under this lock, which is what serializes producers per shard
+/// (instead of per fleet) and makes death settlement race-free.
+struct LaneState<D, E> {
     /// `None` once the shard is dead (burying drops the producer).
     producer: Option<Producer<E>>,
     /// The current incarnation's worker, `None` once buried.
     handle: Option<JoinHandle<WorkerExit<D>>>,
+    supervisor: Supervisor,
+    /// Envelopes handed into this lane across all producers and
+    /// incarnations (delivered to the queue, shed at it, or cleared from a
+    /// stage at a death) — the per-shard request index of the *next*
+    /// delivery, and the shard-side term of the conservation arithmetic.
+    delivered: u64,
+}
+
+/// One shard's runtime state inside the core.
+struct ShardState<D, E> {
+    lane: Mutex<LaneState<D, E>>,
     cell: Arc<ShardCell>,
+    /// The shard's checkpoint mailbox (allocated even when checkpointing is
+    /// off: an empty slot just makes every restart cold).
+    slot: Arc<CheckpointSlot>,
+}
+
+/// The shared heart of a fleet: configuration, router, per-shard lanes.
+/// [`ShardedFleet`] owns one behind an `Arc`; every [`FleetProducer`] holds
+/// the same `Arc` and delivers through the lane locks.
+struct FleetCore<D, E> {
+    cfg: FleetConfig,
+    cache: CacheConfig,
+    router: Arc<dyn Router>,
+    /// Builds shard drivers; behind a lock because respawns may be triggered
+    /// from any producer's thread.
+    factory: Mutex<Box<dyn FnMut(usize) -> D + Send>>,
+    fault: FaultPlan,
+    /// Fleet-wide submission clock for the supervisors' sliding restart
+    /// windows (maintained by whichever ingest front is in use).
+    total_submitted: AtomicU64,
+    shards: Vec<ShardState<D, E>>,
+}
+
+impl<D: AdmissionDriver + Send + 'static, E: Envelope> FleetCore<D, E> {
+    /// Delivers a staged run into shard `s`'s queue (one `push_batch`).
+    /// `now` feeds the supervisor's restart window if the delivery detects a
+    /// death. Returns true when a worker death was detected and settled.
+    fn deliver(&self, s: usize, batch: &mut Vec<E>, now: u64) -> bool {
+        if batch.is_empty() {
+            return false;
+        }
+        let shard = &self.shards[s];
+        let mut lane = shard.lane.lock().expect("shard lane poisoned");
+        if lane.producer.is_none() {
+            // Buried shard. The single-submitter path diverts before staging
+            // and clears stages at settlement, so only a multi-producer
+            // flush racing the burial lands here: answer it Unavailable,
+            // exactly as a post-burial submission would have been.
+            shard.cell.add_unavailable(batch.len() as u64);
+            for env in batch.drain(..) {
+                env.unavailable();
+            }
+            return false;
+        }
+        lane.delivered += batch.len() as u64;
+        let producer = lane.producer.as_ref().expect("checked above");
+        let died = match self.cfg.backpressure {
+            Backpressure::Block => {
+                // `push_batch` destroys-and-counts the remainder if the
+                // consumer vanished mid-delivery; a nonzero return is the
+                // Block path's death signal.
+                producer.push_batch(batch) > 0
+            }
+            Backpressure::DropNewest => {
+                let shed = producer.try_push_batch(batch);
+                shard.cell.add_dropped(shed as u64);
+                producer.is_closed()
+            }
+        };
+        if died {
+            self.settle(s, &mut lane, now);
+        }
+        died
+    }
+
+    /// Joins a dead (or doomed) worker, settles the accounting, and asks the
+    /// shard's supervisor for a restart or a burial. Caller holds the lane.
+    fn settle(&self, s: usize, lane: &mut LaneState<D, E>, now: u64) {
+        let shard = &self.shards[s];
+        // Hang up first so a worker stalled in a scripted QueueFull wait (or
+        // a doomed-but-alive worker draining toward its scripted panic)
+        // observes end-of-stream and terminates.
+        lane.producer = None;
+        let handle = lane.handle.take().expect("dying shard had no worker");
+        let exit = handle.join().unwrap_or(WorkerExit::Panicked);
+        // `Completed` here means the worker won a race against the death
+        // signal (possible only under DropNewest shedding of a scripted
+        // fatal request); treat it as the scripted death it stands in for.
+        drop(exit);
+        let cell = &shard.cell;
+        // Every envelope handed into the lane ends processed, counted
+        // dropped (queue shedding), or destroyed unanswered in the crash —
+        // its Drop impl answered the client. The difference is exactly that
+        // unanswered in-flight tail; count it so the conservation law holds.
+        let answered = cell.processed_total() + cell.dropped();
+        cell.add_dropped(lane.delivered.saturating_sub(answered));
+        cell.fold_incarnation();
+        match lane.supervisor.on_worker_death(now) {
+            SupervisorVerdict::Respawn => {
+                cell.record_restart();
+                self.spawn(s, lane, lane.delivered, true);
+            }
+            SupervisorVerdict::Bury => cell.mark_dead(),
+        }
+    }
+
+    /// Spawns shard `s`'s worker whose first request has per-shard index
+    /// `from` (0 for the initial incarnation). A `respawn`ed worker first
+    /// tries to restore the shard's latest checkpoint (warm restart); the
+    /// initial incarnation always starts cold. Caller holds the lane.
+    fn spawn(&self, s: usize, lane: &mut LaneState<D, E>, from: u64, respawn: bool) {
+        let shard = &self.shards[s];
+        let (tx, rx) = channel::<E>(self.cfg.queue_capacity);
+        shard.cell.set_gauges(tx.gauges());
+        let driver = {
+            let mut factory = self.factory.lock().expect("driver factory poisoned");
+            (*factory)(s)
+        };
+        let ctx = WorkerCtx {
+            shard: s,
+            rx,
+            cell: Arc::clone(&shard.cell),
+            cache: self.cache.clone(),
+            driver,
+            batch: self.cfg.batch,
+            start: from,
+            faults: ShardFaultCursor::for_shard(&self.fault, s, from),
+            slot: Arc::clone(&shard.slot),
+            checkpoint_every: self.cfg.checkpoint_every,
+            respawn,
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("shard-{s}"))
+            .spawn(move || worker(ctx))
+            .expect("spawn shard worker");
+        lane.producer = Some(tx);
+        lane.handle = Some(handle);
+    }
 }
 
 /// A running fleet. Submit requests (or any [`Envelope`] around them), then
 /// [`finish`](Self::finish) to join the workers and collect the report.
 pub struct ShardedFleet<D: AdmissionDriver + Send + 'static, E: Envelope = Request> {
-    cfg: FleetConfig,
-    cache: CacheConfig,
-    router: Box<dyn Router>,
-    factory: Box<dyn FnMut(usize) -> D + Send>,
-    fault: FaultPlan,
+    core: Arc<FleetCore<D, E>>,
     /// Per-shard scripted panic indices (sorted) and a cursor into each —
     /// the submitter-side half of the scripted-panic synchronization.
     panic_at: Vec<Vec<u64>>,
     next_panic: Vec<usize>,
-    shards: Vec<ShardSlot<D, E>>,
-    supervisors: Vec<Supervisor>,
-    /// Per-shard checkpoint mailboxes (allocated even when checkpointing is
-    /// off: an empty slot just makes every restart cold).
-    ckpt_slots: Vec<Arc<CheckpointSlot>>,
     staged: Vec<Vec<E>>,
     submitted: u64,
     per_shard_submitted: Vec<u64>,
@@ -361,45 +516,50 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
             crate::ckpt::clear_spill_dir(dir, cfg.shards);
         }
         let panic_at = fault.panic_indices(cfg.shards);
-        let mut fleet = Self {
-            staged: (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch)).collect(),
+        let core = Arc::new(FleetCore {
             cache,
-            router,
-            factory: Box::new(factory),
+            router: Arc::from(router),
+            factory: Mutex::new(Box::new(factory)),
             fault,
-            panic_at,
-            next_panic: vec![0; cfg.shards],
+            total_submitted: AtomicU64::new(0),
             shards: (0..cfg.shards)
-                .map(|s| ShardSlot {
-                    producer: None,
-                    handle: None,
+                .map(|s| ShardState {
+                    lane: Mutex::new(LaneState {
+                        producer: None,
+                        handle: None,
+                        supervisor: Supervisor::new(cfg.restart_budget),
+                        delivered: 0,
+                    }),
                     cell: Arc::new(ShardCell::new(s, Arc::new(QueueGauges::default()))),
+                    slot: Arc::new(CheckpointSlot::new(s, checkpoint_dir.clone())),
                 })
                 .collect(),
-            supervisors: vec![Supervisor::new(cfg.restart_budget); cfg.shards],
-            ckpt_slots: (0..cfg.shards)
-                .map(|s| Arc::new(CheckpointSlot::new(s, checkpoint_dir.clone())))
-                .collect(),
-            submitted: 0,
-            per_shard_submitted: vec![0; cfg.shards],
-            snapshots: Vec::new(),
             cfg,
-        };
-        for s in 0..fleet.cfg.shards {
-            fleet.spawn_worker(s, 0, false);
+        });
+        for s in 0..core.cfg.shards {
+            let mut lane = core.shards[s].lane.lock().expect("shard lane poisoned");
+            core.spawn(s, &mut lane, 0, false);
         }
-        fleet
+        Self {
+            staged: (0..core.cfg.shards).map(|_| Vec::with_capacity(core.cfg.batch)).collect(),
+            panic_at,
+            next_panic: vec![0; core.cfg.shards],
+            submitted: 0,
+            per_shard_submitted: vec![0; core.cfg.shards],
+            snapshots: Vec::new(),
+            core,
+        }
     }
 
     /// Routes one envelope to its shard. Under [`Backpressure::Block`] this
     /// may block when the shard's queue is full. Requests routed to a dead
     /// shard are answered immediately via [`Envelope::unavailable`].
     pub fn submit(&mut self, env: E) {
-        let s = self.router.route(env.request().id, self.cfg.shards);
+        let s = self.core.router.route(env.request().id, self.core.cfg.shards);
         let idx = self.per_shard_submitted[s];
         self.per_shard_submitted[s] = idx + 1;
-        if self.supervisors[s].is_dead() {
-            self.shards[s].cell.add_unavailable(1);
+        if self.core.shards[s].cell.is_dead() {
+            self.core.shards[s].cell.add_unavailable(1);
             env.unavailable();
         } else {
             self.staged[s].push(env);
@@ -413,12 +573,12 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
                 if !handled {
                     self.handle_worker_death(s);
                 }
-            } else if self.staged[s].len() >= self.cfg.batch {
+            } else if self.staged[s].len() >= self.core.cfg.batch {
                 self.flush_shard(s);
             }
         }
         self.submitted += 1;
-        if let Some(every) = self.cfg.snapshot_every {
+        if let Some(every) = self.core.cfg.snapshot_every {
             if self.submitted.is_multiple_of(every) {
                 let snap = self.metrics();
                 self.snapshots.push(snap);
@@ -428,103 +588,44 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
 
     /// Pushes all staged batches to their shards.
     pub fn flush(&mut self) {
-        for s in 0..self.cfg.shards {
+        for s in 0..self.core.cfg.shards {
             self.flush_shard(s);
         }
     }
 
     /// Delivers shard `s`'s staged batch. Returns true if a worker death was
-    /// detected (and handled) during delivery.
+    /// detected (and settled) during delivery.
     fn flush_shard(&mut self, s: usize) -> bool {
         if self.staged[s].is_empty() {
             return false;
         }
-        let Some(producer) = self.shards[s].producer.as_ref() else {
-            // Dead shard: `submit` diverts before staging, so this is only
-            // reachable for work staged before the burial — release it (the
-            // death arithmetic already accounted for it).
-            self.staged[s].clear();
-            return false;
-        };
-        let died = match self.cfg.backpressure {
-            Backpressure::Block => {
-                // `push_all` destroys-and-counts the remainder if the
-                // consumer vanished mid-delivery; a nonzero return is the
-                // Block path's death signal.
-                producer.push_all(&mut self.staged[s]) > 0
-            }
-            Backpressure::DropNewest => {
-                let shed = producer.try_push_all(&mut self.staged[s]);
-                self.shards[s].cell.add_dropped(shed as u64);
-                producer.is_closed()
-            }
-        };
+        let died = self.core.deliver(s, &mut self.staged[s], self.submitted);
         if died {
-            self.handle_worker_death(s);
+            self.sync_panic_cursor(s);
         }
         died
     }
 
-    /// Joins a dead (or doomed) worker, settles the accounting, and asks the
-    /// shard's supervisor for a cold restart or a burial.
+    /// Settles a worker death detected outside a delivery (the scripted-sync
+    /// path, when the fatal push itself succeeded).
     fn handle_worker_death(&mut self, s: usize) {
-        // Anything still staged never reached the queue; release it (Drop
-        // impls answer it) — the arithmetic below counts it.
+        // Anything still staged never reached the queue; count it into the
+        // lane and release it (Drop impls answer it) — the settlement
+        // arithmetic turns it into an exact dropped count.
+        let stranded = self.staged[s].len() as u64;
         self.staged[s].clear();
-        // Hang up first so a worker stalled in a scripted QueueFull wait (or
-        // a doomed-but-alive worker draining toward its scripted panic)
-        // observes end-of-stream and terminates.
-        self.shards[s].producer = None;
-        let handle = self.shards[s].handle.take().expect("dying shard had no worker");
-        let exit = handle.join().unwrap_or(WorkerExit::Panicked);
-        // `Completed` here means the worker won a race against the death
-        // signal (possible only under DropNewest shedding of a scripted
-        // fatal request); treat it as the scripted death it stands in for.
-        drop(exit);
-        let cell = Arc::clone(&self.shards[s].cell);
-        // Everything submitted to this shard but never answered — staged,
-        // queued, or popped mid-batch — unwound through envelope Drop impls.
-        // Conservation arithmetic turns that into an exact dropped count.
-        let answered = cell.processed_total() + cell.dropped() + cell.unavailable();
-        cell.add_dropped(self.per_shard_submitted[s].saturating_sub(answered));
-        cell.fold_incarnation();
-        match self.supervisors[s].on_worker_death(self.submitted) {
-            SupervisorVerdict::Respawn => {
-                cell.record_restart();
-                self.spawn_worker(s, self.per_shard_submitted[s], true);
-            }
-            SupervisorVerdict::Bury => cell.mark_dead(),
+        {
+            let mut lane = self.core.shards[s].lane.lock().expect("shard lane poisoned");
+            lane.delivered += stranded;
+            self.core.settle(s, &mut lane, self.submitted);
         }
+        self.sync_panic_cursor(s);
     }
 
-    /// Spawns shard `s`'s worker whose first request has per-shard index
-    /// `from` (0 for the initial incarnation). A `respawn`ed worker first
-    /// tries to restore the shard's latest checkpoint (warm restart); the
-    /// initial incarnation always starts cold.
-    fn spawn_worker(&mut self, s: usize, from: u64, respawn: bool) {
-        let (tx, rx) = channel::<E>(self.cfg.queue_capacity);
-        self.shards[s].cell.set_gauges(tx.gauges());
-        let ctx = WorkerCtx {
-            shard: s,
-            rx,
-            cell: Arc::clone(&self.shards[s].cell),
-            cache: self.cache.clone(),
-            driver: (self.factory)(s),
-            batch: self.cfg.batch,
-            start: from,
-            faults: ShardFaultCursor::for_shard(&self.fault, s, from),
-            slot: Arc::clone(&self.ckpt_slots[s]),
-            checkpoint_every: self.cfg.checkpoint_every,
-            respawn,
-        };
-        let handle = std::thread::Builder::new()
-            .name(format!("shard-{s}"))
-            .spawn(move || worker(ctx))
-            .expect("spawn shard worker");
-        self.shards[s].producer = Some(tx);
-        self.shards[s].handle = Some(handle);
-        // Scripted panics the previous incarnation never reached fall inside
-        // the dropped range; skip them.
+    /// Advances the scripted-panic cursor past indices the dead incarnation
+    /// never reached (they fall inside the dropped range).
+    fn sync_panic_cursor(&mut self, s: usize) {
+        let from = self.per_shard_submitted[s];
         while self.next_panic[s] < self.panic_at[s].len() && self.panic_at[s][self.next_panic[s]] < from
         {
             self.next_panic[s] += 1;
@@ -539,7 +640,7 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
 
     /// Shards currently marked permanently dead.
     pub fn dead_shards(&self) -> usize {
-        self.supervisors.iter().filter(|sup| sup.is_dead()).count()
+        self.core.shards.iter().filter(|sh| sh.cell.is_dead()).count()
     }
 
     /// Live fleet-wide metrics, assembled from the shard cells. Mid-run this
@@ -557,7 +658,20 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
     /// [`finish`](Self::finish); it then reports each shard's final
     /// published state.
     pub fn metrics_handle(&self) -> MetricsHandle {
-        MetricsHandle::new(self.shards.iter().map(|slot| Arc::clone(&slot.cell)).collect())
+        MetricsHandle::new(self.core.shards.iter().map(|sh| Arc::clone(&sh.cell)).collect())
+    }
+
+    /// A cloneable multi-producer ingest handle onto this fleet. Each
+    /// [`FleetProducer`] minted from it stages and flushes independently;
+    /// per-shard delivery is serialized by the shard's lane. Producer
+    /// traffic bypasses this fleet's snapshot cadence and scripted-panic
+    /// synchronization (scripted faults still fire in the workers).
+    ///
+    /// All producers must be dropped (or flushed) before
+    /// [`finish`](Self::finish) for their envelopes to be answered by the
+    /// run they rode in.
+    pub fn ingest(&self) -> FleetIngest<D, E> {
+        FleetIngest { core: Arc::clone(&self.core) }
     }
 
     /// Snapshots recorded so far.
@@ -573,28 +687,30 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
     /// unanswered tail counted `dropped`.
     pub fn finish(mut self) -> FleetReport<D> {
         self.flush();
-        for slot in &mut self.shards {
-            slot.producer = None; // end-of-stream for every live shard
+        // End-of-stream for every live shard first, so the workers drain in
+        // parallel while we join them in order.
+        for shard in &self.core.shards {
+            shard.lane.lock().expect("shard lane poisoned").producer = None;
         }
-        let mut shards = Vec::with_capacity(self.cfg.shards);
-        for (s, slot) in self.shards.iter_mut().enumerate() {
-            let exit = slot.handle.take().map(|h| h.join().unwrap_or(WorkerExit::Panicked));
+        let mut shards = Vec::with_capacity(self.core.cfg.shards);
+        for (s, shard) in self.core.shards.iter().enumerate() {
+            let mut lane = shard.lane.lock().expect("shard lane poisoned");
+            let exit = lane.handle.take().map(|h| h.join().unwrap_or(WorkerExit::Panicked));
             let (driver, hoc_used_bytes, dc_used_bytes) = match exit {
                 Some(WorkerExit::Completed(r)) => (Some(r.driver), r.hoc_used_bytes, r.dc_used_bytes),
                 Some(WorkerExit::Panicked) => {
                     // Terminal panic at end-of-stream: no later flush could
                     // observe it, so settle the death here. No respawn — the
                     // stream is over, there is nothing left to serve.
-                    let answered =
-                        slot.cell.processed_total() + slot.cell.dropped() + slot.cell.unavailable();
-                    slot.cell.add_dropped(self.per_shard_submitted[s].saturating_sub(answered));
-                    slot.cell.fold_incarnation();
-                    slot.cell.mark_dead();
+                    let answered = shard.cell.processed_total() + shard.cell.dropped();
+                    shard.cell.add_dropped(lane.delivered.saturating_sub(answered));
+                    shard.cell.fold_incarnation();
+                    shard.cell.mark_dead();
                     (None, 0, 0)
                 }
                 None => (None, 0, 0), // buried earlier
             };
-            let snap = slot.cell.snapshot();
+            let snap = shard.cell.snapshot();
             shards.push(ShardOutcome {
                 shard: s,
                 cache: snap.cache,
@@ -610,11 +726,9 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
                 driver,
             });
         }
-        let mut snapshots = self.snapshots;
-        snapshots.push(
-            MetricsHandle::new(self.shards.iter().map(|sl| Arc::clone(&sl.cell)).collect()).snapshot(),
-        );
-        FleetReport { shards, snapshots, router: self.router.label() }
+        let mut snapshots = std::mem::take(&mut self.snapshots);
+        snapshots.push(self.metrics_handle().snapshot());
+        FleetReport { shards, snapshots, router: self.core.router.label() }
     }
 }
 
@@ -624,6 +738,113 @@ impl<D: AdmissionDriver + Send + 'static> ShardedFleet<D, Request> {
         for req in trace.iter() {
             self.submit(*req);
         }
+    }
+}
+
+/// A cloneable handle that mints [`FleetProducer`]s — the multi-producer
+/// ingest front. One producer per gateway connection (or per load-generator
+/// thread) lets N submitters route and stage concurrently; only the final
+/// per-shard `push_batch` serializes, per shard, on that shard's lane.
+pub struct FleetIngest<D: AdmissionDriver + Send + 'static, E: Envelope> {
+    core: Arc<FleetCore<D, E>>,
+}
+
+impl<D: AdmissionDriver + Send + 'static, E: Envelope> Clone for FleetIngest<D, E> {
+    fn clone(&self) -> Self {
+        Self { core: Arc::clone(&self.core) }
+    }
+}
+
+impl<D: AdmissionDriver + Send + 'static, E: Envelope> FleetIngest<D, E> {
+    /// Number of shards behind this ingest front.
+    pub fn shards(&self) -> usize {
+        self.core.cfg.shards
+    }
+
+    /// Mints an independent producer with its own staging buffers.
+    pub fn producer(&self) -> FleetProducer<D, E> {
+        FleetProducer {
+            staged: (0..self.core.cfg.shards).map(|_| Vec::with_capacity(self.core.cfg.batch)).collect(),
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+/// One submitter's private staging front onto a shared fleet.
+///
+/// `submit` stages envelopes into per-shard runs and flushes a run when it
+/// reaches the fleet's batch size; [`submit_frame`](Self::submit_frame)
+/// routes a whole decoded frame in one pass and then delivers every touched
+/// shard's run with a single queue operation each. Within one producer,
+/// per-shard order is the submission order (the determinism the equivalence
+/// suite relies on); across producers the interleaving is
+/// scheduling-dependent, like any set of concurrent connections.
+///
+/// Dropping the producer flushes whatever is still staged, so envelopes are
+/// never stranded in a torn-down connection's buffers.
+pub struct FleetProducer<D: AdmissionDriver + Send + 'static, E: Envelope> {
+    core: Arc<FleetCore<D, E>>,
+    staged: Vec<Vec<E>>,
+}
+
+impl<D: AdmissionDriver + Send + 'static, E: Envelope> FleetProducer<D, E> {
+    /// Routes and stages one envelope; flushes its shard's run when it fills
+    /// to the fleet batch size.
+    pub fn submit(&mut self, env: E) {
+        self.core.total_submitted.fetch_add(1, Ordering::Relaxed);
+        let s = self.core.router.route(env.request().id, self.core.cfg.shards);
+        self.staged[s].push(env);
+        if self.staged[s].len() >= self.core.cfg.batch {
+            self.flush_shard(s);
+        }
+    }
+
+    /// Routes an entire frame (any iterator of envelopes) into per-shard
+    /// runs, then delivers every touched shard's run with one queue
+    /// operation each. This is the gateway's per-`GET`-frame path: the
+    /// client is waiting on the frame's verdicts, so the runs flush
+    /// immediately instead of pooling toward the batch threshold.
+    pub fn submit_frame(&mut self, envs: impl IntoIterator<Item = E>) {
+        let mut n = 0u64;
+        for env in envs {
+            let s = self.core.router.route(env.request().id, self.core.cfg.shards);
+            self.staged[s].push(env);
+            n += 1;
+        }
+        if n > 0 {
+            self.core.total_submitted.fetch_add(n, Ordering::Relaxed);
+        }
+        self.flush();
+    }
+
+    /// Delivers every staged run to its shard.
+    pub fn flush(&mut self) {
+        for s in 0..self.staged.len() {
+            self.flush_shard(s);
+        }
+    }
+
+    fn flush_shard(&mut self, s: usize) {
+        if self.staged[s].is_empty() {
+            return;
+        }
+        let cell = &self.core.shards[s].cell;
+        if cell.is_dead() {
+            // Degraded mode: answer without touching the lane.
+            cell.add_unavailable(self.staged[s].len() as u64);
+            for env in self.staged[s].drain(..) {
+                env.unavailable();
+            }
+            return;
+        }
+        let now = self.core.total_submitted.load(Ordering::Relaxed);
+        self.core.deliver(s, &mut self.staged[s], now);
+    }
+}
+
+impl<D: AdmissionDriver + Send + 'static, E: Envelope> Drop for FleetProducer<D, E> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -1088,5 +1309,66 @@ mod tests {
             assert_eq!(a.cache, b.cache);
             assert_eq!(a.processed, b.processed);
         }
+    }
+
+    #[test]
+    fn multi_producer_ingest_conserves_and_matches_single_submitter_totals() {
+        // Four producer threads split one trace; every request must be
+        // answered exactly once and the fleet-wide totals must balance.
+        let t = trace(24_000, 61);
+        let fleet = static_fleet(FleetConfig {
+            shards: 4,
+            queue_capacity: 128,
+            batch: 32,
+            backpressure: Backpressure::Block,
+            snapshot_every: None,
+            restart_budget: RestartBudget::default(),
+            checkpoint_every: None,
+        });
+        let ingest = fleet.ingest();
+        std::thread::scope(|scope| {
+            for chunk in t.requests().chunks(6_000) {
+                let mut producer = ingest.producer();
+                scope.spawn(move || {
+                    for frame in chunk.chunks(64) {
+                        producer.submit_frame(frame.iter().copied());
+                    }
+                });
+            }
+        });
+        let report = fleet.finish();
+        assert_eq!(report.total_processed(), 24_000);
+        assert_eq!(report.total_dropped(), 0);
+        assert_eq!(report.total_unavailable(), 0);
+        assert_eq!(report.fleet_cache().requests, 24_000);
+        // Partitioning is router-determined, so per-shard request counts are
+        // interleaving-independent even with 4 concurrent producers.
+        let seq = crate::replay::partition(&t, &HashRouter, 4);
+        for (outcome, part) in report.shards.iter().zip(&seq) {
+            assert_eq!(outcome.cache.requests, part.len() as u64, "shard {}", outcome.shard);
+        }
+    }
+
+    #[test]
+    fn producer_drop_flushes_staged_work() {
+        let t = trace(1_000, 13);
+        let fleet = static_fleet(FleetConfig {
+            shards: 2,
+            queue_capacity: 4096,
+            batch: 100_000, // never reaches the flush threshold on its own
+            backpressure: Backpressure::Block,
+            snapshot_every: None,
+            restart_budget: RestartBudget::default(),
+            checkpoint_every: None,
+        });
+        {
+            let mut producer = fleet.ingest().producer();
+            for req in t.iter() {
+                producer.submit(*req);
+            }
+            // No explicit flush: the drop must deliver the staged runs.
+        }
+        let report = fleet.finish();
+        assert_eq!(report.total_processed(), 1_000);
     }
 }

@@ -65,7 +65,10 @@ pub mod supervisor;
 
 pub use ckpt::{CheckpointSlot, ShardCheckpoint, CKPT_MAGIC, CKPT_VERSION};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use fleet::{Backpressure, Envelope, FleetConfig, FleetReport, ShardOutcome, ShardedFleet, Verdict};
+pub use fleet::{
+    Backpressure, Envelope, FleetConfig, FleetIngest, FleetProducer, FleetReport, ShardOutcome,
+    ShardedFleet, Verdict,
+};
 pub use metrics::{FleetMetrics, GatewaySnapshot, MetricsHandle, ShardCell, ShardSnapshot};
 pub use queue::{channel, Consumer, Producer, QueueGauges};
 pub use replay::{partition, run_partition, run_sequential, ShardRun};

@@ -72,6 +72,34 @@ impl ShardSnapshot {
     pub fn cold_restarts(&self) -> u32 {
         self.restarts.saturating_sub(self.warm_restarts)
     }
+
+    /// Folds another snapshot carrying the *same shard index* into this one,
+    /// counter-wise: additive counters (processed, dropped, unavailable,
+    /// restarts, cache, queue depth) sum, so fleet-wide `total_*` accessors
+    /// over the merged view equal the sums over the inputs; `dead` ORs;
+    /// checkpoint and high-water gauges take the pointwise max; the first
+    /// operand keeps its policy label unless it is empty.
+    ///
+    /// # Panics
+    ///
+    /// If the two snapshots carry different shard indices.
+    pub fn absorb(&mut self, other: &ShardSnapshot) {
+        assert_eq!(self.shard, other.shard, "cannot absorb a different shard's snapshot");
+        self.processed += other.processed;
+        self.dropped += other.dropped;
+        self.unavailable += other.unavailable;
+        self.restarts += other.restarts;
+        self.warm_restarts += other.warm_restarts;
+        self.dead |= other.dead;
+        self.checkpoint_seq = self.checkpoint_seq.max(other.checkpoint_seq);
+        self.checkpoint_age = self.checkpoint_age.max(other.checkpoint_age);
+        self.queue_depth += other.queue_depth;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.cache = CacheMetrics::merge_all([&self.cache, &other.cache]);
+        if self.policy.is_empty() {
+            self.policy = other.policy.clone();
+        }
+    }
 }
 
 /// Counters of a network front-end serving a fleet, folded into
@@ -136,13 +164,21 @@ impl FleetMetrics {
     }
 
     /// Merges another snapshot into this one, aggregating STATS replies from
-    /// disjoint shard groups (e.g. two gateway processes each owning half the
-    /// keyspace) into a single cluster-wide view: shard lists concatenate and
-    /// re-sort by shard index, gateway counters sum when both sides carry
-    /// them. Every `total_*` accessor of the merged snapshot equals the sum
-    /// of the inputs', so the conservation law survives merging.
+    /// multiple shard groups (e.g. two gateway processes each owning half the
+    /// keyspace) into a single cluster-wide view: snapshots of distinct shard
+    /// indices concatenate (re-sorted by index); snapshots *sharing* a shard
+    /// index are folded counter-wise via [`ShardSnapshot::absorb`] — never
+    /// concatenated, which would double-count every `total_*` accessor and
+    /// report phantom shard entries. Gateway counters sum when both sides
+    /// carry them. Every `total_*` accessor of the merged snapshot equals
+    /// the sum of the inputs', so the conservation law survives merging.
     pub fn merge(mut self, other: FleetMetrics) -> FleetMetrics {
-        self.shards.extend(other.shards);
+        for snap in other.shards {
+            match self.shards.iter_mut().find(|s| s.shard == snap.shard) {
+                Some(existing) => existing.absorb(&snap),
+                None => self.shards.push(snap),
+            }
+        }
         self.shards.sort_by_key(|s| s.shard);
         self.gateway = match (self.gateway, other.gateway) {
             (Some(a), Some(b)) => Some(GatewaySnapshot {
@@ -568,6 +604,71 @@ mod tests {
             fm.total_restarts(),
             "warm + cold must always equal the total"
         );
+    }
+
+    #[test]
+    fn merge_concatenates_disjoint_shard_groups() {
+        let a = FleetMetrics::from_shards(vec![snap(0, 100, 40), snap(2, 50, 10)]);
+        let b = FleetMetrics::from_shards(vec![snap(1, 300, 60)]);
+        let merged = a.merge(b);
+        assert_eq!(merged.shards.len(), 3);
+        assert_eq!(merged.shards.iter().map(|s| s.shard).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(merged.total_processed(), 450);
+        assert_eq!(merged.fleet_cache().requests, 450);
+    }
+
+    #[test]
+    fn merge_folds_duplicate_shard_ids_counterwise() {
+        // Regression: merge used to concatenate snapshots sharing a shard
+        // index, so the merged list carried phantom duplicate entries while
+        // every total_* accessor double-counted nothing — but per-shard
+        // consumers indexing by shard id read only one of the halves.
+        let mut a0 = snap(0, 100, 40);
+        a0.dropped = 5;
+        a0.restarts = 1;
+        a0.queue_depth = 3;
+        a0.queue_high_water = 7;
+        let mut b0 = snap(0, 60, 20);
+        b0.unavailable = 2;
+        b0.warm_restarts = 0;
+        b0.restarts = 2;
+        b0.warm_restarts = 1;
+        b0.dead = true;
+        b0.checkpoint_seq = Some(50);
+        b0.checkpoint_age = 10;
+        b0.queue_depth = 1;
+        b0.queue_high_water = 4;
+        let a = FleetMetrics::from_shards(vec![a0, snap(1, 10, 1)]);
+        let b = FleetMetrics::from_shards(vec![b0]);
+        let merged = a.merge(b);
+        assert_eq!(merged.shards.len(), 2, "shard 0 folded, never duplicated");
+        let s0 = &merged.shards[0];
+        assert_eq!(s0.shard, 0);
+        assert_eq!(s0.processed, 160);
+        assert_eq!(s0.dropped, 5);
+        assert_eq!(s0.unavailable, 2);
+        assert_eq!(s0.restarts, 3);
+        assert_eq!(s0.warm_restarts, 1);
+        assert!(s0.dead);
+        assert_eq!(s0.checkpoint_seq, Some(50));
+        assert_eq!(s0.checkpoint_age, 10);
+        assert_eq!(s0.queue_depth, 4);
+        assert_eq!(s0.queue_high_water, 7);
+        assert_eq!(s0.cache.requests, 160);
+        assert_eq!(s0.cache.hoc_hits, 60);
+        // The conservation-law accessors equal the sums of the inputs.
+        assert_eq!(merged.total_processed(), 170);
+        assert_eq!(merged.total_dropped(), 5);
+        assert_eq!(merged.total_unavailable(), 2);
+        assert_eq!(merged.total_restarts(), 3);
+        assert_eq!(merged.fleet_cache().requests, 170);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot absorb a different shard's snapshot")]
+    fn absorb_rejects_mismatched_shard_ids() {
+        let mut a = snap(0, 1, 0);
+        a.absorb(&snap(1, 1, 0));
     }
 
     #[test]

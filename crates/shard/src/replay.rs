@@ -11,6 +11,13 @@
 //! computes. `tests/equivalence.rs` holds the two sides against each other
 //! at 1, 2 and 8 shards.
 //!
+//! Batched ingest does not weaken the invariant: delivering a staged
+//! per-shard run with one `push_batch` publishes the run's items in staging
+//! order, and staging order is submission order, so the shard still consumes
+//! exactly its partition in partition order however large the runs are
+//! (`tests/batched_ingest.rs` proptests this, including with concurrent
+//! producers over disjoint shard groups).
+//!
 //! The replay side is also the measurement instrument for scale-out
 //! projections: the wall time of the slowest partition bounds the fleet's
 //! serving time on one-core-per-shard hardware (see the `shard` bench

@@ -29,6 +29,7 @@ pub trait Router: Send + Sync {
 pub struct HashRouter;
 
 /// The 64-bit avalanche mix the hash router scatters IDs with.
+#[inline]
 fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -37,6 +38,9 @@ fn mix64(mut x: u64) -> u64 {
 }
 
 impl Router for HashRouter {
+    // Called once per request on every ingest front; `#[inline]` lets the
+    // batched frame-routing loop keep the mix in registers.
+    #[inline]
     fn route(&self, id: ObjectId, shards: usize) -> usize {
         debug_assert!(shards > 0, "fleet has at least one shard");
         (mix64(id) % shards as u64) as usize
@@ -54,6 +58,7 @@ impl Router for HashRouter {
 pub struct ModuloRouter;
 
 impl Router for ModuloRouter {
+    #[inline]
     fn route(&self, id: ObjectId, shards: usize) -> usize {
         debug_assert!(shards > 0, "fleet has at least one shard");
         (id % shards as u64) as usize

@@ -15,6 +15,9 @@ cargo test -p darwin-shard --test equivalence -q -- \
     darwin_fleet_equivalent_at_2_shards \
     darwin_fleet_equivalent_at_8_shards
 
+echo "== batched ingest equivalence (push_batch + producer lanes ≡ replay) =="
+cargo test -p darwin-shard --test batched_ingest -q
+
 echo "== gateway loopback smoke (127.0.0.1 replay ≡ in-process replay) =="
 cargo test -p darwin-gateway --test loopback -q -- \
     static_gateway_equivalent_to_sequential_replay \
@@ -37,6 +40,32 @@ cargo run --release -p darwin-bench --bin experiments -- chaos --out target/chao
 
 echo "== recovery bench smoke (warm vs cold hit-ratio recovery) =="
 cargo run --release -p darwin-bench --bin experiments -- recovery --out target/recovery_smoke
+
+echo "== shard scaling smoke (live rps must bend upward with shard count) =="
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -le 1 ]; then
+    echo "   skipped: $cores core visible — live scaling needs cores to spare"
+else
+    cargo run --release -p darwin-bench --bin experiments -- shard --out target/shard_smoke
+    awk '
+        /"shards": 1,/ { want = 1 }
+        /"shards": 8,/ { want = 8 }
+        /"live_rps":/  {
+            gsub(/[",]/, "")
+            if (want == 1) one = $2
+            if (want == 8) eight = $2
+            want = 0
+        }
+        END {
+            if (one <= 0 || eight <= 0) { print "   missing live_rps rows"; exit 1 }
+            ratio = eight / one
+            printf "   live rps: 1 shard %.0f, 8 shards %.0f (%.2fx)\n", one, eight, ratio
+            if (ratio <= 1.5) {
+                print "   FAIL: live rps at 8 shards must exceed 1.5x the 1-shard rate"
+                exit 1
+            }
+        }' target/shard_smoke/BENCH_shard.json
+fi
 
 echo "== rustfmt (--check) =="
 cargo fmt --all -- --check
