@@ -6,6 +6,7 @@
 //! what: all | fig2 | fig4a | fig4b | fig4c | fig5a | fig5b | fig5c | fig5d
 //!     | fig6 | fig7a | fig7b | table2 | fig8 | fig9 | fig10 | fig11
 //!     | ablations | timeline | hindsight | shard | gateway | chaos | recovery
+//!     | switching
 //! ```
 //!
 //! `--scale 1` (default) is the laptop configuration; larger factors move
@@ -16,14 +17,14 @@
 use darwin::offline::OfflineTrainer;
 use darwin_bench::experiments::{
     ablations, chaos, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, recovery, shard,
-    table2, timeline,
+    switching, table2, timeline,
 };
 use darwin_bench::{Scale, SharedContext};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos|recovery> [--scale N] [--out DIR] [--cache]"
+        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos|recovery|switching> [--scale N] [--out DIR] [--cache]"
     );
     std::process::exit(2);
 }
@@ -83,6 +84,7 @@ fn main() {
         "gateway",
         "chaos",
         "recovery",
+        "switching",
     ];
     if !KNOWN.contains(&what.as_str()) {
         eprintln!("unknown experiment {what:?}");
@@ -108,6 +110,10 @@ fn main() {
     }
     if what == "recovery" {
         recovery::run(&scale, &out);
+        return;
+    }
+    if what == "switching" {
+        switching::run(&scale, &out);
         return;
     }
 
@@ -151,6 +157,7 @@ fn main() {
         "gateway" => gateway::run(&scale, &out),
         "chaos" => chaos::run(&scale, &out),
         "recovery" => recovery::run(&scale, &out),
+        "switching" => switching::run(&scale, &out),
         _ => usage(),
     };
 
@@ -179,6 +186,7 @@ fn main() {
             "gateway",
             "chaos",
             "recovery",
+            "switching",
         ] {
             let t = std::time::Instant::now();
             eprintln!("\n[experiments] ===== {name} =====");

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! inspect [--scale N] [--trace IDX] [--fleet SHARDS]
+//!         [--watch ADDR] [--interval-ms N] [--tail N]
 //! ```
 //!
 //! `--fleet SHARDS` skips the Darwin pipeline entirely and instead replays a
@@ -11,12 +12,20 @@
 //! final [`FleetMetrics`] snapshot as JSON — byte-for-byte the same document
 //! (and the same `FleetMetrics::to_json` code path) a gateway `STATS` frame
 //! returns, minus the gateway's connection counters.
+//!
+//! `--watch ADDR` attaches a live dashboard to a running gateway: it polls
+//! `STATS` and `EVENTS` frames every `--interval-ms` (default 1000) and
+//! redraws per-shard rps, p50/p99 serve latency, queue depth,
+//! restart/warm counters and the last `--tail` journal events. The loop
+//! exits when the gateway stops answering (e.g. after a shutdown).
 
-use darwin_bench::{runs, Scale, SharedContext};
+use darwin_bench::{runs, watch, Scale, SharedContext};
 use darwin_cache::ThresholdPolicy;
+use darwin_gateway::loadgen;
 use darwin_shard::{FleetConfig, FleetMetrics, HashRouter, ShardedFleet};
 use darwin_testbed::StaticDriver;
 use darwin_trace::{MixSpec, TraceGenerator, TrafficClass};
+use std::time::Duration;
 
 /// Replays a generated trace through a `shards`-wide static fleet and prints
 /// the final metrics snapshot JSON (the gateway `STATS` code path).
@@ -38,11 +47,38 @@ fn inspect_fleet(scale: &Scale, shards: usize) {
     println!("{}", snapshot.to_json());
 }
 
+/// Polls a gateway's `STATS` + `EVENTS` frames and redraws the dashboard
+/// until the gateway stops answering.
+fn watch_gateway(addr: &str, interval: Duration, tail: usize) {
+    let mut prev: Option<FleetMetrics> = None;
+    loop {
+        let metrics = match loadgen::fetch_stats(addr).map(|j| FleetMetrics::from_json(&j)) {
+            Ok(Ok(m)) => m,
+            Ok(Err(e)) => {
+                eprintln!("watch: bad STATS reply: {e}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("watch: gateway at {addr} stopped answering: {e}");
+                return;
+            }
+        };
+        let journals = loadgen::fetch_events(addr).unwrap_or_default();
+        // ANSI clear + home, then one freshly rendered frame.
+        print!("\x1b[2J\x1b[H{}", watch::render(prev.as_ref(), &metrics, &journals, interval, tail));
+        prev = Some(metrics);
+        std::thread::sleep(interval);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale_factor = 1usize;
     let mut only: Option<usize> = None;
     let mut fleet: Option<usize> = None;
+    let mut watch_addr: Option<String> = None;
+    let mut interval = Duration::from_millis(1_000);
+    let mut tail = watch::DEFAULT_EVENT_TAIL;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,9 +94,25 @@ fn main() {
                 i += 1;
                 fleet = Some(args[i].parse().expect("fleet shards"));
             }
+            "--watch" => {
+                i += 1;
+                watch_addr = Some(args[i].clone());
+            }
+            "--interval-ms" => {
+                i += 1;
+                interval = Duration::from_millis(args[i].parse().expect("interval ms"));
+            }
+            "--tail" => {
+                i += 1;
+                tail = args[i].parse().expect("tail");
+            }
             other => panic!("unknown arg {other}"),
         }
         i += 1;
+    }
+    if let Some(addr) = watch_addr {
+        watch_gateway(&addr, interval, tail);
+        return;
     }
     let scale = Scale::new(scale_factor);
     if let Some(shards) = fleet {

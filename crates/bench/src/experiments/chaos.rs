@@ -20,7 +20,10 @@
 //! per-shard request sequence numbers, so fault timing is reproducible
 //! run to run even though wall-clock interleaving is not.
 //!
-//! Output: a console table, `<out>/chaos.csv`, and `<out>/BENCH_chaos.json`.
+//! Output: a console table, `<out>/chaos.csv`, `<out>/BENCH_chaos.json`,
+//! and `<out>/chaos_events.log` — every scenario's per-shard event journal
+//! (deaths, restart verdicts, restores, fault injections) fetched over the
+//! wire with an `EVENTS` frame and rendered one event per line.
 
 use crate::report::{f4, Report};
 use crate::scale::Scale;
@@ -32,6 +35,7 @@ use darwin_shard::{
 use darwin_testbed::StaticDriver;
 use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
 use serde::Serialize;
+use std::fmt::Write;
 use std::path::Path;
 
 /// Shards behind the gateway in every scenario.
@@ -62,6 +66,8 @@ pub struct ChaosRow {
     pub dead_shards: usize,
     /// End-to-end requests/sec of the replay.
     pub rps: f64,
+    /// Events journaled across the fleet (see `chaos_events.log`).
+    pub journal_events: u64,
 }
 
 /// The full `BENCH_chaos.json` document.
@@ -141,6 +147,7 @@ pub fn run(scale: &Scale, out: &Path) {
     let cache = scale.cache_config();
 
     let mut rows: Vec<ChaosRow> = Vec::new();
+    let mut events_log = String::new();
     for sc in scenarios() {
         let scripted_panics = sc.plan.panics();
         let gateway = Gateway::bind_with(
@@ -162,6 +169,17 @@ pub fn run(scale: &Scale, out: &Path) {
         .expect("bind loopback gateway");
         let cfg = LoadgenConfig { connections: 2, batch: 64, window: 8, ..LoadgenConfig::default() };
         let report = loadgen::run(gateway.local_addr(), &trace, cfg).expect("loadgen replay");
+        // Drain the journals over the wire (the EVENTS opcode) before the
+        // fleet is joined — the same path `inspect --watch` polls.
+        let journals = loadgen::fetch_events(gateway.local_addr()).expect("fetch events");
+        let mut journal_events = 0u64;
+        let _ = writeln!(events_log, "== scenario {} ==", sc.name);
+        for (shard, journal) in &journals {
+            journal_events += journal.events.len() as u64;
+            for ev in &journal.events {
+                let _ = writeln!(events_log, "s{shard} {}", ev.render());
+            }
+        }
         gateway.shutdown();
         let fleet = gateway.finish().expect("supervised gateway finishes cleanly");
 
@@ -201,6 +219,7 @@ pub fn run(scale: &Scale, out: &Path) {
             restarts: fleet.total_restarts(),
             dead_shards: fleet.dead_shards(),
             rps: report.rps(),
+            journal_events,
         });
     }
 
@@ -237,6 +256,9 @@ pub fn run(scale: &Scale, out: &Path) {
     let path = out.join("BENCH_chaos.json");
     std::fs::write(&path, &json).expect("write BENCH_chaos.json");
     println!("wrote {}", path.display());
+    let log_path = out.join("chaos_events.log");
+    std::fs::write(&log_path, &events_log).expect("write chaos_events.log");
+    println!("wrote {}", log_path.display());
 }
 
 #[cfg(test)]
@@ -262,6 +284,7 @@ mod tests {
                 restarts: 0,
                 dead_shards: 1,
                 rps: 100_000.0,
+                journal_events: 3,
             }],
         };
         let s = serde_json::to_string_pretty(&doc).unwrap();

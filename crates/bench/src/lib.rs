@@ -13,6 +13,7 @@ pub mod corpus;
 pub mod report;
 pub mod runs;
 pub mod scale;
+pub mod watch;
 
 pub mod experiments {
     //! One module per paper table/figure (see DESIGN.md's experiment index).
@@ -28,6 +29,7 @@ pub mod experiments {
     pub mod hindsight;
     pub mod recovery;
     pub mod shard;
+    pub mod switching;
     pub mod table2;
     pub mod timeline;
 }

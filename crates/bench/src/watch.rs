@@ -1,0 +1,214 @@
+//! The `inspect --watch` dashboard: renders one frame of a polling
+//! terminal view over a gateway's `STATS` + `EVENTS` replies.
+//!
+//! The render path is pure — two [`FleetMetrics`] snapshots (previous and
+//! current, for rate deltas), the fleet's journals and the poll interval in,
+//! one string out — so the layout is unit-testable without a gateway. The
+//! binary loop in `inspect.rs` does the fetching, clearing and sleeping.
+
+use darwin_shard::{FleetMetrics, JournalSnapshot, ShardSnapshot};
+use std::fmt::Write;
+use std::time::Duration;
+
+/// How many journal events the dashboard tails across all shards.
+pub const DEFAULT_EVENT_TAIL: usize = 12;
+
+/// Formats nanoseconds as a compact human latency ("873ns", "1.2µs",
+/// "3.4ms", "2.1s").
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Per-shard requests/second between two snapshots (0 when the interval is
+/// degenerate or the shard is new).
+fn shard_rps(prev: Option<&FleetMetrics>, cur: &ShardSnapshot, interval: Duration) -> f64 {
+    let secs = interval.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    let before =
+        prev.and_then(|p| p.shards.iter().find(|s| s.shard == cur.shard)).map_or(0, |s| s.processed);
+    cur.processed.saturating_sub(before) as f64 / secs
+}
+
+/// Renders one dashboard frame.
+///
+/// `prev` is the previous poll's snapshot (rates read 0 on the first frame),
+/// `interval` the time between the two polls, and `tail` the number of
+/// journal events shown (newest last, merged across shards by sequence
+/// stamp).
+pub fn render(
+    prev: Option<&FleetMetrics>,
+    cur: &FleetMetrics,
+    journals: &[(u32, JournalSnapshot)],
+    interval: Duration,
+    tail: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "darwin fleet — {} shard(s), {:.1}s poll",
+        cur.shards.len(),
+        interval.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>12} {:>10} {:>7} {:>9} {:>9} {:>9} {:>14} {:<6}",
+        "shard", "processed", "rps", "queue", "p50", "p99", "ohr", "restarts(warm)", "state"
+    );
+    for s in &cur.shards {
+        let (p50, p99) = s
+            .latency
+            .as_ref()
+            .map(|l| (fmt_ns(l.serve.quantile(50.0)), fmt_ns(l.serve.quantile(99.0))))
+            .unwrap_or_else(|| ("-".into(), "-".into()));
+        let state = if s.dead { "DEAD" } else { "live" };
+        let _ = writeln!(
+            out,
+            "{:>5} {:>12} {:>10.0} {:>7} {:>9} {:>9} {:>9.4} {:>14} {:<6}",
+            s.shard,
+            s.processed,
+            shard_rps(prev, s, interval),
+            s.queue_depth,
+            p50,
+            p99,
+            s.cache.hoc_ohr(),
+            format!("{}({})", s.restarts, s.warm_restarts),
+            state,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "fleet: processed {} dropped {} unavailable {} ohr {:.4}",
+        cur.total_processed(),
+        cur.total_dropped(),
+        cur.total_unavailable(),
+        cur.fleet_cache().hoc_ohr(),
+    );
+    if let Some(gw) = &cur.gateway {
+        let _ = writeln!(
+            out,
+            "gateway: conns {}/{} active, frames_in {} rejected {}, stats {} events {}",
+            gw.connections_active,
+            gw.connections_accepted,
+            gw.frames_in,
+            gw.frames_rejected,
+            gw.stats_served,
+            gw.events_served,
+        );
+    }
+
+    // Merge every shard's journal into one tail ordered by sequence stamp
+    // (ties by shard), newest last.
+    let mut merged: Vec<(u32, &darwin_shard::Event)> =
+        journals.iter().flat_map(|(shard, j)| j.events.iter().map(move |e| (*shard, e))).collect();
+    merged.sort_by_key(|(shard, e)| (e.seq, *shard));
+    let dropped: u64 = journals.iter().map(|(_, j)| j.dropped).sum();
+    if !merged.is_empty() || dropped > 0 {
+        let _ = writeln!(
+            out,
+            "events (last {} of {}, {} dropped):",
+            tail.min(merged.len()),
+            merged.len(),
+            dropped
+        );
+        let skip = merged.len().saturating_sub(tail);
+        for (shard, e) in &merged[skip..] {
+            let _ = writeln!(out, "  s{shard} {}", e.render());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_cache::CacheMetrics;
+    use darwin_shard::{Event, EventKind, LatencySnapshot};
+
+    fn shard(index: usize, processed: u64) -> ShardSnapshot {
+        let mut latency = LatencySnapshot::default();
+        // 1000 serve samples at 1ms: p50 and p99 land in 1ms's bucket.
+        let h = darwin_obs::Histogram::new();
+        for _ in 0..1000 {
+            h.record(1_000_000);
+        }
+        latency.serve = h.snapshot();
+        ShardSnapshot {
+            shard: index,
+            processed,
+            dropped: 0,
+            unavailable: 0,
+            restarts: 1,
+            warm_restarts: 1,
+            dead: false,
+            checkpoint_seq: Some(512),
+            checkpoint_age: 10,
+            queue_depth: 3,
+            queue_high_water: 9,
+            cache: CacheMetrics::default(),
+            policy: "static".into(),
+            latency: Some(latency),
+            events_dropped: 0,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn render_reports_rates_latencies_and_event_tail() {
+        let prev = FleetMetrics::from_shards(vec![shard(0, 1_000)]);
+        let cur = FleetMetrics::from_shards(vec![shard(0, 3_000)]);
+        let journals = vec![(
+            0u32,
+            JournalSnapshot {
+                dropped: 0,
+                events: vec![
+                    Event { seq: 900, kind: EventKind::WorkerDeath },
+                    Event { seq: 900, kind: EventKind::RestoreCold },
+                ],
+            },
+        )];
+        let frame = render(Some(&prev), &cur, &journals, Duration::from_secs(2), 8);
+        // 2000 requests over 2s = 1000 rps.
+        assert!(frame.contains("1000"), "rps delta rendered:\n{frame}");
+        // 1ms samples render as their bucket floor (≤3.1% under 1ms).
+        assert!(frame.contains("999.4µs"), "latency quantiles rendered:\n{frame}");
+        assert!(frame.contains("worker-death"), "event tail rendered:\n{frame}");
+        assert!(frame.contains("restore-cold"), "event tail rendered:\n{frame}");
+        assert!(frame.contains("1(1)"), "restart counters rendered:\n{frame}");
+    }
+
+    #[test]
+    fn render_first_frame_and_empty_journals() {
+        let cur = FleetMetrics::from_shards(vec![shard(0, 500), shard(1, 700)]);
+        let frame = render(None, &cur, &[], Duration::from_secs(1), 8);
+        assert!(frame.contains("2 shard(s)"));
+        assert!(!frame.contains("events ("), "no event section without events:\n{frame}");
+    }
+
+    #[test]
+    fn event_tail_is_bounded_and_ordered() {
+        let cur = FleetMetrics::from_shards(vec![shard(0, 1)]);
+        let events: Vec<Event> = (0..20)
+            .map(|i| Event { seq: i, kind: EventKind::CheckpointCut { checkpoint_seq: i } })
+            .collect();
+        let journals = vec![(0u32, JournalSnapshot { dropped: 2, events })];
+        let frame = render(None, &cur, &journals, Duration::from_secs(1), 4);
+        assert!(frame.contains("events (last 4 of 20, 2 dropped):"));
+        assert!(!frame.contains("seq=15"), "older events trimmed:\n{frame}");
+        assert!(frame.contains("seq=19"), "newest events kept:\n{frame}");
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(873), "873ns");
+        assert_eq!(fmt_ns(1_200), "1.2µs");
+        assert_eq!(fmt_ns(3_400_000), "3.4ms");
+        assert_eq!(fmt_ns(2_100_000_000), "2.10s");
+    }
+}

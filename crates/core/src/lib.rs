@@ -56,7 +56,7 @@ pub mod runner;
 pub use expert::{Expert, ExpertGrid};
 pub use model::{DarwinModel, PairPredictor};
 pub use offline::{EvaluatedTrace, OfflineConfig, OfflineTrainer};
-pub use online::{ControllerPhase, OnlineConfig, OnlineController};
+pub use online::{ControlEvent, ControllerPhase, OnlineConfig, OnlineController};
 pub use runner::{run_darwin, run_static, DarwinReport};
 
 /// Convenient re-exports for downstream code and examples.

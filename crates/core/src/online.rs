@@ -116,6 +116,33 @@ pub struct SwitchEvent {
     pub phase: ControllerPhase,
 }
 
+/// A control-plane decision buffered for the serving layer's event
+/// journal. Drained (not persisted) via
+/// [`OnlineController::drain_control_events`]: the buffer is telemetry,
+/// so it is deliberately excluded from [`OnlineController::save_state`] —
+/// a restored controller resumes with an empty buffer and byte-identical
+/// persisted state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlEvent {
+    /// The controller deployed a different expert.
+    Switch {
+        /// Grid index of the previously deployed expert.
+        from: usize,
+        /// Grid index of the newly deployed expert.
+        to: usize,
+        /// Identification rounds completed this epoch when the switch fired.
+        round: usize,
+        /// Space-separated per-arm posterior means at the switch (empty
+        /// when no bandit was live, e.g. a singleton expert set).
+        posterior: String,
+    },
+    /// The drift detector fired and identification restarted early.
+    Drift {
+        /// Drift-triggered restarts so far, including this one.
+        restarts: usize,
+    },
+}
+
 /// Per-epoch identification summary.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EpochSummary {
@@ -155,6 +182,8 @@ pub struct OnlineController {
     // Reporting.
     switches: Vec<SwitchEvent>,
     epochs: Vec<EpochSummary>,
+    // Telemetry buffer for the serving layer's journal; never persisted.
+    pending_events: Vec<ControlEvent>,
 }
 
 impl OnlineController {
@@ -186,6 +215,7 @@ impl OnlineController {
             drift_restarts: 0,
             switches: Vec::new(),
             epochs: Vec::new(),
+            pending_events: Vec::new(),
         }
     }
 
@@ -229,6 +259,15 @@ impl OnlineController {
         self.drift_restarts
     }
 
+    /// Takes the control-plane decisions buffered since the last drain
+    /// (expert switches with round index and posterior summary, drift
+    /// detections). The serving layer maps these into its event journal;
+    /// callers that never drain pay only the buffer's memory until the
+    /// controller is dropped.
+    pub fn drain_control_events(&mut self) -> Vec<ControlEvent> {
+        std::mem::take(&mut self.pending_events)
+    }
+
     /// Ingests one processed request and the server's *cumulative* metrics
     /// after processing it. Returns `Some(expert)` when the deployment must
     /// change (the caller installs `expert.policy` on its server).
@@ -243,6 +282,7 @@ impl OnlineController {
                 if let Some(detector) = &mut self.drift {
                     if detector.observe(req) {
                         self.drift_restarts += 1;
+                        self.pending_events.push(ControlEvent::Drift { restarts: self.drift_restarts });
                         self.start_new_epoch(cumulative);
                         return None;
                     }
@@ -355,7 +395,6 @@ impl OnlineController {
 
         if tas.finished() {
             let chosen = self.set[tas.recommend()];
-            self.tas = None;
             self.phase = ControllerPhase::Deploy;
             self.arm_drift_detector();
             self.epochs.push(EpochSummary {
@@ -364,7 +403,11 @@ impl OnlineController {
                 identify_rounds: self.rounds_this_epoch,
                 chosen_expert: chosen,
             });
-            return self.switch_to(chosen);
+            // Switch before dropping the bandit so the deploy switch's
+            // journal event carries the final posterior.
+            let change = self.switch_to(chosen);
+            self.tas = None;
+            return change;
         }
         let arm = tas.next_arm();
         self.pending_arm = arm;
@@ -515,6 +558,9 @@ impl OnlineController {
         self.drift_restarts = drift_restarts;
         self.switches = switches;
         self.epochs = epochs;
+        // The telemetry buffer is not part of the persisted state; a
+        // restored controller starts with nothing pending.
+        self.pending_events.clear();
         Ok(())
     }
 
@@ -522,11 +568,29 @@ impl OnlineController {
         if expert_idx == self.current_expert {
             return None;
         }
+        let from = self.current_expert;
         self.current_expert = expert_idx;
         self.switches.push(SwitchEvent {
             at_request: self.global_request,
             expert: expert_idx,
             phase: self.phase,
+        });
+        let posterior = self.tas.as_ref().map_or_else(String::new, |tas| {
+            let means = tas.means();
+            let mut out = String::new();
+            for (i, m) in means.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&format!("{m:.4}"));
+            }
+            out
+        });
+        self.pending_events.push(ControlEvent::Switch {
+            from,
+            to: expert_idx,
+            round: self.rounds_this_epoch,
+            posterior,
         });
         Some(self.model.grid().get(expert_idx))
     }

@@ -5,10 +5,12 @@
 //! loadgen [--addr HOST:PORT] [--requests N] [--connections N]
 //!         [--batch N] [--window N] [--seed S]
 //!         [--retries N] [--backoff-ms N] [--backoff-cap-ms N]
-//!         [--read-timeout-ms N] [--stats] [--shutdown]
+//!         [--read-timeout-ms N] [--stats] [--events] [--shutdown]
 //! ```
 //!
 //! `--stats` fetches the gateway's JSON metrics snapshot after the replay;
+//! `--events` dumps the per-shard event journals (deaths, restarts, expert
+//! switches, checkpoint cuts — see `darwin-obs`);
 //! `--shutdown` then asks the gateway to shut down gracefully. Transport
 //! failures are retried with exponential backoff (`--retries` consecutive
 //! failures before giving up) and reported as typed counters in the summary.
@@ -25,6 +27,7 @@ fn main() {
     let mut cfg = LoadgenConfig::default();
     let mut seed = 2024u64;
     let mut stats = false;
+    let mut events = false;
     let mut shutdown = false;
     let mut i = 0;
     while i < args.len() {
@@ -71,6 +74,7 @@ fn main() {
                     Some(Duration::from_millis(args[i].parse().expect("read timeout ms")));
             }
             "--stats" => stats = true,
+            "--events" => events = true,
             "--shutdown" => shutdown = true,
             other => panic!("unknown arg {other}"),
         }
@@ -111,6 +115,17 @@ fn main() {
 
     if stats {
         println!("{}", loadgen::fetch_stats(addr.as_str()).expect("fetch stats"));
+    }
+    if events {
+        for (shard, journal) in loadgen::fetch_events(addr.as_str()).expect("fetch events") {
+            if journal.events.is_empty() && journal.dropped == 0 {
+                continue;
+            }
+            println!("shard {shard}: {} event(s), {} dropped", journal.events.len(), journal.dropped);
+            for ev in &journal.events {
+                println!("  {}", ev.render());
+            }
+        }
     }
     if shutdown {
         loadgen::send_shutdown(addr.as_str()).expect("send shutdown");

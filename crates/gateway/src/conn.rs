@@ -29,6 +29,8 @@ pub(crate) enum Reply {
     Verdicts(Vec<u8>),
     /// JSON snapshot answering a `STATS` frame.
     Stats(String),
+    /// Sealed fleet-events frame answering an `EVENTS` frame.
+    Events(Vec<u8>),
     /// Acknowledges a `SHUTDOWN` frame.
     ShutdownAck,
 }
@@ -151,6 +153,7 @@ pub(crate) fn writer_loop(sink: &ConnSink, mut stream: TcpStream) -> WriterStats
                     encode_verdict_bytes(&bytes, &mut out);
                 }
                 Reply::Stats(json) => encode(&Message::StatsReply(json), &mut out),
+                Reply::Events(frame) => encode(&Message::EventsReply(frame), &mut out),
                 Reply::ShutdownAck => encode(&Message::ShutdownAck, &mut out),
             }
         }

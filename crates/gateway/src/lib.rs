@@ -11,8 +11,8 @@
 //! with `std`-only networking:
 //!
 //! * [`wire`] — the length-prefixed frame protocol (`GET` / `STATS` /
-//!   `SHUTDOWN` and their replies), an incremental [`wire::FrameReader`],
-//!   and hostile-input-safe decoding.
+//!   `EVENTS` / `SHUTDOWN` and their replies), an incremental
+//!   [`wire::FrameReader`], and hostile-input-safe decoding.
 //! * [`server`] — [`server::Gateway`]: an acceptor plus thread-per-connection
 //!   workers that route decoded requests through the existing
 //!   [`ShardedFleet`](darwin_shard::ShardedFleet) shard queues and stream
@@ -20,7 +20,9 @@
 //!   and joins the shard workers.
 //! * [`loadgen`] — a pipelined client that replays a
 //!   [`Trace`](darwin_trace::Trace) over N concurrent connections and
-//!   reports throughput and latency percentiles.
+//!   reports throughput and latency percentiles (log-bucketed
+//!   [`darwin_obs`] histograms), plus one-shot [`loadgen::fetch_stats`] /
+//!   [`loadgen::fetch_events`] monitoring clients.
 //!
 //! The contract inherited from `darwin-shard` is preserved end to end: a
 //! trace served through a loopback gateway on one connection produces

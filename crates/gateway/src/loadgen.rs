@@ -17,6 +17,7 @@
 //! double-counts a verdict. Each failure is classified into [`ErrorStats`].
 
 use crate::wire::{encode_get, FrameReader, Message, RecvError, VerdictOutcome, WireVerdict};
+use darwin_obs::{decode_fleet_events, Histogram, HistogramSnapshot, JournalSnapshot};
 use darwin_trace::{Request, Trace};
 use std::collections::VecDeque;
 use std::io::{self, Write};
@@ -170,8 +171,10 @@ pub struct LoadgenReport {
     pub tally: VerdictTally,
     /// Transport-error counters, summed over connections.
     pub errors: ErrorStats,
-    /// Per-frame round-trip latencies, sorted ascending.
-    pub latencies: Vec<Duration>,
+    /// Per-frame round-trip latencies as a merged log-bucketed histogram
+    /// (one sample per answered frame; see [`darwin_obs`] for the bucket
+    /// scheme and its ≈3.1% relative error bound).
+    pub latency: HistogramSnapshot,
 }
 
 impl LoadgenReport {
@@ -185,20 +188,17 @@ impl LoadgenReport {
         }
     }
 
-    /// The `p`-th percentile frame round-trip (nearest-rank on the sorted
-    /// samples: index `⌈p/100 · len⌉ − 1`, clamped); zero when no frames
+    /// The `p`-th percentile frame round-trip — nearest-rank over the
+    /// histogram buckets ([`HistogramSnapshot::quantile`]), so the reported
+    /// value is the bucket lower bound: never above the true sample,
+    /// below it by at most the ≈3.1% bucket width. Zero when no frames
     /// were measured.
     ///
     /// # Panics
     ///
     /// If `p` is not a number in `[0, 100]`.
     pub fn latency_percentile(&self, p: f64) -> Duration {
-        assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
-        if self.latencies.is_empty() {
-            return Duration::ZERO;
-        }
-        let rank = (p / 100.0 * self.latencies.len() as f64).ceil() as usize;
-        self.latencies[rank.saturating_sub(1).min(self.latencies.len() - 1)]
+        Duration::from_nanos(self.latency.quantile(p))
     }
 }
 
@@ -240,7 +240,7 @@ fn backoff_delay(cfg: &LoadgenConfig, consecutive_failures: u32, rng: &mut u64) 
 struct ChunkOutcome {
     tally: VerdictTally,
     errors: ErrorStats,
-    latencies: Vec<Duration>,
+    latency: Histogram,
 }
 
 /// One connection's replay: pipelined writes with a bounded in-flight
@@ -266,7 +266,7 @@ fn replay_chunk(
     let mut out = ChunkOutcome {
         tally: VerdictTally::default(),
         errors: ErrorStats::default(),
-        latencies: Vec::with_capacity(frames.len()),
+        latency: Histogram::new(),
     };
     let mut rng = cfg.seed ^ (conn_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut failures = 0u32; // consecutive, reset on progress
@@ -338,7 +338,7 @@ fn replay_chunk(
             match reader.recv() {
                 Ok(Some(Message::Verdicts(vs))) => {
                     let sent = inflight.pop_front().expect("verdicts with no frame in flight");
-                    out.latencies.push(sent.elapsed());
+                    out.latency.record_duration(sent.elapsed());
                     for v in vs {
                         out.tally.absorb(v);
                     }
@@ -378,7 +378,6 @@ fn replay_chunk(
             }
         }
     }
-    out.latencies.sort_unstable();
     Ok(out)
 }
 
@@ -406,15 +405,14 @@ pub fn run(addr: impl ToSocketAddrs, trace: &Trace, cfg: LoadgenConfig) -> io::R
     let elapsed = started.elapsed();
     let mut tally = VerdictTally::default();
     let mut errors = ErrorStats::default();
-    let mut latencies = Vec::new();
+    let mut latency = HistogramSnapshot::default();
     for r in results {
         let out = r?;
         tally.merge(out.tally);
         errors.merge(out.errors);
-        latencies.extend(out.latencies);
+        latency.merge(&out.latency.snapshot());
     }
-    latencies.sort_unstable();
-    Ok(LoadgenReport { requests, elapsed, tally, errors, latencies })
+    Ok(LoadgenReport { requests, elapsed, tally, errors, latency })
 }
 
 /// Asks a gateway for its JSON fleet-metrics snapshot (`STATS`).
@@ -429,6 +427,25 @@ pub fn fetch_stats(addr: impl ToSocketAddrs) -> io::Result<String> {
         Ok(other) => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("expected STATS_REPLY, got {other:?}"),
+        )),
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+/// Asks a gateway for its per-shard event journals (`EVENTS`), decoded
+/// into `(shard, journal)` pairs.
+pub fn fetch_events(addr: impl ToSocketAddrs) -> io::Result<Vec<(u32, JournalSnapshot)>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&crate::wire::encoded(&Message::Events))?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut reader = FrameReader::new(stream);
+    match reader.recv() {
+        Ok(Some(Message::EventsReply(frame))) => decode_fleet_events(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        Ok(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected EVENTS_REPLY, got {other:?}"),
         )),
         Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
     }
@@ -538,66 +555,60 @@ mod tests {
         assert!(report.errors.resubmitted >= 3, "at least one frame resent: {:?}", report.errors);
     }
 
-    #[test]
-    fn percentiles_use_nearest_rank() {
-        let report = LoadgenReport {
-            requests: 4,
+    /// A report whose latency histogram was fed the given millisecond
+    /// samples.
+    fn report_with_latencies(samples_ms: &[u64]) -> LoadgenReport {
+        let h = Histogram::new();
+        for &ms in samples_ms {
+            h.record_duration(Duration::from_millis(ms));
+        }
+        LoadgenReport {
+            requests: samples_ms.len() as u64,
             elapsed: Duration::from_secs(2),
             tally: VerdictTally::default(),
             errors: ErrorStats::default(),
-            latencies: (1..=4).map(Duration::from_millis).collect(),
-        };
+            latency: h.snapshot(),
+        }
+    }
+
+    /// A bucketed quantile reports the bucket lower bound: never above the
+    /// true sample, below it by at most the ≈3.1% bucket width.
+    fn assert_within_bucket(got: Duration, sample: Duration) {
+        assert!(got <= sample, "bucket floor {got:?} above sample {sample:?}");
+        let floor = sample - Duration::from_nanos(sample.as_nanos() as u64 / 32);
+        assert!(got >= floor, "{got:?} undershoots {sample:?} by more than a bucket");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let report = report_with_latencies(&[1, 2, 3, 4]);
         assert_eq!(report.rps(), 2.0);
-        assert_eq!(report.latency_percentile(0.0), Duration::from_millis(1));
-        // Nearest-rank: ⌈50/100 · 4⌉ − 1 = index 1, i.e. 2ms — *not* the
-        // rounded-interpolation 3ms the old implementation returned.
-        assert_eq!(report.latency_percentile(50.0), Duration::from_millis(2));
-        assert_eq!(report.latency_percentile(75.0), Duration::from_millis(3));
-        assert_eq!(report.latency_percentile(99.0), Duration::from_millis(4));
-        assert_eq!(report.latency_percentile(100.0), Duration::from_millis(4));
+        assert_within_bucket(report.latency_percentile(0.0), Duration::from_millis(1));
+        // Nearest-rank: ⌈50/100 · 4⌉ = rank 2, i.e. the 2ms sample — *not*
+        // the rounded-interpolation 3ms the old implementation returned.
+        // The histogram reports the sample's bucket floor, so the regression
+        // assertion is the bucket error bound around 2ms.
+        assert_within_bucket(report.latency_percentile(50.0), Duration::from_millis(2));
+        assert_within_bucket(report.latency_percentile(75.0), Duration::from_millis(3));
+        assert_within_bucket(report.latency_percentile(99.0), Duration::from_millis(4));
+        assert_within_bucket(report.latency_percentile(100.0), Duration::from_millis(4));
         // Odd-length sanity: p50 of [1..=5] is the middle sample.
-        let odd = LoadgenReport {
-            requests: 5,
-            elapsed: Duration::from_secs(1),
-            tally: VerdictTally::default(),
-            errors: ErrorStats::default(),
-            latencies: (1..=5).map(Duration::from_millis).collect(),
-        };
-        assert_eq!(odd.latency_percentile(50.0), Duration::from_millis(3));
+        let odd = report_with_latencies(&[1, 2, 3, 4, 5]);
+        assert_within_bucket(odd.latency_percentile(50.0), Duration::from_millis(3));
         // No samples: zero, regardless of p.
-        let empty = LoadgenReport {
-            requests: 0,
-            elapsed: Duration::ZERO,
-            tally: VerdictTally::default(),
-            errors: ErrorStats::default(),
-            latencies: Vec::new(),
-        };
+        let empty = report_with_latencies(&[]);
         assert_eq!(empty.latency_percentile(99.0), Duration::ZERO);
     }
 
     #[test]
     #[should_panic(expected = "outside [0, 100]")]
     fn percentile_above_100_is_rejected() {
-        let report = LoadgenReport {
-            requests: 1,
-            elapsed: Duration::from_secs(1),
-            tally: VerdictTally::default(),
-            errors: ErrorStats::default(),
-            latencies: vec![Duration::from_millis(1)],
-        };
-        let _ = report.latency_percentile(100.5);
+        let _ = report_with_latencies(&[1]).latency_percentile(100.5);
     }
 
     #[test]
     #[should_panic(expected = "outside [0, 100]")]
     fn negative_percentile_is_rejected() {
-        let report = LoadgenReport {
-            requests: 1,
-            elapsed: Duration::from_secs(1),
-            tally: VerdictTally::default(),
-            errors: ErrorStats::default(),
-            latencies: vec![Duration::from_millis(1)],
-        };
-        let _ = report.latency_percentile(-1.0);
+        let _ = report_with_latencies(&[1]).latency_percentile(-1.0);
     }
 }

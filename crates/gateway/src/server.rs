@@ -6,7 +6,7 @@
 //!            │   ├─ conn 0: reader ─▶ FleetProducer 0 ─▶ per-shard lanes  │
 //! clients ──▶│   │          writer ◀── ConnSink (seq-ordered replies) ◀───┼── verdicts
 //!            │   └─ conn k: reader ─▶ FleetProducer k ─▶ per-shard lanes  │
-//!            │ STATS / SHUTDOWN bypass the ingest path entirely           │
+//!            │ STATS / EVENTS / SHUTDOWN bypass the ingest path entirely  │
 //!            └────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -112,6 +112,7 @@ struct Counters {
     requests_in: AtomicU64,
     verdicts_out: AtomicU64,
     stats_served: AtomicU64,
+    events_served: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
 }
@@ -133,6 +134,7 @@ impl Counters {
             requests_in: self.requests_in.load(Ordering::Relaxed),
             verdicts_out: self.verdicts_out.load(Ordering::Relaxed),
             stats_served: self.stats_served.load(Ordering::Relaxed),
+            events_served: self.events_served.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
         }
@@ -390,6 +392,16 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
                 sink.push(seq, Reply::Stats(shared.fleet_metrics().to_json()));
                 seq += 1;
             }
+            Ok(Some(Message::Events)) => {
+                Counters::add(&counters.frames_in, 1);
+                Counters::add(&counters.events_served, 1);
+                // Journal rings are drained off the shard cells, never the
+                // fleet mutex — like STATS, this answers even under full
+                // backpressure.
+                let frame = darwin_obs::encode_fleet_events(&shared.metrics.journals());
+                sink.push(seq, Reply::Events(frame));
+                seq += 1;
+            }
             Ok(Some(Message::Shutdown)) => {
                 Counters::add(&counters.frames_in, 1);
                 // Flag first: the writer may deliver the ack the instant it is
@@ -400,7 +412,12 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
                 seq += 1;
                 break true;
             }
-            Ok(Some(Message::Verdicts(_) | Message::StatsReply(_) | Message::ShutdownAck)) => {
+            Ok(Some(
+                Message::Verdicts(_)
+                | Message::StatsReply(_)
+                | Message::ShutdownAck
+                | Message::EventsReply(_),
+            )) => {
                 // Server-to-client opcodes are illegal from a client.
                 Counters::add(&counters.frames_rejected, 1);
                 break false;

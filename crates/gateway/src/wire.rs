@@ -6,15 +6,17 @@
 //! ```text
 //! offset  size  field
 //!      0     2  magic     0xDA57
-//!      2     1  version   2
+//!      2     1  version   3
 //!      3     1  opcode
 //!      4     4  body_len  (≤ MAX_BODY_LEN)
 //!      8     …  body
 //! ```
 //!
 //! Version 2 widened the verdict byte from a 2-bit to a 3-bit outcome field
-//! to make room for the degraded-mode `Unavailable` answer; v1 frames are
-//! rejected with [`WireError::BadVersion`] (both ends of this repo speak v2).
+//! to make room for the degraded-mode `Unavailable` answer; version 3 added
+//! the `EVENTS` opcode pair for draining the fleet's per-shard event
+//! journals. Older versions are rejected with [`WireError::BadVersion`]
+//! (both ends of this repo speak v3).
 //!
 //! Client → server opcodes:
 //!
@@ -23,6 +25,7 @@
 //! | `0x01` | `GET`      | 1..=`MAX_GET_BATCH` records of 24 bytes: `id:u64 size:u64 timestamp_us:u64` |
 //! | `0x02` | `STATS`    | empty |
 //! | `0x03` | `SHUTDOWN` | empty |
+//! | `0x04` | `EVENTS`   | empty |
 //!
 //! Server → client opcodes:
 //!
@@ -31,6 +34,7 @@
 //! | `0x81` | `VERDICTS`     | one byte per `GET` record: bits 0–2 outcome (0 = HOC hit, 1 = DC hit, 2 = origin fetch, 3 = dropped, 4 = unavailable), bit 3 admitted-to-HOC, bits 4–7 zero |
 //! | `0x82` | `STATS_REPLY`  | UTF-8 JSON of a `FleetMetrics` snapshot |
 //! | `0x83` | `SHUTDOWN_ACK` | empty |
+//! | `0x84` | `EVENTS_REPLY` | a sealed `darwin_obs` fleet-events frame (CRC-guarded, decodable with [`darwin_obs::decode_fleet_events`]) |
 //!
 //! Each `GET` frame is answered by exactly one `VERDICTS` frame carrying one
 //! verdict per record, in record order; replies on a connection are emitted
@@ -51,7 +55,7 @@ use std::io::Read;
 /// First two header bytes of every frame.
 pub const MAGIC: u16 = 0xDA57;
 /// Protocol version this module speaks.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 /// Fixed header size, bytes.
 pub const HEADER_LEN: usize = 8;
 /// Upper bound on a frame body; larger `body_len` headers are rejected
@@ -65,9 +69,11 @@ pub const MAX_GET_BATCH: usize = MAX_BODY_LEN / GET_RECORD_LEN;
 const OP_GET: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_SHUTDOWN: u8 = 0x03;
+const OP_EVENTS: u8 = 0x04;
 const OP_VERDICTS: u8 = 0x81;
 const OP_STATS_REPLY: u8 = 0x82;
 const OP_SHUTDOWN_ACK: u8 = 0x83;
+const OP_EVENTS_REPLY: u8 = 0x84;
 
 /// Where a request ended up, as reported on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,12 +169,17 @@ pub enum Message {
     Stats,
     /// Client: begin graceful gateway shutdown.
     Shutdown,
+    /// Client: reply with the fleet's per-shard event journals.
+    Events,
     /// Server: one verdict per record of the corresponding `GET`.
     Verdicts(Vec<WireVerdict>),
     /// Server: the JSON `FleetMetrics` snapshot a `STATS` asked for.
     StatsReply(String),
     /// Server: shutdown acknowledged; the connection closes after this.
     ShutdownAck,
+    /// Server: the sealed fleet-events frame an `EVENTS` asked for (decode
+    /// with `darwin_obs::decode_fleet_events`).
+    EventsReply(Vec<u8>),
 }
 
 /// Why a frame (or byte stream) was rejected.
@@ -276,6 +287,12 @@ pub fn encode(msg: &Message, out: &mut Vec<u8>) {
             out.extend_from_slice(json.as_bytes());
         }
         Message::ShutdownAck => push_header(OP_SHUTDOWN_ACK, 0, out),
+        Message::Events => push_header(OP_EVENTS, 0, out),
+        Message::EventsReply(frame) => {
+            assert!(frame.len() <= MAX_BODY_LEN, "events reply exceeds MAX_BODY_LEN");
+            push_header(OP_EVENTS_REPLY, frame.len(), out);
+            out.extend_from_slice(frame);
+        }
     }
 }
 
@@ -320,8 +337,8 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Message, usize)>, WireError> {
     let body_ok = match opcode {
         OP_GET => len > 0 && len.is_multiple_of(GET_RECORD_LEN),
         OP_VERDICTS => len > 0,
-        OP_STATS | OP_SHUTDOWN | OP_SHUTDOWN_ACK => len == 0,
-        OP_STATS_REPLY => true,
+        OP_STATS | OP_SHUTDOWN | OP_SHUTDOWN_ACK | OP_EVENTS => len == 0,
+        OP_STATS_REPLY | OP_EVENTS_REPLY => true,
         other => return Err(WireError::UnknownOpcode(other)),
     };
     if !body_ok {
@@ -353,12 +370,14 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Message, usize)>, WireError> {
             Message::StatsReply(std::str::from_utf8(body).map_err(|_| WireError::BadUtf8)?.to_owned())
         }
         OP_SHUTDOWN_ACK => Message::ShutdownAck,
+        OP_EVENTS => Message::Events,
+        OP_EVENTS_REPLY => Message::EventsReply(body.to_vec()),
         _ => unreachable!("opcode validated above"),
     };
     Ok(Some((msg, HEADER_LEN + len)))
 }
 
-/// Why [`FrameReader::next`] failed.
+/// Why [`FrameReader::recv`] failed.
 #[derive(Debug)]
 pub enum RecvError {
     /// The underlying transport failed (including `WouldBlock`/`TimedOut`
@@ -371,7 +390,7 @@ pub enum RecvError {
 
 impl RecvError {
     /// True when the error is a read-timeout expiry: no bytes were lost and
-    /// the caller may simply call [`FrameReader::next`] again.
+    /// the caller may simply call [`FrameReader::recv`] again.
     pub fn is_timeout(&self) -> bool {
         matches!(
             self,
@@ -467,6 +486,24 @@ mod tests {
         assert_eq!(bytes[2], VERSION);
         assert_eq!(bytes[3], OP_STATS);
         assert_eq!(&bytes[4..8], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn events_frames_roundtrip() {
+        let (msg, used) = decode(&encoded(&Message::Events)).unwrap().unwrap();
+        assert_eq!((msg, used), (Message::Events, HEADER_LEN));
+
+        let frame = vec![0xAB; 37];
+        let bytes = encoded(&Message::EventsReply(frame.clone()));
+        let (msg, used) = decode(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(msg, Message::EventsReply(frame));
+
+        // An EVENTS request must carry no body.
+        let mut bad = encoded(&Message::Events);
+        bad[4] = 1;
+        bad.push(0);
+        assert_eq!(decode(&bad), Err(WireError::BadBodyLen { opcode: OP_EVENTS, len: 1 }));
     }
 
     #[test]

@@ -294,6 +294,51 @@ fn stats_frame_returns_parseable_snapshot() {
     gateway.finish().expect("clean gateway shutdown");
 }
 
+/// `EVENTS` answers with the fleet's per-shard journals: a scripted
+/// mid-run panic must show up as fault-injection, death and restart events
+/// with monotonically increasing sequence stamps, and serving the frame
+/// bumps the gateway's `events_served` counter.
+#[test]
+fn events_frame_returns_fleet_journals() {
+    use darwin_gateway::GatewayConfig;
+    use darwin_obs::EventKind;
+    use darwin_shard::{FaultEvent, FaultKind, FaultPlan};
+
+    let trace = test_trace(4_000);
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let gateway = Gateway::bind_with(
+        "127.0.0.1:0",
+        fleet_cfg(2),
+        cache_cfg(),
+        Box::new(HashRouter),
+        GatewayConfig {
+            fault_plan: FaultPlan::new(vec![FaultEvent { shard: 0, at: 500, kind: FaultKind::Panic }]),
+            ..GatewayConfig::default()
+        },
+        move |_| StaticDriver::new(policy),
+    )
+    .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    loadgen::run(addr, &trace, LoadgenConfig::default()).expect("loadgen replay");
+    let journals = loadgen::fetch_events(addr).expect("events fetch");
+    assert_eq!(journals.len(), 2, "one journal per shard");
+    let shard0 = &journals.iter().find(|(s, _)| *s == 0).expect("shard 0 journal").1;
+    let kinds: Vec<&EventKind> = shard0.events.iter().map(|e| &e.kind).collect();
+    assert!(kinds.iter().any(|k| matches!(k, EventKind::FaultInjected { .. })));
+    assert!(kinds.iter().any(|k| matches!(k, EventKind::WorkerDeath)));
+    assert!(kinds.iter().any(|k| matches!(k, EventKind::RestartGranted { .. })));
+    assert!(
+        shard0.events.windows(2).all(|w| w[0].seq <= w[1].seq),
+        "journal sequence stamps are monotone"
+    );
+
+    let gw = gateway.metrics().gateway.expect("gateway counters");
+    assert!(gw.events_served >= 1, "EVENTS frames are counted");
+    gateway.shutdown();
+    gateway.finish().expect("clean gateway shutdown");
+}
+
 /// A client `SHUTDOWN` frame is acknowledged and leaves the gateway ready to
 /// finish without any local shutdown call.
 #[test]

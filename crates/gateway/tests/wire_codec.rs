@@ -108,7 +108,7 @@ fn malformed_corpus_is_rejected() {
     assert_eq!(decode(&f[..3]), Err(WireError::BadVersion(9)));
 
     // Unknown opcodes, client and server ranges.
-    for op in [0x00u8, 0x04, 0x42, 0x80, 0x84, 0xFF] {
+    for op in [0x00u8, 0x05, 0x42, 0x80, 0x85, 0xFF] {
         assert_eq!(decode(&frame(op, &[])), Err(WireError::UnknownOpcode(op)));
     }
 
@@ -125,6 +125,7 @@ fn malformed_corpus_is_rejected() {
     );
     assert_eq!(decode(&frame(0x02, &[1])), Err(WireError::BadBodyLen { opcode: 0x02, len: 1 }));
     assert_eq!(decode(&frame(0x03, &[1])), Err(WireError::BadBodyLen { opcode: 0x03, len: 1 }));
+    assert_eq!(decode(&frame(0x04, &[1])), Err(WireError::BadBodyLen { opcode: 0x04, len: 1 }));
     assert_eq!(decode(&frame(0x81, &[])), Err(WireError::BadBodyLen { opcode: 0x81, len: 0 }));
     assert_eq!(decode(&frame(0x83, &[1])), Err(WireError::BadBodyLen { opcode: 0x83, len: 1 }));
 

@@ -1,0 +1,442 @@
+//! The structured per-shard event journal.
+//!
+//! Every notable control-plane decision in the fleet — worker deaths,
+//! restart verdicts with their budget state, warm-vs-cold restores with the
+//! checkpoint candidate chosen, expert switches with the bandit's round
+//! index and posterior summary, drift detections, injected faults,
+//! checkpoint cuts, and switching-cost windows — lands in a bounded ring of
+//! typed [`Event`]s.
+//!
+//! ## Determinism
+//!
+//! Events carry the shard's *request sequence number* at the moment of the
+//! event, never a wall-clock timestamp. Faults are scripted on sequence
+//! numbers ([`FaultPlan`](../../darwin_shard/fault) semantics), checkpoints
+//! cut at sequence boundaries, and controller decisions are functions of
+//! the request stream — so two runs with the same seed and fault plan
+//! produce *byte-identical* journal frames. `verify.sh` gates on exactly
+//! that at 1, 2 and 8 shards.
+//!
+//! ## Bounded memory
+//!
+//! The ring keeps the most recent [`DEFAULT_JOURNAL_CAPACITY`] events;
+//! older events are dropped oldest-first and counted exactly in
+//! [`JournalSnapshot::dropped`]. Events are rare (per decision, not per
+//! request), so a mutex-guarded ring off the hot path is plenty.
+
+use darwin_ckpt::{open, seal, CkptError, Dec, Enc};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Events kept per shard before the oldest is dropped.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+/// Frame magic for a sealed [`JournalSnapshot`] ("OBSJ").
+pub const JOURNAL_MAGIC: u32 = 0x4F42_534A;
+/// Frame magic for a sealed fleet-wide event dump ("OBSE").
+pub const FLEET_EVENTS_MAGIC: u32 = 0x4F42_5345;
+/// Frame version for journal and fleet-event frames.
+pub const JOURNAL_VERSION: u16 = 1;
+
+/// What happened. Payloads are integers and deterministic strings only —
+/// no wall clock anywhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The shard's worker thread died (panic fault or poisoned state).
+    WorkerDeath,
+    /// The supervisor granted a respawn; `restarts_used` counts this one.
+    RestartGranted {
+        /// Restarts consumed within the budget window, including this one.
+        restarts_used: u32,
+        /// The budget's maximum restarts per window.
+        budget_max: u32,
+    },
+    /// The supervisor refused a respawn and buried the shard.
+    RestartDenied {
+        /// Restarts already consumed within the budget window.
+        restarts_used: u32,
+        /// The budget's maximum restarts per window.
+        budget_max: u32,
+    },
+    /// A respawned worker restored from a checkpoint.
+    RestoreWarm {
+        /// Which candidate validated: 0 = active buffer, 1 = previous
+        /// buffer, 2 = disk spill.
+        candidate: u8,
+        /// The restored checkpoint's request sequence number.
+        checkpoint_seq: u64,
+    },
+    /// A respawned worker found no usable checkpoint and started cold.
+    RestoreCold,
+    /// The controller deployed a different expert.
+    ExpertSwitch {
+        /// The previously deployed expert, if any.
+        from: Option<u32>,
+        /// The newly deployed expert.
+        to: u32,
+        /// Identification rounds completed this epoch when the switch fired.
+        round: u32,
+        /// Compact posterior summary (per-arm means) at the switch.
+        posterior: String,
+    },
+    /// The drift detector fired and the controller restarted identification.
+    DriftDetected {
+        /// Drift-triggered restarts so far, including this one.
+        restarts: u32,
+    },
+    /// A scripted fault fired at this sequence number.
+    FaultInjected {
+        /// Stable label of the fault kind (e.g. `panic`, `delay(100)`).
+        fault: String,
+    },
+    /// A checkpoint frame was cut and stored.
+    CheckpointCut {
+        /// The checkpoint's request sequence number.
+        checkpoint_seq: u64,
+    },
+    /// A post-switch observation window closed; the dip is the trailing
+    /// hit ratio's worst drop below the pre-switch baseline.
+    SwitchCost {
+        /// The expert deployed by the switch that opened the window.
+        expert: u32,
+        /// Trailing hit ratio at the switch.
+        baseline: f64,
+        /// Worst `baseline − trailing ratio` observed in the window (≥ 0).
+        dip: f64,
+        /// Requests until the trailing ratio regained the baseline;
+        /// `None` if it never did within the window.
+        recovery: Option<u64>,
+        /// Requests the window observed.
+        window: u64,
+    },
+}
+
+impl EventKind {
+    fn tag(&self) -> u8 {
+        match self {
+            EventKind::WorkerDeath => 0,
+            EventKind::RestartGranted { .. } => 1,
+            EventKind::RestartDenied { .. } => 2,
+            EventKind::RestoreWarm { .. } => 3,
+            EventKind::RestoreCold => 4,
+            EventKind::ExpertSwitch { .. } => 5,
+            EventKind::DriftDetected { .. } => 6,
+            EventKind::FaultInjected { .. } => 7,
+            EventKind::CheckpointCut { .. } => 8,
+            EventKind::SwitchCost { .. } => 9,
+        }
+    }
+}
+
+/// One journal entry: a typed event stamped with the shard's request
+/// sequence number at the moment it happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Requests the shard had processed when the event fired.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// A stable single-line rendering, e.g. for dashboards and artifacts.
+    pub fn render(&self) -> String {
+        let body = match &self.kind {
+            EventKind::WorkerDeath => "worker-death".to_string(),
+            EventKind::RestartGranted { restarts_used, budget_max } => {
+                format!("restart-granted {restarts_used}/{budget_max}")
+            }
+            EventKind::RestartDenied { restarts_used, budget_max } => {
+                format!("restart-denied {restarts_used}/{budget_max}")
+            }
+            EventKind::RestoreWarm { candidate, checkpoint_seq } => {
+                format!("restore-warm candidate={candidate} ckpt_seq={checkpoint_seq}")
+            }
+            EventKind::RestoreCold => "restore-cold".to_string(),
+            EventKind::ExpertSwitch { from, to, round, posterior } => {
+                let from = from.map_or("-".to_string(), |f| f.to_string());
+                format!("switch {from}->{to} round={round} posterior=[{posterior}]")
+            }
+            EventKind::DriftDetected { restarts } => format!("drift restarts={restarts}"),
+            EventKind::FaultInjected { fault } => format!("fault {fault}"),
+            EventKind::CheckpointCut { checkpoint_seq } => {
+                format!("ckpt-cut seq={checkpoint_seq}")
+            }
+            EventKind::SwitchCost { expert, baseline, dip, recovery, window } => {
+                let rec = recovery.map_or("none".to_string(), |r| r.to_string());
+                format!(
+                    "switch-cost expert={expert} baseline={baseline:.4} dip={dip:.4} \
+                     recovery={rec}/{window}"
+                )
+            }
+        };
+        format!("[{:>10}] {body}", self.seq)
+    }
+
+    fn encode(&self, e: &mut Enc) {
+        e.u64(self.seq);
+        e.u8(self.kind.tag());
+        match &self.kind {
+            EventKind::WorkerDeath | EventKind::RestoreCold => {}
+            EventKind::RestartGranted { restarts_used, budget_max }
+            | EventKind::RestartDenied { restarts_used, budget_max } => {
+                e.u32(*restarts_used);
+                e.u32(*budget_max);
+            }
+            EventKind::RestoreWarm { candidate, checkpoint_seq } => {
+                e.u8(*candidate);
+                e.u64(*checkpoint_seq);
+            }
+            EventKind::ExpertSwitch { from, to, round, posterior } => {
+                e.opt(from.as_ref(), |e, f| e.u32(*f));
+                e.u32(*to);
+                e.u32(*round);
+                e.str(posterior);
+            }
+            EventKind::DriftDetected { restarts } => e.u32(*restarts),
+            EventKind::FaultInjected { fault } => e.str(fault),
+            EventKind::CheckpointCut { checkpoint_seq } => e.u64(*checkpoint_seq),
+            EventKind::SwitchCost { expert, baseline, dip, recovery, window } => {
+                e.u32(*expert);
+                e.f64(*baseline);
+                e.f64(*dip);
+                e.opt(recovery.as_ref(), |e, r| e.u64(*r));
+                e.u64(*window);
+            }
+        }
+    }
+
+    fn decode(d: &mut Dec) -> Result<Self, CkptError> {
+        let seq = d.u64()?;
+        let kind = match d.u8()? {
+            0 => EventKind::WorkerDeath,
+            1 => EventKind::RestartGranted { restarts_used: d.u32()?, budget_max: d.u32()? },
+            2 => EventKind::RestartDenied { restarts_used: d.u32()?, budget_max: d.u32()? },
+            3 => EventKind::RestoreWarm { candidate: d.u8()?, checkpoint_seq: d.u64()? },
+            4 => EventKind::RestoreCold,
+            5 => EventKind::ExpertSwitch {
+                from: d.opt(|d| d.u32())?,
+                to: d.u32()?,
+                round: d.u32()?,
+                posterior: d.str()?.to_string(),
+            },
+            6 => EventKind::DriftDetected { restarts: d.u32()? },
+            7 => EventKind::FaultInjected { fault: d.str()?.to_string() },
+            8 => EventKind::CheckpointCut { checkpoint_seq: d.u64()? },
+            9 => EventKind::SwitchCost {
+                expert: d.u32()?,
+                baseline: d.f64()?,
+                dip: d.f64()?,
+                recovery: d.opt(|d| d.u64())?,
+                window: d.u64()?,
+            },
+            t => return Err(CkptError::Malformed(format!("unknown event tag {t}"))),
+        };
+        Ok(Self { seq, kind })
+    }
+}
+
+/// A copy of a journal's contents: the retained events in arrival order
+/// plus the exact count of events dropped by the ring bound.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct JournalSnapshot {
+    /// Events the ring had to drop (oldest-first) to stay bounded.
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl JournalSnapshot {
+    /// Appends the snapshot to an encoder.
+    pub fn encode(&self, e: &mut Enc) {
+        e.u64(self.dropped);
+        e.seq(&self.events, |e, ev| ev.encode(e));
+    }
+
+    /// Decodes what [`encode`](JournalSnapshot::encode) wrote.
+    pub fn decode(d: &mut Dec) -> Result<Self, CkptError> {
+        Ok(Self { dropped: d.u64()?, events: d.seq(Event::decode)? })
+    }
+
+    /// Seals the snapshot into a CRC-guarded frame. Byte-identical
+    /// snapshots seal to byte-identical frames — the determinism gate's
+    /// comparison unit.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        self.encode(&mut e);
+        seal(JOURNAL_MAGIC, JOURNAL_VERSION, &e.into_bytes())
+    }
+
+    /// Opens and decodes a sealed frame produced by
+    /// [`to_frame`](JournalSnapshot::to_frame).
+    pub fn from_frame(frame: &[u8]) -> Result<Self, CkptError> {
+        let body = open(frame, JOURNAL_MAGIC, JOURNAL_VERSION)?;
+        let mut d = Dec::new(body);
+        let snap = Self::decode(&mut d)?;
+        d.finish()?;
+        Ok(snap)
+    }
+}
+
+/// Seals every shard's journal into one fleet-wide frame (the gateway
+/// `EVENTS` reply body). Shards must be pre-sorted by id for determinism.
+pub fn encode_fleet_events(shards: &[(u32, JournalSnapshot)]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.seq(shards, |e, (shard, snap)| {
+        e.u32(*shard);
+        snap.encode(e);
+    });
+    seal(FLEET_EVENTS_MAGIC, JOURNAL_VERSION, &e.into_bytes())
+}
+
+/// Decodes a frame produced by [`encode_fleet_events`].
+pub fn decode_fleet_events(frame: &[u8]) -> Result<Vec<(u32, JournalSnapshot)>, CkptError> {
+    let body = open(frame, FLEET_EVENTS_MAGIC, JOURNAL_VERSION)?;
+    let mut d = Dec::new(body);
+    let shards = d.seq(|d| Ok((d.u32()?, JournalSnapshot::decode(d)?)))?;
+    d.finish()?;
+    Ok(shards)
+}
+
+/// A bounded, thread-safe ring of [`Event`]s.
+///
+/// Recording locks a mutex — events are per *decision* (restart, switch,
+/// checkpoint), not per request, so this is far off the serve hot path.
+#[derive(Debug)]
+pub struct Journal {
+    ring: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::new(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// A journal retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self { ring: Mutex::new(VecDeque::new()), dropped: AtomicU64::new(0), capacity: capacity.max(1) }
+    }
+
+    /// Appends an event stamped with request sequence number `seq`,
+    /// dropping the oldest retained event if the ring is full.
+    pub fn record(&self, seq: u64, kind: EventKind) {
+        let mut ring = self.ring.lock().expect("journal poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(Event { seq, kind });
+    }
+
+    /// Events dropped so far by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A non-destructive copy of the retained events and drop count.
+    pub fn snapshot(&self) -> JournalSnapshot {
+        let ring = self.ring.lock().expect("journal poisoned");
+        JournalSnapshot {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            events: ring.iter().cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::WorkerDeath,
+            EventKind::RestartGranted { restarts_used: 1, budget_max: 3 },
+            EventKind::RestartDenied { restarts_used: 3, budget_max: 3 },
+            EventKind::RestoreWarm { candidate: 2, checkpoint_seq: 4000 },
+            EventKind::RestoreCold,
+            EventKind::ExpertSwitch {
+                from: Some(2),
+                to: 0,
+                round: 7,
+                posterior: "0.41 0.38 0.55 0.12".into(),
+            },
+            EventKind::ExpertSwitch { from: None, to: 1, round: 0, posterior: String::new() },
+            EventKind::DriftDetected { restarts: 1 },
+            EventKind::FaultInjected { fault: "delay(100)".into() },
+            EventKind::CheckpointCut { checkpoint_seq: 2000 },
+            EventKind::SwitchCost {
+                expert: 1,
+                baseline: 0.5125,
+                dip: 0.031,
+                recovery: Some(420),
+                window: 4096,
+            },
+            EventKind::SwitchCost { expert: 0, baseline: 0.25, dip: 0.25, recovery: None, window: 4096 },
+        ]
+    }
+
+    #[test]
+    fn every_kind_roundtrips_through_frame_and_json() {
+        let j = Journal::new(64);
+        for (i, kind) in all_kinds().into_iter().enumerate() {
+            j.record(i as u64 * 100, kind);
+        }
+        let snap = j.snapshot();
+        let frame = snap.to_frame();
+        assert_eq!(JournalSnapshot::from_frame(&frame).unwrap(), snap);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: JournalSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_exactly() {
+        let j = Journal::new(4);
+        for i in 0..10u64 {
+            j.record(i, EventKind::WorkerDeath);
+        }
+        let snap = j.snapshot();
+        assert_eq!(snap.dropped, 6);
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.events.first().unwrap().seq, 6, "oldest retained");
+        assert_eq!(snap.events.last().unwrap().seq, 9);
+    }
+
+    #[test]
+    fn identical_journals_seal_identically() {
+        let build = || {
+            let j = Journal::new(8);
+            j.record(5, EventKind::FaultInjected { fault: "panic".into() });
+            j.record(5, EventKind::WorkerDeath);
+            j.record(5, EventKind::RestartGranted { restarts_used: 1, budget_max: 3 });
+            j.record(5, EventKind::RestoreWarm { candidate: 0, checkpoint_seq: 4 });
+            j.snapshot().to_frame()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn fleet_frame_roundtrips() {
+        let j = Journal::new(8);
+        j.record(1, EventKind::RestoreCold);
+        let shards = vec![(0u32, j.snapshot()), (1u32, JournalSnapshot::default())];
+        let frame = encode_fleet_events(&shards);
+        assert_eq!(decode_fleet_events(&frame).unwrap(), shards);
+        for keep in 0..frame.len() {
+            assert!(decode_fleet_events(&frame[..keep]).is_err());
+        }
+    }
+
+    #[test]
+    fn renderings_are_stable() {
+        let ev =
+            Event { seq: 2000, kind: EventKind::RestoreWarm { candidate: 0, checkpoint_seq: 2000 } };
+        assert_eq!(ev.render(), "[      2000] restore-warm candidate=0 ckpt_seq=2000");
+    }
+}

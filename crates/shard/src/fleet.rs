@@ -80,13 +80,15 @@ use crate::queue::{channel, Consumer, Producer, QueueGauges};
 use crate::router::Router;
 use crate::supervisor::{RestartBudget, Supervisor, SupervisorVerdict};
 use darwin_cache::{CacheConfig, CacheMetrics, CacheServer, RequestOutcome};
-use darwin_testbed::AdmissionDriver;
+use darwin_obs::{EventKind, SwitchCostTracker};
+use darwin_testbed::{AdmissionDriver, ControlEvent};
 use darwin_trace::{Request, Trace};
 use serde::{Deserialize, Serialize};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// What one request's trip through its shard produced: where it was served
 /// from and whether the admission policy promoted it into the HOC.
@@ -375,7 +377,10 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> FleetCore<D, E> {
                 // `push_batch` destroys-and-counts the remainder if the
                 // consumer vanished mid-delivery; a nonzero return is the
                 // Block path's death signal.
-                producer.push_batch(batch) > 0
+                let wait = Instant::now();
+                let died = producer.push_batch(batch) > 0;
+                shard.cell.obs().queue_wait.record_duration(wait.elapsed());
+                died
             }
             Backpressure::DropNewest => {
                 let shed = producer.try_push_batch(batch);
@@ -411,12 +416,27 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> FleetCore<D, E> {
         let answered = cell.processed_total() + cell.dropped();
         cell.add_dropped(lane.delivered.saturating_sub(answered));
         cell.fold_incarnation();
+        // Journal stamps use the shard's processed count — deterministic
+        // under Block (scripted panics are submission-synchronized).
+        let seq = cell.processed_total();
+        let budget_max = lane.supervisor.budget().max_restarts;
+        cell.obs().journal.record(seq, EventKind::WorkerDeath);
         match lane.supervisor.on_worker_death(now) {
             SupervisorVerdict::Respawn => {
                 cell.record_restart();
+                cell.obs().journal.record(
+                    seq,
+                    EventKind::RestartGranted { restarts_used: lane.supervisor.restarts(), budget_max },
+                );
                 self.spawn(s, lane, lane.delivered, true);
             }
-            SupervisorVerdict::Bury => cell.mark_dead(),
+            SupervisorVerdict::Bury => {
+                cell.obs().journal.record(
+                    seq,
+                    EventKind::RestartDenied { restarts_used: lane.supervisor.restarts(), budget_max },
+                );
+                cell.mark_dead();
+            }
         }
     }
 
@@ -706,6 +726,11 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
                     shard.cell.add_dropped(lane.delivered.saturating_sub(answered));
                     shard.cell.fold_incarnation();
                     shard.cell.mark_dead();
+                    shard
+                        .cell
+                        .obs()
+                        .journal
+                        .record(shard.cell.processed_total(), EventKind::WorkerDeath);
                     (None, 0, 0)
                 }
                 None => (None, 0, 0), // buried earlier
@@ -870,16 +895,19 @@ struct WorkerCtx<D, E> {
 }
 
 /// Attempts a warm restore from the slot's best candidate. Returns the
-/// restored server, the policy deployed at the checkpoint boundary, and the
+/// restored server, the policy deployed at the checkpoint boundary, the
 /// metrics base the incarnation must subtract before publishing (its
-/// pre-existing history, already folded into the cell by the supervisor).
+/// pre-existing history, already folded into the cell by the supervisor),
+/// and the journal facts: which candidate validated (0 = active buffer,
+/// 1 = previous buffer, 2 = disk spill) and the restored sequence number.
+#[allow(clippy::type_complexity)]
 fn try_restore<D: AdmissionDriver>(
     shard: usize,
     slot: &CheckpointSlot,
     cache: &CacheConfig,
     driver: &mut D,
-) -> Option<(CacheServer, darwin_cache::ThresholdPolicy, CacheMetrics)> {
-    for frame in slot.candidates() {
+) -> Option<(CacheServer, darwin_cache::ThresholdPolicy, CacheMetrics, u8, u64)> {
+    for (candidate, frame) in slot.candidates().into_iter().enumerate() {
         let Ok(ckpt) = ShardCheckpoint::from_frame(&frame) else { continue };
         if ckpt.shard != shard {
             continue;
@@ -889,9 +917,21 @@ fn try_restore<D: AdmissionDriver>(
             continue;
         }
         let base = server.metrics();
-        return Some((server, ckpt.policy, base));
+        return Some((server, ckpt.policy, base, candidate as u8, ckpt.seq));
     }
     None
+}
+
+/// Stable journal label for a scripted fault. Part of the deterministic
+/// journal contract: integers and fixed strings only.
+fn fault_label(kind: &FaultKind) -> String {
+    match kind {
+        FaultKind::Panic => "panic".into(),
+        FaultKind::Delay { spins } => format!("delay({spins})"),
+        FaultKind::QueueFull => "queue-full".into(),
+        FaultKind::CorruptCheckpoint { torn: true } => "corrupt-ckpt(torn)".into(),
+        FaultKind::CorruptCheckpoint { torn: false } => "corrupt-ckpt(zeroed)".into(),
+    }
 }
 
 /// The per-shard serving loop. Identical, request for request, to the
@@ -928,19 +968,32 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
             // only its increments or restored counters would double-count.
             let (mut server, mut current_policy, base) =
                 match respawn.then(|| try_restore(shard, &slot, &cache, &mut driver)).flatten() {
-                    Some((server, policy, base)) => {
+                    Some((server, policy, base, candidate, checkpoint_seq)) => {
                         cell.record_warm_restart();
+                        cell.obs()
+                            .journal
+                            .record(start, EventKind::RestoreWarm { candidate, checkpoint_seq });
                         (server, policy, base)
                     }
-                    None => (CacheServer::new(cache), driver.initial_policy(), CacheMetrics::default()),
+                    None => {
+                        if respawn {
+                            cell.obs().journal.record(start, EventKind::RestoreCold);
+                        }
+                        (CacheServer::new(cache), driver.initial_policy(), CacheMetrics::default())
+                    }
                 };
             server.set_policy(current_policy);
             let mut processed = 0u64;
+            let mut switch_cost = SwitchCostTracker::default();
             let mut buf: Vec<E> = Vec::with_capacity(batch);
             let gauges = rx.gauges();
             while rx.pop_batch(&mut buf, batch) {
                 for env in buf.drain(..) {
                     while let Some(kind) = faults.take(start + processed) {
+                        cell.obs().journal.record(
+                            start + processed,
+                            EventKind::FaultInjected { fault: fault_label(&kind) },
+                        );
                         match kind {
                             FaultKind::Panic => panic!(
                                 "scripted fault: shard {shard} dies at per-shard request {}",
@@ -964,7 +1017,9 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
                     }
                     let req = *env.request();
                     let writes_before = server.metrics().hoc_writes;
+                    let served = Instant::now();
                     let outcome = server.process(&req);
+                    cell.obs().serve.record_duration(served.elapsed());
                     processed += 1;
                     // The *raw* cumulative metrics drive the driver and the
                     // admission indicator — they are part of the determinism
@@ -982,13 +1037,45 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
                         current_policy = policy;
                         server.set_policy(policy);
                     }
+                    let seq = start + processed;
+                    // Feed the switching-cost tracker, then journal any
+                    // control-plane decisions this request triggered. Both
+                    // are pure functions of the request stream, so the
+                    // journal stays byte-reproducible under a seed.
+                    if let Some(done) = switch_cost.observe(outcome != RequestOutcome::OriginFetch, seq)
+                    {
+                        cell.obs().journal.record(done.seq, done.kind);
+                    }
+                    for ev in driver.drain_events() {
+                        match ev {
+                            ControlEvent::Switch { from, to, round, posterior } => {
+                                if let Some(done) = switch_cost.on_switch(seq, to as u32) {
+                                    cell.obs().journal.record(done.seq, done.kind);
+                                }
+                                cell.obs().journal.record(
+                                    seq,
+                                    EventKind::ExpertSwitch {
+                                        from: Some(from as u32),
+                                        to: to as u32,
+                                        round: round as u32,
+                                        posterior,
+                                    },
+                                );
+                            }
+                            ControlEvent::Drift { restarts } => {
+                                cell.obs()
+                                    .journal
+                                    .record(seq, EventKind::DriftDetected { restarts: restarts as u32 });
+                            }
+                        }
+                    }
                     // Checkpoint exactly at configured request-sequence
                     // boundaries, after the driver observed the request —
                     // the same cut a paused sequential run would make.
                     if let Some(every) = checkpoint_every {
-                        let seq = start + processed;
                         if every > 0 && seq.is_multiple_of(every) {
                             if let Some(dstate) = driver.save_state() {
+                                let pause = Instant::now();
                                 let ckpt = ShardCheckpoint {
                                     shard,
                                     seq,
@@ -997,7 +1084,11 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
                                     driver: dstate,
                                 };
                                 slot.store(ckpt.to_frame());
+                                cell.obs().ckpt_pause.record_duration(pause.elapsed());
                                 cell.record_checkpoint(seq);
+                                cell.obs()
+                                    .journal
+                                    .record(seq, EventKind::CheckpointCut { checkpoint_seq: seq });
                             }
                         }
                     }
@@ -1005,6 +1096,9 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
                 cell.publish(server.metrics().diff(&base), processed, server.policy_label());
             }
             cell.publish(server.metrics().diff(&base), processed, server.policy_label());
+            if let Some(done) = switch_cost.finish(start + processed) {
+                cell.obs().journal.record(done.seq, done.kind);
+            }
             WorkerResult {
                 hoc_used_bytes: server.hoc_used_bytes(),
                 dc_used_bytes: server.dc_used_bytes(),

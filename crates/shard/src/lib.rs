@@ -53,6 +53,13 @@
 //!   contract: an N-shard fleet over a hash-partitioned trace is bitwise
 //!   identical to N sequential single-shard runs (`tests/equivalence.rs`
 //!   enforces this at 1, 2 and 8 shards).
+//!
+//! Observability rides along via [`darwin_obs`]: each shard's cell carries
+//! serve / queue-wait / checkpoint-pause latency histograms and a bounded
+//! journal of typed events (deaths, restart verdicts, warm/cold restores,
+//! expert switches, drift, faults, checkpoint cuts, switching-cost windows),
+//! all stamped with request sequence numbers so seeded runs journal
+//! identically (`tests/journal_determinism.rs`).
 
 pub mod ckpt;
 pub mod fault;
@@ -64,6 +71,7 @@ pub mod router;
 pub mod supervisor;
 
 pub use ckpt::{CheckpointSlot, ShardCheckpoint, CKPT_MAGIC, CKPT_VERSION};
+pub use darwin_obs::{Event, EventKind, JournalSnapshot, LatencySnapshot};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fleet::{
     Backpressure, Envelope, FleetConfig, FleetIngest, FleetProducer, FleetReport, ShardOutcome,

@@ -17,6 +17,7 @@
 
 use crate::queue::QueueGauges;
 use darwin_cache::CacheMetrics;
+use darwin_obs::{Event, JournalSnapshot, LatencySnapshot, ShardObs};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -65,6 +66,16 @@ pub struct ShardSnapshot {
     /// Label of the shard's currently deployed admission policy (the last
     /// published label, for a dead shard).
     pub policy: String,
+    /// Wall-clock latency histograms (serve / queue-wait / checkpoint-pause).
+    /// `None` in snapshots written before the observability subsystem.
+    #[serde(default)]
+    pub latency: Option<LatencySnapshot>,
+    /// Events evicted from the shard's bounded journal ring so far.
+    #[serde(default)]
+    pub events_dropped: u64,
+    /// The shard's retained event journal, oldest first.
+    #[serde(default)]
+    pub events: Vec<Event>,
 }
 
 impl ShardSnapshot {
@@ -99,6 +110,16 @@ impl ShardSnapshot {
         if self.policy.is_empty() {
             self.policy = other.policy.clone();
         }
+        self.latency = match (self.latency.take(), &other.latency) {
+            (Some(mut a), Some(b)) => {
+                a.merge(b);
+                Some(a)
+            }
+            (a, b) => a.or_else(|| b.clone()),
+        };
+        self.events_dropped += other.events_dropped;
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| e.seq);
     }
 }
 
@@ -124,6 +145,9 @@ pub struct GatewaySnapshot {
     pub verdicts_out: u64,
     /// `STATS` frames served.
     pub stats_served: u64,
+    /// `EVENTS` frames served.
+    #[serde(default)]
+    pub events_served: u64,
     /// Bytes read off client sockets.
     pub bytes_in: u64,
     /// Bytes written to client sockets.
@@ -190,6 +214,7 @@ impl FleetMetrics {
                 requests_in: a.requests_in + b.requests_in,
                 verdicts_out: a.verdicts_out + b.verdicts_out,
                 stats_served: a.stats_served + b.stats_served,
+                events_served: a.events_served + b.events_served,
                 bytes_in: a.bytes_in + b.bytes_in,
                 bytes_out: a.bytes_out + b.bytes_out,
             }),
@@ -287,6 +312,12 @@ impl MetricsHandle {
     pub fn snapshot(&self) -> FleetMetrics {
         FleetMetrics::from_shards(self.cells.iter().map(|c| c.snapshot()).collect())
     }
+
+    /// Per-shard event-journal snapshots, in shard order — the body of the
+    /// gateway's `EVENTS` reply.
+    pub fn journals(&self) -> Vec<(u32, JournalSnapshot)> {
+        self.cells.iter().map(|c| (c.shard_index() as u32, c.obs().journal.snapshot())).collect()
+    }
 }
 
 /// Cache metrics and policy label of the current worker incarnation, plus
@@ -325,6 +356,9 @@ pub struct ShardCell {
     /// whose gauge starts at zero).
     high_water_floor: AtomicUsize,
     gauges: Mutex<Arc<QueueGauges>>,
+    /// Latency histograms and event journal. Like every other cell counter
+    /// these outlive worker incarnations and accumulate across restarts.
+    obs: ShardObs,
 }
 
 impl ShardCell {
@@ -343,7 +377,19 @@ impl ShardCell {
             dead: AtomicBool::new(false),
             high_water_floor: AtomicUsize::new(0),
             gauges: Mutex::new(gauges),
+            obs: ShardObs::default(),
         }
+    }
+
+    /// Shard index this cell reports under.
+    pub fn shard_index(&self) -> usize {
+        self.shard
+    }
+
+    /// The shard's observability state (histograms + journal). Workers
+    /// record through this; readers snapshot it.
+    pub fn obs(&self) -> &ShardObs {
+        &self.obs
     }
 
     /// Worker side, batch boundary: publish cumulative metrics *and* the
@@ -474,6 +520,7 @@ impl ShardCell {
         let gauges = Arc::clone(&self.gauges.lock().expect("cell poisoned"));
         let processed_total = self.processed_total();
         let checkpoint_seq = self.checkpoint_seq();
+        let journal = self.obs.journal.snapshot();
         ShardSnapshot {
             shard: self.shard,
             processed: processed_total,
@@ -488,6 +535,9 @@ impl ShardCell {
             queue_high_water: self.high_water_floor.load(Ordering::Relaxed).max(gauges.high_water()),
             cache,
             policy,
+            latency: Some(self.obs.latency_snapshot()),
+            events_dropped: journal.dropped,
+            events: journal.events,
         }
     }
 }
@@ -516,6 +566,9 @@ mod tests {
                 ..Default::default()
             },
             policy: "f2s100".into(),
+            latency: None,
+            events_dropped: 0,
+            events: Vec::new(),
         }
     }
 
@@ -555,6 +608,7 @@ mod tests {
             requests_in: 2_000,
             verdicts_out: 1_990,
             stats_served: 3,
+            events_served: 1,
             bytes_in: 48_000,
             bytes_out: 2_300,
         };
@@ -577,6 +631,8 @@ mod tests {
             "\"dead\": false,",
             "\"checkpoint_seq\": null,",
             "\"checkpoint_age\": 0,",
+            "\"latency\": null,",
+            "\"events_dropped\": 0,",
         ] {
             assert!(json.contains(gone), "field {gone} missing from JSON");
             json = json.replacen(gone, "", 1);
@@ -662,6 +718,34 @@ mod tests {
         assert_eq!(merged.total_unavailable(), 2);
         assert_eq!(merged.total_restarts(), 3);
         assert_eq!(merged.fleet_cache().requests, 170);
+    }
+
+    #[test]
+    fn absorb_merges_journal_and_latency() {
+        use darwin_obs::{EventKind, Histogram};
+        let mut a = snap(0, 10, 5);
+        a.events.push(Event { seq: 40, kind: EventKind::WorkerDeath });
+        a.events_dropped = 2;
+        let h = Histogram::new();
+        h.record(1_000);
+        a.latency = Some(LatencySnapshot {
+            serve: h.snapshot(),
+            queue_wait: Default::default(),
+            ckpt_pause: Default::default(),
+        });
+        let mut b = snap(0, 10, 5);
+        b.events.push(Event { seq: 7, kind: EventKind::RestoreCold });
+        b.events_dropped = 1;
+        h.record(3_000);
+        b.latency = Some(LatencySnapshot {
+            serve: h.snapshot(),
+            queue_wait: Default::default(),
+            ckpt_pause: Default::default(),
+        });
+        a.absorb(&b);
+        assert_eq!(a.events_dropped, 3);
+        assert_eq!(a.events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![7, 40]);
+        assert_eq!(a.latency.as_ref().unwrap().serve.count, 3, "1 + 2 recorded samples");
     }
 
     #[test]

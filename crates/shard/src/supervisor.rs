@@ -94,6 +94,11 @@ impl Supervisor {
         self.restarts
     }
 
+    /// The budget this supervisor enforces.
+    pub fn budget(&self) -> &RestartBudget {
+        &self.budget
+    }
+
     /// True once the shard has been declared permanently dead.
     pub fn is_dead(&self) -> bool {
         self.dead

@@ -28,6 +28,12 @@ pub trait AdmissionDriver {
     fn load_state(&mut self, _bytes: &[u8]) -> bool {
         false
     }
+    /// Takes the control-plane decisions (expert switches, drift
+    /// detections) buffered since the last drain, for the serving layer's
+    /// event journal. Drivers without a controller have none.
+    fn drain_events(&mut self) -> Vec<darwin::ControlEvent> {
+        Vec::new()
+    }
 }
 
 /// A fixed expert (the paper's static baselines).
@@ -108,6 +114,9 @@ impl AdmissionDriver for DarwinDriver {
     }
     fn load_state(&mut self, bytes: &[u8]) -> bool {
         self.controller.restore_state(bytes).is_ok()
+    }
+    fn drain_events(&mut self) -> Vec<darwin::ControlEvent> {
+        self.controller.drain_control_events()
     }
 }
 

@@ -29,6 +29,7 @@ pub mod driver;
 pub mod latency;
 pub mod sim;
 
+pub use darwin::ControlEvent;
 pub use driver::{AdmissionDriver, DarwinDriver, StaticDriver};
 pub use latency::LatencyStats;
 pub use sim::{Testbed, TestbedConfig, TestbedReport};

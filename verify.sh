@@ -28,6 +28,9 @@ cargo test -p darwin-gateway --test loopback -q -- \
 echo "== chaos: fault-plan conservation (proptest + bitwise regression) =="
 cargo test -p darwin-shard --test chaos -q
 
+echo "== journal determinism (byte-identical event journals at 1, 2, 8 shards) =="
+cargo test -p darwin-shard --test journal_determinism -q
+
 echo "== restore equivalence (boundary-kill warm restore bitwise at 1, 2, 8 shards) =="
 cargo test -p darwin-shard --test restore -q -- \
     warm_boundary_restore_bitwise_at_1_shard \
@@ -66,6 +69,9 @@ else
             }
         }' target/shard_smoke/BENCH_shard.json
 fi
+
+echo "== rustdoc (--no-deps, warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== rustfmt (--check) =="
 cargo fmt --all -- --check
