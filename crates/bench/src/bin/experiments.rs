@@ -1,30 +1,32 @@
 //! The experiment driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <what> [--scale N] [--out DIR]
+//! experiments <what> [--scale N] [--out DIR] [--resize-to M]
 //!
 //! what: all | fig2 | fig4a | fig4b | fig4c | fig5a | fig5b | fig5c | fig5d
 //!     | fig6 | fig7a | fig7b | table2 | fig8 | fig9 | fig10 | fig11
 //!     | ablations | timeline | hindsight | shard | gateway | chaos | recovery
-//!     | switching
+//!     | switching | rebalance
 //! ```
 //!
 //! `--scale 1` (default) is the laptop configuration; larger factors move
 //! toward the paper's trace lengths and cache sizes proportionally.
 //! `--cache` persists the expensive expert evaluations under the output
 //! directory and reuses them on later invocations at the same scale.
+//! `--resize-to M` (rebalance only, default 8) sets the mid-run shard
+//! count: the elastic schedule becomes 4 → M → 4.
 
 use darwin::offline::OfflineTrainer;
 use darwin_bench::experiments::{
-    ablations, chaos, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, recovery, shard,
-    switching, table2, timeline,
+    ablations, chaos, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, rebalance, recovery,
+    shard, switching, table2, timeline,
 };
 use darwin_bench::{Scale, SharedContext};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos|recovery|switching> [--scale N] [--out DIR] [--cache]"
+        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos|recovery|switching|rebalance> [--scale N] [--out DIR] [--cache] [--resize-to M]"
     );
     std::process::exit(2);
 }
@@ -38,6 +40,7 @@ fn main() {
     let mut scale_factor = 1usize;
     let mut out = PathBuf::from("results");
     let mut use_cache = false;
+    let mut resize_to = 8usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,6 +54,10 @@ fn main() {
             }
             "--cache" => {
                 use_cache = true;
+            }
+            "--resize-to" => {
+                i += 1;
+                resize_to = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             _ => usage(),
         }
@@ -85,6 +92,7 @@ fn main() {
         "chaos",
         "recovery",
         "switching",
+        "rebalance",
     ];
     if !KNOWN.contains(&what.as_str()) {
         eprintln!("unknown experiment {what:?}");
@@ -114,6 +122,10 @@ fn main() {
     }
     if what == "switching" {
         switching::run(&scale, &out);
+        return;
+    }
+    if what == "rebalance" {
+        rebalance::run_with(&scale, &out, resize_to);
         return;
     }
 
@@ -158,6 +170,7 @@ fn main() {
         "chaos" => chaos::run(&scale, &out),
         "recovery" => recovery::run(&scale, &out),
         "switching" => switching::run(&scale, &out),
+        "rebalance" => rebalance::run_with(&scale, &out, resize_to),
         _ => usage(),
     };
 
@@ -187,6 +200,7 @@ fn main() {
             "chaos",
             "recovery",
             "switching",
+            "rebalance",
         ] {
             let t = std::time::Instant::now();
             eprintln!("\n[experiments] ===== {name} =====");

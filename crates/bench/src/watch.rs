@@ -52,14 +52,15 @@ pub fn render(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "darwin fleet — {} shard(s), {:.1}s poll",
+        "darwin fleet — {} shard(s), generation {}, {:.1}s poll",
         cur.shards.len(),
+        cur.router_generation(),
         interval.as_secs_f64()
     );
     let _ = writeln!(
         out,
-        "{:>5} {:>12} {:>10} {:>7} {:>9} {:>9} {:>9} {:>14} {:<6}",
-        "shard", "processed", "rps", "queue", "p50", "p99", "ohr", "restarts(warm)", "state"
+        "{:>5} {:>12} {:>10} {:>7} {:>9} {:>9} {:>9} {:>14} {:>4} {:<12}",
+        "shard", "processed", "rps", "queue", "p50", "p99", "ohr", "restarts(warm)", "gen", "state"
     );
     for s in &cur.shards {
         let (p50, p99) = s
@@ -67,10 +68,19 @@ pub fn render(
             .as_ref()
             .map(|l| (fmt_ns(l.serve.quantile(50.0)), fmt_ns(l.serve.quantile(99.0))))
             .unwrap_or_else(|| ("-".into(), "-".into()));
-        let state = if s.dead { "DEAD" } else { "live" };
+        // Dead beats drain phase: a buried shard is DEAD whatever its phase
+        // said; otherwise show where the shard sits in the handoff state
+        // machine (serving / draining / transferring / retired).
+        let state = if s.dead {
+            "DEAD"
+        } else if s.phase.is_empty() {
+            "serving"
+        } else {
+            s.phase.as_str()
+        };
         let _ = writeln!(
             out,
-            "{:>5} {:>12} {:>10.0} {:>7} {:>9} {:>9} {:>9.4} {:>14} {:<6}",
+            "{:>5} {:>12} {:>10.0} {:>7} {:>9} {:>9} {:>9.4} {:>14} {:>4} {:<12}",
             s.shard,
             s.processed,
             shard_rps(prev, s, interval),
@@ -78,7 +88,8 @@ pub fn render(
             p50,
             p99,
             s.cache.hoc_ohr(),
-            format!("{}({})", s.restarts, s.warm_restarts),
+            format!("{}({})", s.restarts, s.warm_restarts + s.warm_boots),
+            s.router_generation,
             state,
         );
     }
@@ -146,6 +157,9 @@ mod tests {
             unavailable: 0,
             restarts: 1,
             warm_restarts: 1,
+            warm_boots: 0,
+            router_generation: 2,
+            phase: "draining".into(),
             dead: false,
             checkpoint_seq: Some(512),
             checkpoint_age: 10,
@@ -181,6 +195,8 @@ mod tests {
         assert!(frame.contains("worker-death"), "event tail rendered:\n{frame}");
         assert!(frame.contains("restore-cold"), "event tail rendered:\n{frame}");
         assert!(frame.contains("1(1)"), "restart counters rendered:\n{frame}");
+        assert!(frame.contains("generation 2"), "fleet generation rendered:\n{frame}");
+        assert!(frame.contains("draining"), "drain phase rendered:\n{frame}");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! gateway [--addr HOST:PORT] [--shards N] [--queue N] [--batch N]
 //!         [--drop-newest] [--hoc-mb N] [--freq F] [--size-kb S]
 //!         [--max-restarts N] [--restart-window N]
-//!         [--checkpoint-every N] [--checkpoint-dir DIR]
+//!         [--checkpoint-every N] [--checkpoint-dir DIR] [--cold-boot]
+//!         [--router ring|hash] [--vnodes N]
 //!         [--read-timeout-ms N] [--idle-timeout-ms N]
 //! ```
 //!
@@ -18,11 +19,19 @@
 //! state every N per-shard requests and restarts resume *warm* from the
 //! latest valid checkpoint (cold when none validates); `--checkpoint-dir`
 //! additionally spills each checkpoint to `DIR/shard-{s}.ckpt` via atomic
-//! rename.
+//! rename. A restarted gateway process pointed at the same
+//! `--checkpoint-dir` boots *warm*: each shard restores its spill file
+//! (falling back detected-cold per shard on validation failure) instead of
+//! starting empty. `--cold-boot` restores the old wipe-at-startup
+//! semantics. `--router ring` routes by the consistent-hash ring
+//! (`--vnodes` virtual nodes per shard) so a later fleet at a different
+//! shard count remaps only `|M−N|/max(N,M)` of the keyspace; the default
+//! `hash` router keeps the historical fixed-fleet routing.
 
 use darwin_cache::{CacheConfig, ThresholdPolicy};
 use darwin_gateway::{Gateway, GatewayConfig};
-use darwin_shard::{Backpressure, FleetConfig, HashRouter, RestartBudget};
+use darwin_rebalance::{RingRouter, DEFAULT_SEED, DEFAULT_VNODES};
+use darwin_shard::{Backpressure, FleetConfig, HashRouter, RestartBudget, Router};
 use darwin_testbed::StaticDriver;
 use std::time::Duration;
 
@@ -38,6 +47,8 @@ fn main() {
     let mut size_kb = 100u64;
     let mut restart_budget = RestartBudget::default();
     let mut checkpoint_every: Option<u64> = None;
+    let mut router = "hash".to_string();
+    let mut vnodes = DEFAULT_VNODES;
     let mut gw = GatewayConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -87,6 +98,19 @@ fn main() {
                 i += 1;
                 gw.checkpoint_dir = Some(std::path::PathBuf::from(&args[i]));
             }
+            "--cold-boot" => gw.warm_boot = false,
+            "--router" => {
+                i += 1;
+                router = args[i].clone();
+                assert!(
+                    router == "ring" || router == "hash",
+                    "--router takes ring or hash, got {router:?}"
+                );
+            }
+            "--vnodes" => {
+                i += 1;
+                vnodes = args[i].parse().expect("vnodes per shard");
+            }
             "--read-timeout-ms" => {
                 i += 1;
                 gw.read_timeout = Duration::from_millis(args[i].parse().expect("read timeout ms"));
@@ -111,11 +135,21 @@ fn main() {
     };
     let cache = CacheConfig { hoc_bytes: hoc_mb * 1024 * 1024, ..CacheConfig::paper_default() };
     let policy = ThresholdPolicy::new(freq, size_kb * 1024);
-    let gateway = Gateway::bind_with(addr.as_str(), cfg, cache, Box::new(HashRouter), gw, move |_| {
-        StaticDriver::new(policy)
-    })
-    .expect("bind gateway");
-    println!("gateway listening on {} ({} shards, {:?})", gateway.local_addr(), shards, backpressure);
+    let routing: Box<dyn Router> = match router.as_str() {
+        "ring" => Box::new(RingRouter::new(DEFAULT_SEED, vnodes)),
+        _ => Box::new(HashRouter),
+    };
+    let router_label = routing.label();
+    let gateway =
+        Gateway::bind_with(addr.as_str(), cfg, cache, routing, gw, move |_| StaticDriver::new(policy))
+            .expect("bind gateway");
+    println!(
+        "gateway listening on {} ({} shards, {}, {:?})",
+        gateway.local_addr(),
+        shards,
+        router_label,
+        backpressure
+    );
 
     gateway.wait_shutdown();
     let metrics = gateway.metrics();

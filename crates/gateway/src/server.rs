@@ -24,8 +24,8 @@ use crate::conn::{writer_loop, ConnSink, GatewayEnvelope, PendingBatch, Reply, S
 use crate::wire::{FrameReader, Message, RecvError};
 use darwin_cache::CacheConfig;
 use darwin_shard::{
-    FaultPlan, FleetConfig, FleetIngest, FleetMetrics, FleetProducer, FleetReport, GatewaySnapshot,
-    MetricsHandle, Router, ShardedFleet,
+    FaultPlan, FleetBoot, FleetConfig, FleetIngest, FleetMetrics, FleetProducer, FleetReport,
+    GatewaySnapshot, MetricsHandle, Router, ShardedFleet,
 };
 use darwin_testbed::AdmissionDriver;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -88,6 +88,13 @@ pub struct GatewayConfig {
     /// checkpoints in memory only. Only meaningful when the fleet's
     /// `checkpoint_every` is set.
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// With `checkpoint_dir` set, restore each shard from its spill file at
+    /// startup (the cross-process warm boot) instead of clearing the
+    /// directory. A spill that fails validation is detected cold per shard:
+    /// the shard journals `RestoreCold`, drops the bad file and starts
+    /// empty. `false` restores the historical cold-start semantics (the
+    /// `--cold-boot` flag).
+    pub warm_boot: bool,
 }
 
 impl Default for GatewayConfig {
@@ -97,6 +104,7 @@ impl Default for GatewayConfig {
             idle_timeout: None,
             fault_plan: FaultPlan::default(),
             checkpoint_dir: None,
+            warm_boot: true,
         }
     }
 }
@@ -210,13 +218,17 @@ impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let fleet: ShardedFleet<D, GatewayEnvelope> = ShardedFleet::with_recovery(
+        let fleet: ShardedFleet<D, GatewayEnvelope> = ShardedFleet::with_boot(
             cfg,
             cache,
             router,
             factory,
             gateway.fault_plan,
-            gateway.checkpoint_dir,
+            FleetBoot {
+                checkpoint_dir: gateway.checkpoint_dir,
+                warm_boot: gateway.warm_boot,
+                ..FleetBoot::default()
+            },
         );
         let shared = Arc::new(Shared {
             metrics: fleet.metrics_handle(),

@@ -111,6 +111,42 @@ pub enum EventKind {
         /// Requests the window observed.
         window: u64,
     },
+    /// A rebalance began draining this shard: its queue empties, then the
+    /// worker cuts a final handoff checkpoint at the drain boundary.
+    DrainStart {
+        /// Shard count the fleet is resizing to.
+        target_shards: u32,
+    },
+    /// The draining worker cut its final handoff checkpoint at the exact
+    /// end-of-stream sequence boundary.
+    HandoffCut {
+        /// The handoff checkpoint's request sequence number.
+        checkpoint_seq: u64,
+    },
+    /// A shard restored state shipped across a generation or process
+    /// boundary (resize handoff or `--checkpoint-dir` warm boot).
+    HandoffRestore {
+        /// Request sequence number of the restored checkpoint (in its
+        /// source incarnation's numbering).
+        checkpoint_seq: u64,
+        /// `true` for a cross-process warm boot from a spill file, `false`
+        /// for an in-process resize handoff.
+        warm_boot: bool,
+    },
+    /// A new fleet generation took over serving from a retired one.
+    Cutover {
+        /// The router generation now serving.
+        generation: u32,
+    },
+    /// The consistent-hash ring was rebuilt for a new shard count.
+    RingResize {
+        /// Shard count before the resize.
+        from_shards: u32,
+        /// Shard count after the resize.
+        to_shards: u32,
+        /// The router generation serving the new ring.
+        generation: u32,
+    },
 }
 
 impl EventKind {
@@ -126,6 +162,11 @@ impl EventKind {
             EventKind::FaultInjected { .. } => 7,
             EventKind::CheckpointCut { .. } => 8,
             EventKind::SwitchCost { .. } => 9,
+            EventKind::DrainStart { .. } => 10,
+            EventKind::HandoffCut { .. } => 11,
+            EventKind::HandoffRestore { .. } => 12,
+            EventKind::Cutover { .. } => 13,
+            EventKind::RingResize { .. } => 14,
         }
     }
 }
@@ -171,6 +212,20 @@ impl Event {
                      recovery={rec}/{window}"
                 )
             }
+            EventKind::DrainStart { target_shards } => {
+                format!("drain-start target_shards={target_shards}")
+            }
+            EventKind::HandoffCut { checkpoint_seq } => {
+                format!("handoff-cut seq={checkpoint_seq}")
+            }
+            EventKind::HandoffRestore { checkpoint_seq, warm_boot } => {
+                let mode = if *warm_boot { "warm-boot" } else { "handoff" };
+                format!("handoff-restore ckpt_seq={checkpoint_seq} mode={mode}")
+            }
+            EventKind::Cutover { generation } => format!("cutover generation={generation}"),
+            EventKind::RingResize { from_shards, to_shards, generation } => {
+                format!("ring-resize {from_shards}->{to_shards} generation={generation}")
+            }
         };
         format!("[{:>10}] {body}", self.seq)
     }
@@ -205,6 +260,18 @@ impl Event {
                 e.opt(recovery.as_ref(), |e, r| e.u64(*r));
                 e.u64(*window);
             }
+            EventKind::DrainStart { target_shards } => e.u32(*target_shards),
+            EventKind::HandoffCut { checkpoint_seq } => e.u64(*checkpoint_seq),
+            EventKind::HandoffRestore { checkpoint_seq, warm_boot } => {
+                e.u64(*checkpoint_seq);
+                e.bool(*warm_boot);
+            }
+            EventKind::Cutover { generation } => e.u32(*generation),
+            EventKind::RingResize { from_shards, to_shards, generation } => {
+                e.u32(*from_shards);
+                e.u32(*to_shards);
+                e.u32(*generation);
+            }
         }
     }
 
@@ -231,6 +298,15 @@ impl Event {
                 dip: d.f64()?,
                 recovery: d.opt(|d| d.u64())?,
                 window: d.u64()?,
+            },
+            10 => EventKind::DrainStart { target_shards: d.u32()? },
+            11 => EventKind::HandoffCut { checkpoint_seq: d.u64()? },
+            12 => EventKind::HandoffRestore { checkpoint_seq: d.u64()?, warm_boot: d.bool()? },
+            13 => EventKind::Cutover { generation: d.u32()? },
+            14 => EventKind::RingResize {
+                from_shards: d.u32()?,
+                to_shards: d.u32()?,
+                generation: d.u32()?,
             },
             t => return Err(CkptError::Malformed(format!("unknown event tag {t}"))),
         };
@@ -378,6 +454,12 @@ mod tests {
                 window: 4096,
             },
             EventKind::SwitchCost { expert: 0, baseline: 0.25, dip: 0.25, recovery: None, window: 4096 },
+            EventKind::DrainStart { target_shards: 8 },
+            EventKind::HandoffCut { checkpoint_seq: 6000 },
+            EventKind::HandoffRestore { checkpoint_seq: 6000, warm_boot: true },
+            EventKind::HandoffRestore { checkpoint_seq: 6000, warm_boot: false },
+            EventKind::Cutover { generation: 2 },
+            EventKind::RingResize { from_shards: 4, to_shards: 8, generation: 2 },
         ]
     }
 
@@ -438,5 +520,15 @@ mod tests {
         let ev =
             Event { seq: 2000, kind: EventKind::RestoreWarm { candidate: 0, checkpoint_seq: 2000 } };
         assert_eq!(ev.render(), "[      2000] restore-warm candidate=0 ckpt_seq=2000");
+        let ev = Event {
+            seq: 6000,
+            kind: EventKind::RingResize { from_shards: 4, to_shards: 8, generation: 1 },
+        };
+        assert_eq!(ev.render(), "[      6000] ring-resize 4->8 generation=1");
+        let ev = Event {
+            seq: 6000,
+            kind: EventKind::HandoffRestore { checkpoint_seq: 6000, warm_boot: true },
+        };
+        assert_eq!(ev.render(), "[      6000] handoff-restore ckpt_seq=6000 mode=warm-boot");
     }
 }

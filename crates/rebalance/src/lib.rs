@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # darwin-rebalance
+//!
+//! Elastic fleet rebalancing for the sharded serving layer: resize a live
+//! Darwin cache fleet `N → M` shards without losing a request, a counter,
+//! or (for the surviving keyspace) a warm cache.
+//!
+//! ```text
+//!  generation g (N shards)                generation g+1 (M shards)
+//!  ┌──────────────────────┐   transfer    ┌──────────────────────────┐
+//!  │ Serving → Draining   │   envelopes   │  warm boot from resolved │
+//!  │  final cut @ seq ────┼──────────────▶│  frames (survivors) /    │
+//!  │  Transferring        │  Full | Delta │  cold (moved keyspace)   │
+//!  │  Retired             │               │  Serving                 │
+//!  └──────────────────────┘               └──────────────────────────┘
+//!            ▲                                        ▲
+//!            └────────── RingRouter(seed, vnodes) ────┘
+//!                 same ring family at every fleet size
+//! ```
+//!
+//! * [`ring`] — [`RingRouter`]: consistent-hash ring with virtual nodes;
+//!   resizing `N → M` remaps only `|M−N|/max(N,M)` of the keyspace, with
+//!   exact per-object stability guarantees (see the module docs).
+//! * [`delta`] — [`DeltaFrame`]: rsync-style block diff between two
+//!   checkpoint images, so a handoff ships O(churn) not O(cache) bytes.
+//! * [`handoff`] — [`TransferFrame`] (the sealed transfer envelope, full or
+//!   delta payload, generation-addressed) and [`HandoffTracker`] (the
+//!   one-way `Serving → Draining → Transferring → Retired` state machine).
+//! * [`elastic`] — [`ElasticFleet`]: the orchestrator that drains a
+//!   generation, ships the envelopes and boots the successor warm, keeping
+//!   the exactly-once conservation ledger intact across any resize
+//!   sequence.
+//!
+//! Every rebalance is byte-auditable: `DrainStart`, `HandoffCut`,
+//! `HandoffRestore`, `Cutover` and `RingResize` events land in the shards'
+//! journals keyed on request sequence numbers, and seeded runs reproduce
+//! bit-for-bit.
+
+pub mod delta;
+pub mod elastic;
+pub mod handoff;
+pub mod ring;
+
+pub use delta::{DeltaFrame, DELTA_MAGIC, DELTA_VERSION};
+pub use elastic::{ElasticFleet, ElasticReport, TransferStat};
+pub use handoff::{
+    HandoffError, HandoffTracker, TransferFrame, TransferPayload, TRANSFER_MAGIC, TRANSFER_VERSION,
+};
+pub use ring::{theoretical_remap, RingRouter, DEFAULT_SEED, DEFAULT_VNODES};

@@ -1,0 +1,207 @@
+//! Corpus and property tests for the handoff wire formats.
+//!
+//! The safety statement the fleet depends on: a truncated, bit-flipped,
+//! junk or wrong-generation transfer/delta frame never panics the decoder
+//! and never silently mis-restores — every failure is a typed error, and
+//! every success reconstructs the exact original bytes.
+
+use darwin_ckpt::{seal, CkptError};
+use darwin_rebalance::{
+    DeltaFrame, HandoffError, TransferFrame, TransferPayload, TRANSFER_MAGIC, TRANSFER_VERSION,
+};
+use darwin_shard::{CKPT_MAGIC, CKPT_VERSION};
+use proptest::prelude::*;
+
+/// A sealed checkpoint-shaped frame to ride inside transfer payloads.
+fn ckpt_frame(body: &[u8]) -> Vec<u8> {
+    seal(CKPT_MAGIC, CKPT_VERSION, body)
+}
+
+fn envelope(to_generation: u32, payload: TransferPayload) -> TransferFrame {
+    TransferFrame {
+        source_shard: 1,
+        target_shard: 1,
+        from_generation: to_generation.wrapping_sub(1),
+        to_generation,
+        seq: 4_000,
+        payload,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transfer envelopes round-trip exactly, for both payload kinds.
+    #[test]
+    fn transfer_roundtrip(
+        source in 0usize..64, target in 0usize..64,
+        from_gen in 0u32..=u32::MAX, seq in 0u64..=u64::MAX,
+        body in proptest::collection::vec(0u8..=255, 0..2048),
+        base_seq in 0u64..=u64::MAX, is_delta in proptest::bool::ANY,
+    ) {
+        let payload = if is_delta {
+            TransferPayload::Delta { base_seq, frame: body.clone() }
+        } else {
+            TransferPayload::Full(body.clone())
+        };
+        let t = TransferFrame {
+            source_shard: source,
+            target_shard: target,
+            from_generation: from_gen,
+            to_generation: from_gen.wrapping_add(1),
+            seq,
+            payload,
+        };
+        prop_assert_eq!(TransferFrame::from_frame(&t.to_frame()).unwrap(), t);
+    }
+
+    /// Truncating a transfer envelope at any point yields an error, never a
+    /// panic and never a decoded frame.
+    #[test]
+    fn truncated_transfer_never_decodes(
+        body in proptest::collection::vec(0u8..=255, 0..512),
+        cut in 0usize..1 << 20,
+    ) {
+        let frame = envelope(3, TransferPayload::Full(ckpt_frame(&body))).to_frame();
+        let cut = cut % frame.len(); // 0..len, strictly shorter
+        prop_assert!(TransferFrame::from_frame(&frame[..cut]).is_err());
+    }
+
+    /// A single flipped bit anywhere in a transfer envelope is caught by
+    /// the CRC (or magic/version check) — corrupted envelopes never decode.
+    #[test]
+    fn bit_flipped_transfer_never_decodes(
+        body in proptest::collection::vec(0u8..=255, 0..512),
+        pos in 0usize..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let mut frame = envelope(3, TransferPayload::Full(ckpt_frame(&body))).to_frame();
+        let pos = pos % frame.len();
+        frame[pos] ^= 1 << bit;
+        prop_assert!(TransferFrame::from_frame(&frame).is_err());
+    }
+
+    /// Arbitrary junk never decodes as a transfer envelope and never
+    /// panics the decoder.
+    #[test]
+    fn junk_never_decodes_as_transfer(junk in proptest::collection::vec(0u8..=255, 0..512)) {
+        // Skip the astronomically unlikely junk that opens with the real
+        // magic AND carries a matching CRC-64 trailer; everything else must
+        // be refused.
+        if junk.len() < 4 || junk[..4] != TRANSFER_MAGIC.to_le_bytes() {
+            prop_assert!(TransferFrame::from_frame(&junk).is_err());
+        }
+    }
+
+    /// A wrong-generation envelope is refused before any payload work —
+    /// even a perfectly valid one never restores into the wrong epoch.
+    #[test]
+    fn wrong_generation_never_resolves(
+        expect in 0u32..1 << 30,
+        skew in 1u32..1 << 30,
+        body in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let addressed = expect + skew; // always != expect
+        let t = envelope(addressed, TransferPayload::Full(ckpt_frame(&body)));
+        prop_assert_eq!(
+            t.resolve(expect, None),
+            Err(HandoffError::WrongGeneration { expected: expect, found: addressed })
+        );
+    }
+
+    /// Delta compute→apply is the identity on arbitrary image pairs, and
+    /// the sealed delta frame round-trips.
+    #[test]
+    fn delta_reconstructs_exactly(
+        base in proptest::collection::vec(0u8..=255, 0..4096),
+        target in proptest::collection::vec(0u8..=255, 0..4096),
+    ) {
+        let delta = DeltaFrame::compute(&base, &target);
+        prop_assert_eq!(delta.apply(&base).unwrap(), target.clone());
+        let reparsed = DeltaFrame::from_frame(&delta.to_frame()).unwrap();
+        prop_assert_eq!(reparsed.apply(&base).unwrap(), target);
+    }
+
+    /// A structured image pair (shared blocks + churn) still reconstructs
+    /// exactly and ships less than the full image once enough is shared.
+    #[test]
+    fn delta_on_shared_blocks_reconstructs(
+        block in proptest::collection::vec(0u8..=255, 256..512),
+        churn in proptest::collection::vec(0u8..=255, 0..128),
+        repeat in 2usize..6,
+    ) {
+        let base: Vec<u8> = block.iter().cycle().take(block.len() * repeat).copied().collect();
+        let mut target = base.clone();
+        let mid = target.len() / 2;
+        for (i, &b) in churn.iter().enumerate() {
+            target[mid + i] = b;
+        }
+        let delta = DeltaFrame::compute(&base, &target);
+        prop_assert_eq!(delta.apply(&base).unwrap(), target);
+    }
+
+    /// Applying a delta to the wrong base fails loudly — never a silent
+    /// mis-restore.
+    #[test]
+    fn delta_refuses_wrong_base(
+        base in proptest::collection::vec(0u8..=255, 1..2048),
+        target in proptest::collection::vec(0u8..=255, 0..2048),
+        pos in 0usize..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let delta = DeltaFrame::compute(&base, &target);
+        let mut wrong = base.clone();
+        let at = pos % wrong.len();
+        wrong[at] ^= 1 << bit;
+        prop_assert_eq!(delta.apply(&wrong), Err(CkptError::BadCrc));
+    }
+
+    /// Truncating or flipping a sealed delta frame yields an error, never a
+    /// panic.
+    #[test]
+    fn corrupted_delta_frame_never_decodes(
+        base in proptest::collection::vec(0u8..=255, 64..1024),
+        target in proptest::collection::vec(0u8..=255, 64..1024),
+        cut in 0usize..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let frame = DeltaFrame::compute(&base, &target).to_frame();
+        let cut_at = cut % frame.len();
+        prop_assert!(DeltaFrame::from_frame(&frame[..cut_at]).is_err());
+        let mut flipped = frame.clone();
+        flipped[cut_at] ^= 1 << bit;
+        prop_assert!(DeltaFrame::from_frame(&flipped).is_err());
+    }
+}
+
+/// Hand-built corpus: payload-tag and version corner cases the fuzz loops
+/// are unlikely to synthesize.
+#[test]
+fn corpus_of_hostile_frames() {
+    // Unknown payload opcode inside an otherwise valid sealed body.
+    let mut e = darwin_ckpt::Enc::new();
+    e.usize(0);
+    e.usize(0);
+    e.u32(1);
+    e.u32(2);
+    e.u64(10);
+    e.u8(0x7F); // no such payload tag
+    let frame = seal(TRANSFER_MAGIC, TRANSFER_VERSION, &e.into_bytes());
+    assert!(matches!(TransferFrame::from_frame(&frame), Err(CkptError::Malformed(_))));
+
+    // Right magic, wrong version.
+    let frame = seal(TRANSFER_MAGIC, TRANSFER_VERSION + 1, b"");
+    assert!(matches!(TransferFrame::from_frame(&frame), Err(CkptError::BadVersion { .. })));
+
+    // A checkpoint frame is not a transfer envelope.
+    let frame = ckpt_frame(b"shard image");
+    assert!(matches!(TransferFrame::from_frame(&frame), Err(CkptError::BadMagic { .. })));
+
+    // A resolved Full payload must itself be a sealed checkpoint frame.
+    let t = envelope(2, TransferPayload::Full(b"garbage".to_vec()));
+    assert!(matches!(t.resolve(2, None), Err(HandoffError::Frame(_))));
+
+    // Empty input.
+    assert!(TransferFrame::from_frame(&[]).is_err());
+    assert!(DeltaFrame::from_frame(&[]).is_err());
+}

@@ -140,6 +140,17 @@ impl CheckpointSlot {
         self.bufs.iter().any(|b| b.lock().expect("checkpoint buffer poisoned").is_some())
     }
 
+    /// Removes the shard's on-disk spill file (and any temp leftover). The
+    /// warm-boot path calls this only *after* a restore attempt has
+    /// resolved detected-cold, so a valid spill is never destroyed before
+    /// it had its chance to serve a boot.
+    pub fn clear_disk(&self) {
+        if let Some(path) = self.disk_path() {
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(path.with_extension("ckpt.tmp"));
+        }
+    }
+
     /// Deterministic fault injection: damages **every** candidate — both
     /// in-memory frames and the disk spill — so a subsequent restore
     /// provably falls back cold. `torn` truncates each frame to half its

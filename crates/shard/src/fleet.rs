@@ -75,7 +75,7 @@
 
 use crate::ckpt::{CheckpointSlot, ShardCheckpoint};
 use crate::fault::{FaultKind, FaultPlan, ShardFaultCursor};
-use crate::metrics::{FleetMetrics, MetricsHandle, ShardCell};
+use crate::metrics::{FleetMetrics, MetricsHandle, ShardCell, ShardPhase};
 use crate::queue::{channel, Consumer, Producer, QueueGauges};
 use crate::router::Router;
 use crate::supervisor::{RestartBudget, Supervisor, SupervisorVerdict};
@@ -196,6 +196,47 @@ impl FleetConfig {
     /// A fleet of `shards` shards with the remaining defaults.
     pub fn with_shards(shards: usize) -> Self {
         Self { shards, ..Self::default() }
+    }
+}
+
+/// How a fleet comes up: cold (the historical default), warm from each
+/// shard's spill file in `checkpoint_dir` (cross-process warm boot), or warm
+/// from explicit per-shard seed frames (an elastic-resize handoff).
+///
+/// Warm boots are *validated per shard*: a seed or spill frame that fails
+/// CRC/decode/shard-index checks makes exactly that shard boot detected-cold
+/// (its spill file is then cleared) while the rest of the fleet boots warm.
+/// A shard's spill file is never removed before its restore attempt
+/// resolves.
+#[derive(Debug, Clone, Default)]
+pub struct FleetBoot {
+    /// Spill directory for checkpoint frames (created if missing). With
+    /// `warm_boot` unset, stale spill files for this fleet's shards are
+    /// cleared up front — the historical cold-boot semantics deterministic
+    /// reruns rely on.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Attempt to restore each shard at startup instead of clearing the
+    /// spill directory.
+    pub warm_boot: bool,
+    /// Per-shard seed frames ([`ShardCheckpoint::to_frame`] bytes), indexed
+    /// by shard; `None` entries (or a short vector) leave the shard to its
+    /// spill file or a cold start. Only read when `warm_boot` is set.
+    pub seeds: Vec<Option<Vec<u8>>>,
+    /// Router generation the fleet serves under (0 is the boot generation;
+    /// the elastic rebalancer increments it per resize).
+    pub generation: u32,
+    /// True when the seeds came from a live in-process resize handoff
+    /// rather than a process restart — selects the journal flavour of
+    /// [`EventKind::HandoffRestore`], and makes missing seeds boot cold
+    /// instead of falling back to (stale, pre-resize) spill files.
+    pub handoff: bool,
+}
+
+impl FleetBoot {
+    /// Warm boot from `dir`'s spill files (the gateway's `--checkpoint-dir`
+    /// default).
+    pub fn warm_from(dir: std::path::PathBuf) -> Self {
+        Self { checkpoint_dir: Some(dir), warm_boot: true, ..Self::default() }
     }
 }
 
@@ -346,6 +387,17 @@ struct FleetCore<D, E> {
     /// Fleet-wide submission clock for the supervisors' sliding restart
     /// windows (maintained by whichever ingest front is in use).
     total_submitted: AtomicU64,
+    /// True when initial incarnations should attempt a restore (warm boot
+    /// or resize handoff) instead of starting cold.
+    warm_boot: bool,
+    /// Journal flavour of a boot restore: handoff (in-process resize) vs
+    /// warm boot (cross-process spill).
+    boot_handoff: bool,
+    /// Target shard count of a requested drain-for-handoff final cut;
+    /// `u64::MAX` means no cut was requested. Workers read it at
+    /// end-of-stream and cut a final [`ShardCheckpoint`] at the exact drain
+    /// boundary when set.
+    cut_target: Arc<AtomicU64>,
     shards: Vec<ShardState<D, E>>,
 }
 
@@ -464,6 +516,9 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> FleetCore<D, E> {
             slot: Arc::clone(&shard.slot),
             checkpoint_every: self.cfg.checkpoint_every,
             respawn,
+            boot: !respawn && self.warm_boot,
+            boot_handoff: self.boot_handoff,
+            cut_target: Arc::clone(&self.cut_target),
         };
         let handle = std::thread::Builder::new()
             .name(format!("shard-{s}"))
@@ -520,7 +575,10 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
     /// is given, each shard's latest checkpoint frame is also written to
     /// `dir/shard-{s}.ckpt` (temp-file + atomic rename); stale spill files
     /// for this fleet's shards are removed up front so a reused directory
-    /// never resurrects a previous run's state.
+    /// never resurrects a previous run's state (cold-boot semantics —
+    /// deterministic reruns rely on them). To *restore* from the spill
+    /// files instead, boot through [`with_boot`](Self::with_boot) with
+    /// [`FleetBoot::warm_boot`] set.
     pub fn with_recovery(
         cfg: FleetConfig,
         cache: CacheConfig,
@@ -529,11 +587,37 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
         fault: FaultPlan,
         checkpoint_dir: Option<std::path::PathBuf>,
     ) -> Self {
+        Self::with_boot(
+            cfg,
+            cache,
+            router,
+            factory,
+            fault,
+            FleetBoot { checkpoint_dir, ..FleetBoot::default() },
+        )
+    }
+
+    /// The full-control constructor: [`with_recovery`](Self::with_recovery)
+    /// semantics plus the warm-boot/handoff behaviour described on
+    /// [`FleetBoot`]. With `boot.warm_boot` set, each shard's initial
+    /// incarnation attempts a restore — from its validated seed frame if
+    /// one is given, else from its spill file — and falls back
+    /// detected-cold per shard on any validation failure.
+    pub fn with_boot(
+        cfg: FleetConfig,
+        cache: CacheConfig,
+        router: Box<dyn Router>,
+        factory: impl FnMut(usize) -> D + Send + 'static,
+        fault: FaultPlan,
+        boot: FleetBoot,
+    ) -> Self {
         assert!(cfg.shards > 0, "fleet needs at least one shard");
         assert!(cfg.batch > 0, "batch size must be positive");
-        if let Some(dir) = &checkpoint_dir {
+        if let Some(dir) = &boot.checkpoint_dir {
             let _ = std::fs::create_dir_all(dir);
-            crate::ckpt::clear_spill_dir(dir, cfg.shards);
+            if !boot.warm_boot {
+                crate::ckpt::clear_spill_dir(dir, cfg.shards);
+            }
         }
         let panic_at = fault.panic_indices(cfg.shards);
         let core = Arc::new(FleetCore {
@@ -542,6 +626,9 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
             factory: Mutex::new(Box::new(factory)),
             fault,
             total_submitted: AtomicU64::new(0),
+            warm_boot: boot.warm_boot,
+            boot_handoff: boot.handoff,
+            cut_target: Arc::new(AtomicU64::new(u64::MAX)),
             shards: (0..cfg.shards)
                 .map(|s| ShardState {
                     lane: Mutex::new(LaneState {
@@ -551,13 +638,38 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
                         delivered: 0,
                     }),
                     cell: Arc::new(ShardCell::new(s, Arc::new(QueueGauges::default()))),
-                    slot: Arc::new(CheckpointSlot::new(s, checkpoint_dir.clone())),
+                    slot: Arc::new(CheckpointSlot::new(s, boot.checkpoint_dir.clone())),
                 })
                 .collect(),
             cfg,
         });
-        for s in 0..core.cfg.shards {
-            let mut lane = core.shards[s].lane.lock().expect("shard lane poisoned");
+        if boot.warm_boot {
+            for (s, shard) in core.shards.iter().enumerate() {
+                match boot.seeds.get(s).and_then(|o| o.as_ref()) {
+                    Some(frame) => {
+                        // A seed only enters the slot once it decodes as
+                        // this shard's checkpoint — a corrupted or
+                        // misrouted transfer never silently mis-restores.
+                        let valid =
+                            ShardCheckpoint::from_frame(frame).map(|c| c.shard == s).unwrap_or(false);
+                        if valid {
+                            shard.slot.store(frame.clone());
+                        } else {
+                            shard.slot.clear_disk();
+                        }
+                    }
+                    // A handoff boot with no seed for this shard must come
+                    // up cold: any spill file on disk predates the resize.
+                    None if boot.handoff => shard.slot.clear_disk(),
+                    // Process warm boot: the spill file itself is the seed;
+                    // the worker validates it during its restore attempt.
+                    None => {}
+                }
+            }
+        }
+        for (s, shard) in core.shards.iter().enumerate() {
+            shard.cell.set_generation(boot.generation);
+            let mut lane = shard.lane.lock().expect("shard lane poisoned");
             core.spawn(s, &mut lane, 0, false);
         }
         Self {
@@ -697,6 +809,35 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
     /// Snapshots recorded so far.
     pub fn snapshots(&self) -> &[FleetMetrics] {
         &self.snapshots
+    }
+
+    /// The shards' checkpoint mailboxes, in shard order. A rebalancer reads
+    /// the final-cut frames out of these after
+    /// [`finish_with_cut`](Self::finish_with_cut) returns.
+    pub fn checkpoint_slots(&self) -> Vec<Arc<CheckpointSlot>> {
+        self.core.shards.iter().map(|sh| Arc::clone(&sh.slot)).collect()
+    }
+
+    /// Asks every shard to cut a final [`ShardCheckpoint`] at its
+    /// end-of-stream request-sequence boundary (during the next
+    /// [`finish`](Self::finish)) and marks the shards as draining. The cut
+    /// lands in each shard's [`CheckpointSlot`] — including its disk spill
+    /// when a checkpoint directory is configured — so a successor fleet can
+    /// restore it warm. `target_shards` is journaled with the
+    /// [`EventKind::DrainStart`] event.
+    pub fn request_final_cut(&self, target_shards: usize) {
+        self.core.cut_target.store(target_shards as u64, Ordering::Release);
+        for shard in &self.core.shards {
+            shard.cell.set_phase(ShardPhase::Draining);
+        }
+    }
+
+    /// [`request_final_cut`](Self::request_final_cut) followed by
+    /// [`finish`](Self::finish): drains the fleet and leaves each shard's
+    /// final-cut checkpoint in its slot (and spill file, when configured).
+    pub fn finish_with_cut(self, target_shards: usize) -> FleetReport<D> {
+        self.request_final_cut(target_shards);
+        self.finish()
     }
 
     /// Flushes staged work, closes the queues, joins every worker and
@@ -892,6 +1033,15 @@ struct WorkerCtx<D, E> {
     /// True when this incarnation replaces a dead one and should attempt a
     /// warm restore.
     respawn: bool,
+    /// True when this is the shard's *first* incarnation in a warm-booting
+    /// fleet and it should attempt a restore from the slot (seeded frame or
+    /// spill file) before serving.
+    boot: bool,
+    /// True when a boot-time restore stems from a live handoff (resize)
+    /// rather than a cross-process warm boot; controls the journal flavour.
+    boot_handoff: bool,
+    /// Requested final-cut target shard count; `u64::MAX` means no cut.
+    cut_target: Arc<AtomicU64>,
 }
 
 /// Attempts a warm restore from the slot's best candidate. Returns the
@@ -956,27 +1106,47 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
         slot,
         checkpoint_every,
         respawn,
+        boot,
+        boot_handoff,
+        cut_target,
     } = ctx;
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         darwin_parallel::inline_sweeps(|| {
             // Respawned incarnations try the shard's checkpoint candidates
-            // first (warm restart); validation failure of every candidate —
-            // or no checkpoint at all — falls back to the cold path. The
-            // restored metrics become this incarnation's publication *base*:
-            // the cell already holds the shard's whole pre-death history
+            // first (warm restart); first incarnations of a warm-booting
+            // fleet do the same against their seeded/spilled frame (warm
+            // boot). Validation failure of every candidate — or no
+            // checkpoint at all — falls back to the cold path. The restored
+            // metrics become this incarnation's publication *base*: the
+            // cell already holds the shard's whole pre-death history
             // (folded by the supervisor), so the incarnation must publish
             // only its increments or restored counters would double-count.
+            let attempt = respawn || boot;
+            let had_candidates = attempt && !slot.candidates().is_empty();
             let (mut server, mut current_policy, base) =
-                match respawn.then(|| try_restore(shard, &slot, &cache, &mut driver)).flatten() {
+                match attempt.then(|| try_restore(shard, &slot, &cache, &mut driver)).flatten() {
                     Some((server, policy, base, candidate, checkpoint_seq)) => {
-                        cell.record_warm_restart();
-                        cell.obs()
-                            .journal
-                            .record(start, EventKind::RestoreWarm { candidate, checkpoint_seq });
+                        if respawn {
+                            cell.record_warm_restart();
+                            cell.obs()
+                                .journal
+                                .record(start, EventKind::RestoreWarm { candidate, checkpoint_seq });
+                        } else {
+                            cell.record_warm_boot();
+                            cell.obs().journal.record(
+                                start,
+                                EventKind::HandoffRestore { checkpoint_seq, warm_boot: !boot_handoff },
+                            );
+                        }
                         (server, policy, base)
                     }
                     None => {
-                        if respawn {
+                        // A failed boot attempt detects cold: drop the
+                        // invalid spill so a later restart can't retry it.
+                        if boot && !respawn {
+                            slot.clear_disk();
+                        }
+                        if respawn || had_candidates {
                             cell.obs().journal.record(start, EventKind::RestoreCold);
                         }
                         (CacheServer::new(cache), driver.initial_policy(), CacheMetrics::default())
@@ -1098,6 +1268,30 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
             cell.publish(server.metrics().diff(&base), processed, server.policy_label());
             if let Some(done) = switch_cost.finish(start + processed) {
                 cell.obs().journal.record(done.seq, done.kind);
+            }
+            // Final cut for a live handoff: the producer side has closed the
+            // queue, so `start + processed` is the exact request-sequence
+            // boundary every shard cuts at — the same cut a paused
+            // sequential run would make. Journaled here (not by the
+            // resizer) because only the worker knows the boundary.
+            let target = cut_target.load(Ordering::Acquire);
+            if target != u64::MAX {
+                if let Some(dstate) = driver.save_state() {
+                    let seq = start + processed;
+                    cell.obs()
+                        .journal
+                        .record(seq, EventKind::DrainStart { target_shards: target as u32 });
+                    let ckpt = ShardCheckpoint {
+                        shard,
+                        seq,
+                        policy: current_policy,
+                        cache: server.save_state(),
+                        driver: dstate,
+                    };
+                    slot.store(ckpt.to_frame());
+                    cell.record_checkpoint(seq);
+                    cell.obs().journal.record(seq, EventKind::HandoffCut { checkpoint_seq: seq });
+                }
             }
             WorkerResult {
                 hoc_used_bytes: server.hoc_used_bytes(),

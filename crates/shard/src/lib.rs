@@ -74,10 +74,13 @@ pub use ckpt::{CheckpointSlot, ShardCheckpoint, CKPT_MAGIC, CKPT_VERSION};
 pub use darwin_obs::{Event, EventKind, JournalSnapshot, LatencySnapshot};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fleet::{
-    Backpressure, Envelope, FleetConfig, FleetIngest, FleetProducer, FleetReport, ShardOutcome,
-    ShardedFleet, Verdict,
+    Backpressure, Envelope, FleetBoot, FleetConfig, FleetIngest, FleetProducer, FleetReport,
+    ShardOutcome, ShardedFleet, Verdict,
 };
-pub use metrics::{FleetMetrics, GatewaySnapshot, MetricsHandle, ShardCell, ShardSnapshot};
+pub use metrics::{
+    FleetMetrics, GatewaySnapshot, GenerationSummary, MetricsHandle, ShardCell, ShardPhase,
+    ShardSnapshot,
+};
 pub use queue::{channel, Consumer, Producer, QueueGauges};
 pub use replay::{partition, run_partition, run_sequential, ShardRun};
 pub use router::{HashRouter, ModuloRouter, Router};

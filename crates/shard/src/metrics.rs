@@ -19,8 +19,64 @@ use crate::queue::QueueGauges;
 use darwin_cache::CacheMetrics;
 use darwin_obs::{Event, JournalSnapshot, LatencySnapshot, ShardObs};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Lifecycle phase of a shard during an elastic rebalance. Phases only ever
+/// advance (Serving → Draining → Transferring → Retired); the rebalancer's
+/// handoff tracker enforces that ordering and mirrors the phase into the
+/// shard's [`ShardCell`] so snapshots and dashboards can show drain state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardPhase {
+    /// Normal operation: the shard accepts and serves requests.
+    Serving,
+    /// A resize began: the shard's queue is draining toward a final
+    /// handoff checkpoint; no new requests are routed to it.
+    Draining,
+    /// The drain boundary checkpoint was cut and is being shipped to the
+    /// shard's successor; the old state still answers metrics reads.
+    Transferring,
+    /// The successor took over (cutover); this incarnation is history.
+    Retired,
+}
+
+impl ShardPhase {
+    /// Compact code stored in the cell's atomic (0..=3).
+    pub fn code(self) -> u8 {
+        match self {
+            ShardPhase::Serving => 0,
+            ShardPhase::Draining => 1,
+            ShardPhase::Transferring => 2,
+            ShardPhase::Retired => 3,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for out-of-range codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ShardPhase::Serving),
+            1 => Some(ShardPhase::Draining),
+            2 => Some(ShardPhase::Transferring),
+            3 => Some(ShardPhase::Retired),
+            _ => None,
+        }
+    }
+
+    /// Stable snapshot/dashboard label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardPhase::Serving => "serving",
+            ShardPhase::Draining => "draining",
+            ShardPhase::Transferring => "transferring",
+            ShardPhase::Retired => "retired",
+        }
+    }
+
+    /// True when `to` is the next phase in the one-way handoff order.
+    pub fn can_advance_to(self, to: ShardPhase) -> bool {
+        to.code() == self.code() + 1
+    }
+}
 
 /// Point-in-time view of one shard.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,10 +100,26 @@ pub struct ShardSnapshot {
     /// `<= restarts`; the difference is the cold-restart count.
     #[serde(default)]
     pub warm_restarts: u32,
+    /// Warm *boots*: incarnations that restored state shipped across a
+    /// process or generation boundary (a `--checkpoint-dir` spill file or a
+    /// resize handoff) rather than surviving an in-process crash. Disjoint
+    /// from `warm_restarts`, which still partitions `restarts` with the
+    /// cold count.
+    #[serde(default)]
+    pub warm_boots: u32,
+    /// Router generation this shard serves under (0 before any resize; each
+    /// elastic resize spawns the next generation).
+    #[serde(default)]
+    pub router_generation: u32,
     /// True once the shard is permanently dead (restart budget exhausted or
     /// a terminal end-of-stream panic).
     #[serde(default)]
     pub dead: bool,
+    /// Handoff phase label (`serving` / `draining` / `transferring` /
+    /// `retired`); empty in snapshots written before the elastic-fleet
+    /// subsystem (read as `serving`).
+    #[serde(default)]
+    pub phase: String,
     /// Per-shard sequence number of the latest stored checkpoint, if any.
     #[serde(default)]
     pub checkpoint_seq: Option<u64>,
@@ -101,6 +173,13 @@ impl ShardSnapshot {
         self.unavailable += other.unavailable;
         self.restarts += other.restarts;
         self.warm_restarts += other.warm_restarts;
+        self.warm_boots += other.warm_boots;
+        // The phase follows the newest generation (a retired generation's
+        // archive must not mask the live incarnation's state).
+        if other.router_generation >= self.router_generation && !other.phase.is_empty() {
+            self.phase = other.phase.clone();
+        }
+        self.router_generation = self.router_generation.max(other.router_generation);
         self.dead |= other.dead;
         self.checkpoint_seq = self.checkpoint_seq.max(other.checkpoint_seq);
         self.checkpoint_age = self.checkpoint_age.max(other.checkpoint_age);
@@ -154,11 +233,39 @@ pub struct GatewaySnapshot {
     pub bytes_out: u64,
 }
 
+/// Per-generation roll-up of one fleet incarnation's ledger, recorded by
+/// the rebalancer when the generation retires (and for the live one on
+/// demand). Lets STATS consumers audit restart/warm counters across a
+/// shard-count change instead of assuming a fixed `shards` vector length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerationSummary {
+    /// Router generation (0 is the boot generation).
+    pub generation: u32,
+    /// Shard count this generation served with.
+    pub shards: u32,
+    /// Requests processed by this generation.
+    pub processed: u64,
+    /// Requests dropped by this generation.
+    pub dropped: u64,
+    /// Requests answered `Unavailable` by this generation.
+    pub unavailable: u64,
+    /// Restarts granted within this generation.
+    pub restarts: u32,
+    /// Warm restarts within this generation.
+    pub warm_restarts: u32,
+    /// Warm boots (handoff or spill restores) within this generation.
+    pub warm_boots: u32,
+}
+
 /// Point-in-time view of the whole fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetMetrics {
     /// Per-shard snapshots, indexed by shard.
     pub shards: Vec<ShardSnapshot>,
+    /// Per-generation ledgers, oldest first, populated by the elastic
+    /// rebalancer (empty for fixed fleets and pre-elastic artifacts).
+    #[serde(default)]
+    pub generations: Vec<GenerationSummary>,
     /// Network front-end counters, when the snapshot was taken through a
     /// gateway.
     pub gateway: Option<GatewaySnapshot>,
@@ -167,7 +274,7 @@ pub struct FleetMetrics {
 impl FleetMetrics {
     /// A snapshot of `shards` with no gateway in front.
     pub fn from_shards(shards: Vec<ShardSnapshot>) -> Self {
-        Self { shards, gateway: None }
+        Self { shards, generations: Vec::new(), gateway: None }
     }
 
     /// Folds a gateway's counters into the snapshot.
@@ -204,6 +311,9 @@ impl FleetMetrics {
             }
         }
         self.shards.sort_by_key(|s| s.shard);
+        self.generations.extend(other.generations);
+        self.generations.sort_by_key(|g| g.generation);
+        self.generations.dedup_by_key(|g| g.generation);
         self.gateway = match (self.gateway, other.gateway) {
             (Some(a), Some(b)) => Some(GatewaySnapshot {
                 connections_accepted: a.connections_accepted + b.connections_accepted,
@@ -263,6 +373,20 @@ impl FleetMetrics {
         self.shards.iter().map(|s| s.cold_restarts()).sum()
     }
 
+    /// Warm boots across the fleet: restores shipped across a process or
+    /// generation boundary (spill-file boots plus resize handoffs).
+    pub fn total_warm_boots(&self) -> u32 {
+        self.shards.iter().map(|s| s.warm_boots).sum()
+    }
+
+    /// Highest router generation any shard reports (the currently serving
+    /// generation after merging a retired archive with the live fleet).
+    pub fn router_generation(&self) -> u32 {
+        let live = self.shards.iter().map(|s| s.router_generation).max().unwrap_or(0);
+        let archived = self.generations.iter().map(|g| g.generation).max().unwrap_or(0);
+        live.max(archived)
+    }
+
     /// Largest checkpoint age across shards: the most work any one shard
     /// would lose to a crash right now, even restoring warm.
     pub fn max_checkpoint_age(&self) -> u64 {
@@ -308,6 +432,13 @@ impl MetricsHandle {
         self.cells.len()
     }
 
+    /// The underlying shard cells, in shard order. The elastic rebalancer
+    /// uses these to journal fleet-level events (drain, cutover, resize)
+    /// and to mirror handoff phases into snapshots.
+    pub fn cells(&self) -> &[Arc<ShardCell>] {
+        &self.cells
+    }
+
     /// Point-in-time fleet snapshot.
     pub fn snapshot(&self) -> FleetMetrics {
         FleetMetrics::from_shards(self.cells.iter().map(|c| c.snapshot()).collect())
@@ -348,6 +479,11 @@ pub struct ShardCell {
     unavailable: AtomicU64,
     restarts: AtomicU32,
     warm_restarts: AtomicU32,
+    warm_boots: AtomicU32,
+    /// Router generation the shard serves under (set once at fleet build).
+    generation: AtomicU32,
+    /// Handoff phase code ([`ShardPhase::code`]).
+    phase: AtomicU8,
     /// Sequence number of the latest stored checkpoint; `u64::MAX` is the
     /// "none yet" sentinel (a real sequence of `u64::MAX` is unreachable).
     ckpt_seq: AtomicU64,
@@ -373,6 +509,9 @@ impl ShardCell {
             unavailable: AtomicU64::new(0),
             restarts: AtomicU32::new(0),
             warm_restarts: AtomicU32::new(0),
+            warm_boots: AtomicU32::new(0),
+            generation: AtomicU32::new(0),
+            phase: AtomicU8::new(ShardPhase::Serving.code()),
             ckpt_seq: AtomicU64::new(u64::MAX),
             dead: AtomicBool::new(false),
             high_water_floor: AtomicUsize::new(0),
@@ -487,6 +626,38 @@ impl ShardCell {
         self.warm_restarts.load(Ordering::Relaxed)
     }
 
+    /// Worker side, at boot: records a restore shipped across a process or
+    /// generation boundary (spill-file warm boot or resize handoff).
+    pub fn record_warm_boot(&self) {
+        self.warm_boots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Warm boots recorded so far.
+    pub fn warm_boots(&self) -> u32 {
+        self.warm_boots.load(Ordering::Relaxed)
+    }
+
+    /// Sets the router generation this cell reports under (fleet build).
+    pub fn set_generation(&self, generation: u32) {
+        self.generation.store(generation, Ordering::Relaxed);
+    }
+
+    /// Router generation this cell reports under.
+    pub fn generation(&self) -> u32 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Advances the shard's handoff phase (no ordering enforcement here —
+    /// the rebalancer's tracker owns the state machine).
+    pub fn set_phase(&self, phase: ShardPhase) {
+        self.phase.store(phase.code(), Ordering::Relaxed);
+    }
+
+    /// The shard's current handoff phase.
+    pub fn phase(&self) -> ShardPhase {
+        ShardPhase::from_code(self.phase.load(Ordering::Relaxed)).unwrap_or(ShardPhase::Serving)
+    }
+
     /// Worker side: records a stored checkpoint covering the shard's first
     /// `seq` requests.
     pub fn record_checkpoint(&self, seq: u64) {
@@ -528,7 +699,10 @@ impl ShardCell {
             unavailable: self.unavailable(),
             restarts: self.restarts(),
             warm_restarts: self.warm_restarts(),
+            warm_boots: self.warm_boots(),
+            router_generation: self.generation(),
             dead: self.is_dead(),
+            phase: self.phase().label().to_string(),
             checkpoint_seq,
             checkpoint_age: checkpoint_seq.map_or(0, |s| processed_total.saturating_sub(s)),
             queue_depth: gauges.depth(),
@@ -554,7 +728,10 @@ mod tests {
             unavailable: 0,
             restarts: 0,
             warm_restarts: 0,
+            warm_boots: 0,
+            router_generation: 0,
             dead: false,
+            phase: String::new(),
             checkpoint_seq: None,
             checkpoint_age: 0,
             queue_depth: 0,
@@ -628,11 +805,15 @@ mod tests {
             "\"unavailable\": 0,",
             "\"restarts\": 0,",
             "\"warm_restarts\": 0,",
+            "\"warm_boots\": 0,",
+            "\"router_generation\": 0,",
             "\"dead\": false,",
+            "\"phase\": \"\",",
             "\"checkpoint_seq\": null,",
             "\"checkpoint_age\": 0,",
             "\"latency\": null,",
             "\"events_dropped\": 0,",
+            "\"generations\": [],",
         ] {
             assert!(json.contains(gone), "field {gone} missing from JSON");
             json = json.replacen(gone, "", 1);
@@ -660,6 +841,99 @@ mod tests {
             fm.total_restarts(),
             "warm + cold must always equal the total"
         );
+    }
+
+    #[test]
+    fn phases_advance_one_way_and_roundtrip_codes() {
+        use ShardPhase::*;
+        for p in [Serving, Draining, Transferring, Retired] {
+            assert_eq!(ShardPhase::from_code(p.code()), Some(p));
+        }
+        assert_eq!(ShardPhase::from_code(4), None);
+        assert!(Serving.can_advance_to(Draining));
+        assert!(Draining.can_advance_to(Transferring));
+        assert!(Transferring.can_advance_to(Retired));
+        assert!(!Serving.can_advance_to(Transferring), "no phase skipping");
+        assert!(!Retired.can_advance_to(Serving), "no resurrection");
+        assert!(!Draining.can_advance_to(Serving), "no going back");
+    }
+
+    #[test]
+    fn absorb_tracks_generation_phase_and_warm_boots() {
+        // Archive of the retired generation 0 merged with the live
+        // generation 1: counters sum, the phase follows the newer
+        // generation, and the generation gauge takes the max.
+        let mut retired = snap(0, 100, 40);
+        retired.router_generation = 0;
+        retired.phase = "retired".into();
+        retired.warm_boots = 0;
+        let mut live = snap(0, 60, 20);
+        live.router_generation = 1;
+        live.phase = "serving".into();
+        live.warm_boots = 1;
+        retired.absorb(&live);
+        assert_eq!(retired.processed, 160);
+        assert_eq!(retired.warm_boots, 1);
+        assert_eq!(retired.router_generation, 1);
+        assert_eq!(retired.phase, "serving", "live generation's phase wins");
+
+        // Absorbing an *older* generation's archive must not regress the
+        // live phase either.
+        let mut live2 = snap(1, 10, 5);
+        live2.router_generation = 2;
+        live2.phase = "serving".into();
+        let mut old = snap(1, 30, 5);
+        old.router_generation = 1;
+        old.phase = "retired".into();
+        live2.absorb(&old);
+        assert_eq!(live2.phase, "serving");
+        assert_eq!(live2.router_generation, 2);
+    }
+
+    #[test]
+    fn generation_summaries_merge_and_survive_json() {
+        let summary = |g: u32, shards: u32, processed: u64| GenerationSummary {
+            generation: g,
+            shards,
+            processed,
+            dropped: 0,
+            unavailable: 0,
+            restarts: 0,
+            warm_restarts: 0,
+            warm_boots: shards,
+        };
+        let mut a = FleetMetrics::from_shards(vec![snap(0, 100, 40)]);
+        a.generations.push(summary(0, 4, 50));
+        let mut b = FleetMetrics::from_shards(vec![snap(1, 10, 1)]);
+        b.generations.push(summary(1, 8, 50));
+        b.generations.push(summary(0, 4, 50)); // duplicate: deduped, not doubled
+        let merged = a.merge(b);
+        assert_eq!(
+            merged.generations.iter().map(|g| g.generation).collect::<Vec<_>>(),
+            vec![0, 1],
+            "generations dedupe by id and sort"
+        );
+        assert_eq!(merged.generations[1].shards, 8);
+        let back = FleetMetrics::from_json(&merged.to_json()).unwrap();
+        assert_eq!(back, merged);
+        assert_eq!(back.router_generation(), 1);
+        assert_eq!(back.total_warm_boots(), 0);
+    }
+
+    #[test]
+    fn cell_reports_generation_phase_and_warm_boots() {
+        let cell = ShardCell::new(2, Arc::new(QueueGauges::default()));
+        assert_eq!(cell.generation(), 0);
+        assert_eq!(cell.phase(), ShardPhase::Serving);
+        cell.set_generation(3);
+        cell.set_phase(ShardPhase::Draining);
+        cell.record_warm_boot();
+        let s = cell.snapshot();
+        assert_eq!(s.router_generation, 3);
+        assert_eq!(s.phase, "draining");
+        assert_eq!(s.warm_boots, 1);
+        assert_eq!(s.warm_restarts, 0, "a boot is not a restart");
+        assert_eq!(s.restarts, 0);
     }
 
     #[test]

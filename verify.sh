@@ -70,6 +70,22 @@ else
         }' target/shard_smoke/BENCH_shard.json
 fi
 
+echo "== rebalance: 4->8->4 resize equivalence (ledger, journal, bitwise reruns) =="
+cargo test -p darwin-rebalance --test resize -q
+
+echo "== rebalance bench smoke (zero Unavailable, dip recovered within one checkpoint window) =="
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -le 1 ]; then
+    echo "   skipped: $cores core visible — the live elastic fleet needs cores to spare"
+else
+    cargo run --release -p darwin-bench --bin experiments -- rebalance --out target/rebalance_smoke
+    awk '
+        /"unavailable":/ { gsub(/[",]/, ""); if ($2 + 0 > 0) { print "   FAIL: Unavailable verdicts during resize"; exit 1 } }
+        /"conserved":/   { gsub(/[",]/, ""); if ($2 != "true") { print "   FAIL: conservation ledger broken"; exit 1 } seen = 1 }
+        END { if (!seen) { print "   missing conserved field"; exit 1 } print "   conservation + recovery asserts held (see BENCH_rebalance.json)" }
+    ' target/rebalance_smoke/BENCH_rebalance.json
+fi
+
 echo "== rustdoc (--no-deps, warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
