@@ -6,7 +6,7 @@
 //! what: all | fig2 | fig4a | fig4b | fig4c | fig5a | fig5b | fig5c | fig5d
 //!     | fig6 | fig7a | fig7b | table2 | fig8 | fig9 | fig10 | fig11
 //!     | ablations | timeline | hindsight | shard | gateway | chaos | recovery
-//!     | switching | rebalance
+//!     | switching | rebalance | overload
 //! ```
 //!
 //! `--scale 1` (default) is the laptop configuration; larger factors move
@@ -18,15 +18,15 @@
 
 use darwin::offline::OfflineTrainer;
 use darwin_bench::experiments::{
-    ablations, chaos, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, rebalance, recovery,
-    shard, switching, table2, timeline,
+    ablations, chaos, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, overload, rebalance,
+    recovery, shard, switching, table2, timeline,
 };
 use darwin_bench::{Scale, SharedContext};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos|recovery|switching|rebalance> [--scale N] [--out DIR] [--cache] [--resize-to M]"
+        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos|recovery|switching|rebalance|overload> [--scale N] [--out DIR] [--cache] [--resize-to M]"
     );
     std::process::exit(2);
 }
@@ -93,6 +93,7 @@ fn main() {
         "recovery",
         "switching",
         "rebalance",
+        "overload",
     ];
     if !KNOWN.contains(&what.as_str()) {
         eprintln!("unknown experiment {what:?}");
@@ -126,6 +127,10 @@ fn main() {
     }
     if what == "rebalance" {
         rebalance::run_with(&scale, &out, resize_to);
+        return;
+    }
+    if what == "overload" {
+        overload::run(&scale, &out);
         return;
     }
 
@@ -171,6 +176,7 @@ fn main() {
         "recovery" => recovery::run(&scale, &out),
         "switching" => switching::run(&scale, &out),
         "rebalance" => rebalance::run_with(&scale, &out, resize_to),
+        "overload" => overload::run(&scale, &out),
         _ => usage(),
     };
 
@@ -201,6 +207,7 @@ fn main() {
             "recovery",
             "switching",
             "rebalance",
+            "overload",
         ] {
             let t = std::time::Instant::now();
             eprintln!("\n[experiments] ===== {name} =====");

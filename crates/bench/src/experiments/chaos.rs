@@ -160,6 +160,7 @@ pub fn run(scale: &Scale, out: &Path) {
                 snapshot_every: None,
                 restart_budget: sc.budget,
                 checkpoint_every: None,
+                shed_watermark: None,
             },
             cache.clone(),
             Box::new(HashRouter),

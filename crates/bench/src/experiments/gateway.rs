@@ -107,6 +107,7 @@ pub fn run(scale: &Scale, out: &Path) {
                         snapshot_every: None,
                         restart_budget: Default::default(),
                         checkpoint_every: None,
+                        shed_watermark: None,
                     },
                     cache.clone(),
                     Box::new(HashRouter),

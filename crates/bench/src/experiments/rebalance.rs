@@ -163,6 +163,7 @@ fn fleet_cfg(shards: usize, checkpoint_every: u64) -> FleetConfig {
         snapshot_every: None,
         restart_budget: Default::default(),
         checkpoint_every: Some(checkpoint_every),
+        shed_watermark: None,
     }
 }
 

@@ -193,6 +193,7 @@ fn fleet_run(
             snapshot_every: None,
             restart_budget: Default::default(),
             checkpoint_every: ckpt_every,
+            shed_watermark: None,
         },
         cache.clone(),
         Box::new(HashRouter),

@@ -160,6 +160,7 @@ fn live_run(
             snapshot_every: None,
             restart_budget: Default::default(),
             checkpoint_every: None,
+            shed_watermark: None,
         },
         cache.clone(),
         Box::new(HashRouter),

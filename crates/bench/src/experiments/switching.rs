@@ -154,6 +154,7 @@ pub fn run(scale: &Scale, out: &Path) {
             snapshot_every: None,
             restart_budget: Default::default(),
             checkpoint_every: None,
+            shed_watermark: None,
         },
         CacheConfig { hoc_bytes: 2 * 1024 * 1024, ..CacheConfig::small_test() },
         Box::new(HashRouter),

@@ -27,6 +27,7 @@ pub mod experiments {
     pub mod fig8_11;
     pub mod gateway;
     pub mod hindsight;
+    pub mod overload;
     pub mod rebalance;
     pub mod recovery;
     pub mod shard;

@@ -68,11 +68,14 @@ pub fn render(
             .as_ref()
             .map(|l| (fmt_ns(l.serve.quantile(50.0)), fmt_ns(l.serve.quantile(99.0))))
             .unwrap_or_else(|| ("-".into(), "-".into()));
-        // Dead beats drain phase: a buried shard is DEAD whatever its phase
-        // said; otherwise show where the shard sits in the handoff state
-        // machine (serving / draining / transferring / retired).
+        // Dead beats drain phase; an engaged shed watermark beats "serving"
+        // (overload is exactly what a watcher is looking for); otherwise
+        // show where the shard sits in the handoff state machine
+        // (serving / draining / transferring / retired).
         let state = if s.dead {
             "DEAD"
+        } else if s.shedding {
+            "SHED"
         } else if s.phase.is_empty() {
             "serving"
         } else {
@@ -95,10 +98,11 @@ pub fn render(
     }
     let _ = writeln!(
         out,
-        "fleet: processed {} dropped {} unavailable {} ohr {:.4}",
+        "fleet: processed {} dropped {} unavailable {} shed {} ohr {:.4}",
         cur.total_processed(),
         cur.total_dropped(),
         cur.total_unavailable(),
+        cur.total_shed(),
         cur.fleet_cache().hoc_ohr(),
     );
     if let Some(gw) = &cur.gateway {
@@ -111,6 +115,15 @@ pub fn render(
             gw.frames_rejected,
             gw.stats_served,
             gw.events_served,
+        );
+        let _ = writeln!(
+            out,
+            "overload: gw-shed {} throttled {} slow-closed {} net-faults {}, {} shard(s) shedding",
+            gw.shed,
+            gw.throttled,
+            gw.slow_closed,
+            gw.net_faults,
+            cur.shedding_shards(),
         );
     }
 
@@ -165,6 +178,8 @@ mod tests {
             checkpoint_age: 10,
             queue_depth: 3,
             queue_high_water: 9,
+            shed: 0,
+            shedding: false,
             cache: CacheMetrics::default(),
             policy: "static".into(),
             latency: Some(latency),
@@ -218,6 +233,29 @@ mod tests {
         assert!(frame.contains("events (last 4 of 20, 2 dropped):"));
         assert!(!frame.contains("seq=15"), "older events trimmed:\n{frame}");
         assert!(frame.contains("seq=19"), "newest events kept:\n{frame}");
+    }
+
+    #[test]
+    fn render_surfaces_overload_state() {
+        let mut s = shard(0, 100);
+        s.shedding = true;
+        s.shed = 42;
+        s.phase = String::new();
+        let cur = FleetMetrics::from_shards(vec![s]).with_gateway(darwin_shard::GatewaySnapshot {
+            shed: 7,
+            throttled: 3,
+            slow_closed: 1,
+            net_faults: 2,
+            ..Default::default()
+        });
+        let frame = render(None, &cur, &[], Duration::from_secs(1), 8);
+        assert!(frame.contains("SHED"), "engaged watermark surfaces as state:\n{frame}");
+        assert!(frame.contains("shed 42"), "fleet shed total rendered:\n{frame}");
+        assert!(
+            frame.contains("overload: gw-shed 7 throttled 3 slow-closed 1 net-faults 2"),
+            "gateway overload line rendered:\n{frame}"
+        );
+        assert!(frame.contains("1 shard(s) shedding"), "shedding gauge rendered:\n{frame}");
     }
 
     #[test]

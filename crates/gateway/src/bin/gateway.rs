@@ -8,6 +8,7 @@
 //!         [--checkpoint-every N] [--checkpoint-dir DIR] [--cold-boot]
 //!         [--router ring|hash] [--vnodes N]
 //!         [--read-timeout-ms N] [--idle-timeout-ms N]
+//!         [--shed-watermark N] [--conn-rate N] [--write-stall-ms N]
 //! ```
 //!
 //! Serves until a client sends `SHUTDOWN` (e.g. `loadgen --shutdown`), then
@@ -27,6 +28,12 @@
 //! (`--vnodes` virtual nodes per shard) so a later fleet at a different
 //! shard count remaps only `|M−N|/max(N,M)` of the keyspace; the default
 //! `hash` router keeps the historical fixed-fleet routing.
+//!
+//! Overload control: `--shed-watermark N` sheds whole ingest batches with
+//! `Busy` verdicts while a shard's queue sits at N or more requests
+//! (recovering at N/2); `--conn-rate N` caps each connection at N records
+//! per second via a token bucket (excess answered `Busy`); and
+//! `--write-stall-ms N` evicts clients that stop reading replies for N ms.
 
 use darwin_cache::{CacheConfig, ThresholdPolicy};
 use darwin_gateway::{Gateway, GatewayConfig};
@@ -49,6 +56,7 @@ fn main() {
     let mut checkpoint_every: Option<u64> = None;
     let mut router = "hash".to_string();
     let mut vnodes = DEFAULT_VNODES;
+    let mut shed_watermark: Option<usize> = None;
     let mut gw = GatewayConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -119,6 +127,18 @@ fn main() {
                 i += 1;
                 gw.idle_timeout = Some(Duration::from_millis(args[i].parse().expect("idle timeout ms")));
             }
+            "--shed-watermark" => {
+                i += 1;
+                shed_watermark = Some(args[i].parse().expect("shed watermark"));
+            }
+            "--conn-rate" => {
+                i += 1;
+                gw.conn_rate = Some(args[i].parse().expect("records per second"));
+            }
+            "--write-stall-ms" => {
+                i += 1;
+                gw.write_stall = Some(Duration::from_millis(args[i].parse().expect("write stall ms")));
+            }
             other => panic!("unknown arg {other}"),
         }
         i += 1;
@@ -132,6 +152,7 @@ fn main() {
         snapshot_every: None,
         restart_budget,
         checkpoint_every,
+        shed_watermark,
     };
     let cache = CacheConfig { hoc_bytes: hoc_mb * 1024 * 1024, ..CacheConfig::paper_default() };
     let policy = ThresholdPolicy::new(freq, size_kb * 1024);
@@ -156,10 +177,11 @@ fn main() {
     let report = gateway.finish().expect("gateway finished cleanly");
     println!("{}", metrics.to_json());
     println!(
-        "served {} requests ({} dropped, {} unavailable), fleet OHR {:.4}, {} restart(s) ({} warm), {} dead shard(s)",
+        "served {} requests ({} dropped, {} unavailable, {} shed), fleet OHR {:.4}, {} restart(s) ({} warm), {} dead shard(s)",
         report.total_processed(),
         report.total_dropped(),
         report.total_unavailable(),
+        report.total_shed(),
         report.fleet_cache().hoc_ohr(),
         report.total_restarts(),
         report.total_warm_restarts(),

@@ -112,6 +112,7 @@ fn main() {
         "errors: connect_failures={} timeouts={} resets={} other_io={} reconnects={} resubmitted={}",
         e.connect_failures, e.timeouts, e.resets, e.other_io, e.reconnects, e.resubmitted,
     );
+    println!("overload: shed={} (Busy records retried to completion)", e.shed);
 
     if stats {
         println!("{}", loadgen::fetch_stats(addr.as_str()).expect("fetch stats"));

@@ -90,6 +90,16 @@ impl ConnSink {
         self.cv.notify_one();
     }
 
+    /// Reader side: how many frames are still unanswered or unwritten if
+    /// the next frame gets sequence number `seq`. This bounds the sink's
+    /// reorder/reply memory: when the backlog reaches the gateway's cap the
+    /// reader answers new `GET` frames `Busy` without submitting them, so a
+    /// client that pipelines faster than it reads cannot grow the reply
+    /// buffer without bound.
+    pub(crate) fn backlog(&self, seq: u64) -> u64 {
+        seq - self.state.lock().expect("sink poisoned").next_write
+    }
+
     /// Writer side: blocks for the next run of consecutive ready replies.
     /// Returns `None` once the sink is aborted or drained through `end_seq`.
     fn next_run(&self) -> Option<Vec<Reply>> {
@@ -135,14 +145,33 @@ impl Drop for SinkGuard {
 pub(crate) struct WriterStats {
     pub(crate) bytes_out: u64,
     pub(crate) verdicts_out: u64,
+    /// True when the writer gave up on a stalled client: a reply write sat
+    /// in the socket buffer past the write-stall budget because the peer
+    /// stopped reading. The connection was torn down (slow-client
+    /// eviction).
+    pub(crate) stalled: bool,
 }
 
 /// The writer loop: drains the sink in sequence order, encoding each run of
 /// ready replies into one buffer and writing it with a single syscall (the
 /// protocol's batched-write path). Exits on sink abort/drain or the first
 /// write error (client disconnected).
-pub(crate) fn writer_loop(sink: &ConnSink, mut stream: TcpStream) -> WriterStats {
-    let mut stats = WriterStats { bytes_out: 0, verdicts_out: 0 };
+///
+/// With `write_stall` set, writes carry a socket timeout: a client that
+/// stops reading replies (slowloris) stalls the write until the OS buffers
+/// fill and the timeout expires, at which point the writer reports
+/// `stalled`, aborts the sink and shuts the whole socket down — which also
+/// unblocks the reader, so one stuck client cannot pin its connection
+/// threads or grow reply memory forever.
+pub(crate) fn writer_loop(
+    sink: &ConnSink,
+    mut stream: TcpStream,
+    write_stall: Option<std::time::Duration>,
+) -> WriterStats {
+    let mut stats = WriterStats { bytes_out: 0, verdicts_out: 0, stalled: false };
+    if write_stall.is_some() {
+        let _ = stream.set_write_timeout(write_stall);
+    }
     let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
     while let Some(run) = sink.next_run() {
         out.clear();
@@ -157,8 +186,15 @@ pub(crate) fn writer_loop(sink: &ConnSink, mut stream: TcpStream) -> WriterStats
                 Reply::ShutdownAck => encode(&Message::ShutdownAck, &mut out),
             }
         }
-        if stream.write_all(&out).is_err() {
+        if let Err(e) = stream.write_all(&out) {
+            stats.stalled =
+                matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut);
             sink.abort();
+            if stats.stalled {
+                // Evict the slow client: closing both directions makes the
+                // reader's next recv fail, tearing the connection down.
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
             return stats;
         }
         stats.bytes_out += out.len() as u64;
@@ -236,6 +272,14 @@ impl Envelope for GatewayEnvelope {
             batch.fill(index, WireVerdict::UNAVAILABLE.to_byte());
         }
     }
+
+    fn shed(mut self, retry_after: u8) {
+        // Overload shedding: the record is answered `Busy` with the fleet's
+        // retry hint, not `Dropped` — the client is expected to resubmit.
+        if let Some((batch, index)) = self.slot.take() {
+            batch.fill(index, WireVerdict::busy(retry_after).to_byte());
+        }
+    }
 }
 
 impl Drop for GatewayEnvelope {
@@ -302,6 +346,22 @@ mod tests {
                     crate::wire::VerdictOutcome::HocHit
                 );
                 assert_eq!(WireVerdict::from_byte(bytes[1]).unwrap(), WireVerdict::DROPPED);
+            }
+            _ => panic!("expected one reply"),
+        }
+    }
+
+    #[test]
+    fn shed_envelope_files_busy_verdict_with_hint() {
+        let sink = Arc::new(ConnSink::new());
+        let batch = PendingBatch::new(0, Arc::clone(&sink), 1);
+        let env = GatewayEnvelope::new(Request::new(1, 10, 0), Arc::clone(&batch), 0);
+        env.shed(3);
+        match drain_ready(&sink).as_slice() {
+            [Reply::Verdicts(bytes)] => {
+                let v = WireVerdict::from_byte(bytes[0]).unwrap();
+                assert_eq!(v, WireVerdict::busy(3));
+                assert_eq!(v.retry_after, 3);
             }
             _ => panic!("expected one reply"),
         }

@@ -23,6 +23,10 @@
 //!   reports throughput and latency percentiles (log-bucketed
 //!   [`darwin_obs`] histograms), plus one-shot [`loadgen::fetch_stats`] /
 //!   [`loadgen::fetch_events`] monitoring clients.
+//! * [`netfault`] — a deterministic transport-fault injector
+//!   ([`netfault::NetFaultPlan`]): scripted connection resets, stalls,
+//!   frame corruption and accept pauses keyed off frame sequence numbers,
+//!   for bit-for-bit reproducible hostile-network runs.
 //!
 //! The contract inherited from `darwin-shard` is preserved end to end: a
 //! trace served through a loopback gateway on one connection produces
@@ -30,11 +34,13 @@
 //! in-process replay (`tests/loopback.rs`).
 
 pub mod loadgen;
+pub mod netfault;
 pub mod server;
 pub mod wire;
 
 mod conn;
 
-pub use loadgen::{ErrorStats, LoadgenConfig, LoadgenReport, VerdictTally};
-pub use server::{Gateway, GatewayConfig, GatewayError};
+pub use loadgen::{ConnReport, ErrorStats, LoadgenConfig, LoadgenReport, VerdictTally};
+pub use netfault::{NetFaultEvent, NetFaultKind, NetFaultPlan};
+pub use server::{Gateway, GatewayConfig, GatewayError, GATEWAY_JOURNAL_SHARD};
 pub use wire::{Message, VerdictOutcome, WireError, WireVerdict};

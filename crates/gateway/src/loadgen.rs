@@ -15,6 +15,16 @@
 //! tallied. Replies arrive strictly in frame order on a connection, so "the
 //! answered prefix" is exactly the frames that are done — resubmission never
 //! double-counts a verdict. Each failure is classified into [`ErrorStats`].
+//!
+//! ## Overload
+//!
+//! A record answered `Busy` (wire v4) was shed by an overloaded gateway and
+//! is the client's to resubmit: it joins a retry queue, counted in
+//! [`ErrorStats::shed`], and is resent — after a full-jitter backoff scaled
+//! by the largest `retry_after` hint received — once every outstanding reply
+//! is in. Retries repeat until the record earns a final verdict, so
+//! [`VerdictTally::total`] still equals the trace length: shedding defers
+//! work, it never loses it.
 
 use crate::wire::{encode_get, FrameReader, Message, RecvError, VerdictOutcome, WireVerdict};
 use darwin_obs::{decode_fleet_events, Histogram, HistogramSnapshot, JournalSnapshot};
@@ -83,6 +93,12 @@ pub struct ErrorStats {
     /// Requests resubmitted because their frame was sent but unanswered
     /// when the transport failed.
     pub resubmitted: u64,
+    /// Records answered `Busy` by an overloaded gateway and queued for a
+    /// backed-off resend. Flow control, not a transport failure: disjoint
+    /// from `resets`/`timeouts`, excluded from
+    /// [`total_failures`](ErrorStats::total_failures), and every shed
+    /// record is retried until it earns a final verdict.
+    pub shed: u64,
 }
 
 impl ErrorStats {
@@ -93,6 +109,7 @@ impl ErrorStats {
         self.other_io += other.other_io;
         self.reconnects += other.reconnects;
         self.resubmitted += other.resubmitted;
+        self.shed += other.shed;
     }
 
     /// Total transport failures (reconnects and resubmissions are recovery
@@ -139,6 +156,9 @@ impl VerdictTally {
             VerdictOutcome::OriginFetch => self.origin_fetches += 1,
             VerdictOutcome::Dropped => self.dropped += 1,
             VerdictOutcome::Unavailable => self.unavailable += 1,
+            // `Busy` is not a final verdict: callers route it to the retry
+            // queue (ErrorStats::shed) instead of tallying it.
+            VerdictOutcome::Busy => debug_assert!(false, "Busy must be retried, not tallied"),
         }
         if v.admitted {
             self.admitted += 1;
@@ -160,6 +180,19 @@ impl VerdictTally {
     }
 }
 
+/// One connection's share of a replay — the unit the fairness audits work
+/// in: under per-connection rate limiting, no well-behaved connection's
+/// served total should fall far below its fair share.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnReport {
+    /// Requests assigned to this connection (its contiguous trace chunk).
+    pub requests: u64,
+    /// Final verdicts this connection received (retried `Busy` excluded).
+    pub tally: VerdictTally,
+    /// Transport/overload counters for this connection alone.
+    pub errors: ErrorStats,
+}
+
 /// What a [`run`] measured.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
@@ -175,6 +208,8 @@ pub struct LoadgenReport {
     /// (one sample per answered frame; see [`darwin_obs`] for the bucket
     /// scheme and its ≈3.1% relative error bound).
     pub latency: HistogramSnapshot,
+    /// Per-connection breakdown, in connection order.
+    pub per_connection: Vec<ConnReport>,
 }
 
 impl LoadgenReport {
@@ -243,6 +278,14 @@ struct ChunkOutcome {
     latency: Histogram,
 }
 
+/// What a sent frame carried — an original trace frame (by index) or a
+/// resend of previously shed records (owned, since shed records from
+/// different frames get re-chunked together).
+enum Sent {
+    Original(usize),
+    Retry(Vec<Request>),
+}
+
 /// One connection's replay: pipelined writes with a bounded in-flight
 /// window, reconnecting (and resubmitting the unanswered suffix) on
 /// transport failure.
@@ -250,9 +293,12 @@ struct ChunkOutcome {
 /// Replies on a connection arrive strictly in frame order, so frames split
 /// into an *answered prefix* (tallied, never resent) and an unanswered
 /// suffix; after a reconnect the replay resumes at the first unanswered
-/// frame. Protocol violations (a malformed or unexpected reply) are not
-/// transport failures and abort the run — retrying a server that talks
-/// garbage only makes more garbage.
+/// frame. Records answered `Busy` join a retry queue and are resent after a
+/// backoff scaled by the gateway's `retry_after` hint, once every
+/// outstanding reply is in — shed work is deferred, never lost. Protocol
+/// violations (a malformed or unexpected reply) are not transport failures
+/// and abort the run — retrying a server that talks garbage only makes more
+/// garbage.
 fn replay_chunk(
     addr: &SocketAddr,
     chunk: &[Request],
@@ -261,8 +307,8 @@ fn replay_chunk(
 ) -> io::Result<ChunkOutcome> {
     let batch = cfg.batch.max(1);
     let frames: Vec<&[Request]> = chunk.chunks(batch).collect();
-    let mut answered = 0usize; // frames fully tallied (prefix length)
-    let mut sent_high = 0usize; // highest frame index ever sent + 1
+    let mut answered = 0usize; // original frames fully answered (prefix length)
+    let mut sent_high = 0usize; // highest original frame index ever sent + 1
     let mut out = ChunkOutcome {
         tally: VerdictTally::default(),
         errors: ErrorStats::default(),
@@ -272,8 +318,14 @@ fn replay_chunk(
     let mut failures = 0u32; // consecutive, reset on progress
     let mut buf = Vec::with_capacity(batch * crate::wire::GET_RECORD_LEN + crate::wire::HEADER_LEN);
     let mut first_session = true;
+    // Shed (`Busy`) records awaiting their backed-off resend, the largest
+    // retry hint seen since the last resend, and resend frames ready to go.
+    let mut retry: Vec<Request> = Vec::new();
+    let mut retry_hint = 0u32;
+    let mut resend: VecDeque<Vec<Request>> = VecDeque::new();
+    let mut inflight: VecDeque<(Instant, Sent)> = VecDeque::with_capacity(cfg.window);
 
-    'session: while answered < frames.len() {
+    'session: while answered < frames.len() || !retry.is_empty() || !resend.is_empty() {
         if !first_session {
             std::thread::sleep(backoff_delay(cfg, failures, &mut rng));
         }
@@ -292,10 +344,19 @@ fn replay_chunk(
         if !first_session {
             out.errors.reconnects += 1;
             // Everything sent but unanswered on the dead connection goes
-            // again on this one.
-            let resubmit: usize = frames[answered..sent_high].iter().map(|f| f.len()).sum();
+            // again on this one: unanswered original frames are re-derived
+            // from the answered prefix, in-flight resend frames give their
+            // records back to the retry queue.
+            let mut resubmit: usize = frames[answered..sent_high].iter().map(|f| f.len()).sum();
+            for (_, what) in inflight.drain(..) {
+                if let Sent::Retry(reqs) = what {
+                    resubmit += reqs.len();
+                    retry.extend(reqs);
+                }
+            }
             out.errors.resubmitted += resubmit as u64;
         }
+        inflight.clear();
         first_session = false;
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(cfg.read_timeout);
@@ -310,39 +371,90 @@ fn replay_chunk(
                 continue 'session;
             }
         };
-        let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(cfg.window);
         let mut next_send = answered;
         sent_high = sent_high.max(answered);
 
         loop {
-            // Top the window up, then (or when everything is sent) read.
-            if next_send < frames.len() && inflight.len() < cfg.window.max(1) {
-                buf.clear();
-                encode_get(frames[next_send], &mut buf);
-                if let Err(e) = stream.write_all(&buf) {
-                    out.errors.classify(&e);
-                    failures += 1;
-                    if failures > cfg.retries {
-                        return Err(e);
+            // Top the window up — original frames first, then resends of
+            // shed records — then (or when everything is sent) read.
+            if inflight.len() < cfg.window.max(1) {
+                if next_send < frames.len() {
+                    buf.clear();
+                    encode_get(frames[next_send], &mut buf);
+                    if let Err(e) = stream.write_all(&buf) {
+                        out.errors.classify(&e);
+                        failures += 1;
+                        if failures > cfg.retries {
+                            return Err(e);
+                        }
+                        continue 'session;
                     }
-                    continue 'session;
+                    inflight.push_back((Instant::now(), Sent::Original(next_send)));
+                    next_send += 1;
+                    sent_high = sent_high.max(next_send);
+                    continue;
                 }
-                inflight.push_back(Instant::now());
-                next_send += 1;
-                sent_high = sent_high.max(next_send);
-                continue;
+                if let Some(reqs) = resend.pop_front() {
+                    buf.clear();
+                    encode_get(&reqs, &mut buf);
+                    if let Err(e) = stream.write_all(&buf) {
+                        resend.push_front(reqs);
+                        out.errors.classify(&e);
+                        failures += 1;
+                        if failures > cfg.retries {
+                            return Err(e);
+                        }
+                        continue 'session;
+                    }
+                    inflight.push_back((Instant::now(), Sent::Retry(reqs)));
+                    continue;
+                }
+                if inflight.is_empty() && !retry.is_empty() {
+                    // Every outstanding reply is in: honour the gateway's
+                    // largest retry hint with a full-jitter backoff, then
+                    // re-frame the shed records for resending.
+                    std::thread::sleep(backoff_delay(cfg, retry_hint.clamp(1, 7), &mut rng));
+                    retry_hint = 0;
+                    for shed in retry.chunks(batch) {
+                        resend.push_back(shed.to_vec());
+                    }
+                    retry.clear();
+                    continue;
+                }
             }
             if inflight.is_empty() {
-                break; // all frames sent and answered
+                break; // all frames sent and answered, nothing left to retry
             }
             match reader.recv() {
                 Ok(Some(Message::Verdicts(vs))) => {
-                    let sent = inflight.pop_front().expect("verdicts with no frame in flight");
+                    let (sent, what) = inflight.pop_front().expect("verdicts with no frame in flight");
                     out.latency.record_duration(sent.elapsed());
-                    for v in vs {
-                        out.tally.absorb(v);
+                    let records: &[Request] = match &what {
+                        Sent::Original(idx) => frames[*idx],
+                        Sent::Retry(reqs) => reqs,
+                    };
+                    if vs.len() != records.len() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "frame of {} records answered with {} verdicts",
+                                records.len(),
+                                vs.len()
+                            ),
+                        ));
                     }
-                    answered += 1;
+                    for (v, req) in vs.iter().zip(records) {
+                        if v.outcome == VerdictOutcome::Busy {
+                            out.errors.shed += 1;
+                            retry_hint = retry_hint.max(u32::from(v.retry_after));
+                            retry.push(*req);
+                        } else {
+                            out.tally.absorb(*v);
+                        }
+                    }
+                    if matches!(what, Sent::Original(_)) {
+                        answered += 1;
+                    }
                     failures = 0;
                 }
                 Ok(None) => {
@@ -406,13 +518,19 @@ pub fn run(addr: impl ToSocketAddrs, trace: &Trace, cfg: LoadgenConfig) -> io::R
     let mut tally = VerdictTally::default();
     let mut errors = ErrorStats::default();
     let mut latency = HistogramSnapshot::default();
-    for r in results {
+    let mut per_connection = Vec::with_capacity(chunks.len());
+    for (r, chunk) in results.into_iter().zip(&chunks) {
         let out = r?;
         tally.merge(out.tally);
         errors.merge(out.errors);
         latency.merge(&out.latency.snapshot());
+        per_connection.push(ConnReport {
+            requests: chunk.len() as u64,
+            tally: out.tally,
+            errors: out.errors,
+        });
     }
-    Ok(LoadgenReport { requests, elapsed, tally, errors, latency })
+    Ok(LoadgenReport { requests, elapsed, tally, errors, latency, per_connection })
 }
 
 /// Asks a gateway for its JSON fleet-metrics snapshot (`STATS`).
@@ -555,6 +673,56 @@ mod tests {
         assert!(report.errors.resubmitted >= 3, "at least one frame resent: {:?}", report.errors);
     }
 
+    /// A gateway that sheds the first `GET` frame (every record `Busy`)
+    /// must see those records again: the client backs off, resends, and
+    /// still tallies every request exactly once — no reconnect involved.
+    #[test]
+    fn busy_records_are_resent_until_answered() {
+        use crate::wire::encode_verdict_bytes;
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut reader = FrameReader::new(s.try_clone().unwrap());
+            let mut first = true;
+            let mut shed = 0u64;
+            while let Ok(Some(Message::Get(recs))) = reader.recv() {
+                let byte = if first {
+                    shed = recs.len() as u64;
+                    WireVerdict::busy(2).to_byte()
+                } else {
+                    WireVerdict::DROPPED.to_byte()
+                };
+                first = false;
+                let mut out = Vec::new();
+                encode_verdict_bytes(&vec![byte; recs.len()], &mut out);
+                (&mut &s).write_all(&out).unwrap();
+            }
+            shed
+        });
+
+        let reqs: Vec<Request> = (0..6).map(|i| Request::new(i, 100, i)).collect();
+        let trace = Trace::from_requests(reqs);
+        let cfg = LoadgenConfig {
+            connections: 1,
+            batch: 3,
+            window: 1,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            ..LoadgenConfig::default()
+        };
+        let report = run(addr, &trace, cfg).expect("shedding is not a failure");
+        let shed = server.join().unwrap();
+        assert_eq!(shed, 3, "the first frame was shed whole");
+        assert_eq!(report.errors.shed, 3, "shed records counted: {:?}", report.errors);
+        assert_eq!(report.errors.total_failures(), 0, "shedding is flow control, not failure");
+        assert_eq!(report.tally.total(), 6, "every request still answered exactly once");
+        assert_eq!(report.per_connection.len(), 1);
+        assert_eq!(report.per_connection[0].requests, 6);
+    }
+
     /// A report whose latency histogram was fed the given millisecond
     /// samples.
     fn report_with_latencies(samples_ms: &[u64]) -> LoadgenReport {
@@ -568,6 +736,7 @@ mod tests {
             tally: VerdictTally::default(),
             errors: ErrorStats::default(),
             latency: h.snapshot(),
+            per_connection: Vec::new(),
         }
     }
 

@@ -21,8 +21,10 @@
 //! while every submitter is blocked.
 
 use crate::conn::{writer_loop, ConnSink, GatewayEnvelope, PendingBatch, Reply, SinkGuard};
-use crate::wire::{FrameReader, Message, RecvError};
+use crate::netfault::{spin, NetFaultKind, NetFaultPlan};
+use crate::wire::{FrameReader, Message, RecvError, WireVerdict};
 use darwin_cache::CacheConfig;
+use darwin_obs::{EventKind, Journal};
 use darwin_shard::{
     FaultPlan, FleetBoot, FleetConfig, FleetIngest, FleetMetrics, FleetProducer, FleetReport,
     GatewaySnapshot, MetricsHandle, Router, ShardedFleet,
@@ -33,6 +35,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Pseudo-shard id the gateway's own event journal travels under in an
+/// `EVENTS` reply, alongside the real shards (whose ids are dense from 0).
+pub const GATEWAY_JOURNAL_SHARD: u32 = u32::MAX;
 
 /// How a gateway shut down unhappily.
 ///
@@ -95,6 +101,27 @@ pub struct GatewayConfig {
     /// empty. `false` restores the historical cold-start semantics (the
     /// `--cold-boot` flag).
     pub warm_boot: bool,
+    /// Per-connection fair-share rate limit, in records per second (`None` =
+    /// unlimited). Enforced by a token bucket with a one-second burst
+    /// allowance: a `GET` frame that would overdraw the bucket is answered
+    /// `Busy` for every record — without touching the fleet — so one greedy
+    /// client cannot starve its well-behaved neighbours (the `--conn-rate`
+    /// flag).
+    pub conn_rate: Option<u64>,
+    /// How long a reply write may sit in the socket buffer before the
+    /// connection is declared a slow client and evicted (`None` = wait
+    /// forever, the historical behaviour; the `--write-stall-ms` flag).
+    pub write_stall: Option<Duration>,
+    /// Bound on a connection's reply backlog, in frames: decoded frames
+    /// whose reply has not yet been written. At the bound, new `GET` frames
+    /// are answered `Busy` without fleet submission, so a client that
+    /// pipelines faster than it reads cannot grow the sink's reorder/reply
+    /// memory without bound.
+    pub sink_backlog: u64,
+    /// Scripted transport-layer faults (resets, stalls, frame corruption,
+    /// accept pauses), keyed off connection ids and frame sequence numbers —
+    /// deterministic, no wall clock. The empty plan is the identity.
+    pub net_fault_plan: NetFaultPlan,
 }
 
 impl Default for GatewayConfig {
@@ -105,6 +132,10 @@ impl Default for GatewayConfig {
             fault_plan: FaultPlan::default(),
             checkpoint_dir: None,
             warm_boot: true,
+            conn_rate: None,
+            write_stall: None,
+            sink_backlog: 1024,
+            net_fault_plan: NetFaultPlan::default(),
         }
     }
 }
@@ -121,6 +152,10 @@ struct Counters {
     verdicts_out: AtomicU64,
     stats_served: AtomicU64,
     events_served: AtomicU64,
+    shed: AtomicU64,
+    throttled: AtomicU64,
+    slow_closed: AtomicU64,
+    net_faults: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
 }
@@ -143,6 +178,10 @@ impl Counters {
             verdicts_out: self.verdicts_out.load(Ordering::Relaxed),
             stats_served: self.stats_served.load(Ordering::Relaxed),
             events_served: self.events_served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+            slow_closed: self.slow_closed.load(Ordering::Relaxed),
+            net_faults: self.net_faults.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
         }
@@ -165,9 +204,17 @@ struct Shared<D: AdmissionDriver + Send + 'static> {
     ingest: FleetIngest<D, GatewayEnvelope>,
     metrics: MetricsHandle,
     counters: Arc<Counters>,
+    /// The gateway's own event journal (shed episodes, net faults, evicted
+    /// slow clients). Rides the `EVENTS` reply as pseudo-shard
+    /// [`GATEWAY_JOURNAL_SHARD`].
+    journal: Journal,
     shutdown: AtomicBool,
     read_timeout: Duration,
     idle_timeout: Option<Duration>,
+    conn_rate: Option<u64>,
+    write_stall: Option<Duration>,
+    sink_backlog: u64,
+    net_fault_plan: NetFaultPlan,
 }
 
 impl<D: AdmissionDriver + Send + 'static> Shared<D> {
@@ -235,9 +282,14 @@ impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
             ingest: fleet.ingest(),
             fleet: Mutex::new(Some(fleet)),
             counters: Arc::new(Counters::default()),
+            journal: Journal::default(),
             shutdown: AtomicBool::new(false),
             read_timeout: gateway.read_timeout,
             idle_timeout: gateway.idle_timeout,
+            conn_rate: gateway.conn_rate,
+            write_stall: gateway.write_stall,
+            sink_backlog: gateway.sink_backlog.max(1),
+            net_fault_plan: gateway.net_fault_plan,
         });
         let acceptor_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
@@ -309,7 +361,7 @@ fn acceptor_loop<D: AdmissionDriver + Send + 'static>(
     shared: Arc<Shared<D>>,
 ) -> Vec<JoinHandle<()>> {
     let mut conns = Vec::new();
-    let mut next_id = 0usize;
+    let mut next_id = 0u64;
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -318,9 +370,24 @@ fn acceptor_loop<D: AdmissionDriver + Send + 'static>(
                 let conn_shared = Arc::clone(&shared);
                 let id = next_id;
                 next_id += 1;
+                // Scripted listen-queue stall: spin before handing the
+                // connection to its worker, so every later frame on every
+                // connection observes the same accept ordering.
+                if let Some(spins) = shared.net_fault_plan.accept_pause(id) {
+                    Counters::add(&shared.counters.net_faults, 1);
+                    shared.journal.record(
+                        id,
+                        EventKind::NetFault {
+                            conn: id,
+                            frame: 0,
+                            fault: NetFaultKind::AcceptPause { spins }.label(),
+                        },
+                    );
+                    spin(spins);
+                }
                 let handle = std::thread::Builder::new()
                     .name(format!("gw-conn-{id}"))
-                    .spawn(move || connection(stream, conn_shared))
+                    .spawn(move || connection(id, stream, conn_shared))
                     .expect("spawn gateway connection worker");
                 conns.push(handle);
             }
@@ -333,11 +400,41 @@ fn acceptor_loop<D: AdmissionDriver + Send + 'static>(
     conns
 }
 
+/// The per-connection fair-share limiter: a token bucket holding up to one
+/// second's worth of records, refilled continuously at `rate` records per
+/// second. A `GET` frame is admitted whole or shed whole — partial frames
+/// would break the one-reply-per-frame protocol invariant.
+struct TokenBucket {
+    rate: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: u64) -> Self {
+        let rate = rate.max(1) as f64;
+        Self { rate, tokens: rate, last: Instant::now() }
+    }
+
+    fn admit(&mut self, records: u64) -> bool {
+        let now = Instant::now();
+        self.tokens =
+            (self.tokens + now.duration_since(self.last).as_secs_f64() * self.rate).min(self.rate);
+        self.last = now;
+        if self.tokens >= records as f64 {
+            self.tokens -= records as f64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// One connection's reader: decodes frames, submits `GET` records through
 /// the fleet, answers `STATS`/`SHUTDOWN` off the metrics handle, and on exit
 /// either drains (clean EOF / shutdown: every accepted frame still gets its
 /// reply) or aborts (protocol violation / transport error).
-fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Arc<Shared<D>>) {
+fn connection<D: AdmissionDriver + Send + 'static>(id: u64, stream: TcpStream, shared: Arc<Shared<D>>) {
     let counters = Arc::clone(&shared.counters);
     let _active = ActiveGuard(Arc::clone(&counters));
     let _ = stream.set_nodelay(true);
@@ -352,13 +449,18 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
     let sink_guard = SinkGuard(Arc::clone(&sink));
     let writer = {
         let sink = Arc::clone(&sink);
-        let writer_counters = Arc::clone(&counters);
+        let writer_shared = Arc::clone(&shared);
+        let write_stall = shared.write_stall;
         std::thread::Builder::new()
             .name("gw-write".into())
             .spawn(move || {
-                let stats = writer_loop(&sink, write_half);
-                Counters::add(&writer_counters.bytes_out, stats.bytes_out);
-                Counters::add(&writer_counters.verdicts_out, stats.verdicts_out);
+                let stats = writer_loop(&sink, write_half, write_stall);
+                Counters::add(&writer_shared.counters.bytes_out, stats.bytes_out);
+                Counters::add(&writer_shared.counters.verdicts_out, stats.verdicts_out);
+                if stats.stalled {
+                    Counters::add(&writer_shared.counters.slow_closed, 1);
+                    writer_shared.journal.record(id, EventKind::SlowClientClosed { conn: id });
+                }
             })
             .expect("spawn gateway connection writer")
     };
@@ -372,6 +474,12 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
     let mut seq = 0u64;
     let mut bytes_seen = 0u64;
     let mut last_frame = Instant::now();
+    let mut bucket = shared.conn_rate.map(TokenBucket::new);
+    // `ConnThrottled` journals once per connection; the `throttled` counter
+    // keeps counting records.
+    let mut throttled_logged = false;
+    let mut faults = shared.net_fault_plan.cursor(id);
+    let mut frames_decoded = 0u64;
     // True ⇒ drain replies through `seq` before closing; false ⇒ abort now.
     let drain = loop {
         let next = reader.recv();
@@ -380,10 +488,61 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
         bytes_seen = bytes;
         if matches!(next, Ok(Some(_))) {
             last_frame = Instant::now();
+            // Scripted transport faults fire between decoding a frame and
+            // handling it, keyed off this connection's frame count — a
+            // wall-clock-free stand-in for a hostile network.
+            let frame = frames_decoded;
+            frames_decoded += 1;
+            let mut severed = false;
+            while let Some(kind) = faults.take(frame) {
+                Counters::add(&counters.net_faults, 1);
+                shared
+                    .journal
+                    .record(frame, EventKind::NetFault { conn: id, frame, fault: kind.label() });
+                match kind {
+                    NetFaultKind::Stall { spins } => spin(spins),
+                    NetFaultKind::Corrupt => {
+                        // Damaged in flight: reject the frame and close, as
+                        // the codec does for genuinely malformed bytes.
+                        Counters::add(&counters.frames_rejected, 1);
+                        severed = true;
+                    }
+                    NetFaultKind::Reset => severed = true,
+                    NetFaultKind::AcceptPause { .. } => {}
+                }
+                if severed {
+                    break;
+                }
+            }
+            if severed {
+                break false;
+            }
         }
         match next {
             Ok(Some(Message::Get(records))) => {
                 Counters::add(&counters.frames_in, 1);
+                // Overload control, cheapest check first: a client that
+                // pipelines past its reply backlog or its fair-share rate is
+                // answered `Busy` for the whole frame without touching the
+                // fleet. The reply still occupies the frame's sequence slot,
+                // so pipelining clients keep their reply-order guarantee.
+                let backlogged = sink.backlog(seq) >= shared.sink_backlog;
+                let throttled =
+                    !backlogged && !bucket.as_mut().is_none_or(|b| b.admit(records.len() as u64));
+                if throttled {
+                    Counters::add(&counters.throttled, records.len() as u64);
+                    if !throttled_logged {
+                        throttled_logged = true;
+                        shared.journal.record(seq, EventKind::ConnThrottled { conn: id });
+                    }
+                }
+                if backlogged || throttled {
+                    Counters::add(&counters.shed, records.len() as u64);
+                    let busy = WireVerdict::busy(1).to_byte();
+                    sink.push(seq, Reply::Verdicts(vec![busy; records.len()]));
+                    seq += 1;
+                    continue;
+                }
                 Counters::add(&counters.requests_in, records.len() as u64);
                 let batch = PendingBatch::new(seq, Arc::clone(&sink), records.len());
                 seq += 1;
@@ -409,8 +568,11 @@ fn connection<D: AdmissionDriver + Send + 'static>(stream: TcpStream, shared: Ar
                 Counters::add(&counters.events_served, 1);
                 // Journal rings are drained off the shard cells, never the
                 // fleet mutex — like STATS, this answers even under full
-                // backpressure.
-                let frame = darwin_obs::encode_fleet_events(&shared.metrics.journals());
+                // backpressure. The gateway's own journal rides along as the
+                // final pseudo-shard entry.
+                let mut journals = shared.metrics.journals();
+                journals.push((GATEWAY_JOURNAL_SHARD, shared.journal.snapshot()));
+                let frame = darwin_obs::encode_fleet_events(&journals);
                 sink.push(seq, Reply::Events(frame));
                 seq += 1;
             }

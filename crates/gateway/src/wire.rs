@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //!      0     2  magic     0xDA57
-//!      2     1  version   3
+//!      2     1  version   4
 //!      3     1  opcode
 //!      4     4  body_len  (≤ MAX_BODY_LEN)
 //!      8     …  body
@@ -15,8 +15,10 @@
 //! Version 2 widened the verdict byte from a 2-bit to a 3-bit outcome field
 //! to make room for the degraded-mode `Unavailable` answer; version 3 added
 //! the `EVENTS` opcode pair for draining the fleet's per-shard event
-//! journals. Older versions are rejected with [`WireError::BadVersion`]
-//! (both ends of this repo speak v3).
+//! journals; version 4 added the overload-control `Busy` outcome with its
+//! `retry_after` hint in the previously reserved bits 4–6 of the verdict
+//! byte. Older versions are rejected with [`WireError::BadVersion`] (both
+//! ends of this repo speak v4).
 //!
 //! Client → server opcodes:
 //!
@@ -31,7 +33,7 @@
 //!
 //! | opcode | name           | body |
 //! |--------|----------------|------|
-//! | `0x81` | `VERDICTS`     | one byte per `GET` record: bits 0–2 outcome (0 = HOC hit, 1 = DC hit, 2 = origin fetch, 3 = dropped, 4 = unavailable), bit 3 admitted-to-HOC, bits 4–7 zero |
+//! | `0x81` | `VERDICTS`     | one byte per `GET` record: bits 0–2 outcome (0 = HOC hit, 1 = DC hit, 2 = origin fetch, 3 = dropped, 4 = unavailable, 5 = busy), bit 3 admitted-to-HOC, bits 4–6 `retry_after` backoff exponent (zero unless busy), bit 7 zero |
 //! | `0x82` | `STATS_REPLY`  | UTF-8 JSON of a `FleetMetrics` snapshot |
 //! | `0x83` | `SHUTDOWN_ACK` | empty |
 //! | `0x84` | `EVENTS_REPLY` | a sealed `darwin_obs` fleet-events frame (CRC-guarded, decodable with [`darwin_obs::decode_fleet_events`]) |
@@ -55,7 +57,7 @@ use std::io::Read;
 /// First two header bytes of every frame.
 pub const MAGIC: u16 = 0xDA57;
 /// Protocol version this module speaks.
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 /// Fixed header size, bytes.
 pub const HEADER_LEN: usize = 8;
 /// Upper bound on a frame body; larger `body_len` headers are rejected
@@ -90,26 +92,43 @@ pub enum VerdictOutcome {
     /// Never processed: the request's shard was permanently dead (restart
     /// budget exhausted) when it arrived — the gateway's degraded mode.
     Unavailable,
+    /// Never processed: the gateway shed the request under overload (queue
+    /// watermark, per-connection rate limit, or reply-backlog bound). The
+    /// client should retry after a backoff keyed to `retry_after`.
+    Busy,
 }
 
-/// One request's reply: outcome plus the admission decision.
+/// One request's reply: outcome plus the admission decision, plus the
+/// overload backoff hint for `Busy` answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireVerdict {
     /// Where the request was served from.
     pub outcome: VerdictOutcome,
     /// True if the request's object was written into the HOC.
     pub admitted: bool,
+    /// Backoff exponent hint (0–7) carried by `Busy` verdicts: the server's
+    /// estimate of overload severity, fed into the client's exponential
+    /// backoff. Always 0 for every other outcome.
+    pub retry_after: u8,
 }
 
 impl WireVerdict {
     /// The verdict a shed request reports.
-    pub const DROPPED: WireVerdict = WireVerdict { outcome: VerdictOutcome::Dropped, admitted: false };
+    pub const DROPPED: WireVerdict =
+        WireVerdict { outcome: VerdictOutcome::Dropped, admitted: false, retry_after: 0 };
 
     /// The verdict a request routed to a permanently dead shard reports.
     pub const UNAVAILABLE: WireVerdict =
-        WireVerdict { outcome: VerdictOutcome::Unavailable, admitted: false };
+        WireVerdict { outcome: VerdictOutcome::Unavailable, admitted: false, retry_after: 0 };
 
-    /// Wire encoding (bits 0–2 outcome, bit 3 admitted).
+    /// The verdict an overloaded gateway sheds a request with, carrying a
+    /// backoff exponent hint (clamped to the 3-bit wire field).
+    pub fn busy(retry_after: u8) -> WireVerdict {
+        WireVerdict { outcome: VerdictOutcome::Busy, admitted: false, retry_after: retry_after.min(7) }
+    }
+
+    /// Wire encoding (bits 0–2 outcome, bit 3 admitted, bits 4–6
+    /// `retry_after`).
     pub fn to_byte(self) -> u8 {
         let outcome = match self.outcome {
             VerdictOutcome::HocHit => 0,
@@ -117,35 +136,45 @@ impl WireVerdict {
             VerdictOutcome::OriginFetch => 2,
             VerdictOutcome::Dropped => 3,
             VerdictOutcome::Unavailable => 4,
+            VerdictOutcome::Busy => 5,
         };
-        outcome | u8::from(self.admitted) << 3
+        debug_assert!(self.retry_after <= 7, "retry_after exceeds the 3-bit wire field");
+        debug_assert!(
+            self.retry_after == 0 || self.outcome == VerdictOutcome::Busy,
+            "retry_after rides only on Busy verdicts"
+        );
+        outcome | u8::from(self.admitted) << 3 | (self.retry_after & 0b111) << 4
     }
 
-    /// Parses a wire byte, rejecting anything with reserved bits set, an
-    /// unassigned outcome, or the impossible never-processed-yet-admitted
-    /// combinations.
+    /// Parses a wire byte, rejecting anything with the reserved bit set, an
+    /// unassigned outcome, a `retry_after` hint on a non-`Busy` outcome, or
+    /// the impossible never-processed-yet-admitted combinations.
     pub fn from_byte(b: u8) -> Result<Self, WireError> {
-        if b & !0b1111 != 0 {
+        if b & 0b1000_0000 != 0 {
             return Err(WireError::BadVerdictByte(b));
         }
         let admitted = b & 0b1000 != 0;
+        let retry_after = (b >> 4) & 0b111;
         let outcome = match b & 0b111 {
             0 => VerdictOutcome::HocHit,
             1 => VerdictOutcome::DcHit,
             2 => VerdictOutcome::OriginFetch,
-            v @ (3 | 4) => {
-                if admitted {
-                    return Err(WireError::BadVerdictByte(b));
-                }
-                if v == 3 {
-                    VerdictOutcome::Dropped
-                } else {
-                    VerdictOutcome::Unavailable
-                }
-            }
+            3 => VerdictOutcome::Dropped,
+            4 => VerdictOutcome::Unavailable,
+            5 => VerdictOutcome::Busy,
             _ => return Err(WireError::BadVerdictByte(b)),
         };
-        Ok(WireVerdict { outcome, admitted })
+        let never_processed = matches!(
+            outcome,
+            VerdictOutcome::Dropped | VerdictOutcome::Unavailable | VerdictOutcome::Busy
+        );
+        if never_processed && admitted {
+            return Err(WireError::BadVerdictByte(b));
+        }
+        if retry_after != 0 && outcome != VerdictOutcome::Busy {
+            return Err(WireError::BadVerdictByte(b));
+        }
+        Ok(WireVerdict { outcome, admitted, retry_after })
     }
 }
 
@@ -156,7 +185,7 @@ impl From<darwin_shard::Verdict> for WireVerdict {
             RequestOutcome::DcHit => VerdictOutcome::DcHit,
             RequestOutcome::OriginFetch => VerdictOutcome::OriginFetch,
         };
-        WireVerdict { outcome, admitted: v.admitted }
+        WireVerdict { outcome, admitted: v.admitted, retry_after: 0 }
     }
 }
 
@@ -519,20 +548,25 @@ mod tests {
     fn verdict_bytes_roundtrip() {
         for outcome in [VerdictOutcome::HocHit, VerdictOutcome::DcHit, VerdictOutcome::OriginFetch] {
             for admitted in [false, true] {
-                let v = WireVerdict { outcome, admitted };
+                let v = WireVerdict { outcome, admitted, retry_after: 0 };
                 assert_eq!(WireVerdict::from_byte(v.to_byte()).unwrap(), v);
             }
         }
         for v in [WireVerdict::DROPPED, WireVerdict::UNAVAILABLE] {
             assert_eq!(WireVerdict::from_byte(v.to_byte()).unwrap(), v);
         }
+        for hint in 0..=7 {
+            let v = WireVerdict::busy(hint);
+            assert_eq!(WireVerdict::from_byte(v.to_byte()).unwrap(), v);
+        }
+        assert_eq!(WireVerdict::busy(200).retry_after, 7, "hints clamp to the wire field");
     }
 
     #[test]
     fn impossible_verdict_bytes_are_rejected() {
-        // Dropped + admitted, Unavailable + admitted, unassigned outcomes,
-        // and reserved high bits.
-        for b in [0b1011u8, 0b1100, 0b101, 0b110, 0b111, 0b1_0000, 0xFF] {
+        // Dropped/Unavailable/Busy + admitted, unassigned outcomes, a
+        // retry_after hint on a non-Busy outcome, and the reserved bit 7.
+        for b in [0b1011u8, 0b1100, 0b1101, 0b110, 0b111, 0b1_0000, 0b111_0100, 0x80, 0xFF] {
             assert_eq!(WireVerdict::from_byte(b), Err(WireError::BadVerdictByte(b)), "byte {b:#b}");
         }
     }

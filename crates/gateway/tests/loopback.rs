@@ -71,6 +71,7 @@ fn fleet_cfg(shards: usize) -> FleetConfig {
         snapshot_every: None,
         restart_budget: Default::default(),
         checkpoint_every: None,
+        shed_watermark: None,
     }
 }
 
@@ -219,6 +220,7 @@ fn contended_connections_preserve_per_shard_partition() {
         snapshot_every: None,
         restart_budget: Default::default(),
         checkpoint_every: None,
+        shed_watermark: None,
     };
     let gateway = Gateway::bind("127.0.0.1:0", cfg, cache_cfg(), Box::new(HashRouter), move |_| {
         StaticDriver::new(policy)
@@ -322,7 +324,11 @@ fn events_frame_returns_fleet_journals() {
 
     loadgen::run(addr, &trace, LoadgenConfig::default()).expect("loadgen replay");
     let journals = loadgen::fetch_events(addr).expect("events fetch");
-    assert_eq!(journals.len(), 2, "one journal per shard");
+    assert_eq!(journals.len(), 3, "one journal per shard plus the gateway pseudo-shard");
+    assert!(
+        journals.iter().any(|(s, _)| *s == darwin_gateway::GATEWAY_JOURNAL_SHARD),
+        "gateway journal rides along under the pseudo-shard id"
+    );
     let shard0 = &journals.iter().find(|(s, _)| *s == 0).expect("shard 0 journal").1;
     let kinds: Vec<&EventKind> = shard0.events.iter().map(|e| &e.kind).collect();
     assert!(kinds.iter().any(|k| matches!(k, EventKind::FaultInjected { .. })));
@@ -448,6 +454,7 @@ fn client_disconnect_mid_stream_keeps_counters_consistent() {
         snapshot_every: None,
         restart_budget: Default::default(),
         checkpoint_every: None,
+        shed_watermark: None,
     };
     let gateway = Gateway::bind("127.0.0.1:0", cfg, cache_cfg(), Box::new(HashRouter), |_| SlowDriver)
         .expect("bind loopback gateway");

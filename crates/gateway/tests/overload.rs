@@ -1,0 +1,195 @@
+//! Flash-crowd behaviour over real sockets: per-connection throttling
+//! answers `Busy` without losing anyone's requests, slow clients are evicted
+//! without collateral damage, and scripted network faults (resets, stalls,
+//! corruption, accept pauses) are survived by the client's reconnect
+//! protocol and fully journaled by the gateway.
+
+use darwin_cache::{CacheConfig, ThresholdPolicy};
+use darwin_gateway::netfault::{NetFaultEvent, NetFaultKind, NetFaultPlan};
+use darwin_gateway::wire::{encode, Message};
+use darwin_gateway::{loadgen, Gateway, GatewayConfig, LoadgenConfig, GATEWAY_JOURNAL_SHARD};
+use darwin_obs::EventKind;
+use darwin_shard::{Backpressure, FleetConfig, HashRouter};
+use darwin_testbed::StaticDriver;
+use darwin_trace::{MixSpec, Trace, TraceGenerator, TrafficClass};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn fleet_cfg(shards: usize) -> FleetConfig {
+    FleetConfig {
+        shards,
+        queue_capacity: 256,
+        batch: 64,
+        backpressure: Backpressure::Block,
+        snapshot_every: None,
+        restart_budget: Default::default(),
+        checkpoint_every: None,
+        shed_watermark: None,
+    }
+}
+
+fn test_trace(n: usize, seed: u64) -> Trace {
+    TraceGenerator::new(MixSpec::single(TrafficClass::image()), seed).generate(n)
+}
+
+fn static_gateway(cfg: GatewayConfig, shards: usize) -> Gateway<StaticDriver> {
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    Gateway::bind_with(
+        "127.0.0.1:0",
+        fleet_cfg(shards),
+        CacheConfig::small_test(),
+        Box::new(HashRouter),
+        cfg,
+        move |_| StaticDriver::new(policy),
+    )
+    .expect("bind loopback gateway")
+}
+
+/// A connection that writes requests but never reads its replies must be
+/// evicted once the writer exhausts its stall budget — counted in
+/// `slow_closed`, journaled, and without disturbing sibling connections.
+#[test]
+fn slow_client_is_evicted_and_siblings_survive() {
+    let gateway = static_gateway(
+        GatewayConfig { write_stall: Some(Duration::from_millis(50)), ..GatewayConfig::default() },
+        1,
+    );
+    let addr = gateway.local_addr();
+
+    // The slow client: a firehose of STATS frames (each reply is a sizeable
+    // JSON document) with the reply stream never read, so the gateway's send
+    // buffer fills and its writer hits the stall budget.
+    let mut stream = TcpStream::connect(addr).expect("connect slow client");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.set_write_timeout(Some(Duration::from_millis(200))).expect("write timeout");
+    let mut stats_frame = Vec::new();
+    encode(&Message::Stats, &mut stats_frame);
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut evicted = false;
+    'firehose: while Instant::now() < deadline {
+        for _ in 0..32 {
+            if stream.write_all(&stats_frame).is_err() {
+                // The gateway shut the socket down under us — expected once
+                // the eviction fires; confirm via the counter below.
+                break;
+            }
+        }
+        if gateway.metrics().gateway.expect("gateway counters").slow_closed >= 1 {
+            evicted = true;
+            break 'firehose;
+        }
+    }
+    assert!(evicted, "non-reading client must be evicted within the deadline");
+    drop(stream);
+
+    // A sibling connection opened after the eviction is served in full.
+    let trace = test_trace(2_000, 7);
+    let report = loadgen::run(addr, &trace, LoadgenConfig::default()).expect("sibling replay");
+    assert_eq!(report.tally.total(), trace.len() as u64, "sibling fully answered");
+    assert_eq!(report.errors.total_failures(), 0, "sibling untouched by the eviction");
+
+    // The eviction is first-class observable: counter and journal agree.
+    let journals = loadgen::fetch_events(addr).expect("events fetch");
+    let gw_journal =
+        &journals.iter().find(|(s, _)| *s == GATEWAY_JOURNAL_SHARD).expect("gateway journal").1;
+    let slow_events = gw_journal
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::SlowClientClosed { .. }))
+        .count();
+    assert_eq!(slow_events, 1, "exactly one slow-client eviction journaled");
+
+    gateway.shutdown();
+    gateway.finish().expect("clean gateway shutdown");
+}
+
+/// A greedy connection pushing far past its token-bucket fair share gets
+/// `Busy` verdicts — flow control, not failures — and, with the loadgen's
+/// backed-off resends, still ends with every request answered exactly once.
+#[test]
+fn throttled_connection_retries_to_completion() {
+    let gateway =
+        static_gateway(GatewayConfig { conn_rate: Some(1_000), ..GatewayConfig::default() }, 2);
+    let addr = gateway.local_addr();
+
+    // 3k requests against a 1k-records/second bucket: the initial burst
+    // alone overruns the one-second burst budget.
+    let trace = test_trace(3_000, 11);
+    let report = loadgen::run(
+        addr,
+        &trace,
+        LoadgenConfig { connections: 1, batch: 64, window: 8, ..Default::default() },
+    )
+    .expect("throttled replay");
+
+    assert_eq!(report.tally.total(), trace.len() as u64, "every request answered exactly once");
+    assert!(report.errors.shed > 0, "the bucket must actually throttle");
+    assert_eq!(report.errors.total_failures(), 0, "Busy is flow control, not a failure");
+
+    gateway.shutdown();
+    let metrics = gateway.metrics();
+    let fleet = gateway.finish().expect("clean gateway shutdown");
+    let gw = metrics.gateway.expect("gateway counters");
+    assert!(gw.throttled > 0, "gateway counted the throttled records");
+    assert_eq!(gw.throttled, gw.shed, "all sheds here came from the token bucket");
+    assert_eq!(
+        fleet.total_processed(),
+        trace.len() as u64,
+        "throttled records never reached the fleet until their resend"
+    );
+}
+
+/// A hostile-network script — accept pause, stall, reset, corruption — is
+/// survived end to end: the loadgen reconnects and resubmits, every request
+/// still earns exactly one verdict, and all four faults are counted and
+/// journaled with their deterministic labels.
+#[test]
+fn scripted_network_faults_are_survived_and_journaled() {
+    let plan = NetFaultPlan::new(vec![
+        NetFaultEvent { conn: 0, at_frame: 0, kind: NetFaultKind::AcceptPause { spins: 50_000 } },
+        NetFaultEvent { conn: 0, at_frame: 1, kind: NetFaultKind::Stall { spins: 100_000 } },
+        NetFaultEvent { conn: 0, at_frame: 3, kind: NetFaultKind::Reset },
+        NetFaultEvent { conn: 1, at_frame: 2, kind: NetFaultKind::Corrupt },
+    ]);
+    let gateway = static_gateway(GatewayConfig { net_fault_plan: plan, ..GatewayConfig::default() }, 2);
+    let addr = gateway.local_addr();
+
+    let trace = test_trace(4_000, 13);
+    let report = loadgen::run(
+        addr,
+        &trace,
+        LoadgenConfig { connections: 1, batch: 64, window: 4, ..Default::default() },
+    )
+    .expect("replay must survive the hostile network");
+
+    assert_eq!(report.tally.total(), trace.len() as u64, "exactly-once answering");
+    assert!(report.errors.resets >= 2, "reset + corruption both sever the transport");
+    assert!(report.errors.reconnects >= 2, "the client reconnected past both");
+    assert!(report.errors.resubmitted > 0, "in-flight frames were recovered");
+
+    // The gateway's own journal rides the EVENTS opcode as a pseudo-shard.
+    let journals = loadgen::fetch_events(addr).expect("events fetch");
+    let gw_journal =
+        &journals.iter().find(|(s, _)| *s == GATEWAY_JOURNAL_SHARD).expect("gateway journal").1;
+    let labels: Vec<&str> = gw_journal
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::NetFault { fault, .. } => Some(fault.as_str()),
+            _ => None,
+        })
+        .collect();
+    for expect in ["accept-pause(50000)", "stall(100000)", "reset", "corrupt"] {
+        assert!(labels.contains(&expect), "journal records {expect}: {labels:?}");
+    }
+    assert_eq!(labels.len(), 4, "every scripted fault fired exactly once");
+
+    gateway.shutdown();
+    let metrics = gateway.metrics();
+    gateway.finish().expect("clean gateway shutdown");
+    let gw = metrics.gateway.expect("gateway counters");
+    assert_eq!(gw.net_faults, 4, "counter agrees with the journal");
+    assert!(gw.frames_rejected >= 1, "corruption counted as a rejected frame");
+}

@@ -37,22 +37,28 @@ proptest! {
         prop_assert_eq!(msg, Message::Get(records));
     }
 
-    /// Verdict frames round-trip through the packed byte encoding.
+    /// Verdict frames round-trip through the packed byte encoding,
+    /// including the v4 `Busy` outcome and its retry hint.
     #[test]
-    fn verdicts_roundtrip(vs in proptest::collection::vec((0u8..5, proptest::bool::ANY), 1..500)) {
+    fn verdicts_roundtrip(vs in proptest::collection::vec(
+        (0u8..6, proptest::bool::ANY, 0u8..8), 1..500,
+    )) {
         let verdicts: Vec<WireVerdict> = vs
             .iter()
-            .map(|&(o, admitted)| WireVerdict {
+            .map(|&(o, admitted, hint)| WireVerdict {
                 outcome: match o {
                     0 => VerdictOutcome::HocHit,
                     1 => VerdictOutcome::DcHit,
                     2 => VerdictOutcome::OriginFetch,
                     3 => VerdictOutcome::Dropped,
-                    _ => VerdictOutcome::Unavailable,
+                    4 => VerdictOutcome::Unavailable,
+                    _ => VerdictOutcome::Busy,
                 },
-                // never-processed (dropped/unavailable) + admitted is
+                // never-processed (dropped/unavailable/busy) + admitted is
                 // inexpressible by construction
                 admitted: admitted && o < 3,
+                // a retry hint is only expressible on Busy
+                retry_after: if o == 5 { hint } else { 0 },
             })
             .collect();
         let bytes = encoded(&Message::Verdicts(verdicts.clone()));
@@ -129,15 +135,19 @@ fn malformed_corpus_is_rejected() {
     assert_eq!(decode(&frame(0x81, &[])), Err(WireError::BadBodyLen { opcode: 0x81, len: 0 }));
     assert_eq!(decode(&frame(0x83, &[1])), Err(WireError::BadBodyLen { opcode: 0x83, len: 1 }));
 
-    // Verdict bytes with reserved bits, unassigned outcomes, and the
-    // inexpressible never-processed-yet-admitted combinations.
+    // Verdict bytes with the reserved bit, unassigned outcomes, the
+    // inexpressible never-processed-yet-admitted combinations, and (v4)
+    // retry hints on non-Busy outcomes.
     for b in [
-        0b1011u8, // Dropped + admitted
-        0b1100,   // Unavailable + admitted
-        0b101,    // unassigned outcome 5
-        0b110,    // unassigned outcome 6
-        0b111,    // unassigned outcome 7
-        0b1_0000, // reserved bit 4
+        0b1011u8,    // Dropped + admitted
+        0b1100,      // Unavailable + admitted
+        0b1101,      // Busy + admitted
+        0b110,       // unassigned outcome 6
+        0b111,       // unassigned outcome 7
+        0b1_0000,    // retry hint on HocHit
+        0b111_0100,  // retry hint on Unavailable
+        0b101_1010,  // retry hint on OriginFetch + admitted
+        0b1000_0000, // reserved bit 7
         0xFF,
     ] {
         assert_eq!(decode(&frame(0x81, &[b])), Err(WireError::BadVerdictByte(b)), "byte {b:#b}");
@@ -145,6 +155,25 @@ fn malformed_corpus_is_rejected() {
 
     // Stats replies must be UTF-8.
     assert_eq!(decode(&frame(0x82, &[0xFF, 0xFE])), Err(WireError::BadUtf8));
+}
+
+/// A frame damaged in flight — any single bit flipped anywhere in a valid
+/// `VERDICTS` frame — must decode to an error, an incomplete, or a
+/// different-but-valid frame, never panic. (Length-extending flips in the
+/// body-length field read as "need more bytes"; flips inside verdict bytes
+/// either stay expressible or are rejected.)
+#[test]
+fn bit_flips_never_panic_the_decoder() {
+    let body = [0b0000u8, 0b1010, 0b011, 0b100, 0b0101, 0b111_0101];
+    let good = frame(0x81, &body);
+    assert!(decode(&good).unwrap().is_some(), "corpus frame must be valid");
+    for byte in 0..good.len() {
+        for bit in 0..8 {
+            let mut bad = good.clone();
+            bad[byte] ^= 1 << bit;
+            let _ = decode(&bad); // must not panic, whatever it returns
+        }
+    }
 }
 
 /// The degraded-mode `Unavailable` bit (outcome 4) is a first-class citizen
@@ -172,6 +201,29 @@ fn unavailable_verdict_frames_decode() {
     );
     assert_eq!(vs[3], WireVerdict::UNAVAILABLE);
     assert!(vs[1].admitted && !vs[3].admitted);
+}
+
+/// The v4 overload outcome: `Busy` decodes alongside final verdicts, its
+/// retry hint rides bits 4–6, and zero-hint `Busy` is legal (hint unknown).
+#[test]
+fn busy_verdict_frames_decode_with_retry_hints() {
+    let body = [
+        0b0101u8,   // Busy, no hint
+        0b001_0101, // Busy, retry hint 1
+        0b111_0101, // Busy, retry hint 7
+        0b0000,     // HocHit — Busy must coexist with final verdicts
+    ];
+    let (msg, used) = decode(&frame(0x81, &body)).unwrap().expect("complete frame");
+    assert_eq!(used, HEADER_LEN + body.len());
+    let Message::Verdicts(vs) = msg else { panic!("expected VERDICTS") };
+    assert_eq!(vs[0].outcome, VerdictOutcome::Busy);
+    assert_eq!(vs[0].retry_after, 0);
+    assert_eq!(vs[1], WireVerdict::busy(1));
+    assert_eq!(vs[2], WireVerdict::busy(7));
+    assert_eq!(vs[2].retry_after, 7);
+    assert!(vs.iter().all(|v| !v.admitted));
+    assert_eq!(vs[3].outcome, VerdictOutcome::HocHit);
+    assert_eq!(vs[3].retry_after, 0, "final verdicts carry no hint");
 }
 
 #[test]

@@ -147,6 +147,39 @@ pub enum EventKind {
         /// The router generation serving the new ring.
         generation: u32,
     },
+    /// The shard's queue depth crossed its shed watermark: producers start
+    /// answering this shard's requests `Busy` instead of delivering them.
+    ShedStart {
+        /// Queue depth observed at the crossing.
+        depth: u64,
+    },
+    /// The shard's queue drained below the recovery threshold (half the
+    /// watermark) and producers resumed delivering.
+    ShedStop {
+        /// Requests shed at this shard so far (cumulative).
+        shed: u64,
+    },
+    /// A scripted network fault fired on a gateway connection.
+    NetFault {
+        /// Gateway connection id the fault hit.
+        conn: u64,
+        /// Per-connection frame sequence number the fault was keyed to.
+        frame: u64,
+        /// Stable label of the fault kind (e.g. `reset`, `stall(1000)`).
+        fault: String,
+    },
+    /// The gateway evicted a connection whose client stopped reading
+    /// replies (the write-stall budget expired).
+    SlowClientClosed {
+        /// Gateway connection id that was evicted.
+        conn: u64,
+    },
+    /// A connection first exceeded its fair-share token bucket and had
+    /// requests answered `Busy` (journaled once per connection).
+    ConnThrottled {
+        /// Gateway connection id that was throttled.
+        conn: u64,
+    },
 }
 
 impl EventKind {
@@ -167,6 +200,11 @@ impl EventKind {
             EventKind::HandoffRestore { .. } => 12,
             EventKind::Cutover { .. } => 13,
             EventKind::RingResize { .. } => 14,
+            EventKind::ShedStart { .. } => 15,
+            EventKind::ShedStop { .. } => 16,
+            EventKind::NetFault { .. } => 17,
+            EventKind::SlowClientClosed { .. } => 18,
+            EventKind::ConnThrottled { .. } => 19,
         }
     }
 }
@@ -226,6 +264,13 @@ impl Event {
             EventKind::RingResize { from_shards, to_shards, generation } => {
                 format!("ring-resize {from_shards}->{to_shards} generation={generation}")
             }
+            EventKind::ShedStart { depth } => format!("shed-start depth={depth}"),
+            EventKind::ShedStop { shed } => format!("shed-stop shed={shed}"),
+            EventKind::NetFault { conn, frame, fault } => {
+                format!("net-fault conn={conn} frame={frame} {fault}")
+            }
+            EventKind::SlowClientClosed { conn } => format!("slow-client-closed conn={conn}"),
+            EventKind::ConnThrottled { conn } => format!("conn-throttled conn={conn}"),
         };
         format!("[{:>10}] {body}", self.seq)
     }
@@ -272,6 +317,15 @@ impl Event {
                 e.u32(*to_shards);
                 e.u32(*generation);
             }
+            EventKind::ShedStart { depth } => e.u64(*depth),
+            EventKind::ShedStop { shed } => e.u64(*shed),
+            EventKind::NetFault { conn, frame, fault } => {
+                e.u64(*conn);
+                e.u64(*frame);
+                e.str(fault);
+            }
+            EventKind::SlowClientClosed { conn } => e.u64(*conn),
+            EventKind::ConnThrottled { conn } => e.u64(*conn),
         }
     }
 
@@ -308,6 +362,11 @@ impl Event {
                 to_shards: d.u32()?,
                 generation: d.u32()?,
             },
+            15 => EventKind::ShedStart { depth: d.u64()? },
+            16 => EventKind::ShedStop { shed: d.u64()? },
+            17 => EventKind::NetFault { conn: d.u64()?, frame: d.u64()?, fault: d.str()?.to_string() },
+            18 => EventKind::SlowClientClosed { conn: d.u64()? },
+            19 => EventKind::ConnThrottled { conn: d.u64()? },
             t => return Err(CkptError::Malformed(format!("unknown event tag {t}"))),
         };
         Ok(Self { seq, kind })
@@ -460,6 +519,11 @@ mod tests {
             EventKind::HandoffRestore { checkpoint_seq: 6000, warm_boot: false },
             EventKind::Cutover { generation: 2 },
             EventKind::RingResize { from_shards: 4, to_shards: 8, generation: 2 },
+            EventKind::ShedStart { depth: 8192 },
+            EventKind::ShedStop { shed: 1311 },
+            EventKind::NetFault { conn: 3, frame: 41, fault: "stall(1000)".into() },
+            EventKind::SlowClientClosed { conn: 9 },
+            EventKind::ConnThrottled { conn: 2 },
         ]
     }
 
@@ -530,5 +594,10 @@ mod tests {
             kind: EventKind::HandoffRestore { checkpoint_seq: 6000, warm_boot: true },
         };
         assert_eq!(ev.render(), "[      6000] handoff-restore ckpt_seq=6000 mode=warm-boot");
+        let ev = Event { seq: 120, kind: EventKind::ShedStart { depth: 8192 } };
+        assert_eq!(ev.render(), "[       120] shed-start depth=8192");
+        let ev =
+            Event { seq: 40, kind: EventKind::NetFault { conn: 1, frame: 40, fault: "reset".into() } };
+        assert_eq!(ev.render(), "[        40] net-fault conn=1 frame=40 reset");
     }
 }

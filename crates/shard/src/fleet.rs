@@ -132,6 +132,19 @@ pub trait Envelope: Send + 'static {
     {
         drop(self);
     }
+    /// Called on the submitting thread when the request was shed under
+    /// overload control (its shard's queue was over the watermark): the
+    /// request will not be processed now, but the client may retry after a
+    /// backoff keyed to `retry_after` (0–7, larger means more overloaded).
+    /// The default just drops the envelope — override to report a distinct
+    /// `Busy` answer (the gateway does).
+    fn shed(self, retry_after: u8)
+    where
+        Self: Sized,
+    {
+        let _ = retry_after;
+        drop(self);
+    }
 }
 
 impl Envelope for Request {
@@ -176,6 +189,15 @@ pub struct FleetConfig {
     /// clock, so checkpoint contents are deterministic.
     #[serde(default)]
     pub checkpoint_every: Option<u64>,
+    /// Queue-depth watermark for overload shedding (`None` disables it).
+    /// While a shard's queue depth is at or above the watermark,
+    /// [`FleetProducer`]s answer that shard's requests `Busy` (via
+    /// [`Envelope::shed`]) instead of delivering them; shedding stops once
+    /// the queue drains to half the watermark (hysteresis). Shed requests
+    /// count as both `submitted` and `shed`, extending the conservation
+    /// ledger to `processed + dropped + unavailable + shed == submitted`.
+    #[serde(default)]
+    pub shed_watermark: Option<usize>,
 }
 
 impl Default for FleetConfig {
@@ -188,6 +210,7 @@ impl Default for FleetConfig {
             snapshot_every: None,
             restart_budget: RestartBudget::default(),
             checkpoint_every: None,
+            shed_watermark: None,
         }
     }
 }
@@ -258,6 +281,9 @@ pub struct ShardOutcome<D> {
     /// Requests answered `Unavailable` because the shard was permanently
     /// dead when they were submitted.
     pub unavailable: u64,
+    /// Requests answered `Busy` because the shard's queue was over its shed
+    /// watermark when they were submitted (overload control).
+    pub shed: u64,
     /// Restarts the supervisor granted this shard (warm and cold together).
     pub restarts: u32,
     /// Restarts that resumed warm from a valid checkpoint.
@@ -307,6 +333,11 @@ impl<D> FleetReport<D> {
     /// Requests answered `Unavailable` across the fleet.
     pub fn total_unavailable(&self) -> u64 {
         self.shards.iter().map(|s| s.unavailable).sum()
+    }
+
+    /// Requests shed `Busy` at shard watermarks across the fleet.
+    pub fn total_shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
     }
 
     /// Restarts granted across the fleet (warm and cold together).
@@ -883,6 +914,7 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
                 processed: snap.processed,
                 dropped: snap.dropped,
                 unavailable: snap.unavailable,
+                shed: snap.shed,
                 restarts: snap.restarts,
                 warm_restarts: snap.warm_restarts,
                 dead: snap.dead,
@@ -1002,6 +1034,19 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> FleetProducer<D, E> {
                 env.unavailable();
             }
             return;
+        }
+        if let Some(watermark) = self.core.cfg.shed_watermark {
+            if cell.shed_decision(watermark) {
+                // Overload: answer Busy without blocking on the full queue.
+                // The retry hint scales with how far past the watermark the
+                // queue is — deeper backlog, longer client backoff.
+                let hint = (cell.queue_depth() / watermark.max(1)).min(7) as u8;
+                cell.add_shed(self.staged[s].len() as u64);
+                for env in self.staged[s].drain(..) {
+                    env.shed(hint.max(1));
+                }
+                return;
+            }
         }
         let now = self.core.total_submitted.load(Ordering::Relaxed);
         self.core.deliver(s, &mut self.staged[s], now);
@@ -1336,6 +1381,7 @@ mod tests {
             snapshot_every: Some(5_000),
             restart_budget: RestartBudget::default(),
             checkpoint_every: None,
+            shed_watermark: None,
         });
         fleet.submit_trace(&t);
         let report = fleet.finish();
@@ -1369,6 +1415,7 @@ mod tests {
             snapshot_every: None,
             restart_budget: RestartBudget::default(),
             checkpoint_every: None,
+            shed_watermark: None,
         });
         fleet.submit_trace(&t);
         let report = fleet.finish();
@@ -1612,6 +1659,7 @@ mod tests {
             snapshot_every: None,
             restart_budget: RestartBudget::default(),
             checkpoint_every: None,
+            shed_watermark: None,
         });
         let ingest = fleet.ingest();
         std::thread::scope(|scope| {
@@ -1648,6 +1696,7 @@ mod tests {
             snapshot_every: None,
             restart_budget: RestartBudget::default(),
             checkpoint_every: None,
+            shed_watermark: None,
         });
         {
             let mut producer = fleet.ingest().producer();

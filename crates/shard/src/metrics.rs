@@ -17,7 +17,7 @@
 
 use crate::queue::QueueGauges;
 use darwin_cache::CacheMetrics;
-use darwin_obs::{Event, JournalSnapshot, LatencySnapshot, ShardObs};
+use darwin_obs::{Event, EventKind, JournalSnapshot, LatencySnapshot, ShardObs};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -93,6 +93,14 @@ pub struct ShardSnapshot {
     /// dead when they arrived.
     #[serde(default)]
     pub unavailable: u64,
+    /// Requests answered `Busy` because the shard's queue depth was over
+    /// its shed watermark when they arrived (overload control).
+    #[serde(default)]
+    pub shed: u64,
+    /// True while the shard is actively shedding: its queue crossed the
+    /// watermark and has not yet drained below the recovery threshold.
+    #[serde(default)]
+    pub shedding: bool,
     /// Restarts the shard's supervisor granted (warm and cold together).
     #[serde(default)]
     pub restarts: u32,
@@ -171,6 +179,8 @@ impl ShardSnapshot {
         self.processed += other.processed;
         self.dropped += other.dropped;
         self.unavailable += other.unavailable;
+        self.shed += other.shed;
+        self.shedding |= other.shedding;
         self.restarts += other.restarts;
         self.warm_restarts += other.warm_restarts;
         self.warm_boots += other.warm_boots;
@@ -227,6 +237,21 @@ pub struct GatewaySnapshot {
     /// `EVENTS` frames served.
     #[serde(default)]
     pub events_served: u64,
+    /// Requests answered `Busy` by the gateway itself — over the
+    /// per-connection rate limit or the reply-backlog bound — without ever
+    /// reaching the fleet. Disjoint from the per-shard `shed` counters.
+    #[serde(default)]
+    pub shed: u64,
+    /// Connections that ever exceeded their fair-share token bucket.
+    #[serde(default)]
+    pub throttled: u64,
+    /// Connections evicted because the client stopped reading replies
+    /// (write-stall budget expired).
+    #[serde(default)]
+    pub slow_closed: u64,
+    /// Scripted network faults injected so far.
+    #[serde(default)]
+    pub net_faults: u64,
     /// Bytes read off client sockets.
     pub bytes_in: u64,
     /// Bytes written to client sockets.
@@ -325,6 +350,10 @@ impl FleetMetrics {
                 verdicts_out: a.verdicts_out + b.verdicts_out,
                 stats_served: a.stats_served + b.stats_served,
                 events_served: a.events_served + b.events_served,
+                shed: a.shed + b.shed,
+                throttled: a.throttled + b.throttled,
+                slow_closed: a.slow_closed + b.slow_closed,
+                net_faults: a.net_faults + b.net_faults,
                 bytes_in: a.bytes_in + b.bytes_in,
                 bytes_out: a.bytes_out + b.bytes_out,
             }),
@@ -354,6 +383,18 @@ impl FleetMetrics {
     /// Requests answered `Unavailable` across the fleet (degraded mode).
     pub fn total_unavailable(&self) -> u64 {
         self.shards.iter().map(|s| s.unavailable).sum()
+    }
+
+    /// Requests shed `Busy` at shard watermarks across the fleet. Gateway-
+    /// level sheds (rate limit, reply backlog) are counted separately in
+    /// [`GatewaySnapshot::shed`] — they never reached the fleet.
+    pub fn total_shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
+    }
+
+    /// Shards currently over their shed watermark.
+    pub fn shedding_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.shedding).count()
     }
 
     /// Restarts granted across the fleet (warm and cold together).
@@ -477,6 +518,10 @@ pub struct ShardCell {
     processed_base: AtomicU64,
     dropped: AtomicU64,
     unavailable: AtomicU64,
+    shed: AtomicU64,
+    /// True while producers are shedding this shard's traffic (queue over
+    /// the watermark; cleared once it drains below half of it).
+    shedding: AtomicBool,
     restarts: AtomicU32,
     warm_restarts: AtomicU32,
     warm_boots: AtomicU32,
@@ -507,6 +552,8 @@ impl ShardCell {
             processed_base: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             unavailable: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            shedding: AtomicBool::new(false),
             restarts: AtomicU32::new(0),
             warm_restarts: AtomicU32::new(0),
             warm_boots: AtomicU32::new(0),
@@ -576,6 +623,68 @@ impl ShardCell {
     /// Requests answered `Unavailable` so far.
     pub fn unavailable(&self) -> u64 {
         self.unavailable.load(Ordering::Relaxed)
+    }
+
+    /// Producer side: account requests answered `Busy` because this shard's
+    /// queue was over its shed watermark.
+    pub fn add_shed(&self, n: u64) {
+        if n > 0 {
+            self.shed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests shed `Busy` at this shard so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// True while producers are shedding this shard's traffic.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding.load(Ordering::Relaxed)
+    }
+
+    /// Current depth of the shard's queue (the live incarnation's gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.gauges.lock().expect("cell poisoned").depth()
+    }
+
+    /// Runs the watermark state machine against the current queue depth and
+    /// returns whether producers should shed this shard's traffic right
+    /// now. Shedding engages at `depth >= watermark` and disengages at
+    /// `depth <= watermark / 2` (hysteresis, so the decision doesn't
+    /// flicker at the boundary); each episode's start and stop are
+    /// journaled exactly once, whichever producer's CAS wins the crossing.
+    pub fn shed_decision(&self, watermark: usize) -> bool {
+        let depth = self.queue_depth();
+        if self.shedding.load(Ordering::Relaxed) {
+            if depth <= watermark / 2 {
+                if self
+                    .shedding
+                    .compare_exchange(true, false, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.obs
+                        .journal
+                        .record(self.processed_total(), EventKind::ShedStop { shed: self.shed() });
+                }
+                return false;
+            }
+            true
+        } else {
+            if depth >= watermark {
+                if self
+                    .shedding
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.obs
+                        .journal
+                        .record(self.processed_total(), EventKind::ShedStart { depth: depth as u64 });
+                }
+                return true;
+            }
+            false
+        }
     }
 
     /// Requests processed across all incarnations.
@@ -697,6 +806,8 @@ impl ShardCell {
             processed: processed_total,
             dropped: self.dropped(),
             unavailable: self.unavailable(),
+            shed: self.shed(),
+            shedding: self.is_shedding(),
             restarts: self.restarts(),
             warm_restarts: self.warm_restarts(),
             warm_boots: self.warm_boots(),
@@ -726,6 +837,8 @@ mod tests {
             processed: requests,
             dropped: 0,
             unavailable: 0,
+            shed: 0,
+            shedding: false,
             restarts: 0,
             warm_restarts: 0,
             warm_boots: 0,
@@ -786,6 +899,10 @@ mod tests {
             verdicts_out: 1_990,
             stats_served: 3,
             events_served: 1,
+            shed: 12,
+            throttled: 1,
+            slow_closed: 1,
+            net_faults: 4,
             bytes_in: 48_000,
             bytes_out: 2_300,
         };

@@ -39,6 +39,7 @@ fn fleet_cfg(shards: usize, queue: usize, batch: usize) -> FleetConfig {
         snapshot_every: None,
         restart_budget: Default::default(),
         checkpoint_every: None,
+        shed_watermark: None,
     }
 }
 

@@ -77,6 +77,7 @@ fn check_conservation(shards: usize, plan: FaultPlan, budget: RestartBudget, bp:
             snapshot_every: None,
             restart_budget: budget,
             checkpoint_every: None,
+            shed_watermark: None,
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),
@@ -157,6 +158,7 @@ fn empty_fault_plan_is_bitwise_identical_to_sequential_replay() {
                 snapshot_every: None,
                 restart_budget: RestartBudget::default(),
                 checkpoint_every: None,
+                shed_watermark: None,
             },
             CacheConfig::small_test(),
             Box::new(HashRouter),
@@ -197,6 +199,7 @@ fn fault_runs_reproduce_bit_for_bit() {
                 snapshot_every: None,
                 restart_budget: RestartBudget { max_restarts: 1, window_requests: 100_000 },
                 checkpoint_every: None,
+                shed_watermark: None,
             },
             CacheConfig::small_test(),
             Box::new(HashRouter),
@@ -246,6 +249,7 @@ fn stall_faults_are_result_invisible() {
                 snapshot_every: None,
                 restart_budget: RestartBudget::default(),
                 checkpoint_every: None,
+                shed_watermark: None,
             },
             CacheConfig::small_test(),
             Box::new(HashRouter),

@@ -89,6 +89,7 @@ fn check_darwin_equivalence(shards: usize) {
             snapshot_every: None,
             restart_budget: Default::default(),
             checkpoint_every: None,
+            shed_watermark: None,
         },
         cache_cfg(),
         Box::new(HashRouter),
@@ -163,6 +164,7 @@ fn static_fleet_equivalent_at_8_shards_long_trace() {
             snapshot_every: Some(25_000),
             restart_budget: Default::default(),
             checkpoint_every: None,
+            shed_watermark: None,
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),

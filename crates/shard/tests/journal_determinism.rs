@@ -50,6 +50,7 @@ fn static_run(shards: usize) -> (Vec<u8>, Vec<(u32, JournalSnapshot)>) {
             snapshot_every: None,
             restart_budget: RestartBudget { max_restarts: 2, window_requests: 100_000 },
             checkpoint_every: Some(512),
+            shed_watermark: None,
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),
@@ -155,6 +156,7 @@ fn darwin_run() -> (Vec<u8>, Vec<(u32, JournalSnapshot)>) {
             snapshot_every: None,
             restart_budget: Default::default(),
             checkpoint_every: None,
+            shed_watermark: None,
         },
         CacheConfig { hoc_bytes: 2 * 1024 * 1024, ..CacheConfig::small_test() },
         Box::new(HashRouter),

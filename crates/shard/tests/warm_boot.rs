@@ -31,6 +31,7 @@ fn fleet_cfg(shards: usize) -> FleetConfig {
         snapshot_every: None,
         restart_budget: Default::default(),
         checkpoint_every: Some(CKPT_EVERY),
+        shed_watermark: None,
     }
 }
 

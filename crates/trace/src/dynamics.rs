@@ -11,7 +11,14 @@
 //!   class are progressively remapped so old favourites cool down and new
 //!   ones heat up;
 //! * [`flash_crowd`] — a sudden hot object that absorbs a share of requests
-//!   for a window (an "important iOS update is released").
+//!   for a window (an "important iOS update is released");
+//! * [`popularity_inversion`] — an instant regime change: at one cut point
+//!   the popular set is bijectively remapped, so everything a cache learned
+//!   about who is hot becomes wrong at once (the adversarial counterpart of
+//!   [`drift_popularity`]'s gradual rotation);
+//! * [`compress_window`] — a true arrival-rate burst: a window's timestamps
+//!   are squeezed by a factor so the same requests land in a fraction of the
+//!   wall-clock, the load spike that drives a gateway into shedding.
 
 use crate::generator::{object_id, split_id};
 use crate::request::{Request, Trace};
@@ -102,6 +109,64 @@ pub fn flash_crowd(
     Trace::from_sorted(requests)
 }
 
+/// Inverts object popularity at a single cut point: from `at_frac` of the
+/// trace onward, every object's rank within its class is XOR-remapped by a
+/// seed-derived nonzero mask. The remap is a bijection on the rank space, so
+/// the *workload statistics* (class mix, sizes, arrival times) are
+/// untouched — but the identity of the popular head flips instantly,
+/// invalidating everything a cache or learned admission policy inferred
+/// before the cut. Same seed ⇒ same remap.
+pub fn popularity_inversion(trace: &Trace, at_frac: f64, seed: u64) -> Trace {
+    assert!((0.0..=1.0).contains(&at_frac), "cut point in [0,1]");
+    // The generator's rank width is 48 bits. SplitMix64 the seed into a
+    // mask; force the high rank bit so the hot low-rank head provably lands
+    // deep in the cold tail.
+    const RANK_SPACE: u64 = (1 << 48) - 1;
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let mask = ((z ^ (z >> 31)) & RANK_SPACE) | (1 << 47);
+    let cut = (at_frac * trace.len() as f64) as usize;
+    let requests = trace
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if i >= cut {
+                let (class, rank) = split_id(r.id);
+                Request::new(object_id(class, rank ^ mask), r.size, r.timestamp_us)
+            } else {
+                *r
+            }
+        })
+        .collect();
+    Trace::from_sorted(requests)
+}
+
+/// Time-compresses the window `[start_frac, end_frac)` by `factor` (> 1):
+/// the window's inter-arrival gaps shrink to `gap / factor`, so the same
+/// requests arrive in `1/factor` of the wall-clock — an arrival-rate burst.
+/// Requests after the window shift earlier by the time saved; order and
+/// content are unchanged. Compose with [`flash_crowd`] over the same window
+/// for the full "everyone fetches the update at once" storm.
+pub fn compress_window(trace: &Trace, start_frac: f64, end_frac: f64, factor: f64) -> Trace {
+    assert!((0.0..=1.0).contains(&start_frac) && (0.0..=1.0).contains(&end_frac));
+    assert!(start_frac < end_frac, "empty burst window");
+    assert!(factor >= 1.0, "compression factor must be >= 1");
+    let n = trace.len();
+    let lo = (start_frac * n as f64) as usize;
+    let hi = (end_frac * n as f64) as usize;
+    let mut requests = Vec::with_capacity(n);
+    let mut out = 0.0f64;
+    let mut prev = trace.requests().first().map(|r| r.timestamp_us).unwrap_or(0);
+    for (i, r) in trace.iter().enumerate() {
+        let gap = (r.timestamp_us - prev) as f64;
+        prev = r.timestamp_us;
+        out += if i > lo && i <= hi { gap / factor } else { gap };
+        requests.push(Request::new(r.id, r.size, out.round() as u64));
+    }
+    Trace::from_sorted(requests)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +237,68 @@ mod tests {
     #[should_panic(expected = "empty flash-crowd window")]
     fn inverted_window_rejected() {
         flash_crowd(&base(100), 0.6, 0.4, 0.5, 1024, 1);
+    }
+
+    #[test]
+    fn inversion_flips_the_popular_set_at_the_cut() {
+        let t = base(10_000);
+        let inv = popularity_inversion(&t, 0.5, 21);
+        // Before the cut: identity. After: a bijection that misses every
+        // original id (the forced high bit guarantees it), with sizes and
+        // timestamps untouched.
+        for (a, b) in t.iter().zip(inv.iter()).take(5_000) {
+            assert_eq!(a, b);
+        }
+        let mut remapped = std::collections::HashSet::new();
+        for (a, b) in t.iter().zip(inv.iter()).skip(5_000) {
+            assert_ne!(a.id, b.id, "post-cut ids must move");
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.timestamp_us, b.timestamp_us);
+            let (ca, _) = split_id(a.id);
+            let (cb, _) = split_id(b.id);
+            assert_eq!(ca, cb, "class is preserved");
+            remapped.insert((a.id, b.id));
+        }
+        // Bijection: the same original id always maps to the same new id.
+        let distinct_from: std::collections::HashSet<u64> =
+            remapped.iter().map(|&(from, _)| from).collect();
+        let distinct_to: std::collections::HashSet<u64> = remapped.iter().map(|&(_, to)| to).collect();
+        assert_eq!(distinct_from.len(), distinct_to.len());
+        assert_eq!(remapped.len(), distinct_from.len());
+        // Determinism.
+        assert_eq!(inv, popularity_inversion(&t, 0.5, 21));
+        assert_ne!(inv, popularity_inversion(&t, 0.5, 22), "seed selects the remap");
+    }
+
+    #[test]
+    fn compression_bursts_the_window_and_preserves_content() {
+        let t = base(10_000);
+        let c = compress_window(&t, 0.25, 0.75, 4.0);
+        assert_eq!(c.len(), t.len());
+        for (a, b) in t.iter().zip(c.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.size, b.size);
+        }
+        assert!(c.requests().windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+        // The window's span shrinks ~4×; the prefix is untouched.
+        let span = |tr: &Trace, lo: usize, hi: usize| {
+            tr.requests()[hi - 1].timestamp_us - tr.requests()[lo].timestamp_us
+        };
+        assert_eq!(span(&c, 0, 2_500), span(&t, 0, 2_500), "prefix untouched");
+        let orig = span(&t, 2_500, 7_500) as f64;
+        let burst = span(&c, 2_500, 7_500) as f64;
+        assert!(
+            (burst / orig) < 0.3,
+            "window must compress ~4x, got {burst}/{orig} = {:.2}",
+            burst / orig
+        );
+        // Total duration shrinks by exactly the time saved in the window.
+        assert!(c.duration_us() < t.duration_us());
+    }
+
+    #[test]
+    #[should_panic(expected = "compression factor")]
+    fn dilating_factor_rejected() {
+        compress_window(&base(100), 0.2, 0.8, 0.5);
     }
 }

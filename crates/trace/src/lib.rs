@@ -38,7 +38,9 @@ pub mod stats;
 pub mod window;
 
 pub use class::{ClassKind, SizeModel, TrafficClass};
-pub use dynamics::{drift_popularity, flash_crowd, modulate_rate};
+pub use dynamics::{
+    compress_window, drift_popularity, flash_crowd, modulate_rate, popularity_inversion,
+};
 pub use generator::{MixSpec, TraceGenerator};
 pub use io::{read_trace, read_trace_file, write_trace, write_trace_file, TraceReadError};
 pub use request::{ObjectId, Request, Trace};

@@ -70,6 +70,25 @@ else
         }' target/shard_smoke/BENCH_shard.json
 fi
 
+echo "== overload: shed-conservation ledger (processed+dropped+unavailable+shed at 1, 2, 8 shards) =="
+cargo test -p darwin-shard --test overload -q
+
+echo "== overload: gateway valves (slow-client eviction, throttle fairness, net-fault chaos) =="
+cargo test -p darwin-gateway --test overload -q
+
+echo "== overload bench smoke (flash crowd: ledger, fairness, journal determinism over sockets) =="
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -le 1 ]; then
+    echo "   skipped: $cores core visible — greedy client + fair cohort need cores to spare"
+else
+    cargo run --release -p darwin-bench --bin experiments -- overload --out target/overload_smoke
+    awk '
+        /"starved_conns":/ { gsub(/[",]/, ""); if ($2 + 0 > 0) { print "   FAIL: a fair connection starved"; exit 1 } }
+        /"identical":/     { gsub(/[",]/, ""); if ($2 != "true") { print "   FAIL: net-fault journals diverged across reruns"; exit 1 } seen = 1 }
+        END { if (!seen) { print "   missing identical field"; exit 1 } print "   ledger + fairness + determinism asserts held (see BENCH_overload.json)" }
+    ' target/overload_smoke/BENCH_overload.json
+fi
+
 echo "== rebalance: 4->8->4 resize equivalence (ledger, journal, bitwise reruns) =="
 cargo test -p darwin-rebalance --test resize -q
 
