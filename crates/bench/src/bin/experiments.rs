@@ -6,7 +6,7 @@
 //! what: all | fig2 | fig4a | fig4b | fig4c | fig5a | fig5b | fig5c | fig5d
 //!     | fig6 | fig7a | fig7b | table2 | fig8 | fig9 | fig10 | fig11
 //!     | ablations | timeline | hindsight | shard | gateway | chaos | recovery
-//!     | switching | rebalance | overload
+//!     | failover | switching | rebalance | overload
 //! ```
 //!
 //! `--scale 1` (default) is the laptop configuration; larger factors move
@@ -18,15 +18,15 @@
 
 use darwin::offline::OfflineTrainer;
 use darwin_bench::experiments::{
-    ablations, chaos, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, overload, rebalance,
-    recovery, shard, switching, table2, timeline,
+    ablations, chaos, failover, fig2, fig4, fig5, fig6, fig7, fig8_11, gateway, hindsight, overload,
+    rebalance, recovery, shard, switching, table2, timeline,
 };
 use darwin_bench::{Scale, SharedContext};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos|recovery|switching|rebalance|overload> [--scale N] [--out DIR] [--cache] [--resize-to M]"
+        "usage: experiments <all|fig2|fig4a|fig4b|fig4c|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|table2|fig8|fig9|fig10|fig11|ablations|timeline|hindsight|shard|gateway|chaos|recovery|failover|switching|rebalance|overload> [--scale N] [--out DIR] [--cache] [--resize-to M]"
     );
     std::process::exit(2);
 }
@@ -91,6 +91,7 @@ fn main() {
         "gateway",
         "chaos",
         "recovery",
+        "failover",
         "switching",
         "rebalance",
         "overload",
@@ -119,6 +120,10 @@ fn main() {
     }
     if what == "recovery" {
         recovery::run(&scale, &out);
+        return;
+    }
+    if what == "failover" {
+        failover::run(&scale, &out);
         return;
     }
     if what == "switching" {
@@ -174,6 +179,7 @@ fn main() {
         "gateway" => gateway::run(&scale, &out),
         "chaos" => chaos::run(&scale, &out),
         "recovery" => recovery::run(&scale, &out),
+        "failover" => failover::run(&scale, &out),
         "switching" => switching::run(&scale, &out),
         "rebalance" => rebalance::run_with(&scale, &out, resize_to),
         "overload" => overload::run(&scale, &out),
@@ -205,6 +211,7 @@ fn main() {
             "gateway",
             "chaos",
             "recovery",
+            "failover",
             "switching",
             "rebalance",
             "overload",

@@ -161,6 +161,7 @@ pub fn run(scale: &Scale, out: &Path) {
                 restart_budget: sc.budget,
                 checkpoint_every: None,
                 shed_watermark: None,
+                replicas: 0,
             },
             cache.clone(),
             Box::new(HashRouter),

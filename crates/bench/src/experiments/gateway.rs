@@ -108,6 +108,7 @@ pub fn run(scale: &Scale, out: &Path) {
                         restart_budget: Default::default(),
                         checkpoint_every: None,
                         shed_watermark: None,
+                        replicas: 0,
                     },
                     cache.clone(),
                     Box::new(HashRouter),

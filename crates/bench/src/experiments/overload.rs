@@ -229,6 +229,7 @@ fn run_shed(trace: &Trace, scale: &Scale, shards: usize) -> OverloadRow {
             restart_budget: Default::default(),
             checkpoint_every: None,
             shed_watermark: Some(SHED_WATERMARK),
+            replicas: 0,
         },
         scale.cache_config(),
         Box::new(HashRouter),
@@ -329,6 +330,7 @@ fn run_netfault_once(scale: &Scale) -> (Vec<u8>, u64) {
             restart_budget: Default::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         },
         scale.cache_config(),
         Box::new(HashRouter),

@@ -164,6 +164,7 @@ fn fleet_cfg(shards: usize, checkpoint_every: u64) -> FleetConfig {
         restart_budget: Default::default(),
         checkpoint_every: Some(checkpoint_every),
         shed_watermark: None,
+        replicas: 0,
     }
 }
 

@@ -194,6 +194,7 @@ fn fleet_run(
             restart_budget: Default::default(),
             checkpoint_every: ckpt_every,
             shed_watermark: None,
+            replicas: 0,
         },
         cache.clone(),
         Box::new(HashRouter),

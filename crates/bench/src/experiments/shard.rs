@@ -161,6 +161,7 @@ fn live_run(
             restart_budget: Default::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         },
         cache.clone(),
         Box::new(HashRouter),

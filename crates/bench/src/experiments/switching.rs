@@ -155,6 +155,7 @@ pub fn run(scale: &Scale, out: &Path) {
             restart_budget: Default::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         },
         CacheConfig { hoc_bytes: 2 * 1024 * 1024, ..CacheConfig::small_test() },
         Box::new(HashRouter),

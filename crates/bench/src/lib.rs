@@ -19,6 +19,7 @@ pub mod experiments {
     //! One module per paper table/figure (see DESIGN.md's experiment index).
     pub mod ablations;
     pub mod chaos;
+    pub mod failover;
     pub mod fig2;
     pub mod fig4;
     pub mod fig5;

@@ -176,6 +176,10 @@ mod tests {
             dead: false,
             checkpoint_seq: Some(512),
             checkpoint_age: 10,
+            failovers: 0,
+            replica_seq: None,
+            replica_shipped_bytes: 0,
+            standby_lost: 0,
             queue_depth: 3,
             queue_high_water: 9,
             shed: 0,

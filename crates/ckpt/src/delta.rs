@@ -21,10 +21,15 @@
 //! refuses its own output if it does not hash to `target_sum` — a delta can
 //! fail loudly but never silently mis-restore. Unknown op tags, truncated
 //! bodies and bit flips surface as [`CkptError`]s from the sealed-frame
-//! layer or as `Malformed` from op decoding; the corpus proptests in
-//! `tests/codec_props.rs` pin all three.
+//! layer or as `Malformed` from op decoding; the hostile-corpus proptests
+//! (`darwin-rebalance/tests/codec_props.rs`) pin all three.
+//!
+//! The codec lives here (not in `darwin-rebalance`, where it originated)
+//! because both the rebalance handoff path and the shard replication layer
+//! need it, and `darwin-shard` sits below `darwin-rebalance` in the crate
+//! graph. `darwin_rebalance::delta` re-exports this module unchanged.
 
-use darwin_ckpt::{crc64, open, seal, CkptError, Dec, Enc};
+use crate::{crc64, open, seal, CkptError, Dec, Enc};
 
 /// Magic for sealed delta frames: `DRBD`.
 pub const DELTA_MAGIC: u32 = 0x4452_4244;

@@ -33,6 +33,20 @@
 //! Encoders in the state-owning crates keep byte output deterministic
 //! (hash maps are serialized sorted by key), so identical state always
 //! seals to identical frames — the property the roundtrip proptests pin.
+//!
+//! Two higher-level frame codecs live on top of the envelope, here rather
+//! than in `darwin-rebalance` so that `darwin-shard` (below rebalance in
+//! the crate graph) can use them too:
+//!
+//! * [`delta`] — [`DeltaFrame`](delta::DeltaFrame): an rsync-style block
+//!   diff between two byte images, the O(churn) payload of shard handoffs
+//!   and standby replication.
+//! * [`replica`] — [`ReplicaFrame`](replica::ReplicaFrame): the role-tagged
+//!   envelope a primary shard ships its checkpoint cuts to a hot standby
+//!   in (full image to seed, delta thereafter).
+
+pub mod delta;
+pub mod replica;
 
 use std::fmt;
 

@@ -9,6 +9,7 @@
 //!         [--router ring|hash] [--vnodes N]
 //!         [--read-timeout-ms N] [--idle-timeout-ms N]
 //!         [--shed-watermark N] [--conn-rate N] [--write-stall-ms N]
+//!         [--replicas N] [--elastic]
 //! ```
 //!
 //! Serves until a client sends `SHUTDOWN` (e.g. `loadgen --shutdown`), then
@@ -34,6 +35,16 @@
 //! (recovering at N/2); `--conn-rate N` caps each connection at N records
 //! per second via a token bucket (excess answered `Busy`); and
 //! `--write-stall-ms N` evicts clients that stop reading replies for N ms.
+//!
+//! Replication: `--replicas 1` runs a hot standby per shard, fed at every
+//! checkpoint cut (requires `--checkpoint-every`). A shard whose restart
+//! budget is exhausted then *promotes* its standby instead of being buried,
+//! so nothing is answered `Unavailable` past the budget.
+//!
+//! Elasticity: `--elastic` serves through an `ElasticFleet` on the
+//! consistent-hash ring (`--router` is implied `ring`), and clients may
+//! re-shard it live with `RESIZE` frames (`loadgen --resize M`); the
+//! `RESIZE_ACK` carries the per-generation ledger.
 
 use darwin_cache::{CacheConfig, ThresholdPolicy};
 use darwin_gateway::{Gateway, GatewayConfig};
@@ -57,6 +68,8 @@ fn main() {
     let mut router = "hash".to_string();
     let mut vnodes = DEFAULT_VNODES;
     let mut shed_watermark: Option<usize> = None;
+    let mut replicas = 0usize;
+    let mut elastic = false;
     let mut gw = GatewayConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -131,6 +144,11 @@ fn main() {
                 i += 1;
                 shed_watermark = Some(args[i].parse().expect("shed watermark"));
             }
+            "--replicas" => {
+                i += 1;
+                replicas = args[i].parse().expect("replicas per shard");
+            }
+            "--elastic" => elastic = true,
             "--conn-rate" => {
                 i += 1;
                 gw.conn_rate = Some(args[i].parse().expect("records per second"));
@@ -153,9 +171,39 @@ fn main() {
         restart_budget,
         checkpoint_every,
         shed_watermark,
+        replicas,
     };
     let cache = CacheConfig { hoc_bytes: hoc_mb * 1024 * 1024, ..CacheConfig::paper_default() };
     let policy = ThresholdPolicy::new(freq, size_kb * 1024);
+    if elastic {
+        let ring = RingRouter::new(DEFAULT_SEED, vnodes);
+        let gateway = Gateway::bind_elastic(addr.as_str(), cfg, cache, ring, gw, move |_| {
+            StaticDriver::new(policy)
+        })
+        .expect("bind gateway");
+        println!(
+            "gateway listening on {} ({} shards, ring(elastic), {:?})",
+            gateway.local_addr(),
+            shards,
+            backpressure
+        );
+        gateway.wait_shutdown();
+        let metrics = gateway.metrics();
+        let report = gateway.finish_elastic().expect("gateway finished cleanly");
+        println!("{}", metrics.to_json());
+        println!(
+            "served {} requests ({} dropped, {} unavailable, {} shed), fleet OHR {:.4}, {} generation(s), {} handoff transfer(s)",
+            report.metrics.total_processed(),
+            report.metrics.total_dropped(),
+            report.metrics.total_unavailable(),
+            report.metrics.total_shed(),
+            report.metrics.fleet_cache().hoc_ohr(),
+            report.metrics.generations.len(),
+            report.transfers.len(),
+        );
+        return;
+    }
+
     let routing: Box<dyn Router> = match router.as_str() {
         "ring" => Box::new(RingRouter::new(DEFAULT_SEED, vnodes)),
         _ => Box::new(HashRouter),

@@ -5,9 +5,12 @@
 //! loadgen [--addr HOST:PORT] [--requests N] [--connections N]
 //!         [--batch N] [--window N] [--seed S]
 //!         [--retries N] [--backoff-ms N] [--backoff-cap-ms N]
-//!         [--read-timeout-ms N] [--stats] [--events] [--shutdown]
+//!         [--read-timeout-ms N] [--resize M] [--stats] [--events]
+//!         [--shutdown]
 //! ```
 //!
+//! `--resize M` asks an elastic gateway to re-shard to M shards after the
+//! replay (before `--stats`), printing the acked generation ledger;
 //! `--stats` fetches the gateway's JSON metrics snapshot after the replay;
 //! `--events` dumps the per-shard event journals (deaths, restarts, expert
 //! switches, checkpoint cuts — see `darwin-obs`);
@@ -29,6 +32,7 @@ fn main() {
     let mut stats = false;
     let mut events = false;
     let mut shutdown = false;
+    let mut resize: Option<u32> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -73,6 +77,10 @@ fn main() {
                 cfg.read_timeout =
                     Some(Duration::from_millis(args[i].parse().expect("read timeout ms")));
             }
+            "--resize" => {
+                i += 1;
+                resize = Some(args[i].parse().expect("resize target shards"));
+            }
             "--stats" => stats = true,
             "--events" => events = true,
             "--shutdown" => shutdown = true,
@@ -114,6 +122,19 @@ fn main() {
     );
     println!("overload: shed={} (Busy records retried to completion)", e.shed);
 
+    if let Some(target) = resize {
+        let ack = loadgen::send_resize(addr.as_str(), target).expect("send resize");
+        match &ack.error {
+            Some(err) => println!("resize refused: {err}"),
+            None => println!(
+                "resized to {} shard(s), generation {}, {} transfer(s), {} retired generation(s)",
+                ack.shards,
+                ack.generation,
+                ack.transferred_shards,
+                ack.ledger.len(),
+            ),
+        }
+    }
     if stats {
         println!("{}", loadgen::fetch_stats(addr.as_str()).expect("fetch stats"));
     }

@@ -31,6 +31,8 @@ pub(crate) enum Reply {
     Stats(String),
     /// Sealed fleet-events frame answering an `EVENTS` frame.
     Events(Vec<u8>),
+    /// JSON ledger (or `{"error": …}`) answering a `RESIZE` frame.
+    ResizeAck(String),
     /// Acknowledges a `SHUTDOWN` frame.
     ShutdownAck,
 }
@@ -183,6 +185,7 @@ pub(crate) fn writer_loop(
                 }
                 Reply::Stats(json) => encode(&Message::StatsReply(json), &mut out),
                 Reply::Events(frame) => encode(&Message::EventsReply(frame), &mut out),
+                Reply::ResizeAck(json) => encode(&Message::ResizeAck(json), &mut out),
                 Reply::ShutdownAck => encode(&Message::ShutdownAck, &mut out),
             }
         }

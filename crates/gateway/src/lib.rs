@@ -42,5 +42,5 @@ mod conn;
 
 pub use loadgen::{ConnReport, ErrorStats, LoadgenConfig, LoadgenReport, VerdictTally};
 pub use netfault::{NetFaultEvent, NetFaultKind, NetFaultPlan};
-pub use server::{Gateway, GatewayConfig, GatewayError, GATEWAY_JOURNAL_SHARD};
+pub use server::{Gateway, GatewayConfig, GatewayError, ResizeAck, GATEWAY_JOURNAL_SHARD};
 pub use wire::{Message, VerdictOutcome, WireError, WireVerdict};

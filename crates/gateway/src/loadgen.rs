@@ -569,6 +569,27 @@ pub fn fetch_events(addr: impl ToSocketAddrs) -> io::Result<Vec<(u32, JournalSna
     }
 }
 
+/// Asks an elastic gateway to re-shard to `shards` shards (`RESIZE`) and
+/// returns the parsed `RESIZE_ACK`. The ack arrives after the cutover
+/// completes; a non-elastic gateway answers with `error` set (the wire
+/// exchange itself still succeeds).
+pub fn send_resize(addr: impl ToSocketAddrs, shards: u32) -> io::Result<crate::ResizeAck> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&crate::wire::encoded(&Message::Resize(shards)))?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut reader = FrameReader::new(stream);
+    match reader.recv() {
+        Ok(Some(Message::ResizeAck(json))) => serde_json::from_str(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        Ok(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected RESIZE_ACK, got {other:?}"),
+        )),
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
 /// Sends a graceful-shutdown request and waits for its acknowledgement.
 pub fn send_shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
     let mut stream = TcpStream::connect(addr)?;

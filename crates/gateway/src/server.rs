@@ -24,12 +24,14 @@ use crate::conn::{writer_loop, ConnSink, GatewayEnvelope, PendingBatch, Reply, S
 use crate::netfault::{spin, NetFaultKind, NetFaultPlan};
 use crate::wire::{FrameReader, Message, RecvError, WireVerdict};
 use darwin_cache::CacheConfig;
-use darwin_obs::{EventKind, Journal};
+use darwin_obs::{EventKind, Journal, JournalSnapshot};
+use darwin_rebalance::{ElasticFleet, ElasticReport, RingRouter};
 use darwin_shard::{
     FaultPlan, FleetBoot, FleetConfig, FleetIngest, FleetMetrics, FleetProducer, FleetReport,
-    GatewaySnapshot, MetricsHandle, Router, ShardedFleet,
+    GatewaySnapshot, GenerationSummary, MetricsHandle, Router, ShardedFleet,
 };
 use darwin_testbed::AdmissionDriver;
+use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -152,6 +154,7 @@ struct Counters {
     verdicts_out: AtomicU64,
     stats_served: AtomicU64,
     events_served: AtomicU64,
+    resizes_served: AtomicU64,
     shed: AtomicU64,
     throttled: AtomicU64,
     slow_closed: AtomicU64,
@@ -178,6 +181,7 @@ impl Counters {
             verdicts_out: self.verdicts_out.load(Ordering::Relaxed),
             stats_served: self.stats_served.load(Ordering::Relaxed),
             events_served: self.events_served.load(Ordering::Relaxed),
+            resizes_served: self.resizes_served.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             throttled: self.throttled.load(Ordering::Relaxed),
             slow_closed: self.slow_closed.load(Ordering::Relaxed),
@@ -197,12 +201,51 @@ impl Drop for ActiveGuard {
     }
 }
 
+/// The JSON body of a `RESIZE_ACK` frame: the performed resize's ledger,
+/// or an `error` explaining the refusal (non-elastic gateway, degenerate
+/// target, or a failed handoff).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResizeAck {
+    /// `Some` when the resize was refused or failed; the remaining fields
+    /// then describe the unchanged serving fleet (zeros on a non-elastic
+    /// gateway).
+    #[serde(default)]
+    pub error: Option<String>,
+    /// Serving router generation after the ack.
+    pub generation: u32,
+    /// Serving shard count after the ack.
+    pub shards: u32,
+    /// Shards whose final cut was shipped into the new generation by this
+    /// resize (0 on a refusal).
+    pub transferred_shards: u32,
+    /// Retired generations' ledger rows, oldest first — the
+    /// [`GenerationSummary`] audit trail `STATS` also carries.
+    pub ledger: Vec<GenerationSummary>,
+}
+
+/// The fleet behind the gateway: fixed-size (the historical shape, with a
+/// lock-free per-connection ingest path) or elastic (re-shardable live by
+/// `RESIZE` frames, every access through its generation lock).
+enum FleetCore<D: AdmissionDriver + Send + 'static> {
+    /// A fixed [`ShardedFleet`]: the ingest and metrics handles are minted
+    /// once at bind and stay valid for the gateway's life.
+    Static {
+        /// Held only for [`Gateway::finish`]; the serving path never locks
+        /// it.
+        fleet: Mutex<Option<ShardedFleet<D, GatewayEnvelope>>>,
+        /// Multi-producer ingest front: each connection mints its own
+        /// producer.
+        ingest: FleetIngest<D, GatewayEnvelope>,
+        metrics: MetricsHandle,
+    },
+    /// An [`ElasticFleet`]: a `RESIZE` frame drains the serving generation
+    /// and boots the next one, so ingest and metrics go through the fleet's
+    /// generation lock on every call instead of a cached handle.
+    Elastic(Box<ElasticFleet<D, GatewayEnvelope>>),
+}
+
 struct Shared<D: AdmissionDriver + Send + 'static> {
-    /// Held only for [`Gateway::finish`]; the serving path never locks it.
-    fleet: Mutex<Option<ShardedFleet<D, GatewayEnvelope>>>,
-    /// Multi-producer ingest front: each connection mints its own producer.
-    ingest: FleetIngest<D, GatewayEnvelope>,
-    metrics: MetricsHandle,
+    core: FleetCore<D>,
     counters: Arc<Counters>,
     /// The gateway's own event journal (shed episodes, net faults, evicted
     /// slow clients). Rides the `EVENTS` reply as pseudo-shard
@@ -219,9 +262,59 @@ struct Shared<D: AdmissionDriver + Send + 'static> {
 
 impl<D: AdmissionDriver + Send + 'static> Shared<D> {
     /// Fleet snapshot with the gateway counters folded in — non-blocking by
-    /// construction (shard cells + atomics, no fleet mutex).
+    /// construction for a static fleet (shard cells + atomics, no fleet
+    /// mutex); an elastic fleet reads through its generation lock, so a
+    /// snapshot taken during a resize waits for the cutover.
     fn fleet_metrics(&self) -> FleetMetrics {
-        self.metrics.snapshot().with_gateway(self.counters.snapshot())
+        let snap = match &self.core {
+            FleetCore::Static { metrics, .. } => metrics.snapshot(),
+            FleetCore::Elastic(fleet) => fleet.metrics(),
+        };
+        snap.with_gateway(self.counters.snapshot())
+    }
+
+    /// The shard journals an `EVENTS` reply drains: the fixed fleet's, or
+    /// the elastic fleet's *serving* generation (retired generations' rings
+    /// retire with their cells).
+    fn journals(&self) -> Vec<(u32, JournalSnapshot)> {
+        match &self.core {
+            FleetCore::Static { metrics, .. } => metrics.journals(),
+            FleetCore::Elastic(fleet) => fleet.metrics_handle().journals(),
+        }
+    }
+
+    /// Answers one `RESIZE` frame. On an elastic gateway this *performs*
+    /// the resize inline on the connection's reader thread (concurrent
+    /// resizes serialize on the generation lock) and acks with the new
+    /// generation plus the retired-generation ledger; a static gateway — or
+    /// a degenerate target — refuses with an `{"error": …}` ack. The reply
+    /// is always a `RESIZE_ACK`: a refused resize is a protocol answer,
+    /// not a dropped connection.
+    fn handle_resize(&self, target: u32) -> String {
+        let ack = match &self.core {
+            FleetCore::Static { .. } => ResizeAck {
+                error: Some("gateway is not elastic (start it with --elastic)".into()),
+                generation: 0,
+                shards: 0,
+                transferred_shards: 0,
+                ledger: Vec::new(),
+            },
+            FleetCore::Elastic(fleet) => {
+                let outcome = if target == 0 {
+                    Err("resize target must be at least one shard".to_string())
+                } else {
+                    fleet.resize(target as usize).map_err(|e| format!("resize failed: {e}"))
+                };
+                ResizeAck {
+                    transferred_shards: outcome.as_ref().map_or(0, |t| t.len() as u32),
+                    error: outcome.err(),
+                    generation: fleet.generation(),
+                    shards: fleet.shards() as u32,
+                    ledger: fleet.metrics().generations,
+                }
+            }
+        };
+        serde_json::to_string(&ack).expect("resize ack serialization cannot fail")
     }
 }
 
@@ -270,17 +363,63 @@ impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
             cache,
             router,
             factory,
-            gateway.fault_plan,
+            gateway.fault_plan.clone(),
             FleetBoot {
-                checkpoint_dir: gateway.checkpoint_dir,
+                checkpoint_dir: gateway.checkpoint_dir.clone(),
                 warm_boot: gateway.warm_boot,
                 ..FleetBoot::default()
             },
         );
-        let shared = Arc::new(Shared {
+        let core = FleetCore::Static {
             metrics: fleet.metrics_handle(),
             ingest: fleet.ingest(),
             fleet: Mutex::new(Some(fleet)),
+        };
+        Self::launch(listener, addr, core, gateway)
+    }
+
+    /// Binds an *elastic* gateway: the fleet behind it is an
+    /// [`ElasticFleet`] routed by the consistent-hash `ring`, and a client
+    /// `RESIZE` frame re-shards it live (drain, final cuts, delta-shipped
+    /// handoff, warm boot — answered with a `RESIZE_ACK` carrying the
+    /// generation ledger). Collect the final report with
+    /// [`finish_elastic`](Self::finish_elastic), not
+    /// [`finish`](Self::finish).
+    ///
+    /// The scripted shard fault plan in `gateway` is ignored on this path:
+    /// [`ElasticFleet`] boots every generation fault-free.
+    pub fn bind_elastic(
+        addr: impl ToSocketAddrs,
+        cfg: FleetConfig,
+        cache: CacheConfig,
+        ring: RingRouter,
+        gateway: GatewayConfig,
+        factory: impl FnMut(usize) -> D + Send + 'static,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let fleet: ElasticFleet<D, GatewayEnvelope> = ElasticFleet::new(
+            cfg,
+            cache,
+            ring,
+            factory,
+            gateway.checkpoint_dir.clone(),
+            gateway.warm_boot,
+        );
+        Self::launch(listener, addr, FleetCore::Elastic(Box::new(fleet)), gateway)
+    }
+
+    /// Shared tail of the bind paths: wraps `core` in the connection-shared
+    /// state and spawns the acceptor.
+    fn launch(
+        listener: TcpListener,
+        addr: SocketAddr,
+        core: FleetCore<D>,
+        gateway: GatewayConfig,
+    ) -> std::io::Result<Self> {
+        let shared = Arc::new(Shared {
+            core,
             counters: Arc::new(Counters::default()),
             journal: Journal::default(),
             shutdown: AtomicBool::new(false),
@@ -332,16 +471,14 @@ impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
     /// Gateway-thread panics surface as `Err`; shard-worker deaths do not —
     /// the supervisor has already absorbed them, and the report's
     /// `total_restarts()` / `dead_shards()` say how bumpy the ride was.
+    /// Panics on an elastic gateway — use
+    /// [`finish_elastic`](Self::finish_elastic) there.
     pub fn finish(mut self) -> Result<FleetReport<D>, GatewayError> {
-        self.shutdown();
-        let conns = self
-            .acceptor
-            .take()
-            .expect("finish consumes the gateway")
-            .join()
-            .map_err(|_| GatewayError::AcceptorPanicked)?;
-        let panicked = conns.into_iter().map(|c| c.join()).filter(Result::is_err).count();
-        let fleet = match self.shared.fleet.lock() {
+        let panicked = self.join_workers()?;
+        let FleetCore::Static { fleet, .. } = &self.shared.core else {
+            panic!("elastic gateway: collect the report with finish_elastic()");
+        };
+        let fleet = match fleet.lock() {
             Ok(mut guard) => guard.take(),
             // A reader that panicked mid-submit poisons the mutex; the fleet
             // itself is still recoverable.
@@ -353,6 +490,37 @@ impl<D: AdmissionDriver + Send + 'static> Gateway<D> {
             return Err(GatewayError::ConnectionPanicked(panicked));
         }
         Ok(report)
+    }
+
+    /// [`finish`](Self::finish) for a gateway bound with
+    /// [`bind_elastic`](Self::bind_elastic): drains and joins every
+    /// connection, then drains the serving generation (cutting final
+    /// checkpoints into the spill directory when one is configured) and
+    /// returns the [`ElasticReport`] merged across every generation.
+    /// Panics on a static gateway.
+    pub fn finish_elastic(mut self) -> Result<ElasticReport, GatewayError> {
+        let panicked = self.join_workers()?;
+        let FleetCore::Elastic(fleet) = &self.shared.core else {
+            panic!("static gateway: collect the report with finish()");
+        };
+        let report = fleet.finish_live(true);
+        if panicked > 0 {
+            return Err(GatewayError::ConnectionPanicked(panicked));
+        }
+        Ok(report)
+    }
+
+    /// Stops accepting and joins the acceptor plus every connection worker;
+    /// returns how many connection workers panicked.
+    fn join_workers(&mut self) -> Result<usize, GatewayError> {
+        self.shutdown();
+        let conns = self
+            .acceptor
+            .take()
+            .expect("finish consumes the gateway")
+            .join()
+            .map_err(|_| GatewayError::AcceptorPanicked)?;
+        Ok(conns.into_iter().map(|c| c.join()).filter(Result::is_err).count())
     }
 }
 
@@ -466,11 +634,17 @@ fn connection<D: AdmissionDriver + Send + 'static>(id: u64, stream: TcpStream, s
     };
 
     let mut reader = FrameReader::new(stream);
-    // This connection's private ingest front. Routing and staging are
-    // lock-free; delivery serializes per shard on the shard's lane. Dropped
-    // (and thereby flushed) when the reader exits, before `finish` can join
-    // this thread — no envelope outlives its connection unanswered.
-    let mut producer: FleetProducer<D, GatewayEnvelope> = shared.ingest.producer();
+    // Static fleet: this connection's private ingest front. Routing and
+    // staging are lock-free; delivery serializes per shard on the shard's
+    // lane. Dropped (and thereby flushed) when the reader exits, before
+    // `finish` can join this thread — no envelope outlives its connection
+    // unanswered. An elastic fleet has no durable producer (a resize
+    // retires the generation a producer points into), so its frames go
+    // through the fleet's generation lock instead.
+    let mut producer: Option<FleetProducer<D, GatewayEnvelope>> = match &shared.core {
+        FleetCore::Static { ingest, .. } => Some(ingest.producer()),
+        FleetCore::Elastic(_) => None,
+    };
     let mut seq = 0u64;
     let mut bytes_seen = 0u64;
     let mut last_frame = Instant::now();
@@ -550,12 +724,17 @@ fn connection<D: AdmissionDriver + Send + 'static>(id: u64, stream: TcpStream, s
                 // run with one queue operation. The client is waiting on this
                 // frame's verdicts, so `submit_frame` flushes immediately
                 // instead of pooling toward the batch threshold.
-                producer.submit_frame(
-                    records
-                        .into_iter()
-                        .enumerate()
-                        .map(|(index, req)| GatewayEnvelope::new(req, Arc::clone(&batch), index)),
-                );
+                let envelopes = records
+                    .into_iter()
+                    .enumerate()
+                    .map(|(index, req)| GatewayEnvelope::new(req, Arc::clone(&batch), index));
+                match (&shared.core, producer.as_mut()) {
+                    (_, Some(p)) => p.submit_frame(envelopes),
+                    (FleetCore::Elastic(fleet), None) => fleet.submit_frame(envelopes),
+                    (FleetCore::Static { .. }, None) => {
+                        unreachable!("static gateway mints a producer at connection start")
+                    }
+                }
             }
             Ok(Some(Message::Stats)) => {
                 Counters::add(&counters.frames_in, 1);
@@ -570,10 +749,21 @@ fn connection<D: AdmissionDriver + Send + 'static>(id: u64, stream: TcpStream, s
                 // fleet mutex — like STATS, this answers even under full
                 // backpressure. The gateway's own journal rides along as the
                 // final pseudo-shard entry.
-                let mut journals = shared.metrics.journals();
+                let mut journals = shared.journals();
                 journals.push((GATEWAY_JOURNAL_SHARD, shared.journal.snapshot()));
                 let frame = darwin_obs::encode_fleet_events(&journals);
                 sink.push(seq, Reply::Events(frame));
+                seq += 1;
+            }
+            Ok(Some(Message::Resize(target))) => {
+                Counters::add(&counters.frames_in, 1);
+                Counters::add(&counters.resizes_served, 1);
+                // Performed inline on this reader: the connection's later
+                // frames observe the post-resize fleet, and concurrent
+                // resizes serialize on the elastic generation lock. Other
+                // connections' in-flight `GET` frames block on that lock's
+                // read side, so no frame splits across the cutover.
+                sink.push(seq, Reply::ResizeAck(shared.handle_resize(target)));
                 seq += 1;
             }
             Ok(Some(Message::Shutdown)) => {
@@ -590,7 +780,8 @@ fn connection<D: AdmissionDriver + Send + 'static>(id: u64, stream: TcpStream, s
                 Message::Verdicts(_)
                 | Message::StatsReply(_)
                 | Message::ShutdownAck
-                | Message::EventsReply(_),
+                | Message::EventsReply(_)
+                | Message::ResizeAck(_),
             )) => {
                 // Server-to-client opcodes are illegal from a client.
                 Counters::add(&counters.frames_rejected, 1);

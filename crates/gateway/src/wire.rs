@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //!      0     2  magic     0xDA57
-//!      2     1  version   4
+//!      2     1  version   5
 //!      3     1  opcode
 //!      4     4  body_len  (≤ MAX_BODY_LEN)
 //!      8     …  body
@@ -17,8 +17,9 @@
 //! the `EVENTS` opcode pair for draining the fleet's per-shard event
 //! journals; version 4 added the overload-control `Busy` outcome with its
 //! `retry_after` hint in the previously reserved bits 4–6 of the verdict
-//! byte. Older versions are rejected with [`WireError::BadVersion`] (both
-//! ends of this repo speak v4).
+//! byte; version 5 added the `RESIZE` opcode pair driving an elastic fleet
+//! resize over the wire. Older versions are rejected with
+//! [`WireError::BadVersion`] (both ends of this repo speak v5).
 //!
 //! Client → server opcodes:
 //!
@@ -28,6 +29,7 @@
 //! | `0x02` | `STATS`    | empty |
 //! | `0x03` | `SHUTDOWN` | empty |
 //! | `0x04` | `EVENTS`   | empty |
+//! | `0x05` | `RESIZE`   | exactly 4 bytes: `target_shards:u32` (must be ≥ 1) |
 //!
 //! Server → client opcodes:
 //!
@@ -37,6 +39,7 @@
 //! | `0x82` | `STATS_REPLY`  | UTF-8 JSON of a `FleetMetrics` snapshot |
 //! | `0x83` | `SHUTDOWN_ACK` | empty |
 //! | `0x84` | `EVENTS_REPLY` | a sealed `darwin_obs` fleet-events frame (CRC-guarded, decodable with [`darwin_obs::decode_fleet_events`]) |
+//! | `0x85` | `RESIZE_ACK`   | UTF-8 JSON: the resize's `GenerationSummary` ledger on success, or `{"error": …}` when the gateway refused (not elastic, resize in flight, or a no-op target) |
 //!
 //! Each `GET` frame is answered by exactly one `VERDICTS` frame carrying one
 //! verdict per record, in record order; replies on a connection are emitted
@@ -57,7 +60,7 @@ use std::io::Read;
 /// First two header bytes of every frame.
 pub const MAGIC: u16 = 0xDA57;
 /// Protocol version this module speaks.
-pub const VERSION: u8 = 4;
+pub const VERSION: u8 = 5;
 /// Fixed header size, bytes.
 pub const HEADER_LEN: usize = 8;
 /// Upper bound on a frame body; larger `body_len` headers are rejected
@@ -72,10 +75,15 @@ const OP_GET: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_SHUTDOWN: u8 = 0x03;
 const OP_EVENTS: u8 = 0x04;
+const OP_RESIZE: u8 = 0x05;
 const OP_VERDICTS: u8 = 0x81;
 const OP_STATS_REPLY: u8 = 0x82;
 const OP_SHUTDOWN_ACK: u8 = 0x83;
 const OP_EVENTS_REPLY: u8 = 0x84;
+const OP_RESIZE_ACK: u8 = 0x85;
+
+/// Body size of a `RESIZE` frame (one little-endian u32).
+const RESIZE_BODY_LEN: usize = 4;
 
 /// Where a request ended up, as reported on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,6 +208,9 @@ pub enum Message {
     Shutdown,
     /// Client: reply with the fleet's per-shard event journals.
     Events,
+    /// Client: resize the elastic fleet to this many shards (drain, cut,
+    /// remap, warm-restore), then answer with one `RESIZE_ACK`.
+    Resize(u32),
     /// Server: one verdict per record of the corresponding `GET`.
     Verdicts(Vec<WireVerdict>),
     /// Server: the JSON `FleetMetrics` snapshot a `STATS` asked for.
@@ -209,6 +220,9 @@ pub enum Message {
     /// Server: the sealed fleet-events frame an `EVENTS` asked for (decode
     /// with `darwin_obs::decode_fleet_events`).
     EventsReply(Vec<u8>),
+    /// Server: the JSON outcome of a `RESIZE` — the generation ledger on
+    /// success, an `{"error": …}` object on refusal.
+    ResizeAck(String),
 }
 
 /// Why a frame (or byte stream) was rejected.
@@ -322,6 +336,15 @@ pub fn encode(msg: &Message, out: &mut Vec<u8>) {
             push_header(OP_EVENTS_REPLY, frame.len(), out);
             out.extend_from_slice(frame);
         }
+        Message::Resize(target) => {
+            push_header(OP_RESIZE, RESIZE_BODY_LEN, out);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Message::ResizeAck(json) => {
+            assert!(json.len() <= MAX_BODY_LEN, "resize ack exceeds MAX_BODY_LEN");
+            push_header(OP_RESIZE_ACK, json.len(), out);
+            out.extend_from_slice(json.as_bytes());
+        }
     }
 }
 
@@ -367,7 +390,8 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Message, usize)>, WireError> {
         OP_GET => len > 0 && len.is_multiple_of(GET_RECORD_LEN),
         OP_VERDICTS => len > 0,
         OP_STATS | OP_SHUTDOWN | OP_SHUTDOWN_ACK | OP_EVENTS => len == 0,
-        OP_STATS_REPLY | OP_EVENTS_REPLY => true,
+        OP_RESIZE => len == RESIZE_BODY_LEN,
+        OP_STATS_REPLY | OP_EVENTS_REPLY | OP_RESIZE_ACK => true,
         other => return Err(WireError::UnknownOpcode(other)),
     };
     if !body_ok {
@@ -401,6 +425,12 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Message, usize)>, WireError> {
         OP_SHUTDOWN_ACK => Message::ShutdownAck,
         OP_EVENTS => Message::Events,
         OP_EVENTS_REPLY => Message::EventsReply(body.to_vec()),
+        OP_RESIZE => {
+            Message::Resize(u32::from_le_bytes(body.try_into().expect("length validated above")))
+        }
+        OP_RESIZE_ACK => {
+            Message::ResizeAck(std::str::from_utf8(body).map_err(|_| WireError::BadUtf8)?.to_owned())
+        }
         _ => unreachable!("opcode validated above"),
     };
     Ok(Some((msg, HEADER_LEN + len)))
@@ -533,6 +563,38 @@ mod tests {
         bad[4] = 1;
         bad.push(0);
         assert_eq!(decode(&bad), Err(WireError::BadBodyLen { opcode: OP_EVENTS, len: 1 }));
+    }
+
+    #[test]
+    fn resize_frames_roundtrip() {
+        for target in [1u32, 8, u32::MAX] {
+            let bytes = encoded(&Message::Resize(target));
+            assert_eq!(bytes.len(), HEADER_LEN + RESIZE_BODY_LEN);
+            let (msg, used) = decode(&bytes).unwrap().unwrap();
+            assert_eq!((msg, used), (Message::Resize(target), bytes.len()));
+        }
+        let ack = Message::ResizeAck(r#"{"generation":2}"#.into());
+        let bytes = encoded(&ack);
+        let (msg, used) = decode(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(msg, ack);
+
+        // A RESIZE body must be exactly 4 bytes.
+        for bad_len in [0usize, 3, 5, 8] {
+            let mut bad = encoded(&Message::Resize(2));
+            bad.truncate(HEADER_LEN);
+            bad[4..8].copy_from_slice(&(bad_len as u32).to_le_bytes());
+            bad.extend(std::iter::repeat_n(0u8, bad_len));
+            assert_eq!(
+                decode(&bad),
+                Err(WireError::BadBodyLen { opcode: OP_RESIZE, len: bad_len }),
+                "body of {bad_len} bytes"
+            );
+        }
+        // A RESIZE_ACK body must be UTF-8.
+        let mut bad = encoded(&Message::ResizeAck("ok".into()));
+        bad[HEADER_LEN] = 0xFF;
+        assert_eq!(decode(&bad), Err(WireError::BadUtf8));
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn fleet_cfg(shards: usize) -> FleetConfig {
         restart_budget: Default::default(),
         checkpoint_every: None,
         shed_watermark: None,
+        replicas: 0,
     }
 }
 
@@ -221,6 +222,7 @@ fn contended_connections_preserve_per_shard_partition() {
         restart_budget: Default::default(),
         checkpoint_every: None,
         shed_watermark: None,
+        replicas: 0,
     };
     let gateway = Gateway::bind("127.0.0.1:0", cfg, cache_cfg(), Box::new(HashRouter), move |_| {
         StaticDriver::new(policy)
@@ -455,6 +457,7 @@ fn client_disconnect_mid_stream_keeps_counters_consistent() {
         restart_budget: Default::default(),
         checkpoint_every: None,
         shed_watermark: None,
+        replicas: 0,
     };
     let gateway = Gateway::bind("127.0.0.1:0", cfg, cache_cfg(), Box::new(HashRouter), |_| SlowDriver)
         .expect("bind loopback gateway");
@@ -536,6 +539,90 @@ fn pipelined_mixed_frames_reply_in_order() {
     }
     assert!(reader.recv().expect("clean EOF").is_none());
 
+    gateway.shutdown();
+    gateway.finish().expect("clean gateway shutdown");
+}
+
+/// A `RESIZE` frame over a real socket re-shards a live elastic gateway:
+/// the ack carries the new generation plus the retired-generation ledger,
+/// later frames are served by the successor generation, and the fleet's
+/// exactly-once conservation ledger holds across the cutover.
+#[test]
+fn resize_frame_reshards_elastic_gateway() {
+    use darwin_gateway::GatewayConfig;
+    use darwin_rebalance::{RingRouter, DEFAULT_SEED, DEFAULT_VNODES};
+
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let mut cfg = fleet_cfg(2);
+    // Periodic cuts give the handoff a pre-copied base to delta against.
+    cfg.checkpoint_every = Some(512);
+    let gateway = Gateway::bind_elastic(
+        "127.0.0.1:0",
+        cfg,
+        cache_cfg(),
+        RingRouter::new(DEFAULT_SEED, DEFAULT_VNODES),
+        GatewayConfig::default(),
+        move |_| StaticDriver::new(policy),
+    )
+    .expect("bind elastic gateway");
+    let addr = gateway.local_addr();
+
+    let before = test_trace(6_000);
+    let first = loadgen::run(addr, &before, LoadgenConfig::default()).expect("replay before resize");
+    assert_eq!(first.tally.total(), before.len() as u64);
+    assert_eq!(first.tally.unavailable, 0);
+
+    let ack = loadgen::send_resize(addr, 4).expect("resize acked");
+    assert_eq!(ack.error, None, "elastic gateway performs the resize");
+    assert_eq!((ack.generation, ack.shards), (1, 4));
+    assert_eq!(ack.transferred_shards, 2, "both source shards survive a grow");
+    assert_eq!(ack.ledger.len(), 1, "generation 0 retired into the ledger");
+    assert_eq!(ack.ledger[0].generation, 0);
+    assert_eq!(ack.ledger[0].shards, 2);
+    assert_eq!(ack.ledger[0].processed, before.len() as u64);
+
+    // The successor generation serves — and STATS shows 4 shards plus the
+    // retired generation's ledger row.
+    let after = TraceGenerator::new(
+        MixSpec::two_class(TrafficClass::image(), TrafficClass::download(), 0.5),
+        777,
+    )
+    .generate(6_000);
+    let second = loadgen::run(addr, &after, LoadgenConfig::default()).expect("replay after resize");
+    assert_eq!(second.tally.total(), after.len() as u64);
+    assert_eq!(second.tally.unavailable, 0);
+    let snapshot = FleetMetrics::from_json(&loadgen::fetch_stats(addr).expect("stats"))
+        .expect("stats reply parses");
+    assert_eq!(snapshot.shards.len(), 4, "STATS reports the serving generation");
+    assert_eq!(snapshot.generations.len(), 1, "ledger rides the snapshot");
+    assert_eq!(snapshot.gateway.as_ref().expect("gateway counters").resizes_served, 1);
+
+    let report = gateway.finish_elastic().expect("clean elastic shutdown");
+    assert!(report.conserved(), "processed + dropped + unavailable == submitted across the resize");
+    assert_eq!(report.submitted, (before.len() + after.len()) as u64);
+    assert_eq!(report.metrics.total_unavailable(), 0);
+    assert_eq!(report.transfers.len(), 2);
+}
+
+/// A static gateway answers `RESIZE` with an error ack — a protocol-level
+/// refusal, not a dropped connection — and keeps serving afterwards.
+#[test]
+fn static_gateway_refuses_resize_with_error_ack() {
+    let policy = ThresholdPolicy::new(2, 100 * 1024);
+    let gateway =
+        Gateway::bind("127.0.0.1:0", fleet_cfg(1), cache_cfg(), Box::new(HashRouter), move |_| {
+            StaticDriver::new(policy)
+        })
+        .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+
+    let ack = loadgen::send_resize(addr, 4).expect("refusal still acks");
+    assert!(ack.error.as_deref().is_some_and(|e| e.contains("not elastic")), "ack: {ack:?}");
+
+    // The refusal did not wedge the gateway: a replay still completes.
+    let trace = test_trace(1_000);
+    let report = loadgen::run(addr, &trace, LoadgenConfig::default()).expect("replay after refusal");
+    assert_eq!(report.tally.total(), trace.len() as u64);
     gateway.shutdown();
     gateway.finish().expect("clean gateway shutdown");
 }

@@ -26,6 +26,7 @@ fn fleet_cfg(shards: usize) -> FleetConfig {
         restart_budget: Default::default(),
         checkpoint_every: None,
         shed_watermark: None,
+        replicas: 0,
     }
 }
 

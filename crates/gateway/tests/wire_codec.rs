@@ -77,6 +77,20 @@ proptest! {
         prop_assert_eq!(msg, Message::StatsReply(json));
     }
 
+    /// RESIZE frames round-trip every expressible target, and every strict
+    /// prefix is "need more bytes" — a truncated resize is never silently
+    /// applied as a different target.
+    #[test]
+    fn resize_roundtrip_and_truncation(target in 0u32..=u32::MAX) {
+        let bytes = encoded(&Message::Resize(target));
+        let (msg, used) = decode(&bytes).unwrap().expect("complete frame");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(msg, Message::Resize(target));
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(decode(&bytes[..cut]).unwrap(), None, "cut at {}", cut);
+        }
+    }
+
     /// Every strict prefix of a valid frame decodes to "need more bytes" —
     /// never to a frame, never to an error, never a panic.
     #[test]
@@ -113,8 +127,9 @@ fn malformed_corpus_is_rejected() {
     assert_eq!(decode(&f), Err(WireError::BadVersion(9)));
     assert_eq!(decode(&f[..3]), Err(WireError::BadVersion(9)));
 
-    // Unknown opcodes, client and server ranges.
-    for op in [0x00u8, 0x05, 0x42, 0x80, 0x85, 0xFF] {
+    // Unknown opcodes, client and server ranges (0x05/0x85 became
+    // RESIZE/RESIZE_ACK in v5).
+    for op in [0x00u8, 0x06, 0x42, 0x80, 0x86, 0xFF] {
         assert_eq!(decode(&frame(op, &[])), Err(WireError::UnknownOpcode(op)));
     }
 
@@ -132,8 +147,19 @@ fn malformed_corpus_is_rejected() {
     assert_eq!(decode(&frame(0x02, &[1])), Err(WireError::BadBodyLen { opcode: 0x02, len: 1 }));
     assert_eq!(decode(&frame(0x03, &[1])), Err(WireError::BadBodyLen { opcode: 0x03, len: 1 }));
     assert_eq!(decode(&frame(0x04, &[1])), Err(WireError::BadBodyLen { opcode: 0x04, len: 1 }));
+    // RESIZE bodies are exactly 4 bytes (u32 target) — nothing else.
+    for len in [0usize, 1, 3, 5, 8] {
+        assert_eq!(
+            decode(&frame(0x05, &vec![0u8; len])),
+            Err(WireError::BadBodyLen { opcode: 0x05, len }),
+            "RESIZE body len {len}"
+        );
+    }
     assert_eq!(decode(&frame(0x81, &[])), Err(WireError::BadBodyLen { opcode: 0x81, len: 0 }));
     assert_eq!(decode(&frame(0x83, &[1])), Err(WireError::BadBodyLen { opcode: 0x83, len: 1 }));
+
+    // Resize acks must be UTF-8, like stats replies.
+    assert_eq!(decode(&frame(0x85, &[0xFF, 0xFE])), Err(WireError::BadUtf8));
 
     // Verdict bytes with the reserved bit, unassigned outcomes, the
     // inexpressible never-processed-yet-admitted combinations, and (v4)
@@ -166,6 +192,27 @@ fn malformed_corpus_is_rejected() {
 fn bit_flips_never_panic_the_decoder() {
     let body = [0b0000u8, 0b1010, 0b011, 0b100, 0b0101, 0b111_0101];
     let good = frame(0x81, &body);
+    assert!(decode(&good).unwrap().is_some(), "corpus frame must be valid");
+    for byte in 0..good.len() {
+        for bit in 0..8 {
+            let mut bad = good.clone();
+            bad[byte] ^= 1 << bit;
+            let _ = decode(&bad); // must not panic, whatever it returns
+        }
+    }
+}
+
+/// Same for a control frame that *mutates* the fleet: any single bit
+/// flipped anywhere in a valid `RESIZE` frame decodes to an error, an
+/// incomplete, or a structurally valid frame — never a panic. (A flip
+/// inside the 4-byte target body decodes as a *different* resize; the
+/// header's magic/version/opcode/length guards catch everything else. The
+/// target itself is intentionally unguarded here — the ack echoes the
+/// generation and shard count, so a client detects a mis-applied target at
+/// the protocol level.)
+#[test]
+fn bit_flipped_resize_never_panics() {
+    let good = encoded(&Message::Resize(6));
     assert!(decode(&good).unwrap().is_some(), "corpus frame must be valid");
     for byte in 0..good.len() {
         for bit in 0..8 {

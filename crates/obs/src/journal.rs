@@ -4,8 +4,9 @@
 //! restart verdicts with their budget state, warm-vs-cold restores with the
 //! checkpoint candidate chosen, expert switches with the bandit's round
 //! index and posterior summary, drift detections, injected faults,
-//! checkpoint cuts, and switching-cost windows — lands in a bounded ring of
-//! typed [`Event`]s.
+//! checkpoint cuts, switching-cost windows, and replication traffic
+//! (standby seeds, delta applies, failover promotions, standby losses) —
+//! lands in a bounded ring of typed [`Event`]s.
 //!
 //! ## Determinism
 //!
@@ -180,6 +181,37 @@ pub enum EventKind {
         /// Gateway connection id that was throttled.
         conn: u64,
     },
+    /// The shard's hot standby was (re)seeded with a full checkpoint image.
+    ReplicaSeeded {
+        /// Request sequence number of the seeding checkpoint cut.
+        checkpoint_seq: u64,
+    },
+    /// The standby applied a delta cut; its lag behind the primary closed.
+    ReplicaLag {
+        /// Request sequence number of the cut just applied.
+        checkpoint_seq: u64,
+        /// Requests the standby was behind before this apply (the gap
+        /// between its previous applied boundary and this cut).
+        lag: u64,
+    },
+    /// The restart budget was spent and the hot standby was promoted: the
+    /// shard resumes from the standby's last applied checkpoint.
+    Failover {
+        /// Request sequence number of the checkpoint the promotion
+        /// restored.
+        checkpoint_seq: u64,
+        /// Restarts already consumed within the budget window.
+        restarts_used: u32,
+        /// The budget's maximum restarts per window.
+        budget_max: u32,
+    },
+    /// The standby itself failed validation (corrupt or stale) and could
+    /// not serve a promotion or an apply — detected, never silent.
+    StandbyLost {
+        /// Request sequence number of the standby's last applied
+        /// checkpoint (or the cut whose apply failed).
+        checkpoint_seq: u64,
+    },
 }
 
 impl EventKind {
@@ -205,6 +237,10 @@ impl EventKind {
             EventKind::NetFault { .. } => 17,
             EventKind::SlowClientClosed { .. } => 18,
             EventKind::ConnThrottled { .. } => 19,
+            EventKind::ReplicaSeeded { .. } => 20,
+            EventKind::ReplicaLag { .. } => 21,
+            EventKind::Failover { .. } => 22,
+            EventKind::StandbyLost { .. } => 23,
         }
     }
 }
@@ -271,6 +307,18 @@ impl Event {
             }
             EventKind::SlowClientClosed { conn } => format!("slow-client-closed conn={conn}"),
             EventKind::ConnThrottled { conn } => format!("conn-throttled conn={conn}"),
+            EventKind::ReplicaSeeded { checkpoint_seq } => {
+                format!("replica-seeded ckpt_seq={checkpoint_seq}")
+            }
+            EventKind::ReplicaLag { checkpoint_seq, lag } => {
+                format!("replica-lag ckpt_seq={checkpoint_seq} lag={lag}")
+            }
+            EventKind::Failover { checkpoint_seq, restarts_used, budget_max } => {
+                format!("failover ckpt_seq={checkpoint_seq} budget={restarts_used}/{budget_max}")
+            }
+            EventKind::StandbyLost { checkpoint_seq } => {
+                format!("standby-lost ckpt_seq={checkpoint_seq}")
+            }
         };
         format!("[{:>10}] {body}", self.seq)
     }
@@ -326,6 +374,17 @@ impl Event {
             }
             EventKind::SlowClientClosed { conn } => e.u64(*conn),
             EventKind::ConnThrottled { conn } => e.u64(*conn),
+            EventKind::ReplicaSeeded { checkpoint_seq } => e.u64(*checkpoint_seq),
+            EventKind::ReplicaLag { checkpoint_seq, lag } => {
+                e.u64(*checkpoint_seq);
+                e.u64(*lag);
+            }
+            EventKind::Failover { checkpoint_seq, restarts_used, budget_max } => {
+                e.u64(*checkpoint_seq);
+                e.u32(*restarts_used);
+                e.u32(*budget_max);
+            }
+            EventKind::StandbyLost { checkpoint_seq } => e.u64(*checkpoint_seq),
         }
     }
 
@@ -367,6 +426,14 @@ impl Event {
             17 => EventKind::NetFault { conn: d.u64()?, frame: d.u64()?, fault: d.str()?.to_string() },
             18 => EventKind::SlowClientClosed { conn: d.u64()? },
             19 => EventKind::ConnThrottled { conn: d.u64()? },
+            20 => EventKind::ReplicaSeeded { checkpoint_seq: d.u64()? },
+            21 => EventKind::ReplicaLag { checkpoint_seq: d.u64()?, lag: d.u64()? },
+            22 => EventKind::Failover {
+                checkpoint_seq: d.u64()?,
+                restarts_used: d.u32()?,
+                budget_max: d.u32()?,
+            },
+            23 => EventKind::StandbyLost { checkpoint_seq: d.u64()? },
             t => return Err(CkptError::Malformed(format!("unknown event tag {t}"))),
         };
         Ok(Self { seq, kind })
@@ -524,6 +591,10 @@ mod tests {
             EventKind::NetFault { conn: 3, frame: 41, fault: "stall(1000)".into() },
             EventKind::SlowClientClosed { conn: 9 },
             EventKind::ConnThrottled { conn: 2 },
+            EventKind::ReplicaSeeded { checkpoint_seq: 1000 },
+            EventKind::ReplicaLag { checkpoint_seq: 2000, lag: 1000 },
+            EventKind::Failover { checkpoint_seq: 3000, restarts_used: 3, budget_max: 3 },
+            EventKind::StandbyLost { checkpoint_seq: 3000 },
         ]
     }
 
@@ -599,5 +670,16 @@ mod tests {
         let ev =
             Event { seq: 40, kind: EventKind::NetFault { conn: 1, frame: 40, fault: "reset".into() } };
         assert_eq!(ev.render(), "[        40] net-fault conn=1 frame=40 reset");
+        let ev = Event {
+            seq: 3000,
+            kind: EventKind::Failover { checkpoint_seq: 3000, restarts_used: 3, budget_max: 3 },
+        };
+        assert_eq!(ev.render(), "[      3000] failover ckpt_seq=3000 budget=3/3");
+        let ev = Event { seq: 2000, kind: EventKind::ReplicaLag { checkpoint_seq: 2000, lag: 1000 } };
+        assert_eq!(ev.render(), "[      2000] replica-lag ckpt_seq=2000 lag=1000");
+        let ev = Event { seq: 1000, kind: EventKind::ReplicaSeeded { checkpoint_seq: 1000 } };
+        assert_eq!(ev.render(), "[      1000] replica-seeded ckpt_seq=1000");
+        let ev = Event { seq: 3000, kind: EventKind::StandbyLost { checkpoint_seq: 3000 } };
+        assert_eq!(ev.render(), "[      3000] standby-lost ckpt_seq=3000");
     }
 }

@@ -24,8 +24,8 @@ use crate::ring::RingRouter;
 use crate::DeltaFrame;
 use darwin_cache::CacheConfig;
 use darwin_shard::{
-    EventKind, FaultPlan, FleetBoot, FleetConfig, FleetMetrics, GenerationSummary, MetricsHandle,
-    ShardCheckpoint, ShardPhase, ShardedFleet,
+    Envelope, EventKind, FaultPlan, FleetBoot, FleetConfig, FleetMetrics, GenerationSummary,
+    MetricsHandle, ShardCheckpoint, ShardPhase, ShardedFleet,
 };
 use darwin_testbed::AdmissionDriver;
 use darwin_trace::Request;
@@ -39,8 +39,8 @@ use std::sync::{Arc, Mutex, RwLock};
 type DriverFactory<D> = Arc<Mutex<Box<dyn FnMut(usize) -> D + Send>>>;
 
 /// The serving generation.
-struct GenLive<D: AdmissionDriver + Send + 'static> {
-    fleet: Option<ShardedFleet<D, Request>>,
+struct GenLive<D: AdmissionDriver + Send + 'static, E: Envelope> {
+    fleet: Option<ShardedFleet<D, E>>,
     handle: MetricsHandle,
     generation: u32,
     shards: usize,
@@ -86,8 +86,12 @@ impl ElasticReport {
 }
 
 /// A fleet whose shard count can change under load. See the module docs.
-pub struct ElasticFleet<D: AdmissionDriver + Send + 'static> {
-    state: RwLock<GenLive<D>>,
+///
+/// Generic over the queue [`Envelope`] exactly like [`ShardedFleet`]: the
+/// benchmark drives it with bare [`Request`]s (the default), the gateway
+/// with its reply-routing envelopes.
+pub struct ElasticFleet<D: AdmissionDriver + Send + 'static, E: Envelope = Request> {
+    state: RwLock<GenLive<D, E>>,
     factory: DriverFactory<D>,
     cfg: FleetConfig,
     cache: CacheConfig,
@@ -106,7 +110,7 @@ struct Archive {
     transfers: Vec<TransferStat>,
 }
 
-impl<D: AdmissionDriver + Send + 'static> ElasticFleet<D> {
+impl<D: AdmissionDriver + Send + 'static, E: Envelope> ElasticFleet<D, E> {
     /// Boots generation 0 with `cfg.shards` shards routed by `ring`. With
     /// `warm` set (and a checkpoint directory in place), each shard
     /// restores from its spill file — the cross-process warm-boot path.
@@ -119,7 +123,7 @@ impl<D: AdmissionDriver + Send + 'static> ElasticFleet<D> {
         warm: bool,
     ) -> Self {
         let factory: DriverFactory<D> = Arc::new(Mutex::new(Box::new(factory)));
-        let fleet = ShardedFleet::with_boot(
+        let fleet: ShardedFleet<D, E> = ShardedFleet::with_boot(
             cfg,
             cache.clone(),
             Box::new(ring.clone()),
@@ -183,10 +187,10 @@ impl<D: AdmissionDriver + Send + 'static> ElasticFleet<D> {
     /// frame lands in exactly one generation: the generation lock is held
     /// (shared) for the duration, so a concurrent resize waits for the
     /// frame and the frame never splits across a cutover.
-    pub fn submit_frame(&self, reqs: impl IntoIterator<Item = Request>) {
+    pub fn submit_frame(&self, reqs: impl IntoIterator<Item = E>) {
         let st = self.state.read().expect("elastic state poisoned");
         let fleet = st.fleet.as_ref().expect("fleet serving");
-        let reqs: Vec<Request> = reqs.into_iter().collect();
+        let reqs: Vec<E> = reqs.into_iter().collect();
         self.submitted.fetch_add(reqs.len() as u64, Ordering::Relaxed);
         let mut producer = fleet.ingest().producer();
         producer.submit_frame(reqs);
@@ -373,10 +377,13 @@ impl<D: AdmissionDriver + Send + 'static> ElasticFleet<D> {
         Ok(transfers)
     }
 
-    /// Drains the serving generation and closes the book. With `final_cut`
+    /// Drains the serving generation and closes the book, by reference —
+    /// the seam for callers that hold the fleet behind an `Arc` (the
+    /// gateway's shared state) and cannot move it out. With `final_cut`
     /// set, every shard cuts a final checkpoint into the spill directory
-    /// first — the artifact a successor process warm-boots from.
-    pub fn finish(self, final_cut: bool) -> ElasticReport {
+    /// first — the artifact a successor process warm-boots from. Panics on
+    /// a second call: the fleet serves (and finishes) exactly once.
+    pub fn finish_live(&self, final_cut: bool) -> ElasticReport {
         let mut st = self.state.write().expect("elastic state poisoned");
         let fleet = st.fleet.take().expect("fleet serving");
         let report = if final_cut { fleet.finish_with_cut(st.shards) } else { fleet.finish() };
@@ -385,13 +392,20 @@ impl<D: AdmissionDriver + Send + 'static> ElasticFleet<D> {
         let generation = st.generation;
         let shards = st.shards;
         drop(st);
-        {
+        let transfers = {
             let mut archive = self.archive.lock().expect("archive poisoned");
             archive.generations.push(Self::summarize(generation, shards, &snap));
-        }
+            archive.transfers.clone()
+        };
         let metrics = self.merged(snap);
-        let archive = self.archive.into_inner().expect("archive poisoned");
-        ElasticReport { metrics, transfers: archive.transfers, submitted: self.submitted.into_inner() }
+        ElasticReport { metrics, transfers, submitted: self.submitted.load(Ordering::Relaxed) }
+    }
+
+    /// Drains the serving generation and closes the book. With `final_cut`
+    /// set, every shard cuts a final checkpoint into the spill directory
+    /// first — the artifact a successor process warm-boots from.
+    pub fn finish(self, final_cut: bool) -> ElasticReport {
+        self.finish_live(final_cut)
     }
 }
 

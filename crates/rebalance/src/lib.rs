@@ -23,7 +23,11 @@
 //!   resizing `N → M` remaps only `|M−N|/max(N,M)` of the keyspace, with
 //!   exact per-object stability guarantees (see the module docs).
 //! * [`delta`] — [`DeltaFrame`]: rsync-style block diff between two
-//!   checkpoint images, so a handoff ships O(churn) not O(cache) bytes.
+//!   checkpoint images, so a handoff ships O(churn) not O(cache) bytes
+//!   (hosted in [`darwin_ckpt`], re-exported here; the shard replication
+//!   layer shares it).
+//! * [`replica`] — [`ReplicaFrame`]: the role-tagged envelope primaries
+//!   feed hot standbys with (also hosted in [`darwin_ckpt`]).
 //! * [`handoff`] — [`TransferFrame`] (the sealed transfer envelope, full or
 //!   delta payload, generation-addressed) and [`HandoffTracker`] (the
 //!   one-way `Serving → Draining → Transferring → Retired` state machine).
@@ -37,12 +41,21 @@
 //! journals keyed on request sequence numbers, and seeded runs reproduce
 //! bit-for-bit.
 
-pub mod delta;
 pub mod elastic;
 pub mod handoff;
 pub mod ring;
 
-pub use delta::{DeltaFrame, DELTA_MAGIC, DELTA_VERSION};
+/// The block-delta codec, re-exported from [`darwin_ckpt`] where it now
+/// lives so the shard replication layer can share it (see that module's
+/// docs for the history).
+pub use darwin_ckpt::delta;
+/// The role-tagged replica envelope, re-exported from [`darwin_ckpt`].
+pub use darwin_ckpt::replica;
+
+pub use darwin_ckpt::delta::{DeltaFrame, DELTA_MAGIC, DELTA_VERSION};
+pub use darwin_ckpt::replica::{
+    ReplicaError, ReplicaFrame, ReplicaPayload, ReplicaRole, REPLICA_MAGIC, REPLICA_VERSION,
+};
 pub use elastic::{ElasticFleet, ElasticReport, TransferStat};
 pub use handoff::{
     HandoffError, HandoffTracker, TransferFrame, TransferPayload, TRANSFER_MAGIC, TRANSFER_VERSION,

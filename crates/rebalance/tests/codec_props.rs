@@ -7,7 +7,8 @@
 
 use darwin_ckpt::{seal, CkptError};
 use darwin_rebalance::{
-    DeltaFrame, HandoffError, TransferFrame, TransferPayload, TRANSFER_MAGIC, TRANSFER_VERSION,
+    DeltaFrame, HandoffError, ReplicaError, ReplicaFrame, ReplicaPayload, ReplicaRole, TransferFrame,
+    TransferPayload, REPLICA_MAGIC, REPLICA_VERSION, TRANSFER_MAGIC, TRANSFER_VERSION,
 };
 use darwin_shard::{CKPT_MAGIC, CKPT_VERSION};
 use proptest::prelude::*;
@@ -26,6 +27,10 @@ fn envelope(to_generation: u32, payload: TransferPayload) -> TransferFrame {
         seq: 4_000,
         payload,
     }
+}
+
+fn replica(shard: usize, generation: u32, role: ReplicaRole, payload: ReplicaPayload) -> ReplicaFrame {
+    ReplicaFrame { shard, generation, role, seq: 7_000, payload }
 }
 
 proptest! {
@@ -156,6 +161,113 @@ proptest! {
         prop_assert_eq!(delta.apply(&wrong), Err(CkptError::BadCrc));
     }
 
+    /// Replica envelopes round-trip exactly, for both payload kinds and
+    /// both roles.
+    #[test]
+    fn replica_roundtrip(
+        shard in 0usize..64, generation in 0u32..=u32::MAX,
+        seq in 0u64..=u64::MAX, base_seq in 0u64..=u64::MAX,
+        body in proptest::collection::vec(0u8..=255, 0..2048),
+        is_delta in proptest::bool::ANY, standby in proptest::bool::ANY,
+    ) {
+        let payload = if is_delta {
+            ReplicaPayload::Delta { base_seq, frame: body.clone() }
+        } else {
+            ReplicaPayload::Full(body.clone())
+        };
+        let role = if standby { ReplicaRole::Standby } else { ReplicaRole::Primary };
+        let r = ReplicaFrame { shard, generation, role, seq, payload };
+        prop_assert_eq!(ReplicaFrame::from_frame(&r.to_frame()).unwrap(), r);
+    }
+
+    /// Truncating a replica envelope at any point yields an error, never a
+    /// panic and never a decoded frame.
+    #[test]
+    fn truncated_replica_never_decodes(
+        body in proptest::collection::vec(0u8..=255, 0..512),
+        cut in 0usize..1 << 20,
+    ) {
+        let frame =
+            replica(2, 5, ReplicaRole::Primary, ReplicaPayload::Full(ckpt_frame(&body))).to_frame();
+        let cut = cut % frame.len(); // 0..len, strictly shorter
+        prop_assert!(ReplicaFrame::from_frame(&frame[..cut]).is_err());
+    }
+
+    /// A single flipped bit anywhere in a replica envelope is caught by the
+    /// CRC (or magic/version check) — corrupted replication never applies.
+    #[test]
+    fn bit_flipped_replica_never_decodes(
+        body in proptest::collection::vec(0u8..=255, 0..512),
+        pos in 0usize..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let mut frame =
+            replica(2, 5, ReplicaRole::Primary, ReplicaPayload::Full(ckpt_frame(&body))).to_frame();
+        let pos = pos % frame.len();
+        frame[pos] ^= 1 << bit;
+        prop_assert!(ReplicaFrame::from_frame(&frame).is_err());
+    }
+
+    /// Arbitrary junk never decodes as a replica envelope and never panics
+    /// the decoder.
+    #[test]
+    fn junk_never_decodes_as_replica(junk in proptest::collection::vec(0u8..=255, 0..512)) {
+        if junk.len() < 4 || junk[..4] != REPLICA_MAGIC.to_le_bytes() {
+            prop_assert!(ReplicaFrame::from_frame(&junk).is_err());
+        }
+    }
+
+    /// A wrong-generation replica is refused before any payload work — a
+    /// standby never applies a cut from another fleet epoch.
+    #[test]
+    fn wrong_generation_replica_never_resolves(
+        expect in 0u32..1 << 30,
+        skew in 1u32..1 << 30,
+        body in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let addressed = expect + skew; // always != expect
+        let r = replica(0, addressed, ReplicaRole::Primary, ReplicaPayload::Full(ckpt_frame(&body)));
+        prop_assert_eq!(
+            r.resolve(0, expect, None),
+            Err(ReplicaError::WrongGeneration { expected: expect, found: addressed })
+        );
+    }
+
+    /// A wrong-shard replica is refused — cross-wired replication lanes
+    /// fail loudly instead of poisoning a standby.
+    #[test]
+    fn wrong_shard_replica_never_resolves(
+        expect in 0usize..1 << 16,
+        skew in 1usize..1 << 16,
+        body in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let addressed = expect + skew; // always != expect
+        let r = replica(addressed, 3, ReplicaRole::Primary, ReplicaPayload::Full(ckpt_frame(&body)));
+        prop_assert_eq!(
+            r.resolve(expect, 3, None),
+            Err(ReplicaError::WrongShard { expected: expect, found: addressed })
+        );
+    }
+
+    /// A standby-originated frame is never applied as replication input —
+    /// only a primary may feed a standby, whatever the payload.
+    #[test]
+    fn standby_role_never_resolves(
+        body in proptest::collection::vec(0u8..=255, 0..256),
+        is_delta in proptest::bool::ANY,
+    ) {
+        let payload = if is_delta {
+            ReplicaPayload::Delta { base_seq: 100, frame: body }
+        } else {
+            ReplicaPayload::Full(body)
+        };
+        let r = replica(1, 1, ReplicaRole::Standby, payload);
+        prop_assert_eq!(
+            r.resolve(1, 1, None),
+            Err(ReplicaError::WrongRole { found: ReplicaRole::Standby })
+        );
+    }
+
     /// Truncating or flipping a sealed delta frame yields an error, never a
     /// panic.
     #[test]
@@ -204,4 +316,65 @@ fn corpus_of_hostile_frames() {
     // Empty input.
     assert!(TransferFrame::from_frame(&[]).is_err());
     assert!(DeltaFrame::from_frame(&[]).is_err());
+}
+
+/// Hand-built replica corpus: role/payload-tag, version and cross-format
+/// corner cases the fuzz loops are unlikely to synthesize.
+#[test]
+fn corpus_of_hostile_replica_frames() {
+    // Unknown role byte inside an otherwise valid sealed body.
+    let mut e = darwin_ckpt::Enc::new();
+    e.usize(0);
+    e.u32(0);
+    e.u8(0x7F); // no such role
+    e.u64(10);
+    e.u8(0x01); // full payload tag
+    e.bytes(b"body");
+    let frame = seal(REPLICA_MAGIC, REPLICA_VERSION, &e.into_bytes());
+    assert!(matches!(ReplicaFrame::from_frame(&frame), Err(CkptError::Malformed(_))));
+
+    // Unknown payload opcode after a valid role byte.
+    let mut e = darwin_ckpt::Enc::new();
+    e.usize(0);
+    e.u32(0);
+    e.u8(0x01); // primary
+    e.u64(10);
+    e.u8(0x7F); // no such payload tag
+    let frame = seal(REPLICA_MAGIC, REPLICA_VERSION, &e.into_bytes());
+    assert!(matches!(ReplicaFrame::from_frame(&frame), Err(CkptError::Malformed(_))));
+
+    // Right magic, wrong version.
+    let frame = seal(REPLICA_MAGIC, REPLICA_VERSION + 1, b"");
+    assert!(matches!(ReplicaFrame::from_frame(&frame), Err(CkptError::BadVersion { .. })));
+
+    // Cross-format confusion: a checkpoint or transfer frame is not a
+    // replica envelope, and a replica envelope is not a transfer frame.
+    let frame = ckpt_frame(b"shard image");
+    assert!(matches!(ReplicaFrame::from_frame(&frame), Err(CkptError::BadMagic { .. })));
+    let transfer = envelope(2, TransferPayload::Full(b"image".to_vec())).to_frame();
+    assert!(matches!(ReplicaFrame::from_frame(&transfer), Err(CkptError::BadMagic { .. })));
+    let rep = replica(0, 0, ReplicaRole::Primary, ReplicaPayload::Full(b"image".to_vec())).to_frame();
+    assert!(matches!(TransferFrame::from_frame(&rep), Err(CkptError::BadMagic { .. })));
+
+    // A delta with no base held at the standby is refused, not applied.
+    let r = replica(
+        0,
+        0,
+        ReplicaRole::Primary,
+        ReplicaPayload::Delta { base_seq: 512, frame: DeltaFrame::compute(b"a", b"b").to_frame() },
+    );
+    assert_eq!(r.resolve(0, 0, None), Err(ReplicaError::MissingBase { base_seq: 512 }));
+
+    // A delta whose embedded frame is garbage fails as a frame error even
+    // with a base on hand.
+    let r = replica(
+        0,
+        0,
+        ReplicaRole::Primary,
+        ReplicaPayload::Delta { base_seq: 512, frame: b"garbage".to_vec() },
+    );
+    assert!(matches!(r.resolve(0, 0, Some(b"base")), Err(ReplicaError::Frame(_))));
+
+    // Empty input.
+    assert!(ReplicaFrame::from_frame(&[]).is_err());
 }

@@ -1,8 +1,9 @@
 //! Warm-restart checkpoints for fleet shards.
 //!
 //! A [`ShardCheckpoint`] pairs a shard's cache image ([`CacheServer::
-//! save_state`]-bytes) with its driver's state and the currently deployed
-//! policy, sealed into one versioned, CRC-64-guarded frame. Checkpoints are
+//! save_state`]-bytes) with its driver's state, the currently deployed
+//! policy and the supervisor's restart-budget state, sealed into one
+//! versioned, CRC-64-guarded frame. Checkpoints are
 //! taken only at per-shard request-sequence boundaries (`checkpoint_every`
 //! in `FleetConfig`), never on a wall clock, so a restore from sequence `C`
 //! resumes bitwise-identically to a worker that simply paused after its
@@ -26,8 +27,10 @@ use std::sync::Mutex;
 
 /// Frame magic: `"DSCK"` (Darwin Shard ChecKpoint), little-endian.
 pub const CKPT_MAGIC: u32 = 0x4453_434B;
-/// Current frame format revision.
-pub const CKPT_VERSION: u16 = 1;
+/// Current frame format revision. v2 added the supervisor's restart-budget
+/// state (`restarts` + in-window marks) so warm boots and restores cannot
+/// launder a crash-looping shard's history back to a fresh budget.
+pub const CKPT_VERSION: u16 = 2;
 
 /// One shard's complete warm-restart image.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +47,13 @@ pub struct ShardCheckpoint {
     pub cache: Vec<u8>,
     /// `AdmissionDriver::save_state` bytes.
     pub driver: Vec<u8>,
+    /// Cold restarts the shard's supervisor had granted when the cut was
+    /// taken. Carried so a restore resumes the budget, not resets it.
+    pub restarts: u32,
+    /// Fleet submission counts of the restarts still inside the budget's
+    /// sliding window at the cut (oldest first) — the other half of the
+    /// supervisor state a crash-looper must not shed.
+    pub budget_marks: Vec<u64>,
 }
 
 impl ShardCheckpoint {
@@ -55,6 +65,8 @@ impl ShardCheckpoint {
         self.policy.encode_state(&mut enc);
         enc.bytes(&self.cache);
         enc.bytes(&self.driver);
+        enc.u32(self.restarts);
+        enc.seq(&self.budget_marks, |e, &m| e.u64(m));
         seal(CKPT_MAGIC, CKPT_VERSION, &enc.into_bytes())
     }
 
@@ -67,8 +79,10 @@ impl ShardCheckpoint {
         let policy = ThresholdPolicy::decode_state(&mut dec)?;
         let cache = dec.bytes()?.to_vec();
         let driver = dec.bytes()?.to_vec();
+        let restarts = dec.u32()?;
+        let budget_marks = dec.seq(|d| d.u64())?;
         dec.finish()?;
-        Ok(Self { shard, seq, policy, cache, driver })
+        Ok(Self { shard, seq, policy, cache, driver, restarts, budget_marks })
     }
 }
 
@@ -200,6 +214,8 @@ mod tests {
             policy: ThresholdPolicy::new(3, 64 * 1024),
             cache: vec![1, 2, 3, 4, 5],
             driver: vec![9, 8, 7],
+            restarts: 2,
+            budget_marks: vec![7_500, 11_900],
         }
     }
 
@@ -220,6 +236,8 @@ mod tests {
             policy: ThresholdPolicy::new(1, 1),
             cache: Vec::new(),
             driver: Vec::new(),
+            restarts: 0,
+            budget_marks: Vec::new(),
         };
         assert_eq!(ShardCheckpoint::from_frame(&c.to_frame()).unwrap(), c);
     }
@@ -233,11 +251,17 @@ mod tests {
         c.policy.encode_state(&mut enc);
         enc.bytes(&c.cache);
         enc.bytes(&c.driver);
-        let frame = seal(CKPT_MAGIC, CKPT_VERSION + 1, &enc.into_bytes());
-        assert_eq!(
-            ShardCheckpoint::from_frame(&frame),
-            Err(CkptError::BadVersion { expected: CKPT_VERSION, found: CKPT_VERSION + 1 })
-        );
+        enc.u32(c.restarts);
+        enc.seq(&c.budget_marks, |e, &m| e.u64(m));
+        let body = enc.into_bytes();
+        for found in [CKPT_VERSION + 1, CKPT_VERSION - 1] {
+            let frame = seal(CKPT_MAGIC, found, &body);
+            assert_eq!(
+                ShardCheckpoint::from_frame(&frame),
+                Err(CkptError::BadVersion { expected: CKPT_VERSION, found }),
+                "v{found} frame must be rejected — v1 frames lack budget state"
+            );
+        }
     }
 
     #[test]
@@ -315,7 +339,15 @@ mod proptests {
         cache: Vec<u8>,
         driver: Vec<u8>,
     ) -> ShardCheckpoint {
-        ShardCheckpoint { shard, seq, policy: ThresholdPolicy::new(freq, size), cache, driver }
+        ShardCheckpoint {
+            shard,
+            seq,
+            policy: ThresholdPolicy::new(freq, size),
+            cache,
+            driver,
+            restarts: (seq % 7) as u32,
+            budget_marks: vec![seq / 4, seq / 2, seq],
+        }
     }
 
     proptest! {

@@ -7,7 +7,7 @@
 //! of the trace alone: the same trace under the same plan produces the same
 //! faults at the same requests, run after run, with no wall clock anywhere.
 //!
-//! Four fault kinds are scripted:
+//! Five fault kinds are scripted:
 //!
 //! * [`FaultKind::Panic`] — the shard worker panics immediately before
 //!   processing the request at the event's index. The request itself is
@@ -31,6 +31,12 @@
 //!   bit-flipped) before the request. Harmless by itself; followed by a
 //!   `Panic` it forces — and proves — the detected-corruption cold-restart
 //!   fallback.
+//! * [`FaultKind::CorruptStandby`] — the shard's hot standby (when the
+//!   fleet runs with `replicas > 0`) is poisoned before the request: its
+//!   applied frame is discarded and the loss is journaled at the next
+//!   replication feed. Followed by a budget-exhausting `Panic` it proves
+//!   the standby-loss fallback — the shard is buried exactly as an
+//!   unreplicated one would be, never silently mis-promoted.
 //!
 //! Plans can be written by hand ([`FaultPlan::new`] / [`FaultPlan::push`]) or
 //! generated from a seed ([`FaultPlan::random`]) — both are plain data
@@ -68,6 +74,13 @@ pub enum FaultKind {
         /// Truncate the frames instead of flipping a bit.
         torn: bool,
     },
+    /// Poisons the shard's hot standby (no-op without one): the standby's
+    /// applied frame is discarded and the next replication feed detects and
+    /// journals the loss, then re-seeds a fresh standby. Paired with a
+    /// budget-exhausting `Panic` before the re-seed lands, it proves a lost
+    /// standby falls back to burial — detected and journaled, never a
+    /// silent promotion of stale state.
+    CorruptStandby,
 }
 
 /// One scripted fault: `kind` fires on shard `shard` immediately before the
@@ -182,7 +195,8 @@ fn fault_rank(kind: FaultKind) -> u8 {
         FaultKind::Delay { .. } => 0,
         FaultKind::QueueFull => 1,
         FaultKind::CorruptCheckpoint { .. } => 2,
-        FaultKind::Panic => 3,
+        FaultKind::CorruptStandby => 3,
+        FaultKind::Panic => 4,
     }
 }
 

@@ -53,6 +53,13 @@
 //!   request routed to it is answered immediately via
 //!   [`Envelope::unavailable`] (degraded mode) instead of queueing into a
 //!   crash loop.
+//! * **With a hot standby** ([`FleetConfig::replicas`] > 0) a past-budget
+//!   death *promotes* instead of burying: the standby's last applied
+//!   checkpoint frame is installed as the newest restore candidate and the
+//!   worker warm-restarts from it, so the shard keeps serving and nothing
+//!   is answered `Unavailable`. A lost standby (a scripted
+//!   [`FaultKind::CorruptStandby`], or a feed that failed validation) falls
+//!   back to burial — detected and journaled, never silent.
 //!
 //! Requests in flight at the moment of death (staged, queued, or popped but
 //! not yet completed) are answered `Dropped` through their envelope `Drop`
@@ -78,6 +85,7 @@ use crate::fault::{FaultKind, FaultPlan, ShardFaultCursor};
 use crate::metrics::{FleetMetrics, MetricsHandle, ShardCell, ShardPhase};
 use crate::queue::{channel, Consumer, Producer, QueueGauges};
 use crate::router::Router;
+use crate::standby::{FeedOutcome, StandbySlot};
 use crate::supervisor::{RestartBudget, Supervisor, SupervisorVerdict};
 use darwin_cache::{CacheConfig, CacheMetrics, CacheServer, RequestOutcome};
 use darwin_obs::{EventKind, SwitchCostTracker};
@@ -198,6 +206,15 @@ pub struct FleetConfig {
     /// ledger to `processed + dropped + unavailable + shed == submitted`.
     #[serde(default)]
     pub shed_watermark: Option<usize>,
+    /// Hot standbys per shard (0 disables replication; any nonzero value
+    /// runs one in-process [`StandbySlot`] per shard). The primary feeds the
+    /// standby at every checkpoint cut ([`FleetConfig::checkpoint_every`]
+    /// must be set for the standby to ever seed), and a shard whose restart
+    /// budget is exhausted *promotes* the standby's last applied frame
+    /// instead of being buried — the shard keeps serving and answers nothing
+    /// `Unavailable`.
+    #[serde(default)]
+    pub replicas: usize,
 }
 
 impl Default for FleetConfig {
@@ -211,6 +228,7 @@ impl Default for FleetConfig {
             restart_budget: RestartBudget::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         }
     }
 }
@@ -288,6 +306,10 @@ pub struct ShardOutcome<D> {
     pub restarts: u32,
     /// Restarts that resumed warm from a valid checkpoint.
     pub warm_restarts: u32,
+    /// Past-budget deaths answered by promoting the hot standby's frame
+    /// instead of burying the shard (each is also counted in `restarts` and
+    /// `warm_restarts`: the promoted worker restores warm).
+    pub failovers: u32,
     /// True if the shard's worker was dead when the fleet finished (restart
     /// budget exhausted, or a terminal panic at end-of-stream).
     pub dead: bool,
@@ -350,6 +372,11 @@ impl<D> FleetReport<D> {
         self.shards.iter().map(|s| s.warm_restarts).sum()
     }
 
+    /// Standby promotions (failovers) across the fleet.
+    pub fn total_failovers(&self) -> u32 {
+        self.shards.iter().map(|s| s.failovers).sum()
+    }
+
     /// Restarts that fell back cold, across the fleet.
     pub fn total_cold_restarts(&self) -> u32 {
         self.shards.iter().map(|s| s.restarts.saturating_sub(s.warm_restarts)).sum()
@@ -402,6 +429,9 @@ struct ShardState<D, E> {
     /// The shard's checkpoint mailbox (allocated even when checkpointing is
     /// off: an empty slot just makes every restart cold).
     slot: Arc<CheckpointSlot>,
+    /// The shard's hot standby ([`FleetConfig::replicas`] > 0), fed by the
+    /// worker at every checkpoint cut and consulted at death settlement.
+    standby: Option<Arc<StandbySlot>>,
 }
 
 /// The shared heart of a fleet: configuration, router, per-shard lanes.
@@ -504,7 +534,8 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> FleetCore<D, E> {
         let seq = cell.processed_total();
         let budget_max = lane.supervisor.budget().max_restarts;
         cell.obs().journal.record(seq, EventKind::WorkerDeath);
-        match lane.supervisor.on_worker_death(now) {
+        let standby_ready = shard.standby.as_ref().is_some_and(|st| st.ready());
+        match lane.supervisor.on_worker_death_with_standby(now, standby_ready) {
             SupervisorVerdict::Respawn => {
                 cell.record_restart();
                 cell.obs().journal.record(
@@ -512,6 +543,46 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> FleetCore<D, E> {
                     EventKind::RestartGranted { restarts_used: lane.supervisor.restarts(), budget_max },
                 );
                 self.spawn(s, lane, lane.delivered, true);
+            }
+            SupervisorVerdict::Promote => {
+                match shard.standby.as_ref().and_then(|st| st.take_for_promotion()) {
+                    Some((frame, checkpoint_seq)) => {
+                        // Install the standby's frame as the newest restore
+                        // candidate (`store` writes the disk spill first,
+                        // then flips the active buffer, so the promoted
+                        // frame wins even after a scripted corruption
+                        // damaged every prior candidate), then warm-restart
+                        // through the same validated restore path every
+                        // respawn uses — which is what makes a promoted
+                        // shard bitwise-identical to an unfailed run from
+                        // the checkpoint boundary.
+                        shard.slot.store(frame);
+                        cell.record_restart();
+                        cell.record_failover();
+                        cell.obs().journal.record(
+                            seq,
+                            EventKind::Failover {
+                                checkpoint_seq,
+                                restarts_used: lane.supervisor.restarts(),
+                                budget_max,
+                            },
+                        );
+                        self.spawn(s, lane, lane.delivered, true);
+                    }
+                    None => {
+                        // The standby was lost between the readiness check
+                        // and the take: bury exactly as an unreplicated
+                        // fleet would.
+                        cell.obs().journal.record(
+                            seq,
+                            EventKind::RestartDenied {
+                                restarts_used: lane.supervisor.restarts(),
+                                budget_max,
+                            },
+                        );
+                        cell.mark_dead();
+                    }
+                }
             }
             SupervisorVerdict::Bury => {
                 cell.obs().journal.record(
@@ -550,6 +621,10 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> FleetCore<D, E> {
             boot: !respawn && self.warm_boot,
             boot_handoff: self.boot_handoff,
             cut_target: Arc::clone(&self.cut_target),
+            standby: shard.standby.as_ref().map(Arc::clone),
+            generation: shard.cell.generation(),
+            budget_restarts: lane.supervisor.restarts(),
+            budget_marks: lane.supervisor.marks(),
         };
         let handle = std::thread::Builder::new()
             .name(format!("shard-{s}"))
@@ -670,6 +745,7 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
                     }),
                     cell: Arc::new(ShardCell::new(s, Arc::new(QueueGauges::default()))),
                     slot: Arc::new(CheckpointSlot::new(s, boot.checkpoint_dir.clone())),
+                    standby: (cfg.replicas > 0).then(|| Arc::new(StandbySlot::new(s))),
                 })
                 .collect(),
             cfg,
@@ -701,6 +777,23 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
         for (s, shard) in core.shards.iter().enumerate() {
             shard.cell.set_generation(boot.generation);
             let mut lane = shard.lane.lock().expect("shard lane poisoned");
+            if boot.warm_boot {
+                // Reconstitute the supervisor's budget state from the frame
+                // the shard is about to restore, so a crash-looping shard
+                // cannot launder its restart history through a warm boot.
+                // The marks' submission clock restarted at 0; `with_state`
+                // keeps them conservatively until they age out of the new
+                // clock's window.
+                let carried = shard.slot.candidates().into_iter().find_map(|frame| {
+                    ShardCheckpoint::from_frame(&frame)
+                        .ok()
+                        .filter(|c| c.shard == s)
+                        .map(|c| (c.restarts, c.budget_marks))
+                });
+                if let Some((restarts, marks)) = carried {
+                    lane.supervisor = Supervisor::with_state(core.cfg.restart_budget, restarts, &marks);
+                }
+            }
             core.spawn(s, &mut lane, 0, false);
         }
         Self {
@@ -917,6 +1010,7 @@ impl<D: AdmissionDriver + Send + 'static, E: Envelope> ShardedFleet<D, E> {
                 shed: snap.shed,
                 restarts: snap.restarts,
                 warm_restarts: snap.warm_restarts,
+                failovers: snap.failovers,
                 dead: snap.dead,
                 queue_high_water: snap.queue_high_water,
                 hoc_used_bytes,
@@ -1087,6 +1181,45 @@ struct WorkerCtx<D, E> {
     boot_handoff: bool,
     /// Requested final-cut target shard count; `u64::MAX` means no cut.
     cut_target: Arc<AtomicU64>,
+    /// The shard's hot standby, fed at every checkpoint cut (`None` when the
+    /// fleet runs without replicas).
+    standby: Option<Arc<StandbySlot>>,
+    /// Router generation, stamped into every replica envelope.
+    generation: u32,
+    /// Supervisor budget state snapshotted at spawn (it is constant for the
+    /// lifetime of one incarnation), carried inside every checkpoint this
+    /// incarnation cuts so warm boots cannot launder restart history.
+    budget_restarts: u32,
+    /// In-window restart marks at spawn (see `budget_restarts`).
+    budget_marks: Vec<u64>,
+}
+
+/// Feeds one checkpoint cut to the shard's standby and folds the outcome
+/// into the cell's replication metrics and the journal. Loss is detected and
+/// journaled here — a failed or poisoned standby is never silent: the next
+/// feed records [`EventKind::StandbyLost`] and (when the feed itself
+/// succeeded) re-seeds a fresh standby with a full image.
+fn feed_standby(standby: &StandbySlot, cell: &ShardCell, generation: u32, seq: u64, frame: &[u8]) {
+    match standby.feed(generation, seq, frame) {
+        FeedOutcome::Seeded { shipped_bytes } => {
+            cell.record_replica(seq, shipped_bytes);
+            cell.obs().journal.record(seq, EventKind::ReplicaSeeded { checkpoint_seq: seq });
+        }
+        FeedOutcome::Applied { shipped_bytes, lag } => {
+            cell.record_replica(seq, shipped_bytes);
+            cell.obs().journal.record(seq, EventKind::ReplicaLag { checkpoint_seq: seq, lag });
+        }
+        FeedOutcome::Replaced { shipped_bytes } => {
+            cell.record_standby_lost();
+            cell.obs().journal.record(seq, EventKind::StandbyLost { checkpoint_seq: seq });
+            cell.record_replica(seq, shipped_bytes);
+            cell.obs().journal.record(seq, EventKind::ReplicaSeeded { checkpoint_seq: seq });
+        }
+        FeedOutcome::Lost => {
+            cell.record_standby_lost();
+            cell.obs().journal.record(seq, EventKind::StandbyLost { checkpoint_seq: seq });
+        }
+    }
 }
 
 /// Attempts a warm restore from the slot's best candidate. Returns the
@@ -1126,6 +1259,7 @@ fn fault_label(kind: &FaultKind) -> String {
         FaultKind::QueueFull => "queue-full".into(),
         FaultKind::CorruptCheckpoint { torn: true } => "corrupt-ckpt(torn)".into(),
         FaultKind::CorruptCheckpoint { torn: false } => "corrupt-ckpt(zeroed)".into(),
+        FaultKind::CorruptStandby => "corrupt-standby".into(),
     }
 }
 
@@ -1154,6 +1288,10 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
         boot,
         boot_handoff,
         cut_target,
+        standby,
+        generation,
+        budget_restarts,
+        budget_marks,
     } = ctx;
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         darwin_parallel::inline_sweeps(|| {
@@ -1228,6 +1366,15 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
                                 }
                             }
                             FaultKind::CorruptCheckpoint { torn } => slot.corrupt(torn),
+                            // The standby process "dies": its applied frame
+                            // is discarded. Detected and journaled at the
+                            // next feed; a budget-exhausting death before
+                            // then falls back to burial.
+                            FaultKind::CorruptStandby => {
+                                if let Some(st) = &standby {
+                                    st.poison();
+                                }
+                            }
                         }
                     }
                     let req = *env.request();
@@ -1297,13 +1444,19 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
                                     policy: current_policy,
                                     cache: server.save_state(),
                                     driver: dstate,
+                                    restarts: budget_restarts,
+                                    budget_marks: budget_marks.clone(),
                                 };
-                                slot.store(ckpt.to_frame());
+                                let frame = ckpt.to_frame();
+                                slot.store(frame.clone());
                                 cell.obs().ckpt_pause.record_duration(pause.elapsed());
                                 cell.record_checkpoint(seq);
                                 cell.obs()
                                     .journal
                                     .record(seq, EventKind::CheckpointCut { checkpoint_seq: seq });
+                                if let Some(st) = &standby {
+                                    feed_standby(st, &cell, generation, seq, &frame);
+                                }
                             }
                         }
                     }
@@ -1332,10 +1485,16 @@ fn worker<D: AdmissionDriver, E: Envelope>(ctx: WorkerCtx<D, E>) -> WorkerExit<D
                         policy: current_policy,
                         cache: server.save_state(),
                         driver: dstate,
+                        restarts: budget_restarts,
+                        budget_marks: budget_marks.clone(),
                     };
-                    slot.store(ckpt.to_frame());
+                    let frame = ckpt.to_frame();
+                    slot.store(frame.clone());
                     cell.record_checkpoint(seq);
                     cell.obs().journal.record(seq, EventKind::HandoffCut { checkpoint_seq: seq });
+                    if let Some(st) = &standby {
+                        feed_standby(st, &cell, generation, seq, &frame);
+                    }
                 }
             }
             WorkerResult {
@@ -1382,6 +1541,7 @@ mod tests {
             restart_budget: RestartBudget::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         });
         fleet.submit_trace(&t);
         let report = fleet.finish();
@@ -1416,6 +1576,7 @@ mod tests {
             restart_budget: RestartBudget::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         });
         fleet.submit_trace(&t);
         let report = fleet.finish();
@@ -1660,6 +1821,7 @@ mod tests {
             restart_budget: RestartBudget::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         });
         let ingest = fleet.ingest();
         std::thread::scope(|scope| {
@@ -1697,6 +1859,7 @@ mod tests {
             restart_budget: RestartBudget::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         });
         {
             let mut producer = fleet.ingest().producer();

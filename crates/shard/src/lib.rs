@@ -43,6 +43,13 @@
 //!   delays, queue-full stalls and checkpoint corruption off per-shard
 //!   request sequence numbers, so fault runs reproduce bit-for-bit (no wall
 //!   clock anywhere).
+//! * [`standby`] — hot-standby replication: a per-shard [`StandbySlot`] fed
+//!   a role-tagged replica frame (full image, then O(churn) deltas) at every
+//!   checkpoint cut. When a shard's restart budget is exhausted the standby
+//!   is *promoted* — its last applied frame is installed and the worker
+//!   warm-restarts from it, bitwise-identical to an unfailed run from the
+//!   checkpoint boundary — instead of burying the shard
+//!   (`tests/failover.rs`).
 //! * [`ckpt`] — warm-restart checkpoints: a versioned, CRC-64-guarded
 //!   [`ShardCheckpoint`] frame (cache image + driver state + deployed
 //!   policy) taken at request-sequence boundaries into a double-buffered
@@ -68,6 +75,7 @@ pub mod metrics;
 pub mod queue;
 pub mod replay;
 pub mod router;
+pub mod standby;
 pub mod supervisor;
 
 pub use ckpt::{CheckpointSlot, ShardCheckpoint, CKPT_MAGIC, CKPT_VERSION};
@@ -84,4 +92,5 @@ pub use metrics::{
 pub use queue::{channel, Consumer, Producer, QueueGauges};
 pub use replay::{partition, run_partition, run_sequential, ShardRun};
 pub use router::{HashRouter, ModuloRouter, Router};
+pub use standby::{FeedOutcome, StandbySlot};
 pub use supervisor::{RestartBudget, Supervisor, SupervisorVerdict};

@@ -135,6 +135,22 @@ pub struct ShardSnapshot {
     /// exists yet) — the work a crash right now would replay-lose warm.
     #[serde(default)]
     pub checkpoint_age: u64,
+    /// Failover promotions: past-budget worker deaths answered by
+    /// installing the hot standby's frame instead of burying the shard.
+    #[serde(default)]
+    pub failovers: u32,
+    /// Sequence boundary of the frame the shard's hot standby has applied
+    /// (`None` without replication or before the first seed).
+    #[serde(default)]
+    pub replica_seq: Option<u64>,
+    /// Cumulative payload bytes shipped to the hot standby (full seeds plus
+    /// deltas) — the O(churn) replication-cost ledger.
+    #[serde(default)]
+    pub replica_shipped_bytes: u64,
+    /// Standby losses detected (poisoned or failed-validation standbys);
+    /// each is journaled and followed by a background re-seed.
+    #[serde(default)]
+    pub standby_lost: u32,
     /// Requests currently waiting in the shard's queue.
     pub queue_depth: usize,
     /// Maximum queue depth ever observed, across incarnations (backpressure
@@ -193,6 +209,10 @@ impl ShardSnapshot {
         self.dead |= other.dead;
         self.checkpoint_seq = self.checkpoint_seq.max(other.checkpoint_seq);
         self.checkpoint_age = self.checkpoint_age.max(other.checkpoint_age);
+        self.failovers += other.failovers;
+        self.replica_seq = self.replica_seq.max(other.replica_seq);
+        self.replica_shipped_bytes += other.replica_shipped_bytes;
+        self.standby_lost += other.standby_lost;
         self.queue_depth += other.queue_depth;
         self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
         self.cache = CacheMetrics::merge_all([&self.cache, &other.cache]);
@@ -237,6 +257,10 @@ pub struct GatewaySnapshot {
     /// `EVENTS` frames served.
     #[serde(default)]
     pub events_served: u64,
+    /// `RESIZE` frames served (acknowledged, whether the resize was
+    /// performed or refused with an error ack).
+    #[serde(default)]
+    pub resizes_served: u64,
     /// Requests answered `Busy` by the gateway itself — over the
     /// per-connection rate limit or the reply-backlog bound — without ever
     /// reaching the fleet. Disjoint from the per-shard `shed` counters.
@@ -350,6 +374,7 @@ impl FleetMetrics {
                 verdicts_out: a.verdicts_out + b.verdicts_out,
                 stats_served: a.stats_served + b.stats_served,
                 events_served: a.events_served + b.events_served,
+                resizes_served: a.resizes_served + b.resizes_served,
                 shed: a.shed + b.shed,
                 throttled: a.throttled + b.throttled,
                 slow_closed: a.slow_closed + b.slow_closed,
@@ -432,6 +457,22 @@ impl FleetMetrics {
     /// would lose to a crash right now, even restoring warm.
     pub fn max_checkpoint_age(&self) -> u64 {
         self.shards.iter().map(|s| s.checkpoint_age).max().unwrap_or(0)
+    }
+
+    /// Failover promotions across the fleet: past-budget deaths answered by
+    /// a hot standby instead of burial.
+    pub fn total_failovers(&self) -> u32 {
+        self.shards.iter().map(|s| s.failovers).sum()
+    }
+
+    /// Standby losses detected across the fleet.
+    pub fn total_standby_lost(&self) -> u32 {
+        self.shards.iter().map(|s| s.standby_lost).sum()
+    }
+
+    /// Cumulative replication payload bytes shipped across the fleet.
+    pub fn total_replica_shipped_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.replica_shipped_bytes).sum()
     }
 
     /// Shards currently marked permanently dead.
@@ -532,6 +573,15 @@ pub struct ShardCell {
     /// Sequence number of the latest stored checkpoint; `u64::MAX` is the
     /// "none yet" sentinel (a real sequence of `u64::MAX` is unreachable).
     ckpt_seq: AtomicU64,
+    /// Failover promotions granted (past-budget deaths a standby answered).
+    failovers: AtomicU32,
+    /// Sequence boundary the hot standby has applied; `u64::MAX` is the
+    /// "none" sentinel, mirroring `ckpt_seq`.
+    replica_seq: AtomicU64,
+    /// Cumulative replication payload bytes shipped to the standby.
+    replica_shipped_bytes: AtomicU64,
+    /// Standby losses detected so far.
+    standby_lost: AtomicU32,
     dead: AtomicBool,
     /// High-water marks of retired queues (a restart swaps in a fresh queue
     /// whose gauge starts at zero).
@@ -560,6 +610,10 @@ impl ShardCell {
             generation: AtomicU32::new(0),
             phase: AtomicU8::new(ShardPhase::Serving.code()),
             ckpt_seq: AtomicU64::new(u64::MAX),
+            failovers: AtomicU32::new(0),
+            replica_seq: AtomicU64::new(u64::MAX),
+            replica_shipped_bytes: AtomicU64::new(0),
+            standby_lost: AtomicU32::new(0),
             dead: AtomicBool::new(false),
             high_water_floor: AtomicUsize::new(0),
             gauges: Mutex::new(gauges),
@@ -781,6 +835,52 @@ impl ShardCell {
         }
     }
 
+    /// Counts one failover promotion: a past-budget death answered by
+    /// installing the hot standby's frame instead of burying the shard.
+    /// Always paired with [`record_restart`](Self::record_restart) — the
+    /// promoted incarnation is a (warm) restart, so `warm + cold` keeps
+    /// partitioning `restarts`.
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Failover promotions granted so far.
+    pub fn failovers(&self) -> u32 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Worker side: records a replication feed the standby applied — the
+    /// boundary it now holds and the payload bytes the envelope shipped.
+    pub fn record_replica(&self, seq: u64, shipped_bytes: u64) {
+        self.replica_seq.store(seq, Ordering::Release);
+        self.replica_shipped_bytes.fetch_add(shipped_bytes, Ordering::Relaxed);
+    }
+
+    /// Sequence boundary the hot standby has applied, if any.
+    pub fn replica_seq(&self) -> Option<u64> {
+        match self.replica_seq.load(Ordering::Acquire) {
+            u64::MAX => None,
+            seq => Some(seq),
+        }
+    }
+
+    /// Cumulative replication payload bytes shipped to the standby.
+    pub fn replica_shipped_bytes(&self) -> u64 {
+        self.replica_shipped_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Counts one detected standby loss (poisoned or failed validation).
+    pub fn record_standby_lost(&self) {
+        self.standby_lost.fetch_add(1, Ordering::Relaxed);
+        // The standby's applied boundary is gone with it.
+        self.replica_seq.store(u64::MAX, Ordering::Release);
+    }
+
+    /// Standby losses detected so far.
+    pub fn standby_lost(&self) -> u32 {
+        self.standby_lost.load(Ordering::Relaxed)
+    }
+
     /// Marks the shard permanently dead.
     pub fn mark_dead(&self) {
         self.dead.store(true, Ordering::Relaxed);
@@ -816,6 +916,10 @@ impl ShardCell {
             phase: self.phase().label().to_string(),
             checkpoint_seq,
             checkpoint_age: checkpoint_seq.map_or(0, |s| processed_total.saturating_sub(s)),
+            failovers: self.failovers(),
+            replica_seq: self.replica_seq(),
+            replica_shipped_bytes: self.replica_shipped_bytes(),
+            standby_lost: self.standby_lost(),
             queue_depth: gauges.depth(),
             queue_high_water: self.high_water_floor.load(Ordering::Relaxed).max(gauges.high_water()),
             cache,
@@ -847,6 +951,10 @@ mod tests {
             phase: String::new(),
             checkpoint_seq: None,
             checkpoint_age: 0,
+            failovers: 0,
+            replica_seq: None,
+            replica_shipped_bytes: 0,
+            standby_lost: 0,
             queue_depth: 0,
             queue_high_water: 0,
             cache: CacheMetrics {
@@ -899,6 +1007,7 @@ mod tests {
             verdicts_out: 1_990,
             stats_served: 3,
             events_served: 1,
+            resizes_served: 1,
             shed: 12,
             throttled: 1,
             slow_closed: 1,
@@ -928,6 +1037,10 @@ mod tests {
             "\"phase\": \"\",",
             "\"checkpoint_seq\": null,",
             "\"checkpoint_age\": 0,",
+            "\"failovers\": 0,",
+            "\"replica_seq\": null,",
+            "\"replica_shipped_bytes\": 0,",
+            "\"standby_lost\": 0,",
             "\"latency\": null,",
             "\"events_dropped\": 0,",
             "\"generations\": [],",
@@ -1174,6 +1287,34 @@ mod tests {
         assert_eq!(s.restarts, 1);
         assert_eq!(s.warm_restarts, 1);
         assert_eq!(s.cold_restarts(), 0);
+    }
+
+    #[test]
+    fn cell_tracks_replication_and_failovers() {
+        let cell = ShardCell::new(1, Arc::new(QueueGauges::default()));
+        assert_eq!(cell.replica_seq(), None);
+        cell.record_replica(1_000, 4_096);
+        cell.record_replica(2_000, 128);
+        let s = cell.snapshot();
+        assert_eq!(s.replica_seq, Some(2_000));
+        assert_eq!(s.replica_shipped_bytes, 4_224);
+        assert_eq!(s.failovers, 0);
+        // A detected loss clears the applied boundary but keeps the ledger.
+        cell.record_standby_lost();
+        let s = cell.snapshot();
+        assert_eq!(s.replica_seq, None);
+        assert_eq!(s.standby_lost, 1);
+        assert_eq!(s.replica_shipped_bytes, 4_224);
+        // A failover is a (warm) restart plus the failover count.
+        cell.record_restart();
+        cell.record_failover();
+        let s = cell.snapshot();
+        assert_eq!(s.failovers, 1);
+        assert_eq!(s.restarts, 1);
+        let fm = FleetMetrics::from_shards(vec![s]);
+        assert_eq!(fm.total_failovers(), 1);
+        assert_eq!(fm.total_standby_lost(), 1);
+        assert_eq!(fm.total_replica_shipped_bytes(), 4_224);
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Hot-standby replication state for one shard.
+//!
+//! A [`StandbySlot`] is the in-process stand-in for a standby cache node:
+//! the primary's worker *feeds* it a [`ReplicaFrame`] at every checkpoint
+//! cut, and the slot plays both ends of the replication channel — it seals
+//! the envelope exactly as a primary would put it on the wire, then decodes,
+//! address-checks and applies it exactly as a remote standby would. The
+//! first cut (and every re-seed after a promotion or a detected loss) ships
+//! the full checkpoint image; steady-state cuts ship a
+//! [`DeltaFrame`] against the frame the
+//! standby already holds, so replication costs O(churn) bytes per
+//! checkpoint window. The standby therefore always trails the primary by at
+//! most one checkpoint window — the lag bound the failover contract quotes.
+//!
+//! When the shard's restart budget is exhausted, the fleet asks
+//! [`ready`](StandbySlot::ready) and, on a
+//! [`Promote`](crate::supervisor::SupervisorVerdict::Promote) verdict,
+//! [`take_for_promotion`](StandbySlot::take_for_promotion) hands the last
+//! applied frame over: the fleet installs it as the shard's newest restore
+//! candidate and the respawned worker warm-restores it through the same
+//! validated path every restart uses — which is why a promoted shard
+//! answers bitwise-identically to an unfailed run from the checkpoint
+//! boundary. Taking the frame empties the slot, so the next cut re-seeds a
+//! fresh standby (full image) in the background.
+//!
+//! Every failure mode is detected and surfaced, never silent: a feed whose
+//! envelope fails decoding, addressing or checkpoint validation marks the
+//! standby *lost* ([`FeedOutcome::Lost`]); the next feed replaces it with a
+//! fresh full seed ([`FeedOutcome::Replaced`]). A scripted
+//! [`CorruptStandby`](crate::fault::FaultKind::CorruptStandby) fault drives
+//! the same path deterministically via [`poison`](StandbySlot::poison).
+
+use crate::ckpt::ShardCheckpoint;
+use darwin_ckpt::delta::DeltaFrame;
+use darwin_ckpt::replica::{ReplicaError, ReplicaFrame, ReplicaPayload, ReplicaRole};
+use std::sync::Mutex;
+
+/// What one replication feed did to the standby.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedOutcome {
+    /// The standby held no base: a full image was shipped and applied
+    /// (first cut, or the background re-seed after a promotion).
+    Seeded {
+        /// Payload bytes the envelope shipped.
+        shipped_bytes: u64,
+    },
+    /// Steady state: a delta against the standby's held frame was shipped
+    /// and applied.
+    Applied {
+        /// Payload bytes the envelope shipped (O(churn), not O(cache)).
+        shipped_bytes: u64,
+        /// Sequence distance the delta covered (`seq - base_seq`) — bounded
+        /// by one checkpoint window.
+        lag: u64,
+    },
+    /// The standby had been lost (poisoned, or a previous feed failed
+    /// validation); this feed detected the loss and seeded a fresh standby
+    /// with a full image.
+    Replaced {
+        /// Payload bytes the replacement seed shipped.
+        shipped_bytes: u64,
+    },
+    /// This feed's envelope failed decoding, addressing or checkpoint
+    /// validation: the standby is now lost (nothing was applied). The next
+    /// feed will replace it.
+    Lost,
+}
+
+/// The standby's applied state: the last checkpoint frame it reconstructed
+/// and the boundary it covers.
+#[derive(Debug, Default)]
+struct StandbyState {
+    /// Last applied, fully validated checkpoint frame.
+    frame: Option<Vec<u8>>,
+    /// Request-sequence boundary of `frame`.
+    seq: u64,
+    /// True once the standby is known-bad: poisoned by a scripted fault or
+    /// failed a feed's validation. A lost standby never serves a promotion.
+    lost: bool,
+}
+
+/// One shard's hot standby, shared between the shard's worker (feeder) and
+/// the fleet core (promotion at settlement).
+#[derive(Debug)]
+pub struct StandbySlot {
+    shard: usize,
+    state: Mutex<StandbyState>,
+}
+
+impl StandbySlot {
+    /// An empty (unseeded) standby for `shard`.
+    pub fn new(shard: usize) -> Self {
+        Self { shard, state: Mutex::new(StandbyState::default()) }
+    }
+
+    /// Shard this standby replicates.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Feeds the checkpoint cut at `seq` (the sealed
+    /// [`ShardCheckpoint`] frame bytes) through the replication channel:
+    /// seals a role-tagged [`ReplicaFrame`] on the primary side, then
+    /// decodes, address-checks, resolves and re-validates it on the standby
+    /// side before storing. The loopback is deliberate — the bytes that
+    /// reach the standby's state are exactly the bytes that survived the
+    /// wire format's gauntlet, so a corrupted or misrouted envelope can
+    /// fail loudly but never silently mis-apply.
+    pub fn feed(&self, generation: u32, seq: u64, frame: &[u8]) -> FeedOutcome {
+        let mut st = self.state.lock().expect("standby slot poisoned");
+        let was_lost = std::mem::take(&mut st.lost);
+        if was_lost {
+            st.frame = None;
+        }
+        // Primary side: delta against the standby's held frame when it has
+        // one, full image otherwise.
+        let (payload, lag) = match &st.frame {
+            Some(base) => {
+                let delta = DeltaFrame::compute(base, frame);
+                (
+                    ReplicaPayload::Delta { base_seq: st.seq, frame: delta.to_frame() },
+                    seq.saturating_sub(st.seq),
+                )
+            }
+            None => (ReplicaPayload::Full(frame.to_vec()), 0),
+        };
+        let envelope =
+            ReplicaFrame { shard: self.shard, generation, role: ReplicaRole::Primary, seq, payload };
+        let wire = envelope.to_frame();
+        // Standby side: full decode + apply gate + checkpoint re-validation.
+        let applied = ReplicaFrame::from_frame(&wire)
+            .map_err(ReplicaError::from)
+            .and_then(|env| {
+                let shipped = env.shipped_bytes();
+                env.resolve(self.shard, generation, st.frame.as_deref()).map(|img| (img, shipped))
+            })
+            .ok()
+            .filter(|(img, _)| {
+                ShardCheckpoint::from_frame(img)
+                    .map(|c| c.shard == self.shard && c.seq == seq)
+                    .unwrap_or(false)
+            });
+        match applied {
+            Some((image, shipped_bytes)) => {
+                let seeded = st.frame.is_none();
+                st.frame = Some(image);
+                st.seq = seq;
+                if was_lost {
+                    FeedOutcome::Replaced { shipped_bytes }
+                } else if seeded {
+                    FeedOutcome::Seeded { shipped_bytes }
+                } else {
+                    FeedOutcome::Applied { shipped_bytes, lag }
+                }
+            }
+            None => {
+                st.frame = None;
+                st.lost = true;
+                FeedOutcome::Lost
+            }
+        }
+    }
+
+    /// True when the standby holds a validated frame and is not lost — the
+    /// question the supervisor's
+    /// [`on_worker_death_with_standby`](crate::supervisor::Supervisor::on_worker_death_with_standby)
+    /// asks at settlement.
+    pub fn ready(&self) -> bool {
+        let st = self.state.lock().expect("standby slot poisoned");
+        st.frame.is_some() && !st.lost
+    }
+
+    /// Request-sequence boundary of the standby's applied frame, if any.
+    pub fn applied_seq(&self) -> Option<u64> {
+        let st = self.state.lock().expect("standby slot poisoned");
+        st.frame.as_ref().map(|_| st.seq)
+    }
+
+    /// Hands the applied frame over for a failover promotion and empties
+    /// the slot (the next feed re-seeds a fresh standby). Returns `None`
+    /// when the standby is lost or unseeded — the caller must then bury the
+    /// shard exactly as an unreplicated fleet would.
+    pub fn take_for_promotion(&self) -> Option<(Vec<u8>, u64)> {
+        let mut st = self.state.lock().expect("standby slot poisoned");
+        if st.lost {
+            return None;
+        }
+        let frame = st.frame.take()?;
+        let seq = st.seq;
+        *st = StandbyState::default();
+        Some((frame, seq))
+    }
+
+    /// Deterministic fault injection: discards the applied frame and marks
+    /// the standby lost, as if the standby process had died. The loss is
+    /// detected and journaled at the next feed (which also re-seeds); a
+    /// budget-exhausting death before then falls back to burial.
+    pub fn poison(&self) {
+        let mut st = self.state.lock().expect("standby slot poisoned");
+        st.frame = None;
+        st.lost = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_cache::ThresholdPolicy;
+
+    fn ckpt_frame(shard: usize, seq: u64, fill: u8) -> Vec<u8> {
+        ShardCheckpoint {
+            shard,
+            seq,
+            policy: ThresholdPolicy::new(2, 64 * 1024),
+            cache: vec![fill; 4096],
+            driver: vec![fill ^ 0xFF; 128],
+            restarts: 1,
+            budget_marks: vec![seq / 2],
+        }
+        .to_frame()
+    }
+
+    #[test]
+    fn seed_then_deltas_stay_within_one_window() {
+        let slot = StandbySlot::new(0);
+        assert!(!slot.ready());
+        assert_eq!(slot.applied_seq(), None);
+
+        let f1 = ckpt_frame(0, 1_000, 0xAA);
+        match slot.feed(0, 1_000, &f1) {
+            FeedOutcome::Seeded { shipped_bytes } => {
+                assert_eq!(shipped_bytes, f1.len() as u64, "first feed ships the full image");
+            }
+            other => panic!("expected Seeded, got {other:?}"),
+        }
+        assert!(slot.ready());
+        assert_eq!(slot.applied_seq(), Some(1_000));
+
+        // A lightly changed next cut ships O(churn), and the lag equals one
+        // checkpoint window.
+        let f2 = ckpt_frame(0, 2_000, 0xAA);
+        match slot.feed(0, 2_000, &f2) {
+            FeedOutcome::Applied { shipped_bytes, lag } => {
+                assert_eq!(lag, 1_000);
+                assert!(
+                    shipped_bytes < f2.len() as u64 / 2,
+                    "delta ({shipped_bytes}B) must undercut the full image ({}B)",
+                    f2.len()
+                );
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+        // The applied frame is bitwise the primary's cut.
+        let (frame, seq) = slot.take_for_promotion().expect("ready standby");
+        assert_eq!(seq, 2_000);
+        assert_eq!(frame, f2);
+        // Taking empties the slot: the next feed is a fresh seed.
+        assert!(!slot.ready());
+        assert!(matches!(slot.feed(0, 3_000, &ckpt_frame(0, 3_000, 1)), FeedOutcome::Seeded { .. }));
+    }
+
+    #[test]
+    fn poison_is_detected_then_replaced() {
+        let slot = StandbySlot::new(2);
+        slot.feed(0, 500, &ckpt_frame(2, 500, 7));
+        assert!(slot.ready());
+        slot.poison();
+        assert!(!slot.ready());
+        assert_eq!(slot.take_for_promotion(), None, "a lost standby never promotes");
+        // The next feed detects the loss and seeds a replacement.
+        match slot.feed(0, 1_000, &ckpt_frame(2, 1_000, 8)) {
+            FeedOutcome::Replaced { .. } => {}
+            other => panic!("expected Replaced, got {other:?}"),
+        }
+        assert!(slot.ready());
+        assert_eq!(slot.applied_seq(), Some(1_000));
+    }
+
+    #[test]
+    fn invalid_feed_loses_the_standby_never_applies() {
+        let slot = StandbySlot::new(1);
+        // A frame that is not a valid checkpoint for shard 1 (wrong shard
+        // inside the sealed image) must not be applied.
+        let wrong_shard = ckpt_frame(0, 500, 3);
+        assert_eq!(slot.feed(0, 500, &wrong_shard), FeedOutcome::Lost);
+        assert!(!slot.ready());
+        // Garbage bytes: same story.
+        let slot = StandbySlot::new(1);
+        assert_eq!(slot.feed(0, 500, b"not a checkpoint"), FeedOutcome::Lost);
+        assert!(!slot.ready());
+        assert_eq!(slot.take_for_promotion(), None);
+    }
+
+    #[test]
+    fn wrong_seq_checkpoint_is_refused() {
+        // The envelope says seq 900 but the image was cut at 500: the
+        // standby's re-validation refuses the mismatch.
+        let slot = StandbySlot::new(0);
+        assert_eq!(slot.feed(0, 900, &ckpt_frame(0, 500, 3)), FeedOutcome::Lost);
+        assert!(!slot.ready());
+    }
+}

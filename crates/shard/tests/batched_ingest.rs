@@ -40,6 +40,7 @@ fn fleet_cfg(shards: usize, queue: usize, batch: usize) -> FleetConfig {
         restart_budget: Default::default(),
         checkpoint_every: None,
         shed_watermark: None,
+        replicas: 0,
     }
 }
 

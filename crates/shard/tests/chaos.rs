@@ -78,6 +78,7 @@ fn check_conservation(shards: usize, plan: FaultPlan, budget: RestartBudget, bp:
             restart_budget: budget,
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),
@@ -159,6 +160,7 @@ fn empty_fault_plan_is_bitwise_identical_to_sequential_replay() {
                 restart_budget: RestartBudget::default(),
                 checkpoint_every: None,
                 shed_watermark: None,
+                replicas: 0,
             },
             CacheConfig::small_test(),
             Box::new(HashRouter),
@@ -200,6 +202,7 @@ fn fault_runs_reproduce_bit_for_bit() {
                 restart_budget: RestartBudget { max_restarts: 1, window_requests: 100_000 },
                 checkpoint_every: None,
                 shed_watermark: None,
+                replicas: 0,
             },
             CacheConfig::small_test(),
             Box::new(HashRouter),
@@ -250,6 +253,7 @@ fn stall_faults_are_result_invisible() {
                 restart_budget: RestartBudget::default(),
                 checkpoint_every: None,
                 shed_watermark: None,
+                replicas: 0,
             },
             CacheConfig::small_test(),
             Box::new(HashRouter),

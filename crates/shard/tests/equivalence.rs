@@ -90,6 +90,7 @@ fn check_darwin_equivalence(shards: usize) {
             restart_budget: Default::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         },
         cache_cfg(),
         Box::new(HashRouter),
@@ -165,6 +166,7 @@ fn static_fleet_equivalent_at_8_shards_long_trace() {
             restart_budget: Default::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),

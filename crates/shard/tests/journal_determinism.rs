@@ -51,6 +51,7 @@ fn static_run(shards: usize) -> (Vec<u8>, Vec<(u32, JournalSnapshot)>) {
             restart_budget: RestartBudget { max_restarts: 2, window_requests: 100_000 },
             checkpoint_every: Some(512),
             shed_watermark: None,
+            replicas: 0,
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),
@@ -69,6 +70,9 @@ fn check_static_determinism(shards: usize) {
     let (frame_b, _) = static_run(shards);
     assert_eq!(frame_a, frame_b, "{shards}-shard journals must be byte-identical across runs");
 
+    for (shard, j) in &journals {
+        assert_eq!(j.dropped, 0, "shard {shard}: the journal must not shed events");
+    }
     let events: Vec<&EventKind> =
         journals.iter().flat_map(|(_, j)| j.events.iter().map(|e| &e.kind)).collect();
     let has = |pred: fn(&&&EventKind) -> bool| events.iter().any(|k| pred(&k));
@@ -81,6 +85,76 @@ fn check_static_determinism(shards: usize) {
         has(|k| matches!(k, EventKind::RestoreWarm { .. })),
         "a post-checkpoint death must restore warm"
     );
+}
+
+/// One seeded replicated run under a failover-forcing plan: a budgeted
+/// death, a standby loss (detected and re-seeded at the next cut), then a
+/// past-budget death answered by promotion. Exercises every replication
+/// event tag — `ReplicaSeeded`, `ReplicaLag`, `StandbyLost`, `Failover` —
+/// under the byte-determinism gate.
+fn failover_run(shards: usize) -> (Vec<u8>, Vec<(u32, JournalSnapshot)>) {
+    let t = trace(24_000, 42);
+    let mut fleet: ShardedFleet<StaticDriver> = ShardedFleet::with_fault_plan(
+        FleetConfig {
+            shards,
+            queue_capacity: 128,
+            batch: 32,
+            backpressure: Backpressure::Block,
+            snapshot_every: None,
+            restart_budget: RestartBudget { max_restarts: 1, window_requests: 100_000 },
+            checkpoint_every: Some(256),
+            shed_watermark: None,
+            replicas: 1,
+        },
+        CacheConfig::small_test(),
+        Box::new(HashRouter),
+        |_| StaticDriver::new(ThresholdPolicy::new(1, 100 * 1024)),
+        FaultPlan::new(vec![
+            FaultEvent { shard: 0, at: 512, kind: FaultKind::Panic },
+            FaultEvent { shard: 0, at: 600, kind: FaultKind::CorruptStandby },
+            FaultEvent { shard: 0, at: 1_024, kind: FaultKind::Panic },
+        ]),
+    );
+    let handle = fleet.metrics_handle();
+    fleet.submit_trace(&t);
+    fleet.finish();
+    let journals = handle.journals();
+    (encode_fleet_events(&journals), journals)
+}
+
+fn check_failover_determinism(shards: usize) {
+    let (frame_a, journals) = failover_run(shards);
+    let (frame_b, _) = failover_run(shards);
+    assert_eq!(frame_a, frame_b, "{shards}-shard failover journals must be byte-identical across runs");
+
+    for (shard, j) in &journals {
+        assert_eq!(j.dropped, 0, "shard {shard}: the journal must not shed events");
+    }
+    let events: Vec<&EventKind> =
+        journals.iter().flat_map(|(_, j)| j.events.iter().map(|e| &e.kind)).collect();
+    let has = |pred: fn(&&&EventKind) -> bool| events.iter().any(|k| pred(&k));
+    assert!(has(|k| matches!(k, EventKind::ReplicaSeeded { .. })), "standby seeding journaled");
+    assert!(has(|k| matches!(k, EventKind::ReplicaLag { .. })), "delta feeds journal their lag");
+    assert!(has(|k| matches!(k, EventKind::StandbyLost { .. })), "the scripted loss is detected");
+    assert!(
+        has(|k| matches!(k, EventKind::Failover { checkpoint_seq: 1_024, .. })),
+        "the past-budget death promotes at the boundary cut"
+    );
+}
+
+#[test]
+fn failover_journal_deterministic_at_1_shard() {
+    check_failover_determinism(1);
+}
+
+#[test]
+fn failover_journal_deterministic_at_2_shards() {
+    check_failover_determinism(2);
+}
+
+#[test]
+fn failover_journal_deterministic_at_8_shards() {
+    check_failover_determinism(8);
 }
 
 #[test]
@@ -157,6 +231,7 @@ fn darwin_run() -> (Vec<u8>, Vec<(u32, JournalSnapshot)>) {
             restart_budget: Default::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         },
         CacheConfig { hoc_bytes: 2 * 1024 * 1024, ..CacheConfig::small_test() },
         Box::new(HashRouter),

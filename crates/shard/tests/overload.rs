@@ -106,6 +106,7 @@ fn check_shed_conservation(shards: usize) {
             restart_budget: Default::default(),
             checkpoint_every: None,
             shed_watermark: Some(WATERMARK),
+            replicas: 0,
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),
@@ -199,6 +200,7 @@ fn no_watermark_means_no_shedding() {
             restart_budget: Default::default(),
             checkpoint_every: None,
             shed_watermark: None,
+            replicas: 0,
         },
         CacheConfig::small_test(),
         Box::new(HashRouter),

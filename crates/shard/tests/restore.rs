@@ -100,6 +100,7 @@ fn fleet_cfg(shards: usize) -> FleetConfig {
         restart_budget: Default::default(),
         checkpoint_every: Some(CKPT_EVERY),
         shed_watermark: None,
+        replicas: 0,
     }
 }
 

@@ -23,12 +23,14 @@ cargo test -p darwin-gateway --test loopback -q -- \
     static_gateway_equivalent_to_sequential_replay \
     darwin_gateway_equivalent_to_sequential_replay \
     stats_frame_returns_parseable_snapshot \
-    shutdown_frame_drains_gateway
+    shutdown_frame_drains_gateway \
+    resize_frame_reshards_elastic_gateway \
+    static_gateway_refuses_resize_with_error_ack
 
 echo "== chaos: fault-plan conservation (proptest + bitwise regression) =="
 cargo test -p darwin-shard --test chaos -q
 
-echo "== journal determinism (byte-identical event journals at 1, 2, 8 shards) =="
+echo "== journal determinism (byte-identical journals at 1, 2, 8 shards; zero dropped events) =="
 cargo test -p darwin-shard --test journal_determinism -q
 
 echo "== restore equivalence (boundary-kill warm restore bitwise at 1, 2, 8 shards) =="
@@ -37,6 +39,13 @@ cargo test -p darwin-shard --test restore -q -- \
     warm_boundary_restore_bitwise_at_2_shards \
     warm_boundary_restore_bitwise_at_8_shards \
     corrupted_checkpoint_falls_back_cold_bitwise
+
+echo "== failover equivalence (standby promotion bitwise at 1, 2, 8 shards; zero Unavailable) =="
+cargo test -p darwin-shard --test failover -q
+
+echo "== replica + RESIZE wire hostile corpus (never panic, never silent mis-apply) =="
+cargo test -p darwin-rebalance --test codec_props -q
+cargo test -p darwin-gateway --test wire_codec -q
 
 echo "== chaos bench smoke (scripted shard deaths, exactly-once answering) =="
 cargo run --release -p darwin-bench --bin experiments -- chaos --out target/chaos_smoke
@@ -103,6 +112,25 @@ else
         /"conserved":/   { gsub(/[",]/, ""); if ($2 != "true") { print "   FAIL: conservation ledger broken"; exit 1 } seen = 1 }
         END { if (!seen) { print "   missing conserved field"; exit 1 } print "   conservation + recovery asserts held (see BENCH_rebalance.json)" }
     ' target/rebalance_smoke/BENCH_rebalance.json
+fi
+
+echo "== failover bench smoke (zero Unavailable with a standby, quantified fraction without) =="
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -le 1 ]; then
+    echo "   skipped: $cores core visible — the replicated fleet needs cores to spare"
+else
+    cargo run --release -p darwin-bench --bin experiments -- failover --out target/failover_smoke
+    awk '
+        /"scenario": "replicated"/   { mode = "rep" }
+        /"scenario": "unreplicated"/ { mode = "unrep" }
+        /"unavailable":/ {
+            gsub(/[",]/, "")
+            if (mode == "rep" && $2 + 0 > 0) { print "   FAIL: Unavailable verdicts despite a hot standby"; exit 1 }
+            if (mode == "unrep" && $2 + 0 == 0) { print "   FAIL: baseline lost its degradation — nothing to erase"; exit 1 }
+        }
+        /"failovers":/ { gsub(/[",]/, ""); if (mode == "rep" && $2 + 0 != 1) { print "   FAIL: expected exactly one promotion"; exit 1 } seen = 1 }
+        END { if (!seen) { print "   missing failovers field"; exit 1 } print "   zero-Unavailable + promotion asserts held (see BENCH_failover.json)" }
+    ' target/failover_smoke/BENCH_failover.json
 fi
 
 echo "== rustdoc (--no-deps, warnings denied) =="
